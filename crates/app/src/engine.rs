@@ -1,0 +1,831 @@
+//! The execution simulator.
+//!
+//! [`Engine::run`] executes an [`AppSpec`] under a [`MemoryConfig`] on a
+//! [`ClusterSpec`] and returns a [`RunResult`] plus the [`Profile`] a
+//! monitoring stack would have collected. The simulation is deterministic
+//! given the seed.
+//!
+//! ## Model
+//!
+//! Tasks are scheduled in waves across `containers × task_concurrency`
+//! slots. A wave's wall time is the slowest container's task time:
+//! input I/O (disk for HDFS reads, network for shuffle fetches, lineage
+//! recomputation for cache misses), CPU work under core contention, spill
+//! I/O for external sorts, plus the stop-the-world GC pauses reported by the
+//! per-container [`JvmSim`].
+//!
+//! Failures follow §3.1: the JVM raises `OutOfMemoryError` when the live
+//! demand cannot fit the heap (plus a stochastic component when the margin
+//! is thin — deserialization and fetch buffers are bursty); the resource
+//! manager kills containers whose RSS exceeds the physical cap. A failed
+//! container is replaced and the wave retried; after
+//! [`EngineCostModel::max_task_retries`] failures of the same wave the
+//! application aborts.
+
+use crate::result::RunResult;
+use crate::spec::{AppSpec, InputSource, StageSpec};
+use relm_cluster::{ClusterSpec, ContainerSpec, ResourceManager};
+use relm_common::{Mem, MemoryConfig, Millis, Rng};
+use relm_jvm::{GcCostModel, GcSettings, JvmSim, WavePressure};
+use relm_profile::{ContainerTrace, Profile};
+use serde::{Deserialize, Serialize};
+
+/// Tunable constants of the execution model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineCostModel {
+    /// GC pause/promotion constants passed to every container JVM.
+    pub gc: GcCostModel,
+    /// Number of times a wave is retried after container failures before the
+    /// application job aborts (Spark's `spark.task.maxFailures` is 4).
+    pub max_task_retries: u32,
+    /// Stochastic out-of-memory model: probability scale at zero margin.
+    pub soft_oom_coeff: f64,
+    /// Stochastic out-of-memory model: margin decay constant.
+    pub soft_oom_margin_scale: f64,
+    /// Margins above this never fail stochastically.
+    pub soft_oom_margin_cutoff: f64,
+    /// Relative *transient* noise on a wave's live memory footprint,
+    /// re-sampled on every attempt (allocation burstiness).
+    pub mem_noise: f64,
+    /// Relative *data skew* noise on a wave's live memory footprint, fixed
+    /// per (stage, wave, container) across retries — a skewed partition stays
+    /// skewed when its task is retried, which is how applications end up
+    /// aborted after the task retry limit.
+    pub skew_noise: f64,
+    /// Unroll slack: memory the block manager keeps free when deciding
+    /// whether one more partition can be cached.
+    pub unroll_slack: Mem,
+    /// Probability per container-wave that sustained promotion-failure
+    /// thrashing raises a "GC overhead limit exceeded" OOM.
+    pub gc_thrash_oom_prob: f64,
+    /// Fraction of spill I/O time that is NOT hidden behind computation.
+    pub spill_overlap: f64,
+    /// Cost of re-populating one megabyte of cache lost to a container
+    /// failure (ms/MB).
+    pub recache_ms_per_mb: f64,
+    /// Per-wave scheduling overhead.
+    pub wave_overhead: Millis,
+    /// Fixed startup time (driver, container launch).
+    pub startup: Millis,
+}
+
+impl Default for EngineCostModel {
+    fn default() -> Self {
+        EngineCostModel {
+            gc: GcCostModel::default(),
+            max_task_retries: 4,
+            soft_oom_coeff: 0.02,
+            soft_oom_margin_scale: 0.02,
+            soft_oom_margin_cutoff: 0.06,
+            mem_noise: 0.03,
+            skew_noise: 0.04,
+            unroll_slack: Mem::mb(150.0),
+            gc_thrash_oom_prob: 0.008,
+            spill_overlap: 0.15,
+            recache_ms_per_mb: 12.0,
+            wave_overhead: Millis::ms(250.0),
+            startup: Millis::secs(8.0),
+        }
+    }
+}
+
+/// Per-container mutable state during a run.
+struct ContainerState {
+    jvm: JvmSim,
+    trace: ContainerTrace,
+    cache_used: Mem,
+    rng: Rng,
+}
+
+impl ContainerState {
+    fn new(heap: Mem, settings: GcSettings, gc: GcCostModel, m_i: Mem, rng: Rng) -> Self {
+        let mut jvm = JvmSim::new(heap, settings, gc);
+        jvm.set_code_overhead(m_i);
+        let trace = ContainerTrace { code_overhead: m_i, ..Default::default() };
+        ContainerState { jvm, trace, cache_used: Mem::ZERO, rng }
+    }
+}
+
+/// The execution simulator for one cluster.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    cluster: ClusterSpec,
+    cost: EngineCostModel,
+}
+
+impl Engine {
+    /// Creates an engine with the default cost model.
+    pub fn new(cluster: ClusterSpec) -> Self {
+        Engine { cluster, cost: EngineCostModel::default() }
+    }
+
+    /// Overrides the cost model.
+    pub fn with_cost_model(mut self, cost: EngineCostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// The cluster this engine simulates.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// The cost model in effect.
+    pub fn cost_model(&self) -> &EngineCostModel {
+        &self.cost
+    }
+
+    /// Runs the application under `config`, returning the run metrics and
+    /// the collected profile. Deterministic given `seed`.
+    pub fn run(&self, app: &AppSpec, config: &MemoryConfig, seed: u64) -> (RunResult, Profile) {
+        let mut sim = RunSim::new(self, app, config, seed);
+        sim.execute()
+    }
+}
+
+/// What one container did during one wave attempt.
+struct ContainerWave {
+    compute: Millis,
+    gc_pause: Millis,
+    cache_fill: Mem,
+    shuffle_live: Mem,
+    cpu_raw_core_ms: f64,
+    disk_mb: f64,
+    shuffle_mb: f64,
+    spilled_mb: f64,
+    tasks: u32,
+    failure: Option<FailureKind>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FailureKind {
+    Oom,
+    RssKill(Mem),
+}
+
+enum WaveAttempt {
+    Ok,
+    ContainerFailed { idx: usize, kind: FailureKind, recovery: Millis },
+}
+
+/// The working state of one simulated run.
+struct RunSim<'a> {
+    engine: &'a Engine,
+    app: &'a AppSpec,
+    config: MemoryConfig,
+    container_spec: ContainerSpec,
+    containers: Vec<ContainerState>,
+    rm: ResourceManager,
+    now: Millis,
+    aborted: bool,
+    // Aggregates.
+    cpu_busy_core_ms: f64,
+    disk_bytes_mb: f64,
+    busy_time: Millis,
+    pause_time: Millis,
+    shuffle_bytes_mb: f64,
+    spilled_bytes_mb: f64,
+    // Cache accounting.
+    cache_target_per_container: Mem,
+    hit_ratio: f64,
+    seed: u64,
+}
+
+/// FNV-1a over the skew coordinates: deterministic across platforms and
+/// stable across retries of the same wave.
+fn skew_hash(seed: u64, stage: &str, wave: u32, container: usize) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    for b in seed.to_le_bytes() {
+        eat(b);
+    }
+    for b in stage.bytes() {
+        eat(b);
+    }
+    for b in wave.to_le_bytes() {
+        eat(b);
+    }
+    for b in (container as u64).to_le_bytes() {
+        eat(b);
+    }
+    h
+}
+
+impl<'a> RunSim<'a> {
+    fn new(engine: &'a Engine, app: &'a AppSpec, config: &MemoryConfig, seed: u64) -> Self {
+        let cluster = &engine.cluster;
+        let container_spec = cluster.container(config.containers_per_node);
+        let n_containers = cluster.total_containers(config.containers_per_node);
+        let settings = GcSettings::from_config(config);
+        let root = Rng::new(seed);
+        let containers: Vec<ContainerState> = (0..n_containers)
+            .map(|i| {
+                ContainerState::new(
+                    config.heap,
+                    settings,
+                    engine.cost.gc,
+                    app.code_overhead,
+                    root.fork(i as u64 + 1),
+                )
+            })
+            .collect();
+
+        let cache_demand_pc = app.cache_demand() / n_containers as f64;
+        // Spark reserves a sliver of the storage pool for unroll memory;
+        // usable storage is slightly below the configured capacity.
+        let cache_cap = config.cache_capacity() * 0.97;
+        // Unroll semantics: a partition is only cached while unrolling it
+        // leaves room for the running tasks' working memory. Cache growth
+        // stops once task memory would be squeezed out — which is why a
+        // too-large Cache Capacity manifests as a lower hit ratio plus
+        // memory pressure, not an immediate deterministic OOM (§3.3).
+        let layout = relm_jvm::HeapLayout::new(config.heap, &settings);
+        let max_unmanaged_mb = app
+            .stages
+            .iter()
+            .map(|s| s.unmanaged_per_task.as_mb())
+            .fold(0.0, f64::max);
+        let live_bound = Mem::mb(max_unmanaged_mb) * config.task_concurrency.max(1) as f64;
+        let fit_bound = (layout.usable()
+            - app.code_overhead
+            - live_bound
+            - engine.cost.unroll_slack)
+            .clamp_non_negative();
+        let cache_target_per_container = cache_demand_pc.min(cache_cap).min(fit_bound);
+        let hit_ratio = if cache_demand_pc.is_zero() {
+            1.0
+        } else {
+            cache_target_per_container / cache_demand_pc
+        };
+
+        RunSim {
+            engine,
+            app,
+            config: *config,
+            container_spec,
+            containers,
+            rm: ResourceManager::new(),
+            now: engine.cost.startup,
+            aborted: false,
+            cpu_busy_core_ms: 0.0,
+            disk_bytes_mb: 0.0,
+            busy_time: Millis::ZERO,
+            pause_time: Millis::ZERO,
+            shuffle_bytes_mb: 0.0,
+            spilled_bytes_mb: 0.0,
+            cache_target_per_container,
+            hit_ratio,
+            seed,
+        }
+    }
+
+    fn execute(&mut self) -> (RunResult, Profile) {
+        for &stage_idx in &self.app.schedule() {
+            let stage = self.app.stages[stage_idx].clone();
+            self.run_stage(&stage);
+            if self.aborted {
+                break;
+            }
+        }
+        self.finish()
+    }
+
+    fn run_stage(&mut self, stage: &StageSpec) {
+        let n_containers = self.containers.len() as u32;
+        let p = self.config.task_concurrency.max(1);
+        let total_slots = n_containers * p;
+        let waves = stage.tasks.div_ceil(total_slots);
+
+        for wave in 0..waves {
+            let first_task = wave * total_slots;
+            let tasks_this_wave = (stage.tasks - first_task).min(total_slots);
+            let base = tasks_this_wave / n_containers;
+            let extra = tasks_this_wave % n_containers;
+
+            let mut attempts = 0u32;
+            loop {
+                match self.attempt_wave(stage, wave, base, extra) {
+                    WaveAttempt::Ok => break,
+                    WaveAttempt::ContainerFailed { idx, kind, recovery } => {
+                        attempts += 1;
+                        self.replace_container(idx, kind);
+                        self.now += recovery;
+                        if attempts >= self.engine.cost.max_task_retries {
+                            self.aborted = true;
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Simulates what one container does during this wave attempt.
+    fn simulate_container(
+        &mut self,
+        idx: usize,
+        stage: &StageSpec,
+        wave_idx: u32,
+        tasks: u32,
+    ) -> ContainerWave {
+        let cost = self.engine.cost;
+        let p = self.config.task_concurrency.max(1);
+        let n_per_node = self.config.containers_per_node.max(1);
+        let cores = self.engine.cluster.cores_per_node as f64;
+        let hit_ratio = self.hit_ratio;
+        let code_overhead = self.app.code_overhead;
+        let noise_level = self.app.noise;
+        let cache_target = self.cache_target_per_container;
+        let spec = self.container_spec;
+        let per_task_shuffle_budget = self.config.shuffle_capacity() / p as f64;
+        let now = self.now;
+
+        let m_f = tasks as f64;
+        let input_mb = stage.input_per_task.as_mb();
+
+        // The m concurrent tasks share the container's bandwidth slice.
+        let disk_mb_s = (spec.disk_mb_per_s_share / m_f).max(1.0);
+        let net_mb_s = (spec.net_mb_per_s_share / m_f).max(1.0);
+
+        let (input_time_ms, recompute_cpu_ms, input_disk_mb) = match stage.input {
+            InputSource::Hdfs => (input_mb / disk_mb_s * 1000.0, 0.0, input_mb),
+            InputSource::ShuffleRead => (input_mb / net_mb_s * 1000.0, 0.0, 0.0),
+            InputSource::Cached { miss_penalty_ms_per_mb } => {
+                let miss = 1.0 - hit_ratio;
+                (
+                    miss * input_mb / disk_mb_s * 1000.0,
+                    miss * input_mb * miss_penalty_ms_per_mb,
+                    miss * input_mb,
+                )
+            }
+        };
+
+        // CPU contention: tasks per node vs physical cores.
+        let active_per_node = (n_per_node * tasks) as f64;
+        let contention = (active_per_node / cores).max(1.0);
+        let cpu_raw_ms = input_mb * stage.cpu_ms_per_mb + recompute_cpu_ms;
+        let cpu_time_ms = cpu_raw_ms * contention;
+
+        // Shuffle sort/aggregation through the Task Shuffle pool. The sort
+        // demand is the *deserialized* data volume (Java object expansion),
+        // not the raw shuffle bytes.
+        let (spill_events, spill_batch, shuffle_live_per_task, sort_live_per_task, spill_disk_mb, spilled_mb) =
+            if stage.uses_shuffle_memory && !stage.input_per_task.is_zero() {
+                let demand = stage.input_per_task * stage.shuffle_expansion;
+                let budget = per_task_shuffle_budget;
+                if demand <= budget {
+                    // Fully in-memory sort: the buffers live for the whole
+                    // task and tenure to Old.
+                    (0u32, Mem::ZERO, demand, demand, 0.0, 0.0)
+                } else {
+                    let budget = budget.max(Mem::mb(8.0));
+                    // External sort: all but the resident buffer is written
+                    // to spill files and read back during the merge. The
+                    // resident buffer itself lives for the whole task and
+                    // tenures to Old just like an in-memory sort's buffer.
+                    let spills = ((demand / budget).ceil() as u32).saturating_sub(1).max(1);
+                    let spilled = (demand - budget).min(budget * spills as f64);
+                    (spills, budget, budget, budget, spilled.as_mb() * 2.0, spilled.as_mb())
+                }
+            } else {
+                (0, Mem::ZERO, Mem::ZERO, Mem::ZERO, 0.0, 0.0)
+            };
+
+        let shuffle_write_mb = stage.shuffle_write_per_task.as_mb();
+        // Spill I/O is sequential and substantially overlapped with the
+        // sort/merge computation.
+        let disk_time_ms =
+            (spill_disk_mb * cost.spill_overlap + shuffle_write_mb) / disk_mb_s * 1000.0;
+
+        let sort_live = sort_live_per_task * m_f;
+        let state = &mut self.containers[idx];
+        let noise = state.rng.noise_factor(noise_level);
+        let compute = Millis::ms(
+            (input_time_ms + cpu_time_ms + disk_time_ms) * noise + cost.wave_overhead.as_ms(),
+        );
+
+        // Cache population: fill toward this container's target.
+        let cache_fill = if stage.cache_block_per_task.is_zero() {
+            Mem::ZERO
+        } else {
+            (stage.cache_block_per_task * m_f)
+                .min((cache_target - state.cache_used).clamp_non_negative())
+        };
+
+        // JVM pressure: sticky skew (fixed per stage/wave/container) plus
+        // transient burstiness (re-sampled per attempt). Per-task variation
+        // is independent, so the relative noise of the container's combined
+        // working set shrinks with √(concurrency) — one big heap shared by
+        // many tasks smooths allocation peaks that would sink a small heap
+        // running few tasks.
+        let noise_scale = 1.0 / m_f.sqrt();
+        let skew = Rng::new(skew_hash(self.seed, &stage.name, wave_idx, idx))
+            .noise_factor(cost.skew_noise * noise_scale);
+        let state = &mut self.containers[idx];
+        let mem_noise = state.rng.noise_factor(cost.mem_noise * noise_scale);
+        let working = stage.unmanaged_per_task * m_f * skew * mem_noise;
+        let shuffle_live = shuffle_live_per_task * m_f;
+        let off_heap_noise = state.rng.noise_factor(0.06);
+        let pressure = WavePressure {
+            compute_time: compute,
+            churn: stage.input_per_task * stage.churn_factor * m_f
+                + stage.shuffle_write_per_task * m_f,
+            working_set: working,
+            tenured_delta: cache_fill,
+            shuffle_live,
+            spill_batch,
+            spill_events: spill_events * tasks,
+            // Fetch buffers cycle roughly twice per task: the allocated
+            // (and discarded) volume is twice the live pool.
+            off_heap_alloc: stage.off_heap_per_task * m_f * 2.0 * off_heap_noise,
+            off_heap_live: stage.off_heap_per_task * m_f * off_heap_noise,
+            sort_live,
+        };
+
+        state.jvm.set_cache_used(state.cache_used);
+        let gc = state.jvm.simulate_wave(now, &pressure);
+
+        // Failure checks.
+        let failure = if gc.oom {
+            Some(FailureKind::Oom)
+        } else {
+            let usable = state.jvm.layout().usable();
+            let demand = code_overhead + state.cache_used + cache_fill + working + shuffle_live;
+            let margin = (usable - demand) / usable;
+            let soft_oom = margin < cost.soft_oom_margin_cutoff
+                && state.rng.chance(
+                    cost.soft_oom_coeff * (-margin.max(0.0) / cost.soft_oom_margin_scale).exp(),
+                );
+            // Sustained full-GC thrashing eventually surfaces as
+            // "GC overhead limit exceeded" out-of-memory errors.
+            let thrash_oom =
+                gc.promotion_failure && state.rng.chance(cost.gc_thrash_oom_prob);
+            if soft_oom || thrash_oom {
+                Some(FailureKind::Oom)
+            } else if gc.peak_rss > spec.phys_cap {
+                Some(FailureKind::RssKill(gc.peak_rss))
+            } else {
+                None
+            }
+        };
+
+        ContainerWave {
+            compute,
+            gc_pause: gc.gc_pause,
+            cache_fill,
+            shuffle_live,
+            cpu_raw_core_ms: cpu_raw_ms + input_mb * 0.4,
+            disk_mb: input_disk_mb + spill_disk_mb + shuffle_write_mb,
+            shuffle_mb: if stage.uses_shuffle_memory {
+                input_mb * stage.shuffle_expansion
+            } else {
+                0.0
+            },
+            spilled_mb,
+            tasks,
+            failure,
+        }
+    }
+
+    /// Simulates one attempt at a wave across all containers.
+    fn attempt_wave(
+        &mut self,
+        stage: &StageSpec,
+        wave_idx: u32,
+        base_tasks: u32,
+        extra: u32,
+    ) -> WaveAttempt {
+        let n = self.containers.len();
+        let mut wave_wall = Millis::ZERO;
+
+        for idx in 0..n {
+            let tasks = base_tasks + u32::from((idx as u32) < extra);
+            if tasks == 0 {
+                continue;
+            }
+            let wave = self.simulate_container(idx, stage, wave_idx, tasks);
+
+            if let Some(kind) = wave.failure {
+                // The attempt consumed time up to the failure.
+                self.now += wave_wall.max(wave.compute * 0.7);
+                let recovery = match kind {
+                    FailureKind::Oom => self.rm.report_oom(self.now),
+                    FailureKind::RssKill(rss) => self
+                        .rm
+                        .check_rss(self.now, &self.container_spec, rss)
+                        .expect("rss kill failure implies rss above cap"),
+                };
+                return WaveAttempt::ContainerFailed { idx, kind, recovery };
+            }
+
+            // Commit.
+            let total = wave.compute + wave.gc_pause;
+            wave_wall = wave_wall.max(total);
+            let m_f = wave.tasks as f64;
+            self.cpu_busy_core_ms += wave.cpu_raw_core_ms * m_f;
+            self.disk_bytes_mb += wave.disk_mb * m_f;
+            self.busy_time += total * m_f;
+            self.pause_time += wave.gc_pause * m_f;
+            self.shuffle_bytes_mb += wave.shuffle_mb * m_f;
+            self.spilled_bytes_mb += wave.spilled_mb * m_f;
+
+            let now = self.now;
+            let state = &mut self.containers[idx];
+            state.cache_used += wave.cache_fill;
+            state.trace.running_tasks.push(now, wave.tasks);
+            state.trace.cache_used.push(now, state.cache_used);
+            state.trace.shuffle_used.push(now, wave.shuffle_live);
+        }
+
+        self.now += wave_wall;
+        WaveAttempt::Ok
+    }
+
+    /// Replaces a failed container with a fresh JVM process. The replacement
+    /// keeps the accumulated trace (the profiler observes the whole run) and
+    /// is assumed to re-populate its cache during the retry (the time cost is
+    /// charged in the recovery delay by the caller via `recache_ms_per_mb`).
+    fn replace_container(&mut self, idx: usize, _kind: FailureKind) {
+        let settings = GcSettings::from_config(&self.config);
+        let lost_cache = self.containers[idx].cache_used;
+        let mut old_trace = std::mem::take(&mut self.containers[idx].trace);
+        // Flush the dying JVM's RSS samples into the trace now — the fresh
+        // process starts a new sample log. The final sample is the peak that
+        // triggered the failure.
+        let mut last_t = self.now;
+        for &(t, rss) in self.containers[idx].jvm.rss_samples() {
+            old_trace.rss.push_clamped(t, rss);
+            last_t = last_t.max(t);
+        }
+        old_trace.rss.push_clamped(last_t, self.containers[idx].jvm.peak_rss());
+        let rng = self.containers[idx].rng.fork(0xDEAD_BEEF);
+        let mut fresh = ContainerState::new(
+            self.config.heap,
+            settings,
+            self.engine.cost.gc,
+            self.app.code_overhead,
+            rng,
+        );
+        fresh.trace = old_trace;
+        fresh.cache_used = lost_cache;
+        self.now += Millis::ms(lost_cache.as_mb() * self.engine.cost.recache_ms_per_mb);
+        self.containers[idx] = fresh;
+    }
+
+    fn finish(&mut self) -> (RunResult, Profile) {
+        let elapsed = self.now.max(Millis::ms(1.0));
+        let cluster = &self.engine.cluster;
+        let total_cores = (cluster.nodes * cluster.cores_per_node) as f64;
+        let avg_cpu_util =
+            (self.cpu_busy_core_ms / (total_cores * elapsed.as_ms())).clamp(0.0, 1.0);
+        let total_disk_mb_s = cluster.disk_mb_per_s * cluster.nodes as f64;
+        let avg_disk_util =
+            (self.disk_bytes_mb / (total_disk_mb_s * elapsed.as_secs())).clamp(0.0, 1.0);
+
+        let gc_overhead = if self.busy_time > Millis::ZERO {
+            (self.pause_time / self.busy_time).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+
+        let max_heap_util = self
+            .containers
+            .iter()
+            .map(|c| c.jvm.peak_heap_used() / self.config.heap)
+            .fold(0.0, f64::max)
+            .clamp(0.0, 1.0);
+
+        let spill_fraction = if self.shuffle_bytes_mb == 0.0 {
+            0.0
+        } else {
+            (self.spilled_bytes_mb / self.shuffle_bytes_mb).clamp(0.0, 1.0)
+        };
+
+        let young_gcs: u64 = self.containers.iter().map(|c| c.jvm.young_gc_count()).sum();
+        let full_gcs: u64 = self.containers.iter().map(|c| c.jvm.full_gc_count()).sum();
+
+        let result = RunResult {
+            runtime: elapsed,
+            aborted: self.aborted,
+            container_failures: self.rm.failures(),
+            oom_failures: self.rm.oom_failures(),
+            rss_kills: self.rm.rss_kills(),
+            max_heap_util,
+            avg_cpu_util,
+            avg_disk_util,
+            gc_overhead,
+            cache_hit_ratio: self.hit_ratio,
+            spill_fraction,
+            young_gcs,
+            full_gcs,
+        };
+
+        let containers = self
+            .containers
+            .iter_mut()
+            .map(|c| {
+                let mut trace = std::mem::take(&mut c.trace);
+                trace.gc_events = c.jvm.events().to_vec();
+                trace.peak_heap_used = c.jvm.peak_heap_used();
+                trace.peak_old_used = c.jvm.peak_old_used();
+                for &(t, rss) in c.jvm.rss_samples() {
+                    trace.rss.push_clamped(t, rss);
+                }
+                trace
+            })
+            .collect();
+
+        let profile = Profile {
+            app_name: self.app.name.clone(),
+            config: self.config,
+            duration: elapsed,
+            cpu_avg: avg_cpu_util * 100.0,
+            disk_avg: avg_disk_util * 100.0,
+            cache_hit_ratio: self.hit_ratio,
+            spill_fraction,
+            containers,
+            gc_overhead,
+        };
+
+        (result, profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AppSpec, StageSpec};
+
+    fn engine() -> Engine {
+        Engine::new(ClusterSpec::cluster_a())
+    }
+
+    fn default_config() -> MemoryConfig {
+        MemoryConfig {
+            containers_per_node: 1,
+            heap: Mem::mb(4404.0),
+            task_concurrency: 2,
+            cache_fraction: 0.3,
+            shuffle_fraction: 0.3,
+            new_ratio: 2,
+            survivor_ratio: 8,
+        }
+    }
+
+    fn simple_app() -> AppSpec {
+        let mut map = StageSpec::new("map", 200, Mem::mb(128.0));
+        map.cpu_ms_per_mb = 25.0;
+        map.unmanaged_per_task = Mem::mb(180.0);
+        AppSpec::new("simple", vec![map])
+    }
+
+    #[test]
+    fn runs_are_deterministic_given_seed() {
+        let e = engine();
+        let app = simple_app();
+        let cfg = default_config();
+        let (r1, _) = e.run(&app, &cfg, 7);
+        let (r2, _) = e.run(&app, &cfg, 7);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn different_seeds_vary_runtime_slightly() {
+        let e = engine();
+        let app = simple_app();
+        let cfg = default_config();
+        let (r1, _) = e.run(&app, &cfg, 1);
+        let (r2, _) = e.run(&app, &cfg, 2);
+        assert_ne!(r1.runtime, r2.runtime);
+        let ratio = r1.runtime / r2.runtime;
+        assert!(ratio > 0.7 && ratio < 1.4, "noise too large: {ratio}");
+    }
+
+    #[test]
+    fn more_containers_speed_up_cpu_bound_work() {
+        let e = engine();
+        let app = simple_app();
+        let mut fat = default_config();
+        let mut thin = default_config();
+        thin.containers_per_node = 4;
+        thin.heap = Mem::mb(1101.0);
+        fat.containers_per_node = 1;
+        let (r_fat, _) = e.run(&app, &fat, 3);
+        let (r_thin, _) = e.run(&app, &thin, 3);
+        assert!(
+            r_thin.runtime < r_fat.runtime * 0.7,
+            "thin {} vs fat {}",
+            r_thin.runtime,
+            r_fat.runtime
+        );
+    }
+
+    #[test]
+    fn cache_hit_ratio_follows_capacity() {
+        let e = engine();
+        let mut load = StageSpec::new("load", 160, Mem::mb(128.0));
+        load.cache_block_per_task = Mem::mb(200.0); // 32GB demand >> capacity
+        let mut iter = StageSpec::new("iter", 160, Mem::mb(200.0));
+        iter.in_iteration = true;
+        iter.input = InputSource::Cached { miss_penalty_ms_per_mb: 30.0 };
+        let mut app = AppSpec::new("cachey", vec![load, iter]);
+        app.iterations = 3;
+
+        let cfg = default_config();
+        let (r, _) = e.run(&app, &cfg, 5);
+        // Demand per container = 32000/8 = 4000MB; capacity = 0.3*4404*0.97.
+        assert!(r.cache_hit_ratio < 0.5, "hit ratio = {}", r.cache_hit_ratio);
+        assert!(r.cache_hit_ratio > 0.2);
+
+        let mut big = cfg;
+        big.cache_fraction = 0.6;
+        big.shuffle_fraction = 0.0;
+        big.new_ratio = 5; // keep old large enough for the bigger cache
+        let (r2, _) = e.run(&app, &big, 5);
+        assert!(r2.cache_hit_ratio > r.cache_hit_ratio);
+    }
+
+    #[test]
+    fn oversized_working_set_aborts() {
+        let e = engine();
+        let mut map = StageSpec::new("map", 64, Mem::mb(512.0));
+        map.unmanaged_per_task = Mem::mb(3000.0); // cannot fit 2 tasks in 4.4GB
+        let app = AppSpec::new("oom", vec![map]);
+        let (r, _) = e.run(&app, &default_config(), 1);
+        assert!(r.aborted);
+        assert!(r.oom_failures > 0);
+    }
+
+    #[test]
+    fn spills_happen_when_shuffle_pool_is_small() {
+        let e = engine();
+        let mut map = StageSpec::new("map", 60, Mem::mb(512.0));
+        map.shuffle_write_per_task = Mem::mb(512.0);
+        map.unmanaged_per_task = Mem::mb(300.0);
+        let mut reduce = StageSpec::new("reduce", 60, Mem::mb(512.0));
+        reduce.input = InputSource::ShuffleRead;
+        reduce.uses_shuffle_memory = true;
+        reduce.unmanaged_per_task = Mem::mb(200.0);
+        let app = AppSpec::new("sort", vec![map, reduce]);
+
+        let mut small = default_config();
+        small.shuffle_fraction = 0.05;
+        small.cache_fraction = 0.0;
+        let (r_small, _) = e.run(&app, &small, 2);
+        assert!(r_small.spill_fraction > 0.9, "spill = {}", r_small.spill_fraction);
+
+        let mut big = default_config();
+        big.shuffle_fraction = 0.5;
+        big.cache_fraction = 0.0;
+        let (r_big, _) = e.run(&app, &big, 2);
+        assert!(r_big.spill_fraction < r_small.spill_fraction);
+    }
+
+    #[test]
+    fn profile_contains_all_containers_and_timelines() {
+        let e = engine();
+        let app = simple_app();
+        let cfg = default_config();
+        let (_, profile) = e.run(&app, &cfg, 9);
+        assert_eq!(profile.containers.len(), 8);
+        for c in &profile.containers {
+            assert!(!c.running_tasks.is_empty());
+            assert_eq!(c.code_overhead, Mem::mb(110.0));
+        }
+        assert!(profile.duration > Millis::ZERO);
+    }
+
+    #[test]
+    fn gc_overhead_grows_with_task_concurrency_under_memory_pressure() {
+        let e = engine();
+        let mut map = StageSpec::new("map", 400, Mem::mb(128.0));
+        map.unmanaged_per_task = Mem::mb(380.0);
+        map.churn_factor = 4.0;
+        let app = AppSpec::new("pressure", vec![map]);
+        let mut low = default_config();
+        low.task_concurrency = 1;
+        let mut high = default_config();
+        high.task_concurrency = 6;
+        let (r_low, _) = e.run(&app, &low, 4);
+        let (r_high, _) = e.run(&app, &high, 4);
+        assert!(
+            r_high.gc_overhead >= r_low.gc_overhead,
+            "gc overhead should not drop with concurrency: {} vs {}",
+            r_high.gc_overhead,
+            r_low.gc_overhead
+        );
+    }
+
+    #[test]
+    fn utilization_metrics_are_fractions() {
+        let e = engine();
+        let (r, _) = e.run(&simple_app(), &default_config(), 11);
+        for v in [r.avg_cpu_util, r.avg_disk_util, r.max_heap_util, r.gc_overhead] {
+            assert!((0.0..=1.0).contains(&v), "metric out of range: {v}");
+        }
+        assert!(r.avg_cpu_util > 0.0);
+    }
+}

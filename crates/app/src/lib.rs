@@ -1,0 +1,23 @@
+//! # relm-app
+//!
+//! The memory-based analytics engine substrate: a Spark-like dataflow model
+//! (applications as sequences of stages divided by shuffle dependencies,
+//! stages parallelized into tasks scheduled in waves over container slots)
+//! and a deterministic execution simulator that runs an application under a
+//! [`relm_common::MemoryConfig`] on a [`relm_cluster::ClusterSpec`].
+//!
+//! The simulator produces a [`RunResult`] (runtime, utilization metrics,
+//! GC overheads, failure tallies) and a [`relm_profile::Profile`] (the
+//! timelines RelM's statistics generator consumes). The memory behaviour of
+//! each container is delegated to [`relm_jvm::JvmSim`]; container failures
+//! (out-of-memory errors, physical-memory kills) follow the semantics of
+//! §3.1 of the paper: failed containers are replaced, tasks are retried, and
+//! an application aborts once a task has failed a preset number of times.
+
+pub mod engine;
+pub mod result;
+pub mod spec;
+
+pub use engine::{Engine, EngineCostModel};
+pub use result::RunResult;
+pub use spec::{AppSpec, InputSource, StageSpec};

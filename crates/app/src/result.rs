@@ -1,0 +1,52 @@
+//! The outcome of one simulated application run.
+
+use relm_common::Millis;
+use serde::{Deserialize, Serialize};
+
+/// Metrics of one application run — the quantities plotted throughout §3 and
+/// §6 of the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Wall-clock duration of the run (includes failure recovery time).
+    pub runtime: Millis,
+    /// Whether the application job was aborted because a task exceeded the
+    /// retry limit.
+    pub aborted: bool,
+    /// Total container failures (OOM + physical-memory kills).
+    pub container_failures: u32,
+    /// Container failures caused by `OutOfMemoryError`.
+    pub oom_failures: u32,
+    /// Container failures caused by the resource manager's physical-memory
+    /// cap.
+    pub rss_kills: u32,
+    /// Maximum heap utilization across containers (fraction of heap).
+    pub max_heap_util: f64,
+    /// Average CPU utilization across the cluster (fraction).
+    pub avg_cpu_util: f64,
+    /// Average disk utilization across the cluster (fraction).
+    pub avg_disk_util: f64,
+    /// Fraction of task time spent in GC pauses.
+    pub gc_overhead: f64,
+    /// Cache hit ratio (H): cached partitions read from cache over
+    /// partitions requested.
+    pub cache_hit_ratio: f64,
+    /// Fraction of shuffle data spilled to disk (S).
+    pub spill_fraction: f64,
+    /// Total young collections across containers.
+    pub young_gcs: u64,
+    /// Total full collections across containers.
+    pub full_gcs: u64,
+}
+
+impl RunResult {
+    /// Runtime in minutes (the unit the paper reports).
+    pub fn runtime_mins(&self) -> f64 {
+        self.runtime.as_mins()
+    }
+
+    /// True when the run finished with no container failures — the paper's
+    /// notion of a *safe* execution.
+    pub fn is_safe(&self) -> bool {
+        !self.aborted && self.container_failures == 0
+    }
+}

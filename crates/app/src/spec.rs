@@ -1,0 +1,239 @@
+//! Application and stage descriptions.
+//!
+//! An application is a sequence of stages (the paper tunes a *given workflow
+//! with a given input data*, §2.2). Iterative applications (K-means, SVM,
+//! PageRank) mark a group of stages as the iteration body; the engine
+//! repeats that body `iterations` times, which is where cache hit ratios
+//! start to matter.
+
+use relm_common::Mem;
+use serde::{Deserialize, Serialize};
+
+/// Where a stage's tasks read their input from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum InputSource {
+    /// Input partitions read from the distributed filesystem (disk-bound).
+    Hdfs,
+    /// Shuffle blocks fetched over the network from map outputs.
+    ShuffleRead,
+    /// Cached partitions. Misses recompute the partition's lineage at
+    /// `miss_penalty_ms_per_mb` per megabyte.
+    Cached {
+        /// Cost of recomputing one megabyte of a missed partition.
+        miss_penalty_ms_per_mb: f64,
+    },
+}
+
+/// One stage of computation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageSpec {
+    /// Stage name (for the event log).
+    pub name: String,
+    /// Number of tasks — one per input partition.
+    pub tasks: u32,
+    /// Input volume each task processes.
+    pub input_per_task: Mem,
+    /// Input source.
+    pub input: InputSource,
+    /// CPU work per megabyte of input, in milliseconds on one core.
+    pub cpu_ms_per_mb: f64,
+    /// Shuffle output each task writes (map side).
+    pub shuffle_write_per_task: Mem,
+    /// Whether the stage sorts/aggregates its input through the Task Shuffle
+    /// pool (reduce side); when the per-task share of the pool is smaller
+    /// than the sort demand, the task spills to disk.
+    pub uses_shuffle_memory: bool,
+    /// Expansion factor from raw shuffle bytes to deserialized in-memory
+    /// sort demand (Java object overhead; 3–5x is typical for text records).
+    pub shuffle_expansion: f64,
+    /// Live unmanaged memory each running task holds (deserialized input
+    /// objects, partially processed partitions) — the `M_u` ground truth.
+    pub unmanaged_per_task: Mem,
+    /// Short-lived allocation volume as a multiple of the input volume.
+    pub churn_factor: f64,
+    /// Off-heap (native network buffer) bytes each task allocates.
+    pub off_heap_per_task: Mem,
+    /// Bytes of the task's output that are cached.
+    pub cache_block_per_task: Mem,
+    /// Whether this stage belongs to the iteration body.
+    pub in_iteration: bool,
+}
+
+impl StageSpec {
+    /// A conservative baseline stage; construct and override the fields that
+    /// matter for the workload being described.
+    pub fn new(name: &str, tasks: u32, input_per_task: Mem) -> Self {
+        StageSpec {
+            name: name.to_owned(),
+            tasks,
+            input_per_task,
+            input: InputSource::Hdfs,
+            cpu_ms_per_mb: 30.0,
+            shuffle_write_per_task: Mem::ZERO,
+            uses_shuffle_memory: false,
+            shuffle_expansion: 3.0,
+            unmanaged_per_task: input_per_task * 1.5,
+            churn_factor: 2.5,
+            off_heap_per_task: Mem::ZERO,
+            cache_block_per_task: Mem::ZERO,
+            in_iteration: false,
+        }
+    }
+
+    /// Total input volume of the stage.
+    pub fn total_input(&self) -> Mem {
+        self.input_per_task * self.tasks as f64
+    }
+
+    /// Total cached output volume of the stage.
+    pub fn total_cached(&self) -> Mem {
+        self.cache_block_per_task * self.tasks as f64
+    }
+}
+
+/// A complete application: workflow plus input data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppSpec {
+    /// Application name.
+    pub name: String,
+    /// The stage sequence. Stages with `in_iteration = true` must form one
+    /// contiguous group; the engine repeats that group.
+    pub stages: Vec<StageSpec>,
+    /// Number of iterations of the iteration body (1 for non-iterative
+    /// applications).
+    pub iterations: u32,
+    /// Relative run-to-run noise on task durations and memory footprints.
+    pub noise: f64,
+    /// Constant memory held by application code objects in every container
+    /// (`M_i`, the Code Overhead pool).
+    pub code_overhead: Mem,
+}
+
+impl AppSpec {
+    /// Creates an application with no iteration body.
+    pub fn new(name: &str, stages: Vec<StageSpec>) -> Self {
+        AppSpec {
+            name: name.to_owned(),
+            stages,
+            iterations: 1,
+            noise: 0.06,
+            code_overhead: Mem::mb(110.0),
+        }
+    }
+
+    /// Total cache demand of the application across the cluster.
+    pub fn cache_demand(&self) -> Mem {
+        self.stages.iter().map(StageSpec::total_cached).sum()
+    }
+
+    /// The expanded stage schedule: prologue stages once, the iteration body
+    /// `iterations` times, epilogue stages once. Returns indexes into
+    /// `stages`.
+    pub fn schedule(&self) -> Vec<usize> {
+        let body: Vec<usize> = self
+            .stages
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.in_iteration)
+            .map(|(i, _)| i)
+            .collect();
+        let first_body = body.first().copied();
+        // Prologue = all non-iteration stages before the body; epilogue after.
+        let prologue: Vec<usize> = self
+            .stages
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| !s.in_iteration && first_body.is_none_or(|b| *i < b))
+            .map(|(i, _)| i)
+            .collect();
+        let epilogue: Vec<usize> = self
+            .stages
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| !s.in_iteration && first_body.is_some_and(|b| *i > b))
+            .map(|(i, _)| i)
+            .collect();
+        let mut schedule = prologue;
+        for _ in 0..self.iterations.max(1) {
+            schedule.extend(&body);
+        }
+        schedule.extend(epilogue);
+        schedule
+    }
+
+    /// Whether the application caches anything.
+    pub fn uses_cache(&self) -> bool {
+        !self.cache_demand().is_zero()
+    }
+
+    /// Whether any stage uses shuffle execution memory.
+    pub fn uses_shuffle(&self) -> bool {
+        self.stages.iter().any(|s| s.uses_shuffle_memory || !s.shuffle_write_per_task.is_zero())
+    }
+
+    /// Whether any stage sorts/aggregates through the Task Shuffle pool
+    /// (a stricter notion than [`AppSpec::uses_shuffle`]: map-side shuffle
+    /// writes do not consume the pool).
+    pub fn uses_shuffle_memory(&self) -> bool {
+        self.stages.iter().any(|s| s.uses_shuffle_memory)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iterative_app() -> AppSpec {
+        let mut load = StageSpec::new("load", 100, Mem::mb(128.0));
+        load.cache_block_per_task = Mem::mb(200.0);
+        let mut iter = StageSpec::new("iterate", 100, Mem::mb(200.0));
+        iter.in_iteration = true;
+        iter.input = InputSource::Cached { miss_penalty_ms_per_mb: 40.0 };
+        let collect = StageSpec::new("collect", 10, Mem::mb(8.0));
+        AppSpec {
+            name: "iterative".into(),
+            stages: vec![load, iter, collect],
+            iterations: 3,
+            noise: 0.05,
+            code_overhead: Mem::mb(110.0),
+        }
+    }
+
+    #[test]
+    fn schedule_repeats_iteration_body() {
+        let app = iterative_app();
+        assert_eq!(app.schedule(), vec![0, 1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn schedule_without_iterations_is_identity() {
+        let app = AppSpec::new(
+            "flat",
+            vec![StageSpec::new("a", 1, Mem::mb(1.0)), StageSpec::new("b", 1, Mem::mb(1.0))],
+        );
+        assert_eq!(app.schedule(), vec![0, 1]);
+    }
+
+    #[test]
+    fn cache_demand_sums_caching_stages() {
+        let app = iterative_app();
+        assert_eq!(app.cache_demand(), Mem::mb(100.0 * 200.0));
+        assert!(app.uses_cache());
+    }
+
+    #[test]
+    fn totals() {
+        let s = StageSpec::new("s", 10, Mem::mb(128.0));
+        assert_eq!(s.total_input(), Mem::mb(1280.0));
+        assert_eq!(s.total_cached(), Mem::ZERO);
+    }
+
+    #[test]
+    fn shuffle_detection() {
+        let mut s = StageSpec::new("map", 10, Mem::mb(128.0));
+        s.shuffle_write_per_task = Mem::mb(64.0);
+        let app = AppSpec::new("shuffly", vec![s]);
+        assert!(app.uses_shuffle());
+        assert!(!app.uses_cache());
+    }
+}

@@ -1,0 +1,62 @@
+//! Simulator-substrate throughput: full application runs per workload
+//! (these bound how fast the evaluation harness can regenerate the paper's
+//! figures) and the JVM wave simulator in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relm_bench::context;
+use relm_common::{Mem, Millis};
+use relm_jvm::{GcCostModel, GcSettings, JvmSim, WavePressure};
+use relm_workloads::{kmeans, pagerank, sortbykey, svm, wordcount};
+use std::hint::black_box;
+
+fn bench_engine_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_run");
+    for app in [wordcount(), sortbykey(), kmeans(), svm(), pagerank()] {
+        let name = app.name.clone();
+        let ctx = context(app);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &ctx, |b, ctx| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(ctx.engine.run(&ctx.app, &ctx.config, seed))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_jvm_wave(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jvm_wave");
+    for (label, churn_mb) in [("light", 500.0), ("heavy", 8000.0)] {
+        group.bench_function(label, |b| {
+            let mut jvm = JvmSim::new(
+                Mem::mb(4404.0),
+                GcSettings::default(),
+                GcCostModel::default(),
+            );
+            jvm.set_code_overhead(Mem::mb(110.0));
+            jvm.set_cache_used(Mem::mb(1500.0));
+            let pressure = WavePressure {
+                compute_time: Millis::secs(10.0),
+                churn: Mem::mb(churn_mb),
+                working_set: Mem::mb(400.0),
+                tenured_delta: Mem::ZERO,
+                shuffle_live: Mem::mb(200.0),
+                spill_batch: Mem::mb(100.0),
+                spill_events: 2,
+                off_heap_alloc: Mem::mb(100.0),
+                off_heap_live: Mem::mb(50.0),
+                sort_live: Mem::ZERO,
+            };
+            let mut t = Millis::ZERO;
+            b.iter(|| {
+                t += Millis::secs(10.0);
+                black_box(jvm.simulate_wave(t, &pressure))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_runs, bench_jvm_wave);
+criterion_main!(benches);

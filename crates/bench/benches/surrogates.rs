@@ -1,0 +1,67 @@
+//! Surrogate-model scaling: Gaussian-process fitting/prediction as the
+//! sample count grows (why "the BO regression model is not suited for high
+//! dimensional spaces", §6.3) and Random-Forest fitting for comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relm_common::Rng;
+use relm_surrogate::{latin_hypercube, Forest, ForestParams, Gp};
+use std::hint::black_box;
+
+fn dataset(n: usize, dims: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = Rng::new(3);
+    let xs = latin_hypercube(n, dims, &mut rng);
+    let ys = xs
+        .iter()
+        .map(|x| x.iter().enumerate().map(|(i, v)| v * (i as f64 + 1.0)).sum::<f64>())
+        .collect();
+    (xs, ys)
+}
+
+fn bench_gp_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp_fit");
+    for n in [8usize, 16, 32, 64] {
+        let (xs, ys) = dataset(n, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(Gp::fit(xs.clone(), &ys, 1).expect("fit")))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("gp_predict");
+    for n in [16usize, 64] {
+        let (xs, ys) = dataset(n, 4);
+        let gp = Gp::fit(xs, &ys, 1).expect("fit");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(gp.predict(&[0.3, 0.5, 0.7, 0.2])))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gp_dimensionality(c: &mut Criterion) {
+    // GBO pays for extra feature dimensions (Table 10's higher GBO cost).
+    let mut group = c.benchmark_group("gp_fit_dims");
+    for dims in [4usize, 7] {
+        let (xs, ys) = dataset(16, dims);
+        group.bench_with_input(BenchmarkId::from_parameter(dims), &dims, |b, _| {
+            b.iter(|| black_box(Gp::fit(xs.clone(), &ys, 1).expect("fit")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_forest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forest");
+    let (xs, ys) = dataset(64, 4);
+    group.bench_function("fit_64pts", |b| {
+        b.iter(|| black_box(Forest::fit(&xs, &ys, ForestParams::default(), 1).expect("fit")))
+    });
+    let forest = Forest::fit(&xs, &ys, ForestParams::default(), 1).expect("fit");
+    group.bench_function("predict", |b| {
+        b.iter(|| black_box(forest.predict(&[0.3, 0.5, 0.7, 0.2])))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gp_scaling, bench_gp_dimensionality, bench_forest);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! # relm-bench
+//!
+//! Criterion benchmarks backing Table 10 (per-iteration algorithm
+//! overheads) plus throughput benchmarks of the simulator substrate and
+//! scaling benchmarks of the surrogate models.
+//!
+//! Run with `cargo bench -p relm-bench`.
+
+use relm_app::{AppSpec, Engine};
+use relm_cluster::ClusterSpec;
+use relm_common::MemoryConfig;
+use relm_profile::Profile;
+use relm_workloads::max_resource_allocation;
+
+/// A ready-made (engine, app, default config, profile) bundle the benches
+/// share.
+pub struct BenchContext {
+    /// Simulator for Cluster A.
+    pub engine: Engine,
+    /// The application under test.
+    pub app: AppSpec,
+    /// The vendor default configuration.
+    pub config: MemoryConfig,
+    /// A profile collected under the default configuration.
+    pub profile: Profile,
+}
+
+/// Builds the shared context for an application constructor.
+pub fn context(app: AppSpec) -> BenchContext {
+    let engine = Engine::new(ClusterSpec::cluster_a());
+    let config = max_resource_allocation(engine.cluster(), &app);
+    let (_, profile) = engine.run(&app, &config, 42);
+    BenchContext { engine, app, config, profile }
+}

@@ -1,0 +1,342 @@
+//! The BO/GBO tuning loop.
+
+use relm_common::{MemoryConfig, Result, Rng};
+use relm_core::QModel;
+use relm_profile::derive_stats;
+use relm_surrogate::{maximize_ei, Forest, ForestParams, Gp, Surrogate};
+use relm_tune::{recommendation, ConfigSpace, Recommendation, Tuner, TuningEnv};
+use serde::{Deserialize, Serialize};
+
+/// Which surrogate model the optimizer fits (§6.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SurrogateKind {
+    /// Gaussian process (the default, with confidence-bound guarantees).
+    GaussianProcess,
+    /// Random forest (better at non-linear interactions, heuristic
+    /// uncertainty).
+    RandomForest,
+}
+
+/// Optimizer settings.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoConfig {
+    /// Bootstrap samples drawn by Latin Hypercube Sampling — the paper uses
+    /// 4, matching the dimensionality of the space.
+    pub bootstrap_samples: usize,
+    /// Minimum adaptive samples before the stopping rule can fire
+    /// (CherryPick's 6).
+    pub min_adaptive_samples: usize,
+    /// Stop when the maximum expected improvement falls below this fraction
+    /// of the incumbent's objective (10%).
+    pub ei_threshold: f64,
+    /// Hard cap on adaptive iterations.
+    pub max_iterations: usize,
+    /// Surrogate model.
+    pub surrogate: SurrogateKind,
+}
+
+impl Default for BoConfig {
+    fn default() -> Self {
+        BoConfig {
+            bootstrap_samples: 4,
+            min_adaptive_samples: 6,
+            ei_threshold: 0.1,
+            max_iterations: 24,
+            surrogate: SurrogateKind::GaussianProcess,
+        }
+    }
+}
+
+/// One optimizer step, for the convergence plots (Figure 20, Table 9).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoStep {
+    /// The point in the unit hypercube.
+    pub x: Vec<f64>,
+    /// The decoded configuration.
+    pub config: MemoryConfig,
+    /// The objective value observed.
+    pub score_mins: f64,
+    /// Whether this was a bootstrap (LHS) sample.
+    pub bootstrap: bool,
+    /// The EI the acquisition assigned (bootstrap samples have none).
+    pub ei: Option<f64>,
+}
+
+/// The Bayesian optimizer. `guided = true` turns it into GBO.
+#[derive(Debug, Clone)]
+pub struct BayesOpt {
+    cfg: BoConfig,
+    guided: bool,
+    seed: u64,
+    trace: Vec<BoStep>,
+    q_locked: bool,
+    warm_start: Vec<(Vec<f64>, f64)>,
+}
+
+impl BayesOpt {
+    /// Vanilla BO.
+    pub fn new(seed: u64) -> Self {
+        BayesOpt { cfg: BoConfig::default(), guided: false, seed, trace: Vec::new(), q_locked: false, warm_start: Vec::new() }
+    }
+
+    /// Guided BO (§5.2).
+    pub fn guided(seed: u64) -> Self {
+        BayesOpt { cfg: BoConfig::default(), guided: true, seed, trace: Vec::new(), q_locked: false, warm_start: Vec::new() }
+    }
+
+    /// Overrides the optimizer settings.
+    pub fn with_config(mut self, cfg: BoConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Warm-starts the surrogate with observations from a previously tuned,
+    /// similar workload (OtterTune-style model reuse, §6.6). The seeded
+    /// observations inform the model but cost no stress tests; they replace
+    /// the LHS bootstrap.
+    pub fn with_warm_start(mut self, observations: Vec<(Vec<f64>, f64)>) -> Self {
+        self.warm_start = observations;
+        self
+    }
+
+    /// The step trace of the last tuning session.
+    pub fn trace(&self) -> &[BoStep] {
+        &self.trace
+    }
+
+    /// Whether this instance runs guided.
+    pub fn is_guided(&self) -> bool {
+        self.guided
+    }
+
+    /// Builds the surrogate's feature vector for a point: the raw
+    /// coordinates, extended with model-Q metrics when guided.
+    pub fn features(space: &ConfigSpace, q: Option<&QModel>, x: &[f64]) -> Vec<f64> {
+        let mut f = x.to_vec();
+        if let Some(q) = q {
+            let config = space.decode(x);
+            f.extend(q.q(&config));
+        }
+        f
+    }
+
+    fn fit_surrogate(
+        &self,
+        features: &[Vec<f64>],
+        scores: &[f64],
+        iter: usize,
+    ) -> Result<Box<dyn Surrogate>> {
+        match self.cfg.surrogate {
+            SurrogateKind::GaussianProcess => Ok(Box::new(Gp::fit(
+                features.to_vec(),
+                scores,
+                self.seed ^ (iter as u64) << 8,
+            )?)),
+            SurrogateKind::RandomForest => Ok(Box::new(Forest::fit(
+                features,
+                scores,
+                ForestParams::default(),
+                self.seed ^ (iter as u64) << 8,
+            )?)),
+        }
+    }
+}
+
+/// Adapter: a surrogate over extended features exposed as a surrogate over
+/// the raw 4-dimensional space (Q metrics are deterministic functions of the
+/// configuration, so they are appended on the fly during acquisition).
+struct SpaceSurrogate<'a> {
+    inner: &'a dyn Surrogate,
+    space: &'a ConfigSpace,
+    q: Option<&'a QModel>,
+}
+
+impl Surrogate for SpaceSurrogate<'_> {
+    fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let f = BayesOpt::features(self.space, self.q, x);
+        self.inner.predict(&f)
+    }
+}
+
+impl Tuner for BayesOpt {
+    fn name(&self) -> &'static str {
+        if self.guided {
+            "GBO"
+        } else {
+            match self.cfg.surrogate {
+                SurrogateKind::GaussianProcess => "BO",
+                SurrogateKind::RandomForest => "BO-RF",
+            }
+        }
+    }
+
+    fn tune(&mut self, env: &mut TuningEnv) -> Result<Recommendation> {
+        self.trace.clear();
+        self.q_locked = false;
+        let mut rng = Rng::new(self.seed);
+        let space = env.space().clone();
+        let dims = 4;
+
+        // Bootstrap with LHS samples — unless a warm start from a mapped
+        // prior workload replaces them; GBO derives the white-box model from
+        // the first bootstrap run's profile.
+        let bootstrap_n =
+            if self.warm_start.is_empty() { self.cfg.bootstrap_samples } else { 1 };
+        let lhs = relm_surrogate::latin_hypercube(bootstrap_n, dims, &mut rng);
+        let mut xs: Vec<Vec<f64>> = Vec::new();
+        let mut scores: Vec<f64> = Vec::new();
+        let mut qmodel: Option<QModel> = None;
+        for (x, y) in self.warm_start.clone() {
+            xs.push(x);
+            scores.push(y);
+        }
+
+        for x in lhs {
+            let config = space.decode(&x);
+            let (obs, profile) = env.evaluate_profiled(&config);
+            // GBO's guiding model comes from "a prior execution, not
+            // necessarily using the same configuration" (§5.2). Prefer the
+            // first *successful* bootstrap run — an aborted run's truncated
+            // profile would poison the guidance — falling back to whatever
+            // profile exists if every bootstrap run failed.
+            if self.guided && !self.q_locked {
+                qmodel = Some(QModel::new(derive_stats(&profile), relm_core::DEFAULT_SAFETY));
+                self.q_locked = !obs.result.aborted;
+            }
+            self.trace.push(BoStep {
+                x: x.clone(),
+                config,
+                score_mins: obs.score_mins,
+                bootstrap: true,
+                ei: None,
+            });
+            xs.push(x);
+            scores.push(obs.score_mins);
+        }
+
+        // Adaptive sampling.
+        let mut adaptive = 0usize;
+        while adaptive < self.cfg.max_iterations {
+            let features: Vec<Vec<f64>> = xs
+                .iter()
+                .map(|x| Self::features(&space, qmodel.as_ref(), x))
+                .collect();
+            let surrogate = self.fit_surrogate(&features, &scores, adaptive)?;
+            let tau = scores.iter().cloned().fold(f64::INFINITY, f64::min);
+
+            let wrapped =
+                SpaceSurrogate { inner: surrogate.as_ref(), space: &space, q: qmodel.as_ref() };
+            let (x_next, ei) = maximize_ei(&wrapped, dims, tau, &mut rng);
+
+            let config = space.decode(&x_next);
+            let obs = env.evaluate(&config);
+            self.trace.push(BoStep {
+                x: x_next.clone(),
+                config,
+                score_mins: obs.score_mins,
+                bootstrap: false,
+                ei: Some(ei),
+            });
+            xs.push(x_next);
+            scores.push(obs.score_mins);
+            adaptive += 1;
+
+            // CherryPick stopping rule: enough adaptive samples and the
+            // expected improvement has fallen below 10% of the incumbent.
+            if adaptive >= self.cfg.min_adaptive_samples && ei < self.cfg.ei_threshold * tau {
+                break;
+            }
+        }
+
+        let best = env
+            .best()
+            .ok_or_else(|| relm_common::Error::Tuning("no observations".into()))?
+            .config;
+        Ok(recommendation(self.name(), env, best))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relm_app::Engine;
+    use relm_cluster::ClusterSpec;
+    use relm_workloads::{max_resource_allocation, sortbykey, svm};
+
+    fn env(app: relm_app::AppSpec, seed: u64) -> TuningEnv {
+        TuningEnv::new(Engine::new(ClusterSpec::cluster_a()), app, seed)
+    }
+
+    #[test]
+    fn bo_respects_bootstrap_and_minimum_samples() {
+        let mut e = env(sortbykey(), 1);
+        let mut bo = BayesOpt::new(1);
+        let rec = bo.tune(&mut e).unwrap();
+        // 4 bootstrap + at least 6 adaptive.
+        assert!(rec.evaluations >= 10, "evaluations = {}", rec.evaluations);
+        assert!(rec.evaluations <= 4 + 24);
+        let bootstraps = bo.trace().iter().filter(|s| s.bootstrap).count();
+        assert_eq!(bootstraps, 4);
+    }
+
+    #[test]
+    fn bo_improves_on_the_default() {
+        let mut e = env(sortbykey(), 2);
+        let rec = BayesOpt::new(7).tune(&mut e).unwrap();
+        let engine = Engine::new(ClusterSpec::cluster_a());
+        let app = sortbykey();
+        let default = max_resource_allocation(engine.cluster(), &app);
+        let (d, _) = engine.run(&app, &default, 900);
+        let (b, _) = engine.run(&app, &rec.config, 900);
+        assert!(
+            b.runtime_mins() <= d.runtime_mins() * 1.05,
+            "BO ({}) should not lose to the default ({})",
+            b.runtime_mins(),
+            d.runtime_mins()
+        );
+    }
+
+    #[test]
+    fn gbo_uses_q_features() {
+        let mut e = env(svm(), 3);
+        let mut gbo = BayesOpt::guided(3);
+        let rec = gbo.tune(&mut e).unwrap();
+        assert!(gbo.is_guided());
+        assert_eq!(rec.policy, "GBO");
+        assert!(rec.evaluations >= 10);
+    }
+
+    #[test]
+    fn forest_surrogate_works() {
+        let mut e = env(sortbykey(), 4);
+        let mut bo = BayesOpt::new(4).with_config(BoConfig {
+            surrogate: SurrogateKind::RandomForest,
+            max_iterations: 8,
+            ..BoConfig::default()
+        });
+        let rec = bo.tune(&mut e).unwrap();
+        assert_eq!(rec.policy, "BO-RF");
+        assert!(rec.evaluations >= 10);
+    }
+
+    #[test]
+    fn trace_is_reproducible_given_seeds() {
+        let mut e1 = env(sortbykey(), 5);
+        let mut e2 = env(sortbykey(), 5);
+        let mut a = BayesOpt::new(11);
+        let mut b = BayesOpt::new(11);
+        let ra = a.tune(&mut e1).unwrap();
+        let rb = b.tune(&mut e2).unwrap();
+        assert_eq!(ra.config, rb.config);
+        assert_eq!(a.trace().len(), b.trace().len());
+    }
+
+    #[test]
+    fn features_extend_with_q_when_guided() {
+        let cluster = ClusterSpec::cluster_a();
+        let space = ConfigSpace::for_app(&cluster, &svm());
+        let x = [0.3, 0.5, 0.7, 0.2];
+        let plain = BayesOpt::features(&space, None, &x);
+        assert_eq!(plain.len(), 4);
+    }
+}

@@ -1,0 +1,146 @@
+//! OtterTune-style model reuse (§6.6): "OtterTune re-uses the Bayesian
+//! model trained on a prior workload by mapping the present workload based
+//! on the measurements of a set of external performance metrics. The
+//! OtterTune strategy is replicated in our setup by matching two
+//! applications based on the performance statistics derived on the default
+//! configuration."
+//!
+//! A [`ModelRepository`] stores the (statistics fingerprint, observation
+//! history) of past tuning sessions; a new session fingerprints its workload
+//! from one default-configuration profile, retrieves the nearest past
+//! workload, and warm-starts the Gaussian process with its observations.
+//! As §6.6 notes, "the saved regression models cannot be adapted to changes
+//! in hardware configuration and input data" — the repository is keyed to a
+//! cluster.
+
+use relm_profile::DerivedStats;
+use serde::{Deserialize, Serialize};
+
+/// The fingerprint used for workload matching: the Table-6 statistics,
+/// normalized to dimensionless features.
+pub fn stats_fingerprint(stats: &DerivedStats) -> [f64; 8] {
+    let heap = stats.heap.as_mb().max(1.0);
+    [
+        stats.cpu_avg / 100.0,
+        stats.disk_avg / 100.0,
+        stats.m_i.as_mb() / heap,
+        stats.m_c.as_mb() / heap,
+        stats.m_s.as_mb() / heap,
+        stats.m_u.as_mb() / heap,
+        stats.h,
+        stats.s,
+    ]
+}
+
+/// One stored tuning session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StoredModel {
+    /// Workload name (informational).
+    pub workload: String,
+    /// Fingerprint of the workload under the default configuration.
+    pub fingerprint: [f64; 8],
+    /// Encoded observations `(x ∈ [0,1]^4, objective minutes)`.
+    pub observations: Vec<(Vec<f64>, f64)>,
+}
+
+/// A repository of past tuning sessions for one cluster.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ModelRepository {
+    models: Vec<StoredModel>,
+}
+
+impl ModelRepository {
+    /// Creates an empty repository.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a finished session.
+    pub fn store(
+        &mut self,
+        workload: &str,
+        stats: &DerivedStats,
+        observations: Vec<(Vec<f64>, f64)>,
+    ) {
+        self.models.push(StoredModel {
+            workload: workload.to_owned(),
+            fingerprint: stats_fingerprint(stats),
+            observations,
+        });
+    }
+
+    /// Number of stored sessions.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// True if nothing has been stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Finds the stored workload closest to the given statistics
+    /// (Euclidean distance between fingerprints).
+    pub fn nearest(&self, stats: &DerivedStats) -> Option<&StoredModel> {
+        let f = stats_fingerprint(stats);
+        self.models.iter().min_by(|a, b| {
+            let da = distance(&a.fingerprint, &f);
+            let db = distance(&b.fingerprint, &f);
+            da.partial_cmp(&db).expect("NaN distance")
+        })
+    }
+}
+
+fn distance(a: &[f64; 8], b: &[f64; 8]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relm_common::Mem;
+
+    fn stats(m_c: f64, m_u: f64, h: f64) -> DerivedStats {
+        DerivedStats {
+            containers_per_node: 1,
+            heap: Mem::mb(4404.0),
+            cpu_avg: 20.0,
+            disk_avg: 10.0,
+            m_i: Mem::mb(110.0),
+            m_c: Mem::mb(m_c),
+            m_s: Mem::ZERO,
+            m_u: Mem::mb(m_u),
+            p: 2,
+            h,
+            s: 0.0,
+            m_u_from_full_gc: true,
+        }
+    }
+
+    #[test]
+    fn nearest_matches_by_statistics() {
+        let mut repo = ModelRepository::new();
+        repo.store("cache-heavy", &stats(2500.0, 400.0, 0.5), vec![(vec![0.1; 4], 10.0)]);
+        repo.store("shuffle-app", &stats(0.0, 100.0, 1.0), vec![(vec![0.9; 4], 3.0)]);
+
+        let query = stats(2300.0, 350.0, 0.55); // looks like the cache app
+        let hit = repo.nearest(&query).unwrap();
+        assert_eq!(hit.workload, "cache-heavy");
+
+        let query = stats(0.0, 120.0, 1.0);
+        assert_eq!(repo.nearest(&query).unwrap().workload, "shuffle-app");
+    }
+
+    #[test]
+    fn empty_repository_has_no_match() {
+        let repo = ModelRepository::new();
+        assert!(repo.nearest(&stats(1.0, 1.0, 1.0)).is_none());
+        assert!(repo.is_empty());
+    }
+
+    #[test]
+    fn fingerprints_are_dimensionless() {
+        let f = stats_fingerprint(&stats(2200.0, 440.0, 0.3));
+        assert!(f.iter().all(|v| v.is_finite() && *v >= 0.0 && *v <= 1.5), "{f:?}");
+    }
+}

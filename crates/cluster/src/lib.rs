@@ -1,0 +1,13 @@
+//! # relm-cluster
+//!
+//! The resource-management substrate: worker-node hardware descriptions
+//! (Table 3's Cluster A and Cluster B), the carving of node memory into
+//! homogeneous containers (Figure 1), and a YARN-like resource manager that
+//! enforces per-container physical-memory limits by killing containers whose
+//! resident set size exceeds their cap, then granting replacements.
+
+pub mod rm;
+pub mod spec;
+
+pub use rm::{ContainerEvent, ResourceManager};
+pub use spec::{ClusterSpec, ContainerSpec};

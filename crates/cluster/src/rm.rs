@@ -1,0 +1,133 @@
+//! A YARN-like resource manager.
+//!
+//! The manager's role in the simulation is the failure semantics of §3.1:
+//! it kills containers whose physical memory usage (RSS) exceeds the preset
+//! cap, grants replacement containers after a delay, and lets the framework
+//! retry the failed tasks. Out-of-memory errors inside the JVM are reported
+//! by the application itself but are accounted for here too, so a run's
+//! failure tally is in one place.
+
+use crate::spec::ContainerSpec;
+use relm_common::{Mem, Millis};
+use serde::{Deserialize, Serialize};
+
+/// Why a container went down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ContainerEvent {
+    /// The JVM threw `OutOfMemoryError`.
+    OutOfMemory,
+    /// The resource manager killed the container for exceeding its
+    /// physical-memory cap.
+    RssKill,
+}
+
+/// Failure bookkeeping for one application run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ResourceManager {
+    events: Vec<(Millis, ContainerEvent)>,
+    /// Delay before a replacement container is running again.
+    replacement_delay: Millis,
+}
+
+impl ResourceManager {
+    /// Creates a manager with the default replacement delay (container
+    /// re-request, scheduling, and JVM start).
+    pub fn new() -> Self {
+        ResourceManager { events: Vec::new(), replacement_delay: Millis::secs(12.0) }
+    }
+
+    /// Checks a container's RSS against its cap; if exceeded, records a kill
+    /// and returns the replacement delay to charge to the run.
+    pub fn check_rss(
+        &mut self,
+        now: Millis,
+        container: &ContainerSpec,
+        rss: Mem,
+    ) -> Option<Millis> {
+        if rss > container.phys_cap {
+            self.events.push((now, ContainerEvent::RssKill));
+            Some(self.replacement_delay)
+        } else {
+            None
+        }
+    }
+
+    /// Records an out-of-memory container failure and returns the
+    /// replacement delay.
+    pub fn report_oom(&mut self, now: Millis) -> Millis {
+        self.events.push((now, ContainerEvent::OutOfMemory));
+        self.replacement_delay
+    }
+
+    /// Total container failures of either kind.
+    pub fn failures(&self) -> u32 {
+        self.events.len() as u32
+    }
+
+    /// Count of out-of-memory failures.
+    pub fn oom_failures(&self) -> u32 {
+        self.events.iter().filter(|(_, e)| *e == ContainerEvent::OutOfMemory).count() as u32
+    }
+
+    /// Count of RSS-cap kills.
+    pub fn rss_kills(&self) -> u32 {
+        self.events.iter().filter(|(_, e)| *e == ContainerEvent::RssKill).count() as u32
+    }
+
+    /// The raw failure log.
+    pub fn events(&self) -> &[(Millis, ContainerEvent)] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn container() -> ContainerSpec {
+        ContainerSpec {
+            heap: Mem::mb(4404.0),
+            phys_cap: Mem::mb(5400.0),
+            cores_share: 8.0,
+            disk_mb_per_s_share: 180.0,
+            net_mb_per_s_share: 120.0,
+        }
+    }
+
+    #[test]
+    fn rss_within_cap_is_fine() {
+        let mut rm = ResourceManager::new();
+        assert!(rm.check_rss(Millis::ZERO, &container(), Mem::mb(5000.0)).is_none());
+        assert_eq!(rm.failures(), 0);
+    }
+
+    #[test]
+    fn rss_over_cap_kills() {
+        let mut rm = ResourceManager::new();
+        let delay = rm.check_rss(Millis::secs(5.0), &container(), Mem::mb(5600.0));
+        assert!(delay.is_some());
+        assert_eq!(rm.rss_kills(), 1);
+        assert_eq!(rm.oom_failures(), 0);
+        assert_eq!(rm.failures(), 1);
+    }
+
+    #[test]
+    fn oom_is_recorded_separately() {
+        let mut rm = ResourceManager::new();
+        let delay = rm.report_oom(Millis::secs(1.0));
+        assert!(delay > Millis::ZERO);
+        assert_eq!(rm.oom_failures(), 1);
+        assert_eq!(rm.rss_kills(), 0);
+    }
+
+    #[test]
+    fn event_log_keeps_order() {
+        let mut rm = ResourceManager::new();
+        rm.report_oom(Millis::secs(1.0));
+        rm.check_rss(Millis::secs(2.0), &container(), Mem::mb(9999.0));
+        let events = rm.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].1, ContainerEvent::OutOfMemory);
+        assert_eq!(events[1].1, ContainerEvent::RssKill);
+    }
+}

@@ -1,0 +1,177 @@
+//! Cluster hardware descriptions and container carving.
+
+use relm_common::Mem;
+use serde::{Deserialize, Serialize};
+
+/// A homogeneous cluster of worker nodes (Table 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Human-readable name ("Cluster A", "Cluster B").
+    pub name: String,
+    /// Number of worker nodes.
+    pub nodes: u32,
+    /// Physical memory of each node.
+    pub mem_per_node: Mem,
+    /// Physical CPU cores per node.
+    pub cores_per_node: u32,
+    /// Aggregate disk bandwidth per node (MB/s).
+    pub disk_mb_per_s: f64,
+    /// Network bandwidth per node (MB/s).
+    pub net_mb_per_s: f64,
+    /// The maximum heap budget the resource manager can hand out per node
+    /// (node memory minus OS and node-manager overheads). On Cluster A this
+    /// is 4404 MB — the heap `MaxResourceAllocation` grants a single fat
+    /// container (Table 4).
+    pub heap_budget_per_node: Mem,
+    /// Per-container physical-memory overhead allowance beyond the heap
+    /// (YARN's `memoryOverhead`): the physical cap of a container is
+    /// `heap + max(min_overhead, overhead_fraction * heap)`.
+    pub min_container_overhead: Mem,
+    /// Fractional part of the overhead allowance.
+    pub container_overhead_fraction: f64,
+}
+
+impl ClusterSpec {
+    /// The physical 8-node evaluation cluster of the paper (Table 3),
+    /// mimicking EC2 m4.large nodes.
+    pub fn cluster_a() -> Self {
+        ClusterSpec {
+            name: "Cluster A".to_owned(),
+            nodes: 8,
+            mem_per_node: Mem::gb(6.0),
+            cores_per_node: 8,
+            disk_mb_per_s: 180.0,
+            net_mb_per_s: 120.0, // 1 Gbps
+            heap_budget_per_node: Mem::mb(4404.0),
+            min_container_overhead: Mem::mb(720.0),
+            container_overhead_fraction: 0.26,
+        }
+    }
+
+    /// The virtual 4-node EC2 cluster of the paper (Table 3).
+    pub fn cluster_b() -> Self {
+        ClusterSpec {
+            name: "Cluster B".to_owned(),
+            nodes: 4,
+            mem_per_node: Mem::gb(32.0),
+            cores_per_node: 16, // 31 ECU ~ 16 vCPUs
+            disk_mb_per_s: 320.0,
+            net_mb_per_s: 1200.0, // 10 Gbps
+            heap_budget_per_node: Mem::gb(16.0),
+            min_container_overhead: Mem::mb(1024.0),
+            container_overhead_fraction: 0.2,
+        }
+    }
+
+    /// The heap each container receives when the node is split into
+    /// `containers_per_node` homogeneous containers.
+    pub fn heap_for(&self, containers_per_node: u32) -> Mem {
+        self.heap_budget_per_node / containers_per_node.max(1) as f64
+    }
+
+    /// Enumerates the feasible `(containers per node, heap size)` choices.
+    /// The paper allows 1 to 4 containers per node (§6.1).
+    pub fn container_options(&self) -> Vec<(u32, Mem)> {
+        (1..=4).map(|n| (n, self.heap_for(n))).collect()
+    }
+
+    /// Builds the container description for a given split.
+    pub fn container(&self, containers_per_node: u32) -> ContainerSpec {
+        let n = containers_per_node.max(1);
+        let heap = self.heap_for(n);
+        let overhead = (heap * self.container_overhead_fraction).max(self.min_container_overhead);
+        ContainerSpec {
+            heap,
+            phys_cap: heap + overhead,
+            cores_share: self.cores_per_node as f64 / n as f64,
+            disk_mb_per_s_share: self.disk_mb_per_s / n as f64,
+            net_mb_per_s_share: self.net_mb_per_s / n as f64,
+        }
+    }
+
+    /// Total containers across the cluster for a given split.
+    pub fn total_containers(&self, containers_per_node: u32) -> u32 {
+        self.nodes * containers_per_node.max(1)
+    }
+
+    /// Upper bound for Task Concurrency given the split: one task per
+    /// physical core (§6.1: "the Task Concurrency value can range from 1 to
+    /// the ratio of the physical cores to the number of containers").
+    pub fn max_task_concurrency(&self, containers_per_node: u32) -> u32 {
+        (self.cores_per_node / containers_per_node.max(1)).max(1)
+    }
+}
+
+/// The resources of one container.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContainerSpec {
+    /// JVM heap.
+    pub heap: Mem,
+    /// Physical-memory cap enforced by the resource manager; exceeding it
+    /// gets the container killed.
+    pub phys_cap: Mem,
+    /// Share of the node's physical cores.
+    pub cores_share: f64,
+    /// Share of the node's disk bandwidth (MB/s).
+    pub disk_mb_per_s_share: f64,
+    /// Share of the node's network bandwidth (MB/s).
+    pub net_mb_per_s_share: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_a_matches_table_4() {
+        let a = ClusterSpec::cluster_a();
+        let options = a.container_options();
+        assert_eq!(options.len(), 4);
+        assert_eq!(options[0], (1, Mem::mb(4404.0)));
+        assert_eq!(options[1], (2, Mem::mb(2202.0)));
+        assert_eq!(options[2], (3, Mem::mb(1468.0)));
+        assert_eq!(options[3], (4, Mem::mb(1101.0)));
+    }
+
+    #[test]
+    fn container_resources_split_evenly() {
+        let a = ClusterSpec::cluster_a();
+        let c2 = a.container(2);
+        assert_eq!(c2.heap, Mem::mb(2202.0));
+        assert_eq!(c2.cores_share, 4.0);
+        assert!(c2.phys_cap > c2.heap, "physical cap must leave off-heap headroom");
+    }
+
+    #[test]
+    fn phys_cap_headroom_shrinks_with_more_containers() {
+        let a = ClusterSpec::cluster_a();
+        let h1 = a.container(1).phys_cap - a.container(1).heap;
+        let h4 = a.container(4).phys_cap - a.container(4).heap;
+        assert!(h1 > h4);
+    }
+
+    #[test]
+    fn concurrency_bounds_follow_cores() {
+        let a = ClusterSpec::cluster_a();
+        assert_eq!(a.max_task_concurrency(1), 8);
+        assert_eq!(a.max_task_concurrency(2), 4);
+        assert_eq!(a.max_task_concurrency(4), 2);
+        let b = ClusterSpec::cluster_b();
+        assert_eq!(b.max_task_concurrency(1), 16);
+    }
+
+    #[test]
+    fn total_containers() {
+        assert_eq!(ClusterSpec::cluster_a().total_containers(3), 24);
+        assert_eq!(ClusterSpec::cluster_b().total_containers(2), 8);
+    }
+
+    #[test]
+    fn cluster_b_is_bigger_per_node() {
+        let a = ClusterSpec::cluster_a();
+        let b = ClusterSpec::cluster_b();
+        assert!(b.mem_per_node > a.mem_per_node);
+        assert!(b.net_mb_per_s > a.net_mb_per_s);
+        assert!(b.nodes < a.nodes);
+    }
+}

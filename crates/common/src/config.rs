@@ -1,0 +1,197 @@
+//! The canonical memory-management configuration (Table 1 of the paper).
+//!
+//! A [`MemoryConfig`] fixes every knob the paper tunes:
+//! containers per node (resource-manager level), heap size and task
+//! concurrency (container level), cache/shuffle capacities (application
+//! level), and `NewRatio`/`SurvivorRatio` (JVM level).
+
+use crate::Mem;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A complete assignment of the memory-management knobs of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryConfig {
+    /// Number of homogeneous containers carved out of each worker node.
+    pub containers_per_node: u32,
+    /// JVM heap size of each container.
+    pub heap: Mem,
+    /// Number of tasks running concurrently inside one container
+    /// (the number of execution *slots*).
+    pub task_concurrency: u32,
+    /// Cache Storage capacity as a fraction of heap
+    /// (`spark.memory.fraction`'s storage share).
+    pub cache_fraction: f64,
+    /// Task Shuffle capacity as a fraction of heap
+    /// (`spark.memory.fraction`'s execution share).
+    pub shuffle_fraction: f64,
+    /// Ratio of the Old generation capacity to the Young generation capacity.
+    pub new_ratio: u32,
+    /// Ratio of the Eden capacity to one Survivor space's capacity.
+    pub survivor_ratio: u32,
+}
+
+impl MemoryConfig {
+    /// The fraction of heap handed to the unified memory pool
+    /// (cache + shuffle), mirroring Spark's unified memory manager.
+    pub fn unified_fraction(&self) -> f64 {
+        self.cache_fraction + self.shuffle_fraction
+    }
+
+    /// Cache Storage pool capacity in absolute terms.
+    pub fn cache_capacity(&self) -> Mem {
+        self.heap * self.cache_fraction
+    }
+
+    /// Task Shuffle pool capacity in absolute terms.
+    pub fn shuffle_capacity(&self) -> Mem {
+        self.heap * self.shuffle_fraction
+    }
+
+    /// Old generation capacity implied by `NewRatio`:
+    /// `old = heap * NR / (NR + 1)`.
+    pub fn old_capacity(&self) -> Mem {
+        self.heap * (self.new_ratio as f64 / (self.new_ratio as f64 + 1.0))
+    }
+
+    /// Young generation capacity implied by `NewRatio`.
+    pub fn young_capacity(&self) -> Mem {
+        self.heap * (1.0 / (self.new_ratio as f64 + 1.0))
+    }
+
+    /// Eden capacity implied by `NewRatio` and `SurvivorRatio`:
+    /// `eden = young * (SR - 2) / SR` — wait, Eden plus two survivor spaces
+    /// make up Young, with `eden / survivor = SR`, so
+    /// `eden = young * SR / (SR + 2)`.
+    ///
+    /// The paper's Equation 3 instead uses the widely quoted HotSpot
+    /// approximation `eden = young * (SR - 2) / SR`; the *analytical models*
+    /// in `relm-core` follow the paper's formula verbatim, while the JVM
+    /// simulator uses the exact layout. The two agree within a few percent
+    /// for the default `SR = 8`.
+    pub fn eden_capacity(&self) -> Mem {
+        let sr = self.survivor_ratio as f64;
+        self.young_capacity() * (sr / (sr + 2.0))
+    }
+
+    /// One survivor space's capacity.
+    pub fn survivor_capacity(&self) -> Mem {
+        let sr = self.survivor_ratio as f64;
+        self.young_capacity() * (1.0 / (sr + 2.0))
+    }
+
+    /// Validates internal consistency: positive pools, fractions in `[0, 1]`,
+    /// and the unified pool not exceeding the heap.
+    pub fn validate(&self) -> crate::Result<()> {
+        use crate::Error;
+        if self.containers_per_node == 0 {
+            return Err(Error::InvalidConfig("containers_per_node must be >= 1".into()));
+        }
+        if self.task_concurrency == 0 {
+            return Err(Error::InvalidConfig("task_concurrency must be >= 1".into()));
+        }
+        if self.heap.is_zero() {
+            return Err(Error::InvalidConfig("heap must be positive".into()));
+        }
+        if !(0.0..=1.0).contains(&self.cache_fraction) {
+            return Err(Error::InvalidConfig("cache_fraction must be in [0, 1]".into()));
+        }
+        if !(0.0..=1.0).contains(&self.shuffle_fraction) {
+            return Err(Error::InvalidConfig("shuffle_fraction must be in [0, 1]".into()));
+        }
+        if self.unified_fraction() > 1.0 {
+            return Err(Error::InvalidConfig(
+                "cache_fraction + shuffle_fraction must not exceed 1".into(),
+            ));
+        }
+        if self.new_ratio == 0 {
+            return Err(Error::InvalidConfig("new_ratio must be >= 1".into()));
+        }
+        if self.survivor_ratio < 1 {
+            return Err(Error::InvalidConfig("survivor_ratio must be >= 1".into()));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for MemoryConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "N={} heap={} p={} cache={:.2} shuffle={:.2} NR={} SR={}",
+            self.containers_per_node,
+            self.heap,
+            self.task_concurrency,
+            self.cache_fraction,
+            self.shuffle_fraction,
+            self.new_ratio,
+            self.survivor_ratio
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MemoryConfig {
+        MemoryConfig {
+            containers_per_node: 1,
+            heap: Mem::mb(4404.0),
+            task_concurrency: 2,
+            cache_fraction: 0.3,
+            shuffle_fraction: 0.3,
+            new_ratio: 2,
+            survivor_ratio: 8,
+        }
+    }
+
+    #[test]
+    fn pool_arithmetic() {
+        let c = cfg();
+        assert!((c.old_capacity().as_mb() - 2936.0).abs() < 1.0);
+        assert!((c.young_capacity().as_mb() - 1468.0).abs() < 1.0);
+        // eden + 2 survivors = young
+        let young = c.eden_capacity() + c.survivor_capacity() * 2.0;
+        assert!((young.as_mb() - c.young_capacity().as_mb()).abs() < 1e-9);
+        // eden / survivor = SR
+        assert!((c.eden_capacity() / c.survivor_capacity() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unified_pool() {
+        let c = cfg();
+        assert!((c.unified_fraction() - 0.6).abs() < 1e-12);
+        assert!((c.cache_capacity().as_mb() - 4404.0 * 0.3).abs() < 1e-9);
+        assert!((c.shuffle_capacity().as_mb() - 4404.0 * 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_accepts_good_config() {
+        assert!(cfg().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut c = cfg();
+        c.containers_per_node = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = cfg();
+        c.task_concurrency = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = cfg();
+        c.cache_fraction = 0.7;
+        c.shuffle_fraction = 0.7;
+        assert!(c.validate().is_err());
+
+        let mut c = cfg();
+        c.new_ratio = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = cfg();
+        c.heap = Mem::ZERO;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! Error types shared by the workspace.
+
+use std::fmt;
+
+/// Errors produced by the simulator and tuners.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A configuration failed validation (e.g. zero containers, pool
+    /// fractions exceeding the heap).
+    InvalidConfig(String),
+    /// An application profile is unusable for the requested analysis
+    /// (e.g. no full-GC events when estimating Task Unmanaged memory).
+    InvalidProfile(String),
+    /// A numerical routine failed (e.g. Cholesky on a non-PD matrix).
+    Numerical(String),
+    /// A tuner could not produce a recommendation.
+    Tuning(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            Error::InvalidProfile(m) => write!(f, "invalid profile: {m}"),
+            Error::Numerical(m) => write!(f, "numerical error: {m}"),
+            Error::Tuning(m) => write!(f, "tuning error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias for this workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::InvalidConfig("heap must be positive".into());
+        assert!(e.to_string().contains("heap must be positive"));
+        let e = Error::Numerical("not positive definite".into());
+        assert!(e.to_string().contains("numerical"));
+    }
+}

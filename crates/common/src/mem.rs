@@ -1,0 +1,234 @@
+//! Memory quantities.
+//!
+//! The paper works almost exclusively in megabytes (e.g. Table 4 lists a heap
+//! of 4404 MB), so [`Mem`] stores megabytes as an `f64`. The newtype prevents
+//! accidentally mixing memory quantities with unit-less scalars while staying
+//! cheap to copy.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A quantity of memory, stored internally in megabytes.
+///
+/// `Mem` supports the arithmetic needed by the analytical models in the paper
+/// (addition/subtraction of pools, scaling by fractions, and ratios between
+/// pools which yield plain `f64`s).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Mem(f64);
+
+impl Mem {
+    /// Zero bytes.
+    pub const ZERO: Mem = Mem(0.0);
+
+    /// Creates a quantity from megabytes.
+    #[inline]
+    pub fn mb(mb: f64) -> Self {
+        Mem(mb)
+    }
+
+    /// Creates a quantity from gigabytes.
+    #[inline]
+    pub fn gb(gb: f64) -> Self {
+        Mem(gb * 1024.0)
+    }
+
+    /// Creates a quantity from kilobytes.
+    #[inline]
+    pub fn kb(kb: f64) -> Self {
+        Mem(kb / 1024.0)
+    }
+
+    /// The quantity in megabytes.
+    #[inline]
+    pub fn as_mb(self) -> f64 {
+        self.0
+    }
+
+    /// The quantity in gigabytes.
+    #[inline]
+    pub fn as_gb(self) -> f64 {
+        self.0 / 1024.0
+    }
+
+    /// Clamps negative quantities to zero. Analytical models subtract pools
+    /// from one another; a deficit is reported as zero remaining memory.
+    #[inline]
+    pub fn clamp_non_negative(self) -> Self {
+        Mem(self.0.max(0.0))
+    }
+
+    /// Returns the smaller of two quantities.
+    #[inline]
+    pub fn min(self, other: Mem) -> Mem {
+        Mem(self.0.min(other.0))
+    }
+
+    /// Returns the larger of two quantities.
+    #[inline]
+    pub fn max(self, other: Mem) -> Mem {
+        Mem(self.0.max(other.0))
+    }
+
+    /// True if the quantity is exactly zero (or negative, which models treat
+    /// as "no memory").
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 <= 0.0
+    }
+
+    /// The ratio of `self` to `other` (unit-less). Returns `f64::INFINITY`
+    /// when `other` is zero and `self` positive; `0.0` when both are zero.
+    #[inline]
+    pub fn ratio(self, other: Mem) -> f64 {
+        if other.0 == 0.0 {
+            if self.0 == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.0 / other.0
+        }
+    }
+}
+
+impl Add for Mem {
+    type Output = Mem;
+    #[inline]
+    fn add(self, rhs: Mem) -> Mem {
+        Mem(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Mem {
+    #[inline]
+    fn add_assign(&mut self, rhs: Mem) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Mem {
+    type Output = Mem;
+    #[inline]
+    fn sub(self, rhs: Mem) -> Mem {
+        Mem(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Mem {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Mem) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for Mem {
+    type Output = Mem;
+    #[inline]
+    fn mul(self, rhs: f64) -> Mem {
+        Mem(self.0 * rhs)
+    }
+}
+
+impl Mul<Mem> for f64 {
+    type Output = Mem;
+    #[inline]
+    fn mul(self, rhs: Mem) -> Mem {
+        Mem(self * rhs.0)
+    }
+}
+
+impl Div<f64> for Mem {
+    type Output = Mem;
+    #[inline]
+    fn div(self, rhs: f64) -> Mem {
+        Mem(self.0 / rhs)
+    }
+}
+
+impl Div<Mem> for Mem {
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: Mem) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Neg for Mem {
+    type Output = Mem;
+    #[inline]
+    fn neg(self) -> Mem {
+        Mem(-self.0)
+    }
+}
+
+impl Sum for Mem {
+    fn sum<I: Iterator<Item = Mem>>(iter: I) -> Mem {
+        iter.fold(Mem::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Mem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.abs() >= 1024.0 {
+            write!(f, "{:.2}GB", self.0 / 1024.0)
+        } else {
+            write!(f, "{:.0}MB", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Mem::gb(2.0).as_mb(), 2048.0);
+        assert_eq!(Mem::mb(512.0).as_gb(), 0.5);
+        assert_eq!(Mem::kb(2048.0).as_mb(), 2.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Mem::mb(100.0);
+        let b = Mem::mb(40.0);
+        assert_eq!((a + b).as_mb(), 140.0);
+        assert_eq!((a - b).as_mb(), 60.0);
+        assert_eq!((a * 0.5).as_mb(), 50.0);
+        assert_eq!((a / 4.0).as_mb(), 25.0);
+        assert_eq!(a / b, 2.5);
+        assert_eq!((2.0 * b).as_mb(), 80.0);
+    }
+
+    #[test]
+    fn clamp_and_ratio() {
+        assert_eq!((Mem::mb(10.0) - Mem::mb(20.0)).clamp_non_negative(), Mem::ZERO);
+        assert_eq!(Mem::mb(30.0).ratio(Mem::mb(10.0)), 3.0);
+        assert!(Mem::mb(1.0).ratio(Mem::ZERO).is_infinite());
+        assert_eq!(Mem::ZERO.ratio(Mem::ZERO), 0.0);
+    }
+
+    #[test]
+    fn min_max_and_predicates() {
+        assert_eq!(Mem::mb(3.0).min(Mem::mb(5.0)), Mem::mb(3.0));
+        assert_eq!(Mem::mb(3.0).max(Mem::mb(5.0)), Mem::mb(5.0));
+        assert!(Mem::ZERO.is_zero());
+        assert!(!Mem::mb(1.0).is_zero());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Mem::mb(512.0).to_string(), "512MB");
+        assert_eq!(Mem::gb(2.0).to_string(), "2.00GB");
+    }
+
+    #[test]
+    fn sums() {
+        let total: Mem = [Mem::mb(1.0), Mem::mb(2.0), Mem::mb(3.0)].into_iter().sum();
+        assert_eq!(total, Mem::mb(6.0));
+    }
+}

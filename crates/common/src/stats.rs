@@ -1,0 +1,233 @@
+//! Descriptive statistics used across the profiler, the tuners, and the
+//! evaluation harness: percentiles (Table 6 uses 90th-percentile statistics),
+//! Pearson correlation (§6.5), Spearman rank correlation (Figure 24), and the
+//! coefficient of determination R² (Figure 25).
+
+/// Arithmetic mean. Returns 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance. Returns 0.0 for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Standard error of the mean (used for the error bars in Figure 23).
+pub fn std_error(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    std_dev(xs) / (xs.len() as f64).sqrt()
+}
+
+/// Percentile via linear interpolation between order statistics
+/// (the "exclusive" convention is unnecessary at our sample sizes).
+/// `q` is in `[0, 100]`. Returns 0.0 for an empty slice.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let q = q.clamp(0.0, 100.0) / 100.0;
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = pos - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// Pearson correlation coefficient. Returns 0.0 when either input is
+/// constant or the slices are shorter than 2.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson: length mismatch");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Ranks of the values (average rank for ties), 1-based.
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in ranks input"));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Average rank for the tie group [i, j].
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation coefficient.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Coefficient of determination R² of predictions against observations.
+/// Can be negative when predictions are worse than the mean baseline.
+pub fn r_squared(observed: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(observed.len(), predicted.len(), "r_squared: length mismatch");
+    if observed.is_empty() {
+        return 0.0;
+    }
+    let m = mean(observed);
+    let ss_tot: f64 = observed.iter().map(|y| (y - m).powi(2)).sum();
+    let ss_res: f64 = observed.iter().zip(predicted).map(|(y, f)| (y - f).powi(2)).sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            return 1.0;
+        }
+        return f64::NEG_INFINITY;
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Five-number summary used for the box-whisker plots (Figures 18 and 19).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FiveNumber {
+    pub min: f64,
+    pub q25: f64,
+    pub median: f64,
+    pub q75: f64,
+    pub max: f64,
+}
+
+/// Computes the five-number summary. Returns all-zero for an empty slice.
+pub fn five_number(xs: &[f64]) -> FiveNumber {
+    FiveNumber {
+        min: percentile(xs, 0.0),
+        q25: percentile(xs, 25.0),
+        median: percentile(xs, 50.0),
+        q75: percentile(xs, 75.0),
+        max: percentile(xs, 100.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert_eq!(variance(&xs), 4.0);
+        assert_eq!(std_dev(&xs), 2.0);
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(percentile(&[], 90.0), 0.0);
+        assert_eq!(std_error(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert_eq!(percentile(&xs, 50.0), 2.5);
+        assert!((percentile(&xs, 90.0) - 3.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile(&[42.0], 90.0), 42.0);
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let zs = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &zs) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        assert_eq!(ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [1.0, 8.0, 27.0, 64.0, 125.0];
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_perfect_fit() {
+        let ys = [1.0, 2.0, 3.0];
+        assert_eq!(r_squared(&ys, &ys), 1.0);
+    }
+
+    #[test]
+    fn r_squared_mean_baseline_is_zero() {
+        let ys = [1.0, 2.0, 3.0];
+        let mean_pred = [2.0, 2.0, 2.0];
+        assert!(r_squared(&ys, &mean_pred).abs() < 1e-12);
+    }
+
+    #[test]
+    fn five_number_summary() {
+        let s = five_number(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.q25, 2.0);
+        assert_eq!(s.q75, 4.0);
+    }
+}

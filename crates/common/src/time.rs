@@ -1,0 +1,181 @@
+//! Simulated time.
+//!
+//! The discrete-event simulator advances a wall clock measured in
+//! milliseconds. [`Millis`] is used both for instants and durations; the
+//! distinction is not worth two types at this scale since the simulation
+//! always starts at `t = 0`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A simulated time value (instant or duration) in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Millis(f64);
+
+impl Millis {
+    /// Zero time.
+    pub const ZERO: Millis = Millis(0.0);
+
+    /// Creates a value from milliseconds.
+    #[inline]
+    pub fn ms(ms: f64) -> Self {
+        Millis(ms)
+    }
+
+    /// Creates a value from seconds.
+    #[inline]
+    pub fn secs(s: f64) -> Self {
+        Millis(s * 1_000.0)
+    }
+
+    /// Creates a value from minutes.
+    #[inline]
+    pub fn mins(m: f64) -> Self {
+        Millis(m * 60_000.0)
+    }
+
+    /// The value in milliseconds.
+    #[inline]
+    pub fn as_ms(self) -> f64 {
+        self.0
+    }
+
+    /// The value in seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0 / 1_000.0
+    }
+
+    /// The value in minutes.
+    #[inline]
+    pub fn as_mins(self) -> f64 {
+        self.0 / 60_000.0
+    }
+
+    /// Returns the larger of two values.
+    #[inline]
+    pub fn max(self, other: Millis) -> Millis {
+        Millis(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two values.
+    #[inline]
+    pub fn min(self, other: Millis) -> Millis {
+        Millis(self.0.min(other.0))
+    }
+
+    /// Clamps negative durations to zero.
+    #[inline]
+    pub fn clamp_non_negative(self) -> Millis {
+        Millis(self.0.max(0.0))
+    }
+}
+
+impl Add for Millis {
+    type Output = Millis;
+    #[inline]
+    fn add(self, rhs: Millis) -> Millis {
+        Millis(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Millis {
+    #[inline]
+    fn add_assign(&mut self, rhs: Millis) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Millis {
+    type Output = Millis;
+    #[inline]
+    fn sub(self, rhs: Millis) -> Millis {
+        Millis(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Millis {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Millis) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for Millis {
+    type Output = Millis;
+    #[inline]
+    fn mul(self, rhs: f64) -> Millis {
+        Millis(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Millis {
+    type Output = Millis;
+    #[inline]
+    fn div(self, rhs: f64) -> Millis {
+        Millis(self.0 / rhs)
+    }
+}
+
+impl Div<Millis> for Millis {
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: Millis) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Millis {
+    fn sum<I: Iterator<Item = Millis>>(iter: I) -> Millis {
+        iter.fold(Millis::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Millis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 60_000.0 {
+            write!(f, "{:.1}min", self.as_mins())
+        } else if self.0 >= 1_000.0 {
+            write!(f, "{:.1}s", self.as_secs())
+        } else {
+            write!(f, "{:.1}ms", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Millis::secs(2.0).as_ms(), 2_000.0);
+        assert_eq!(Millis::mins(1.5).as_secs(), 90.0);
+        assert_eq!(Millis::ms(30_000.0).as_mins(), 0.5);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Millis::secs(10.0);
+        let b = Millis::secs(4.0);
+        assert_eq!((a + b).as_secs(), 14.0);
+        assert_eq!((a - b).as_secs(), 6.0);
+        assert_eq!((a * 0.5).as_secs(), 5.0);
+        assert_eq!(a / b, 2.5);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Millis::ms(12.0).to_string(), "12.0ms");
+        assert_eq!(Millis::secs(3.0).to_string(), "3.0s");
+        assert_eq!(Millis::mins(2.0).to_string(), "2.0min");
+    }
+
+    #[test]
+    fn clamp() {
+        assert_eq!((Millis::secs(1.0) - Millis::secs(5.0)).clamp_non_negative(), Millis::ZERO);
+    }
+}

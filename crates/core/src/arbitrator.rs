@@ -1,0 +1,355 @@
+//! The Arbitrator (§4.3, Algorithm 1): resolves contention between the
+//! pools the Initializer sized independently, producing a *safe* and
+//! resource-efficient configuration plus its utility score.
+
+use crate::initializer::{InitialConfig, Initializer};
+use relm_common::{Mem, MemoryConfig};
+use serde::{Deserialize, Serialize};
+
+/// One of the three round-robin arbitration actions (Algorithm 1, lines
+/// 6–9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArbitratorAction {
+    /// Action I: decrease Task Concurrency by 1.
+    DecreaseConcurrency,
+    /// Action II: reduce Cache Storage by `M_u` and re-derive the GC pools.
+    ShrinkCache,
+    /// Action III: grow the Old generation by `M_u` (trading GC overhead
+    /// for safety, Observation 6).
+    GrowOld,
+}
+
+/// A recorded arbitration step (the Figure-13 walkthrough).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArbitratorStep {
+    /// Which action was applied (None when the action's guard failed and it
+    /// was skipped).
+    pub action: ArbitratorAction,
+    /// Whether the action could be applied.
+    pub applied: bool,
+    /// Task Concurrency after the step.
+    pub p: u32,
+    /// Cache Storage after the step.
+    pub cache: Mem,
+    /// Old size after the step.
+    pub old: Mem,
+}
+
+/// The Arbitrator's result for one candidate container size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ArbitratorOutcome {
+    /// The arbitrated configuration.
+    pub config: MemoryConfig,
+    /// Utility score `U = (M_i + m_c + p(M_u + m_s)) / m_h` (line 13).
+    pub utility: f64,
+    /// The step-by-step trace (Figure 13).
+    pub trace: Vec<ArbitratorStep>,
+    /// Final per-task shuffle assignment.
+    pub shuffle_per_task: Mem,
+}
+
+/// Errors the Arbitrator can report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArbitratorError {
+    /// Line 1: even a single task cannot run in this container
+    /// (`M_i + M_u > (1−δ) m_h`).
+    InsufficientMemory,
+    /// No action's guard could make progress (degenerate statistics).
+    Stuck,
+}
+
+/// The Arbitrator.
+#[derive(Debug, Clone, Copy)]
+pub struct Arbitrator {
+    delta: f64,
+}
+
+impl Arbitrator {
+    /// Creates an arbitrator with safety fraction δ.
+    pub fn new(delta: f64) -> Self {
+        Arbitrator { delta }
+    }
+
+    /// Runs Algorithm 1 on an initialized configuration.
+    pub fn arbitrate(
+        &self,
+        init: &Initializer,
+        cfg: &InitialConfig,
+    ) -> Result<ArbitratorOutcome, ArbitratorError> {
+        let stats = *init.stats();
+        let m_h = cfg.heap;
+        let m_i = stats.m_i;
+        let m_u = stats.m_u;
+        let budget = m_h * (1.0 - self.delta);
+
+        // Line 1: bare minimum — one task must fit.
+        if m_i + m_u > budget {
+            return Err(ArbitratorError::InsufficientMemory);
+        }
+
+        let mut p = cfg.task_concurrency.max(1);
+        let mut cache = cfg.cache;
+        let mut old = cfg.old;
+        let mut eden = cfg.eden;
+        let mut trace = Vec::new();
+        let mut next_action = 0usize;
+
+        // When M_u is zero the loop body cannot make progress by shrinking
+        // in M_u-sized chunks; use a small quantum instead.
+        let quantum = if m_u.is_zero() { m_h * 0.05 } else { m_u };
+
+        // Main loop (lines 4–10).
+        let mut stalled_rounds = 0u32;
+        while m_i + p as f64 * m_u + cache > old {
+            let action = match next_action % 3 {
+                0 => ArbitratorAction::DecreaseConcurrency,
+                1 => ArbitratorAction::ShrinkCache,
+                _ => ArbitratorAction::GrowOld,
+            };
+            next_action += 1;
+
+            let applied = match action {
+                ArbitratorAction::DecreaseConcurrency => {
+                    if p > 1 {
+                        p -= 1;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                ArbitratorAction::ShrinkCache => {
+                    // Reduce by M_u "ensuring that m_c > 0" (Algorithm 1,
+                    // line 7). For a caching application this guard is what
+                    // rules out container sizes too small to cache anything:
+                    // when no action can make progress the candidate is
+                    // reported infeasible. Applications that cache nothing
+                    // start at m_c = 0 and never take this action.
+                    let applicable = if cfg.cache.is_zero() {
+                        false
+                    } else {
+                        cache - quantum > Mem::ZERO
+                    };
+                    if applicable {
+                        let new_cache = cache - quantum;
+                        cache = new_cache;
+                        // Re-derive the GC pools (line 8 / Equation 3) so
+                        // Old covers the long-term demand — which per §4.3
+                        // includes the task memory tenured at full-GC
+                        // events (`p·M_u`) — with the safety fraction δ on
+                        // top. The margin is what pushes `NewRatio` above
+                        // the bare minimum, increasing collection frequency
+                        // and arresting physical-memory growth
+                        // (Observation 6 / Table 5's NR=5 row).
+                        let demand = m_i + cache + m_u * p as f64;
+                        let (new_old, new_eden) = fit_old(m_h, demand, self.delta);
+                        old = new_old;
+                        eden = new_eden;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                ArbitratorAction::GrowOld => {
+                    // Grow by M_u, clamping just below the safety budget.
+                    let new_old = (old + quantum).min(budget * 0.999);
+                    if new_old > old {
+                        old = new_old;
+                        // Eden shrinks as Old grows; recompute from the
+                        // implied NewRatio.
+                        let young = m_h - old;
+                        let sr = 8.0;
+                        eden = young * ((sr - 2.0) / sr);
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+
+            trace.push(ArbitratorStep { action, applied, p, cache, old });
+
+            if applied {
+                stalled_rounds = 0;
+            } else {
+                stalled_rounds += 1;
+                if stalled_rounds >= 3 {
+                    return Err(ArbitratorError::Stuck);
+                }
+            }
+        }
+
+        // Line 11: shuffle memory bounded by half of Eden per task.
+        let shuffle_per_task = cfg.shuffle_per_task.min(eden * 0.5 / p as f64);
+
+        // Line 13: utility score.
+        let utility = (m_i + cache + (m_u + shuffle_per_task) * p as f64) / m_h;
+
+        // Translate to the canonical configuration. The realized Old must
+        // cover the final demand with the δ margin (rounding NewRatio *up*
+        // so it is never smaller than the arbitrated Old — rounding down
+        // would silently break the safety invariant).
+        let final_demand = m_i + cache + m_u * p as f64;
+        let (fitted_old, _) = fit_old(m_h, final_demand, self.delta);
+        let old = old.max(fitted_old).min(budget);
+        let new_ratio = (old / (m_h - old).max(Mem::mb(1.0)))
+            .ceil()
+            .clamp(1.0, 9.0) as u32;
+        let config = MemoryConfig {
+            containers_per_node: cfg.containers_per_node,
+            heap: m_h,
+            task_concurrency: p,
+            cache_fraction: (cache / m_h).clamp(0.0, 1.0 - self.delta),
+            shuffle_fraction: (shuffle_per_task * p as f64 / m_h)
+                .clamp(0.0, 1.0 - self.delta),
+            new_ratio,
+            survivor_ratio: 8,
+        };
+
+        Ok(ArbitratorOutcome { config, utility, trace, shuffle_per_task })
+    }
+}
+
+/// Sizes the Old generation to hold `demand` plus the safety fraction δ,
+/// clamped to `NewRatio ∈ [1, 9]`. Returns `(old, eden)` using the paper's
+/// Equation-3 pool formulas.
+fn fit_old(m_h: Mem, demand: Mem, delta: f64) -> (Mem, Mem) {
+    let target = (demand / (1.0 - delta)).min(m_h * 0.9);
+    let rest = (m_h - target).clamp_non_negative().max(Mem::mb(1.0));
+    let nr = (target / rest).ceil().clamp(1.0, 9.0);
+    let old = m_h * (nr / (nr + 1.0));
+    let eden = m_h * (1.0 / (nr + 1.0)) * (6.0 / 8.0);
+    (old, eden)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relm_profile::DerivedStats;
+
+    fn pagerank_stats() -> DerivedStats {
+        DerivedStats {
+            containers_per_node: 1,
+            heap: Mem::mb(4404.0),
+            cpu_avg: 35.0,
+            disk_avg: 2.0,
+            m_i: Mem::mb(115.0),
+            m_c: Mem::mb(2300.0),
+            m_s: Mem::ZERO,
+            m_u: Mem::mb(770.0),
+            p: 2,
+            h: 0.3,
+            s: 0.0,
+            m_u_from_full_gc: true,
+        }
+    }
+
+    fn arbitrated(heap_mb: f64, n: u32, max_p: u32) -> ArbitratorOutcome {
+        let init = Initializer::new(pagerank_stats(), 0.1);
+        let cfg = init.initialize(n, Mem::mb(heap_mb), max_p);
+        Arbitrator::new(0.1).arbitrate(&init, &cfg).expect("feasible")
+    }
+
+    #[test]
+    fn pagerank_walkthrough_terminates_safely() {
+        // Figure 13: starting from (p=5, m_c≈3.9GB, NR=9) the arbitrator
+        // lowers concurrency and cache until the Old generation covers the
+        // long-lived plus task memory.
+        let out = arbitrated(4404.0, 1, 8);
+        let stats = pagerank_stats();
+        let old = out.config.old_capacity();
+        let demand = stats.m_i
+            + out.config.task_concurrency as f64 * stats.m_u
+            + out.config.heap * out.config.cache_fraction;
+        assert!(demand <= old * 1.001, "safety invariant violated: {demand} > {old}");
+        assert!(!out.trace.is_empty(), "expected arbitration steps");
+        // The paper's walkthrough ends at p = 2; ours must at least reduce
+        // the initializer's p = 5.
+        assert!(out.config.task_concurrency < 5);
+        assert!(out.config.task_concurrency >= 1);
+    }
+
+    #[test]
+    fn utility_is_a_heap_fraction() {
+        let out = arbitrated(4404.0, 1, 8);
+        assert!(out.utility > 0.0 && out.utility <= 1.0, "U = {}", out.utility);
+    }
+
+    #[test]
+    fn insufficient_memory_is_flagged() {
+        let mut stats = pagerank_stats();
+        stats.m_u = Mem::mb(1200.0);
+        let init = Initializer::new(stats, 0.1);
+        let cfg = init.initialize(4, Mem::mb(1101.0), 2);
+        let err = Arbitrator::new(0.1).arbitrate(&init, &cfg).unwrap_err();
+        assert_eq!(err, ArbitratorError::InsufficientMemory);
+    }
+
+    #[test]
+    fn no_cache_apps_need_no_cache_shrinks() {
+        let mut stats = pagerank_stats();
+        stats.m_c = Mem::ZERO;
+        stats.m_s = Mem::mb(400.0);
+        stats.s = 0.6;
+        stats.m_u = Mem::mb(150.0);
+        let init = Initializer::new(stats, 0.1);
+        let cfg = init.initialize(1, Mem::mb(4404.0), 8);
+        let out = Arbitrator::new(0.1).arbitrate(&init, &cfg).expect("feasible");
+        assert_eq!(out.config.cache_fraction, 0.0);
+        assert!(out.config.shuffle_fraction > 0.0);
+    }
+
+    #[test]
+    fn shuffle_capped_at_half_eden_per_task() {
+        let mut stats = pagerank_stats();
+        stats.m_c = Mem::ZERO;
+        stats.m_s = Mem::mb(3000.0);
+        stats.m_u = Mem::mb(150.0);
+        let init = Initializer::new(stats, 0.1);
+        let cfg = init.initialize(1, Mem::mb(4404.0), 8);
+        let out = Arbitrator::new(0.1).arbitrate(&init, &cfg).expect("feasible");
+        let eden = out.config.heap
+            * (1.0 / (out.config.new_ratio as f64 + 1.0))
+            * (6.0 / 8.0);
+        assert!(
+            out.shuffle_per_task <= eden * 0.5 / out.config.task_concurrency as f64 * 1.001,
+            "Observation 7 bound violated"
+        );
+    }
+
+    #[test]
+    fn trace_reports_round_robin_order() {
+        let out = arbitrated(4404.0, 1, 8);
+        let actions: Vec<ArbitratorAction> =
+            out.trace.iter().map(|s| s.action).collect();
+        for (i, a) in actions.iter().enumerate() {
+            let expected = match i % 3 {
+                0 => ArbitratorAction::DecreaseConcurrency,
+                1 => ArbitratorAction::ShrinkCache,
+                _ => ArbitratorAction::GrowOld,
+            };
+            assert_eq!(*a, expected);
+        }
+    }
+
+    #[test]
+    fn smaller_containers_get_lower_concurrency_or_cache() {
+        let big = arbitrated(4404.0, 1, 8);
+        let small = arbitrated(2202.0, 2, 4);
+        assert!(small.config.task_concurrency <= big.config.task_concurrency);
+        assert!(
+            small.config.cache_capacity() < big.config.cache_capacity(),
+            "absolute cache must shrink with the container"
+        );
+    }
+
+    #[test]
+    fn containers_too_small_to_cache_are_infeasible() {
+        // PageRank's 770 MB per-task memory leaves a 1101 MB container no
+        // room to cache even one M_u-sized chunk: the m_c > 0 guard of
+        // action II (Algorithm 1, line 7) makes the candidate infeasible,
+        // which is how the Enumerator rules out 4-containers-per-node.
+        let init = Initializer::new(pagerank_stats(), 0.1);
+        let cfg = init.initialize(4, Mem::mb(1101.0), 2);
+        assert!(Arbitrator::new(0.1).arbitrate(&init, &cfg).is_err());
+    }
+}

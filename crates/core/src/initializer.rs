@@ -1,0 +1,255 @@
+//! The Initializer (§4.2): per-pool initial settings from the profiled
+//! statistics, Equations 1–4 of the paper.
+
+use relm_common::Mem;
+use relm_profile::DerivedStats;
+use serde::{Deserialize, Serialize};
+
+/// The pool assignment the Initializer produces for one candidate container
+/// size, before arbitration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InitialConfig {
+    /// Containers per node of the candidate.
+    pub containers_per_node: u32,
+    /// Heap size of the candidate (`m_h`).
+    pub heap: Mem,
+    /// Cache Storage assignment (`m_c`, Equation 1).
+    pub cache: Mem,
+    /// Per-task Task Shuffle assignment (`m_s`, Equation 2).
+    pub shuffle_per_task: Mem,
+    /// `NewRatio` (Equation 3).
+    pub new_ratio: u32,
+    /// Old generation size implied by `NewRatio` (`m_o`).
+    pub old: Mem,
+    /// Eden size (Equation 3, using the paper's `(SR−2)/SR` approximation).
+    pub eden: Mem,
+    /// Task Concurrency (`p`, Equation 4).
+    pub task_concurrency: u32,
+}
+
+/// The Initializer: holds the profiled statistics and the safety fraction δ.
+#[derive(Debug, Clone, Copy)]
+pub struct Initializer {
+    stats: DerivedStats,
+    delta: f64,
+    survivor_ratio: u32,
+    /// Upper bound on `NewRatio` (§6.1 caps it at 9 so at least 10% of heap
+    /// stays in the young generation).
+    max_new_ratio: u32,
+}
+
+impl Initializer {
+    /// Creates an initializer with safety fraction `delta`.
+    pub fn new(stats: DerivedStats, delta: f64) -> Self {
+        Initializer { stats, delta, survivor_ratio: 8, max_new_ratio: 9 }
+    }
+
+    /// The statistics in use.
+    pub fn stats(&self) -> &DerivedStats {
+        &self.stats
+    }
+
+    /// The safety fraction δ.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Equation 1: Cache Storage requirement, scaling the observed maximum
+    /// cache usage by the hit ratio.
+    pub fn cache(&self, m_h: Mem) -> Mem {
+        let s = &self.stats;
+        if s.m_c.is_zero() {
+            return Mem::ZERO;
+        }
+        let h = s.h.max(1e-6);
+        let needed_fraction = s.m_c.as_mb() / (h * s.heap.as_mb());
+        m_h * needed_fraction.min(1.0 - self.delta)
+    }
+
+    /// Equation 2: per-task Task Shuffle requirement, scaling the observed
+    /// shuffle usage by the spillage fraction.
+    pub fn shuffle_per_task(&self, m_h: Mem) -> Mem {
+        let s = &self.stats;
+        if s.m_s.is_zero() && s.s == 0.0 {
+            return Mem::ZERO;
+        }
+        let denom = (1.0 - s.s / s.p.max(1) as f64).max(0.05);
+        (s.m_s / denom).min(m_h * (1.0 - self.delta))
+    }
+
+    /// Equation 3: `NewRatio` sized so Old just fits the long-lived pools,
+    /// clamped to `[1, max_new_ratio]`; returns `(NR, m_o, m_e)`.
+    pub fn gc_settings(&self, m_h: Mem, m_c: Mem) -> (u32, Mem, Mem) {
+        let long_lived = self.stats.m_i + m_c;
+        let rest = (m_h - long_lived).clamp_non_negative();
+        let nr = if rest.is_zero() {
+            self.max_new_ratio
+        } else {
+            (long_lived / rest).ceil().max(1.0) as u32
+        }
+        .clamp(1, self.max_new_ratio);
+        let (m_o, m_e) = self.pools_for(m_h, nr);
+        (nr, m_o, m_e)
+    }
+
+    /// Old and Eden sizes for a given `NewRatio` (Equation 3's formulas).
+    pub fn pools_for(&self, m_h: Mem, nr: u32) -> (Mem, Mem) {
+        let nr_f = nr as f64;
+        let sr = self.survivor_ratio as f64;
+        let m_o = m_h * (nr_f / (nr_f + 1.0));
+        let m_e = m_h * (1.0 / (nr_f + 1.0)) * ((sr - 2.0) / sr);
+        (m_o, m_e)
+    }
+
+    /// Equation 4: Task Concurrency bounded by the CPU, disk, and memory
+    /// headroom, assuming linear scaling in each resource.
+    pub fn task_concurrency(&self, n: u32, m_h: Mem, max_p: u32) -> u32 {
+        let s = &self.stats;
+        let budget = (1.0 - self.delta) * 100.0;
+        let p_prof = s.p.max(1) as f64;
+        let per_task_cpu = (s.cpu_avg / p_prof).max(1e-6);
+        let per_task_disk = (s.disk_avg / p_prof).max(1e-6);
+        let p_cpu = budget / per_task_cpu / n as f64;
+        let p_disk = budget / per_task_disk / n as f64;
+        let p_mem = if s.m_u.is_zero() {
+            f64::INFINITY
+        } else {
+            ((1.0 - self.delta) * m_h.as_mb()) / s.m_u.as_mb()
+        };
+        let p = p_cpu.min(p_disk).min(p_mem).floor();
+        (p.max(1.0) as u32).min(max_p.max(1))
+    }
+
+    /// Runs all four equations for one candidate container size.
+    pub fn initialize(&self, n: u32, m_h: Mem, max_p: u32) -> InitialConfig {
+        let cache = self.cache(m_h);
+        let shuffle_per_task = self.shuffle_per_task(m_h);
+        let (new_ratio, old, eden) = self.gc_settings(m_h, cache);
+        let task_concurrency = self.task_concurrency(n, m_h, max_p);
+        InitialConfig {
+            containers_per_node: n,
+            heap: m_h,
+            cache,
+            shuffle_per_task,
+            new_ratio,
+            old,
+            eden,
+            task_concurrency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The PageRank example column of Table 6.
+    fn pagerank_stats() -> DerivedStats {
+        DerivedStats {
+            containers_per_node: 1,
+            heap: Mem::mb(4404.0),
+            cpu_avg: 35.0,
+            disk_avg: 2.0,
+            m_i: Mem::mb(115.0),
+            m_c: Mem::mb(2300.0),
+            m_s: Mem::ZERO,
+            m_u: Mem::mb(770.0),
+            p: 2,
+            h: 0.3,
+            s: 0.0,
+            m_u_from_full_gc: true,
+        }
+    }
+
+    #[test]
+    fn pagerank_example_matches_equation_5() {
+        // §4.2's example: n = 1, m_h = 4404 MB, δ = 0.1 gives
+        // m_s = 0, p = 5, NR = 9 (m_c ≈ 3.8–4.0 GB).
+        let init = Initializer::new(pagerank_stats(), 0.1);
+        let cfg = init.initialize(1, Mem::mb(4404.0), 8);
+        assert_eq!(cfg.task_concurrency, 5, "Equation 4 should give p = 5");
+        assert_eq!(cfg.new_ratio, 9, "Equation 3 should cap NR at 9");
+        assert_eq!(cfg.shuffle_per_task, Mem::ZERO);
+        assert!(
+            cfg.cache.as_mb() > 3700.0 && cfg.cache.as_mb() < 4000.0,
+            "Equation 1 should give ~3.8 GB, got {}",
+            cfg.cache
+        );
+    }
+
+    #[test]
+    fn cache_scales_with_hit_ratio() {
+        let mut stats = pagerank_stats();
+        let init = Initializer::new(stats, 0.1);
+        let tight = init.cache(Mem::mb(4404.0));
+        stats.h = 1.0; // everything already fits: requirement is just M_c
+        let relaxed = Initializer::new(stats, 0.1).cache(Mem::mb(4404.0));
+        assert!(relaxed < tight);
+        assert!((relaxed.as_mb() - 2300.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn shuffle_scales_with_spillage() {
+        let mut stats = pagerank_stats();
+        stats.m_s = Mem::mb(200.0);
+        stats.s = 0.5;
+        stats.p = 2;
+        let init = Initializer::new(stats, 0.1);
+        // m_s / (1 - S/P) = 200 / (1 - 0.25) = 266.7
+        let m_s = init.shuffle_per_task(Mem::mb(4404.0));
+        assert!((m_s.as_mb() - 266.67).abs() < 0.1);
+    }
+
+    #[test]
+    fn new_ratio_grows_with_long_lived_demand() {
+        let init = Initializer::new(pagerank_stats(), 0.1);
+        let (nr_small, _, _) = init.gc_settings(Mem::mb(4404.0), Mem::mb(1000.0));
+        let (nr_big, _, _) = init.gc_settings(Mem::mb(4404.0), Mem::mb(3000.0));
+        assert!(nr_big > nr_small);
+        // Old must cover the long-lived set when NR is not clamped.
+        let (_, m_o, _) = init.gc_settings(Mem::mb(4404.0), Mem::mb(1000.0));
+        assert!(m_o >= Mem::mb(1115.0));
+    }
+
+    #[test]
+    fn eden_uses_paper_formula() {
+        let init = Initializer::new(pagerank_stats(), 0.1);
+        let (m_o, m_e) = init.pools_for(Mem::mb(4404.0), 2);
+        assert!((m_o.as_mb() - 2936.0).abs() < 0.1);
+        // m_e = 4404 * (1/3) * (6/8) = 1101.
+        assert!((m_e.as_mb() - 1101.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn concurrency_clamps_to_cores() {
+        let mut stats = pagerank_stats();
+        stats.cpu_avg = 1.0;
+        stats.disk_avg = 0.1;
+        stats.m_u = Mem::mb(10.0);
+        let init = Initializer::new(stats, 0.1);
+        assert_eq!(init.task_concurrency(1, Mem::mb(4404.0), 8), 8);
+        assert_eq!(init.task_concurrency(4, Mem::mb(1101.0), 2), 2);
+    }
+
+    #[test]
+    fn concurrency_limited_by_memory() {
+        let mut stats = pagerank_stats();
+        stats.m_u = Mem::mb(2000.0);
+        let init = Initializer::new(stats, 0.1);
+        // 0.9 * 4404 / 2000 = 1.98 → p = 1.
+        assert_eq!(init.task_concurrency(1, Mem::mb(4404.0), 8), 1);
+    }
+
+    #[test]
+    fn zero_stats_are_safe() {
+        let mut stats = pagerank_stats();
+        stats.m_c = Mem::ZERO;
+        stats.m_s = Mem::ZERO;
+        stats.m_u = Mem::ZERO;
+        let init = Initializer::new(stats, 0.1);
+        let cfg = init.initialize(1, Mem::mb(4404.0), 8);
+        assert_eq!(cfg.cache, Mem::ZERO);
+        assert_eq!(cfg.shuffle_per_task, Mem::ZERO);
+        assert!(cfg.task_concurrency >= 1);
+    }
+}

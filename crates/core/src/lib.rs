@@ -1,0 +1,33 @@
+//! # relm-core
+//!
+//! RelM — the paper's white-box memory tuner (§4). RelM recommends a setup
+//! of all memory pools from a *single* profiled application run:
+//!
+//! 1. The **Statistics Generator** (in `relm-profile`) turns the profile
+//!    into the Table-6 statistics.
+//! 2. The **Initializer** (§4.2) sets initial pool sizes for each candidate
+//!    container size, optimizing each pool independently (Equations 1–4).
+//! 3. The **Arbitrator** (§4.3, Algorithm 1) resolves contention between
+//!    pools with a round-robin of three actions (drop concurrency, shrink
+//!    cache, grow Old) until the long-lived and task memory fit within Old,
+//!    then sizes the shuffle pool against Eden and scores the configuration
+//!    with a utility `U` (the fraction of heap productively allocated).
+//! 4. The **Selector** ranks the per-container-size candidates by `U`.
+//!
+//! The crate also hosts **model Q** (Equation 8) — the three white-box
+//! metrics (expected heap occupancy, long-term memory efficiency, shuffle
+//! memory efficiency) that Guided Bayesian Optimization and the DDPG state
+//! vector plug in.
+
+pub mod arbitrator;
+pub mod initializer;
+pub mod qmodel;
+pub mod tuner;
+
+pub use arbitrator::{ArbitratorAction, ArbitratorOutcome, ArbitratorStep, Arbitrator};
+pub use initializer::{InitialConfig, Initializer};
+pub use qmodel::QModel;
+pub use tuner::{RelmCandidate, RelmTuner};
+
+/// The default safety fraction δ (§6.1: "set to 0.1 throughout").
+pub const DEFAULT_SAFETY: f64 = 0.1;

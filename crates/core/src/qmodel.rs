@@ -1,0 +1,159 @@
+//! Model Q (Equation 8): three white-box metrics derived from a candidate
+//! configuration and the profiled statistics. Guided Bayesian Optimization
+//! feeds them to its surrogate as extra features; the DDPG agent includes
+//! them in its state vector.
+
+use crate::initializer::Initializer;
+use relm_common::{Mem, MemoryConfig};
+use relm_profile::DerivedStats;
+
+/// Model Q.
+#[derive(Debug, Clone, Copy)]
+pub struct QModel {
+    init: Initializer,
+}
+
+impl QModel {
+    /// Builds the model from profiled statistics (δ only affects the
+    /// requirement models of Equations 1–2).
+    pub fn new(stats: DerivedStats, delta: f64) -> Self {
+        QModel { init: Initializer::new(stats, delta) }
+    }
+
+    /// The underlying statistics.
+    pub fn stats(&self) -> &DerivedStats {
+        self.init.stats()
+    }
+
+    /// Evaluates `q = (q1, q2, q3)` for a candidate configuration.
+    ///
+    /// * `q1` — expected heap occupancy: sums the expected usage of every
+    ///   application-level pool against the candidate heap. Low values flag
+    ///   under-utilization; values over 1 flag unsafe configurations.
+    /// * `q2` — long-term memory efficiency: the long-lived requirement over
+    ///   the available long-lived storage (the smaller of Old and the cache
+    ///   pool). High values mean disk overheads (data does not fit in
+    ///   memory) or GC overheads (data does not fit in Old — Observation 5).
+    /// * `q3` — shuffle memory efficiency: live shuffle memory against half
+    ///   of Eden (Observation 7). High values mean large-spill GC overheads.
+    pub fn q(&self, config: &MemoryConfig) -> [f64; 3] {
+        let s = *self.init.stats();
+        let m_h = config.heap;
+        let p = config.task_concurrency.max(1) as f64;
+
+        // Modeled requirements at this heap size (Equations 1–2).
+        let req_cache = self.init.cache(m_h);
+        let req_shuffle = self.init.shuffle_per_task(m_h);
+
+        // Configured pools.
+        let cfg_cache = config.cache_capacity();
+        let cfg_shuffle_per_task = config.shuffle_capacity() / p;
+        let m_o = config.old_capacity();
+        // Paper Equation 3 approximation for Eden.
+        let sr = config.survivor_ratio.max(3) as f64;
+        let m_e = m_h * (1.0 / (config.new_ratio as f64 + 1.0)) * ((sr - 2.0) / sr);
+
+        let q1 = (s.m_i
+            + cfg_cache.min(req_cache)
+            + (s.m_u + cfg_shuffle_per_task.min(req_shuffle)) * p)
+            / m_h;
+
+        let long_term_store = m_o.min(cfg_cache + s.m_i);
+        let q2 = if req_cache.is_zero() {
+            // No cache requirement: long-term efficiency reduces to code
+            // overhead against Old, which is always comfortable.
+            (s.m_i / m_o).min(1.0)
+        } else {
+            (s.m_i + req_cache) / long_term_store.max(Mem::mb(1.0))
+        };
+
+        let q3 = if req_shuffle.is_zero() {
+            0.0
+        } else {
+            (cfg_shuffle_per_task.min(req_shuffle) * p) / (m_e * 0.5).max(Mem::mb(1.0))
+        };
+
+        [q1, q2, q3]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> DerivedStats {
+        DerivedStats {
+            containers_per_node: 1,
+            heap: Mem::mb(4404.0),
+            cpu_avg: 35.0,
+            disk_avg: 2.0,
+            m_i: Mem::mb(115.0),
+            m_c: Mem::mb(2300.0),
+            m_s: Mem::mb(200.0),
+            m_u: Mem::mb(400.0),
+            p: 2,
+            h: 0.5,
+            s: 0.2,
+            m_u_from_full_gc: true,
+        }
+    }
+
+    fn config(cache: f64, shuffle: f64, p: u32, nr: u32) -> MemoryConfig {
+        MemoryConfig {
+            containers_per_node: 1,
+            heap: Mem::mb(4404.0),
+            task_concurrency: p,
+            cache_fraction: cache,
+            shuffle_fraction: shuffle,
+            new_ratio: nr,
+            survivor_ratio: 8,
+        }
+    }
+
+    #[test]
+    fn q1_flags_unsafe_and_underutilized() {
+        let q = QModel::new(stats(), 0.1);
+        let packed = q.q(&config(0.8, 0.1, 8, 2));
+        let sparse = q.q(&config(0.1, 0.05, 1, 2));
+        assert!(packed[0] > 1.0, "q1 of an over-packed config must exceed 1, got {}", packed[0]);
+        assert!(sparse[0] < 0.5, "q1 of an under-utilizing config must be small");
+    }
+
+    #[test]
+    fn q2_detects_old_too_small() {
+        let q = QModel::new(stats(), 0.1);
+        // Large cache with NR = 1: Old (2202) smaller than the cache pool.
+        let bad = q.q(&config(0.7, 0.0, 2, 1));
+        let good = q.q(&config(0.7, 0.0, 2, 7));
+        assert!(bad[1] > good[1], "q2 must penalize Old < cache: {} vs {}", bad[1], good[1]);
+    }
+
+    #[test]
+    fn q3_detects_shuffle_outgrowing_eden() {
+        let q = QModel::new(stats(), 0.1);
+        // High NewRatio shrinks Eden; a large shuffle pool then exceeds
+        // half-Eden.
+        let bad = q.q(&config(0.1, 0.5, 4, 9));
+        let good = q.q(&config(0.1, 0.1, 2, 1));
+        assert!(bad[2] > 1.0, "q3 must exceed 1 when shuffle outgrows Eden/2, got {}", bad[2]);
+        assert!(good[2] < bad[2]);
+    }
+
+    #[test]
+    fn q_is_finite_everywhere() {
+        let q = QModel::new(stats(), 0.1);
+        for cache in [0.0, 0.2, 0.8] {
+            for shuffle in [0.0, 0.1, 0.6] {
+                if cache + shuffle > 1.0 {
+                    continue;
+                }
+                for p in [1, 4, 8] {
+                    for nr in [1, 5, 9] {
+                        let v = q.q(&config(cache, shuffle, p, nr));
+                        assert!(v.iter().all(|x| x.is_finite()), "non-finite q at {cache},{shuffle},{p},{nr}");
+                    }
+                }
+            }
+        }
+    }
+}

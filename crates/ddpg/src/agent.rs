@@ -1,0 +1,298 @@
+//! The DDPG actor–critic agent.
+//!
+//! The actor `μ(s|θ^μ)` maps a state to an action in `[0, 1]^act`; the
+//! critic `Q(s, a|θ^Q)` scores state–action pairs. Targets use Polyak-
+//! averaged copies of both networks. The critic minimizes the TD error
+//! against `r + γ Q'(s', μ'(s'))`; the actor ascends the critic's action
+//! gradient.
+
+use crate::nn::{Activation, Mlp};
+use crate::noise::OrnsteinUhlenbeck;
+use crate::replay::{ReplayBuffer, Transition};
+use relm_common::Rng;
+
+/// Agent hyperparameters (sizes follow CDBTune's small dense networks).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgentConfig {
+    /// State dimensionality.
+    pub state_dims: usize,
+    /// Action dimensionality.
+    pub action_dims: usize,
+    /// Hidden width of both networks.
+    pub hidden: usize,
+    /// Discount factor γ.
+    pub gamma: f64,
+    /// Polyak factor τ for target tracking.
+    pub tau: f64,
+    /// Actor learning rate.
+    pub actor_lr: f64,
+    /// Critic learning rate.
+    pub critic_lr: f64,
+    /// Replay capacity.
+    pub replay_capacity: usize,
+    /// Minibatch size.
+    pub batch: usize,
+    /// Initial OU noise scale.
+    pub noise_sigma: f64,
+}
+
+impl AgentConfig {
+    /// Defaults for the 4-knob tuning problem.
+    pub fn for_dims(state_dims: usize, action_dims: usize) -> Self {
+        AgentConfig {
+            state_dims,
+            action_dims,
+            hidden: 48,
+            gamma: 0.9,
+            tau: 0.05,
+            actor_lr: 2e-3,
+            critic_lr: 4e-3,
+            replay_capacity: 512,
+            batch: 16,
+            noise_sigma: 0.35,
+        }
+    }
+}
+
+/// The agent.
+#[derive(Debug, Clone)]
+pub struct DdpgAgent {
+    cfg: AgentConfig,
+    actor: Mlp,
+    actor_target: Mlp,
+    critic: Mlp,
+    critic_target: Mlp,
+    replay: ReplayBuffer,
+    noise: OrnsteinUhlenbeck,
+    rng: Rng,
+    train_steps: u64,
+}
+
+impl DdpgAgent {
+    /// Creates an agent with freshly initialized networks.
+    pub fn new(cfg: AgentConfig, seed: u64) -> Self {
+        let mut rng = Rng::new(seed ^ 0x3C6E_F372);
+        let actor = Mlp::new(
+            &[cfg.state_dims, cfg.hidden, cfg.hidden, cfg.action_dims],
+            &[Activation::Relu, Activation::Relu, Activation::Sigmoid],
+            &mut rng,
+        );
+        let critic = Mlp::new(
+            &[cfg.state_dims + cfg.action_dims, cfg.hidden, cfg.hidden, 1],
+            &[Activation::Relu, Activation::Relu, Activation::Identity],
+            &mut rng,
+        );
+        let actor_target = actor.clone();
+        let critic_target = critic.clone();
+        let noise = OrnsteinUhlenbeck::new(cfg.action_dims, cfg.noise_sigma);
+        DdpgAgent {
+            cfg,
+            actor,
+            actor_target,
+            critic,
+            critic_target,
+            replay: ReplayBuffer::new(cfg.replay_capacity),
+            noise,
+            rng,
+            train_steps: 0,
+        }
+    }
+
+    /// Greedy action for a state.
+    pub fn act(&self, state: &[f64]) -> Vec<f64> {
+        self.actor.forward(state)
+    }
+
+    /// Exploratory action: greedy plus OU noise, clamped to `[0, 1]`.
+    pub fn act_noisy(&mut self, state: &[f64]) -> Vec<f64> {
+        let mut a = self.actor.forward(state);
+        let noise = self.noise.sample(&mut self.rng);
+        for (ai, ni) in a.iter_mut().zip(noise) {
+            *ai = (*ai + ni).clamp(0.0, 1.0);
+        }
+        a
+    }
+
+    /// Anneals exploration noise.
+    pub fn decay_noise(&mut self, factor: f64) {
+        self.noise.decay(factor);
+    }
+
+    /// Starts a new tuning session: resets the OU process state and restores
+    /// a minimum exploration level so a transferred model still probes its
+    /// new environment a little before exploiting.
+    pub fn begin_session(&mut self, min_sigma: f64) {
+        self.noise.reset();
+        if self.noise.sigma() < min_sigma {
+            let factor = min_sigma / self.noise.sigma().max(1e-9);
+            self.noise.decay(factor); // decay with factor > 1 raises sigma
+        }
+    }
+
+    /// Stores a transition in replay memory.
+    pub fn observe(&mut self, t: Transition) {
+        self.replay.push(t);
+    }
+
+    /// Number of stored transitions.
+    pub fn replay_len(&self) -> usize {
+        self.replay.len()
+    }
+
+    /// Critic value of a state–action pair.
+    pub fn critic_value(&self, state: &[f64], action: &[f64]) -> f64 {
+        let mut input = state.to_vec();
+        input.extend_from_slice(action);
+        self.critic.forward(&input)[0]
+    }
+
+    /// Total learnable parameters (Table 10's model size).
+    pub fn parameter_count(&self) -> usize {
+        self.actor.parameter_count() + self.critic.parameter_count()
+    }
+
+    /// One gradient step on a replay minibatch (critic TD regression, actor
+    /// policy gradient, soft target updates). No-op until the buffer holds a
+    /// minibatch.
+    pub fn train_step(&mut self) {
+        if self.replay.len() < self.cfg.batch {
+            return;
+        }
+        self.train_steps += 1;
+        let batch: Vec<Transition> = self
+            .replay
+            .sample(self.cfg.batch, &mut self.rng)
+            .into_iter()
+            .cloned()
+            .collect();
+        let inv_batch = 1.0 / batch.len() as f64;
+
+        // ---- Critic update ----
+        self.critic.zero_grads();
+        for t in &batch {
+            // Target: r + γ Q'(s', μ'(s')).
+            let next_action = self.actor_target.forward(&t.next_state);
+            let mut next_input = t.next_state.clone();
+            next_input.extend_from_slice(&next_action);
+            let target_q = t.reward + self.cfg.gamma * self.critic_target.forward(&next_input)[0];
+
+            let mut input = t.state.clone();
+            input.extend_from_slice(&t.action);
+            let cache = self.critic.forward_cached(&input);
+            let td = cache.output()[0] - target_q;
+            // d(0.5 td²)/dQ = td; average over the batch.
+            self.critic.backward(&cache, &[td * inv_batch]);
+        }
+        self.critic.adam_step(self.cfg.critic_lr);
+
+        // ---- Actor update ----
+        self.actor.zero_grads();
+        for t in &batch {
+            let action_cache = self.actor.forward_cached(&t.state);
+            let action = action_cache.output().to_vec();
+            let mut input = t.state.clone();
+            input.extend_from_slice(&action);
+            // ∂Q/∂a via the critic's input gradient.
+            let critic_cache = self.critic.forward_cached(&input);
+            let mut scratch = self.critic.clone();
+            scratch.zero_grads();
+            let grad_input = scratch.backward(&critic_cache, &[1.0]);
+            let grad_action = &grad_input[self.cfg.state_dims..];
+            // Ascend Q: backprop −∂Q/∂a through the actor.
+            let grad_out: Vec<f64> =
+                grad_action.iter().map(|g| -g * inv_batch).collect();
+            self.actor.backward(&action_cache, &grad_out);
+        }
+        self.actor.adam_step(self.cfg.actor_lr);
+
+        // ---- Target tracking ----
+        self.actor_target.soft_update_from(&self.actor, self.cfg.tau);
+        self.critic_target.soft_update_from(&self.critic, self.cfg.tau);
+    }
+
+    /// Gradient steps taken so far.
+    pub fn train_steps(&self) -> u64 {
+        self.train_steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 1-state bandit: reward = 1 − (a − 0.7)², optimal action 0.7.
+    #[test]
+    fn agent_learns_a_static_bandit() {
+        let cfg = AgentConfig {
+            noise_sigma: 0.4,
+            ..AgentConfig::for_dims(2, 1)
+        };
+        let mut agent = DdpgAgent::new(cfg, 42);
+        let state = vec![0.5, -0.5];
+        for step in 0..400 {
+            let a = agent.act_noisy(&state);
+            let reward = 1.0 - (a[0] - 0.7).powi(2) * 4.0;
+            agent.observe(Transition {
+                state: state.clone(),
+                action: a,
+                reward,
+                next_state: state.clone(),
+            });
+            for _ in 0..4 {
+                agent.train_step();
+            }
+            if step % 40 == 0 {
+                agent.decay_noise(0.85);
+            }
+        }
+        let greedy = agent.act(&state);
+        assert!(
+            (greedy[0] - 0.7).abs() < 0.15,
+            "agent failed to find the bandit optimum: a = {}",
+            greedy[0]
+        );
+    }
+
+    #[test]
+    fn critic_learns_values() {
+        let cfg = AgentConfig::for_dims(1, 1);
+        let mut agent = DdpgAgent::new(cfg, 7);
+        // Reward depends on action only: r = a (higher action, higher value).
+        for _ in 0..200 {
+            let a = agent.act_noisy(&[0.0]);
+            agent.observe(Transition {
+                state: vec![0.0],
+                action: a.clone(),
+                reward: a[0],
+                next_state: vec![0.0],
+            });
+            agent.train_step();
+        }
+        let low = agent.critic_value(&[0.0], &[0.1]);
+        let high = agent.critic_value(&[0.0], &[0.9]);
+        assert!(high > low, "critic must rank high actions above low: {high} vs {low}");
+    }
+
+    #[test]
+    fn noisy_actions_stay_in_bounds() {
+        let mut agent = DdpgAgent::new(AgentConfig::for_dims(3, 4), 9);
+        for _ in 0..100 {
+            let a = agent.act_noisy(&[0.2, 0.4, 0.6]);
+            assert_eq!(a.len(), 4);
+            assert!(a.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn train_step_is_noop_until_batch_available() {
+        let mut agent = DdpgAgent::new(AgentConfig::for_dims(2, 2), 11);
+        agent.train_step();
+        assert_eq!(agent.train_steps(), 0);
+    }
+
+    #[test]
+    fn parameter_count_is_positive() {
+        let agent = DdpgAgent::new(AgentConfig::for_dims(14, 4), 13);
+        assert!(agent.parameter_count() > 1000);
+    }
+}

@@ -1,0 +1,26 @@
+//! # relm-ddpg
+//!
+//! Deep Deterministic Policy Gradient (§5.3) implemented from scratch:
+//! dense neural networks with manual backpropagation and Adam, an
+//! experience-replay buffer, Ornstein–Uhlenbeck exploration noise, the
+//! actor–critic DDPG agent with target networks and soft updates, and the
+//! CDBTune-style reward that scores a configuration change against both the
+//! initial and the previous performance.
+//!
+//! The agent's *state* is the resource-usage statistics of Table 6 plus the
+//! three model-Q metrics (following §5.3); its *action* is a point of the
+//! 4-dimensional configuration space.
+
+pub mod agent;
+pub mod nn;
+pub mod noise;
+pub mod replay;
+pub mod reward;
+pub mod tuner;
+
+pub use agent::{AgentConfig, DdpgAgent};
+pub use nn::{Activation, Mlp};
+pub use noise::OrnsteinUhlenbeck;
+pub use replay::{ReplayBuffer, Transition};
+pub use reward::cdbtune_reward;
+pub use tuner::{state_vector, DdpgTuner, STATE_DIMS};

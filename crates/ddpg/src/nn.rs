@@ -1,0 +1,350 @@
+//! Dense neural networks with manual backpropagation and Adam.
+//!
+//! Small fully-connected networks are all DDPG needs (CDBTune uses a few
+//! hidden layers of tens of units); this module implements them directly on
+//! `Vec<f64>` with no external tensor library.
+
+use relm_common::Rng;
+
+/// Activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// max(0, x)
+    Relu,
+    /// tanh(x)
+    Tanh,
+    /// 1 / (1 + e^{-x})
+    Sigmoid,
+    /// x
+    Identity,
+}
+
+impl Activation {
+    fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative expressed in terms of the activation *output* `y`.
+    fn derivative_from_output(self, y: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+/// One dense layer with its Adam state.
+#[derive(Debug, Clone)]
+struct Layer {
+    in_dim: usize,
+    out_dim: usize,
+    activation: Activation,
+    /// Weights, row-major `out_dim × in_dim`.
+    w: Vec<f64>,
+    b: Vec<f64>,
+    // Accumulated gradients.
+    gw: Vec<f64>,
+    gb: Vec<f64>,
+    // Adam moments.
+    mw: Vec<f64>,
+    vw: Vec<f64>,
+    mb: Vec<f64>,
+    vb: Vec<f64>,
+}
+
+impl Layer {
+    fn new(in_dim: usize, out_dim: usize, activation: Activation, rng: &mut Rng) -> Self {
+        // Xavier/Glorot uniform initialization.
+        let bound = (6.0 / (in_dim + out_dim) as f64).sqrt();
+        let w = (0..in_dim * out_dim).map(|_| rng.uniform_in(-bound, bound)).collect();
+        Layer {
+            in_dim,
+            out_dim,
+            activation,
+            w,
+            b: vec![0.0; out_dim],
+            gw: vec![0.0; in_dim * out_dim],
+            gb: vec![0.0; out_dim],
+            mw: vec![0.0; in_dim * out_dim],
+            vw: vec![0.0; in_dim * out_dim],
+            mb: vec![0.0; out_dim],
+            vb: vec![0.0; out_dim],
+        }
+    }
+
+    fn forward(&self, x: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.in_dim);
+        (0..self.out_dim)
+            .map(|o| {
+                let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+                let z: f64 = row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>() + self.b[o];
+                self.activation.apply(z)
+            })
+            .collect()
+    }
+
+    /// Backward pass given this layer's input and output (from the forward
+    /// cache) and the loss gradient w.r.t. the output. Accumulates parameter
+    /// gradients and returns the gradient w.r.t. the input.
+    fn backward(&mut self, input: &[f64], output: &[f64], grad_out: &[f64]) -> Vec<f64> {
+        let mut grad_in = vec![0.0; self.in_dim];
+        for o in 0..self.out_dim {
+            let dz = grad_out[o] * self.activation.derivative_from_output(output[o]);
+            self.gb[o] += dz;
+            let row = o * self.in_dim;
+            for i in 0..self.in_dim {
+                self.gw[row + i] += dz * input[i];
+                grad_in[i] += dz * self.w[row + i];
+            }
+        }
+        grad_in
+    }
+
+    fn zero_grads(&mut self) {
+        self.gw.iter_mut().for_each(|g| *g = 0.0);
+        self.gb.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    fn adam_step(&mut self, lr: f64, t: u64) {
+        const B1: f64 = 0.9;
+        const B2: f64 = 0.999;
+        const EPS: f64 = 1e-8;
+        let bc1 = 1.0 - B1.powi(t as i32);
+        let bc2 = 1.0 - B2.powi(t as i32);
+        for i in 0..self.w.len() {
+            self.mw[i] = B1 * self.mw[i] + (1.0 - B1) * self.gw[i];
+            self.vw[i] = B2 * self.vw[i] + (1.0 - B2) * self.gw[i] * self.gw[i];
+            self.w[i] -= lr * (self.mw[i] / bc1) / ((self.vw[i] / bc2).sqrt() + EPS);
+        }
+        for i in 0..self.b.len() {
+            self.mb[i] = B1 * self.mb[i] + (1.0 - B1) * self.gb[i];
+            self.vb[i] = B2 * self.vb[i] + (1.0 - B2) * self.gb[i] * self.gb[i];
+            self.b[i] -= lr * (self.mb[i] / bc1) / ((self.vb[i] / bc2).sqrt() + EPS);
+        }
+    }
+}
+
+/// The layer activations recorded by a forward pass, needed for backprop.
+#[derive(Debug, Clone)]
+pub struct ForwardCache {
+    /// `activations[0]` is the input; `activations[i+1]` is layer `i`'s
+    /// output.
+    activations: Vec<Vec<f64>>,
+}
+
+impl ForwardCache {
+    /// The network output.
+    pub fn output(&self) -> &[f64] {
+        self.activations.last().expect("cache always holds the input")
+    }
+}
+
+/// A multi-layer perceptron.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+    adam_t: u64,
+}
+
+impl Mlp {
+    /// Builds an MLP. `sizes` are the layer widths (including input and
+    /// output); `activations.len() == sizes.len() - 1`.
+    pub fn new(sizes: &[usize], activations: &[Activation], rng: &mut Rng) -> Self {
+        assert_eq!(activations.len(), sizes.len() - 1, "one activation per layer");
+        let layers = sizes
+            .windows(2)
+            .zip(activations)
+            .map(|(pair, &act)| Layer::new(pair[0], pair[1], act, rng))
+            .collect();
+        Mlp { layers, adam_t: 0 }
+    }
+
+    /// Inference without caching.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut cur = x.to_vec();
+        for layer in &self.layers {
+            cur = layer.forward(&cur);
+        }
+        cur
+    }
+
+    /// Forward pass that records activations for a subsequent backward pass.
+    pub fn forward_cached(&self, x: &[f64]) -> ForwardCache {
+        let mut activations = Vec::with_capacity(self.layers.len() + 1);
+        activations.push(x.to_vec());
+        for layer in &self.layers {
+            let next = layer.forward(activations.last().expect("non-empty"));
+            activations.push(next);
+        }
+        ForwardCache { activations }
+    }
+
+    /// Backward pass: accumulates parameter gradients and returns the
+    /// gradient w.r.t. the network input.
+    pub fn backward(&mut self, cache: &ForwardCache, grad_out: &[f64]) -> Vec<f64> {
+        let mut grad = grad_out.to_vec();
+        for (i, layer) in self.layers.iter_mut().enumerate().rev() {
+            let input = &cache.activations[i];
+            let output = &cache.activations[i + 1];
+            grad = layer.backward(input, output, &grad);
+        }
+        grad
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// One Adam update with the accumulated gradients, then clears them.
+    pub fn adam_step(&mut self, lr: f64) {
+        self.adam_t += 1;
+        for layer in &mut self.layers {
+            layer.adam_step(lr, self.adam_t);
+        }
+        self.zero_grads();
+    }
+
+    /// Polyak soft update `θ ← τ θ_src + (1−τ) θ` (target-network tracking).
+    pub fn soft_update_from(&mut self, src: &Mlp, tau: f64) {
+        for (dst, s) in self.layers.iter_mut().zip(&src.layers) {
+            for (w, sw) in dst.w.iter_mut().zip(&s.w) {
+                *w = tau * sw + (1.0 - tau) * *w;
+            }
+            for (b, sb) in dst.b.iter_mut().zip(&s.b) {
+                *b = tau * sb + (1.0 - tau) * *b;
+            }
+        }
+    }
+
+    /// Hard copy of parameters.
+    pub fn copy_from(&mut self, src: &Mlp) {
+        self.soft_update_from(src, 1.0);
+    }
+
+    /// Total number of parameters (for Table 10's model-size row).
+    pub fn parameter_count(&self) -> usize {
+        self.layers.iter().map(|l| l.w.len() + l.b.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mlp(sizes: &[usize], acts: &[Activation], seed: u64) -> Mlp {
+        Mlp::new(sizes, acts, &mut Rng::new(seed))
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let net = mlp(&[3, 5, 2], &[Activation::Relu, Activation::Identity], 1);
+        let out = net.forward(&[0.1, -0.2, 0.3]);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut net = mlp(&[4, 8, 3], &[Activation::Tanh, Activation::Identity], 2);
+        let x = [0.3, -0.7, 0.2, 0.9];
+        // Loss = 0.5 Σ out², so dL/dout = out.
+        let cache = net.forward_cached(&x);
+        let grad_out: Vec<f64> = cache.output().to_vec();
+        net.zero_grads();
+        let grad_in = net.backward(&cache, &grad_out);
+
+        // Finite-difference check of the input gradient.
+        let loss = |net: &Mlp, x: &[f64]| -> f64 {
+            net.forward(x).iter().map(|o| 0.5 * o * o).sum()
+        };
+        let eps = 1e-6;
+        for i in 0..x.len() {
+            let mut xp = x;
+            xp[i] += eps;
+            let mut xm = x;
+            xm[i] -= eps;
+            let fd = (loss(&net, &xp) - loss(&net, &xm)) / (2.0 * eps);
+            assert!(
+                (fd - grad_in[i]).abs() < 1e-5,
+                "input grad {i}: fd={fd} analytic={}",
+                grad_in[i]
+            );
+        }
+
+        // Finite-difference check of a few weight gradients.
+        let analytic_gw00 = net.layers[0].gw[0];
+        let orig = net.layers[0].w[0];
+        net.layers[0].w[0] = orig + eps;
+        let lp = loss(&net, &x);
+        net.layers[0].w[0] = orig - eps;
+        let lm = loss(&net, &x);
+        net.layers[0].w[0] = orig;
+        let fd = (lp - lm) / (2.0 * eps);
+        assert!((fd - analytic_gw00).abs() < 1e-5, "fd={fd} analytic={analytic_gw00}");
+    }
+
+    #[test]
+    fn sigmoid_outputs_bounded() {
+        let net = mlp(&[2, 6, 4], &[Activation::Relu, Activation::Sigmoid], 3);
+        let out = net.forward(&[10.0, -10.0]);
+        assert!(out.iter().all(|&o| (0.0..=1.0).contains(&o)));
+    }
+
+    #[test]
+    fn adam_learns_a_linear_map() {
+        let mut rng = Rng::new(4);
+        let mut net = mlp(&[2, 16, 1], &[Activation::Tanh, Activation::Identity], 4);
+        // Target: y = 2 x0 - x1.
+        for _ in 0..800 {
+            let x = [rng.uniform_in(-1.0, 1.0), rng.uniform_in(-1.0, 1.0)];
+            let target = 2.0 * x[0] - x[1];
+            let cache = net.forward_cached(&x);
+            let err = cache.output()[0] - target;
+            net.backward(&cache, &[err]);
+            net.adam_step(5e-3);
+        }
+        let mut mse = 0.0;
+        for _ in 0..50 {
+            let x = [rng.uniform_in(-1.0, 1.0), rng.uniform_in(-1.0, 1.0)];
+            let target = 2.0 * x[0] - x[1];
+            mse += (net.forward(&x)[0] - target).powi(2);
+        }
+        mse /= 50.0;
+        assert!(mse < 0.05, "network failed to learn: mse = {mse}");
+    }
+
+    #[test]
+    fn soft_update_interpolates() {
+        let a = mlp(&[2, 3], &[Activation::Identity], 5);
+        let mut b = mlp(&[2, 3], &[Activation::Identity], 6);
+        let before = b.layers[0].w[0];
+        let target = a.layers[0].w[0];
+        b.soft_update_from(&a, 0.5);
+        let after = b.layers[0].w[0];
+        assert!((after - 0.5 * (before + target)).abs() < 1e-12);
+        b.copy_from(&a);
+        assert_eq!(b.layers[0].w, a.layers[0].w);
+    }
+
+    #[test]
+    fn parameter_count() {
+        let net = mlp(&[3, 5, 2], &[Activation::Relu, Activation::Identity], 7);
+        // 3*5 + 5 + 5*2 + 2 = 32.
+        assert_eq!(net.parameter_count(), 32);
+    }
+}

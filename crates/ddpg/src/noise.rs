@@ -1,0 +1,78 @@
+//! Ornstein–Uhlenbeck exploration noise (§5.3: "Exploration of action space
+//! is carried out by adding a noise sampled from a noise process N to the
+//! actor").
+
+use relm_common::Rng;
+
+/// A mean-reverting OU process, one component per action dimension.
+#[derive(Debug, Clone)]
+pub struct OrnsteinUhlenbeck {
+    theta: f64,
+    sigma: f64,
+    mu: f64,
+    state: Vec<f64>,
+}
+
+impl OrnsteinUhlenbeck {
+    /// Standard DDPG parameters: θ = 0.15, σ as given, μ = 0.
+    pub fn new(dims: usize, sigma: f64) -> Self {
+        OrnsteinUhlenbeck { theta: 0.15, sigma, mu: 0.0, state: vec![0.0; dims] }
+    }
+
+    /// Resets the process state to the mean.
+    pub fn reset(&mut self) {
+        self.state.iter_mut().for_each(|s| *s = self.mu);
+    }
+
+    /// Decays the noise scale (annealed exploration).
+    pub fn decay(&mut self, factor: f64) {
+        self.sigma *= factor;
+    }
+
+    /// Current noise scale.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Advances the process and returns the current noise vector.
+    pub fn sample(&mut self, rng: &mut Rng) -> Vec<f64> {
+        for s in &mut self.state {
+            *s += self.theta * (self.mu - *s) + self.sigma * rng.normal();
+        }
+        self.state.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_reverts_to_mu() {
+        let mut ou = OrnsteinUhlenbeck::new(1, 0.05);
+        let mut rng = Rng::new(1);
+        let samples: Vec<f64> = (0..5_000).map(|_| ou.sample(&mut rng)[0]).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.05, "OU mean drifted: {mean}");
+    }
+
+    #[test]
+    fn consecutive_samples_are_correlated() {
+        let mut ou = OrnsteinUhlenbeck::new(1, 0.2);
+        let mut rng = Rng::new(2);
+        let xs: Vec<f64> = (0..2_000).map(|_| ou.sample(&mut rng)[0]).collect();
+        let corr = relm_common::stats::pearson(&xs[..xs.len() - 1], &xs[1..]);
+        assert!(corr > 0.5, "OU noise should be temporally correlated, r = {corr}");
+    }
+
+    #[test]
+    fn decay_shrinks_sigma_and_reset_zeroes_state() {
+        let mut ou = OrnsteinUhlenbeck::new(3, 0.4);
+        ou.decay(0.5);
+        assert!((ou.sigma() - 0.2).abs() < 1e-12);
+        let mut rng = Rng::new(3);
+        ou.sample(&mut rng);
+        ou.reset();
+        assert_eq!(ou.sample(&mut rng).len(), 3);
+    }
+}

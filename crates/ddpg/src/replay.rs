@@ -1,0 +1,103 @@
+//! Experience replay (§5.3: "DDPG uses an experience replay memory to store
+//! the explored state-action pairs and uses a sample from the memory for
+//! learning its critic model").
+
+use relm_common::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One transition `(s, a, r, s')`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transition {
+    /// State before the action.
+    pub state: Vec<f64>,
+    /// Action taken (a configuration point).
+    pub action: Vec<f64>,
+    /// Reward received.
+    pub reward: f64,
+    /// State after the action.
+    pub next_state: Vec<f64>,
+}
+
+/// A bounded ring buffer of transitions.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    items: Vec<Transition>,
+    next: usize,
+}
+
+impl ReplayBuffer {
+    /// Creates a buffer holding at most `capacity` transitions.
+    pub fn new(capacity: usize) -> Self {
+        ReplayBuffer { capacity: capacity.max(1), items: Vec::new(), next: 0 }
+    }
+
+    /// Stores a transition, evicting the oldest when full.
+    pub fn push(&mut self, t: Transition) {
+        if self.items.len() < self.capacity {
+            self.items.push(t);
+        } else {
+            self.items[self.next] = t;
+            self.next = (self.next + 1) % self.capacity;
+        }
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no transitions are stored.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Samples `batch` transitions with replacement.
+    pub fn sample(&self, batch: usize, rng: &mut Rng) -> Vec<&Transition> {
+        (0..batch).map(|_| &self.items[rng.below(self.items.len())]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transition(tag: f64) -> Transition {
+        Transition { state: vec![tag], action: vec![tag], reward: tag, next_state: vec![tag] }
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut buf = ReplayBuffer::new(3);
+        assert!(buf.is_empty());
+        for i in 0..3 {
+            buf.push(transition(i as f64));
+        }
+        assert_eq!(buf.len(), 3);
+    }
+
+    #[test]
+    fn eviction_is_fifo() {
+        let mut buf = ReplayBuffer::new(2);
+        buf.push(transition(0.0));
+        buf.push(transition(1.0));
+        buf.push(transition(2.0)); // evicts 0
+        let rewards: Vec<f64> = buf.items.iter().map(|t| t.reward).collect();
+        assert!(rewards.contains(&1.0) && rewards.contains(&2.0));
+        assert!(!rewards.contains(&0.0));
+    }
+
+    #[test]
+    fn sampling_covers_contents() {
+        let mut buf = ReplayBuffer::new(8);
+        for i in 0..8 {
+            buf.push(transition(i as f64));
+        }
+        let mut rng = Rng::new(1);
+        let sample = buf.sample(100, &mut rng);
+        assert_eq!(sample.len(), 100);
+        let distinct: std::collections::BTreeSet<u64> =
+            sample.iter().map(|t| t.reward as u64).collect();
+        assert!(distinct.len() >= 6, "sampling should cover most of the buffer");
+    }
+}

@@ -1,0 +1,66 @@
+//! The CDBTune-style reward (§5.3: "it considers the performance change at
+//! not only the previous timestep but also the first timestep when the
+//! tuning request was made").
+//!
+//! For a latency objective (lower is better) define the relative
+//! improvements `Δ₀ = (perf₀ − perf_t) / perf₀` against the initial run and
+//! `Δ_t = (perf_{t−1} − perf_t) / perf_{t−1}` against the previous step.
+//! CDBTune's shaping then rewards configurations that beat the initial
+//! performance, amplified when they also improve on the previous step, and
+//! penalizes regressions symmetrically.
+
+/// Computes the reward for the latest objective value (minutes; lower is
+/// better) given the initial and previous values.
+pub fn cdbtune_reward(initial: f64, previous: f64, current: f64) -> f64 {
+    let initial = initial.max(1e-9);
+    let previous = previous.max(1e-9);
+    let delta0 = (initial - current) / initial;
+    let delta_t = (previous - current) / previous;
+
+    if delta0 > 0.0 {
+        ((1.0 + delta0).powi(2) - 1.0) * (1.0 + delta_t).abs()
+    } else {
+        -(((1.0 - delta0).powi(2) - 1.0) * (1.0 - delta_t).abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_over_initial_is_positive() {
+        assert!(cdbtune_reward(10.0, 10.0, 6.0) > 0.0);
+    }
+
+    #[test]
+    fn regression_from_initial_is_negative() {
+        assert!(cdbtune_reward(10.0, 10.0, 15.0) < 0.0);
+    }
+
+    #[test]
+    fn bigger_improvements_earn_more() {
+        let small = cdbtune_reward(10.0, 10.0, 9.0);
+        let big = cdbtune_reward(10.0, 10.0, 5.0);
+        assert!(big > small);
+    }
+
+    #[test]
+    fn improving_on_previous_step_amplifies() {
+        // Same Δ0, but one also improves on the previous step.
+        let momentum = cdbtune_reward(10.0, 9.0, 7.0);
+        let relapse = cdbtune_reward(10.0, 5.0, 7.0);
+        assert!(momentum > relapse);
+    }
+
+    #[test]
+    fn no_change_is_zero() {
+        assert_eq!(cdbtune_reward(10.0, 10.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_stay_finite() {
+        assert!(cdbtune_reward(0.0, 0.0, 5.0).is_finite());
+        assert!(cdbtune_reward(10.0, 0.0, 5.0).is_finite());
+    }
+}

@@ -1,0 +1,86 @@
+//! Ablation of GBO's white-box features: how much of the guidance comes
+//! from each of q1 (heap occupancy), q2 (long-term memory efficiency), and
+//! q3 (shuffle efficiency)? §5.2 notes the feature set "could be expanded"
+//! provided the features stay independent and ranked by importance — this
+//! binary measures that importance by surrogate accuracy.
+
+use relm_app::Engine;
+use relm_cluster::ClusterSpec;
+use relm_common::stats;
+use relm_core::QModel;
+use relm_experiments::{exhaustive_baseline, long_bo};
+use relm_profile::derive_stats;
+use relm_surrogate::Gp;
+use relm_tune::{Tuner, TuningEnv};
+use relm_workloads::{max_resource_allocation, sortbykey, svm};
+
+fn main() {
+    let engine = Engine::new(ClusterSpec::cluster_a());
+    println!("GBO feature ablation: validation R^2 of the surrogate at 8 samples\n");
+    println!(
+        "{:<10} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "app", "none", "+q1", "+q2", "+q3", "+all"
+    );
+    for app in [svm(), sortbykey()] {
+        let baseline = exhaustive_baseline(&engine, &app, 42);
+        let validation: Vec<_> = baseline
+            .observations
+            .iter()
+            .filter(|o| !o.result.aborted)
+            .step_by(8)
+            .collect();
+
+        let default = max_resource_allocation(engine.cluster(), &app);
+        let (_, profile) = engine.run(&app, &default, 77);
+        let qmodel = QModel::new(derive_stats(&profile), relm_core::DEFAULT_SAFETY);
+
+        // Sample sequences from three BO runs.
+        let mut r2_sets: Vec<Vec<f64>> = vec![Vec::new(); 5];
+        for seed in [60u64, 61, 62] {
+            let mut env = TuningEnv::new(engine.clone(), app.clone(), seed);
+            let _ = long_bo(seed, false).tune(&mut env);
+            let space = env.space().clone();
+            let k = 8.min(env.evaluations());
+            let raw: Vec<(Vec<f64>, f64)> = env.history()[..k]
+                .iter()
+                .map(|o| (space.encode(&o.config).to_vec(), o.score_mins))
+                .collect();
+            let ys: Vec<f64> = raw.iter().map(|(_, y)| *y).collect();
+
+            // Feature subsets: none, q1 only, q2 only, q3 only -> grouped as
+            // none/+q1/+q2/+q3/+all.
+            let subsets: [&[usize]; 5] = [&[], &[0], &[1], &[2], &[0, 1, 2]];
+            for (si, subset) in subsets.iter().enumerate() {
+                let featurize = |x: &[f64]| -> Vec<f64> {
+                    let mut f = x.to_vec();
+                    let q = qmodel.q(&space.decode(x));
+                    for &qi in subset.iter() {
+                        f.push(q[qi]);
+                    }
+                    f
+                };
+                let xs: Vec<Vec<f64>> = raw.iter().map(|(x, _)| featurize(x)).collect();
+                let Ok(gp) = Gp::fit(xs, &ys, seed) else { continue };
+                let mut observed = Vec::new();
+                let mut predicted = Vec::new();
+                for obs in &validation {
+                    let x = space.encode(&obs.config);
+                    observed.push(obs.score_mins);
+                    predicted.push(gp.predict(&featurize(&x)).0);
+                }
+                r2_sets[si].push(stats::r_squared(&observed, &predicted));
+            }
+        }
+        println!(
+            "{:<10} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2}",
+            app.name,
+            stats::mean(&r2_sets[0]),
+            stats::mean(&r2_sets[1]),
+            stats::mean(&r2_sets[2]),
+            stats::mean(&r2_sets[3]),
+            stats::mean(&r2_sets[4]),
+        );
+    }
+    println!("\nexpected: the memory-occupancy features (q1, q2) carry most of the");
+    println!("guidance for cache applications; q3 matters for the shuffle application.");
+}

@@ -1,0 +1,91 @@
+//! Ablation of RelM's design choices (beyond the paper's evaluation):
+//! what each stage of the Figure-12 pipeline contributes.
+//!
+//! * **Initializer-only** — skip the Arbitrator: take Equation 1–4's
+//!   per-pool optima directly (on the profiled container size).
+//! * **No safety margin** — δ = 0 instead of 0.1.
+//! * **Selector-by-first** — skip the utility ranking: take the first
+//!   feasible candidate instead of the best-U one.
+//! * **Full RelM** — the paper's pipeline.
+
+use relm_app::Engine;
+use relm_cluster::ClusterSpec;
+use relm_common::MemoryConfig;
+use relm_core::{Initializer, RelmTuner, DEFAULT_SAFETY};
+use relm_profile::derive_stats;
+use relm_workloads::{benchmark_suite, max_resource_allocation};
+
+fn evaluate(engine: &Engine, app: &relm_app::AppSpec, cfg: &MemoryConfig) -> (f64, u32, u32) {
+    let mut mins = 0.0;
+    let mut fails = 0;
+    let mut aborts = 0;
+    for seed in 0..4u64 {
+        let (r, _) = engine.run(app, cfg, 80_000 + seed * 3);
+        mins += r.runtime_mins() / 4.0;
+        fails += r.container_failures;
+        aborts += u32::from(r.aborted);
+    }
+    (mins, fails, aborts)
+}
+
+fn main() {
+    let engine = Engine::new(ClusterSpec::cluster_a());
+    let cluster = engine.cluster().clone();
+    println!("RelM ablation (4 runs per cell)\n");
+    println!(
+        "{:<10} {:<18} {:>9} {:>7} {:>7}  config",
+        "app", "variant", "runtime", "fails", "aborts"
+    );
+    for app in benchmark_suite() {
+        let default = max_resource_allocation(&cluster, &app);
+        let (_, profile) = engine.run(&app, &default, 42);
+        let stats = derive_stats(&profile);
+
+        // Initializer-only on the profiled container size.
+        let init = Initializer::new(stats, DEFAULT_SAFETY);
+        let raw = init.initialize(1, cluster.heap_for(1), cluster.max_task_concurrency(1));
+        let initializer_only = MemoryConfig {
+            containers_per_node: 1,
+            heap: raw.heap,
+            task_concurrency: raw.task_concurrency,
+            cache_fraction: (raw.cache / raw.heap).clamp(0.0, 0.9),
+            shuffle_fraction: (raw.shuffle_per_task * raw.task_concurrency as f64 / raw.heap)
+                .clamp(0.0, 0.9 - (raw.cache / raw.heap).clamp(0.0, 0.9)),
+            new_ratio: raw.new_ratio,
+            survivor_ratio: 8,
+        };
+
+        // δ = 0 variant.
+        let mut no_margin = RelmTuner::new(0.0);
+        let no_margin_cfg = no_margin.recommend_from_stats(&cluster, stats).ok();
+
+        // Selector ablation: first feasible candidate (enumeration order)
+        // instead of best utility.
+        let mut full = RelmTuner::default();
+        let full_cfg = full.recommend_from_stats(&cluster, stats).ok();
+        let first_cfg = full.last_outcomes().first().map(|(_, o)| o.config);
+
+        let mut rows: Vec<(&str, Option<MemoryConfig>)> = vec![
+            ("initializer-only", Some(initializer_only)),
+            ("no-safety (δ=0)", no_margin_cfg),
+            ("first-feasible", first_cfg),
+            ("full RelM", full_cfg),
+        ];
+        for (label, cfg) in rows.drain(..) {
+            match cfg {
+                Some(cfg) if cfg.validate().is_ok() => {
+                    let (mins, fails, aborts) = evaluate(&engine, &app, &cfg);
+                    println!(
+                        "{:<10} {:<18} {:>8.1}m {:>7} {:>7}  {}",
+                        app.name, label, mins, fails, aborts, cfg
+                    );
+                }
+                _ => println!("{:<10} {:<18} {:>9}", app.name, label, "infeasible"),
+            }
+        }
+        println!();
+    }
+    println!("expected: the Initializer alone over-packs memory (failures); dropping the");
+    println!("safety margin risks OOMs on tight workloads; the utility-based Selector");
+    println!("improves on an arbitrary feasible candidate.");
+}

@@ -1,0 +1,40 @@
+//! SurvivorRatio ablation. Table 1 lists `SurvivorRatio` as a tuning knob
+//! (it sizes Eden within Young), but the paper "keeps the SurvivorRatio to
+//! its default value" (§6.1). This sweep justifies that choice: the knob's
+//! effect is second-order next to `NewRatio` unless the survivor space is
+//! made pathologically small.
+
+use relm_app::Engine;
+use relm_cluster::ClusterSpec;
+use relm_common::MemoryConfig;
+use relm_experiments::{mean_runtime_mins, repeat_runs};
+use relm_workloads::{kmeans, max_resource_allocation, sortbykey};
+
+fn main() {
+    let engine = Engine::new(ClusterSpec::cluster_a());
+    println!("SurvivorRatio ablation (paper fixes SR = 8)\n");
+    println!("{:<10} {:>3} {:>9} {:>6} {:>8}", "app", "SR", "runtime", "gc", "fails");
+    for app in [kmeans(), sortbykey()] {
+        let default = max_resource_allocation(engine.cluster(), &app);
+        for sr in [2u32, 4, 8, 16, 32] {
+            let cfg = MemoryConfig { survivor_ratio: sr, ..default };
+            let runs = repeat_runs(&engine, &app, &cfg, 3, 90_000 + sr as u64);
+            let ok: Vec<_> = runs.iter().filter(|r| !r.aborted).cloned().collect();
+            if ok.is_empty() {
+                println!("{:<10} {:>3} {:>9} {:>6} {:>8}", app.name, sr, "-", "-", "FAILED");
+                continue;
+            }
+            println!(
+                "{:<10} {:>3} {:>8.1}m {:>6.2} {:>8}",
+                app.name,
+                sr,
+                mean_runtime_mins(&ok),
+                ok.iter().map(|r| r.gc_overhead).sum::<f64>() / ok.len() as f64,
+                runs.iter().map(|r| r.container_failures).sum::<u32>(),
+            );
+        }
+        println!();
+    }
+    println!("expected: a flat response compared to the NewRatio sweeps of Figures 8-10 —");
+    println!("which is why both the paper and RelM leave SurvivorRatio at its default.");
+}

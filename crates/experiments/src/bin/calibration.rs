@@ -1,0 +1,148 @@
+//! Calibration sweep: prints the Section-3 sweeps so the simulator's shapes
+//! can be checked against the paper during development. Not one of the
+//! figure binaries, but kept as a diagnostic.
+
+use relm_app::Engine;
+use relm_cluster::ClusterSpec;
+use relm_common::MemoryConfig;
+use relm_workloads::{benchmark_suite, max_resource_allocation};
+
+fn main() {
+    let engine = Engine::new(ClusterSpec::cluster_a());
+    let suite = benchmark_suite();
+
+    println!("== Containers per node sweep (Figure 4) ==");
+    println!("{:<10} {:>2} {:>9} {:>6} {:>6} {:>6} {:>6} {:>5} {:>5} {:>6}",
+        "app", "N", "runtime", "norm", "heap", "cpu", "disk", "gc%", "fail", "abort");
+    for app in &suite {
+        let default = max_resource_allocation(engine.cluster(), app);
+        let mut base = f64::NAN;
+        for n in 1..=4u32 {
+            let mut cfg = default;
+            cfg.containers_per_node = n;
+            cfg.heap = engine.cluster().heap_for(n);
+            let (r, _) = engine.run(app, &cfg, 42);
+            if n == 1 {
+                base = r.runtime_mins();
+            }
+            println!(
+                "{:<10} {:>2} {:>8.1}m {:>6.2} {:>6.2} {:>6.2} {:>6.2} {:>5.2} {:>5} {:>6}",
+                app.name, n, r.runtime_mins(), r.runtime_mins() / base,
+                r.max_heap_util, r.avg_cpu_util, r.avg_disk_util, r.gc_overhead,
+                r.container_failures, r.aborted
+            );
+        }
+    }
+
+    println!("\n== Task concurrency sweep (Figure 6) ==");
+    for app in &suite {
+        let default = max_resource_allocation(engine.cluster(), app);
+        let mut base = f64::NAN;
+        for p in [1u32, 2, 4, 6, 8] {
+            let mut cfg = default;
+            cfg.task_concurrency = p;
+            let (r, _) = engine.run(app, &cfg, 42);
+            if p == 1 {
+                base = r.runtime_mins();
+            }
+            println!(
+                "{:<10} p={} {:>8.1}m {:>6.2} heap={:.2} cpu={:.2} disk={:.2} gc={:.2} fail={} abort={}",
+                app.name, p, r.runtime_mins(), r.runtime_mins() / base,
+                r.max_heap_util, r.avg_cpu_util, r.avg_disk_util, r.gc_overhead,
+                r.container_failures, r.aborted
+            );
+        }
+    }
+
+    println!("\n== Cache/shuffle capacity sweep (Figure 7) ==");
+    for app in &suite {
+        let default = max_resource_allocation(engine.cluster(), app);
+        let cache_app = app.uses_cache();
+        for f in [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8] {
+            let mut cfg = default;
+            if cache_app {
+                cfg.cache_fraction = f;
+                cfg.shuffle_fraction = 0.0;
+            } else {
+                cfg.shuffle_fraction = f;
+                cfg.cache_fraction = 0.0;
+            }
+            if app.name == "PageRank" {
+                cfg.task_concurrency = 1; // §3.3 note
+            }
+            let (r, _) = engine.run(app, &cfg, 42);
+            println!(
+                "{:<10} {}={:.2} {:>7.1}m heap={:.2} gc={:.2} H={:.2} S={:.2} fail={} abort={}",
+                app.name, if cache_app { "cc" } else { "sc" }, f,
+                r.runtime_mins(), r.max_heap_util, r.gc_overhead,
+                r.cache_hit_ratio, r.spill_fraction, r.container_failures, r.aborted
+            );
+        }
+    }
+
+    println!("\n== NewRatio x CacheCapacity for K-means (Figure 8) ==");
+    let km = relm_workloads::kmeans();
+    for cc in [0.4, 0.5, 0.6, 0.7, 0.8] {
+        for nr in [1u32, 2, 3, 5, 7] {
+            let cfg = MemoryConfig {
+                containers_per_node: 1,
+                heap: engine.cluster().heap_for(1),
+                task_concurrency: 2,
+                cache_fraction: cc,
+                shuffle_fraction: 0.0,
+                new_ratio: nr,
+                survivor_ratio: 8,
+            };
+            let (r, _) = engine.run(&km, &cfg, 42);
+            print!("cc={cc:.1} NR={nr}: {:>5.1}m/gc={:.2}  ", r.runtime_mins(), r.gc_overhead);
+        }
+        println!();
+    }
+
+    println!("\n== NewRatio x ShuffleCapacity for SortByKey (Figure 10) ==");
+    let sbk = relm_workloads::sortbykey();
+    for sc in [0.05, 0.1, 0.2, 0.3, 0.5, 0.7] {
+        for nr in [1u32, 2, 3] {
+            let cfg = MemoryConfig {
+                containers_per_node: 1,
+                heap: engine.cluster().heap_for(1),
+                task_concurrency: 2,
+                cache_fraction: 0.0,
+                shuffle_fraction: sc,
+                new_ratio: nr,
+                survivor_ratio: 8,
+            };
+            let (r, _) = engine.run(&sbk, &cfg, 42);
+            print!("sc={sc:.2} NR={nr}: {:>5.1}m/gc={:.2}/S={:.2}  ", r.runtime_mins(), r.gc_overhead, r.spill_fraction);
+        }
+        println!();
+    }
+
+    println!("\n== PageRank manual tuning (Table 5) ==");
+    let pr = relm_workloads::pagerank();
+    let rows = [
+        (2u32, 0.6, 2u32, "default"),
+        (1, 0.6, 2, "p=1"),
+        (2, 0.4, 2, "cc=0.4"),
+        (2, 0.6, 5, "NR=5"),
+    ];
+    for (p, cc, nr, label) in rows {
+        let cfg = MemoryConfig {
+            containers_per_node: 1,
+            heap: engine.cluster().heap_for(1),
+            task_concurrency: p,
+            cache_fraction: cc,
+            shuffle_fraction: 0.0,
+            new_ratio: nr,
+            survivor_ratio: 8,
+        };
+        for seed in [1u64, 2, 3] {
+            let (r, _) = engine.run(&pr, &cfg, seed);
+            println!(
+                "{label:<8} seed={seed} {:>6.1}m H={:.2} gc={:.2} fail={} (oom={} rss={}) abort={}",
+                r.runtime_mins(), r.cache_hit_ratio, r.gc_overhead,
+                r.container_failures, r.oom_failures, r.rss_kills, r.aborted
+            );
+        }
+    }
+}

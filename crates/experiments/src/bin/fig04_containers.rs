@@ -1,0 +1,57 @@
+//! Figure 4: impact of the number of containers per node on runtime,
+//! maximum heap utilization, average CPU utilization, and average disk
+//! utilization for the benchmark suite. Missing points in the paper's plot
+//! correspond to failures; aborted runs are marked here.
+
+use relm_app::Engine;
+use relm_cluster::ClusterSpec;
+use relm_common::MemoryConfig;
+use relm_experiments::{aborted_count, mean_runtime_mins, repeat_runs};
+use relm_workloads::{benchmark_suite, max_resource_allocation};
+
+fn main() {
+    let engine = Engine::new(ClusterSpec::cluster_a());
+    println!("Figure 4: containers per node (runtime normalized to N=1 / the default)\n");
+    println!(
+        "{:<10} {:>2} {:>9} {:>6} {:>9} {:>8} {:>8} {:>7}",
+        "app", "N", "runtime", "norm", "max-heap", "avg-cpu", "avg-disk", "status"
+    );
+    for app in benchmark_suite() {
+        let default = max_resource_allocation(engine.cluster(), &app);
+        let mut base = f64::NAN;
+        for n in 1..=4u32 {
+            let cfg = MemoryConfig {
+                containers_per_node: n,
+                heap: engine.cluster().heap_for(n),
+                ..default
+            };
+            let runs = repeat_runs(&engine, &app, &cfg, 3, 40 + n as u64);
+            let aborted = aborted_count(&runs);
+            let ok: Vec<_> = runs.iter().filter(|r| !r.aborted).cloned().collect();
+            let status = match aborted {
+                0 => "ok".to_owned(),
+                a if a == runs.len() => "FAILED".to_owned(),
+                a => format!("{a}/3 fail"),
+            };
+            if ok.is_empty() {
+                println!("{:<10} {:>2} {:>9} {:>6} {:>9} {:>8} {:>8} {:>7}",
+                    app.name, n, "-", "-", "-", "-", "-", status);
+                continue;
+            }
+            let runtime = mean_runtime_mins(&ok);
+            if n == 1 {
+                base = runtime;
+            }
+            let heap = ok.iter().map(|r| r.max_heap_util).fold(0.0, f64::max);
+            let cpu = ok.iter().map(|r| r.avg_cpu_util).sum::<f64>() / ok.len() as f64;
+            let disk = ok.iter().map(|r| r.avg_disk_util).sum::<f64>() / ok.len() as f64;
+            println!(
+                "{:<10} {:>2} {:>8.1}m {:>6.2} {:>9.2} {:>8.2} {:>8.2} {:>7}",
+                app.name, n, runtime, runtime / base, heap, cpu, disk, status
+            );
+        }
+        println!();
+    }
+    println!("paper shape: WordCount/SortByKey favor thin containers; K-means and");
+    println!("SVM hit memory pressure (K-means fails at N=4); PageRank fails everywhere.");
+}

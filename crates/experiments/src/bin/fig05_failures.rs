@@ -1,0 +1,49 @@
+//! Figure 5: exploring failures on one unsafe configuration each for
+//! SortByKey (70% heap for shuffle), K-means (4 containers per node), and
+//! PageRank (the default settings). Each setup is executed 5 times; the
+//! label is the number of container failures, `*` marks aborted runs.
+
+use relm_app::Engine;
+use relm_cluster::ClusterSpec;
+use relm_workloads::{kmeans, max_resource_allocation, pagerank, sortbykey};
+
+fn main() {
+    let engine = Engine::new(ClusterSpec::cluster_a());
+
+    let sbk = sortbykey();
+    let mut sbk_cfg = max_resource_allocation(engine.cluster(), &sbk);
+    sbk_cfg.shuffle_fraction = 0.7;
+
+    let km = kmeans();
+    let mut km_cfg = max_resource_allocation(engine.cluster(), &km);
+    km_cfg.containers_per_node = 4;
+    km_cfg.heap = engine.cluster().heap_for(4);
+
+    let pr = pagerank();
+    let pr_cfg = max_resource_allocation(engine.cluster(), &pr);
+
+    println!("Figure 5: failures on unsafe configurations (5 runs each)\n");
+    println!("{:<26} {:>5} {:>9} {:>6} {:>6} {:>7}", "setup", "run", "runtime", "fails", "kind", "status");
+    for (label, app, cfg) in [
+        ("SortByKey shuffle=0.7", &sbk, &sbk_cfg),
+        ("K-means 4 containers", &km, &km_cfg),
+        ("PageRank default", &pr, &pr_cfg),
+    ] {
+        for run in 0..5u64 {
+            let (r, _) = engine.run(app, cfg, 7_000 + run * 31);
+            println!(
+                "{:<26} {:>5} {:>8.1}m {:>6} {:>6} {:>7}",
+                label,
+                run + 1,
+                r.runtime_mins(),
+                r.container_failures,
+                format!("{}o/{}k", r.oom_failures, r.rss_kills),
+                if r.aborted { "*abort" } else { "ok" }
+            );
+        }
+        println!();
+    }
+    println!("paper shape: huge variability in failure counts and runtimes; some runs abort.");
+    println!("Failures stem from (a) out-of-memory errors and (b) the resource manager");
+    println!("killing containers over the physical-memory cap (o = OOM, k = RSS kill).");
+}

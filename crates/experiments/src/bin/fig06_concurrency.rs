@@ -1,0 +1,53 @@
+//! Figure 6: impact of Task Concurrency (1..8) on runtime and resource
+//! utilization. Performance improves with concurrency until a CPU, disk, or
+//! memory bottleneck flattens (or reverses) the curve; PageRank runs out of
+//! memory for concurrency ≥ 2.
+
+use relm_app::Engine;
+use relm_cluster::ClusterSpec;
+use relm_common::MemoryConfig;
+use relm_experiments::{aborted_count, mean_runtime_mins, repeat_runs};
+use relm_workloads::{benchmark_suite, max_resource_allocation};
+
+fn main() {
+    let engine = Engine::new(ClusterSpec::cluster_a());
+    println!("Figure 6: task concurrency sweep (runtime normalized to p=1)\n");
+    println!(
+        "{:<10} {:>2} {:>9} {:>6} {:>9} {:>8} {:>8} {:>6} {:>7}",
+        "app", "p", "runtime", "norm", "max-heap", "avg-cpu", "avg-disk", "gc", "status"
+    );
+    for app in benchmark_suite() {
+        let default = max_resource_allocation(engine.cluster(), &app);
+        let mut base = f64::NAN;
+        for p in [1u32, 2, 4, 6, 8] {
+            let cfg = MemoryConfig { task_concurrency: p, ..default };
+            let runs = repeat_runs(&engine, &app, &cfg, 3, 600 + p as u64);
+            let aborted = aborted_count(&runs);
+            let ok: Vec<_> = runs.iter().filter(|r| !r.aborted).cloned().collect();
+            if ok.is_empty() {
+                println!("{:<10} {:>2} {:>9} {:>6} {:>9} {:>8} {:>8} {:>6} {:>7}",
+                    app.name, p, "-", "-", "-", "-", "-", "-", "FAILED");
+                continue;
+            }
+            let runtime = mean_runtime_mins(&ok);
+            if p == 1 {
+                base = runtime;
+            }
+            println!(
+                "{:<10} {:>2} {:>8.1}m {:>6.2} {:>9.2} {:>8.2} {:>8.2} {:>6.2} {:>7}",
+                app.name,
+                p,
+                runtime,
+                runtime / base,
+                ok.iter().map(|r| r.max_heap_util).fold(0.0, f64::max),
+                ok.iter().map(|r| r.avg_cpu_util).sum::<f64>() / ok.len() as f64,
+                ok.iter().map(|r| r.avg_disk_util).sum::<f64>() / ok.len() as f64,
+                ok.iter().map(|r| r.gc_overhead).sum::<f64>() / ok.len() as f64,
+                if aborted > 0 { format!("{aborted}/3fail") } else { "ok".into() }
+            );
+        }
+        println!();
+    }
+    println!("paper shape: each application improves until a bottleneck, then plateaus;");
+    println!("GC overheads grow with concurrency under memory pressure; PageRank fails for p>=2.");
+}

@@ -1,0 +1,45 @@
+//! Figure 8: interaction between NewRatio and Cache Capacity for K-means.
+//! With high cache capacities, low NewRatio (Old smaller than the cache)
+//! causes ~50% GC overheads; sizing Old to just fit the cache performs up
+//! to 3x better (Observation 5).
+
+use relm_app::Engine;
+use relm_cluster::ClusterSpec;
+use relm_common::MemoryConfig;
+use relm_experiments::{mean_runtime_mins, repeat_runs};
+use relm_workloads::{kmeans, max_resource_allocation};
+
+fn main() {
+    let engine = Engine::new(ClusterSpec::cluster_a());
+    let app = kmeans();
+    let default = max_resource_allocation(engine.cluster(), &app);
+
+    println!("Figure 8: NewRatio x CacheCapacity for K-means (runtime / GC overhead)\n");
+    print!("{:>8}", "cache");
+    for nr in [1u32, 2, 3, 5, 7] {
+        print!(" {:>15}", format!("NR={nr}"));
+    }
+    println!();
+    for cc in [0.4, 0.5, 0.6, 0.7, 0.8] {
+        print!("{cc:>8.1}");
+        for nr in [1u32, 2, 3, 5, 7] {
+            let cfg = MemoryConfig {
+                cache_fraction: cc,
+                shuffle_fraction: 0.0,
+                new_ratio: nr,
+                ..default
+            };
+            let runs = repeat_runs(&engine, &app, &cfg, 2, (cc * 100.0) as u64 + nr as u64);
+            let ok: Vec<_> = runs.iter().filter(|r| !r.aborted).cloned().collect();
+            if ok.is_empty() {
+                print!(" {:>15}", "FAILED");
+                continue;
+            }
+            let gc = ok.iter().map(|r| r.gc_overhead).sum::<f64>() / ok.len() as f64;
+            print!(" {:>9.1}m/{:<4.2}", mean_runtime_mins(&ok), gc);
+        }
+        println!();
+    }
+    println!("\npaper shape: at cache >= 0.7 the low-NewRatio cells (Old < Mi + cache)");
+    println!("thrash with full collections; NewRatio sized to fit the cache is ~2-3x faster.");
+}

@@ -1,0 +1,45 @@
+//! Figure 9: impact of NewRatio (1..8) on per-task GC overheads for K-means
+//! with Cache Capacity 0.6. NewRatio 2 "just fits" the cache; lower values
+//! thrash (Observation 5), higher values add young-collection overheads.
+
+use relm_app::Engine;
+use relm_cluster::ClusterSpec;
+use relm_common::{stats, MemoryConfig};
+use relm_workloads::{kmeans, max_resource_allocation};
+
+fn main() {
+    let engine = Engine::new(ClusterSpec::cluster_a());
+    let app = kmeans();
+    let default = max_resource_allocation(engine.cluster(), &app);
+
+    println!("Figure 9: NewRatio sweep for K-means at Cache Capacity 0.6\n");
+    println!("{:>3} {:>10} {:>12} {:>10} {:>9}", "NR", "gc-mean", "gc-stddev", "runtime", "old-fit?");
+    for nr in 1..=8u32 {
+        let cfg = MemoryConfig {
+            cache_fraction: 0.6,
+            shuffle_fraction: 0.0,
+            new_ratio: nr,
+            ..default
+        };
+        let mut gcs = Vec::new();
+        let mut mins = Vec::new();
+        for seed in 0..5u64 {
+            let (r, _) = engine.run(&app, &cfg, 900 + seed * 13);
+            if !r.aborted {
+                gcs.push(r.gc_overhead);
+                mins.push(r.runtime_mins());
+            }
+        }
+        let fits = cfg.old_capacity() >= cfg.cache_capacity();
+        println!(
+            "{:>3} {:>10.3} {:>12.3} {:>9.1}m {:>9}",
+            nr,
+            stats::mean(&gcs),
+            stats::std_dev(&gcs),
+            stats::mean(&mins),
+            if fits { "yes" } else { "NO" }
+        );
+    }
+    println!("\npaper shape: NR=1 (Old < cache) has the worst overheads; NR=2 is the");
+    println!("sweet spot; higher values add increasingly many young collections.");
+}

@@ -1,0 +1,45 @@
+//! Figure 10: interaction between NewRatio and Shuffle Capacity for
+//! SortByKey. Raising NewRatio shrinks Eden, so shuffle buffers cross the
+//! half-Eden threshold sooner and every spill drags a full collection
+//! behind it (Observation 7).
+
+use relm_app::Engine;
+use relm_cluster::ClusterSpec;
+use relm_common::MemoryConfig;
+use relm_experiments::{mean_runtime_mins, repeat_runs};
+use relm_workloads::{max_resource_allocation, sortbykey};
+
+fn main() {
+    let engine = Engine::new(ClusterSpec::cluster_a());
+    let app = sortbykey();
+    let default = max_resource_allocation(engine.cluster(), &app);
+
+    println!("Figure 10: NewRatio x ShuffleCapacity for SortByKey (runtime / GC overhead)\n");
+    print!("{:>9}", "shuffle");
+    for nr in [1u32, 2, 3] {
+        print!(" {:>16}", format!("NR={nr}"));
+    }
+    println!();
+    for sc in [0.05, 0.1, 0.15, 0.2, 0.25, 0.3] {
+        print!("{sc:>9.2}");
+        for nr in [1u32, 2, 3] {
+            let cfg = MemoryConfig {
+                shuffle_fraction: sc,
+                cache_fraction: 0.0,
+                new_ratio: nr,
+                ..default
+            };
+            let runs = repeat_runs(&engine, &app, &cfg, 3, (sc * 1000.0) as u64 + nr as u64);
+            let ok: Vec<_> = runs.iter().filter(|r| !r.aborted).cloned().collect();
+            if ok.is_empty() {
+                print!(" {:>16}", "FAILED");
+                continue;
+            }
+            let gc = ok.iter().map(|r| r.gc_overhead).sum::<f64>() / ok.len() as f64;
+            print!(" {:>10.2}m/{:<4.2}", mean_runtime_mins(&ok), gc);
+        }
+        println!();
+    }
+    println!("\npaper shape: GC overheads grow with both Shuffle Capacity and NewRatio;");
+    println!("a good heuristic is to keep shuffle memory under 50% of Eden.");
+}

@@ -1,0 +1,73 @@
+//! Figure 16: training overheads of the tuning policies, as a percentage of
+//! the Exhaustive Search effort. Black-box policies are trained until they
+//! find a configuration within the top 5 percentile of the exhaustive
+//! baseline; RelM needs a single profiled run.
+
+use relm_app::Engine;
+use relm_cluster::ClusterSpec;
+use relm_common::stats;
+use relm_core::RelmTuner;
+use relm_experiments::{exhaustive_baseline, long_bo, long_ddpg, train_until};
+use relm_tune::{Tuner, TuningEnv};
+use relm_workloads::benchmark_suite;
+
+fn main() {
+    let engine = Engine::new(ClusterSpec::cluster_a());
+    let reps = 5u64;
+    println!("Figure 16: training overheads vs Exhaustive Search (mean of {reps} repetitions)\n");
+    println!(
+        "{:<10} {:<6} {:>7} {:>12} {:>10} {:>10}",
+        "app", "policy", "iters", "stress-time", "% of exh.", "converged"
+    );
+    for app in benchmark_suite() {
+        let baseline = exhaustive_baseline(&engine, &app, 42);
+        let threshold = baseline.top5_mins;
+        let exh_time = baseline.stress_time;
+
+        for policy_name in ["RelM", "GBO", "BO", "DDPG"] {
+            let mut iters = Vec::new();
+            let mut times = Vec::new();
+            let mut converged = 0u32;
+            for rep in 0..reps {
+                let seed = 100 + rep * 17;
+                let mut env = TuningEnv::new(engine.clone(), app.clone(), seed);
+                let cost = match policy_name {
+                    "RelM" => {
+                        // RelM does not stress-test toward a threshold; its
+                        // cost is the profiling run(s).
+                        let mut relm = RelmTuner::default();
+                        let _ = relm.tune(&mut env);
+                        relm_experiments::TrainingCost {
+                            iterations: env.evaluations(),
+                            stress_time: env.stress_time(),
+                            converged: true,
+                        }
+                    }
+                    "GBO" => train_until(&mut long_bo(seed, true), &mut env, threshold),
+                    "BO" => train_until(&mut long_bo(seed, false), &mut env, threshold),
+                    _ => train_until(&mut long_ddpg(seed), &mut env, threshold),
+                };
+                iters.push(cost.iterations as f64);
+                times.push(cost.stress_time.as_mins());
+                converged += u32::from(cost.converged);
+            }
+            println!(
+                "{:<10} {:<6} {:>7.1} {:>9.0}min {:>9.1}% {:>8}/{}",
+                app.name,
+                policy_name,
+                stats::mean(&iters),
+                stats::mean(&times),
+                stats::mean(&times) / exh_time.as_mins() * 100.0,
+                converged,
+                reps
+            );
+        }
+        println!(
+            "{:<10} {:<6} {:>7} {:>9.0}min {:>10}",
+            app.name, "Exh.", 192, exh_time.as_mins(), "100.0%"
+        );
+        println!();
+    }
+    println!("paper shape: RelM needs one run; BO/GBO < 4% of exhaustive effort with GBO");
+    println!("~2x faster than BO; DDPG takes the longest but still < 10%.");
+}

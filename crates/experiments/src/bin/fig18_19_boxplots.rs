@@ -1,0 +1,48 @@
+//! Figures 18 & 19: box-whisker summaries of absolute training time and
+//! iteration counts for K-means and SVM, across repeated executions of each
+//! policy (quantiles over 8 repetitions).
+
+use relm_app::Engine;
+use relm_cluster::ClusterSpec;
+use relm_common::stats::five_number;
+use relm_experiments::{exhaustive_baseline, long_bo, long_ddpg, train_until};
+use relm_tune::TuningEnv;
+use relm_workloads::{kmeans, svm};
+
+fn main() {
+    let engine = Engine::new(ClusterSpec::cluster_a());
+    let reps = 8u64;
+    for app in [kmeans(), svm()] {
+        let baseline = exhaustive_baseline(&engine, &app, 42);
+        let threshold = baseline.top5_mins;
+        println!(
+            "{} (top-5% threshold: {:.2} min)\n{:<6} {:>32} {:>26}",
+            app.name, threshold, "policy", "training time (min) [5-number]", "iterations [5-number]"
+        );
+        for policy_name in ["BO", "GBO", "DDPG"] {
+            let mut times = Vec::new();
+            let mut iters = Vec::new();
+            for rep in 0..reps {
+                let seed = 300 + rep * 13;
+                let mut env = TuningEnv::new(engine.clone(), app.clone(), seed);
+                let cost = match policy_name {
+                    "BO" => train_until(&mut long_bo(seed, false), &mut env, threshold),
+                    "GBO" => train_until(&mut long_bo(seed, true), &mut env, threshold),
+                    _ => train_until(&mut long_ddpg(seed), &mut env, threshold),
+                };
+                times.push(cost.stress_time.as_mins());
+                iters.push(cost.iterations as f64);
+            }
+            let t = five_number(&times);
+            let i = five_number(&iters);
+            println!(
+                "{:<6} [{:>5.0} {:>5.0} {:>5.0} {:>5.0} {:>5.0}] [{:>4.0} {:>4.0} {:>4.0} {:>4.0} {:>4.0}]",
+                policy_name, t.min, t.q25, t.median, t.q75, t.max, i.min, i.q25, i.median, i.q75,
+                i.max
+            );
+        }
+        println!();
+    }
+    println!("paper shape: considerable variation across runs (local-minima tails,");
+    println!("especially for SVM); DDPG takes the longest among the black-box policies.");
+}

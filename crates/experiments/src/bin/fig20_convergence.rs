@@ -1,0 +1,74 @@
+//! Figure 20: convergence of the tuning policies on K-means. Each tuner
+//! runs 5 times; the mean, min, and max of the best-runtime-so-far are
+//! reported per iteration.
+
+use relm_app::Engine;
+use relm_cluster::ClusterSpec;
+use relm_experiments::{long_bo, long_ddpg};
+use relm_tune::{Tuner, TuningEnv};
+use relm_workloads::kmeans;
+
+/// Best-so-far trajectory of one tuning session.
+fn trajectory(env: &TuningEnv, len: usize) -> Vec<f64> {
+    let mut best = f64::INFINITY;
+    let mut out = Vec::new();
+    for obs in env.history() {
+        best = best.min(obs.score_mins);
+        out.push(best);
+    }
+    // Extend to a common length for averaging.
+    while out.len() < len {
+        out.push(best);
+    }
+    out
+}
+
+fn main() {
+    let engine = Engine::new(ClusterSpec::cluster_a());
+    let app = kmeans();
+    let reps = 5u64;
+    let horizon = 24;
+
+    println!("Figure 20: best-runtime-so-far on K-means (mean [min..max] over {reps} runs)\n");
+    print!("{:<5}", "iter");
+    for name in ["BO", "GBO", "DDPG"] {
+        print!(" {:>22}", name);
+    }
+    println!();
+
+    let mut curves: Vec<Vec<Vec<f64>>> = Vec::new();
+    for policy_name in ["BO", "GBO", "DDPG"] {
+        let mut per_rep = Vec::new();
+        for rep in 0..reps {
+            let seed = 400 + rep * 19;
+            let mut env = TuningEnv::new(engine.clone(), app.clone(), seed);
+            match policy_name {
+                "BO" => {
+                    let _ = long_bo(seed, false).tune(&mut env);
+                }
+                "GBO" => {
+                    let _ = long_bo(seed, true).tune(&mut env);
+                }
+                _ => {
+                    let _ = long_ddpg(seed).tune(&mut env);
+                }
+            }
+            per_rep.push(trajectory(&env, horizon));
+        }
+        curves.push(per_rep);
+    }
+
+    for i in 0..horizon {
+        print!("{:<5}", i + 1);
+        for per_rep in &curves {
+            let vals: Vec<f64> = per_rep.iter().map(|c| c[i]).collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            print!(" {:>7.1} [{:>4.1}..{:>4.1}]", mean, min, max);
+        }
+        println!();
+    }
+    println!("\npaper shape: GBO fits earlier than BO; DDPG explores low-reward regions");
+    println!("first and converges last.");
+}

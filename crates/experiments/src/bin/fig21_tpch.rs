@@ -1,0 +1,85 @@
+//! Figure 21: TPC-H on Cluster B — per-query runtime under
+//! `MaxResourceAllocation` versus under RelM's recommendation. RelM tunes
+//! the workload from one profiled execution of the suite (the paper reports
+//! 66 minutes cut to 40, a ~40% saving).
+
+use relm_app::Engine;
+use relm_cluster::ClusterSpec;
+use relm_core::RelmTuner;
+use relm_profile::{derive_stats, DerivedStats};
+use relm_workloads::{max_resource_allocation, tpch_queries};
+
+fn main() {
+    let engine = Engine::new(ClusterSpec::cluster_b());
+    let queries = tpch_queries();
+
+    // Profile the whole suite under the default policy; merge statistics by
+    // taking the maximum requirement across queries (a workload-level
+    // profile).
+    let mut merged: Option<DerivedStats> = None;
+    let mut default_total = 0.0;
+    let mut default_runtimes = Vec::new();
+    for (i, q) in queries.iter().enumerate() {
+        let cfg = max_resource_allocation(engine.cluster(), q);
+        let (r, profile) = engine.run(q, &cfg, 42 + i as u64);
+        default_total += r.runtime_mins();
+        default_runtimes.push(r.runtime_mins());
+        let s = derive_stats(&profile);
+        merged = Some(match merged {
+            None => s,
+            Some(m) => {
+                // Take the maximum requirement across queries. For M_u only
+                // full-GC-backed estimates participate (§4.1: the fallback
+                // over-estimates by orders of magnitude and would poison the
+                // whole workload's statistics); if *no* query produced one,
+                // the conservative fallback of the first query stands.
+                let m_u = match (m.m_u_from_full_gc, s.m_u_from_full_gc) {
+                    (true, true) => m.m_u.max(s.m_u),
+                    (true, false) => m.m_u,
+                    (false, true) => s.m_u,
+                    (false, false) => m.m_u.max(s.m_u),
+                };
+                DerivedStats {
+                    m_i: m.m_i.max(s.m_i),
+                    m_c: m.m_c.max(s.m_c),
+                    m_s: m.m_s.max(s.m_s),
+                    m_u,
+                    m_u_from_full_gc: m.m_u_from_full_gc || s.m_u_from_full_gc,
+                    cpu_avg: m.cpu_avg.max(s.cpu_avg),
+                    disk_avg: m.disk_avg.max(s.disk_avg),
+                    s: m.s.max(s.s),
+                    ..m
+                }
+            }
+        });
+    }
+    let stats = merged.expect("at least one query");
+
+    // One RelM recommendation for the whole workload.
+    let mut relm = RelmTuner::default();
+    let config = relm
+        .recommend_from_stats(engine.cluster(), stats)
+        .expect("RelM recommendation for TPC-H");
+
+    println!("Figure 21: TPC-H per-query runtime, default vs RelM (Cluster B)");
+    println!("RelM configuration: {config}\n");
+    println!("{:>5} {:>10} {:>10} {:>8}", "query", "default", "RelM", "saving");
+    let mut relm_total = 0.0;
+    for (i, q) in queries.iter().enumerate() {
+        let (r, _) = engine.run(q, &config, 4_200 + i as u64);
+        relm_total += r.runtime_mins();
+        println!(
+            "{:>5} {:>9.2}m {:>9.2}m {:>7.0}%",
+            format!("Q{}", i + 1),
+            default_runtimes[i],
+            r.runtime_mins(),
+            (1.0 - r.runtime_mins() / default_runtimes[i]) * 100.0
+        );
+    }
+    println!(
+        "\ntotal: default {:.0} min -> RelM {:.0} min ({:.0}% saving; paper: 66 -> 40, 40%)",
+        default_total,
+        relm_total,
+        (1.0 - relm_total / default_total) * 100.0
+    );
+}

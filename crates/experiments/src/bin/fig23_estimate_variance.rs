@@ -1,0 +1,68 @@
+//! Figure 23: variability of the Code Overhead (M_i) and Task Unmanaged
+//! (M_u) estimates across 16 distinct initial profiles per application.
+//! The estimates should be stable — which is why RelM recommends (almost)
+//! the same configuration regardless of the profiled starting point.
+
+use relm_app::Engine;
+use relm_cluster::ClusterSpec;
+use relm_common::{stats, MemoryConfig};
+use relm_profile::derive_stats;
+use relm_workloads::benchmark_suite;
+
+fn main() {
+    let engine = Engine::new(ClusterSpec::cluster_a());
+    let cluster = engine.cluster().clone();
+    println!("Figure 23: M_i and M_u estimates across 16 profiles (mean ± std. error)\n");
+    println!(
+        "{:<10} {:>9} {:>22} {:>22}",
+        "app", "profiles", "M_i (MB)", "M_u (MB)"
+    );
+    for app in benchmark_suite() {
+        let mut mi = Vec::new();
+        let mut mu = Vec::new();
+        let mut idx = 0u64;
+        'outer: for n in [1u32, 2] {
+            for p in [1u32, 2] {
+                for cc in [0.3, 0.5] {
+                    for nr in [2u32, 6] {
+                        idx += 1;
+                        let (cf, sf) = if app.uses_cache() { (cc, 0.0) } else { (0.0, cc) };
+                        let cfg = MemoryConfig {
+                            containers_per_node: n,
+                            heap: cluster.heap_for(n),
+                            task_concurrency: p,
+                            cache_fraction: cf,
+                            shuffle_fraction: sf,
+                            new_ratio: nr,
+                            survivor_ratio: 8,
+                        };
+                        let (r, profile) = engine.run(&app, &cfg, 20_000 + idx * 7);
+                        if r.aborted {
+                            continue;
+                        }
+                        let s = derive_stats(&profile);
+                        // Only full-GC profiles contribute, as in §6.4.
+                        if s.m_u_from_full_gc {
+                            mi.push(s.m_i.as_mb());
+                            mu.push(s.m_u.as_mb());
+                        }
+                        if mi.len() >= 16 {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        println!(
+            "{:<10} {:>9} {:>13.0} ± {:>5.1} {:>13.0} ± {:>5.1}",
+            app.name,
+            mi.len(),
+            stats::mean(&mi),
+            stats::std_error(&mi),
+            stats::mean(&mu),
+            stats::std_error(&mu),
+        );
+    }
+    println!("\npaper shape: little variance within an application; across applications");
+    println!("the task memory differs by up to two orders of magnitude (log scale).");
+}

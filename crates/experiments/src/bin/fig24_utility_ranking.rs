@@ -1,0 +1,61 @@
+//! Figure 24: accuracy of RelM's configuration ranking. The Selector ranks
+//! the per-container-size candidates by the utility score U; this binary
+//! compares that ranking to the candidates' measured performance (Spearman
+//! rank correlation).
+
+use relm_app::Engine;
+use relm_cluster::ClusterSpec;
+use relm_common::stats;
+use relm_core::RelmTuner;
+use relm_tune::{Tuner, TuningEnv};
+use relm_workloads::benchmark_suite;
+
+fn main() {
+    let engine = Engine::new(ClusterSpec::cluster_a());
+    println!("Figure 24: utility score U vs measured runtime of RelM candidates\n");
+    let mut all_corr = Vec::new();
+    for app in benchmark_suite() {
+        let mut env = TuningEnv::new(engine.clone(), app.clone(), 31);
+        let mut relm = RelmTuner::default();
+        if relm.tune(&mut env).is_err() {
+            continue;
+        }
+        let mut utilities = Vec::new();
+        let mut runtimes = Vec::new();
+        println!("{}:", app.name);
+        for (n, outcome) in relm.last_outcomes() {
+            let mut mins = 0.0;
+            let mut ok = 0;
+            for seed in 0..3u64 {
+                let (r, _) = engine.run(&app, &outcome.config, 30_000 + seed * 11);
+                if !r.aborted {
+                    mins += r.runtime_mins();
+                    ok += 1;
+                }
+            }
+            if ok == 0 {
+                println!("  n={n}: U={:.3} -> aborted", outcome.utility);
+                continue;
+            }
+            let mean = mins / ok as f64;
+            println!("  n={n}: U={:.3} -> {:.1} min", outcome.utility, mean);
+            utilities.push(outcome.utility);
+            runtimes.push(mean);
+        }
+        if utilities.len() >= 2 {
+            // Higher U should mean lower runtime: expect a negative rank
+            // correlation between U and runtime.
+            let rho = stats::spearman(&utilities, &runtimes);
+            println!("  Spearman(U, runtime) = {rho:.2} (negative = ranking works)\n");
+            all_corr.push(rho);
+        } else {
+            println!();
+        }
+    }
+    println!(
+        "mean correlation across applications: {:.2}",
+        stats::mean(&all_corr)
+    );
+    println!("paper shape: a strong correlation between the utility ranking and the");
+    println!("performance ranking of the candidates.");
+}

@@ -1,0 +1,57 @@
+//! Figure 26: swapping the surrogate — Gaussian Process vs Random Forest —
+//! inside both BO and GBO, on K-means and SVM. Neither model is strictly
+//! superior; the GBO guidance helps regardless of the surrogate.
+
+use relm_app::Engine;
+use relm_bo::{BayesOpt, BoConfig, SurrogateKind};
+use relm_cluster::ClusterSpec;
+use relm_common::stats;
+use relm_tune::{Tuner, TuningEnv};
+use relm_workloads::{kmeans, max_resource_allocation, svm};
+
+fn main() {
+    let engine = Engine::new(ClusterSpec::cluster_a());
+    let reps = 4u64;
+    println!("Figure 26: Gaussian Process vs Random Forest surrogates\n");
+    println!(
+        "{:<10} {:<10} {:>10} {:>8} {:>9}",
+        "app", "variant", "rec. time", "norm", "iters"
+    );
+    for app in [kmeans(), svm()] {
+        let default = max_resource_allocation(engine.cluster(), &app);
+        let (def_run, _) = engine.run(&app, &default, 999);
+        let def_mins = def_run.runtime_mins();
+
+        for (kind, guided, label) in [
+            (SurrogateKind::GaussianProcess, false, "BO-GP"),
+            (SurrogateKind::RandomForest, false, "BO-RF"),
+            (SurrogateKind::GaussianProcess, true, "GBO-GP"),
+            (SurrogateKind::RandomForest, true, "GBO-RF"),
+        ] {
+            let mut mins = Vec::new();
+            let mut iters = Vec::new();
+            for rep in 0..reps {
+                let seed = 500 + rep * 23;
+                let base = if guided { BayesOpt::guided(seed) } else { BayesOpt::new(seed) };
+                let mut bo = base.with_config(BoConfig { surrogate: kind, ..BoConfig::default() });
+                let mut env = TuningEnv::new(engine.clone(), app.clone(), seed);
+                if let Ok(rec) = bo.tune(&mut env) {
+                    let (r, _) = engine.run(&app, &rec.config, 40_000 + rep);
+                    mins.push(r.runtime_mins());
+                    iters.push(rec.evaluations as f64);
+                }
+            }
+            println!(
+                "{:<10} {:<10} {:>9.1}m {:>8.2} {:>9.1}",
+                app.name,
+                label,
+                stats::mean(&mins),
+                stats::mean(&mins) / def_mins,
+                stats::mean(&iters)
+            );
+        }
+        println!();
+    }
+    println!("paper shape: no clear winner between GP and RF; the white-box guidance");
+    println!("helps under either surrogate.");
+}

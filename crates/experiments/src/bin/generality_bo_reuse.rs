@@ -1,0 +1,98 @@
+//! §6.6's BO model-reuse discussion: replicate OtterTune's strategy by
+//! matching the present workload to a previously tuned one via the Table-6
+//! statistics and warm-starting the Gaussian process with its observations.
+//! Also demonstrates the caveat: "the saved regression models cannot be
+//! adapted to the changes in hardware configuration and input data."
+
+use relm_app::Engine;
+use relm_bo::{BayesOpt, BoConfig, ModelRepository};
+use relm_cluster::ClusterSpec;
+use relm_profile::derive_stats;
+use relm_tune::{Tuner, TuningEnv};
+use relm_workloads::{kmeans, max_resource_allocation, svm, svm_scaled};
+
+fn short_bo(seed: u64, warm: Option<Vec<(Vec<f64>, f64)>>) -> BayesOpt {
+    let bo = BayesOpt::new(seed).with_config(BoConfig {
+        min_adaptive_samples: 4,
+        max_iterations: 6,
+        ..BoConfig::default()
+    });
+    match warm {
+        Some(w) => bo.with_warm_start(w),
+        None => bo,
+    }
+}
+
+fn main() {
+    let engine = Engine::new(ClusterSpec::cluster_a());
+    let mut repo = ModelRepository::new();
+
+    // 1. Tune K-means and SVM fully; store their models.
+    for app in [kmeans(), svm()] {
+        let default = max_resource_allocation(engine.cluster(), &app);
+        let (_, profile) = engine.run(&app, &default, 42);
+        let stats = derive_stats(&profile);
+        let mut env = TuningEnv::new(engine.clone(), app.clone(), 7);
+        let _ = BayesOpt::new(7).tune(&mut env).expect("tuning");
+        let space = env.space().clone();
+        let observations = env
+            .history()
+            .iter()
+            .map(|o| (space.encode(&o.config).to_vec(), o.score_mins))
+            .collect();
+        repo.store(&app.name, &stats, observations);
+    }
+    println!("repository holds {} tuned workloads\n", repo.len());
+
+    // 2. A "new" workload arrives: SVM at a slightly different scale.
+    // Fingerprint it from one default run and map it to the repository.
+    let new_app = svm_scaled(1.2);
+    let default = max_resource_allocation(engine.cluster(), &new_app);
+    let (_, profile) = engine.run(&new_app, &default, 77);
+    let stats = derive_stats(&profile);
+    let mapped = repo.nearest(&stats).expect("repository non-empty");
+    println!("new workload (SVM @1.2x) mapped to stored workload: {}", mapped.workload);
+
+    // 3. Warm-started BO vs cold BO under the same small budget.
+    let mut cold_env = TuningEnv::new(engine.clone(), new_app.clone(), 31);
+    let cold = short_bo(31, None).tune(&mut cold_env).expect("cold BO");
+    let (cold_run, _) = engine.run(&new_app, &cold.config, 900);
+
+    let mut warm_env = TuningEnv::new(engine.clone(), new_app.clone(), 31);
+    let warm = short_bo(31, Some(mapped.observations.clone()))
+        .tune(&mut warm_env)
+        .expect("warm BO");
+    let (warm_run, _) = engine.run(&new_app, &warm.config, 900);
+
+    println!(
+        "  cold BO:  {:>5.1} min after {:>2} stress tests",
+        cold_run.runtime_mins(),
+        cold.evaluations
+    );
+    println!(
+        "  warm BO:  {:>5.1} min after {:>2} stress tests (reused model)",
+        warm_run.runtime_mins(),
+        warm.evaluations
+    );
+
+    // 4. The caveat: reuse the same SVM model on Cluster B — a hardware
+    // change the regression model cannot express.
+    let engine_b = Engine::new(ClusterSpec::cluster_b());
+    let mut wrong_env = TuningEnv::new(engine_b.clone(), svm(), 33);
+    let wrong = short_bo(33, Some(mapped.observations.clone()))
+        .tune(&mut wrong_env)
+        .expect("cross-hardware BO");
+    let (wrong_run, _) = engine_b.run(&svm(), &wrong.config, 901);
+    let mut fresh_env = TuningEnv::new(engine_b.clone(), svm(), 33);
+    let fresh = short_bo(33, None).tune(&mut fresh_env).expect("fresh BO");
+    let (fresh_run, _) = engine_b.run(&svm(), &fresh.config, 901);
+    println!("\ncross-hardware reuse (Cluster A model on Cluster B):");
+    println!(
+        "  reused model: {:>5.1} min   fresh model: {:>5.1} min",
+        wrong_run.runtime_mins(),
+        fresh_run.runtime_mins()
+    );
+    println!("\npaper shape: statistics-based mapping picks the right prior workload and");
+    println!("speeds same-cluster tuning; hardware changes defeat saved regression models");
+    println!("(which is DDPG's comparative advantage, Figure 27).");
+}

@@ -1,0 +1,58 @@
+//! Table 8: the configurations recommended by every tuning policy for every
+//! application, side by side with Exhaustive Search's winner.
+
+use relm_app::Engine;
+use relm_bo::BayesOpt;
+use relm_cluster::ClusterSpec;
+use relm_core::RelmTuner;
+use relm_ddpg::DdpgTuner;
+use relm_experiments::exhaustive_baseline;
+use relm_tune::{Tuner, TuningEnv};
+use relm_workloads::benchmark_suite;
+
+fn main() {
+    let engine = Engine::new(ClusterSpec::cluster_a());
+    println!("Table 8: recommendations by policy\n");
+    println!(
+        "{:<10} {:<10} {:>3} {:>3} {:>6} {:>8} {:>4}",
+        "app", "policy", "N", "p", "cache", "shuffle", "NR"
+    );
+    for app in benchmark_suite() {
+        // Exhaustive winner.
+        let baseline = exhaustive_baseline(&engine, &app, 42);
+        let best = baseline
+            .observations
+            .iter()
+            .min_by(|a, b| a.score_mins.partial_cmp(&b.score_mins).expect("NaN"))
+            .expect("non-empty grid")
+            .config;
+        let mut rows = vec![("Exhaustive".to_owned(), best)];
+
+        let mut policies: Vec<Box<dyn Tuner>> = vec![
+            Box::new(DdpgTuner::new(3)),
+            Box::new(BayesOpt::new(3)),
+            Box::new(BayesOpt::guided(3)),
+            Box::new(RelmTuner::default()),
+        ];
+        for policy in policies.iter_mut() {
+            let mut env = TuningEnv::new(engine.clone(), app.clone(), 17);
+            if let Ok(rec) = policy.tune(&mut env) {
+                rows.push((rec.policy, rec.config));
+            }
+        }
+
+        for (name, cfg) in rows {
+            println!(
+                "{:<10} {:<10} {:>3} {:>3} {:>6.2} {:>8.2} {:>4}",
+                app.name,
+                name,
+                cfg.containers_per_node,
+                cfg.task_concurrency,
+                cfg.cache_fraction,
+                cfg.shuffle_fraction,
+                cfg.new_ratio
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,180 @@
+//! Regenerates the small tables: Table 2 (test suite), Table 3 (clusters),
+//! Table 4 (defaults), Table 5 (manual PageRank tuning), Table 6 (derived
+//! statistics example), Table 7 (LHS bootstrap samples), and Table 9
+//! (a BO run log for SVM).
+
+use relm_app::Engine;
+use relm_bo::BayesOpt;
+use relm_cluster::ClusterSpec;
+use relm_common::{MemoryConfig, Rng};
+use relm_profile::derive_stats;
+use relm_surrogate::latin_hypercube;
+use relm_tune::{ConfigSpace, Tuner, TuningEnv};
+use relm_workloads::{benchmark_suite, max_resource_allocation, pagerank, svm};
+
+fn table2() {
+    println!("== Table 2: test suite ==");
+    println!("{:<10} {:>10} {:>12} {:>10} {:>6}", "app", "stages", "total input", "cache", "iters");
+    for app in benchmark_suite() {
+        let input: f64 = app.stages.iter().map(|s| s.total_input().as_gb()).sum();
+        println!(
+            "{:<10} {:>10} {:>10.0}GB {:>9.0}GB {:>6}",
+            app.name,
+            app.stages.len(),
+            input,
+            app.cache_demand().as_gb(),
+            app.iterations
+        );
+    }
+    println!();
+}
+
+fn table3() {
+    println!("== Table 3: evaluation clusters ==");
+    for c in [ClusterSpec::cluster_a(), ClusterSpec::cluster_b()] {
+        println!(
+            "{:<10} nodes={} mem/node={} cores/node={} disk={}MB/s net={}MB/s heap-budget={}",
+            c.name, c.nodes, c.mem_per_node, c.cores_per_node, c.disk_mb_per_s, c.net_mb_per_s,
+            c.heap_budget_per_node
+        );
+    }
+    println!();
+}
+
+fn table4() {
+    println!("== Table 4: MaxResourceAllocation + framework defaults (Cluster A) ==");
+    let cluster = ClusterSpec::cluster_a();
+    let cfg = max_resource_allocation(&cluster, &svm());
+    println!("Containers per Node              1");
+    println!("Heap Size                        {}", cfg.heap);
+    println!("Task Concurrency                 {}", cfg.task_concurrency);
+    println!("Cache + Shuffle Capacity         {:.1}", cfg.unified_fraction());
+    println!("NewRatio                         {}", cfg.new_ratio);
+    println!("SurvivorRatio                    {}", cfg.survivor_ratio);
+    println!();
+}
+
+fn table5() {
+    println!("== Table 5: manual tuning of PageRank ==");
+    let engine = Engine::new(ClusterSpec::cluster_a());
+    let app = pagerank();
+    let default = max_resource_allocation(engine.cluster(), &app);
+    let rows: [(&str, MemoryConfig); 4] = [
+        ("default", default),
+        ("p=1", MemoryConfig { task_concurrency: 1, ..default }),
+        ("cc=0.4", MemoryConfig { cache_fraction: 0.4, ..default }),
+        ("NR=5", MemoryConfig { new_ratio: 5, ..default }),
+    ];
+    println!(
+        "{:<8} {:>3} {:>6} {:>4} {:>10} {:>6} {:>6} {:>6} {:>10}",
+        "row", "p", "cache", "NR", "runtime", "H", "gc", "fails", "status"
+    );
+    for (label, cfg) in rows {
+        let mut mins = Vec::new();
+        let mut aborts = 0;
+        let mut fails = 0;
+        let mut h = 0.0;
+        let mut gc = 0.0;
+        for seed in 0..5u64 {
+            let (r, _) = engine.run(&app, &cfg, 7_000 + seed * 31);
+            mins.push(r.runtime_mins());
+            aborts += u32::from(r.aborted);
+            fails += r.container_failures;
+            h = r.cache_hit_ratio;
+            gc += r.gc_overhead / 5.0;
+        }
+        let status = if aborts > 0 {
+            format!("{aborts}/5 abort")
+        } else if fails > 0 {
+            "flaky".into()
+        } else {
+            "reliable".into()
+        };
+        println!(
+            "{:<8} {:>3} {:>6.1} {:>4} {:>9.1}m {:>6.2} {:>6.2} {:>6} {:>10}",
+            label,
+            cfg.task_concurrency,
+            cfg.cache_fraction,
+            cfg.new_ratio,
+            mins.iter().sum::<f64>() / mins.len() as f64,
+            h,
+            gc,
+            fails,
+            status
+        );
+    }
+    println!();
+}
+
+fn table6() {
+    println!("== Table 6: statistics derived from a PageRank profile ==");
+    let engine = Engine::new(ClusterSpec::cluster_a());
+    let app = pagerank();
+    let cfg = max_resource_allocation(engine.cluster(), &app);
+    let (_, profile) = engine.run(&app, &cfg, 42);
+    let s = derive_stats(&profile);
+    println!("N (containers per node)    {}", s.containers_per_node);
+    println!("M_h (heap)                 {}", s.heap);
+    println!("CPU_avg                    {:.0}%", s.cpu_avg);
+    println!("Disk_avg                   {:.0}%", s.disk_avg);
+    println!("M_i (code overhead)        {}", s.m_i);
+    println!("M_c (cache storage)        {}", s.m_c);
+    println!("M_s (task shuffle)         {}", s.m_s);
+    println!("M_u (task unmanaged)       {}   (from full GC events: {})", s.m_u, s.m_u_from_full_gc);
+    println!("P (task concurrency)       {}", s.p);
+    println!("H (cache hit ratio)        {:.2}", s.h);
+    println!("S (spillage fraction)      {:.2}", s.s);
+    println!("paper example: N=1, M_h=4404MB, CPU=35%, M_i=115MB, M_c=2300MB, M_u=770MB, H=0.3");
+    println!();
+}
+
+fn table7() {
+    println!("== Table 7: LHS bootstrap samples (4 samples over 4 dimensions) ==");
+    let cluster = ClusterSpec::cluster_a();
+    let space = ConfigSpace::for_app(&cluster, &svm());
+    let mut rng = Rng::new(7);
+    println!("{:>3} {:>4} {:>3} {:>9} {:>4}", "#", "N", "p", "capacity", "NR");
+    for x in latin_hypercube(4, 4, &mut rng) {
+        let cfg = space.decode(&x);
+        println!(
+            "{:>3} {:>4} {:>3} {:>9.2} {:>4}",
+            "-", cfg.containers_per_node, cfg.task_concurrency, cfg.cache_fraction, cfg.new_ratio
+        );
+    }
+    println!();
+}
+
+fn table9() {
+    println!("== Table 9: a BO run log for SVM ==");
+    let engine = Engine::new(ClusterSpec::cluster_a());
+    let mut env = TuningEnv::new(engine, svm(), 21);
+    let mut bo = BayesOpt::new(21);
+    let _ = bo.tune(&mut env).expect("BO run");
+    println!(
+        "{:>6} {:>3} {:>3} {:>9} {:>4} {:>9}",
+        "sample", "N", "p", "capacity", "NR", "runtime"
+    );
+    for (i, step) in bo.trace().iter().enumerate() {
+        println!(
+            "{:>6} {:>3} {:>3} {:>9.2} {:>4} {:>8.1}m",
+            if step.bootstrap { "0".to_owned() } else { format!("{}", i - 3) },
+            step.config.containers_per_node,
+            step.config.task_concurrency,
+            step.config.cache_fraction.max(step.config.shuffle_fraction),
+            step.config.new_ratio,
+            step.score_mins,
+        );
+    }
+    println!("(sample 0 rows are the LHS bootstrap, as in the paper)");
+    println!();
+}
+
+fn main() {
+    table2();
+    table3();
+    table4();
+    table5();
+    table6();
+    table7();
+    table9();
+}

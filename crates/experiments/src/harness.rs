@@ -1,0 +1,167 @@
+//! Shared helpers for the experiment binaries: run repetition, the
+//! exhaustive-search baseline, and "train until top-5%-quality" loops used
+//! by the training-overhead figures.
+
+use relm_app::{AppSpec, Engine, RunResult};
+use relm_bo::BayesOpt;
+use relm_common::{MemoryConfig, Millis};
+use relm_ddpg::DdpgTuner;
+use relm_tune::{Observation, Tuner, TuningEnv};
+
+/// Runs an application `repeats` times with distinct seeds and returns every
+/// result (the paper repeats each stochastic setup 5–10 times).
+pub fn repeat_runs(
+    engine: &Engine,
+    app: &AppSpec,
+    config: &MemoryConfig,
+    repeats: u64,
+    base_seed: u64,
+) -> Vec<RunResult> {
+    (0..repeats).map(|i| engine.run(app, config, base_seed + i * 7919).0).collect()
+}
+
+/// Mean runtime in minutes over a set of runs.
+pub fn mean_runtime_mins(results: &[RunResult]) -> f64 {
+    if results.is_empty() {
+        return 0.0;
+    }
+    results.iter().map(RunResult::runtime_mins).sum::<f64>() / results.len() as f64
+}
+
+/// Total container failures over a set of runs.
+pub fn total_failures(results: &[RunResult]) -> u32 {
+    results.iter().map(|r| r.container_failures).sum()
+}
+
+/// Number of aborted runs.
+pub fn aborted_count(results: &[RunResult]) -> usize {
+    results.iter().filter(|r| r.aborted).count()
+}
+
+/// Formats a fraction as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.0}%", x * 100.0)
+}
+
+/// The exhaustive-search baseline for an application: every grid
+/// observation, the best score, and the top-5-percentile threshold the
+/// paper trains black-box policies toward (§6.2).
+pub struct ExhaustiveBaseline {
+    /// Every grid evaluation.
+    pub observations: Vec<Observation>,
+    /// Best (lowest) objective over the grid, in minutes.
+    pub best_mins: f64,
+    /// The 5th-percentile objective over the grid.
+    pub top5_mins: f64,
+    /// Total stress time of the full grid.
+    pub stress_time: Millis,
+}
+
+/// Runs the 192-configuration exhaustive search.
+pub fn exhaustive_baseline(engine: &Engine, app: &AppSpec, seed: u64) -> ExhaustiveBaseline {
+    let mut env = TuningEnv::new(engine.clone(), app.clone(), seed);
+    for config in env.space().grid() {
+        env.evaluate(&config);
+    }
+    let mut scores: Vec<f64> = env.history().iter().map(|o| o.score_mins).collect();
+    scores.sort_by(|a, b| a.partial_cmp(b).expect("NaN score"));
+    let best_mins = scores[0];
+    let top5_mins = scores[(scores.len() as f64 * 0.05) as usize];
+    ExhaustiveBaseline {
+        observations: env.history().to_vec(),
+        best_mins,
+        top5_mins,
+        stress_time: env.stress_time(),
+    }
+}
+
+/// Outcome of a train-until-quality session.
+pub struct TrainingCost {
+    /// Stress tests until the first observation met the threshold (the full
+    /// budget if it never did).
+    pub iterations: usize,
+    /// Stress time over those iterations.
+    pub stress_time: Millis,
+    /// Whether the threshold was met.
+    pub converged: bool,
+}
+
+/// Trains a policy until its history contains an observation at or below
+/// `threshold_mins` (§6.2's procedure: "black-box policies are trained on
+/// each application individually until they find a configuration with
+/// performance within top 5 percentile of the baseline").
+pub fn train_until(
+    policy: &mut dyn Tuner,
+    env: &mut TuningEnv,
+    threshold_mins: f64,
+) -> TrainingCost {
+    let _ = policy.tune(env);
+    let mut stress = Millis::ZERO;
+    for (i, obs) in env.history().iter().enumerate() {
+        stress += obs.result.runtime;
+        if obs.score_mins <= threshold_mins {
+            return TrainingCost { iterations: i + 1, stress_time: stress, converged: true };
+        }
+    }
+    TrainingCost {
+        iterations: env.evaluations(),
+        stress_time: env.stress_time(),
+        converged: false,
+    }
+}
+
+/// A long-budget BO (no early stop) for convergence studies.
+pub fn long_bo(seed: u64, guided: bool) -> BayesOpt {
+    let base = if guided { BayesOpt::guided(seed) } else { BayesOpt::new(seed) };
+    base.with_config(relm_bo::BoConfig {
+        max_iterations: 28,
+        min_adaptive_samples: 28,
+        ..relm_bo::BoConfig::default()
+    })
+}
+
+/// A long-budget DDPG for convergence studies.
+pub fn long_ddpg(seed: u64) -> DdpgTuner {
+    DdpgTuner::new(seed).with_budget(30)
+}
+
+/// Five-number helper re-export for box plots.
+pub use relm_common::stats::five_number;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relm_cluster::ClusterSpec;
+    use relm_workloads::{max_resource_allocation, wordcount};
+
+    #[test]
+    fn repeat_runs_uses_distinct_seeds() {
+        let engine = Engine::new(ClusterSpec::cluster_a());
+        let app = wordcount();
+        let cfg = max_resource_allocation(engine.cluster(), &app);
+        let results = repeat_runs(&engine, &app, &cfg, 3, 1);
+        assert_eq!(results.len(), 3);
+        assert!(
+            results[0].runtime != results[1].runtime || results[1].runtime != results[2].runtime
+        );
+        assert!(mean_runtime_mins(&results) > 0.0);
+    }
+
+    #[test]
+    fn train_until_counts_iterations_to_threshold() {
+        let engine = Engine::new(ClusterSpec::cluster_a());
+        let mut env = TuningEnv::new(engine, wordcount(), 3);
+        let mut policy = relm_tune::RandomSearch::new(8, 3);
+        // An absurdly lax threshold: the very first sample qualifies.
+        let cost = train_until(&mut policy, &mut env, f64::INFINITY);
+        assert!(cost.converged);
+        assert_eq!(cost.iterations, 1);
+        // An impossible threshold: never converges, full budget spent.
+        let engine = Engine::new(ClusterSpec::cluster_a());
+        let mut env = TuningEnv::new(engine, wordcount(), 3);
+        let mut policy = relm_tune::RandomSearch::new(8, 3);
+        let cost = train_until(&mut policy, &mut env, 0.0);
+        assert!(!cost.converged);
+        assert_eq!(cost.iterations, 8);
+    }
+}

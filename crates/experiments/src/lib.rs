@@ -1,0 +1,9 @@
+//! # relm-experiments
+//!
+//! The evaluation harness: one binary per table/figure of the paper plus a
+//! shared library of helpers (run repetition, policy training loops, output
+//! formatting). See `DESIGN.md`'s experiment index for the mapping.
+
+pub mod harness;
+
+pub use harness::*;

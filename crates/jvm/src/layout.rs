@@ -1,0 +1,145 @@
+//! Heap layout arithmetic for the ParallelGC generational organization.
+//!
+//! ParallelGC splits the heap into an Old generation and a Young generation
+//! (`NewRatio` = Old/Young), and the Young generation into one Eden space and
+//! two Survivor spaces (`SurvivorRatio` = Eden/Survivor). Only one survivor
+//! space is occupied at any time.
+
+use relm_common::{Mem, MemoryConfig};
+use serde::{Deserialize, Serialize};
+
+/// The GC-relevant knobs of a JVM launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GcSettings {
+    /// Ratio of Old capacity to Young capacity.
+    pub new_ratio: u32,
+    /// Ratio of Eden capacity to one Survivor space.
+    pub survivor_ratio: u32,
+    /// Number of young collections an object must survive before being
+    /// tenured to Old (`MaxTenuringThreshold`; ParallelGC adapts between the
+    /// initial and max thresholds — we use a single effective value).
+    pub tenuring_threshold: u32,
+}
+
+impl Default for GcSettings {
+    fn default() -> Self {
+        GcSettings { new_ratio: 2, survivor_ratio: 8, tenuring_threshold: 2 }
+    }
+}
+
+impl GcSettings {
+    /// Extracts the GC settings of a full memory configuration.
+    pub fn from_config(config: &MemoryConfig) -> Self {
+        GcSettings {
+            new_ratio: config.new_ratio,
+            survivor_ratio: config.survivor_ratio,
+            ..GcSettings::default()
+        }
+    }
+}
+
+/// Absolute sizes of every heap pool.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeapLayout {
+    /// Total heap.
+    pub heap: Mem,
+    /// Old generation capacity.
+    pub old: Mem,
+    /// Young generation capacity (Eden + two Survivors).
+    pub young: Mem,
+    /// Eden capacity.
+    pub eden: Mem,
+    /// One survivor space's capacity.
+    pub survivor: Mem,
+}
+
+impl HeapLayout {
+    /// Computes the layout implied by a heap size and GC settings.
+    pub fn new(heap: Mem, settings: &GcSettings) -> Self {
+        let nr = settings.new_ratio.max(1) as f64;
+        let sr = settings.survivor_ratio.max(1) as f64;
+        let old = heap * (nr / (nr + 1.0));
+        let young = heap - old;
+        // Eden + 2 survivors = young, eden / survivor = SR.
+        let survivor = young * (1.0 / (sr + 2.0));
+        let eden = young - survivor * 2.0;
+        HeapLayout { heap, old, young, eden, survivor }
+    }
+
+    /// The usable heap from an application's perspective: everything except
+    /// one (empty) survivor space and a small JVM-internal reserve.
+    pub fn usable(&self) -> Mem {
+        (self.heap - self.survivor) * 0.97
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_layout_matches_parallel_gc_defaults() {
+        // NR=2, SR=8 over 4404MB: old = 2936, young = 1468,
+        // survivor = 1468/10 = 146.8, eden = 1174.4.
+        let l = HeapLayout::new(Mem::mb(4404.0), &GcSettings::default());
+        assert!((l.old.as_mb() - 2936.0).abs() < 0.1);
+        assert!((l.young.as_mb() - 1468.0).abs() < 0.1);
+        assert!((l.survivor.as_mb() - 146.8).abs() < 0.1);
+        assert!((l.eden.as_mb() - 1174.4).abs() < 0.1);
+    }
+
+    #[test]
+    fn pools_partition_the_heap() {
+        for nr in 1..=9 {
+            for sr in [2u32, 4, 8, 16] {
+                let settings =
+                    GcSettings { new_ratio: nr, survivor_ratio: sr, tenuring_threshold: 2 };
+                let l = HeapLayout::new(Mem::gb(2.0), &settings);
+                let total = l.old + l.eden + l.survivor * 2.0;
+                assert!(
+                    (total.as_mb() - l.heap.as_mb()).abs() < 1e-6,
+                    "NR={nr} SR={sr}: pools do not partition the heap"
+                );
+                assert!(l.eden.as_mb() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn higher_new_ratio_shrinks_eden() {
+        let heap = Mem::gb(4.0);
+        let eden = |nr| {
+            HeapLayout::new(
+                heap,
+                &GcSettings { new_ratio: nr, survivor_ratio: 8, tenuring_threshold: 2 },
+            )
+            .eden
+        };
+        assert!(eden(1) > eden(2));
+        assert!(eden(2) > eden(5));
+        assert!(eden(5) > eden(9));
+    }
+
+    #[test]
+    fn usable_excludes_survivor_and_reserve() {
+        let l = HeapLayout::new(Mem::mb(1000.0), &GcSettings::default());
+        assert!(l.usable() < l.heap);
+        assert!(l.usable() > l.heap * 0.85);
+    }
+
+    #[test]
+    fn settings_from_config() {
+        let cfg = MemoryConfig {
+            containers_per_node: 1,
+            heap: Mem::mb(4404.0),
+            task_concurrency: 2,
+            cache_fraction: 0.3,
+            shuffle_fraction: 0.3,
+            new_ratio: 5,
+            survivor_ratio: 6,
+        };
+        let s = GcSettings::from_config(&cfg);
+        assert_eq!(s.new_ratio, 5);
+        assert_eq!(s.survivor_ratio, 6);
+    }
+}

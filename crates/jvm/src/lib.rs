@@ -1,0 +1,22 @@
+//! # relm-jvm
+//!
+//! A generational-heap simulator modelling OpenJDK's ParallelGC policy at the
+//! granularity the RelM paper's observations live at: pool sizing
+//! (`NewRatio`, `SurvivorRatio`), young/full collections with stop-the-world
+//! pauses, survivor aging and promotion, promotion failure when the tenured
+//! working set exceeds the Old generation (Observation 5), full-GC storms when
+//! shuffle buffers outgrow Eden (Observation 7), and reclamation of off-heap
+//! native buffers that only happens when a GC runs (Observation 6 /
+//! Figure 11's resident-set-size growth).
+//!
+//! The simulator is driven in *waves*: the dataflow engine (`relm-app`)
+//! describes the allocation pressure a wave of concurrent tasks puts on one
+//! container's JVM, and the simulator returns the number of collections, the
+//! total stop-the-world pause, the heap/RSS peaks, and whether the heap was
+//! exhausted.
+
+pub mod layout;
+pub mod sim;
+
+pub use layout::{GcSettings, HeapLayout};
+pub use sim::{GcCostModel, GcEvent, GcKind, JvmSim, WaveOutcome, WavePressure};

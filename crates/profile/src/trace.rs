@@ -1,0 +1,136 @@
+//! The application profile collected during a run (§4.1's bullet list):
+//! JVM pool timelines, container resource usage, application memory-pool
+//! timelines, and the task event log.
+
+use crate::timeline::Timeline;
+use relm_common::{Mem, MemoryConfig, Millis};
+use relm_jvm::GcEvent;
+use serde::{Deserialize, Serialize};
+
+/// Everything monitored for one container.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ContainerTrace {
+    /// GC events logged by the JMX GC profiler.
+    pub gc_events: Vec<GcEvent>,
+    /// Resident-set-size samples (IBM PAT timeline).
+    pub rss: Timeline<Mem>,
+    /// Cache Storage pool usage over time (custom instrumentation).
+    pub cache_used: Timeline<Mem>,
+    /// Task Shuffle pool usage over time (custom instrumentation).
+    pub shuffle_used: Timeline<Mem>,
+    /// Number of concurrently running tasks over time (event-log profile).
+    pub running_tasks: Timeline<u32>,
+    /// Heap usage at the instant of the first task submission — the
+    /// application Code Overhead `M_i`.
+    pub code_overhead: Mem,
+    /// Peak heap occupancy.
+    pub peak_heap_used: Mem,
+    /// Peak Old-generation occupancy.
+    pub peak_old_used: Mem,
+}
+
+impl ContainerTrace {
+    /// True if this container logged at least one full-GC event.
+    pub fn has_full_gc(&self) -> bool {
+        self.gc_events.iter().any(|e| e.kind == relm_jvm::GcKind::Full)
+    }
+
+    /// Maximum observed cache usage.
+    pub fn max_cache_used(&self) -> Mem {
+        self.cache_used.values().fold(Mem::ZERO, Mem::max)
+    }
+
+    /// Maximum observed shuffle usage.
+    pub fn max_shuffle_used(&self) -> Mem {
+        self.shuffle_used.values().fold(Mem::ZERO, Mem::max)
+    }
+}
+
+/// A complete application profile.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Profile {
+    /// Application name.
+    pub app_name: String,
+    /// The configuration the profiled run used.
+    pub config: MemoryConfig,
+    /// Wall-clock duration of the run.
+    pub duration: Millis,
+    /// Average CPU utilization across the cluster, percent.
+    pub cpu_avg: f64,
+    /// Average disk utilization across the cluster, percent.
+    pub disk_avg: f64,
+    /// Fraction of cached partitions actually read from cache (H).
+    pub cache_hit_ratio: f64,
+    /// Fraction of shuffle data spilled to disk (S).
+    pub spill_fraction: f64,
+    /// Per-container traces.
+    pub containers: Vec<ContainerTrace>,
+    /// Fraction of task time spent in GC pauses (profile-level summary used
+    /// by the evaluation plots).
+    pub gc_overhead: f64,
+}
+
+impl Profile {
+    /// True if any container logged a full-GC event — the precondition for
+    /// an accurate Task Unmanaged estimate (§4.1).
+    pub fn has_full_gc(&self) -> bool {
+        self.containers.iter().any(ContainerTrace::has_full_gc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relm_jvm::{GcEvent, GcKind};
+
+    fn event(kind: GcKind, t: f64) -> GcEvent {
+        GcEvent {
+            time: Millis::secs(t),
+            kind,
+            pause: Millis::ms(20.0),
+            heap_used_after: Mem::mb(500.0),
+            old_used_after: Mem::mb(400.0),
+            rss: Mem::mb(4800.0),
+        }
+    }
+
+    fn profile_with(events: Vec<GcEvent>) -> Profile {
+        Profile {
+            app_name: "test".into(),
+            config: MemoryConfig {
+                containers_per_node: 1,
+                heap: Mem::mb(4404.0),
+                task_concurrency: 2,
+                cache_fraction: 0.3,
+                shuffle_fraction: 0.3,
+                new_ratio: 2,
+                survivor_ratio: 8,
+            },
+            duration: Millis::mins(10.0),
+            cpu_avg: 35.0,
+            disk_avg: 2.0,
+            cache_hit_ratio: 0.3,
+            spill_fraction: 0.0,
+            containers: vec![ContainerTrace { gc_events: events, ..Default::default() }],
+            gc_overhead: 0.1,
+        }
+    }
+
+    #[test]
+    fn full_gc_detection() {
+        assert!(!profile_with(vec![event(GcKind::Young, 1.0)]).has_full_gc());
+        assert!(profile_with(vec![event(GcKind::Young, 1.0), event(GcKind::Full, 2.0)])
+            .has_full_gc());
+        assert!(!profile_with(vec![]).has_full_gc());
+    }
+
+    #[test]
+    fn max_pool_usage() {
+        let mut trace = ContainerTrace::default();
+        trace.cache_used.push(Millis::ZERO, Mem::mb(100.0));
+        trace.cache_used.push(Millis::secs(1.0), Mem::mb(300.0));
+        trace.cache_used.push(Millis::secs(2.0), Mem::mb(200.0));
+        assert_eq!(trace.max_cache_used(), Mem::mb(300.0));
+        assert_eq!(trace.max_shuffle_used(), Mem::ZERO);
+    }
+}

@@ -1,0 +1,148 @@
+//! The Expected Improvement acquisition function (Equation 7) and its
+//! maximizer (random candidates + coordinate hill climbing, standing in for
+//! the paper's "random sampling and standard gradient-based search").
+
+use crate::lhs::latin_hypercube;
+use crate::Surrogate;
+use relm_common::Rng;
+
+/// Standard normal PDF.
+fn phi(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation
+/// (absolute error < 1.5e-7 — ample for acquisition ranking).
+fn big_phi(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Expected improvement of a *minimization* objective at a point with
+/// posterior `(mean, variance)`, relative to the incumbent best `tau`
+/// (Equation 7: `EI = (τ − μ)Φ(Z) + σφ(Z)` with `Z = (τ − μ)/σ`).
+pub fn expected_improvement(mean: f64, variance: f64, tau: f64) -> f64 {
+    let sigma = variance.max(0.0).sqrt();
+    if sigma < 1e-12 {
+        return (tau - mean).max(0.0);
+    }
+    let z = (tau - mean) / sigma;
+    ((tau - mean) * big_phi(z) + sigma * phi(z)).max(0.0)
+}
+
+/// Maximizes EI over the unit hypercube: scores a space-filling candidate
+/// set, then hill-climbs from the best few candidates coordinate-wise.
+/// Returns `(argmax, EI value)`.
+pub fn maximize_ei<S: Surrogate>(
+    surrogate: &S,
+    dims: usize,
+    tau: f64,
+    rng: &mut Rng,
+) -> (Vec<f64>, f64) {
+    let ei_at = |x: &[f64]| {
+        let (m, v) = surrogate.predict(x);
+        expected_improvement(m, v, tau)
+    };
+
+    let mut candidates = latin_hypercube(96, dims, rng);
+    candidates.extend((0..32).map(|_| (0..dims).map(|_| rng.uniform()).collect::<Vec<f64>>()));
+
+    let mut scored: Vec<(f64, Vec<f64>)> =
+        candidates.into_iter().map(|c| (ei_at(&c), c)).collect();
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN EI"));
+
+    let mut best = scored[0].clone();
+    for (_, start) in scored.into_iter().take(4) {
+        let mut x = start;
+        let mut fx = ei_at(&x);
+        let mut step = 0.12;
+        while step > 0.005 {
+            let mut improved = false;
+            for d in 0..dims {
+                for dir in [-1.0, 1.0] {
+                    let mut cand = x.clone();
+                    cand[d] = (cand[d] + dir * step).clamp(0.0, 1.0);
+                    let fc = ei_at(&cand);
+                    if fc > fx {
+                        x = cand;
+                        fx = fc;
+                        improved = true;
+                    }
+                }
+            }
+            if !improved {
+                step *= 0.5;
+            }
+        }
+        if fx > best.0 {
+            best = (fx, x);
+        }
+    }
+    (best.1, best.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_matches_known_values() {
+        assert!((erf(0.0)).abs() < 1e-6);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(3.0) - 0.999_977_9).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ei_is_zero_for_certainly_worse_points() {
+        // Mean far above the incumbent with tiny variance.
+        assert!(expected_improvement(10.0, 1e-6, 1.0) < 1e-9);
+    }
+
+    #[test]
+    fn ei_rewards_low_mean_and_high_variance() {
+        let better_mean = expected_improvement(0.5, 0.1, 1.0);
+        let worse_mean = expected_improvement(0.9, 0.1, 1.0);
+        assert!(better_mean > worse_mean);
+
+        let low_var = expected_improvement(1.2, 0.01, 1.0);
+        let high_var = expected_improvement(1.2, 1.0, 1.0);
+        assert!(high_var > low_var, "exploration term must reward uncertainty");
+    }
+
+    #[test]
+    fn ei_zero_variance_is_plain_improvement() {
+        assert_eq!(expected_improvement(0.4, 0.0, 1.0), 0.6);
+        assert_eq!(expected_improvement(1.4, 0.0, 1.0), 0.0);
+    }
+
+    struct Bowl;
+    impl crate::Surrogate for Bowl {
+        fn predict(&self, x: &[f64]) -> (f64, f64) {
+            // Minimum at (0.7, 0.3) with small uniform uncertainty.
+            let d = (x[0] - 0.7).powi(2) + (x[1] - 0.3).powi(2);
+            (d, 0.01)
+        }
+    }
+
+    #[test]
+    fn maximizer_finds_the_bowl_minimum() {
+        let mut rng = Rng::new(42);
+        let (x, ei) = maximize_ei(&Bowl, 2, 0.5, &mut rng);
+        assert!(ei > 0.0);
+        assert!((x[0] - 0.7).abs() < 0.08, "x0 = {}", x[0]);
+        assert!((x[1] - 0.3).abs() < 0.08, "x1 = {}", x[1]);
+    }
+}

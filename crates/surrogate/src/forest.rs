@@ -1,0 +1,249 @@
+//! Random-Forest regression — the alternative surrogate of §6.5/Figure 26.
+//!
+//! Bagged CART regression trees: each tree is grown on a bootstrap sample
+//! with per-split feature subsampling; predictions average the trees, and
+//! the across-tree variance serves as the (heuristic) predictive
+//! uncertainty for Expected Improvement.
+
+use crate::Surrogate;
+use relm_common::{Error, Result, Rng};
+
+/// Forest hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForestParams {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples in a leaf.
+    pub min_leaf: usize,
+    /// Fraction of features considered per split.
+    pub feature_fraction: f64,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        ForestParams { n_trees: 48, max_depth: 10, min_leaf: 2, feature_fraction: 0.75 }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf { value: f64 },
+    Split { feature: usize, threshold: f64, left: Box<Node>, right: Box<Node> },
+}
+
+impl Node {
+    fn predict(&self, x: &[f64]) -> f64 {
+        match self {
+            Node::Leaf { value } => *value,
+            Node::Split { feature, threshold, left, right } => {
+                if x[*feature] <= *threshold {
+                    left.predict(x)
+                } else {
+                    right.predict(x)
+                }
+            }
+        }
+    }
+}
+
+/// A fitted random forest.
+#[derive(Debug, Clone)]
+pub struct Forest {
+    trees: Vec<Node>,
+}
+
+impl Forest {
+    /// Fits a forest. Deterministic given the seed.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], params: ForestParams, seed: u64) -> Result<Forest> {
+        if x.is_empty() || x.len() != y.len() {
+            return Err(Error::Numerical("forest needs matching, non-empty inputs".into()));
+        }
+        let mut rng = Rng::new(seed ^ 0xBB67_AE85);
+        let trees = (0..params.n_trees.max(1))
+            .map(|_| {
+                // Bootstrap sample.
+                let idx: Vec<usize> = (0..x.len()).map(|_| rng.below(x.len())).collect();
+                grow(x, y, &idx, 0, &params, &mut rng)
+            })
+            .collect();
+        Ok(Forest { trees })
+    }
+
+    /// Mean prediction across trees.
+    pub fn predict_mean(&self, x: &[f64]) -> f64 {
+        self.trees.iter().map(|t| t.predict(x)).sum::<f64>() / self.trees.len() as f64
+    }
+
+    /// Mean and across-tree variance.
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let preds: Vec<f64> = self.trees.iter().map(|t| t.predict(x)).collect();
+        let mean = preds.iter().sum::<f64>() / preds.len() as f64;
+        let var = preds.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / preds.len() as f64;
+        (mean, var.max(1e-10))
+    }
+}
+
+impl Surrogate for Forest {
+    fn predict(&self, x: &[f64]) -> (f64, f64) {
+        Forest::predict(self, x)
+    }
+}
+
+fn grow(
+    x: &[Vec<f64>],
+    y: &[f64],
+    idx: &[usize],
+    depth: usize,
+    params: &ForestParams,
+    rng: &mut Rng,
+) -> Node {
+    let mean = idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64;
+    if depth >= params.max_depth || idx.len() < params.min_leaf * 2 {
+        return Node::Leaf { value: mean };
+    }
+    let sse: f64 = idx.iter().map(|&i| (y[i] - mean).powi(2)).sum();
+    if sse < 1e-12 {
+        return Node::Leaf { value: mean };
+    }
+
+    let dims = x[0].len();
+    let n_features = ((dims as f64 * params.feature_fraction).ceil() as usize).clamp(1, dims);
+    let mut features: Vec<usize> = (0..dims).collect();
+    rng.shuffle(&mut features);
+    features.truncate(n_features);
+
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+    for &f in &features {
+        let mut vals: Vec<(f64, f64)> = idx.iter().map(|&i| (x[i][f], y[i])).collect();
+        vals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN feature value"));
+
+        // Prefix sums for O(n) split evaluation.
+        let total_sum: f64 = vals.iter().map(|(_, yi)| yi).sum();
+        let n = vals.len() as f64;
+        let mut left_sum = 0.0;
+        for (k, window) in vals.windows(2).enumerate() {
+            left_sum += window[0].1;
+            if window[0].0 == window[1].0 {
+                continue; // no threshold between equal values
+            }
+            let left_n = (k + 1) as f64;
+            let right_n = n - left_n;
+            if (left_n as usize) < params.min_leaf || (right_n as usize) < params.min_leaf {
+                continue;
+            }
+            // Variance-reduction gain ∝ Σ n_c * mean_c² (constant terms drop).
+            let right_sum = total_sum - left_sum;
+            let gain = left_sum * left_sum / left_n + right_sum * right_sum / right_n
+                - total_sum * total_sum / n;
+            let threshold = (window[0].0 + window[1].0) * 0.5;
+            if best.is_none_or(|(_, _, g)| gain > g) {
+                best = Some((f, threshold, gain));
+            }
+        }
+    }
+
+    let Some((feature, threshold, gain)) = best else {
+        return Node::Leaf { value: mean };
+    };
+    if gain <= 1e-12 {
+        return Node::Leaf { value: mean };
+    }
+
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+        idx.iter().partition(|&&i| x[i][feature] <= threshold);
+    Node::Split {
+        feature,
+        threshold,
+        left: Box::new(grow(x, y, &left_idx, depth + 1, params, rng)),
+        right: Box::new(grow(x, y, &right_idx, depth + 1, params, rng)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(n: usize, f: impl Fn(&[f64]) -> f64, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = Rng::new(seed);
+        let x: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.uniform(), rng.uniform()]).collect();
+        let y = x.iter().map(|v| f(v)).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn fits_a_step_function() {
+        let (x, y) = dataset(120, |v| if v[0] > 0.5 { 5.0 } else { 1.0 }, 1);
+        let forest = Forest::fit(&x, &y, ForestParams::default(), 1).unwrap();
+        assert!((forest.predict_mean(&[0.9, 0.5]) - 5.0).abs() < 0.5);
+        assert!((forest.predict_mean(&[0.1, 0.5]) - 1.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn fits_nonlinear_interactions() {
+        let (x, y) = dataset(250, |v| v[0] * v[1] * 10.0, 2);
+        let forest = Forest::fit(&x, &y, ForestParams::default(), 2).unwrap();
+        let mut err = 0.0;
+        let mut rng = Rng::new(99);
+        for _ in 0..50 {
+            let p = [rng.uniform(), rng.uniform()];
+            err += (forest.predict_mean(&p) - p[0] * p[1] * 10.0).abs();
+        }
+        assert!(err / 50.0 < 1.2, "mean abs error {}", err / 50.0);
+    }
+
+    #[test]
+    fn predictions_stay_within_label_hull() {
+        let (x, y) = dataset(100, |v| v[0] * 3.0 - 1.0, 3);
+        let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let forest = Forest::fit(&x, &y, ForestParams::default(), 3).unwrap();
+        let mut rng = Rng::new(4);
+        for _ in 0..100 {
+            let p = [rng.uniform() * 2.0 - 0.5, rng.uniform()];
+            let m = forest.predict_mean(&p);
+            assert!(m >= lo - 1e-9 && m <= hi + 1e-9, "prediction {m} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn trees_disagree_between_clusters() {
+        // Two well-separated clusters; bootstrap trees place the split
+        // boundary differently, so across-tree variance peaks in the gap.
+        let mut rng = Rng::new(5);
+        let mut x: Vec<Vec<f64>> = (0..40).map(|_| vec![rng.uniform() * 0.2]).collect();
+        x.extend((0..40).map(|_| vec![0.8 + rng.uniform() * 0.2]));
+        let y: Vec<f64> =
+            x.iter().map(|v| if v[0] > 0.5 { 10.0 } else { 0.0 }).collect();
+        let forest = Forest::fit(&x, &y, ForestParams::default(), 5).unwrap();
+        let (_, var_core) = forest.predict(&[0.1]);
+        let (_, var_gap) = forest.predict(&[0.5]);
+        assert!(
+            var_gap > var_core,
+            "gap variance {var_gap} should exceed core variance {var_core}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = dataset(60, |v| v[0] + v[1], 6);
+        let f1 = Forest::fit(&x, &y, ForestParams::default(), 7).unwrap();
+        let f2 = Forest::fit(&x, &y, ForestParams::default(), 7).unwrap();
+        assert_eq!(f1.predict_mean(&[0.3, 0.6]), f2.predict_mean(&[0.3, 0.6]));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Forest::fit(&[], &[], ForestParams::default(), 1).is_err());
+        assert!(Forest::fit(&[vec![0.0]], &[1.0, 2.0], ForestParams::default(), 1).is_err());
+    }
+
+    #[test]
+    fn constant_targets_produce_constant_predictions() {
+        let (x, _) = dataset(50, |_| 0.0, 8);
+        let y = vec![3.5; 50];
+        let forest = Forest::fit(&x, &y, ForestParams::default(), 8).unwrap();
+        assert_eq!(forest.predict_mean(&[0.5, 0.5]), 3.5);
+    }
+}

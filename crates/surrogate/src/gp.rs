@@ -1,0 +1,264 @@
+//! Gaussian-process regression (§5.1).
+//!
+//! The prior is `f(x) ~ GP(μ₀, k)` with a constant mean (the sample mean of
+//! the standardized observations, i.e. zero) and a squared-exponential ARD
+//! kernel. Posterior mean and variance follow Equation 6; hyperparameters
+//! (per-dimension lengthscales, signal variance, observation noise) are
+//! selected by maximizing the log marginal likelihood over a seeded random
+//! search refined by coordinate descent.
+
+use crate::linalg::{dot, Cholesky, Matrix};
+use crate::Surrogate;
+use relm_common::{Error, Result, Rng};
+
+/// Kernel + noise hyperparameters, stored in log space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpParams {
+    /// Per-dimension log lengthscales.
+    pub log_lengthscales: Vec<f64>,
+    /// Log signal variance.
+    pub log_signal_var: f64,
+    /// Log observation-noise variance.
+    pub log_noise_var: f64,
+}
+
+impl GpParams {
+    /// A reasonable default for inputs normalized to `[0, 1]`.
+    pub fn default_for(dims: usize) -> Self {
+        GpParams {
+            log_lengthscales: vec![(0.4f64).ln(); dims],
+            log_signal_var: 0.0,
+            log_noise_var: (1e-2f64).ln(),
+        }
+    }
+
+    fn kernel(&self, a: &[f64], b: &[f64]) -> f64 {
+        let mut s = 0.0;
+        for ((x, y), log_l) in a.iter().zip(b).zip(&self.log_lengthscales) {
+            let l = log_l.exp();
+            let d = (x - y) / l;
+            s += d * d;
+        }
+        self.log_signal_var.exp() * (-0.5 * s).exp()
+    }
+}
+
+/// A fitted Gaussian process.
+#[derive(Debug, Clone)]
+pub struct Gp {
+    x: Vec<Vec<f64>>,
+    params: GpParams,
+    chol: Cholesky,
+    alpha: Vec<f64>,
+    y_mean: f64,
+    y_scale: f64,
+}
+
+impl Gp {
+    /// Fits a GP to the observations, selecting hyperparameters by marginal
+    /// likelihood. `x` rows must share a dimensionality; `y.len() == x.len()`.
+    pub fn fit(x: Vec<Vec<f64>>, y: &[f64], seed: u64) -> Result<Gp> {
+        if x.is_empty() || x.len() != y.len() {
+            return Err(Error::Numerical("GP needs matching, non-empty inputs".into()));
+        }
+        let dims = x[0].len();
+        if x.iter().any(|r| r.len() != dims) {
+            return Err(Error::Numerical("inconsistent input dimensionality".into()));
+        }
+
+        // Standardize targets.
+        let y_mean = y.iter().sum::<f64>() / y.len() as f64;
+        let var = y.iter().map(|v| (v - y_mean).powi(2)).sum::<f64>() / y.len() as f64;
+        let y_scale = var.sqrt().max(1e-9);
+        let ys: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_scale).collect();
+
+        // Hyperparameter search: seeded random proposals around the default,
+        // then coordinate refinement of the winner.
+        let mut rng = Rng::new(seed ^ 0x6A09_E667);
+        let mut best = GpParams::default_for(dims);
+        let mut best_lml = log_marginal_likelihood(&x, &ys, &best).unwrap_or(f64::NEG_INFINITY);
+
+        for _ in 0..24 {
+            let cand = GpParams {
+                log_lengthscales: (0..dims)
+                    .map(|_| rng.uniform_in((0.05f64).ln(), (2.0f64).ln()))
+                    .collect(),
+                log_signal_var: rng.uniform_in((0.2f64).ln(), (3.0f64).ln()),
+                log_noise_var: rng.uniform_in((1e-4f64).ln(), (0.3f64).ln()),
+            };
+            if let Ok(lml) = log_marginal_likelihood(&x, &ys, &cand) {
+                if lml > best_lml {
+                    best_lml = lml;
+                    best = cand;
+                }
+            }
+        }
+
+        // Coordinate descent, two sweeps.
+        for _ in 0..2 {
+            for coord in 0..(dims + 2) {
+                for step in [-0.4, 0.4, -0.15, 0.15] {
+                    let mut cand = best.clone();
+                    match coord {
+                        c if c < dims => cand.log_lengthscales[c] += step,
+                        c if c == dims => cand.log_signal_var += step,
+                        _ => cand.log_noise_var += step,
+                    }
+                    if let Ok(lml) = log_marginal_likelihood(&x, &ys, &cand) {
+                        if lml > best_lml {
+                            best_lml = lml;
+                            best = cand;
+                        }
+                    }
+                }
+            }
+        }
+
+        let k = gram(&x, &best);
+        let chol = Cholesky::with_jitter(&k, 1e-8)?;
+        let alpha = chol.solve(&ys);
+        Ok(Gp { x, params: best, chol, alpha, y_mean, y_scale })
+    }
+
+    /// Posterior mean and variance at `x` (Equation 6), in the original
+    /// target units.
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let k_star: Vec<f64> = self.x.iter().map(|xi| self.params.kernel(xi, x)).collect();
+        let mean_std = dot(&k_star, &self.alpha);
+        let v = self.chol.solve_l(&k_star);
+        let k_xx = self.params.kernel(x, x) + self.params.log_noise_var.exp();
+        let var_std = (k_xx - dot(&v, &v)).max(1e-12);
+        (
+            self.y_mean + self.y_scale * mean_std,
+            var_std * self.y_scale * self.y_scale,
+        )
+    }
+
+    /// The selected hyperparameters.
+    pub fn params(&self) -> &GpParams {
+        &self.params
+    }
+
+    /// Number of training points.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when the GP holds no training points (cannot happen after a
+    /// successful [`Gp::fit`]).
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+}
+
+impl Surrogate for Gp {
+    fn predict(&self, x: &[f64]) -> (f64, f64) {
+        Gp::predict(self, x)
+    }
+}
+
+fn gram(x: &[Vec<f64>], params: &GpParams) -> Matrix {
+    let n = x.len();
+    let noise = params.log_noise_var.exp();
+    Matrix::from_fn(n, |i, j| {
+        params.kernel(&x[i], &x[j]) + if i == j { noise + 1e-10 } else { 0.0 }
+    })
+}
+
+/// Log marginal likelihood of standardized targets under the kernel.
+pub fn log_marginal_likelihood(x: &[Vec<f64>], ys: &[f64], params: &GpParams) -> Result<f64> {
+    let k = gram(x, params);
+    let chol = Cholesky::new(&k)?;
+    let alpha = chol.solve(ys);
+    let n = ys.len() as f64;
+    Ok(-0.5 * dot(ys, &alpha)
+        - 0.5 * chol.log_det()
+        - 0.5 * n * (2.0 * std::f64::consts::PI).ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_1d(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect()
+    }
+
+    #[test]
+    fn interpolates_training_points() {
+        let x = grid_1d(8);
+        let y: Vec<f64> = x.iter().map(|v| (v[0] * 6.0).sin() + 2.0).collect();
+        let gp = Gp::fit(x.clone(), &y, 1).unwrap();
+        for (xi, yi) in x.iter().zip(&y) {
+            let (m, _) = gp.predict(xi);
+            assert!((m - yi).abs() < 0.25, "predicted {m} for target {yi}");
+        }
+    }
+
+    #[test]
+    fn variance_grows_away_from_data() {
+        let x = vec![vec![0.2], vec![0.3], vec![0.4]];
+        let y = vec![1.0, 1.2, 1.1];
+        let gp = Gp::fit(x, &y, 2).unwrap();
+        let (_, var_near) = gp.predict(&[0.3]);
+        let (_, var_far) = gp.predict(&[0.95]);
+        assert!(var_far > var_near, "far variance {var_far} <= near {var_near}");
+    }
+
+    #[test]
+    fn variance_is_non_negative_everywhere() {
+        let x = grid_1d(10);
+        let y: Vec<f64> = x.iter().map(|v| v[0] * v[0]).collect();
+        let gp = Gp::fit(x, &y, 3).unwrap();
+        for i in 0..50 {
+            let (_, var) = gp.predict(&[i as f64 / 49.0]);
+            assert!(var >= 0.0);
+        }
+    }
+
+    #[test]
+    fn fits_multidimensional_smooth_functions() {
+        let mut rng = Rng::new(7);
+        let x: Vec<Vec<f64>> =
+            (0..40).map(|_| vec![rng.uniform(), rng.uniform(), rng.uniform()]).collect();
+        let f = |v: &[f64]| 3.0 * v[0] - 2.0 * v[1] * v[1] + (v[2] * 3.0).sin();
+        let y: Vec<f64> = x.iter().map(|v| f(v)).collect();
+        let gp = Gp::fit(x, &y, 4).unwrap();
+        let mut err = 0.0;
+        let mut count = 0;
+        for _ in 0..30 {
+            let p = vec![rng.uniform(), rng.uniform(), rng.uniform()];
+            let (m, _) = gp.predict(&p);
+            err += (m - f(&p)).abs();
+            count += 1;
+        }
+        assert!(err / (count as f64) < 0.5, "mean abs error too high: {}", err / count as f64);
+    }
+
+    #[test]
+    fn rejects_empty_and_mismatched_inputs() {
+        assert!(Gp::fit(vec![], &[], 1).is_err());
+        assert!(Gp::fit(vec![vec![0.1]], &[1.0, 2.0], 1).is_err());
+        assert!(Gp::fit(vec![vec![0.1], vec![0.1, 0.2]], &[1.0, 2.0], 1).is_err());
+    }
+
+    #[test]
+    fn handles_duplicate_inputs_gracefully() {
+        let x = vec![vec![0.5], vec![0.5], vec![0.5]];
+        let y = vec![1.0, 1.1, 0.9];
+        let gp = Gp::fit(x, &y, 5).unwrap();
+        let (m, v) = gp.predict(&[0.5]);
+        assert!((m - 1.0).abs() < 0.2);
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    fn constant_targets_do_not_blow_up() {
+        let x = grid_1d(5);
+        let y = vec![2.0; 5];
+        let gp = Gp::fit(x, &y, 6).unwrap();
+        let (m, v) = gp.predict(&[0.33]);
+        assert!((m - 2.0).abs() < 1e-3);
+        assert!(v.is_finite());
+    }
+}

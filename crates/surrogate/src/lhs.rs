@@ -1,0 +1,75 @@
+//! Latin Hypercube Sampling (§5.1): near-random samples of a
+//! multidimensional space with good per-dimension coverage, used to
+//! bootstrap the Bayesian optimizer (Table 7).
+
+use relm_common::Rng;
+
+/// Draws `n` LHS samples in `[0, 1]^dims`. Each dimension is divided into
+/// `n` strata; each stratum is hit exactly once per dimension.
+pub fn latin_hypercube(n: usize, dims: usize, rng: &mut Rng) -> Vec<Vec<f64>> {
+    if n == 0 || dims == 0 {
+        return Vec::new();
+    }
+    // One shuffled stratum assignment per dimension.
+    let mut strata: Vec<Vec<usize>> = Vec::with_capacity(dims);
+    for _ in 0..dims {
+        let mut idx: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut idx);
+        strata.push(idx);
+    }
+    (0..n)
+        .map(|i| {
+            (0..dims)
+                .map(|d| {
+                    let stratum = strata[d][i] as f64;
+                    (stratum + rng.uniform()) / n as f64
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_are_in_unit_cube() {
+        let mut rng = Rng::new(1);
+        for sample in latin_hypercube(16, 4, &mut rng) {
+            assert_eq!(sample.len(), 4);
+            for v in sample {
+                assert!((0.0..1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn each_stratum_hit_exactly_once_per_dimension() {
+        let n = 10;
+        let mut rng = Rng::new(2);
+        let samples = latin_hypercube(n, 3, &mut rng);
+        for d in 0..3 {
+            let mut hits = vec![0usize; n];
+            for s in &samples {
+                hits[(s[d] * n as f64).floor() as usize] += 1;
+            }
+            assert!(hits.iter().all(|&h| h == 1), "dimension {d}: {hits:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let mut rng = Rng::new(3);
+        assert!(latin_hypercube(0, 4, &mut rng).is_empty());
+        assert!(latin_hypercube(4, 0, &mut rng).is_empty());
+        assert_eq!(latin_hypercube(1, 2, &mut rng).len(), 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = latin_hypercube(8, 4, &mut Rng::new(9));
+        let b = latin_hypercube(8, 4, &mut Rng::new(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,35 @@
+//! # relm-surrogate
+//!
+//! Surrogate models and sampling utilities for the black-box tuners (§5):
+//!
+//! * [`Gp`] — Gaussian-process regression with a squared-exponential ARD
+//!   kernel, Cholesky-based inference, and marginal-likelihood
+//!   hyperparameter selection (§5.1's Equation 6).
+//! * [`expected_improvement`] — the EI acquisition function (Equation 7),
+//!   plus a maximizer combining random candidates with local hill climbing.
+//! * [`latin_hypercube`] — Latin Hypercube Sampling for bootstrap samples
+//!   (Table 7).
+//! * [`Forest`] — Random-Forest regression (bagged CART trees), the
+//!   alternative surrogate of Figure 26.
+//!
+//! Everything is implemented from first principles on `f64` slices — no
+//! external linear-algebra or ML dependencies.
+
+pub mod acquisition;
+pub mod forest;
+pub mod gp;
+pub mod lhs;
+pub mod linalg;
+
+pub use acquisition::{expected_improvement, maximize_ei};
+pub use forest::{Forest, ForestParams};
+pub use gp::{Gp, GpParams};
+pub use lhs::latin_hypercube;
+
+/// A regression surrogate with predictive uncertainty — the interface both
+/// the Gaussian Process and the Random Forest implement, letting BO/GBO swap
+/// surrogates (Figure 26).
+pub trait Surrogate {
+    /// Predictive mean and variance at a point.
+    fn predict(&self, x: &[f64]) -> (f64, f64);
+}

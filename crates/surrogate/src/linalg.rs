@@ -1,0 +1,211 @@
+//! Minimal dense linear algebra: symmetric positive-definite solves via
+//! Cholesky factorization — all that Gaussian-process inference needs.
+
+use relm_common::{Error, Result};
+
+/// A dense square matrix stored row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates an `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Matrix { n, data: vec![0.0; n * n] }
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+    }
+
+    /// Builds a matrix from a generator function.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                m.set(i, j, f(i, j));
+            }
+        }
+        m
+    }
+}
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite
+/// matrix: `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes `a`. Fails with [`Error::Numerical`] if the matrix is not
+    /// positive definite (callers typically retry with added jitter).
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let n = a.n();
+        let mut l = Matrix::zeros(n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a.get(i, j);
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(Error::Numerical(format!(
+                            "matrix not positive definite at pivot {i} (residual {sum})"
+                        )));
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Factorizes `a + jitter·I`, escalating the jitter until the
+    /// factorization succeeds (up to a bound).
+    pub fn with_jitter(a: &Matrix, base_jitter: f64) -> Result<Self> {
+        let mut jitter = base_jitter;
+        for _ in 0..8 {
+            let n = a.n();
+            let jittered = Matrix::from_fn(n, |i, j| {
+                a.get(i, j) + if i == j { jitter } else { 0.0 }
+            });
+            if let Ok(c) = Cholesky::new(&jittered) {
+                return Ok(c);
+            }
+            jitter *= 10.0;
+        }
+        Err(Error::Numerical("Cholesky failed even with jitter".into()))
+    }
+
+    /// The factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `L z = b` (forward substitution).
+    #[allow(clippy::needless_range_loop)] // triangular index math reads clearest as loops
+    pub fn solve_l(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.n();
+        let mut z = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l.get(i, k) * z[k];
+            }
+            z[i] = sum / self.l.get(i, i);
+        }
+        z
+    }
+
+    /// Solves `A x = b` via `L Lᵀ x = b`.
+    #[allow(clippy::needless_range_loop)] // triangular index math reads clearest as loops
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.n();
+        let z = self.solve_l(b);
+        // Back substitution: Lᵀ x = z.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = z[i];
+            for k in (i + 1)..n {
+                sum -= self.l.get(k, i) * x[k];
+            }
+            x[i] = sum / self.l.get(i, i);
+        }
+        x
+    }
+
+    /// `log |A| = 2 Σ log L_ii`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.n()).map(|i| self.l.get(i, i).ln()).sum::<f64>() * 2.0
+    }
+}
+
+/// Dot product.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = Bᵀ B + I for B = [[1,2,0],[0,1,1],[1,0,1]].
+        let b = [[1.0, 2.0, 0.0], [0.0, 1.0, 1.0], [1.0, 0.0, 1.0]];
+        Matrix::from_fn(3, |i, j| {
+            let mut s = 0.0;
+            for (_, row) in b.iter().enumerate() {
+                s += row[i] * row[j];
+            }
+            s + if i == j { 1.0 } else { 0.0 }
+        })
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        let l = c.l();
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut s = 0.0;
+                for k in 0..3 {
+                    s += l.get(i, k) * l.get(j, k);
+                }
+                assert!((s - a.get(i, j)).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_recovers_rhs() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        let x_true = [1.0, -2.0, 3.0];
+        let b: Vec<f64> = (0..3)
+            .map(|i| (0..3).map(|j| a.get(i, j) * x_true[j]).sum())
+            .collect();
+        let x = c.solve(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn log_det_matches_product_of_pivots() {
+        let a = Matrix::from_fn(2, |i, j| if i == j { 4.0 } else { 0.0 });
+        let c = Cholesky::new(&a).unwrap();
+        assert!((c.log_det() - (16.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_pd_is_rejected_then_fixed_by_jitter() {
+        let a = Matrix::from_fn(2, |_, _| 1.0); // rank 1, singular
+        assert!(Cholesky::new(&a).is_err());
+        assert!(Cholesky::with_jitter(&a, 1e-8).is_ok());
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! The tuning environment: stress-test execution, objective scoring, and
+//! bookkeeping shared by every tuning policy.
+
+use crate::space::ConfigSpace;
+use relm_app::{AppSpec, Engine, RunResult};
+use relm_common::{Mem, MemoryConfig, Millis};
+use relm_profile::Profile;
+use serde::{Deserialize, Serialize};
+
+/// One evaluated configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// The configuration that was run.
+    pub config: MemoryConfig,
+    /// The run's metrics.
+    pub result: RunResult,
+    /// Objective value in minutes. Aborted runs are penalized at twice the
+    /// worst runtime observed so far (§6.1), which keeps the failing region
+    /// ranked low during exploration.
+    pub score_mins: f64,
+}
+
+/// Wraps an engine + application + space, executing stress tests and keeping
+/// the evaluation history a tuning policy accumulates.
+pub struct TuningEnv {
+    engine: Engine,
+    app: AppSpec,
+    space: ConfigSpace,
+    history: Vec<Observation>,
+    next_seed: u64,
+    worst_mins: f64,
+}
+
+impl TuningEnv {
+    /// Creates an environment. `base_seed` makes the whole tuning session
+    /// reproducible; policies repeated with different base seeds produce the
+    /// run-to-run variability of Figures 18–20.
+    pub fn new(engine: Engine, app: AppSpec, base_seed: u64) -> Self {
+        let space = ConfigSpace::for_app(engine.cluster(), &app);
+        TuningEnv { engine, app, space, history: Vec::new(), next_seed: base_seed, worst_mins: 0.0 }
+    }
+
+    /// The configuration space.
+    pub fn space(&self) -> &ConfigSpace {
+        &self.space
+    }
+
+    /// The application under tuning.
+    pub fn app(&self) -> &AppSpec {
+        &self.app
+    }
+
+    /// The engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    fn score(&mut self, result: &RunResult) -> f64 {
+        let mins = result.runtime_mins();
+        let score = if result.aborted { (2.0 * self.worst_mins).max(mins * 2.0) } else { mins };
+        self.worst_mins = self.worst_mins.max(score);
+        score
+    }
+
+    /// Runs a stress test: executes the application under `config`, scores
+    /// it, and appends to the history. Returns the observation.
+    pub fn evaluate(&mut self, config: &MemoryConfig) -> Observation {
+        let (obs, _) = self.evaluate_profiled(config);
+        obs
+    }
+
+    /// Like [`TuningEnv::evaluate`] but also returns the collected profile
+    /// (used by RelM and GBO).
+    pub fn evaluate_profiled(&mut self, config: &MemoryConfig) -> (Observation, Profile) {
+        let seed = self.next_seed;
+        self.next_seed = self.next_seed.wrapping_add(0x9E37).wrapping_mul(3) | 1;
+        let (result, profile) = self.engine.run(&self.app, config, seed);
+        let score = self.score(&result);
+        let obs = Observation { config: *config, result, score_mins: score };
+        self.history.push(obs.clone());
+        (obs, profile)
+    }
+
+    /// All evaluations so far, in order.
+    pub fn history(&self) -> &[Observation] {
+        &self.history
+    }
+
+    /// Number of stress tests run.
+    pub fn evaluations(&self) -> usize {
+        self.history.len()
+    }
+
+    /// The best (lowest-score) observation so far.
+    pub fn best(&self) -> Option<&Observation> {
+        self.history
+            .iter()
+            .min_by(|a, b| a.score_mins.partial_cmp(&b.score_mins).expect("NaN score"))
+    }
+
+    /// Total simulated wall-clock time spent in stress tests — the dominant
+    /// training overhead of Figure 16.
+    pub fn stress_time(&self) -> Millis {
+        self.history.iter().map(|o| o.result.runtime).sum()
+    }
+
+    /// Convenience: the per-container heap for `n` containers per node.
+    pub fn heap_for(&self, containers_per_node: u32) -> Mem {
+        self.engine.cluster().heap_for(containers_per_node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relm_cluster::ClusterSpec;
+    use relm_workloads::{max_resource_allocation, wordcount};
+
+    fn env() -> TuningEnv {
+        TuningEnv::new(Engine::new(ClusterSpec::cluster_a()), wordcount(), 11)
+    }
+
+    #[test]
+    fn evaluate_records_history_and_best() {
+        let mut env = env();
+        let cfg = max_resource_allocation(&ClusterSpec::cluster_a(), env.app());
+        let o1 = env.evaluate(&cfg);
+        let mut thin = cfg;
+        thin.containers_per_node = 4;
+        thin.heap = env.heap_for(4);
+        let o2 = env.evaluate(&thin);
+        assert_eq!(env.evaluations(), 2);
+        assert!(env.stress_time() > Millis::ZERO);
+        let best = env.best().unwrap();
+        assert_eq!(best.score_mins, o1.score_mins.min(o2.score_mins));
+    }
+
+    #[test]
+    fn aborted_runs_are_penalized() {
+        let mut env = TuningEnv::new(
+            Engine::new(ClusterSpec::cluster_a()),
+            relm_workloads::pagerank(),
+            3,
+        );
+        // A config that is safe first, then one that aborts.
+        let safe = MemoryConfig {
+            containers_per_node: 2,
+            heap: ClusterSpec::cluster_a().heap_for(2),
+            task_concurrency: 1,
+            cache_fraction: 0.2,
+            shuffle_fraction: 0.0,
+            new_ratio: 3,
+            survivor_ratio: 8,
+        };
+        let safe_obs = env.evaluate(&safe);
+        assert!(!safe_obs.result.aborted);
+        assert_eq!(safe_obs.score_mins, safe_obs.result.runtime_mins());
+
+        let oomy = MemoryConfig {
+            task_concurrency: 8,
+            cache_fraction: 0.8,
+            ..safe
+        };
+        let mut saw_abort = false;
+        for _ in 0..6 {
+            let obs = env.evaluate(&oomy);
+            if obs.result.aborted {
+                saw_abort = true;
+                assert!(
+                    obs.score_mins >= obs.result.runtime_mins() * 2.0
+                        || obs.score_mins >= 2.0 * safe_obs.score_mins,
+                    "aborted run must be penalized"
+                );
+            }
+        }
+        assert!(saw_abort, "expected the hostile config to abort at least once");
+    }
+
+    #[test]
+    fn seeds_differ_across_evaluations() {
+        let mut env = env();
+        let cfg = max_resource_allocation(&ClusterSpec::cluster_a(), env.app());
+        let a = env.evaluate(&cfg);
+        let b = env.evaluate(&cfg);
+        assert_ne!(a.result.runtime, b.result.runtime);
+    }
+}

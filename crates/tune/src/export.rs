@@ -1,0 +1,121 @@
+//! Rendering a [`MemoryConfig`] as the concrete Spark/YARN/JVM settings a
+//! deployment would apply — the last mile of the tuning pipeline.
+//!
+//! The mapping follows the paper's Table 1: the container split and heap go
+//! to YARN/executor sizing, Cache/Shuffle Capacity to Spark's unified memory
+//! manager (`spark.memory.fraction` × `spark.memory.storageFraction`), Task
+//! Concurrency to `spark.executor.cores`, and `NewRatio`/`SurvivorRatio` to
+//! the executor's JVM options.
+
+use relm_cluster::ClusterSpec;
+use relm_common::MemoryConfig;
+
+/// One `key = value` property.
+pub type Property = (String, String);
+
+/// Renders the configuration as Spark properties plus executor JVM options.
+pub fn to_spark_properties(config: &MemoryConfig, cluster: &ClusterSpec) -> Vec<Property> {
+    let executors = cluster.total_containers(config.containers_per_node);
+    let overhead = cluster.container(config.containers_per_node).phys_cap - config.heap;
+    let unified = config.unified_fraction();
+    let storage_fraction = if unified > 0.0 { config.cache_fraction / unified } else { 0.5 };
+
+    vec![
+        ("spark.executor.instances".into(), executors.to_string()),
+        (
+            "spark.executor.memory".into(),
+            format!("{}m", config.heap.as_mb().round() as u64),
+        ),
+        (
+            "spark.yarn.executor.memoryOverhead".into(),
+            format!("{}m", overhead.as_mb().round() as u64),
+        ),
+        ("spark.executor.cores".into(), config.task_concurrency.to_string()),
+        ("spark.memory.fraction".into(), format!("{unified:.2}")),
+        ("spark.memory.storageFraction".into(), format!("{storage_fraction:.2}")),
+        (
+            "spark.executor.extraJavaOptions".into(),
+            format!(
+                "-XX:+UseParallelGC -XX:NewRatio={} -XX:SurvivorRatio={}",
+                config.new_ratio, config.survivor_ratio
+            ),
+        ),
+    ]
+}
+
+/// Renders the properties as a `spark-defaults.conf` fragment.
+pub fn to_spark_defaults_conf(config: &MemoryConfig, cluster: &ClusterSpec) -> String {
+    to_spark_properties(config, cluster)
+        .into_iter()
+        .map(|(k, v)| format!("{k} {v}\n"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relm_common::Mem;
+
+    fn config() -> MemoryConfig {
+        MemoryConfig {
+            containers_per_node: 2,
+            heap: Mem::mb(2202.0),
+            task_concurrency: 3,
+            cache_fraction: 0.4,
+            shuffle_fraction: 0.1,
+            new_ratio: 5,
+            survivor_ratio: 8,
+        }
+    }
+
+    #[test]
+    fn renders_table_1_knobs() {
+        let props = to_spark_properties(&config(), &ClusterSpec::cluster_a());
+        let get = |k: &str| {
+            props
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("missing property {k}"))
+        };
+        assert_eq!(get("spark.executor.instances"), "16"); // 8 nodes x 2
+        assert_eq!(get("spark.executor.memory"), "2202m");
+        assert_eq!(get("spark.executor.cores"), "3");
+        assert_eq!(get("spark.memory.fraction"), "0.50");
+        assert_eq!(get("spark.memory.storageFraction"), "0.80"); // 0.4 of 0.5
+        assert!(get("spark.executor.extraJavaOptions").contains("-XX:NewRatio=5"));
+        assert!(get("spark.executor.extraJavaOptions").contains("-XX:SurvivorRatio=8"));
+    }
+
+    #[test]
+    fn overhead_covers_off_heap_headroom() {
+        let props = to_spark_properties(&config(), &ClusterSpec::cluster_a());
+        let overhead = props
+            .iter()
+            .find(|(k, _)| k == "spark.yarn.executor.memoryOverhead")
+            .map(|(_, v)| v.trim_end_matches('m').parse::<u64>().unwrap())
+            .unwrap();
+        assert!(overhead >= 384, "YARN minimum overhead");
+    }
+
+    #[test]
+    fn conf_fragment_is_line_per_property() {
+        let conf = to_spark_defaults_conf(&config(), &ClusterSpec::cluster_a());
+        assert_eq!(conf.lines().count(), 7);
+        assert!(conf.contains("spark.executor.memory 2202m"));
+    }
+
+    #[test]
+    fn zero_unified_pool_defaults_storage_fraction() {
+        let mut cfg = config();
+        cfg.cache_fraction = 0.0;
+        cfg.shuffle_fraction = 0.0;
+        let props = to_spark_properties(&cfg, &ClusterSpec::cluster_a());
+        let sf = props
+            .iter()
+            .find(|(k, _)| k == "spark.memory.storageFraction")
+            .map(|(_, v)| v.clone())
+            .unwrap();
+        assert_eq!(sf, "0.50");
+    }
+}

@@ -1,0 +1,29 @@
+//! # relm-tune
+//!
+//! The tuning framework shared by every policy in the paper's evaluation:
+//!
+//! * [`ConfigSpace`] — the 4-dimensional tuned space of §6.1 (containers per
+//!   node, task concurrency, dominant-pool capacity, `NewRatio`), with a
+//!   continuous `[0, 1]⁴` encoding for the black-box tuners and the 192-point
+//!   grid of the Exhaustive Search baseline.
+//! * [`TuningEnv`] — wraps the engine, application, and space; runs stress
+//!   tests, applies the failure-penalized objective (aborted runs score 2×
+//!   the worst observed runtime), and records history/overheads.
+//! * [`Tuner`] — the common interface; this crate ships the
+//!   [`DefaultPolicy`] (`MaxResourceAllocation`), [`ExhaustiveSearch`], and
+//!   [`RandomSearch`] baselines. RelM, BO/GBO, and DDPG live in their own
+//!   crates.
+
+pub mod env;
+pub mod export;
+pub mod policies;
+pub mod rrs;
+pub mod space;
+pub mod tuner;
+
+pub use env::{Observation, TuningEnv};
+pub use policies::{DefaultPolicy, ExhaustiveSearch, RandomSearch};
+pub use export::{to_spark_defaults_conf, to_spark_properties};
+pub use rrs::RecursiveRandomSearch;
+pub use space::{ConfigSpace, DominantPool};
+pub use tuner::{recommendation, Recommendation, Tuner};

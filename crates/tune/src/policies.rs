@@ -1,0 +1,130 @@
+//! Baseline policies: the cloud-vendor default, exhaustive grid search, and
+//! random search.
+
+use crate::env::TuningEnv;
+use crate::tuner::{recommendation, Recommendation, Tuner};
+use relm_common::{Result, Rng};
+use relm_workloads::max_resource_allocation;
+
+/// Amazon EMR's `MaxResourceAllocation` plus the framework defaults
+/// (Table 4): no stress tests at all.
+#[derive(Debug, Default)]
+pub struct DefaultPolicy;
+
+impl Tuner for DefaultPolicy {
+    fn name(&self) -> &'static str {
+        "Default"
+    }
+
+    fn tune(&mut self, env: &mut TuningEnv) -> Result<Recommendation> {
+        let config = max_resource_allocation(env.engine().cluster(), env.app());
+        Ok(recommendation(self.name(), env, config))
+    }
+}
+
+/// Exhaustive grid search over the 192-point grid of §6.1. Deliberately
+/// inefficient; used as the quality baseline for every other policy.
+#[derive(Debug, Default)]
+pub struct ExhaustiveSearch;
+
+impl Tuner for ExhaustiveSearch {
+    fn name(&self) -> &'static str {
+        "Exhaustive"
+    }
+
+    fn tune(&mut self, env: &mut TuningEnv) -> Result<Recommendation> {
+        for config in env.space().grid() {
+            env.evaluate(&config);
+        }
+        let best = env
+            .best()
+            .ok_or_else(|| relm_common::Error::Tuning("empty grid".into()))?
+            .config;
+        Ok(recommendation(self.name(), env, best))
+    }
+}
+
+/// Uniform random search with a fixed budget of stress tests — the simplest
+/// black-box baseline (§2.2's "model-free exploration").
+#[derive(Debug)]
+pub struct RandomSearch {
+    budget: usize,
+    rng: Rng,
+}
+
+impl RandomSearch {
+    /// Creates a random search with the given stress-test budget.
+    pub fn new(budget: usize, seed: u64) -> Self {
+        RandomSearch { budget, rng: Rng::new(seed) }
+    }
+}
+
+impl Tuner for RandomSearch {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn tune(&mut self, env: &mut TuningEnv) -> Result<Recommendation> {
+        for _ in 0..self.budget {
+            let x = [
+                self.rng.uniform(),
+                self.rng.uniform(),
+                self.rng.uniform(),
+                self.rng.uniform(),
+            ];
+            let config = env.space().decode(&x);
+            env.evaluate(&config);
+        }
+        let best = env
+            .best()
+            .ok_or_else(|| relm_common::Error::Tuning("zero budget".into()))?
+            .config;
+        Ok(recommendation(self.name(), env, best))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relm_app::Engine;
+    use relm_cluster::ClusterSpec;
+    use relm_workloads::wordcount;
+
+    fn env() -> TuningEnv {
+        TuningEnv::new(Engine::new(ClusterSpec::cluster_a()), wordcount(), 5)
+    }
+
+    #[test]
+    fn default_policy_runs_no_stress_tests() {
+        let mut env = env();
+        let rec = DefaultPolicy.tune(&mut env).unwrap();
+        assert_eq!(rec.evaluations, 0);
+        assert_eq!(rec.config.containers_per_node, 1);
+        assert_eq!(rec.config.task_concurrency, 2);
+    }
+
+    #[test]
+    fn random_search_respects_budget_and_picks_best() {
+        let mut env = env();
+        let rec = RandomSearch::new(6, 1).tune(&mut env).unwrap();
+        assert_eq!(rec.evaluations, 6);
+        let best_score = env.best().unwrap().score_mins;
+        // The recommendation is the best of the history.
+        assert!(env
+            .history()
+            .iter()
+            .any(|o| o.config == rec.config && o.score_mins == best_score));
+    }
+
+    #[test]
+    fn random_search_is_reproducible() {
+        let mut e1 = env();
+        let mut e2 = env();
+        let r1 = RandomSearch::new(4, 9).tune(&mut e1).unwrap();
+        let r2 = RandomSearch::new(4, 9).tune(&mut e2).unwrap();
+        assert_eq!(r1.config, r2.config);
+    }
+
+    // Exhaustive search over 192 configs is exercised in the integration
+    // tests (it is slow in debug builds).
+}

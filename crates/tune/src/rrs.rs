@@ -1,0 +1,136 @@
+//! Recursive Random Search (Ye & Kalyanaraman, SIGMETRICS 2003) — the
+//! search strategy Elastisizer uses, cited by §5 as the typical
+//! random-sampling + local-search black-box alternative: sample the space
+//! uniformly, then recursively re-sample shrinking boxes around the
+//! incumbent, restarting when a box collapses.
+
+use crate::env::TuningEnv;
+use crate::tuner::{recommendation, Recommendation, Tuner};
+use relm_common::{Result, Rng};
+
+/// Recursive Random Search over the 4-dimensional unit hypercube.
+#[derive(Debug)]
+pub struct RecursiveRandomSearch {
+    budget: usize,
+    samples_per_round: usize,
+    shrink: f64,
+    min_width: f64,
+    rng: Rng,
+}
+
+impl RecursiveRandomSearch {
+    /// Creates an RRS policy with a total stress-test budget.
+    pub fn new(budget: usize, seed: u64) -> Self {
+        RecursiveRandomSearch {
+            budget,
+            samples_per_round: 4,
+            shrink: 0.55,
+            min_width: 0.08,
+            rng: Rng::new(seed ^ 0x510E_527F),
+        }
+    }
+}
+
+impl Tuner for RecursiveRandomSearch {
+    fn name(&self) -> &'static str {
+        "RRS"
+    }
+
+    fn tune(&mut self, env: &mut TuningEnv) -> Result<Recommendation> {
+        let dims = 4;
+        let mut remaining = self.budget;
+        let mut center = vec![0.5; dims];
+        let mut width = 1.0f64;
+        let mut best_score = f64::INFINITY;
+        let mut best_x = center.clone();
+
+        while remaining > 0 {
+            let mut round_best: Option<(f64, Vec<f64>)> = None;
+            for _ in 0..self.samples_per_round.min(remaining) {
+                let x: Vec<f64> = (0..dims)
+                    .map(|d| {
+                        let lo = (center[d] - width / 2.0).max(0.0);
+                        let hi = (center[d] + width / 2.0).min(1.0);
+                        self.rng.uniform_in(lo, hi)
+                    })
+                    .collect();
+                let config = env.space().decode(&x);
+                let obs = env.evaluate(&config);
+                remaining -= 1;
+                if round_best.as_ref().is_none_or(|(s, _)| obs.score_mins < *s) {
+                    round_best = Some((obs.score_mins, x));
+                }
+                if remaining == 0 {
+                    break;
+                }
+            }
+            let Some((score, x)) = round_best else { break };
+            if score < best_score {
+                // Promising region: recurse into a shrunken box around it.
+                best_score = score;
+                best_x = x.clone();
+                center = x;
+                width *= self.shrink;
+            } else {
+                // No improvement: shrink anyway; restart when exhausted.
+                width *= self.shrink;
+            }
+            if width < self.min_width {
+                center = best_x.clone();
+                width = 0.5; // restart around the incumbent with a wide box
+            }
+        }
+
+        let best = env
+            .best()
+            .ok_or_else(|| relm_common::Error::Tuning("zero budget".into()))?
+            .config;
+        Ok(recommendation(self.name(), env, best))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relm_app::Engine;
+    use relm_cluster::ClusterSpec;
+    use relm_workloads::wordcount;
+
+    #[test]
+    fn rrs_respects_budget_and_recurses() {
+        let engine = Engine::new(ClusterSpec::cluster_a());
+        let mut env = TuningEnv::new(engine, wordcount(), 3);
+        let rec = RecursiveRandomSearch::new(12, 3).tune(&mut env).unwrap();
+        assert_eq!(rec.evaluations, 12);
+        assert_eq!(rec.policy, "RRS");
+        // The recommendation is the best observation.
+        let best = env.best().unwrap();
+        assert_eq!(rec.config, best.config);
+    }
+
+    #[test]
+    fn rrs_is_reproducible() {
+        let engine = Engine::new(ClusterSpec::cluster_a());
+        let run = |seed| {
+            let mut env = TuningEnv::new(engine.clone(), wordcount(), seed);
+            RecursiveRandomSearch::new(8, seed).tune(&mut env).unwrap().config
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn rrs_improves_over_first_sample_on_average() {
+        let engine = Engine::new(ClusterSpec::cluster_a());
+        let mut improved = 0;
+        for seed in 0..4u64 {
+            let mut env = TuningEnv::new(engine.clone(), wordcount(), seed);
+            RecursiveRandomSearch::new(10, seed).tune(&mut env).unwrap();
+            let first = env.history().first().unwrap().score_mins;
+            let best = env.best().unwrap().score_mins;
+            if best < first {
+                improved += 1;
+            }
+        }
+        assert!(improved >= 3, "RRS should usually improve on its first draw");
+    }
+}

@@ -1,0 +1,240 @@
+//! The tuned configuration space (§6.1).
+//!
+//! Black-box policies tune four knobs: containers per node (1–4), task
+//! concurrency (1 to cores/containers), the dominant memory pool's capacity
+//! (cache for cache-heavy applications, shuffle otherwise — the minor pool
+//! is pinned at 0.1), and `NewRatio` (1–9). `SurvivorRatio` stays at its
+//! default of 8 throughout, as in the paper.
+
+use relm_app::AppSpec;
+use relm_cluster::ClusterSpec;
+use relm_common::MemoryConfig;
+use serde::{Deserialize, Serialize};
+
+/// Which of the two application-level pools is tuned as the 3rd dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DominantPool {
+    /// Cache Storage dominates (iterative/ML/graph applications).
+    Cache,
+    /// Task Shuffle dominates (map-reduce applications).
+    Shuffle,
+}
+
+/// The 4-dimensional tuned space over a specific cluster.
+#[derive(Debug, Clone)]
+pub struct ConfigSpace {
+    cluster: ClusterSpec,
+    dominant: DominantPool,
+    /// Capacity assigned to the non-dominant pool (0.1 in the paper, 0 when
+    /// the application does not use it at all).
+    minor_fraction: f64,
+}
+
+/// Number of tuned dimensions.
+pub const DIMS: usize = 4;
+
+/// Bounds of the capacity dimension.
+const CAP_MIN: f64 = 0.05;
+const CAP_MAX: f64 = 0.8;
+/// Bounds of the NewRatio dimension.
+const NR_MIN: u32 = 1;
+const NR_MAX: u32 = 9;
+
+impl ConfigSpace {
+    /// Builds the space for an application: the dominant pool follows the
+    /// application's character, mirroring the paper's per-application choice.
+    pub fn for_app(cluster: &ClusterSpec, app: &AppSpec) -> Self {
+        let dominant =
+            if app.uses_cache() { DominantPool::Cache } else { DominantPool::Shuffle };
+        let minor_fraction = match dominant {
+            DominantPool::Cache if app.uses_shuffle_memory() => 0.1,
+            DominantPool::Cache => 0.0,
+            DominantPool::Shuffle if app.uses_cache() => 0.1,
+            DominantPool::Shuffle => 0.0,
+        };
+        ConfigSpace { cluster: cluster.clone(), dominant, minor_fraction }
+    }
+
+    /// The cluster the space is defined over.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// The dominant pool being tuned.
+    pub fn dominant(&self) -> DominantPool {
+        self.dominant
+    }
+
+    /// Decodes a point of the continuous unit hypercube into a configuration.
+    /// Every `x ∈ [0,1]⁴` maps to a *valid* configuration (concurrency is
+    /// clamped to the per-container core share).
+    pub fn decode(&self, x: &[f64]) -> MemoryConfig {
+        assert_eq!(x.len(), DIMS, "expected {DIMS} dimensions");
+        let clamp01 = |v: f64| v.clamp(0.0, 1.0);
+
+        let n = 1 + (clamp01(x[0]) * 3.999).floor() as u32;
+        let max_p = self.cluster.max_task_concurrency(n);
+        let p = 1 + (clamp01(x[1]) * (max_p as f64 - 1.0)).round() as u32;
+        let capacity = CAP_MIN + clamp01(x[2]) * (CAP_MAX - CAP_MIN);
+        let new_ratio = NR_MIN + (clamp01(x[3]) * (NR_MAX - NR_MIN) as f64).round() as u32;
+
+        let (cache_fraction, shuffle_fraction) = match self.dominant {
+            DominantPool::Cache => (capacity, self.minor_fraction),
+            DominantPool::Shuffle => (self.minor_fraction, capacity),
+        };
+
+        MemoryConfig {
+            containers_per_node: n,
+            heap: self.cluster.heap_for(n),
+            task_concurrency: p,
+            cache_fraction,
+            shuffle_fraction,
+            new_ratio,
+            survivor_ratio: 8,
+        }
+    }
+
+    /// Encodes a configuration back into the unit hypercube (inverse of
+    /// [`ConfigSpace::decode`] up to discretization).
+    pub fn encode(&self, config: &MemoryConfig) -> [f64; DIMS] {
+        let n = config.containers_per_node.clamp(1, 4);
+        let x0 = (n - 1) as f64 / 4.0 + 0.125;
+        let max_p = self.cluster.max_task_concurrency(n);
+        let x1 = if max_p <= 1 {
+            0.0
+        } else {
+            (config.task_concurrency.min(max_p) - 1) as f64 / (max_p - 1) as f64
+        };
+        let capacity = match self.dominant {
+            DominantPool::Cache => config.cache_fraction,
+            DominantPool::Shuffle => config.shuffle_fraction,
+        };
+        let x2 = ((capacity - CAP_MIN) / (CAP_MAX - CAP_MIN)).clamp(0.0, 1.0);
+        let x3 = (config.new_ratio.clamp(NR_MIN, NR_MAX) - NR_MIN) as f64
+            / (NR_MAX - NR_MIN) as f64;
+        [x0, x1, x2, x3]
+    }
+
+    /// The Exhaustive Search grid: each dimension discretized into 4 values,
+    /// invalid concurrency values collapsed — 192 configurations on
+    /// Cluster A, exactly as in §6.1.
+    pub fn grid(&self) -> Vec<MemoryConfig> {
+        let mut out = Vec::new();
+        for n in 1u32..=4 {
+            let max_p = self.cluster.max_task_concurrency(n);
+            // 4 concurrency values spread over [1, max_p], deduplicated.
+            let mut ps: Vec<u32> = (0..4)
+                .map(|i| 1 + ((max_p - 1) as f64 * i as f64 / 3.0).round() as u32)
+                .collect();
+            ps.dedup();
+            for &p in &ps {
+                for cap in [0.2, 0.4, 0.6, 0.8] {
+                    for nr in [1u32, 3, 5, 7] {
+                        let (cache_fraction, shuffle_fraction) = match self.dominant {
+                            DominantPool::Cache => (cap, self.minor_fraction),
+                            DominantPool::Shuffle => (self.minor_fraction, cap),
+                        };
+                        out.push(MemoryConfig {
+                            containers_per_node: n,
+                            heap: self.cluster.heap_for(n),
+                            task_concurrency: p,
+                            cache_fraction,
+                            shuffle_fraction,
+                            new_ratio: nr,
+                            survivor_ratio: 8,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relm_workloads::{kmeans, sortbykey, wordcount};
+
+    fn cache_space() -> ConfigSpace {
+        ConfigSpace::for_app(&ClusterSpec::cluster_a(), &kmeans())
+    }
+
+    #[test]
+    fn dominant_pool_follows_application() {
+        assert_eq!(cache_space().dominant(), DominantPool::Cache);
+        let shuffle =
+            ConfigSpace::for_app(&ClusterSpec::cluster_a(), &sortbykey());
+        assert_eq!(shuffle.dominant(), DominantPool::Shuffle);
+        let wc = ConfigSpace::for_app(&ClusterSpec::cluster_a(), &wordcount());
+        assert_eq!(wc.dominant(), DominantPool::Shuffle);
+    }
+
+    #[test]
+    fn decode_covers_corners() {
+        let space = cache_space();
+        let lo = space.decode(&[0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(lo.containers_per_node, 1);
+        assert_eq!(lo.task_concurrency, 1);
+        assert!((lo.cache_fraction - 0.05).abs() < 1e-9);
+        assert_eq!(lo.new_ratio, 1);
+
+        let hi = space.decode(&[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(hi.containers_per_node, 4);
+        assert_eq!(hi.task_concurrency, 2); // 8 cores / 4 containers
+        assert!((hi.cache_fraction - 0.8).abs() < 1e-9);
+        assert_eq!(hi.new_ratio, 9);
+    }
+
+    #[test]
+    fn decoded_configs_are_valid() {
+        let space = cache_space();
+        for i in 0..200 {
+            let t = i as f64 / 199.0;
+            let cfg = space.decode(&[t, 1.0 - t, t, (t * 7.0) % 1.0]);
+            assert!(cfg.validate().is_ok(), "invalid config from decode: {cfg}");
+            let max_p = space.cluster().max_task_concurrency(cfg.containers_per_node);
+            assert!(cfg.task_concurrency <= max_p);
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let space = cache_space();
+        for x in [[0.1, 0.2, 0.3, 0.4], [0.9, 0.8, 0.7, 0.6], [0.5, 0.0, 1.0, 0.25]] {
+            let cfg = space.decode(&x);
+            let x2 = space.encode(&cfg);
+            let cfg2 = space.decode(&x2);
+            assert_eq!(cfg, cfg2, "round trip changed the configuration");
+        }
+    }
+
+    #[test]
+    fn grid_has_192_points_on_cluster_a() {
+        // 12 (n, p) pairs × 4 capacities × 4 NewRatios = 192 (§6.1).
+        assert_eq!(cache_space().grid().len(), 192);
+    }
+
+    #[test]
+    fn grid_points_are_valid_and_unique() {
+        let grid = cache_space().grid();
+        for cfg in &grid {
+            assert!(cfg.validate().is_ok());
+        }
+        let mut keys: Vec<String> = grid.iter().map(|c| c.to_string()).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), grid.len(), "grid contains duplicates");
+    }
+
+    #[test]
+    fn minor_pool_assignment() {
+        // K-means uses no shuffle memory: minor pool is 0.
+        let km = cache_space().decode(&[0.0; 4]);
+        assert_eq!(km.shuffle_fraction, 0.0);
+        // SortByKey uses no cache: minor pool is 0.
+        let sbk = ConfigSpace::for_app(&ClusterSpec::cluster_a(), &sortbykey())
+            .decode(&[0.0; 4]);
+        assert_eq!(sbk.cache_fraction, 0.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! The common tuning-policy interface.
+
+use crate::env::TuningEnv;
+use relm_common::{MemoryConfig, Millis, Result};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of a tuning session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// Name of the policy that produced the recommendation.
+    pub policy: String,
+    /// The recommended configuration.
+    pub config: MemoryConfig,
+    /// Number of stress tests the policy ran.
+    pub evaluations: usize,
+    /// Simulated wall-clock time spent on stress tests.
+    pub stress_time: Millis,
+}
+
+/// A tuning policy: given a fresh [`TuningEnv`], produce a recommendation.
+pub trait Tuner {
+    /// Policy name as reported in the evaluation tables.
+    fn name(&self) -> &'static str;
+
+    /// Runs the policy to completion.
+    fn tune(&mut self, env: &mut TuningEnv) -> Result<Recommendation>;
+}
+
+/// Helper for policies: package the current environment state into a
+/// [`Recommendation`].
+pub fn recommendation(
+    policy: &str,
+    env: &TuningEnv,
+    config: MemoryConfig,
+) -> Recommendation {
+    Recommendation {
+        policy: policy.to_owned(),
+        config,
+        evaluations: env.evaluations(),
+        stress_time: env.stress_time(),
+    }
+}

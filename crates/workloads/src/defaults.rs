@@ -1,0 +1,73 @@
+//! The default configuration policy: Amazon EMR's `MaxResourceAllocation`
+//! plus the framework defaults (Table 4).
+
+use relm_app::AppSpec;
+use relm_cluster::ClusterSpec;
+use relm_common::MemoryConfig;
+
+/// The configuration `MaxResourceAllocation` and the framework defaults
+/// produce for an application on a cluster (Table 4): one fat container per
+/// node with the entire heap budget, Task Concurrency 2, a unified memory
+/// pool of 0.6 of the heap, `NewRatio` 2 and `SurvivorRatio` 8.
+///
+/// The unified pool is assigned to the application's dominant requirement:
+/// Spark's unified memory manager lets cache and execution share the pool,
+/// so a cache-only application effectively has the whole 0.6 available as
+/// Cache Capacity and a shuffle-only application as Shuffle Capacity. Mixed
+/// applications get the conventional storage/execution split.
+pub fn max_resource_allocation(cluster: &ClusterSpec, app: &AppSpec) -> MemoryConfig {
+    let (cache_fraction, shuffle_fraction) = match (app.uses_cache(), app.uses_shuffle_memory()) {
+        (true, false) => (0.6, 0.0),
+        (false, true) => (0.0, 0.6),
+        (true, true) => (0.5, 0.1),
+        (false, false) => (0.3, 0.3),
+    };
+    MemoryConfig {
+        containers_per_node: 1,
+        heap: cluster.heap_for(1),
+        task_concurrency: 2,
+        cache_fraction,
+        shuffle_fraction,
+        new_ratio: 2,
+        survivor_ratio: 8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{pagerank, sortbykey, wordcount};
+    use relm_common::Mem;
+
+    #[test]
+    fn matches_table_4_on_cluster_a() {
+        let cfg = max_resource_allocation(&ClusterSpec::cluster_a(), &wordcount());
+        assert_eq!(cfg.containers_per_node, 1);
+        assert_eq!(cfg.heap, Mem::mb(4404.0));
+        assert_eq!(cfg.task_concurrency, 2);
+        assert!((cfg.unified_fraction() - 0.6).abs() < 1e-12);
+        assert_eq!(cfg.new_ratio, 2);
+        assert_eq!(cfg.survivor_ratio, 8);
+    }
+
+    #[test]
+    fn unified_pool_goes_to_dominant_requirement() {
+        let cluster = ClusterSpec::cluster_a();
+        let shuffle_cfg = max_resource_allocation(&cluster, &sortbykey());
+        assert_eq!(shuffle_cfg.cache_fraction, 0.0);
+        assert_eq!(shuffle_cfg.shuffle_fraction, 0.6);
+
+        // PageRank caches and shuffles (the read stage writes shuffle data)
+        // but its dominant pool is cache.
+        let pr_cfg = max_resource_allocation(&cluster, &pagerank());
+        assert!(pr_cfg.cache_fraction >= 0.5);
+    }
+
+    #[test]
+    fn default_is_valid() {
+        let cluster = ClusterSpec::cluster_a();
+        for app in crate::suite::benchmark_suite() {
+            assert!(max_resource_allocation(&cluster, &app).validate().is_ok());
+        }
+    }
+}

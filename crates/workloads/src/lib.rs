@@ -1,0 +1,29 @@
+//! # relm-workloads
+//!
+//! The benchmark test suite of Table 2, expressed as [`relm_app::AppSpec`]s for the
+//! execution simulator, plus the default configuration policy
+//! (`MaxResourceAllocation`, Table 4).
+//!
+//! The six applications cover the computational spectrum the paper uses:
+//!
+//! | Application | Category         | Character |
+//! |-------------|------------------|-----------|
+//! | WordCount   | Map and Reduce   | CPU/disk bound, tiny shuffle, no cache |
+//! | SortByKey   | Map and Reduce   | full-data shuffle, 512 MB partitions → large task memory |
+//! | K-means     | Machine Learning | iterative, cache-hungry (does not fully fit on Cluster A) |
+//! | SVM         | Machine Learning | iterative, 32 MB partitions → small task memory, cache fits at ½ heap |
+//! | PageRank    | Graph            | coalesce with huge task-unmanaged + off-heap fetch buffers |
+//! | TPC-H       | SQL              | 22 scan/join/aggregate queries (Cluster B) |
+//!
+//! Input sizes and partition sizes follow Table 2; memory footprints are
+//! calibrated so the Section-3 observations (container sizing, concurrency
+//! plateaus, cache/shuffle pool interactions, GC interplay, PageRank's
+//! default-configuration failures) emerge from the simulator.
+
+pub mod defaults;
+pub mod suite;
+pub mod tpch;
+
+pub use defaults::max_resource_allocation;
+pub use suite::{benchmark_suite, kmeans, pagerank, sortbykey, svm, svm_scaled, wordcount};
+pub use tpch::{tpch_queries, tpch_query};

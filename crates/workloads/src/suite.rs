@@ -1,0 +1,204 @@
+//! The five core benchmark applications (Table 2).
+
+use relm_app::{AppSpec, InputSource, StageSpec};
+use relm_common::Mem;
+
+/// WordCount: Hadoop RandomTextWriter, 50 GB input, 128 MB partitions.
+///
+/// Map-and-reduce with map-side aggregation: the shuffle is tiny, no cache is
+/// used, and performance is bound by CPU and disk — which is why it scales
+/// with thin containers (Figure 4).
+pub fn wordcount() -> AppSpec {
+    let mut map = StageSpec::new("wc-map", 400, Mem::mb(128.0));
+    map.cpu_ms_per_mb = 18.0;
+    map.shuffle_write_per_task = Mem::mb(8.0);
+    map.unmanaged_per_task = Mem::mb(160.0);
+    map.churn_factor = 3.0;
+
+    let mut reduce = StageSpec::new("wc-reduce", 64, Mem::mb(50.0));
+    reduce.input = InputSource::ShuffleRead;
+    reduce.uses_shuffle_memory = true;
+    reduce.cpu_ms_per_mb = 10.0;
+    reduce.unmanaged_per_task = Mem::mb(80.0);
+    reduce.churn_factor = 2.0;
+
+    AppSpec::new("WordCount", vec![map, reduce])
+}
+
+/// SortByKey: Hadoop RandomTextWriter, 30 GB input, **512 MB** partitions.
+///
+/// The reduce stage sorts the full data volume through the Task Shuffle
+/// pool; undersized pools spill to disk, oversized pools create
+/// promotion-driven GC storms (Observation 7 / Figure 10).
+pub fn sortbykey() -> AppSpec {
+    let mut map = StageSpec::new("sbk-map", 60, Mem::mb(512.0));
+    map.cpu_ms_per_mb = 6.0;
+    map.shuffle_write_per_task = Mem::mb(512.0);
+    map.unmanaged_per_task = Mem::mb(150.0);
+    map.churn_factor = 2.2;
+
+    let mut reduce = StageSpec::new("sbk-reduce", 60, Mem::mb(512.0));
+    reduce.input = InputSource::ShuffleRead;
+    reduce.uses_shuffle_memory = true;
+    reduce.shuffle_expansion = 3.5;
+    reduce.cpu_ms_per_mb = 8.0;
+    reduce.unmanaged_per_task = Mem::mb(90.0);
+    reduce.churn_factor = 2.0;
+
+    AppSpec::new("SortByKey", vec![map, reduce])
+}
+
+/// K-means: HiBench huge (100 M samples), 128 MB partitions.
+///
+/// Caches ~33 GB of deserialized training vectors — more than Cluster A can
+/// hold — so the cache hit ratio tracks the Cache Capacity knob and the
+/// application "hits the memory bottleneck before it can fit all the
+/// partitions" (§3.3).
+pub fn kmeans() -> AppSpec {
+    let mut load = StageSpec::new("km-load", 240, Mem::mb(128.0));
+    load.cpu_ms_per_mb = 22.0;
+    // Unrolling a 128 MB partition into cache plus the deserialization
+    // working set: the dominant per-task footprint.
+    load.unmanaged_per_task = Mem::mb(450.0);
+    load.churn_factor = 3.0;
+    load.cache_block_per_task = Mem::mb(140.0); // 33.6 GB total demand
+
+    let mut iterate = StageSpec::new("km-iterate", 240, Mem::mb(140.0));
+    iterate.input = InputSource::Cached { miss_penalty_ms_per_mb: 30.0 };
+    iterate.cpu_ms_per_mb = 18.0;
+    iterate.unmanaged_per_task = Mem::mb(200.0);
+    iterate.churn_factor = 1.6;
+    iterate.in_iteration = true;
+
+    let mut app = AppSpec::new("K-means", vec![load, iterate]);
+    app.iterations = 8;
+    app
+}
+
+/// SVM: HiBench huge (100 M examples), **32 MB** partitions.
+///
+/// Small partitions mean small per-task memory (profiles often contain no
+/// full-GC events — the §6.4 sensitivity study), and the ~16 GB cache fits
+/// entirely once Cache Capacity exceeds 0.5 (Figure 7d).
+pub fn svm() -> AppSpec {
+    svm_scaled(1.0)
+}
+
+/// SVM with its input scaled by `scale` (Figure 27 re-tests DDPG after
+/// changing the data scale factor).
+pub fn svm_scaled(scale: f64) -> AppSpec {
+    let tasks = (500.0 * scale).round() as u32;
+    let mut load = StageSpec::new("svm-load", tasks, Mem::mb(32.0));
+    load.cpu_ms_per_mb = 25.0;
+    load.unmanaged_per_task = Mem::mb(200.0);
+    load.churn_factor = 3.0;
+    load.cache_block_per_task = Mem::mb(32.0); // 16 GB total at scale 1
+
+    let mut iterate = StageSpec::new("svm-iterate", tasks, Mem::mb(32.0));
+    iterate.input = InputSource::Cached { miss_penalty_ms_per_mb: 35.0 };
+    iterate.cpu_ms_per_mb = 20.0;
+    iterate.unmanaged_per_task = Mem::mb(120.0);
+    iterate.churn_factor = 1.5;
+    iterate.in_iteration = true;
+
+    let mut app = AppSpec::new("SVM", vec![load, iterate]);
+    app.iterations = 8;
+    app
+}
+
+/// PageRank: LiveJournal (69 M edges) via GraphX's LiveJournalPageRank.
+///
+/// The coalesce stage fetches partitions over the network into large
+/// off-heap buffers while unrolling coalesced edge partitions — the highest
+/// Task Unmanaged footprint in the suite (Table 6 reports 770 MB/task) —
+/// and caches ~61 GB, of which the default setup fits only ~30%
+/// (Table 6: H = 0.3). Under the default configuration the application
+/// fails (Figure 5, Table 5).
+pub fn pagerank() -> AppSpec {
+    let mut read = StageSpec::new("pr-read", 480, Mem::mb(128.0));
+    read.cpu_ms_per_mb = 8.0;
+    read.shuffle_write_per_task = Mem::mb(128.0);
+    read.unmanaged_per_task = Mem::mb(250.0);
+    read.churn_factor = 2.0;
+
+    let mut coalesce = StageSpec::new("pr-coalesce", 48, Mem::mb(1280.0));
+    coalesce.input = InputSource::ShuffleRead;
+    coalesce.cpu_ms_per_mb = 10.0;
+    coalesce.unmanaged_per_task = Mem::mb(770.0);
+    coalesce.churn_factor = 1.6;
+    coalesce.off_heap_per_task = Mem::mb(250.0);
+    coalesce.cache_block_per_task = Mem::mb(1280.0); // 61.4 GB total demand
+
+    let mut iterate = StageSpec::new("pr-iterate", 48, Mem::mb(1280.0));
+    iterate.input = InputSource::Cached { miss_penalty_ms_per_mb: 12.0 };
+    iterate.cpu_ms_per_mb = 8.0;
+    iterate.unmanaged_per_task = Mem::mb(400.0);
+    iterate.churn_factor = 1.2;
+    iterate.off_heap_per_task = Mem::mb(120.0);
+    iterate.in_iteration = true;
+
+    let mut app = AppSpec::new("PageRank", vec![read, coalesce, iterate]);
+    app.iterations = 8;
+    app.code_overhead = Mem::mb(115.0); // Table 6's example M_i
+    app
+}
+
+/// The five applications evaluated throughout §3 and §6 (TPC-H is separate;
+/// it runs on Cluster B).
+pub fn benchmark_suite() -> Vec<AppSpec> {
+    vec![wordcount(), sortbykey(), kmeans(), svm(), pagerank()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_five_applications() {
+        let suite = benchmark_suite();
+        assert_eq!(suite.len(), 5);
+        let names: Vec<&str> = suite.iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names, vec!["WordCount", "SortByKey", "K-means", "SVM", "PageRank"]);
+    }
+
+    #[test]
+    fn cache_usage_split_matches_table_2() {
+        assert!(!wordcount().uses_cache());
+        assert!(!sortbykey().uses_cache());
+        assert!(kmeans().uses_cache());
+        assert!(svm().uses_cache());
+        assert!(pagerank().uses_cache());
+    }
+
+    #[test]
+    fn shuffle_usage() {
+        assert!(wordcount().uses_shuffle());
+        assert!(sortbykey().uses_shuffle());
+        assert!(!kmeans().uses_shuffle());
+        assert!(!svm().uses_shuffle());
+    }
+
+    #[test]
+    fn iterative_apps_repeat_body() {
+        for app in [kmeans(), svm(), pagerank()] {
+            assert!(app.iterations > 1, "{} should be iterative", app.name);
+            assert!(app.schedule().len() > app.stages.len());
+        }
+    }
+
+    #[test]
+    fn svm_scaling_scales_tasks() {
+        let s1 = svm_scaled(1.0);
+        let s2 = svm_scaled(2.0);
+        assert_eq!(s2.stages[0].tasks, 2 * s1.stages[0].tasks);
+        assert_eq!(s2.cache_demand(), s1.cache_demand() * 2.0);
+    }
+
+    #[test]
+    fn pagerank_matches_table_6_footprints() {
+        let pr = pagerank();
+        let coalesce = &pr.stages[1];
+        assert_eq!(coalesce.unmanaged_per_task, Mem::mb(770.0));
+        assert_eq!(pr.code_overhead, Mem::mb(115.0));
+    }
+}

@@ -1,0 +1,118 @@
+//! TPC-H (DBGen scale factor 50, 128 MB partitions) expressed as 22 query
+//! applications for Cluster B (§6.4, Figure 21).
+//!
+//! Each query is modelled as a scan stage over its driving tables followed
+//! by one or two shuffle (join/aggregation) stages. The per-query weights
+//! are loosely proportioned to the queries' relative costs on Spark SQL:
+//! Q1/Q6 are scan-dominated, Q9/Q21 are the heaviest multi-join queries,
+//! and so on. The absolute numbers only need to produce a realistic spread
+//! of shuffle/scan ratios for the tuners to work against.
+
+use relm_app::{AppSpec, InputSource, StageSpec};
+use relm_common::Mem;
+
+/// Per-query shape parameters: (scan GB, CPU ms/MB, shuffle GB, join depth).
+const QUERY_SHAPES: [(f64, f64, f64, u32); 22] = [
+    (37.0, 14.0, 2.0, 1),  // Q1: lineitem scan + aggregation
+    (6.0, 10.0, 3.0, 2),   // Q2: part/supplier joins
+    (45.0, 8.0, 9.0, 2),   // Q3: customer/orders/lineitem
+    (42.0, 7.0, 6.0, 1),   // Q4: semi-join
+    (48.0, 9.0, 11.0, 2),  // Q5: 6-way join
+    (37.0, 5.0, 0.5, 1),   // Q6: selective scan
+    (46.0, 9.0, 10.0, 2),  // Q7: volume shipping
+    (49.0, 9.0, 12.0, 2),  // Q8: national market share
+    (50.0, 12.0, 16.0, 2), // Q9: heaviest multi-join
+    (45.0, 8.0, 10.0, 2),  // Q10: returned items
+    (5.0, 8.0, 2.0, 1),    // Q11: partsupp only
+    (40.0, 7.0, 5.0, 1),   // Q12: shipping modes
+    (12.0, 9.0, 6.0, 1),   // Q13: customer distribution
+    (38.0, 7.0, 4.0, 1),   // Q14: promo effect
+    (38.0, 7.0, 4.0, 1),   // Q15: top supplier
+    (7.0, 8.0, 3.0, 1),    // Q16: parts/supplier relationship
+    (39.0, 10.0, 5.0, 2),  // Q17: small-quantity orders
+    (47.0, 10.0, 13.0, 2), // Q18: large volume customers
+    (38.0, 9.0, 3.0, 1),   // Q19: discounted revenue
+    (40.0, 9.0, 6.0, 2),   // Q20: potential part promotion
+    (50.0, 11.0, 14.0, 2), // Q21: suppliers who kept orders waiting
+    (10.0, 7.0, 2.0, 1),   // Q22: global sales opportunity
+];
+
+/// Builds one TPC-H query application. `query` is 1-based (1..=22).
+pub fn tpch_query(query: u32) -> AppSpec {
+    assert!((1..=22).contains(&query), "TPC-H defines queries 1..=22");
+    let (scan_gb, cpu_w, shuffle_gb, joins) = QUERY_SHAPES[(query - 1) as usize];
+
+    let partition = Mem::mb(128.0);
+    let scan_tasks = ((scan_gb * 1024.0) / 128.0).round().max(1.0) as u32;
+    let shuffle_total = Mem::gb(shuffle_gb);
+
+    let mut scan = StageSpec::new(&format!("q{query}-scan"), scan_tasks, partition);
+    scan.cpu_ms_per_mb = cpu_w;
+    scan.shuffle_write_per_task = shuffle_total / scan_tasks as f64;
+    scan.unmanaged_per_task = Mem::mb(220.0);
+    scan.churn_factor = 2.4;
+
+    let mut stages = vec![scan];
+    let mut remaining = shuffle_total;
+    for j in 0..joins {
+        let join_tasks = 64;
+        let mut join =
+            StageSpec::new(&format!("q{query}-join{}", j + 1), join_tasks, remaining / 64.0);
+        join.input = InputSource::ShuffleRead;
+        join.uses_shuffle_memory = true;
+        join.cpu_ms_per_mb = cpu_w * 0.8;
+        join.unmanaged_per_task = (remaining / 64.0 * 0.6).max(Mem::mb(96.0));
+        join.churn_factor = 2.0;
+        join.shuffle_write_per_task =
+            if j + 1 < joins { remaining / 64.0 * 0.4 } else { Mem::ZERO };
+        remaining = remaining * 0.4;
+        stages.push(join);
+    }
+
+    AppSpec::new(&format!("TPC-H Q{query}"), stages)
+}
+
+/// All 22 queries.
+pub fn tpch_queries() -> Vec<AppSpec> {
+    (1..=22).map(tpch_query).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_all_22_queries() {
+        let qs = tpch_queries();
+        assert_eq!(qs.len(), 22);
+        for (i, q) in qs.iter().enumerate() {
+            assert_eq!(q.name, format!("TPC-H Q{}", i + 1));
+            assert!(q.uses_shuffle_memory());
+            assert!(!q.uses_cache());
+        }
+    }
+
+    #[test]
+    fn query_shapes_vary() {
+        let q6 = tpch_query(6);
+        let q9 = tpch_query(9);
+        assert!(q9.stages.len() > q6.stages.len() || {
+            let s9: f64 = q9.stages.iter().map(|s| s.shuffle_write_per_task.as_mb()).sum();
+            let s6: f64 = q6.stages.iter().map(|s| s.shuffle_write_per_task.as_mb()).sum();
+            s9 > s6
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=22")]
+    fn rejects_query_zero() {
+        tpch_query(0);
+    }
+
+    #[test]
+    fn scan_tasks_match_partition_size() {
+        let q1 = tpch_query(1);
+        // 37 GB at 128 MB partitions = 296 tasks.
+        assert_eq!(q1.stages[0].tasks, 296);
+    }
+}

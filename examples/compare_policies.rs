@@ -1,0 +1,74 @@
+//! Compares every tuning policy of the paper on one application: the
+//! vendor default, RelM (white-box), BO and GBO (Bayesian), DDPG
+//! (reinforcement learning), and random search — reporting recommendation
+//! quality and training overheads (the Figure 16 / Figure 17 trade-off).
+//!
+//! Run with: `cargo run --release --example compare_policies [app]`
+//! where `app` is one of: wordcount, sortbykey, kmeans, svm, pagerank.
+
+use relm::prelude::*;
+
+fn pick_app(name: &str) -> AppSpec {
+    match name {
+        "wordcount" => wordcount(),
+        "sortbykey" => sortbykey(),
+        "kmeans" => kmeans(),
+        "svm" => svm(),
+        "pagerank" => pagerank(),
+        other => {
+            eprintln!("unknown app '{other}', using sortbykey");
+            sortbykey()
+        }
+    }
+}
+
+fn main() {
+    let app_name = std::env::args().nth(1).unwrap_or_else(|| "sortbykey".to_owned());
+    let app = pick_app(&app_name);
+    let cluster = ClusterSpec::cluster_a();
+    let engine = Engine::new(cluster.clone());
+
+    println!("tuning {} on {}\n", app.name, cluster.name);
+    println!(
+        "{:<10} {:>7} {:>12} {:>10} {:>9}  recommendation",
+        "policy", "runs", "stress time", "runtime", "failures"
+    );
+
+    let mut policies: Vec<Box<dyn Tuner>> = vec![
+        Box::new(DefaultPolicy),
+        Box::new(RelmTuner::default()),
+        Box::new(BayesOpt::new(7)),
+        Box::new(BayesOpt::guided(7)),
+        Box::new(DdpgTuner::new(7)),
+        Box::new(RandomSearch::new(10, 7)),
+        Box::new(RecursiveRandomSearch::new(10, 7)),
+    ];
+
+    for policy in policies.iter_mut() {
+        let mut env = TuningEnv::new(engine.clone(), app.clone(), 11);
+        let rec = match policy.tune(&mut env) {
+            Ok(rec) => rec,
+            Err(e) => {
+                println!("{:<10} failed: {e}", policy.name());
+                continue;
+            }
+        };
+        // Evaluate the recommendation on fresh seeds.
+        let mut runtime = 0.0;
+        let mut failures = 0;
+        for seed in 0..3u64 {
+            let (r, _) = engine.run(&app, &rec.config, 9_000 + seed);
+            runtime += r.runtime_mins() / 3.0;
+            failures += r.container_failures;
+        }
+        println!(
+            "{:<10} {:>7} {:>10.0}min {:>8.1}min {:>9}  {}",
+            rec.policy,
+            rec.evaluations,
+            rec.stress_time.as_mins(),
+            runtime,
+            failures,
+            rec.config
+        );
+    }
+}

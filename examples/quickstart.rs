@@ -1,0 +1,57 @@
+//! Quickstart: simulate an application run, inspect its profile, and let
+//! RelM recommend a memory configuration from that single run.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use relm::prelude::*;
+
+fn main() {
+    // The paper's physical test cluster: 8 nodes, 6 GB / 8 cores each.
+    let cluster = ClusterSpec::cluster_a();
+    let engine = Engine::new(cluster.clone());
+
+    // K-means from the benchmark suite (HiBench "huge": iterative,
+    // cache-hungry).
+    let app = kmeans();
+
+    // 1. Run it under Amazon EMR's MaxResourceAllocation defaults.
+    let default_config = max_resource_allocation(&cluster, &app);
+    println!("default configuration: {default_config}");
+    let (result, profile) = engine.run(&app, &default_config, 42);
+    println!(
+        "default run: {:.1} min, cache hit ratio {:.2}, GC overhead {:.0}%, {} container failures",
+        result.runtime_mins(),
+        result.cache_hit_ratio,
+        result.gc_overhead * 100.0,
+        result.container_failures,
+    );
+
+    // 2. Derive the Table-6 statistics the white-box models consume.
+    let stats = derive_stats(&profile);
+    println!(
+        "profile statistics: M_i={} M_c={} M_s={} M_u={} (from full GC: {})",
+        stats.m_i, stats.m_c, stats.m_s, stats.m_u, stats.m_u_from_full_gc
+    );
+
+    // 3. RelM: one profiled run in, a full memory configuration out.
+    let mut env = TuningEnv::new(engine.clone(), app.clone(), 42);
+    let mut relm = RelmTuner::default();
+    let rec = relm.tune(&mut env).expect("RelM recommendation");
+    println!(
+        "RelM recommends: {} (after {} profiled run(s))",
+        rec.config, rec.evaluations
+    );
+
+    // 4. Verify the recommendation.
+    let (tuned, _) = engine.run(&app, &rec.config, 1000);
+    println!(
+        "tuned run: {:.1} min ({}x speedup), {} container failures",
+        tuned.runtime_mins(),
+        (result.runtime_mins() / tuned.runtime_mins() * 10.0).round() / 10.0,
+        tuned.container_failures,
+    );
+
+    // 5. The last mile: the concrete Spark/YARN/JVM settings to apply.
+    println!("\nspark-defaults.conf fragment:");
+    print!("{}", relm::tune::to_spark_defaults_conf(&rec.config, &cluster));
+}

@@ -1,0 +1,76 @@
+//! Reproduces §3.5's manual tuning of PageRank (Table 5) and then shows
+//! RelM reaching a safe configuration automatically.
+//!
+//! PageRank's coalesce stage has the largest per-task memory footprint in
+//! the suite (770 MB) plus big off-heap network buffers, so the vendor
+//! default fails with a mix of out-of-memory errors and physical-memory
+//! kills.
+//!
+//! Run with: `cargo run --release --example tune_pagerank`
+
+use relm::prelude::*;
+
+fn run_row(engine: &Engine, app: &AppSpec, label: &str, config: &MemoryConfig) {
+    // Each row is executed a few times: §3.1 stresses how variable failing
+    // setups are.
+    let mut runtimes = Vec::new();
+    let mut failures = 0;
+    let mut aborts = 0;
+    for seed in 0..3u64 {
+        let (r, _) = engine.run(app, config, 7_000 + seed);
+        runtimes.push(r.runtime_mins());
+        failures += r.container_failures;
+        aborts += u32::from(r.aborted);
+    }
+    let mean = runtimes.iter().sum::<f64>() / runtimes.len() as f64;
+    println!(
+        "{label:<28} {:>6.1} min   failures={failures:<3} aborted {aborts}/3   ({})",
+        mean, config
+    );
+}
+
+fn main() {
+    let cluster = ClusterSpec::cluster_a();
+    let engine = Engine::new(cluster.clone());
+    let app = pagerank();
+
+    let default = max_resource_allocation(&cluster, &app);
+
+    println!("== Manual tuning of PageRank (Table 5) ==");
+    run_row(&engine, &app, "default (p=2, cc=.6, NR=2)", &default);
+
+    let mut p1 = default;
+    p1.task_concurrency = 1;
+    run_row(&engine, &app, "lower concurrency (p=1)", &p1);
+
+    let mut cc4 = default;
+    cc4.cache_fraction = 0.4;
+    run_row(&engine, &app, "lower cache (cc=.4)", &cc4);
+
+    let mut nr5 = default;
+    nr5.new_ratio = 5;
+    run_row(&engine, &app, "aggressive GC (NR=5)", &nr5);
+
+    println!("\n== RelM ==");
+    let mut env = TuningEnv::new(engine.clone(), app.clone(), 99);
+    let mut relm = RelmTuner::default();
+    let rec = relm.tune(&mut env).expect("RelM recommendation");
+    run_row(&engine, &app, "RelM recommendation", &rec.config);
+
+    if let Some(stats) = relm.last_stats() {
+        println!(
+            "\nRelM saw: M_c={} at hit ratio {:.2} -> high cache demand; M_u={} -> OOM-prone",
+            stats.m_c, stats.h, stats.m_u
+        );
+    }
+    println!("candidate ranking by utility score U:");
+    for (n, outcome) in relm.last_outcomes() {
+        println!(
+            "  {} containers/node: U={:.3}  ({} arbitration steps) -> {}",
+            n,
+            outcome.utility,
+            outcome.trace.len(),
+            outcome.config
+        );
+    }
+}

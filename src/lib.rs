@@ -1,0 +1,58 @@
+//! # relm
+//!
+//! A complete reproduction of *"Black or White? How to Develop an AutoTuner
+//! for Memory-based Analytics"* (Kunjir & Babu, SIGMOD 2020) as a Rust
+//! workspace — the RelM white-box memory tuner, Guided Bayesian
+//! Optimization, and the full simulated Spark/YARN/JVM substrate the
+//! evaluation needs.
+//!
+//! This facade crate re-exports the public API of every workspace member:
+//!
+//! ```
+//! use relm::prelude::*;
+//!
+//! // Simulate PageRank on the paper's 8-node cluster under the vendor
+//! // defaults, then let RelM recommend a configuration from that single
+//! // profiled run.
+//! let engine = Engine::new(ClusterSpec::cluster_a());
+//! let app = pagerank();
+//! let mut env = TuningEnv::new(engine, app, 42);
+//! let mut relm = RelmTuner::default();
+//! let rec = relm.tune(&mut env).unwrap();
+//! assert!(rec.evaluations <= 2); // one or two profiled runs, per the paper
+//! rec.config.validate().unwrap();
+//! ```
+//!
+//! See `DESIGN.md` for the crate inventory and `EXPERIMENTS.md` for the
+//! paper-versus-measured record of every table and figure.
+
+pub use relm_app as app;
+pub use relm_bo as bayesopt;
+pub use relm_cluster as cluster;
+pub use relm_common as common;
+pub use relm_core as core;
+pub use relm_ddpg as ddpg;
+pub use relm_jvm as jvm;
+pub use relm_profile as profile;
+pub use relm_surrogate as surrogate;
+pub use relm_tune as tune;
+pub use relm_workloads as workloads;
+
+/// Everything a typical user needs, in one import.
+pub mod prelude {
+    pub use relm_app::{AppSpec, Engine, EngineCostModel, InputSource, RunResult, StageSpec};
+    pub use relm_bo::{BayesOpt, BoConfig, ModelRepository, SurrogateKind};
+    pub use relm_cluster::{ClusterSpec, ContainerSpec};
+    pub use relm_common::{Mem, MemoryConfig, Millis, Rng};
+    pub use relm_core::{QModel, RelmTuner};
+    pub use relm_ddpg::DdpgTuner;
+    pub use relm_profile::{derive_stats, DerivedStats, Profile};
+    pub use relm_tune::{
+        ConfigSpace, DefaultPolicy, ExhaustiveSearch, Observation, RandomSearch,
+        Recommendation, RecursiveRandomSearch, Tuner, TuningEnv,
+    };
+    pub use relm_workloads::{
+        benchmark_suite, kmeans, max_resource_allocation, pagerank, sortbykey, svm,
+        svm_scaled, tpch_queries, tpch_query, wordcount,
+    };
+}

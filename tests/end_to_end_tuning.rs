@@ -1,0 +1,110 @@
+//! End-to-end tuning: every policy on real workloads, asserting the paper's
+//! headline qualitative claims.
+
+use relm::prelude::*;
+
+fn run_config(engine: &Engine, app: &AppSpec, cfg: &MemoryConfig, seed: u64) -> RunResult {
+    engine.run(app, cfg, seed).0
+}
+
+#[test]
+fn relm_is_safe_on_every_benchmark_application() {
+    let engine = Engine::new(ClusterSpec::cluster_a());
+    for app in benchmark_suite() {
+        let mut env = TuningEnv::new(engine.clone(), app.clone(), 11);
+        let mut relm = RelmTuner::default();
+        let rec = relm.tune(&mut env).expect("RelM recommendation");
+        assert!(rec.evaluations <= 2, "{}: RelM used {} runs", app.name, rec.evaluations);
+        for seed in 0..4u64 {
+            let r = run_config(&engine, &app, &rec.config, 50_000 + seed * 7);
+            assert!(!r.aborted, "{}: RelM config aborted ({})", app.name, rec.config);
+            assert_eq!(
+                r.container_failures, 0,
+                "{}: RelM config had container failures ({})",
+                app.name, rec.config
+            );
+        }
+    }
+}
+
+#[test]
+fn relm_beats_the_default_policy() {
+    let engine = Engine::new(ClusterSpec::cluster_a());
+    for app in benchmark_suite() {
+        let default = max_resource_allocation(engine.cluster(), &app);
+        let mut env = TuningEnv::new(engine.clone(), app.clone(), 13);
+        let rec = RelmTuner::default().tune(&mut env).expect("recommendation");
+
+        let mut def_mins = 0.0;
+        let mut def_aborts = 0;
+        let mut relm_mins = 0.0;
+        for seed in 0..3u64 {
+            let d = run_config(&engine, &app, &default, 60_000 + seed);
+            def_mins += d.runtime_mins() / 3.0;
+            def_aborts += u32::from(d.aborted);
+            relm_mins += run_config(&engine, &app, &rec.config, 60_000 + seed).runtime_mins() / 3.0;
+        }
+        assert!(
+            def_aborts > 0 || relm_mins <= def_mins * 1.02,
+            "{}: RelM ({relm_mins:.1}m) lost to the default ({def_mins:.1}m)",
+            app.name
+        );
+    }
+}
+
+#[test]
+fn bo_and_gbo_converge_with_expected_budgets() {
+    let engine = Engine::new(ClusterSpec::cluster_a());
+    let app = sortbykey();
+    let variants: [(fn(u64) -> BayesOpt, &str); 2] =
+        [(BayesOpt::new, "BO"), (BayesOpt::guided, "GBO")];
+    for (mk, name) in variants {
+        let mut env = TuningEnv::new(engine.clone(), app.clone(), 17);
+        let rec = mk(17).tune(&mut env).expect("BO tuning");
+        assert_eq!(rec.policy, name);
+        // 4 LHS bootstrap + >= 6 adaptive samples (the CherryPick rule).
+        assert!(rec.evaluations >= 10, "{name} used only {} evaluations", rec.evaluations);
+        let best = env.best().expect("history").score_mins;
+        assert!(best.is_finite());
+    }
+}
+
+#[test]
+fn ddpg_improves_over_its_first_observation() {
+    let engine = Engine::new(ClusterSpec::cluster_a());
+    let app = svm();
+    let mut env = TuningEnv::new(engine.clone(), app.clone(), 19);
+    let rec = DdpgTuner::new(19).with_budget(12).tune(&mut env).expect("ddpg");
+    let first = env.history().first().expect("history").score_mins;
+    let best = env.best().expect("history").score_mins;
+    assert!(best <= first, "DDPG never improved on the default observation");
+    assert_eq!(rec.evaluations, 13);
+}
+
+#[test]
+fn exhaustive_search_runs_the_full_grid_and_wins() {
+    let engine = Engine::new(ClusterSpec::cluster_a());
+    let app = wordcount();
+    let mut env = TuningEnv::new(engine.clone(), app.clone(), 23);
+    let rec = ExhaustiveSearch.tune(&mut env).expect("exhaustive");
+    assert_eq!(rec.evaluations, 192, "the §6.1 grid has 192 configurations");
+    let best = env.best().expect("history").score_mins;
+
+    // Compare against the default policy: the grid winner must be at least
+    // as good.
+    let default = max_resource_allocation(engine.cluster(), &app);
+    let d = run_config(&engine, &app, &default, 70_000);
+    assert!(best <= d.runtime_mins() * 1.05);
+}
+
+#[test]
+fn tuning_env_histories_are_reproducible() {
+    let engine = Engine::new(ClusterSpec::cluster_a());
+    let app = kmeans();
+    let run = |seed| {
+        let mut env = TuningEnv::new(engine.clone(), app.clone(), seed);
+        let rec = BayesOpt::new(seed).tune(&mut env).expect("bo");
+        (rec.config, env.evaluations())
+    };
+    assert_eq!(run(29), run(29));
+}

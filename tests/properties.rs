@@ -1,0 +1,172 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use proptest::prelude::*;
+use relm::prelude::*;
+use relm_core::{Arbitrator, Initializer};
+use relm_profile::DerivedStats;
+use relm_common::Rng as SimRng;
+use relm_surrogate::{expected_improvement, latin_hypercube, Forest, ForestParams, Gp};
+
+fn cluster() -> ClusterSpec {
+    ClusterSpec::cluster_a()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Any point of the unit hypercube decodes to a valid configuration.
+    #[test]
+    fn config_space_decode_is_total(
+        x0 in 0.0f64..1.0, x1 in 0.0f64..1.0, x2 in 0.0f64..1.0, x3 in 0.0f64..1.0,
+    ) {
+        for app in [kmeans(), sortbykey()] {
+            let space = ConfigSpace::for_app(&cluster(), &app);
+            let cfg = space.decode(&[x0, x1, x2, x3]);
+            prop_assert!(cfg.validate().is_ok());
+            let max_p = cluster().max_task_concurrency(cfg.containers_per_node);
+            prop_assert!(cfg.task_concurrency <= max_p);
+            // Decode/encode/decode is a fixed point on the discrete knobs
+            // and within float rounding on the continuous capacity.
+            let cfg2 = space.decode(&space.encode(&cfg));
+            prop_assert_eq!(cfg.containers_per_node, cfg2.containers_per_node);
+            prop_assert_eq!(cfg.task_concurrency, cfg2.task_concurrency);
+            prop_assert_eq!(cfg.new_ratio, cfg2.new_ratio);
+            prop_assert!((cfg.cache_fraction - cfg2.cache_fraction).abs() < 1e-9);
+            prop_assert!((cfg.shuffle_fraction - cfg2.shuffle_fraction).abs() < 1e-9);
+        }
+    }
+
+    /// The simulator is deterministic given a seed, and its metrics are
+    /// well-formed fractions for any in-space configuration.
+    #[test]
+    fn simulator_determinism_and_metric_ranges(
+        x in proptest::array::uniform4(0.0f64..1.0),
+        seed in 0u64..1_000,
+    ) {
+        let engine = Engine::new(cluster());
+        let app = wordcount();
+        let cfg = ConfigSpace::for_app(&cluster(), &app).decode(&x);
+        let (a, _) = engine.run(&app, &cfg, seed);
+        let (b, _) = engine.run(&app, &cfg, seed);
+        prop_assert_eq!(&a, &b);
+        for v in [a.max_heap_util, a.avg_cpu_util, a.avg_disk_util, a.gc_overhead,
+                  a.cache_hit_ratio, a.spill_fraction] {
+            prop_assert!((0.0..=1.0).contains(&v), "metric out of range: {}", v);
+        }
+        prop_assert!(a.runtime.as_ms() > 0.0);
+    }
+
+    /// The Arbitrator terminates on arbitrary plausible statistics and its
+    /// output honors the safety invariant: Old covers code overhead, cache,
+    /// and the concurrent task memory.
+    #[test]
+    fn arbitrator_safety_invariant(
+        m_i in 20.0f64..400.0,
+        m_c in 0.0f64..6_000.0,
+        m_u in 10.0f64..1_500.0,
+        h in 0.05f64..1.0,
+        cpu in 1.0f64..100.0,
+        p in 1u32..8,
+    ) {
+        let stats = DerivedStats {
+            containers_per_node: 1,
+            heap: Mem::mb(4404.0),
+            cpu_avg: cpu,
+            disk_avg: 2.0,
+            m_i: Mem::mb(m_i),
+            m_c: Mem::mb(m_c),
+            m_s: Mem::ZERO,
+            m_u: Mem::mb(m_u),
+            p,
+            h,
+            s: 0.0,
+            m_u_from_full_gc: true,
+        };
+        let init = Initializer::new(stats, 0.1);
+        let arb = Arbitrator::new(0.1);
+        for (n, heap) in cluster().container_options() {
+            let max_p = cluster().max_task_concurrency(n);
+            let initial = init.initialize(n, heap, max_p);
+            if let Ok(out) = arb.arbitrate(&init, &initial) {
+                let cfg = out.config;
+                prop_assert!(cfg.validate().is_ok());
+                let demand = Mem::mb(m_i)
+                    + cfg.heap * cfg.cache_fraction
+                    + Mem::mb(m_u) * cfg.task_concurrency as f64;
+                prop_assert!(
+                    demand <= cfg.old_capacity() * 1.01,
+                    "old {} cannot hold demand {} for {}",
+                    cfg.old_capacity(), demand, cfg
+                );
+                prop_assert!(out.utility > 0.0 && out.utility <= 1.0);
+            }
+        }
+    }
+
+    /// Expected improvement is non-negative and zero-variance EI reduces to
+    /// plain improvement.
+    #[test]
+    fn ei_properties(mean in -10.0f64..10.0, var in 0.0f64..5.0, tau in -10.0f64..10.0) {
+        let ei = expected_improvement(mean, var, tau);
+        prop_assert!(ei >= 0.0);
+        prop_assert!(ei.is_finite());
+        let ei0 = expected_improvement(mean, 0.0, tau);
+        prop_assert!((ei0 - (tau - mean).max(0.0)).abs() < 1e-9);
+        // More uncertainty never decreases EI.
+        prop_assert!(expected_improvement(mean, var + 1.0, tau) + 1e-9 >= ei);
+    }
+
+    /// LHS stratification: every stratum of every dimension hit exactly once.
+    #[test]
+    fn lhs_stratification(n in 1usize..24, dims in 1usize..6, seed in 0u64..500) {
+        let mut rng = SimRng::new(seed);
+        let samples = latin_hypercube(n, dims, &mut rng);
+        prop_assert_eq!(samples.len(), n);
+        for d in 0..dims {
+            let mut hits = vec![0usize; n];
+            for s in &samples {
+                prop_assert!((0.0..1.0).contains(&s[d]));
+                hits[(s[d] * n as f64) as usize] += 1;
+            }
+            prop_assert!(hits.iter().all(|&hh| hh == 1));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// GP posterior variance is non-negative everywhere and the mean stays
+    /// finite for arbitrary small datasets.
+    #[test]
+    fn gp_posterior_is_well_formed(seed in 0u64..200, n in 3usize..12) {
+        let mut rng = SimRng::new(seed);
+        let xs: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.uniform(), rng.uniform()]).collect();
+        let ys: Vec<f64> = (0..n).map(|_| rng.uniform_in(-3.0, 3.0)).collect();
+        let gp = Gp::fit(xs, &ys, seed).expect("fit");
+        for _ in 0..16 {
+            let p = [rng.uniform(), rng.uniform()];
+            let (m, v) = gp.predict(&p);
+            prop_assert!(m.is_finite());
+            prop_assert!(v >= 0.0);
+        }
+    }
+
+    /// Random-forest predictions stay within the hull of the training
+    /// labels (trees average leaf means).
+    #[test]
+    fn forest_predictions_in_label_hull(seed in 0u64..200) {
+        let mut rng = SimRng::new(seed);
+        let xs: Vec<Vec<f64>> = (0..40).map(|_| vec![rng.uniform(), rng.uniform()]).collect();
+        let ys: Vec<f64> = (0..40).map(|_| rng.uniform_in(0.0, 10.0)).collect();
+        let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let forest = Forest::fit(&xs, &ys, ForestParams::default(), seed).expect("fit");
+        for _ in 0..16 {
+            let p = [rng.uniform_in(-0.2, 1.2), rng.uniform()];
+            let (m, v) = forest.predict(&p);
+            prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+            prop_assert!(v >= 0.0);
+        }
+    }
+}
