@@ -27,6 +27,7 @@ use crate::spec::{AppSpec, InputSource, StageSpec};
 use relm_cluster::{ClusterSpec, ContainerSpec, ResourceManager};
 use relm_common::{Mem, MemoryConfig, Millis, Rng};
 use relm_jvm::{GcCostModel, GcSettings, JvmSim, WavePressure};
+use relm_obs::Obs;
 use relm_profile::{ContainerTrace, Profile};
 use serde::{Deserialize, Serialize};
 
@@ -101,8 +102,16 @@ impl ContainerState {
     fn new(heap: Mem, settings: GcSettings, gc: GcCostModel, m_i: Mem, rng: Rng) -> Self {
         let mut jvm = JvmSim::new(heap, settings, gc);
         jvm.set_code_overhead(m_i);
-        let trace = ContainerTrace { code_overhead: m_i, ..Default::default() };
-        ContainerState { jvm, trace, cache_used: Mem::ZERO, rng }
+        let trace = ContainerTrace {
+            code_overhead: m_i,
+            ..Default::default()
+        };
+        ContainerState {
+            jvm,
+            trace,
+            cache_used: Mem::ZERO,
+            rng,
+        }
     }
 }
 
@@ -111,18 +120,36 @@ impl ContainerState {
 pub struct Engine {
     cluster: ClusterSpec,
     cost: EngineCostModel,
+    obs: Obs,
 }
 
 impl Engine {
-    /// Creates an engine with the default cost model.
+    /// Creates an engine with the default cost model and observability
+    /// disabled.
     pub fn new(cluster: ClusterSpec) -> Self {
-        Engine { cluster, cost: EngineCostModel::default() }
+        Engine {
+            cluster,
+            cost: EngineCostModel::default(),
+            obs: Obs::disabled(),
+        }
     }
 
     /// Overrides the cost model.
     pub fn with_cost_model(mut self, cost: EngineCostModel) -> Self {
         self.cost = cost;
         self
+    }
+
+    /// Attaches an observability handle; every run then records an
+    /// `engine.run` span plus run counters and a runtime histogram.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The observability handle (a disabled no-op by default).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The cluster this engine simulates.
@@ -138,8 +165,25 @@ impl Engine {
     /// Runs the application under `config`, returning the run metrics and
     /// the collected profile. Deterministic given `seed`.
     pub fn run(&self, app: &AppSpec, config: &MemoryConfig, seed: u64) -> (RunResult, Profile) {
+        let mut span = self.obs.span("engine.run");
         let mut sim = RunSim::new(self, app, config, seed);
-        sim.execute()
+        let (result, profile) = sim.execute();
+        if span.is_recording() {
+            span.set("app", app.name.as_str());
+            span.set("seed", seed);
+            span.set("gc_ms", sim.pause_time.as_ms());
+            span.set("spill_mb", sim.spilled_bytes_mb);
+            span.set("spill_events", sim.spill_events);
+            span.set("aborted", sim.aborted);
+            span.set("abort_cause", sim.abort_cause.unwrap_or("none"));
+            self.obs.inc("engine.runs");
+            if sim.aborted {
+                self.obs.inc("engine.aborts");
+            }
+            self.obs.record("engine.run_ms", result.runtime.as_ms());
+            self.obs.record("engine.gc_ms", sim.pause_time.as_ms());
+        }
+        (result, profile)
     }
 }
 
@@ -153,6 +197,7 @@ struct ContainerWave {
     disk_mb: f64,
     shuffle_mb: f64,
     spilled_mb: f64,
+    spill_events: u32,
     tasks: u32,
     failure: Option<FailureKind>,
 }
@@ -165,7 +210,11 @@ enum FailureKind {
 
 enum WaveAttempt {
     Ok,
-    ContainerFailed { idx: usize, kind: FailureKind, recovery: Millis },
+    ContainerFailed {
+        idx: usize,
+        kind: FailureKind,
+        recovery: Millis,
+    },
 }
 
 /// The working state of one simulated run.
@@ -178,6 +227,8 @@ struct RunSim<'a> {
     rm: ResourceManager,
     now: Millis,
     aborted: bool,
+    abort_cause: Option<&'static str>,
+    spill_events: u64,
     // Aggregates.
     cpu_busy_core_ms: f64,
     disk_bytes_mb: f64,
@@ -249,11 +300,9 @@ impl<'a> RunSim<'a> {
             .map(|s| s.unmanaged_per_task.as_mb())
             .fold(0.0, f64::max);
         let live_bound = Mem::mb(max_unmanaged_mb) * config.task_concurrency.max(1) as f64;
-        let fit_bound = (layout.usable()
-            - app.code_overhead
-            - live_bound
-            - engine.cost.unroll_slack)
-            .clamp_non_negative();
+        let fit_bound =
+            (layout.usable() - app.code_overhead - live_bound - engine.cost.unroll_slack)
+                .clamp_non_negative();
         let cache_target_per_container = cache_demand_pc.min(cache_cap).min(fit_bound);
         let hit_ratio = if cache_demand_pc.is_zero() {
             1.0
@@ -270,6 +319,8 @@ impl<'a> RunSim<'a> {
             rm: ResourceManager::new(),
             now: engine.cost.startup,
             aborted: false,
+            abort_cause: None,
+            spill_events: 0,
             cpu_busy_core_ms: 0.0,
             disk_bytes_mb: 0.0,
             busy_time: Millis::ZERO,
@@ -309,12 +360,20 @@ impl<'a> RunSim<'a> {
             loop {
                 match self.attempt_wave(stage, wave, base, extra) {
                     WaveAttempt::Ok => break,
-                    WaveAttempt::ContainerFailed { idx, kind, recovery } => {
+                    WaveAttempt::ContainerFailed {
+                        idx,
+                        kind,
+                        recovery,
+                    } => {
                         attempts += 1;
                         self.replace_container(idx, kind);
                         self.now += recovery;
                         if attempts >= self.engine.cost.max_task_retries {
                             self.aborted = true;
+                            self.abort_cause = Some(match kind {
+                                FailureKind::Oom => "oom",
+                                FailureKind::RssKill(_) => "rss_kill",
+                            });
                             return;
                         }
                     }
@@ -353,7 +412,9 @@ impl<'a> RunSim<'a> {
         let (input_time_ms, recompute_cpu_ms, input_disk_mb) = match stage.input {
             InputSource::Hdfs => (input_mb / disk_mb_s * 1000.0, 0.0, input_mb),
             InputSource::ShuffleRead => (input_mb / net_mb_s * 1000.0, 0.0, 0.0),
-            InputSource::Cached { miss_penalty_ms_per_mb } => {
+            InputSource::Cached {
+                miss_penalty_ms_per_mb,
+            } => {
                 let miss = 1.0 - hit_ratio;
                 (
                     miss * input_mb / disk_mb_s * 1000.0,
@@ -372,27 +433,40 @@ impl<'a> RunSim<'a> {
         // Shuffle sort/aggregation through the Task Shuffle pool. The sort
         // demand is the *deserialized* data volume (Java object expansion),
         // not the raw shuffle bytes.
-        let (spill_events, spill_batch, shuffle_live_per_task, sort_live_per_task, spill_disk_mb, spilled_mb) =
-            if stage.uses_shuffle_memory && !stage.input_per_task.is_zero() {
-                let demand = stage.input_per_task * stage.shuffle_expansion;
-                let budget = per_task_shuffle_budget;
-                if demand <= budget {
-                    // Fully in-memory sort: the buffers live for the whole
-                    // task and tenure to Old.
-                    (0u32, Mem::ZERO, demand, demand, 0.0, 0.0)
-                } else {
-                    let budget = budget.max(Mem::mb(8.0));
-                    // External sort: all but the resident buffer is written
-                    // to spill files and read back during the merge. The
-                    // resident buffer itself lives for the whole task and
-                    // tenures to Old just like an in-memory sort's buffer.
-                    let spills = ((demand / budget).ceil() as u32).saturating_sub(1).max(1);
-                    let spilled = (demand - budget).min(budget * spills as f64);
-                    (spills, budget, budget, budget, spilled.as_mb() * 2.0, spilled.as_mb())
-                }
+        let (
+            spill_events,
+            spill_batch,
+            shuffle_live_per_task,
+            sort_live_per_task,
+            spill_disk_mb,
+            spilled_mb,
+        ) = if stage.uses_shuffle_memory && !stage.input_per_task.is_zero() {
+            let demand = stage.input_per_task * stage.shuffle_expansion;
+            let budget = per_task_shuffle_budget;
+            if demand <= budget {
+                // Fully in-memory sort: the buffers live for the whole
+                // task and tenure to Old.
+                (0u32, Mem::ZERO, demand, demand, 0.0, 0.0)
             } else {
-                (0, Mem::ZERO, Mem::ZERO, Mem::ZERO, 0.0, 0.0)
-            };
+                let budget = budget.max(Mem::mb(8.0));
+                // External sort: all but the resident buffer is written
+                // to spill files and read back during the merge. The
+                // resident buffer itself lives for the whole task and
+                // tenures to Old just like an in-memory sort's buffer.
+                let spills = ((demand / budget).ceil() as u32).saturating_sub(1).max(1);
+                let spilled = (demand - budget).min(budget * spills as f64);
+                (
+                    spills,
+                    budget,
+                    budget,
+                    budget,
+                    spilled.as_mb() * 2.0,
+                    spilled.as_mb(),
+                )
+            }
+        } else {
+            (0, Mem::ZERO, Mem::ZERO, Mem::ZERO, 0.0, 0.0)
+        };
 
         let shuffle_write_mb = stage.shuffle_write_per_task.as_mb();
         // Spill I/O is sequential and substantially overlapped with the
@@ -461,8 +535,7 @@ impl<'a> RunSim<'a> {
                 );
             // Sustained full-GC thrashing eventually surfaces as
             // "GC overhead limit exceeded" out-of-memory errors.
-            let thrash_oom =
-                gc.promotion_failure && state.rng.chance(cost.gc_thrash_oom_prob);
+            let thrash_oom = gc.promotion_failure && state.rng.chance(cost.gc_thrash_oom_prob);
             if soft_oom || thrash_oom {
                 Some(FailureKind::Oom)
             } else if gc.peak_rss > spec.phys_cap {
@@ -485,6 +558,7 @@ impl<'a> RunSim<'a> {
                 0.0
             },
             spilled_mb,
+            spill_events: spill_events * tasks,
             tasks,
             failure,
         }
@@ -518,7 +592,11 @@ impl<'a> RunSim<'a> {
                         .check_rss(self.now, &self.container_spec, rss)
                         .expect("rss kill failure implies rss above cap"),
                 };
-                return WaveAttempt::ContainerFailed { idx, kind, recovery };
+                return WaveAttempt::ContainerFailed {
+                    idx,
+                    kind,
+                    recovery,
+                };
             }
 
             // Commit.
@@ -531,6 +609,7 @@ impl<'a> RunSim<'a> {
             self.pause_time += wave.gc_pause * m_f;
             self.shuffle_bytes_mb += wave.shuffle_mb * m_f;
             self.spilled_bytes_mb += wave.spilled_mb * m_f;
+            self.spill_events += wave.spill_events as u64;
 
             let now = self.now;
             let state = &mut self.containers[idx];
@@ -560,7 +639,9 @@ impl<'a> RunSim<'a> {
             old_trace.rss.push_clamped(t, rss);
             last_t = last_t.max(t);
         }
-        old_trace.rss.push_clamped(last_t, self.containers[idx].jvm.peak_rss());
+        old_trace
+            .rss
+            .push_clamped(last_t, self.containers[idx].jvm.peak_rss());
         let rng = self.containers[idx].rng.fork(0xDEAD_BEEF);
         let mut fresh = ContainerState::new(
             self.config.heap,
@@ -730,7 +811,9 @@ mod tests {
         load.cache_block_per_task = Mem::mb(200.0); // 32GB demand >> capacity
         let mut iter = StageSpec::new("iter", 160, Mem::mb(200.0));
         iter.in_iteration = true;
-        iter.input = InputSource::Cached { miss_penalty_ms_per_mb: 30.0 };
+        iter.input = InputSource::Cached {
+            miss_penalty_ms_per_mb: 30.0,
+        };
         let mut app = AppSpec::new("cachey", vec![load, iter]);
         app.iterations = 3;
 
@@ -775,7 +858,11 @@ mod tests {
         small.shuffle_fraction = 0.05;
         small.cache_fraction = 0.0;
         let (r_small, _) = e.run(&app, &small, 2);
-        assert!(r_small.spill_fraction > 0.9, "spill = {}", r_small.spill_fraction);
+        assert!(
+            r_small.spill_fraction > 0.9,
+            "spill = {}",
+            r_small.spill_fraction
+        );
 
         let mut big = default_config();
         big.shuffle_fraction = 0.5;
@@ -823,7 +910,12 @@ mod tests {
     fn utilization_metrics_are_fractions() {
         let e = engine();
         let (r, _) = e.run(&simple_app(), &default_config(), 11);
-        for v in [r.avg_cpu_util, r.avg_disk_util, r.max_heap_util, r.gc_overhead] {
+        for v in [
+            r.avg_cpu_util,
+            r.avg_disk_util,
+            r.max_heap_util,
+            r.gc_overhead,
+        ] {
             assert!((0.0..=1.0).contains(&v), "metric out of range: {v}");
         }
         assert!(r.avg_cpu_util > 0.0);

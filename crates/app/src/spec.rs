@@ -168,7 +168,9 @@ impl AppSpec {
 
     /// Whether any stage uses shuffle execution memory.
     pub fn uses_shuffle(&self) -> bool {
-        self.stages.iter().any(|s| s.uses_shuffle_memory || !s.shuffle_write_per_task.is_zero())
+        self.stages
+            .iter()
+            .any(|s| s.uses_shuffle_memory || !s.shuffle_write_per_task.is_zero())
     }
 
     /// Whether any stage sorts/aggregates through the Task Shuffle pool
@@ -188,7 +190,9 @@ mod tests {
         load.cache_block_per_task = Mem::mb(200.0);
         let mut iter = StageSpec::new("iterate", 100, Mem::mb(200.0));
         iter.in_iteration = true;
-        iter.input = InputSource::Cached { miss_penalty_ms_per_mb: 40.0 };
+        iter.input = InputSource::Cached {
+            miss_penalty_ms_per_mb: 40.0,
+        };
         let collect = StageSpec::new("collect", 10, Mem::mb(8.0));
         AppSpec {
             name: "iterative".into(),
@@ -209,7 +213,10 @@ mod tests {
     fn schedule_without_iterations_is_identity() {
         let app = AppSpec::new(
             "flat",
-            vec![StageSpec::new("a", 1, Mem::mb(1.0)), StageSpec::new("b", 1, Mem::mb(1.0))],
+            vec![
+                StageSpec::new("a", 1, Mem::mb(1.0)),
+                StageSpec::new("b", 1, Mem::mb(1.0)),
+            ],
         );
         assert_eq!(app.schedule(), vec![0, 1]);
     }

@@ -12,7 +12,12 @@ fn dataset(n: usize, dims: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
     let xs = latin_hypercube(n, dims, &mut rng);
     let ys = xs
         .iter()
-        .map(|x| x.iter().enumerate().map(|(i, v)| v * (i as f64 + 1.0)).sum::<f64>())
+        .map(|x| {
+            x.iter()
+                .enumerate()
+                .map(|(i, v)| v * (i as f64 + 1.0))
+                .sum::<f64>()
+        })
         .collect();
     (xs, ys)
 }
@@ -63,5 +68,10 @@ fn bench_forest(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gp_scaling, bench_gp_dimensionality, bench_forest);
+criterion_group!(
+    benches,
+    bench_gp_scaling,
+    bench_gp_dimensionality,
+    bench_forest
+);
 criterion_main!(benches);

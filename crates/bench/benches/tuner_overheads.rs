@@ -23,7 +23,10 @@ fn bench_statistics_collection(c: &mut Criterion) {
 fn training_data(n: usize, dims: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
     let mut rng = Rng::new(11);
     let xs = latin_hypercube(n, dims, &mut rng);
-    let ys = xs.iter().map(|x| 5.0 + 3.0 * x[0] - 2.0 * x[dims - 1]).collect();
+    let ys = xs
+        .iter()
+        .map(|x| 5.0 + 3.0 * x[0] - 2.0 * x[dims - 1])
+        .collect();
     (xs, ys)
 }
 
@@ -39,8 +42,10 @@ fn bench_model_fitting(c: &mut Criterion) {
     group.bench_function("bo_gp_12pts", |b| {
         b.iter(|| black_box(Gp::fit(xs.clone(), &ys, 1).expect("fit")))
     });
-    let xs7: Vec<Vec<f64>> =
-        xs.iter().map(|x| BayesOpt::features(&space, Some(&qmodel), x)).collect();
+    let xs7: Vec<Vec<f64>> = xs
+        .iter()
+        .map(|x| BayesOpt::features(&space, Some(&qmodel), x))
+        .collect();
     group.bench_function("gbo_gp_12pts", |b| {
         b.iter(|| black_box(Gp::fit(xs7.clone(), &ys, 1).expect("fit")))
     });
@@ -86,13 +91,20 @@ fn bench_model_probing(c: &mut Criterion) {
     }
     impl Surrogate for Guided<'_> {
         fn predict(&self, x: &[f64]) -> (f64, f64) {
-            self.gp.predict(&BayesOpt::features(self.space, Some(self.q), x))
+            self.gp
+                .predict(&BayesOpt::features(self.space, Some(self.q), x))
         }
     }
-    let xs7: Vec<Vec<f64>> =
-        xs.iter().map(|x| BayesOpt::features(&space, Some(&qmodel), x)).collect();
+    let xs7: Vec<Vec<f64>> = xs
+        .iter()
+        .map(|x| BayesOpt::features(&space, Some(&qmodel), x))
+        .collect();
     let gp7 = Gp::fit(xs7, &ys, 1).expect("fit");
-    let guided = Guided { gp: &gp7, space: &space, q: &qmodel };
+    let guided = Guided {
+        gp: &gp7,
+        space: &space,
+        q: &qmodel,
+    };
     group.bench_function("gbo_maximize_ei", |b| {
         let mut rng = Rng::new(5);
         b.iter(|| black_box(maximize_ei(&guided, 4, 5.0, &mut rng)))

@@ -30,5 +30,10 @@ pub fn context(app: AppSpec) -> BenchContext {
     let engine = Engine::new(ClusterSpec::cluster_a());
     let config = max_resource_allocation(engine.cluster(), &app);
     let (_, profile) = engine.run(&app, &config, 42);
-    BenchContext { engine, app, config, profile }
+    BenchContext {
+        engine,
+        app,
+        config,
+        profile,
+    }
 }

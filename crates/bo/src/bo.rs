@@ -76,12 +76,26 @@ pub struct BayesOpt {
 impl BayesOpt {
     /// Vanilla BO.
     pub fn new(seed: u64) -> Self {
-        BayesOpt { cfg: BoConfig::default(), guided: false, seed, trace: Vec::new(), q_locked: false, warm_start: Vec::new() }
+        BayesOpt {
+            cfg: BoConfig::default(),
+            guided: false,
+            seed,
+            trace: Vec::new(),
+            q_locked: false,
+            warm_start: Vec::new(),
+        }
     }
 
     /// Guided BO (§5.2).
     pub fn guided(seed: u64) -> Self {
-        BayesOpt { cfg: BoConfig::default(), guided: true, seed, trace: Vec::new(), q_locked: false, warm_start: Vec::new() }
+        BayesOpt {
+            cfg: BoConfig::default(),
+            guided: true,
+            seed,
+            trace: Vec::new(),
+            q_locked: false,
+            warm_start: Vec::new(),
+        }
     }
 
     /// Overrides the optimizer settings.
@@ -173,6 +187,9 @@ impl Tuner for BayesOpt {
     fn tune(&mut self, env: &mut TuningEnv) -> Result<Recommendation> {
         self.trace.clear();
         self.q_locked = false;
+        let telemetry = env.obs().clone();
+        let _session = telemetry.span("tuner.tune").with("policy", self.name());
+        let metric_prefix = self.name().to_ascii_lowercase();
         let mut rng = Rng::new(self.seed);
         let space = env.space().clone();
         let dims = 4;
@@ -180,8 +197,11 @@ impl Tuner for BayesOpt {
         // Bootstrap with LHS samples — unless a warm start from a mapped
         // prior workload replaces them; GBO derives the white-box model from
         // the first bootstrap run's profile.
-        let bootstrap_n =
-            if self.warm_start.is_empty() { self.cfg.bootstrap_samples } else { 1 };
+        let bootstrap_n = if self.warm_start.is_empty() {
+            self.cfg.bootstrap_samples
+        } else {
+            1
+        };
         let lhs = relm_surrogate::latin_hypercube(bootstrap_n, dims, &mut rng);
         let mut xs: Vec<Vec<f64>> = Vec::new();
         let mut scores: Vec<f64> = Vec::new();
@@ -200,7 +220,10 @@ impl Tuner for BayesOpt {
             // profile would poison the guidance — falling back to whatever
             // profile exists if every bootstrap run failed.
             if self.guided && !self.q_locked {
-                qmodel = Some(QModel::new(derive_stats(&profile), relm_core::DEFAULT_SAFETY));
+                qmodel = Some(QModel::new(
+                    derive_stats(&profile),
+                    relm_core::DEFAULT_SAFETY,
+                ));
                 self.q_locked = !obs.result.aborted;
             }
             self.trace.push(BoStep {
@@ -217,16 +240,42 @@ impl Tuner for BayesOpt {
         // Adaptive sampling.
         let mut adaptive = 0usize;
         while adaptive < self.cfg.max_iterations {
-            let features: Vec<Vec<f64>> = xs
-                .iter()
-                .map(|x| Self::features(&space, qmodel.as_ref(), x))
-                .collect();
-            let surrogate = self.fit_surrogate(&features, &scores, adaptive)?;
+            let fit_started = std::time::Instant::now();
+            let surrogate = {
+                let _fit = telemetry
+                    .span("bo.fit_surrogate")
+                    .with("iter", adaptive)
+                    .with("samples", xs.len())
+                    .with("guided", self.guided);
+                let features: Vec<Vec<f64>> = xs
+                    .iter()
+                    .map(|x| Self::features(&space, qmodel.as_ref(), x))
+                    .collect();
+                self.fit_surrogate(&features, &scores, adaptive)?
+            };
+            telemetry.record(
+                &format!("{metric_prefix}.fit_ms"),
+                fit_started.elapsed().as_secs_f64() * 1e3,
+            );
             let tau = scores.iter().cloned().fold(f64::INFINITY, f64::min);
 
-            let wrapped =
-                SpaceSurrogate { inner: surrogate.as_ref(), space: &space, q: qmodel.as_ref() };
-            let (x_next, ei) = maximize_ei(&wrapped, dims, tau, &mut rng);
+            let acq_started = std::time::Instant::now();
+            let (x_next, ei) = {
+                let _acq = telemetry
+                    .span("bo.maximize_ei")
+                    .with("iter", adaptive)
+                    .with("tau", tau);
+                let wrapped = SpaceSurrogate {
+                    inner: surrogate.as_ref(),
+                    space: &space,
+                    q: qmodel.as_ref(),
+                };
+                maximize_ei(&wrapped, dims, tau, &mut rng)
+            };
+            telemetry.record(
+                &format!("{metric_prefix}.acq_ms"),
+                acq_started.elapsed().as_secs_f64() * 1e3,
+            );
 
             let config = space.decode(&x_next);
             let obs = env.evaluate(&config);

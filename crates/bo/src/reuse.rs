@@ -92,7 +92,11 @@ impl ModelRepository {
 }
 
 fn distance(a: &[f64; 8], b: &[f64; 8]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).powi(2))
+        .sum::<f64>()
+        .sqrt()
 }
 
 #[cfg(test)]
@@ -120,8 +124,16 @@ mod tests {
     #[test]
     fn nearest_matches_by_statistics() {
         let mut repo = ModelRepository::new();
-        repo.store("cache-heavy", &stats(2500.0, 400.0, 0.5), vec![(vec![0.1; 4], 10.0)]);
-        repo.store("shuffle-app", &stats(0.0, 100.0, 1.0), vec![(vec![0.9; 4], 3.0)]);
+        repo.store(
+            "cache-heavy",
+            &stats(2500.0, 400.0, 0.5),
+            vec![(vec![0.1; 4], 10.0)],
+        );
+        repo.store(
+            "shuffle-app",
+            &stats(0.0, 100.0, 1.0),
+            vec![(vec![0.9; 4], 3.0)],
+        );
 
         let query = stats(2300.0, 350.0, 0.55); // looks like the cache app
         let hit = repo.nearest(&query).unwrap();
@@ -141,6 +153,9 @@ mod tests {
     #[test]
     fn fingerprints_are_dimensionless() {
         let f = stats_fingerprint(&stats(2200.0, 440.0, 0.3));
-        assert!(f.iter().all(|v| v.is_finite() && *v >= 0.0 && *v <= 1.5), "{f:?}");
+        assert!(
+            f.iter().all(|v| v.is_finite() && *v >= 0.0 && *v <= 1.5),
+            "{f:?}"
+        );
     }
 }

@@ -33,7 +33,10 @@ impl ResourceManager {
     /// Creates a manager with the default replacement delay (container
     /// re-request, scheduling, and JVM start).
     pub fn new() -> Self {
-        ResourceManager { events: Vec::new(), replacement_delay: Millis::secs(12.0) }
+        ResourceManager {
+            events: Vec::new(),
+            replacement_delay: Millis::secs(12.0),
+        }
     }
 
     /// Checks a container's RSS against its cap; if exceeded, records a kill
@@ -66,12 +69,18 @@ impl ResourceManager {
 
     /// Count of out-of-memory failures.
     pub fn oom_failures(&self) -> u32 {
-        self.events.iter().filter(|(_, e)| *e == ContainerEvent::OutOfMemory).count() as u32
+        self.events
+            .iter()
+            .filter(|(_, e)| *e == ContainerEvent::OutOfMemory)
+            .count() as u32
     }
 
     /// Count of RSS-cap kills.
     pub fn rss_kills(&self) -> u32 {
-        self.events.iter().filter(|(_, e)| *e == ContainerEvent::RssKill).count() as u32
+        self.events
+            .iter()
+            .filter(|(_, e)| *e == ContainerEvent::RssKill)
+            .count() as u32
     }
 
     /// The raw failure log.
@@ -97,7 +106,9 @@ mod tests {
     #[test]
     fn rss_within_cap_is_fine() {
         let mut rm = ResourceManager::new();
-        assert!(rm.check_rss(Millis::ZERO, &container(), Mem::mb(5000.0)).is_none());
+        assert!(rm
+            .check_rss(Millis::ZERO, &container(), Mem::mb(5000.0))
+            .is_none());
         assert_eq!(rm.failures(), 0);
     }
 

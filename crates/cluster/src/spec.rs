@@ -139,7 +139,10 @@ mod tests {
         let c2 = a.container(2);
         assert_eq!(c2.heap, Mem::mb(2202.0));
         assert_eq!(c2.cores_share, 4.0);
-        assert!(c2.phys_cap > c2.heap, "physical cap must leave off-heap headroom");
+        assert!(
+            c2.phys_cap > c2.heap,
+            "physical cap must leave off-heap headroom"
+        );
     }
 
     #[test]

@@ -85,7 +85,9 @@ impl MemoryConfig {
     pub fn validate(&self) -> crate::Result<()> {
         use crate::Error;
         if self.containers_per_node == 0 {
-            return Err(Error::InvalidConfig("containers_per_node must be >= 1".into()));
+            return Err(Error::InvalidConfig(
+                "containers_per_node must be >= 1".into(),
+            ));
         }
         if self.task_concurrency == 0 {
             return Err(Error::InvalidConfig("task_concurrency must be >= 1".into()));
@@ -94,10 +96,14 @@ impl MemoryConfig {
             return Err(Error::InvalidConfig("heap must be positive".into()));
         }
         if !(0.0..=1.0).contains(&self.cache_fraction) {
-            return Err(Error::InvalidConfig("cache_fraction must be in [0, 1]".into()));
+            return Err(Error::InvalidConfig(
+                "cache_fraction must be in [0, 1]".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.shuffle_fraction) {
-            return Err(Error::InvalidConfig("shuffle_fraction must be in [0, 1]".into()));
+            return Err(Error::InvalidConfig(
+                "shuffle_fraction must be in [0, 1]".into(),
+            ));
         }
         if self.unified_fraction() > 1.0 {
             return Err(Error::InvalidConfig(

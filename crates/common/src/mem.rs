@@ -206,7 +206,10 @@ mod tests {
 
     #[test]
     fn clamp_and_ratio() {
-        assert_eq!((Mem::mb(10.0) - Mem::mb(20.0)).clamp_non_negative(), Mem::ZERO);
+        assert_eq!(
+            (Mem::mb(10.0) - Mem::mb(20.0)).clamp_non_negative(),
+            Mem::ZERO
+        );
         assert_eq!(Mem::mb(30.0).ratio(Mem::mb(10.0)), 3.0);
         assert!(Mem::mb(1.0).ratio(Mem::ZERO).is_infinite());
         assert_eq!(Mem::ZERO.ratio(Mem::ZERO), 0.0);

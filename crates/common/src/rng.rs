@@ -19,7 +19,9 @@ pub struct Rng {
 impl Rng {
     /// Creates a generator from a seed. Any seed (including 0) is valid.
     pub fn new(seed: u64) -> Self {
-        Rng { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+        Rng {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
     }
 
     /// Derives an independent stream for a sub-component (e.g. container `i`

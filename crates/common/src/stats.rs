@@ -111,13 +111,21 @@ pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
 /// Coefficient of determination R² of predictions against observations.
 /// Can be negative when predictions are worse than the mean baseline.
 pub fn r_squared(observed: &[f64], predicted: &[f64]) -> f64 {
-    assert_eq!(observed.len(), predicted.len(), "r_squared: length mismatch");
+    assert_eq!(
+        observed.len(),
+        predicted.len(),
+        "r_squared: length mismatch"
+    );
     if observed.is_empty() {
         return 0.0;
     }
     let m = mean(observed);
     let ss_tot: f64 = observed.iter().map(|y| (y - m).powi(2)).sum();
-    let ss_res: f64 = observed.iter().zip(predicted).map(|(y, f)| (y - f).powi(2)).sum();
+    let ss_res: f64 = observed
+        .iter()
+        .zip(predicted)
+        .map(|(y, f)| (y - f).powi(2))
+        .sum();
     if ss_tot == 0.0 {
         if ss_res == 0.0 {
             return 1.0;

@@ -176,6 +176,9 @@ mod tests {
 
     #[test]
     fn clamp() {
-        assert_eq!((Millis::secs(1.0) - Millis::secs(5.0)).clamp_non_negative(), Millis::ZERO);
+        assert_eq!(
+            (Millis::secs(1.0) - Millis::secs(5.0)).clamp_non_negative(),
+            Millis::ZERO
+        );
     }
 }

@@ -166,7 +166,13 @@ impl Arbitrator {
                 }
             };
 
-            trace.push(ArbitratorStep { action, applied, p, cache, old });
+            trace.push(ArbitratorStep {
+                action,
+                applied,
+                p,
+                cache,
+                old,
+            });
 
             if applied {
                 stalled_rounds = 0;
@@ -191,21 +197,23 @@ impl Arbitrator {
         let final_demand = m_i + cache + m_u * p as f64;
         let (fitted_old, _) = fit_old(m_h, final_demand, self.delta);
         let old = old.max(fitted_old).min(budget);
-        let new_ratio = (old / (m_h - old).max(Mem::mb(1.0)))
-            .ceil()
-            .clamp(1.0, 9.0) as u32;
+        let new_ratio = (old / (m_h - old).max(Mem::mb(1.0))).ceil().clamp(1.0, 9.0) as u32;
         let config = MemoryConfig {
             containers_per_node: cfg.containers_per_node,
             heap: m_h,
             task_concurrency: p,
             cache_fraction: (cache / m_h).clamp(0.0, 1.0 - self.delta),
-            shuffle_fraction: (shuffle_per_task * p as f64 / m_h)
-                .clamp(0.0, 1.0 - self.delta),
+            shuffle_fraction: (shuffle_per_task * p as f64 / m_h).clamp(0.0, 1.0 - self.delta),
             new_ratio,
             survivor_ratio: 8,
         };
 
-        Ok(ArbitratorOutcome { config, utility, trace, shuffle_per_task })
+        Ok(ArbitratorOutcome {
+            config,
+            utility,
+            trace,
+            shuffle_per_task,
+        })
     }
 }
 
@@ -246,7 +254,9 @@ mod tests {
     fn arbitrated(heap_mb: f64, n: u32, max_p: u32) -> ArbitratorOutcome {
         let init = Initializer::new(pagerank_stats(), 0.1);
         let cfg = init.initialize(n, Mem::mb(heap_mb), max_p);
-        Arbitrator::new(0.1).arbitrate(&init, &cfg).expect("feasible")
+        Arbitrator::new(0.1)
+            .arbitrate(&init, &cfg)
+            .expect("feasible")
     }
 
     #[test]
@@ -260,7 +270,10 @@ mod tests {
         let demand = stats.m_i
             + out.config.task_concurrency as f64 * stats.m_u
             + out.config.heap * out.config.cache_fraction;
-        assert!(demand <= old * 1.001, "safety invariant violated: {demand} > {old}");
+        assert!(
+            demand <= old * 1.001,
+            "safety invariant violated: {demand} > {old}"
+        );
         assert!(!out.trace.is_empty(), "expected arbitration steps");
         // The paper's walkthrough ends at p = 2; ours must at least reduce
         // the initializer's p = 5.
@@ -271,7 +284,11 @@ mod tests {
     #[test]
     fn utility_is_a_heap_fraction() {
         let out = arbitrated(4404.0, 1, 8);
-        assert!(out.utility > 0.0 && out.utility <= 1.0, "U = {}", out.utility);
+        assert!(
+            out.utility > 0.0 && out.utility <= 1.0,
+            "U = {}",
+            out.utility
+        );
     }
 
     #[test]
@@ -293,7 +310,9 @@ mod tests {
         stats.m_u = Mem::mb(150.0);
         let init = Initializer::new(stats, 0.1);
         let cfg = init.initialize(1, Mem::mb(4404.0), 8);
-        let out = Arbitrator::new(0.1).arbitrate(&init, &cfg).expect("feasible");
+        let out = Arbitrator::new(0.1)
+            .arbitrate(&init, &cfg)
+            .expect("feasible");
         assert_eq!(out.config.cache_fraction, 0.0);
         assert!(out.config.shuffle_fraction > 0.0);
     }
@@ -306,10 +325,10 @@ mod tests {
         stats.m_u = Mem::mb(150.0);
         let init = Initializer::new(stats, 0.1);
         let cfg = init.initialize(1, Mem::mb(4404.0), 8);
-        let out = Arbitrator::new(0.1).arbitrate(&init, &cfg).expect("feasible");
-        let eden = out.config.heap
-            * (1.0 / (out.config.new_ratio as f64 + 1.0))
-            * (6.0 / 8.0);
+        let out = Arbitrator::new(0.1)
+            .arbitrate(&init, &cfg)
+            .expect("feasible");
+        let eden = out.config.heap * (1.0 / (out.config.new_ratio as f64 + 1.0)) * (6.0 / 8.0);
         assert!(
             out.shuffle_per_task <= eden * 0.5 / out.config.task_concurrency as f64 * 1.001,
             "Observation 7 bound violated"
@@ -319,8 +338,7 @@ mod tests {
     #[test]
     fn trace_reports_round_robin_order() {
         let out = arbitrated(4404.0, 1, 8);
-        let actions: Vec<ArbitratorAction> =
-            out.trace.iter().map(|s| s.action).collect();
+        let actions: Vec<ArbitratorAction> = out.trace.iter().map(|s| s.action).collect();
         for (i, a) in actions.iter().enumerate() {
             let expected = match i % 3 {
                 0 => ArbitratorAction::DecreaseConcurrency,

@@ -41,7 +41,12 @@ pub struct Initializer {
 impl Initializer {
     /// Creates an initializer with safety fraction `delta`.
     pub fn new(stats: DerivedStats, delta: f64) -> Self {
-        Initializer { stats, delta, survivor_ratio: 8, max_new_ratio: 9 }
+        Initializer {
+            stats,
+            delta,
+            survivor_ratio: 8,
+            max_new_ratio: 9,
+        }
     }
 
     /// The statistics in use.

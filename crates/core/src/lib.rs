@@ -24,7 +24,7 @@ pub mod initializer;
 pub mod qmodel;
 pub mod tuner;
 
-pub use arbitrator::{ArbitratorAction, ArbitratorOutcome, ArbitratorStep, Arbitrator};
+pub use arbitrator::{Arbitrator, ArbitratorAction, ArbitratorOutcome, ArbitratorStep};
 pub use initializer::{InitialConfig, Initializer};
 pub use qmodel::QModel;
 pub use tuner::{RelmCandidate, RelmTuner};

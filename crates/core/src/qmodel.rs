@@ -17,7 +17,9 @@ impl QModel {
     /// Builds the model from profiled statistics (δ only affects the
     /// requirement models of Equations 1–2).
     pub fn new(stats: DerivedStats, delta: f64) -> Self {
-        QModel { init: Initializer::new(stats, delta) }
+        QModel {
+            init: Initializer::new(stats, delta),
+        }
     }
 
     /// The underlying statistics.
@@ -115,8 +117,15 @@ mod tests {
         let q = QModel::new(stats(), 0.1);
         let packed = q.q(&config(0.8, 0.1, 8, 2));
         let sparse = q.q(&config(0.1, 0.05, 1, 2));
-        assert!(packed[0] > 1.0, "q1 of an over-packed config must exceed 1, got {}", packed[0]);
-        assert!(sparse[0] < 0.5, "q1 of an under-utilizing config must be small");
+        assert!(
+            packed[0] > 1.0,
+            "q1 of an over-packed config must exceed 1, got {}",
+            packed[0]
+        );
+        assert!(
+            sparse[0] < 0.5,
+            "q1 of an under-utilizing config must be small"
+        );
     }
 
     #[test]
@@ -125,7 +134,12 @@ mod tests {
         // Large cache with NR = 1: Old (2202) smaller than the cache pool.
         let bad = q.q(&config(0.7, 0.0, 2, 1));
         let good = q.q(&config(0.7, 0.0, 2, 7));
-        assert!(bad[1] > good[1], "q2 must penalize Old < cache: {} vs {}", bad[1], good[1]);
+        assert!(
+            bad[1] > good[1],
+            "q2 must penalize Old < cache: {} vs {}",
+            bad[1],
+            good[1]
+        );
     }
 
     #[test]
@@ -135,7 +149,11 @@ mod tests {
         // half-Eden.
         let bad = q.q(&config(0.1, 0.5, 4, 9));
         let good = q.q(&config(0.1, 0.1, 2, 1));
-        assert!(bad[2] > 1.0, "q3 must exceed 1 when shuffle outgrows Eden/2, got {}", bad[2]);
+        assert!(
+            bad[2] > 1.0,
+            "q3 must exceed 1 when shuffle outgrows Eden/2, got {}",
+            bad[2]
+        );
         assert!(good[2] < bad[2]);
     }
 
@@ -150,7 +168,10 @@ mod tests {
                 for p in [1, 4, 8] {
                     for nr in [1, 5, 9] {
                         let v = q.q(&config(cache, shuffle, p, nr));
-                        assert!(v.iter().all(|x| x.is_finite()), "non-finite q at {cache},{shuffle},{p},{nr}");
+                        assert!(
+                            v.iter().all(|x| x.is_finite()),
+                            "non-finite q at {cache},{shuffle},{p},{nr}"
+                        );
                     }
                 }
             }

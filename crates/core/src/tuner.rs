@@ -41,7 +41,11 @@ impl Default for RelmTuner {
 impl RelmTuner {
     /// Creates a tuner with safety fraction δ.
     pub fn new(delta: f64) -> Self {
-        RelmTuner { delta, last_stats: None, last_outcomes: Vec::new() }
+        RelmTuner {
+            delta,
+            last_stats: None,
+            last_outcomes: Vec::new(),
+        }
     }
 
     /// The statistics derived during the last [`Tuner::tune`] call.
@@ -145,11 +149,18 @@ impl Tuner for RelmTuner {
     }
 
     fn tune(&mut self, env: &mut TuningEnv) -> Result<Recommendation> {
+        let telemetry = env.obs().clone();
+        let _session = telemetry.span("tuner.tune").with("policy", self.name());
         // Profile once under the vendor defaults (Thoth collects the profile
         // with minimal overhead, §6.1).
         let default = max_resource_allocation(env.engine().cluster(), env.app());
         let (_, profile) = env.evaluate_profiled(&default);
-        let mut stats = derive_stats(&profile);
+        let stats_started = std::time::Instant::now();
+        let mut stats = {
+            let _stats_span = telemetry.span("relm.derive_stats");
+            derive_stats(&profile)
+        };
+        telemetry.record("relm.stats_ms", stats_started.elapsed().as_secs_f64() * 1e3);
 
         // §4.1: a profile without full-GC events cannot yield an accurate
         // M_u; make one additional profiling run with GC pressure raised.
@@ -163,7 +174,15 @@ impl Tuner for RelmTuner {
         }
 
         let cluster = env.engine().cluster().clone();
-        let config = self.recommend_from_stats(&cluster, stats)?;
+        let decide_started = std::time::Instant::now();
+        let config = {
+            let _decide = telemetry.span("relm.decide").with("delta", self.delta);
+            self.recommend_from_stats(&cluster, stats)?
+        };
+        telemetry.record(
+            "relm.decide_ms",
+            decide_started.elapsed().as_secs_f64() * 1e3,
+        );
         Ok(recommendation(self.name(), env, config))
     }
 }
@@ -179,7 +198,9 @@ mod tests {
     fn tune_app(app: relm_app::AppSpec, seed: u64) -> (Recommendation, RelmTuner, TuningEnv) {
         let mut env = TuningEnv::new(Engine::new(ClusterSpec::cluster_a()), app, seed);
         let mut tuner = RelmTuner::default();
-        let rec = tuner.tune(&mut env).expect("RelM should find a configuration");
+        let rec = tuner
+            .tune(&mut env)
+            .expect("RelM should find a configuration");
         (rec, tuner, env)
     }
 
@@ -223,8 +244,11 @@ mod tests {
         let default = max_resource_allocation(engine.cluster(), &app);
         let (def_run, _) = engine.run(&app, &default, 500);
         let (relm_run, _) = engine.run(&app, &rec.config, 500);
-        let def_score =
-            if def_run.aborted { f64::INFINITY } else { def_run.runtime_mins() };
+        let def_score = if def_run.aborted {
+            f64::INFINITY
+        } else {
+            def_run.runtime_mins()
+        };
         assert!(
             relm_run.runtime_mins() < def_score,
             "RelM ({}) should beat default ({:?})",
@@ -238,8 +262,7 @@ mod tests {
     fn selector_ranks_by_utility() {
         let (_, tuner, _) = tune_app(kmeans(), 41);
         let stats = *tuner.last_stats().unwrap();
-        let candidates =
-            tuner.candidates_from_stats(&ClusterSpec::cluster_a(), stats);
+        let candidates = tuner.candidates_from_stats(&ClusterSpec::cluster_a(), stats);
         assert!(!candidates.is_empty());
         for pair in candidates.windows(2) {
             assert!(pair[0].utility >= pair[1].utility);

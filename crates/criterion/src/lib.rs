@@ -1,0 +1,208 @@
+//! An offline subset of `criterion`: the macro/entry-point surface the
+//! workspace's benches compile against, backed by a simple wall-clock
+//! harness (warmup, then a fixed measurement window; reports mean
+//! iteration time). No plotting, statistics, or baseline storage.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle, created by [`criterion_main!`].
+#[derive(Debug)]
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: Duration::from_millis(300),
+            measure: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.warmup, self.measure);
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made from a function name and a parameter.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter's display form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark labelled `<group>/<id>`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.criterion.warmup, self.criterion.measure);
+        f(&mut b);
+        b.report(&format!("{}/{id}", self.name));
+        self
+    }
+
+    /// Runs a parameterised benchmark; the closure receives the input by
+    /// reference, as in upstream criterion.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.criterion.warmup, self.criterion.measure);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.id));
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; ours are streamed).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` runs the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn new(warmup: Duration, measure: Duration) -> Self {
+        Bencher {
+            warmup,
+            measure,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Times `routine`, first warming up, then looping for the
+    /// measurement window.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let warm_until = Instant::now() + self.warmup;
+        while Instant::now() < warm_until {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.measure {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.elapsed = start.elapsed();
+    }
+
+    fn report(&self, id: &str) {
+        if self.iters == 0 {
+            println!("{id:<40} (no measurement)");
+            return;
+        }
+        let per_iter = self.elapsed.as_secs_f64() / self.iters as f64;
+        println!(
+            "{id:<40} {:>12} {:>10} iters",
+            format_time(per_iter),
+            self.iters
+        );
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Re-export so user code written for upstream criterion's `black_box`
+/// keeps working.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function, as upstream does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(Duration::from_millis(1), Duration::from_millis(5));
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert!(b.iters > 0);
+        assert!(b.elapsed >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn ids_format_as_expected() {
+        assert_eq!(BenchmarkId::from_parameter(64).id, "64");
+        assert_eq!(BenchmarkId::new("fit", "gp").id, "fit/gp");
+    }
+}

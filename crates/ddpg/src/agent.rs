@@ -199,15 +199,16 @@ impl DdpgAgent {
             let grad_input = scratch.backward(&critic_cache, &[1.0]);
             let grad_action = &grad_input[self.cfg.state_dims..];
             // Ascend Q: backprop −∂Q/∂a through the actor.
-            let grad_out: Vec<f64> =
-                grad_action.iter().map(|g| -g * inv_batch).collect();
+            let grad_out: Vec<f64> = grad_action.iter().map(|g| -g * inv_batch).collect();
             self.actor.backward(&action_cache, &grad_out);
         }
         self.actor.adam_step(self.cfg.actor_lr);
 
         // ---- Target tracking ----
-        self.actor_target.soft_update_from(&self.actor, self.cfg.tau);
-        self.critic_target.soft_update_from(&self.critic, self.cfg.tau);
+        self.actor_target
+            .soft_update_from(&self.actor, self.cfg.tau);
+        self.critic_target
+            .soft_update_from(&self.critic, self.cfg.tau);
     }
 
     /// Gradient steps taken so far.
@@ -270,7 +271,10 @@ mod tests {
         }
         let low = agent.critic_value(&[0.0], &[0.1]);
         let high = agent.critic_value(&[0.0], &[0.9]);
-        assert!(high > low, "critic must rank high actions above low: {high} vs {low}");
+        assert!(
+            high > low,
+            "critic must rank high actions above low: {high} vs {low}"
+        );
     }
 
     #[test]

@@ -69,7 +69,9 @@ impl Layer {
     fn new(in_dim: usize, out_dim: usize, activation: Activation, rng: &mut Rng) -> Self {
         // Xavier/Glorot uniform initialization.
         let bound = (6.0 / (in_dim + out_dim) as f64).sqrt();
-        let w = (0..in_dim * out_dim).map(|_| rng.uniform_in(-bound, bound)).collect();
+        let w = (0..in_dim * out_dim)
+            .map(|_| rng.uniform_in(-bound, bound))
+            .collect();
         Layer {
             in_dim,
             out_dim,
@@ -148,7 +150,9 @@ pub struct ForwardCache {
 impl ForwardCache {
     /// The network output.
     pub fn output(&self) -> &[f64] {
-        self.activations.last().expect("cache always holds the input")
+        self.activations
+            .last()
+            .expect("cache always holds the input")
     }
 }
 
@@ -163,7 +167,11 @@ impl Mlp {
     /// Builds an MLP. `sizes` are the layer widths (including input and
     /// output); `activations.len() == sizes.len() - 1`.
     pub fn new(sizes: &[usize], activations: &[Activation], rng: &mut Rng) -> Self {
-        assert_eq!(activations.len(), sizes.len() - 1, "one activation per layer");
+        assert_eq!(
+            activations.len(),
+            sizes.len() - 1,
+            "one activation per layer"
+        );
         let layers = sizes
             .windows(2)
             .zip(activations)
@@ -269,9 +277,8 @@ mod tests {
         let grad_in = net.backward(&cache, &grad_out);
 
         // Finite-difference check of the input gradient.
-        let loss = |net: &Mlp, x: &[f64]| -> f64 {
-            net.forward(x).iter().map(|o| 0.5 * o * o).sum()
-        };
+        let loss =
+            |net: &Mlp, x: &[f64]| -> f64 { net.forward(x).iter().map(|o| 0.5 * o * o).sum() };
         let eps = 1e-6;
         for i in 0..x.len() {
             let mut xp = x;
@@ -295,7 +302,10 @@ mod tests {
         let lm = loss(&net, &x);
         net.layers[0].w[0] = orig;
         let fd = (lp - lm) / (2.0 * eps);
-        assert!((fd - analytic_gw00).abs() < 1e-5, "fd={fd} analytic={analytic_gw00}");
+        assert!(
+            (fd - analytic_gw00).abs() < 1e-5,
+            "fd={fd} analytic={analytic_gw00}"
+        );
     }
 
     #[test]

@@ -16,7 +16,12 @@ pub struct OrnsteinUhlenbeck {
 impl OrnsteinUhlenbeck {
     /// Standard DDPG parameters: θ = 0.15, σ as given, μ = 0.
     pub fn new(dims: usize, sigma: f64) -> Self {
-        OrnsteinUhlenbeck { theta: 0.15, sigma, mu: 0.0, state: vec![0.0; dims] }
+        OrnsteinUhlenbeck {
+            theta: 0.15,
+            sigma,
+            mu: 0.0,
+            state: vec![0.0; dims],
+        }
     }
 
     /// Resets the process state to the mean.
@@ -62,7 +67,10 @@ mod tests {
         let mut rng = Rng::new(2);
         let xs: Vec<f64> = (0..2_000).map(|_| ou.sample(&mut rng)[0]).collect();
         let corr = relm_common::stats::pearson(&xs[..xs.len() - 1], &xs[1..]);
-        assert!(corr > 0.5, "OU noise should be temporally correlated, r = {corr}");
+        assert!(
+            corr > 0.5,
+            "OU noise should be temporally correlated, r = {corr}"
+        );
     }
 
     #[test]

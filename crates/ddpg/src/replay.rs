@@ -29,7 +29,11 @@ pub struct ReplayBuffer {
 impl ReplayBuffer {
     /// Creates a buffer holding at most `capacity` transitions.
     pub fn new(capacity: usize) -> Self {
-        ReplayBuffer { capacity: capacity.max(1), items: Vec::new(), next: 0 }
+        ReplayBuffer {
+            capacity: capacity.max(1),
+            items: Vec::new(),
+            next: 0,
+        }
     }
 
     /// Stores a transition, evicting the oldest when full.
@@ -54,7 +58,9 @@ impl ReplayBuffer {
 
     /// Samples `batch` transitions with replacement.
     pub fn sample(&self, batch: usize, rng: &mut Rng) -> Vec<&Transition> {
-        (0..batch).map(|_| &self.items[rng.below(self.items.len())]).collect()
+        (0..batch)
+            .map(|_| &self.items[rng.below(self.items.len())])
+            .collect()
     }
 }
 
@@ -63,7 +69,12 @@ mod tests {
     use super::*;
 
     fn transition(tag: f64) -> Transition {
-        Transition { state: vec![tag], action: vec![tag], reward: tag, next_state: vec![tag] }
+        Transition {
+            state: vec![tag],
+            action: vec![tag],
+            reward: tag,
+            next_state: vec![tag],
+        }
     }
 
     #[test]
@@ -98,6 +109,9 @@ mod tests {
         assert_eq!(sample.len(), 100);
         let distinct: std::collections::BTreeSet<u64> =
             sample.iter().map(|t| t.reward as u64).collect();
-        assert!(distinct.len() >= 6, "sampling should cover most of the buffer");
+        assert!(
+            distinct.len() >= 6,
+            "sampling should cover most of the buffer"
+        );
     }
 }

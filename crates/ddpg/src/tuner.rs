@@ -83,6 +83,8 @@ impl Tuner for DdpgTuner {
     }
 
     fn tune(&mut self, env: &mut TuningEnv) -> Result<Recommendation> {
+        let telemetry = env.obs().clone();
+        let _session = telemetry.span("tuner.tune").with("policy", self.name());
         self.agent.begin_session(0.12);
         // Initial observation: the vendor default, which also seeds the
         // reward baseline.
@@ -92,8 +94,13 @@ impl Tuner for DdpgTuner {
         let mut prev_score = initial_score;
         let mut state = state_vector(&profile0);
 
-        for _ in 0..self.budget {
-            let action = self.agent.act_noisy(&state);
+        for iter in 0..self.budget {
+            let act_started = std::time::Instant::now();
+            let action = {
+                let _act = telemetry.span("ddpg.act").with("iter", iter);
+                self.agent.act_noisy(&state)
+            };
+            telemetry.record("ddpg.act_ms", act_started.elapsed().as_secs_f64() * 1e3);
             let config = env.space().decode(&action);
             let (obs, profile) = env.evaluate_profiled(&config);
             let reward = cdbtune_reward(initial_score, prev_score, obs.score_mins);
@@ -104,9 +111,20 @@ impl Tuner for DdpgTuner {
                 reward,
                 next_state: next_state.clone(),
             });
-            for _ in 0..self.updates_per_step {
-                self.agent.train_step();
+            let update_started = std::time::Instant::now();
+            {
+                let _update = telemetry
+                    .span("ddpg.update")
+                    .with("iter", iter)
+                    .with("steps", self.updates_per_step);
+                for _ in 0..self.updates_per_step {
+                    self.agent.train_step();
+                }
             }
+            telemetry.record(
+                "ddpg.update_ms",
+                update_started.elapsed().as_secs_f64() * 1e3,
+            );
             self.agent.decay_noise(0.93);
             prev_score = obs.score_mins;
             state = next_state;
@@ -140,8 +158,7 @@ mod tests {
 
     #[test]
     fn ddpg_session_respects_budget() {
-        let mut env =
-            TuningEnv::new(Engine::new(ClusterSpec::cluster_a()), sortbykey(), 1);
+        let mut env = TuningEnv::new(Engine::new(ClusterSpec::cluster_a()), sortbykey(), 1);
         let mut tuner = DdpgTuner::new(1).with_budget(5);
         let rec = tuner.tune(&mut env).unwrap();
         // 1 initial + 5 exploratory runs.
@@ -153,20 +170,20 @@ mod tests {
     #[test]
     fn agent_persists_across_sessions() {
         let mut tuner = DdpgTuner::new(2).with_budget(4);
-        let mut env_a =
-            TuningEnv::new(Engine::new(ClusterSpec::cluster_a()), svm(), 2);
+        let mut env_a = TuningEnv::new(Engine::new(ClusterSpec::cluster_a()), svm(), 2);
         tuner.tune(&mut env_a).unwrap();
         let replay_after_a = tuner.agent().replay_len();
-        let mut env_b =
-            TuningEnv::new(Engine::new(ClusterSpec::cluster_b()), svm(), 3);
+        let mut env_b = TuningEnv::new(Engine::new(ClusterSpec::cluster_b()), svm(), 3);
         tuner.tune(&mut env_b).unwrap();
-        assert!(tuner.agent().replay_len() > replay_after_a, "replay should accumulate");
+        assert!(
+            tuner.agent().replay_len() > replay_after_a,
+            "replay should accumulate"
+        );
     }
 
     #[test]
     fn recommendation_is_best_observed() {
-        let mut env =
-            TuningEnv::new(Engine::new(ClusterSpec::cluster_a()), sortbykey(), 5);
+        let mut env = TuningEnv::new(Engine::new(ClusterSpec::cluster_a()), sortbykey(), 5);
         let mut tuner = DdpgTuner::new(5).with_budget(6);
         let rec = tuner.tune(&mut env).unwrap();
         let best = env.best().unwrap();

@@ -60,7 +60,9 @@ fn main() {
                     f
                 };
                 let xs: Vec<Vec<f64>> = raw.iter().map(|(x, _)| featurize(x)).collect();
-                let Ok(gp) = Gp::fit(xs, &ys, seed) else { continue };
+                let Ok(gp) = Gp::fit(xs, &ys, seed) else {
+                    continue;
+                };
                 let mut observed = Vec::new();
                 let mut predicted = Vec::new();
                 for obs in &validation {

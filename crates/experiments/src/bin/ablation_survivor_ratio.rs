@@ -13,15 +13,24 @@ use relm_workloads::{kmeans, max_resource_allocation, sortbykey};
 fn main() {
     let engine = Engine::new(ClusterSpec::cluster_a());
     println!("SurvivorRatio ablation (paper fixes SR = 8)\n");
-    println!("{:<10} {:>3} {:>9} {:>6} {:>8}", "app", "SR", "runtime", "gc", "fails");
+    println!(
+        "{:<10} {:>3} {:>9} {:>6} {:>8}",
+        "app", "SR", "runtime", "gc", "fails"
+    );
     for app in [kmeans(), sortbykey()] {
         let default = max_resource_allocation(engine.cluster(), &app);
         for sr in [2u32, 4, 8, 16, 32] {
-            let cfg = MemoryConfig { survivor_ratio: sr, ..default };
+            let cfg = MemoryConfig {
+                survivor_ratio: sr,
+                ..default
+            };
             let runs = repeat_runs(&engine, &app, &cfg, 3, 90_000 + sr as u64);
             let ok: Vec<_> = runs.iter().filter(|r| !r.aborted).cloned().collect();
             if ok.is_empty() {
-                println!("{:<10} {:>3} {:>9} {:>6} {:>8}", app.name, sr, "-", "-", "FAILED");
+                println!(
+                    "{:<10} {:>3} {:>9} {:>6} {:>8}",
+                    app.name, sr, "-", "-", "FAILED"
+                );
                 continue;
             }
             println!(

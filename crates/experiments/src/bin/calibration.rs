@@ -12,8 +12,10 @@ fn main() {
     let suite = benchmark_suite();
 
     println!("== Containers per node sweep (Figure 4) ==");
-    println!("{:<10} {:>2} {:>9} {:>6} {:>6} {:>6} {:>6} {:>5} {:>5} {:>6}",
-        "app", "N", "runtime", "norm", "heap", "cpu", "disk", "gc%", "fail", "abort");
+    println!(
+        "{:<10} {:>2} {:>9} {:>6} {:>6} {:>6} {:>6} {:>5} {:>5} {:>6}",
+        "app", "N", "runtime", "norm", "heap", "cpu", "disk", "gc%", "fail", "abort"
+    );
     for app in &suite {
         let default = max_resource_allocation(engine.cluster(), app);
         let mut base = f64::NAN;
@@ -27,9 +29,16 @@ fn main() {
             }
             println!(
                 "{:<10} {:>2} {:>8.1}m {:>6.2} {:>6.2} {:>6.2} {:>6.2} {:>5.2} {:>5} {:>6}",
-                app.name, n, r.runtime_mins(), r.runtime_mins() / base,
-                r.max_heap_util, r.avg_cpu_util, r.avg_disk_util, r.gc_overhead,
-                r.container_failures, r.aborted
+                app.name,
+                n,
+                r.runtime_mins(),
+                r.runtime_mins() / base,
+                r.max_heap_util,
+                r.avg_cpu_util,
+                r.avg_disk_util,
+                r.gc_overhead,
+                r.container_failures,
+                r.aborted
             );
         }
     }
@@ -73,9 +82,16 @@ fn main() {
             let (r, _) = engine.run(app, &cfg, 42);
             println!(
                 "{:<10} {}={:.2} {:>7.1}m heap={:.2} gc={:.2} H={:.2} S={:.2} fail={} abort={}",
-                app.name, if cache_app { "cc" } else { "sc" }, f,
-                r.runtime_mins(), r.max_heap_util, r.gc_overhead,
-                r.cache_hit_ratio, r.spill_fraction, r.container_failures, r.aborted
+                app.name,
+                if cache_app { "cc" } else { "sc" },
+                f,
+                r.runtime_mins(),
+                r.max_heap_util,
+                r.gc_overhead,
+                r.cache_hit_ratio,
+                r.spill_fraction,
+                r.container_failures,
+                r.aborted
             );
         }
     }
@@ -94,7 +110,11 @@ fn main() {
                 survivor_ratio: 8,
             };
             let (r, _) = engine.run(&km, &cfg, 42);
-            print!("cc={cc:.1} NR={nr}: {:>5.1}m/gc={:.2}  ", r.runtime_mins(), r.gc_overhead);
+            print!(
+                "cc={cc:.1} NR={nr}: {:>5.1}m/gc={:.2}  ",
+                r.runtime_mins(),
+                r.gc_overhead
+            );
         }
         println!();
     }
@@ -113,7 +133,12 @@ fn main() {
                 survivor_ratio: 8,
             };
             let (r, _) = engine.run(&sbk, &cfg, 42);
-            print!("sc={sc:.2} NR={nr}: {:>5.1}m/gc={:.2}/S={:.2}  ", r.runtime_mins(), r.gc_overhead, r.spill_fraction);
+            print!(
+                "sc={sc:.2} NR={nr}: {:>5.1}m/gc={:.2}/S={:.2}  ",
+                r.runtime_mins(),
+                r.gc_overhead,
+                r.spill_fraction
+            );
         }
         println!();
     }
@@ -140,8 +165,13 @@ fn main() {
             let (r, _) = engine.run(&pr, &cfg, seed);
             println!(
                 "{label:<8} seed={seed} {:>6.1}m H={:.2} gc={:.2} fail={} (oom={} rss={}) abort={}",
-                r.runtime_mins(), r.cache_hit_ratio, r.gc_overhead,
-                r.container_failures, r.oom_failures, r.rss_kills, r.aborted
+                r.runtime_mins(),
+                r.cache_hit_ratio,
+                r.gc_overhead,
+                r.container_failures,
+                r.oom_failures,
+                r.rss_kills,
+                r.aborted
             );
         }
     }

@@ -34,8 +34,10 @@ fn main() {
                 a => format!("{a}/3 fail"),
             };
             if ok.is_empty() {
-                println!("{:<10} {:>2} {:>9} {:>6} {:>9} {:>8} {:>8} {:>7}",
-                    app.name, n, "-", "-", "-", "-", "-", status);
+                println!(
+                    "{:<10} {:>2} {:>9} {:>6} {:>9} {:>8} {:>8} {:>7}",
+                    app.name, n, "-", "-", "-", "-", "-", status
+                );
                 continue;
             }
             let runtime = mean_runtime_mins(&ok);
@@ -47,7 +49,14 @@ fn main() {
             let disk = ok.iter().map(|r| r.avg_disk_util).sum::<f64>() / ok.len() as f64;
             println!(
                 "{:<10} {:>2} {:>8.1}m {:>6.2} {:>9.2} {:>8.2} {:>8.2} {:>7}",
-                app.name, n, runtime, runtime / base, heap, cpu, disk, status
+                app.name,
+                n,
+                runtime,
+                runtime / base,
+                heap,
+                cpu,
+                disk,
+                status
             );
         }
         println!();

@@ -23,7 +23,10 @@ fn main() {
     let pr_cfg = max_resource_allocation(engine.cluster(), &pr);
 
     println!("Figure 5: failures on unsafe configurations (5 runs each)\n");
-    println!("{:<26} {:>5} {:>9} {:>6} {:>6} {:>7}", "setup", "run", "runtime", "fails", "kind", "status");
+    println!(
+        "{:<26} {:>5} {:>9} {:>6} {:>6} {:>7}",
+        "setup", "run", "runtime", "fails", "kind", "status"
+    );
     for (label, app, cfg) in [
         ("SortByKey shuffle=0.7", &sbk, &sbk_cfg),
         ("K-means 4 containers", &km, &km_cfg),

@@ -20,13 +20,18 @@ fn main() {
         let default = max_resource_allocation(engine.cluster(), &app);
         let mut base = f64::NAN;
         for p in [1u32, 2, 4, 6, 8] {
-            let cfg = MemoryConfig { task_concurrency: p, ..default };
+            let cfg = MemoryConfig {
+                task_concurrency: p,
+                ..default
+            };
             let runs = repeat_runs(&engine, &app, &cfg, 3, 600 + p as u64);
             let aborted = aborted_count(&runs);
             let ok: Vec<_> = runs.iter().filter(|r| !r.aborted).cloned().collect();
             if ok.is_empty() {
-                println!("{:<10} {:>2} {:>9} {:>6} {:>9} {:>8} {:>8} {:>6} {:>7}",
-                    app.name, p, "-", "-", "-", "-", "-", "-", "FAILED");
+                println!(
+                    "{:<10} {:>2} {:>9} {:>6} {:>9} {:>8} {:>8} {:>6} {:>7}",
+                    app.name, p, "-", "-", "-", "-", "-", "-", "FAILED"
+                );
                 continue;
             }
             let runtime = mean_runtime_mins(&ok);
@@ -43,7 +48,11 @@ fn main() {
                 ok.iter().map(|r| r.avg_cpu_util).sum::<f64>() / ok.len() as f64,
                 ok.iter().map(|r| r.avg_disk_util).sum::<f64>() / ok.len() as f64,
                 ok.iter().map(|r| r.gc_overhead).sum::<f64>() / ok.len() as f64,
-                if aborted > 0 { format!("{aborted}/3fail") } else { "ok".into() }
+                if aborted > 0 {
+                    format!("{aborted}/3fail")
+                } else {
+                    "ok".into()
+                }
             );
         }
         println!();

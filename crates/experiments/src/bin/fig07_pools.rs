@@ -24,17 +24,27 @@ fn main() {
         }
         for f in [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8] {
             let cfg = if cache_app {
-                MemoryConfig { cache_fraction: f, shuffle_fraction: 0.0, ..default }
+                MemoryConfig {
+                    cache_fraction: f,
+                    shuffle_fraction: 0.0,
+                    ..default
+                }
             } else {
-                MemoryConfig { shuffle_fraction: f, cache_fraction: 0.0, ..default }
+                MemoryConfig {
+                    shuffle_fraction: f,
+                    cache_fraction: 0.0,
+                    ..default
+                }
             };
             let runs = repeat_runs(&engine, &app, &cfg, 3, (f * 1000.0) as u64);
             let ok: Vec<_> = runs.iter().filter(|r| !r.aborted).cloned().collect();
             let aborted = aborted_count(&runs);
             let label = format!("{}={f:.1}", if cache_app { "cc" } else { "sc" });
             if ok.is_empty() {
-                println!("{:<10} {:>8} {:>9} {:>9} {:>6} {:>5} {:>5} {:>7}",
-                    app.name, label, "-", "-", "-", "-", "-", "FAILED");
+                println!(
+                    "{:<10} {:>8} {:>9} {:>9} {:>6} {:>5} {:>5} {:>7}",
+                    app.name, label, "-", "-", "-", "-", "-", "FAILED"
+                );
                 continue;
             }
             println!(

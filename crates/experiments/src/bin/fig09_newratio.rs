@@ -13,7 +13,10 @@ fn main() {
     let default = max_resource_allocation(engine.cluster(), &app);
 
     println!("Figure 9: NewRatio sweep for K-means at Cache Capacity 0.6\n");
-    println!("{:>3} {:>10} {:>12} {:>10} {:>9}", "NR", "gc-mean", "gc-stddev", "runtime", "old-fit?");
+    println!(
+        "{:>3} {:>10} {:>12} {:>10} {:>9}",
+        "NR", "gc-mean", "gc-stddev", "runtime", "old-fit?"
+    );
     for nr in 1..=8u32 {
         let cfg = MemoryConfig {
             cache_fraction: 0.6,

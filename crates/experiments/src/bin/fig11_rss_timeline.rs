@@ -43,7 +43,13 @@ fn print_timeline(engine: &Engine, cfg: &MemoryConfig, label: &str) {
     let samples = trace.rss.samples();
     let step = (samples.len() / 18).max(1);
     let peak_idx = (0..samples.len())
-        .max_by(|&a, &b| samples[a].1.as_mb().partial_cmp(&samples[b].1.as_mb()).expect("NaN"))
+        .max_by(|&a, &b| {
+            samples[a]
+                .1
+                .as_mb()
+                .partial_cmp(&samples[b].1.as_mb())
+                .expect("NaN")
+        })
         .unwrap_or(0);
     let mut shown: Vec<usize> = (0..samples.len()).step_by(step).collect();
     if !shown.contains(&peak_idx) {
@@ -54,7 +60,11 @@ fn print_timeline(engine: &Engine, cfg: &MemoryConfig, label: &str) {
         let frac = (rss.as_mb() / cap.as_mb()).min(1.2);
         let bar = "#".repeat((frac * 50.0) as usize);
         let marker = if *rss > cap { " <-- OVER CAP" } else { "" };
-        println!("{:>7.1}s {:>9} |{bar}{marker}", t.as_secs(), rss.to_string());
+        println!(
+            "{:>7.1}s {:>9} |{bar}{marker}",
+            t.as_secs(),
+            rss.to_string()
+        );
     }
     println!(
         "run: {:.1} min, {} RSS kills, {} OOM failures, aborted: {}\n",
@@ -72,7 +82,10 @@ fn main() {
 
     println!("Figure 11: container RSS timeline, NewRatio=2 vs NewRatio=5\n");
     print_timeline(&engine, &default, "NewRatio = 2 (default)");
-    let nr5 = MemoryConfig { new_ratio: 5, ..default };
+    let nr5 = MemoryConfig {
+        new_ratio: 5,
+        ..default
+    };
     print_timeline(&engine, &nr5, "NewRatio = 5");
 
     println!("paper shape: the NR=2 container's physical memory climbs past the cap");

@@ -64,7 +64,11 @@ fn main() {
         }
         println!(
             "{:<10} {:<6} {:>7} {:>9.0}min {:>10}",
-            app.name, "Exh.", 192, exh_time.as_mins(), "100.0%"
+            app.name,
+            "Exh.",
+            192,
+            exh_time.as_mins(),
+            "100.0%"
         );
         println!();
     }

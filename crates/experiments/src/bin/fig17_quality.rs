@@ -44,10 +44,8 @@ fn main() {
             .expect("grid")
             .config;
 
-        let mut rows: Vec<(String, MemoryConfig)> = vec![
-            ("Default".into(), default),
-            ("Exhaustive".into(), best_cfg),
-        ];
+        let mut rows: Vec<(String, MemoryConfig)> =
+            vec![("Default".into(), default), ("Exhaustive".into(), best_cfg)];
         let mut policies: Vec<Box<dyn Tuner>> = vec![
             Box::new(DdpgTuner::new(5)),
             Box::new(BayesOpt::new(5)),
@@ -68,7 +66,11 @@ fn main() {
             } else {
                 evaluate(&engine, &app, &cfg)
             };
-            let status = if aborts > 0 { format!("{fails} (+{aborts} aborts)") } else { fails.to_string() };
+            let status = if aborts > 0 {
+                format!("{fails} (+{aborts} aborts)")
+            } else {
+                fails.to_string()
+            };
             println!(
                 "{:<10} {:<10} {:>8.1}m {:>7.2} {:>9} {:>7.0}%",
                 app.name,

@@ -17,7 +17,11 @@ fn main() {
         let threshold = baseline.top5_mins;
         println!(
             "{} (top-5% threshold: {:.2} min)\n{:<6} {:>32} {:>26}",
-            app.name, threshold, "policy", "training time (min) [5-number]", "iterations [5-number]"
+            app.name,
+            threshold,
+            "policy",
+            "training time (min) [5-number]",
+            "iterations [5-number]"
         );
         for policy_name in ["BO", "GBO", "DDPG"] {
             let mut times = Vec::new();

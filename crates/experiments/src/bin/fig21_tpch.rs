@@ -63,7 +63,10 @@ fn main() {
 
     println!("Figure 21: TPC-H per-query runtime, default vs RelM (Cluster B)");
     println!("RelM configuration: {config}\n");
-    println!("{:>5} {:>10} {:>10} {:>8}", "query", "default", "RelM", "saving");
+    println!(
+        "{:>5} {:>10} {:>10} {:>8}",
+        "query", "default", "RelM", "saving"
+    );
     let mut relm_total = 0.0;
     for (i, q) in queries.iter().enumerate() {
         let (r, _) = engine.run(q, &config, 4_200 + i as u64);

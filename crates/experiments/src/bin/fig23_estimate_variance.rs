@@ -26,7 +26,11 @@ fn main() {
                 for cc in [0.3, 0.5] {
                     for nr in [2u32, 6] {
                         idx += 1;
-                        let (cf, sf) = if app.uses_cache() { (cc, 0.0) } else { (0.0, cc) };
+                        let (cf, sf) = if app.uses_cache() {
+                            (cc, 0.0)
+                        } else {
+                            (0.0, cc)
+                        };
                         let cfg = MemoryConfig {
                             containers_per_node: n,
                             heap: cluster.heap_for(n),

@@ -85,7 +85,10 @@ fn main() {
                 }
                 stats::r_squared(&observed, &predicted)
             };
-            bo_r2.push(r2(samples[..k].iter().map(|(x, _)| x.clone()).collect(), false));
+            bo_r2.push(r2(
+                samples[..k].iter().map(|(x, _)| x.clone()).collect(),
+                false,
+            ));
             gbo_r2.push(r2(
                 samples[..k]
                     .iter()
@@ -109,7 +112,15 @@ fn main() {
 
     // Feature-correlation analysis (§6.5's Pearson study).
     let ys: Vec<f64> = samples.iter().map(|(_, y)| *y).collect();
-    let names = ["containers", "concurrency", "capacity", "new_ratio", "q1", "q2", "q3"];
+    let names = [
+        "containers",
+        "concurrency",
+        "capacity",
+        "new_ratio",
+        "q1",
+        "q2",
+        "q3",
+    ];
     println!("\nPearson correlation of each surrogate feature with the objective:");
     for (d, name) in names.iter().enumerate() {
         let xs: Vec<f64> = samples

@@ -32,8 +32,15 @@ fn main() {
             let mut iters = Vec::new();
             for rep in 0..reps {
                 let seed = 500 + rep * 23;
-                let base = if guided { BayesOpt::guided(seed) } else { BayesOpt::new(seed) };
-                let mut bo = base.with_config(BoConfig { surrogate: kind, ..BoConfig::default() });
+                let base = if guided {
+                    BayesOpt::guided(seed)
+                } else {
+                    BayesOpt::new(seed)
+                };
+                let mut bo = base.with_config(BoConfig {
+                    surrogate: kind,
+                    ..BoConfig::default()
+                });
                 let mut env = TuningEnv::new(engine.clone(), app.clone(), seed);
                 if let Ok(rec) = bo.tune(&mut env) {
                     let (r, _) = engine.run(&app, &rec.config, 40_000 + rep);

@@ -28,12 +28,22 @@ fn main() {
         let mut scratch = DdpgTuner::new(seed).with_budget(12);
         let mut env_b = TuningEnv::new(engine_b.clone(), svm(), seed);
         let rec = scratch.tune(&mut env_b).expect("scratch tuning");
-        full.push(engine_b.run(&svm(), &rec.config, 600 + seed).0.runtime_mins());
+        full.push(
+            engine_b
+                .run(&svm(), &rec.config, 600 + seed)
+                .0
+                .runtime_mins(),
+        );
 
         let mut cold5 = DdpgTuner::new(seed).with_budget(5);
         let mut env_b5 = TuningEnv::new(engine_b.clone(), svm(), seed);
         let rec = cold5.tune(&mut env_b5).expect("cold 5-sample tuning");
-        cold.push(engine_b.run(&svm(), &rec.config, 600 + seed).0.runtime_mins());
+        cold.push(
+            engine_b
+                .run(&svm(), &rec.config, 600 + seed)
+                .0
+                .runtime_mins(),
+        );
 
         // DDPG pre-trained on Cluster A, then 5 samples on Cluster B.
         let mut transfer = DdpgTuner::new(seed).with_budget(20);
@@ -42,13 +52,27 @@ fn main() {
         let mut transfer = transfer.with_budget(5);
         let mut env_b2 = TuningEnv::new(engine_b.clone(), svm(), seed + 100);
         let rec = transfer.tune(&mut env_b2).expect("transfer tuning");
-        warm.push(engine_b.run(&svm(), &rec.config, 600 + seed).0.runtime_mins());
+        warm.push(
+            engine_b
+                .run(&svm(), &rec.config, 600 + seed)
+                .0
+                .runtime_mins(),
+        );
     }
 
     println!("cross-cluster (train A -> test B):");
-    println!("  DDPG_B^B (full budget): {:>5.1} min after 13 samples on B", mean(&full));
-    println!("  DDPG_B^B (5 samples):   {:>5.1} min, cold start", mean(&cold));
-    println!("  DDPG_A^B (5 samples):   {:>5.1} min, pre-trained on A", mean(&warm));
+    println!(
+        "  DDPG_B^B (full budget): {:>5.1} min after 13 samples on B",
+        mean(&full)
+    );
+    println!(
+        "  DDPG_B^B (5 samples):   {:>5.1} min, cold start",
+        mean(&cold)
+    );
+    println!(
+        "  DDPG_A^B (5 samples):   {:>5.1} min, pre-trained on A",
+        mean(&warm)
+    );
 
     // Data-scale change on Cluster B: s1 -> s2.
     let big = svm_scaled(2.0);

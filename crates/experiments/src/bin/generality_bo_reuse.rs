@@ -51,7 +51,10 @@ fn main() {
     let (_, profile) = engine.run(&new_app, &default, 77);
     let stats = derive_stats(&profile);
     let mapped = repo.nearest(&stats).expect("repository non-empty");
-    println!("new workload (SVM @1.2x) mapped to stored workload: {}", mapped.workload);
+    println!(
+        "new workload (SVM @1.2x) mapped to stored workload: {}",
+        mapped.workload
+    );
 
     // 3. Warm-started BO vs cold BO under the same small budget.
     let mut cold_env = TuningEnv::new(engine.clone(), new_app.clone(), 31);

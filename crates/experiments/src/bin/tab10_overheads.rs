@@ -5,14 +5,16 @@
 //! with statistical rigor).
 
 use relm_app::Engine;
-use relm_bo::BayesOpt;
+use relm_bo::{BayesOpt, BoConfig};
 use relm_cluster::ClusterSpec;
 use relm_common::Rng;
 use relm_core::{QModel, RelmTuner};
-use relm_ddpg::{state_vector, AgentConfig, DdpgAgent, Transition, STATE_DIMS};
+use relm_ddpg::{state_vector, AgentConfig, DdpgAgent, DdpgTuner, Transition, STATE_DIMS};
+use relm_experiments::write_run_telemetry;
+use relm_obs::{Event, Obs};
 use relm_profile::derive_stats;
 use relm_surrogate::{latin_hypercube, maximize_ei, Gp};
-use relm_tune::ConfigSpace;
+use relm_tune::{ConfigSpace, Tuner, TuningEnv};
 use relm_workloads::{max_resource_allocation, svm};
 use std::time::Instant;
 
@@ -22,7 +24,114 @@ fn time_ms(f: impl FnOnce()) -> f64 {
     t.elapsed().as_secs_f64() * 1000.0
 }
 
+/// Runs short instrumented tuning sessions and validates the emitted
+/// telemetry: the JSONL file must be non-empty and parse, and the
+/// cumulative stress-time counter must agree with the environments'
+/// `stress_time()` accounting to within 1%.
+fn measured_telemetry(obs: &Obs) {
+    let cluster = ClusterSpec::cluster_a();
+    let app = svm();
+    let mut expected_stress_ms = 0.0;
+    let mut run_session = |tuner: &mut dyn Tuner, seed: u64| {
+        let engine = Engine::new(cluster.clone()).with_obs(obs.clone());
+        let mut env = TuningEnv::new(engine, app.clone(), seed);
+        tuner.tune(&mut env).expect("tuning session failed");
+        expected_stress_ms += env.stress_time().as_ms();
+    };
+    run_session(
+        &mut BayesOpt::new(3).with_config(BoConfig {
+            max_iterations: 4,
+            min_adaptive_samples: 2,
+            ..BoConfig::default()
+        }),
+        21,
+    );
+    run_session(
+        &mut BayesOpt::guided(3).with_config(BoConfig {
+            max_iterations: 4,
+            min_adaptive_samples: 2,
+            ..BoConfig::default()
+        }),
+        22,
+    );
+    run_session(&mut DdpgTuner::new(3).with_budget(3), 23);
+    run_session(&mut RelmTuner::default(), 24);
+
+    let path = write_run_telemetry(obs, "tab10_overheads")
+        .expect("telemetry write failed")
+        .expect("observability handle should be enabled here");
+    let text = std::fs::read_to_string(&path).expect("telemetry file unreadable");
+    assert!(
+        !text.trim().is_empty(),
+        "telemetry file is empty: {}",
+        path.display()
+    );
+    let events = relm_obs::read_jsonl(&text).expect("telemetry JSONL is invalid");
+    assert!(!events.is_empty(), "telemetry stream parsed to zero events");
+
+    let recorded_stress_ms = events
+        .iter()
+        .find_map(|e| match e {
+            Event::Counter { name, value } if name == "env.stress_time_ms" => Some(*value),
+            _ => None,
+        })
+        .expect("env.stress_time_ms counter missing from telemetry");
+    let rel_err = (recorded_stress_ms - expected_stress_ms).abs() / expected_stress_ms.max(1e-9);
+    assert!(
+        rel_err < 0.01,
+        "stress-time counter ({recorded_stress_ms:.1}ms) disagrees with \
+         TuningEnv::stress_time ({expected_stress_ms:.1}ms) by {:.2}%",
+        rel_err * 100.0
+    );
+
+    println!("\nmeasured decision latencies (from {}):", path.display());
+    println!(
+        "{:<22} {:>8} {:>10} {:>10} {:>10}",
+        "phase", "count", "p50", "p95", "p99"
+    );
+    let mut histograms: Vec<&relm_obs::HistogramSummary> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Histogram(h)
+                if h.name.ends_with("_ms")
+                    && !h.name.starts_with("engine.")
+                    && !h.name.starts_with("env.") =>
+            {
+                Some(h)
+            }
+            _ => None,
+        })
+        .collect();
+    histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    assert!(
+        !histograms.is_empty(),
+        "telemetry contains no decision-latency histograms"
+    );
+    for h in histograms {
+        println!(
+            "{:<22} {:>8} {:>8.3}ms {:>8.3}ms {:>8.3}ms",
+            h.name, h.count, h.p50, h.p95, h.p99
+        );
+    }
+    println!(
+        "stress-time check: counter {recorded_stress_ms:.1}ms vs env accounting \
+         {expected_stress_ms:.1}ms ({:.3}% off) — OK",
+        rel_err * 100.0
+    );
+}
+
 fn main() {
+    let obs = {
+        let from_env = relm_experiments::obs_from_env();
+        if from_env.is_enabled() {
+            from_env
+        } else {
+            println!("RELM_OBS not set; enabling observability anyway so the");
+            println!("telemetry self-check below can run against real data.\n");
+            Obs::enabled()
+        }
+    };
+
     let engine = Engine::new(ClusterSpec::cluster_a());
     let app = svm();
     let cluster = engine.cluster().clone();
@@ -33,10 +142,16 @@ fn main() {
     // Shared: 12 observations to fit models on.
     let mut rng = Rng::new(7);
     let xs = latin_hypercube(12, 4, &mut rng);
-    let ys: Vec<f64> = xs.iter().map(|x| 5.0 + x[0] * 3.0 - x[2] * 2.0 + x[1]).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| 5.0 + x[0] * 3.0 - x[2] * 2.0 + x[1])
+        .collect();
 
     println!("Table 10: per-iteration algorithm overheads (this implementation)\n");
-    println!("{:<22} {:>10} {:>10} {:>10} {:>10}", "component", "DDPG", "BO", "GBO", "RelM");
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>10}",
+        "component", "DDPG", "BO", "GBO", "RelM"
+    );
 
     // --- Statistics collection ---
     let stats_ms = time_ms(|| {
@@ -64,8 +179,10 @@ fn main() {
     let bo_fit = time_ms(|| {
         let _ = Gp::fit(xs.clone(), &ys, 1);
     });
-    let xs_guided: Vec<Vec<f64>> =
-        xs.iter().map(|x| BayesOpt::features(&space, Some(&qmodel), x)).collect();
+    let xs_guided: Vec<Vec<f64>> = xs
+        .iter()
+        .map(|x| BayesOpt::features(&space, Some(&qmodel), x))
+        .collect();
     let gbo_fit = time_ms(|| {
         let _ = Gp::fit(xs_guided.clone(), &ys, 1);
     });
@@ -94,10 +211,15 @@ fn main() {
     }
     impl relm_surrogate::Surrogate for Wrapped<'_> {
         fn predict(&self, x: &[f64]) -> (f64, f64) {
-            self.gp.predict(&BayesOpt::features(self.space, Some(self.q), x))
+            self.gp
+                .predict(&BayesOpt::features(self.space, Some(self.q), x))
         }
     }
-    let wrapped = Wrapped { gp: &gp_guided, space: &space, q: &qmodel };
+    let wrapped = Wrapped {
+        gp: &gp_guided,
+        space: &space,
+        q: &qmodel,
+    };
     let gbo_probe = time_ms(|| {
         let _ = maximize_ei(&wrapped, 4, 5.0, &mut rng);
     });
@@ -130,4 +252,6 @@ fn main() {
         let _ = relm.candidates_from_stats(&big_cluster, stats);
     });
     println!("  4-candidate probe above vs large-cluster probe: {t:.3}ms");
+
+    measured_telemetry(&obs);
 }

@@ -14,7 +14,10 @@ use relm_workloads::{benchmark_suite, max_resource_allocation, pagerank, svm};
 
 fn table2() {
     println!("== Table 2: test suite ==");
-    println!("{:<10} {:>10} {:>12} {:>10} {:>6}", "app", "stages", "total input", "cache", "iters");
+    println!(
+        "{:<10} {:>10} {:>12} {:>10} {:>6}",
+        "app", "stages", "total input", "cache", "iters"
+    );
     for app in benchmark_suite() {
         let input: f64 = app.stages.iter().map(|s| s.total_input().as_gb()).sum();
         println!(
@@ -34,7 +37,12 @@ fn table3() {
     for c in [ClusterSpec::cluster_a(), ClusterSpec::cluster_b()] {
         println!(
             "{:<10} nodes={} mem/node={} cores/node={} disk={}MB/s net={}MB/s heap-budget={}",
-            c.name, c.nodes, c.mem_per_node, c.cores_per_node, c.disk_mb_per_s, c.net_mb_per_s,
+            c.name,
+            c.nodes,
+            c.mem_per_node,
+            c.cores_per_node,
+            c.disk_mb_per_s,
+            c.net_mb_per_s,
             c.heap_budget_per_node
         );
     }
@@ -48,7 +56,10 @@ fn table4() {
     println!("Containers per Node              1");
     println!("Heap Size                        {}", cfg.heap);
     println!("Task Concurrency                 {}", cfg.task_concurrency);
-    println!("Cache + Shuffle Capacity         {:.1}", cfg.unified_fraction());
+    println!(
+        "Cache + Shuffle Capacity         {:.1}",
+        cfg.unified_fraction()
+    );
     println!("NewRatio                         {}", cfg.new_ratio);
     println!("SurvivorRatio                    {}", cfg.survivor_ratio);
     println!();
@@ -61,9 +72,27 @@ fn table5() {
     let default = max_resource_allocation(engine.cluster(), &app);
     let rows: [(&str, MemoryConfig); 4] = [
         ("default", default),
-        ("p=1", MemoryConfig { task_concurrency: 1, ..default }),
-        ("cc=0.4", MemoryConfig { cache_fraction: 0.4, ..default }),
-        ("NR=5", MemoryConfig { new_ratio: 5, ..default }),
+        (
+            "p=1",
+            MemoryConfig {
+                task_concurrency: 1,
+                ..default
+            },
+        ),
+        (
+            "cc=0.4",
+            MemoryConfig {
+                cache_fraction: 0.4,
+                ..default
+            },
+        ),
+        (
+            "NR=5",
+            MemoryConfig {
+                new_ratio: 5,
+                ..default
+            },
+        ),
     ];
     println!(
         "{:<8} {:>3} {:>6} {:>4} {:>10} {:>6} {:>6} {:>6} {:>10}",
@@ -120,7 +149,10 @@ fn table6() {
     println!("M_i (code overhead)        {}", s.m_i);
     println!("M_c (cache storage)        {}", s.m_c);
     println!("M_s (task shuffle)         {}", s.m_s);
-    println!("M_u (task unmanaged)       {}   (from full GC events: {})", s.m_u, s.m_u_from_full_gc);
+    println!(
+        "M_u (task unmanaged)       {}   (from full GC events: {})",
+        s.m_u, s.m_u_from_full_gc
+    );
     println!("P (task concurrency)       {}", s.p);
     println!("H (cache hit ratio)        {:.2}", s.h);
     println!("S (spillage fraction)      {:.2}", s.s);
@@ -133,7 +165,10 @@ fn table7() {
     let cluster = ClusterSpec::cluster_a();
     let space = ConfigSpace::for_app(&cluster, &svm());
     let mut rng = Rng::new(7);
-    println!("{:>3} {:>4} {:>3} {:>9} {:>4}", "#", "N", "p", "capacity", "NR");
+    println!(
+        "{:>3} {:>4} {:>3} {:>9} {:>4}",
+        "#", "N", "p", "capacity", "NR"
+    );
     for x in latin_hypercube(4, 4, &mut rng) {
         let cfg = space.decode(&x);
         println!(
@@ -157,7 +192,11 @@ fn table9() {
     for (i, step) in bo.trace().iter().enumerate() {
         println!(
             "{:>6} {:>3} {:>3} {:>9.2} {:>4} {:>8.1}m",
-            if step.bootstrap { "0".to_owned() } else { format!("{}", i - 3) },
+            if step.bootstrap {
+                "0".to_owned()
+            } else {
+                format!("{}", i - 3)
+            },
             step.config.containers_per_node,
             step.config.task_concurrency,
             step.config.cache_fraction.max(step.config.shuffle_fraction),

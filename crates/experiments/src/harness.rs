@@ -17,7 +17,9 @@ pub fn repeat_runs(
     repeats: u64,
     base_seed: u64,
 ) -> Vec<RunResult> {
-    (0..repeats).map(|i| engine.run(app, config, base_seed + i * 7919).0).collect()
+    (0..repeats)
+        .map(|i| engine.run(app, config, base_seed + i * 7919).0)
+        .collect()
 }
 
 /// Mean runtime in minutes over a set of runs.
@@ -100,7 +102,11 @@ pub fn train_until(
     for (i, obs) in env.history().iter().enumerate() {
         stress += obs.result.runtime;
         if obs.score_mins <= threshold_mins {
-            return TrainingCost { iterations: i + 1, stress_time: stress, converged: true };
+            return TrainingCost {
+                iterations: i + 1,
+                stress_time: stress,
+                converged: true,
+            };
         }
     }
     TrainingCost {
@@ -112,7 +118,11 @@ pub fn train_until(
 
 /// A long-budget BO (no early stop) for convergence studies.
 pub fn long_bo(seed: u64, guided: bool) -> BayesOpt {
-    let base = if guided { BayesOpt::guided(seed) } else { BayesOpt::new(seed) };
+    let base = if guided {
+        BayesOpt::guided(seed)
+    } else {
+        BayesOpt::new(seed)
+    };
     base.with_config(relm_bo::BoConfig {
         max_iterations: 28,
         min_adaptive_samples: 28,

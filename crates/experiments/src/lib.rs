@@ -5,5 +5,7 @@
 //! formatting). See `DESIGN.md`'s experiment index for the mapping.
 
 pub mod harness;
+pub mod telemetry;
 
 pub use harness::*;
+pub use telemetry::{obs_from_env, results_dir, write_run_telemetry};

@@ -1,0 +1,59 @@
+//! Run-level telemetry for the experiment binaries: each binary can attach
+//! a [`relm_obs::Obs`] handle to its engines and drop a JSONL telemetry
+//! file next to its `results/` outputs.
+
+use relm_obs::Obs;
+use std::io;
+use std::path::PathBuf;
+
+/// The experiments' output directory (`./results`), created on demand.
+pub fn results_dir() -> io::Result<PathBuf> {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+/// The observability handle for an experiment binary: enabled when
+/// `RELM_OBS=1` is set, a no-op otherwise.
+pub fn obs_from_env() -> Obs {
+    Obs::from_env()
+}
+
+/// Writes the handle's snapshot as `results/<name>.telemetry.jsonl` and
+/// returns the path. A disabled handle writes nothing and returns `None`.
+pub fn write_run_telemetry(obs: &Obs, name: &str) -> io::Result<Option<PathBuf>> {
+    if !obs.is_enabled() {
+        return Ok(None);
+    }
+    let path = results_dir()?.join(format!("{name}.telemetry.jsonl"));
+    obs.write_jsonl(&path)?;
+    Ok(Some(path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_writes_nothing() {
+        let obs = Obs::disabled();
+        assert_eq!(
+            write_run_telemetry(&obs, "unit_test_disabled").unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn enabled_handle_writes_readable_jsonl() {
+        let obs = Obs::enabled();
+        obs.inc("unit.counter");
+        obs.record("unit.lat_ms", 3.0);
+        let path = write_run_telemetry(&obs, "unit_test_enabled")
+            .unwrap()
+            .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events = relm_obs::read_jsonl(&text).unwrap();
+        assert!(!events.is_empty());
+        std::fs::remove_file(path).ok();
+    }
+}

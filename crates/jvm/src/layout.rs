@@ -23,7 +23,11 @@ pub struct GcSettings {
 
 impl Default for GcSettings {
     fn default() -> Self {
-        GcSettings { new_ratio: 2, survivor_ratio: 8, tenuring_threshold: 2 }
+        GcSettings {
+            new_ratio: 2,
+            survivor_ratio: 8,
+            tenuring_threshold: 2,
+        }
     }
 }
 
@@ -63,7 +67,13 @@ impl HeapLayout {
         // Eden + 2 survivors = young, eden / survivor = SR.
         let survivor = young * (1.0 / (sr + 2.0));
         let eden = young - survivor * 2.0;
-        HeapLayout { heap, old, young, eden, survivor }
+        HeapLayout {
+            heap,
+            old,
+            young,
+            eden,
+            survivor,
+        }
     }
 
     /// The usable heap from an application's perspective: everything except
@@ -92,8 +102,11 @@ mod tests {
     fn pools_partition_the_heap() {
         for nr in 1..=9 {
             for sr in [2u32, 4, 8, 16] {
-                let settings =
-                    GcSettings { new_ratio: nr, survivor_ratio: sr, tenuring_threshold: 2 };
+                let settings = GcSettings {
+                    new_ratio: nr,
+                    survivor_ratio: sr,
+                    tenuring_threshold: 2,
+                };
                 let l = HeapLayout::new(Mem::gb(2.0), &settings);
                 let total = l.old + l.eden + l.survivor * 2.0;
                 assert!(
@@ -111,7 +124,11 @@ mod tests {
         let eden = |nr| {
             HeapLayout::new(
                 heap,
-                &GcSettings { new_ratio: nr, survivor_ratio: 8, tenuring_threshold: 2 },
+                &GcSettings {
+                    new_ratio: nr,
+                    survivor_ratio: 8,
+                    tenuring_threshold: 2,
+                },
             )
             .eden
         };

@@ -437,7 +437,11 @@ impl JvmSim {
                 }
             }
 
-            let shuffle_in_young = if shuffle_promotes { Mem::ZERO } else { w.shuffle_live };
+            let shuffle_in_young = if shuffle_promotes {
+                Mem::ZERO
+            } else {
+                w.shuffle_live
+            };
             let live_young = working_in_young + shuffle_in_young;
             self.note_heap(live_young + eden);
 
@@ -476,10 +480,7 @@ impl JvmSim {
         // the young loop above accounts one full GC per young GC, but when
         // Old is overfull even small allocations force collections.
         if promotion_failure {
-            let free = (self.layout.heap
-                - self.tenured_stable()
-                - w.working_set
-                - w.sort_live)
+            let free = (self.layout.heap - self.tenured_stable() - w.working_set - w.sort_live)
                 .max(self.layout.heap * 0.03);
             let needed = (traffic / free).ceil() as u32;
             let done = (self.full_gcs - full_start) as u32;
@@ -498,8 +499,7 @@ impl JvmSim {
             let groups = remaining.min(4);
             for g in 0..groups {
                 let t = now + w.compute_time * (0.6 + 0.4 * (g + 1) as f64 / (groups + 1) as f64);
-                self.dead_transient +=
-                    w.spill_batch * (remaining as f64 / groups as f64);
+                self.dead_transient += w.spill_batch * (remaining as f64 / groups as f64);
                 self.full_gc(t, promotion_failure);
             }
         }
@@ -559,7 +559,11 @@ mod tests {
     use super::*;
 
     fn sim(heap_mb: f64, nr: u32) -> JvmSim {
-        let settings = GcSettings { new_ratio: nr, survivor_ratio: 8, tenuring_threshold: 2 };
+        let settings = GcSettings {
+            new_ratio: nr,
+            survivor_ratio: 8,
+            tenuring_threshold: 2,
+        };
         JvmSim::new(Mem::mb(heap_mb), settings, GcCostModel::default())
     }
 
@@ -593,7 +597,11 @@ mod tests {
         let mut jvm = sim(4404.0, 2);
         // Eden is ~1174MB; 5GB of churn should trigger ~4 young GCs.
         let out = jvm.simulate_wave(Millis::ZERO, &wave(10.0, 5000.0, 100.0));
-        assert!(out.young_gcs >= 3 && out.young_gcs <= 5, "young_gcs = {}", out.young_gcs);
+        assert!(
+            out.young_gcs >= 3 && out.young_gcs <= 5,
+            "young_gcs = {}",
+            out.young_gcs
+        );
         assert!(out.gc_pause > Millis::ZERO);
     }
 
@@ -629,7 +637,10 @@ mod tests {
         jvm.set_cache_used(Mem::mb(3100.0));
         let out = jvm.simulate_wave(Millis::ZERO, &wave(20.0, 4000.0, 200.0));
         assert!(out.promotion_failure);
-        assert!(out.full_gcs >= out.young_gcs, "every young GC should degrade to full");
+        assert!(
+            out.full_gcs >= out.young_gcs,
+            "every young GC should degrade to full"
+        );
         assert!(out.full_gcs > 0);
     }
 
@@ -662,7 +673,10 @@ mod tests {
             sort_live: Mem::ZERO,
         };
         let out = jvm.simulate_wave(Millis::ZERO, &w);
-        assert!(out.full_gcs > 0, "promoted spill batches must force full GCs");
+        assert!(
+            out.full_gcs > 0,
+            "promoted spill batches must force full GCs"
+        );
     }
 
     #[test]
@@ -715,7 +729,10 @@ mod tests {
         jvm.simulate_wave(Millis::ZERO, &wave(10.0, 4000.0, 100.0));
         jvm.simulate_wave(Millis::secs(20.0), &wave(10.0, 4000.0, 100.0));
         let events = jvm.events();
-        assert_eq!(events.len() as u64, jvm.young_gc_count() + jvm.full_gc_count());
+        assert_eq!(
+            events.len() as u64,
+            jvm.young_gc_count() + jvm.full_gc_count()
+        );
         for pair in events.windows(2) {
             assert!(pair[0].time <= pair[1].time);
         }
@@ -728,8 +745,7 @@ mod tests {
         // Big working sets promote; several waves accumulate dead transients
         // until a full GC runs. Old cap at NR=1 is 1101MB.
         for i in 0..6 {
-            let out = jvm
-                .simulate_wave(Millis::secs(i as f64 * 10.0), &wave(10.0, 2000.0, 400.0));
+            let out = jvm.simulate_wave(Millis::secs(i as f64 * 10.0), &wave(10.0, 2000.0, 400.0));
             assert!(!out.oom);
         }
         assert!(jvm.full_gc_count() > 0);
@@ -741,7 +757,10 @@ mod tests {
             .filter(|e| e.kind == GcKind::Full)
             .map(|e| e.old_used_after.as_mb())
             .fold(f64::INFINITY, f64::min);
-        assert!(min_old_after_full < 700.0, "full GC should compact old, saw {min_old_after_full}");
+        assert!(
+            min_old_after_full < 700.0,
+            "full GC should compact old, saw {min_old_after_full}"
+        );
     }
 
     #[test]

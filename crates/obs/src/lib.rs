@@ -1,0 +1,259 @@
+//! `relm-obs`: observability for the tuning stack — span tracing, a
+//! metrics registry, and JSONL telemetry export.
+//!
+//! The entry point is [`Obs`], a cheaply clonable handle threaded through
+//! the engine, the tuning environment, and every tuner. A default-built
+//! (`Obs::disabled()`) handle is a no-op: every recording method checks one
+//! `Option` and returns, so instrumented code pays nothing when
+//! observability is off. Enable it explicitly with [`Obs::enabled`] or via
+//! the `RELM_OBS=1` environment variable with [`Obs::from_env`].
+//!
+//! ```
+//! let obs = relm_obs::Obs::enabled();
+//! {
+//!     let mut span = obs.span("engine.run");
+//!     span.set("gc_ms", 12.5);
+//!     obs.record("engine.run_ms", 830.0);
+//!     obs.inc("engine.runs");
+//! }
+//! let snapshot = obs.snapshot();
+//! assert_eq!(snapshot.spans.len(), 1);
+//! println!("{}", relm_obs::summary_table(&snapshot));
+//! ```
+
+mod metrics;
+mod sink;
+mod span;
+
+pub use metrics::{
+    bucket_edges, Counter, Gauge, Histogram, HistogramSummary, Registry, MAX_EXP, MIN_EXP,
+    SUB_BUCKETS,
+};
+pub use sink::{events, read_jsonl, summary_table, write_jsonl, write_jsonl_file, Event};
+pub use span::{FieldValue, SpanGuard, SpanRecord, SpanRing};
+
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Default ring-buffer capacity: enough for the longest experiment runs
+/// while bounding memory at a few MB.
+pub const DEFAULT_SPAN_CAPACITY: usize = 65_536;
+
+#[derive(Debug)]
+struct Inner {
+    tracer: Arc<span::Tracer>,
+    registry: Registry,
+}
+
+/// Shared observability handle. `Clone` is an `Arc` bump; all clones feed
+/// the same buffers.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Obs {
+    /// A no-op handle: spans and metrics are discarded at the call site.
+    pub fn disabled() -> Self {
+        Obs { inner: None }
+    }
+
+    /// A recording handle with the default span capacity.
+    pub fn enabled() -> Self {
+        Self::with_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// A recording handle retaining at most `span_capacity` completed
+    /// spans (older spans are overwritten, never reallocated).
+    pub fn with_capacity(span_capacity: usize) -> Self {
+        Obs {
+            inner: Some(Arc::new(Inner {
+                tracer: Arc::new(span::Tracer::new(span_capacity)),
+                registry: Registry::default(),
+            })),
+        }
+    }
+
+    /// Enabled iff the `RELM_OBS` environment variable is set to `1`
+    /// (or `true`); disabled otherwise.
+    pub fn from_env() -> Self {
+        match std::env::var("RELM_OBS") {
+            Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => Self::enabled(),
+            _ => Self::disabled(),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a timed span; drop the guard to commit it. Fields can be
+    /// attached with [`SpanGuard::set`] / [`SpanGuard::with`].
+    pub fn span(&self, name: &str) -> SpanGuard {
+        span::begin_span(self.inner.as_ref().map(|i| &i.tracer), name)
+    }
+
+    /// Increments the named counter by 1.
+    pub fn inc(&self, name: &str) {
+        self.add(name, 1.0);
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn add(&self, name: &str, delta: f64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.counter(name).add(delta);
+        }
+    }
+
+    /// Reads a counter's current value (0 when disabled or unregistered).
+    pub fn counter_value(&self, name: &str) -> f64 {
+        match &self.inner {
+            Some(inner) => inner.registry.counter(name).value(),
+            None => 0.0,
+        }
+    }
+
+    /// Sets the named gauge.
+    pub fn gauge(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.gauge(name).set(value);
+        }
+    }
+
+    /// Records one observation into the named histogram.
+    pub fn record(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.histogram(name).record(value);
+        }
+    }
+
+    /// A clonable handle to the named histogram, for hot paths that want
+    /// to skip the per-record registry lookup. `None` when disabled.
+    pub fn histogram(&self, name: &str) -> Option<Arc<Histogram>> {
+        self.inner.as_ref().map(|i| i.registry.histogram(name))
+    }
+
+    /// Reads a quantile from the named histogram.
+    pub fn histogram_quantile(&self, name: &str, q: f64) -> Option<f64> {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.registry.histogram(name).quantile(q))
+    }
+
+    /// Captures the current spans and metric values.
+    pub fn snapshot(&self) -> Snapshot {
+        match &self.inner {
+            None => Snapshot::default(),
+            Some(inner) => {
+                let ring = inner.tracer.ring.lock().expect("span ring poisoned");
+                Snapshot {
+                    spans: ring.snapshot(),
+                    dropped_spans: ring.dropped(),
+                    counters: inner.registry.counter_values(),
+                    gauges: inner.registry.gauge_values(),
+                    histograms: inner.registry.histogram_summaries(),
+                }
+            }
+        }
+    }
+
+    /// Writes the current snapshot as JSON Lines to `path`. A disabled
+    /// handle writes nothing and reports success.
+    pub fn write_jsonl(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        if !self.is_enabled() {
+            return Ok(());
+        }
+        write_jsonl_file(path, &self.snapshot())
+    }
+
+    /// Human-readable summary of the current snapshot.
+    pub fn summary(&self) -> String {
+        summary_table(&self.snapshot())
+    }
+}
+
+/// Point-in-time export of everything an [`Obs`] handle has recorded.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    pub spans: Vec<SpanRecord>,
+    pub dropped_spans: u64,
+    pub counters: Vec<(String, f64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<HistogramSummary>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::disabled();
+        assert!(!obs.is_enabled());
+        {
+            let mut span = obs.span("ignored");
+            span.set("k", 1u64);
+        }
+        obs.inc("c");
+        obs.record("h", 1.0);
+        obs.gauge("g", 1.0);
+        let snap = obs.snapshot();
+        assert_eq!(snap, Snapshot::default());
+        assert_eq!(obs.counter_value("c"), 0.0);
+        assert_eq!(obs.histogram_quantile("h", 0.5), None);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let obs = Obs::enabled();
+        let clone = obs.clone();
+        clone.inc("shared");
+        obs.add("shared", 2.0);
+        assert_eq!(obs.counter_value("shared"), 3.0);
+    }
+
+    #[test]
+    fn spans_nest_across_handle_clones() {
+        let obs = Obs::enabled();
+        {
+            let _outer = obs.span("outer").with("layer", "harness");
+            let clone = obs.clone();
+            let _inner = clone.span("inner");
+        }
+        let snap = obs.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        let inner = snap.spans.iter().find(|s| s.name == "inner").unwrap();
+        let outer = snap.spans.iter().find(|s| s.name == "outer").unwrap();
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(
+            outer.fields,
+            vec![("layer".to_string(), FieldValue::Str("harness".into()))]
+        );
+    }
+
+    #[test]
+    fn from_env_respects_flag() {
+        // Avoid mutating the process environment (tests run in parallel):
+        // only assert the disabled default when the variable is unset.
+        if std::env::var("RELM_OBS").is_err() {
+            assert!(!Obs::from_env().is_enabled());
+        }
+    }
+
+    #[test]
+    fn snapshot_serializes_and_rehydrates() {
+        let obs = Obs::enabled();
+        {
+            let mut s = obs.span("unit");
+            s.set("n", 3u64);
+        }
+        obs.inc("count");
+        obs.record("lat_ms", 5.0);
+        let snap = obs.snapshot();
+        let text = serde_json::to_string(&snap).unwrap();
+        let back: Snapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(snap, back);
+    }
+}

@@ -1,0 +1,195 @@
+//! Telemetry sinks: a JSONL exporter (one event per line, via serde) and a
+//! human-readable summary table.
+
+use crate::metrics::HistogramSummary;
+use crate::span::SpanRecord;
+use crate::Snapshot;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// One JSONL line. Externally tagged, so lines look like
+/// `{"Span":{...}}`, `{"Counter":{...}}`, ….
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A completed span from the ring buffer.
+    Span(SpanRecord),
+    /// Final value of a named counter.
+    Counter { name: String, value: f64 },
+    /// Final value of a named gauge.
+    Gauge { name: String, value: f64 },
+    /// Histogram readout with p50/p95/p99.
+    Histogram(HistogramSummary),
+    /// Number of spans lost to ring-buffer overwrites.
+    DroppedSpans { count: u64 },
+}
+
+/// Flattens a snapshot into the JSONL event stream, spans first.
+pub fn events(snapshot: &Snapshot) -> Vec<Event> {
+    let mut out = Vec::with_capacity(
+        snapshot.spans.len()
+            + snapshot.counters.len()
+            + snapshot.gauges.len()
+            + snapshot.histograms.len()
+            + 1,
+    );
+    out.extend(snapshot.spans.iter().cloned().map(Event::Span));
+    if snapshot.dropped_spans > 0 {
+        out.push(Event::DroppedSpans {
+            count: snapshot.dropped_spans,
+        });
+    }
+    out.extend(
+        snapshot
+            .counters
+            .iter()
+            .map(|(name, value)| Event::Counter {
+                name: name.clone(),
+                value: *value,
+            }),
+    );
+    out.extend(snapshot.gauges.iter().map(|(name, value)| Event::Gauge {
+        name: name.clone(),
+        value: *value,
+    }));
+    out.extend(snapshot.histograms.iter().cloned().map(Event::Histogram));
+    out
+}
+
+/// Writes the snapshot as JSON Lines.
+pub fn write_jsonl<W: Write>(mut w: W, snapshot: &Snapshot) -> io::Result<()> {
+    for event in events(snapshot) {
+        let line = serde_json::to_string(&event).map_err(|e| io::Error::other(e.to_string()))?;
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Writes the snapshot as JSON Lines to `path` (truncating).
+pub fn write_jsonl_file(path: impl AsRef<Path>, snapshot: &Snapshot) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut buf = io::BufWriter::new(file);
+    write_jsonl(&mut buf, snapshot)?;
+    buf.flush()
+}
+
+/// Parses a JSONL telemetry stream back into events. Blank lines are
+/// skipped; malformed lines are errors.
+pub fn read_jsonl(text: &str) -> Result<Vec<Event>, serde::Error> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(serde_json::from_str)
+        .collect()
+}
+
+/// Renders the snapshot as an aligned, human-readable table.
+pub fn summary_table(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== telemetry summary ==");
+    let _ = writeln!(
+        out,
+        "spans recorded: {}{}",
+        snapshot.spans.len(),
+        if snapshot.dropped_spans > 0 {
+            format!(" (+{} dropped)", snapshot.dropped_spans)
+        } else {
+            String::new()
+        }
+    );
+    if !snapshot.counters.is_empty() {
+        let _ = writeln!(out, "-- counters --");
+        for (name, value) in &snapshot.counters {
+            let _ = writeln!(out, "  {name:<36} {value:>14.3}");
+        }
+    }
+    if !snapshot.gauges.is_empty() {
+        let _ = writeln!(out, "-- gauges --");
+        for (name, value) in &snapshot.gauges {
+            let _ = writeln!(out, "  {name:<36} {value:>14.3}");
+        }
+    }
+    if !snapshot.histograms.is_empty() {
+        let _ = writeln!(out, "-- histograms (ms unless noted) --");
+        let _ = writeln!(
+            out,
+            "  {:<36} {:>8} {:>12} {:>12} {:>12} {:>12}",
+            "name", "count", "mean", "p50", "p95", "p99"
+        );
+        for h in &snapshot.histograms {
+            let mean = if h.count == 0 {
+                0.0
+            } else {
+                h.sum / h.count as f64
+            };
+            let _ = writeln!(
+                out,
+                "  {:<36} {:>8} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
+                h.name, h.count, mean, h.p50, h.p95, h.p99
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::FieldValue;
+
+    fn sample_snapshot() -> Snapshot {
+        Snapshot {
+            spans: vec![SpanRecord {
+                id: 1,
+                parent: None,
+                name: "engine.run".into(),
+                start_us: 10,
+                end_us: 900,
+                fields: vec![
+                    ("gc_ms".into(), FieldValue::F64(12.5)),
+                    ("aborted".into(), FieldValue::Bool(false)),
+                    ("cause".into(), FieldValue::Str("none".into())),
+                ],
+            }],
+            dropped_spans: 3,
+            counters: vec![("env.stress_tests".into(), 7.0)],
+            gauges: vec![("env.worst_mins".into(), 12.0)],
+            histograms: vec![HistogramSummary {
+                name: "engine.run_ms".into(),
+                count: 7,
+                sum: 70.0,
+                min: 5.0,
+                max: 20.0,
+                p50: 9.0,
+                p95: 19.0,
+                p99: 20.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let snapshot = sample_snapshot();
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &snapshot).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 5);
+        let events_back = read_jsonl(&text).unwrap();
+        assert_eq!(events_back, events(&snapshot));
+    }
+
+    #[test]
+    fn summary_table_mentions_everything() {
+        let table = summary_table(&sample_snapshot());
+        assert!(table.contains("engine.run_ms"));
+        assert!(table.contains("env.stress_tests"));
+        assert!(table.contains("env.worst_mins"));
+        assert!(table.contains("+3 dropped"));
+    }
+
+    #[test]
+    fn read_rejects_garbage() {
+        assert!(read_jsonl("{\"NotAnEvent\":1}").is_err());
+        assert!(read_jsonl("not json").is_err());
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests: arbitrary telemetry written as JSONL must read back
+//! event-for-event, and histogram summaries must survive the text pivot
+//! with their quantiles intact.
+
+use proptest::prelude::*;
+use relm_obs::{events, read_jsonl, write_jsonl, Event, Obs};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    fn snapshot_round_trips_through_jsonl(
+        counter_a in 0.0..1e6f64,
+        counter_b in 0.0..1e6f64,
+        gauge in -1e6..1e6f64,
+        samples in proptest::array::uniform4(0.001..1e4f64),
+        spans in 1usize..6,
+    ) {
+        let obs = Obs::enabled();
+        obs.add("rt.counter_a", counter_a);
+        obs.add("rt.counter_b", counter_b);
+        obs.gauge("rt.gauge", gauge);
+        for s in samples {
+            obs.record("rt.lat_ms", s);
+        }
+        for i in 0..spans {
+            let _outer = obs.span("rt.outer").with("iter", i as u64);
+            let _inner = obs.span("rt.inner");
+        }
+
+        let snapshot = obs.snapshot();
+        let written = events(&snapshot);
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &snapshot).expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        let read = read_jsonl(&text).expect("read");
+
+        prop_assert_eq!(read.len(), written.len());
+        for (got, want) in read.iter().zip(&written) {
+            prop_assert_eq!(
+                serde_json::to_string(got).unwrap(),
+                serde_json::to_string(want).unwrap()
+            );
+        }
+
+        // The parsed stream still carries the numbers we put in.
+        let mut counters = 0;
+        for e in &read {
+            match e {
+                Event::Counter { name, value } => {
+                    counters += 1;
+                    if name == "rt.counter_a" {
+                        prop_assert!((value - counter_a).abs() < 1e-9);
+                    }
+                }
+                Event::Histogram(h) if h.name == "rt.lat_ms" => {
+                    prop_assert_eq!(h.count, 4);
+                    let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+                    let hi = samples.iter().cloned().fold(0.0, f64::max);
+                    prop_assert!(h.p50 >= lo && h.p50 <= hi);
+                }
+                Event::Span(s) => {
+                    prop_assert!(s.end_us >= s.start_us);
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(counters, 2);
+        // Both halves of each outer/inner pair made it out.
+        let span_count = read.iter().filter(|e| matches!(e, Event::Span(_))).count();
+        prop_assert_eq!(span_count, spans * 2);
+    }
+}

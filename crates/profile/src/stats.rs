@@ -48,12 +48,20 @@ pub struct DerivedStats {
 /// Derives the Table-6 statistics from a profile.
 pub fn derive_stats(profile: &Profile) -> DerivedStats {
     let m_i = Mem::mb(stats::percentile(
-        &profile.containers.iter().map(|c| c.code_overhead.as_mb()).collect::<Vec<_>>(),
+        &profile
+            .containers
+            .iter()
+            .map(|c| c.code_overhead.as_mb())
+            .collect::<Vec<_>>(),
         90.0,
     ));
 
     let m_c = Mem::mb(stats::percentile(
-        &profile.containers.iter().map(|c| c.max_cache_used().as_mb()).collect::<Vec<_>>(),
+        &profile
+            .containers
+            .iter()
+            .map(|c| c.max_cache_used().as_mb())
+            .collect::<Vec<_>>(),
         90.0,
     ));
 
@@ -94,7 +102,11 @@ pub fn derive_stats(profile: &Profile) -> DerivedStats {
         // the high side, yielding sub-optimal (albeit reliable)
         // recommendations.
         let max_old = Mem::mb(stats::percentile(
-            &profile.containers.iter().map(|c| c.peak_old_used.as_mb()).collect::<Vec<_>>(),
+            &profile
+                .containers
+                .iter()
+                .map(|c| c.peak_old_used.as_mb())
+                .collect::<Vec<_>>(),
             90.0,
         ));
         let estimate = (max_old - m_i).clamp_non_negative() / p as f64;
@@ -158,7 +170,9 @@ mod tests {
         trace.cache_used.push(Millis::ZERO, Mem::mb(2300.0));
         trace.running_tasks.push(Millis::ZERO, 2);
         // heap after full GC = 115 (code) + 2300 (cache) + 2*770 (tasks)
-        trace.gc_events.push(full_gc_event(10.0, 115.0 + 2300.0 + 1540.0));
+        trace
+            .gc_events
+            .push(full_gc_event(10.0, 115.0 + 2300.0 + 1540.0));
         trace
     }
 
@@ -221,7 +235,10 @@ mod tests {
         traces[0].code_overhead = Mem::mb(900.0); // one outlier container
         let p = profile(traces);
         let s = derive_stats(&p);
-        assert!(s.m_i.as_mb() < 300.0, "90th percentile should clip the outlier");
+        assert!(
+            s.m_i.as_mb() < 300.0,
+            "90th percentile should clip the outlier"
+        );
     }
 
     #[test]

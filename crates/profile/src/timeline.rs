@@ -12,7 +12,9 @@ pub struct Timeline<T> {
 
 impl<T> Default for Timeline<T> {
     fn default() -> Self {
-        Timeline { samples: Vec::new() }
+        Timeline {
+            samples: Vec::new(),
+        }
     }
 }
 

@@ -32,7 +32,9 @@ pub struct ContainerTrace {
 impl ContainerTrace {
     /// True if this container logged at least one full-GC event.
     pub fn has_full_gc(&self) -> bool {
-        self.gc_events.iter().any(|e| e.kind == relm_jvm::GcKind::Full)
+        self.gc_events
+            .iter()
+            .any(|e| e.kind == relm_jvm::GcKind::Full)
     }
 
     /// Maximum observed cache usage.
@@ -111,7 +113,10 @@ mod tests {
             disk_avg: 2.0,
             cache_hit_ratio: 0.3,
             spill_fraction: 0.0,
-            containers: vec![ContainerTrace { gc_events: events, ..Default::default() }],
+            containers: vec![ContainerTrace {
+                gc_events: events,
+                ..Default::default()
+            }],
             gc_overhead: 0.1,
         }
     }
@@ -119,8 +124,9 @@ mod tests {
     #[test]
     fn full_gc_detection() {
         assert!(!profile_with(vec![event(GcKind::Young, 1.0)]).has_full_gc());
-        assert!(profile_with(vec![event(GcKind::Young, 1.0), event(GcKind::Full, 2.0)])
-            .has_full_gc());
+        assert!(
+            profile_with(vec![event(GcKind::Young, 1.0), event(GcKind::Full, 2.0)]).has_full_gc()
+        );
         assert!(!profile_with(vec![]).has_full_gc());
     }
 

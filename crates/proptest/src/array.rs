@@ -1,0 +1,25 @@
+//! Array strategies mirroring `proptest::array`.
+
+use crate::{Strategy, TestRng};
+
+/// A strategy producing fixed-size arrays by sampling one element strategy
+/// `N` times.
+pub struct UniformArray<S, const N: usize>(S);
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+
+    fn sample(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|_| self.0.sample(rng))
+    }
+}
+
+/// Four independent draws from `strategy`, as a `[T; 4]`.
+pub fn uniform4<S: Strategy>(strategy: S) -> UniformArray<S, 4> {
+    UniformArray(strategy)
+}
+
+/// Generic fixed-size variant, for completeness.
+pub fn uniform<S: Strategy, const N: usize>(strategy: S) -> UniformArray<S, N> {
+    UniformArray(strategy)
+}

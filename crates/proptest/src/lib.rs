@@ -1,0 +1,259 @@
+//! An offline subset of `proptest`: the `proptest!` macro, range strategies,
+//! and `prop_assert*` assertions.
+//!
+//! Differences from upstream (acceptable for this workspace's tests):
+//! sampling is plain uniform draws from a deterministic per-test RNG (the
+//! seed is derived from the test's module path and name, so failures
+//! reproduce exactly), and failing cases are reported but not *shrunk*.
+
+pub mod array;
+
+/// Items `use proptest::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::array;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy, TestRunner,
+    };
+}
+
+/// Runner configuration. Only `cases` is interpreted; the `..Default`
+/// update syntax used by callers works because the struct is exhaustive.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+    /// Accepted for source compatibility with the real crate; this stand-in
+    /// does not shrink, so the value is never consulted.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 1024,
+        }
+    }
+}
+
+/// A deterministic splitmix64 RNG — small, fast, and good enough for test
+/// case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the RNG.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Drives one property: holds the RNG and the case budget.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Creates a runner with a seed derived from `name` (FNV-1a), so each
+    /// test gets a distinct but reproducible stream.
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner {
+            config,
+            rng: TestRng::new(h),
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The RNG for drawing case inputs.
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        (self.start as f64 + rng.unit() * (self.end - self.start) as f64) as f32
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128 - self.start as i128).max(1) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = (*self.end() as i128 - *self.start() as i128 + 1).max(1) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (*self.start() as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A strategy built from a closure (used by [`array::uniform4`] and
+/// available to tests).
+pub struct FnStrategy<T, F: Fn(&mut TestRng) -> T>(pub F);
+
+impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<T, F> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// `prop_assert!` — in this subset, assertion failures panic immediately
+/// (no shrinking), which is exactly what `assert!` does.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// See [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// See [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// The `proptest!` block: expands each contained property into a plain
+/// `#[test]` that loops over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr); ) => {};
+    (config = ($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let mut __runner = $crate::TestRunner::new(
+                __config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__runner.cases() {
+                $(let $arg = $crate::Strategy::sample(&($strategy), __runner.rng());)*
+                let __inputs = format!(
+                    concat!("case ", "{}", $(" ", stringify!($arg), "={:?}",)*),
+                    __case $(, $arg)*
+                );
+                let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || $body
+                ));
+                if let Err(__panic) = __result {
+                    eprintln!("proptest failure in {}: {}", stringify!($name), __inputs);
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+        $crate::__proptest_impl!{ config = ($config); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_respect_bounds(x in 0.0f64..1.0, n in 3usize..12, s in 0u64..1_000) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((3..12).contains(&n));
+            prop_assert!(s < 1_000);
+        }
+
+        #[test]
+        fn uniform4_yields_arrays(a in crate::array::uniform4(0.0f64..1.0)) {
+            prop_assert_eq!(a.len(), 4);
+            prop_assert!(a.iter().all(|v| (0.0..1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic_per_name() {
+        let mut a = TestRunner::new(ProptestConfig::default(), "x::y");
+        let mut b = TestRunner::new(ProptestConfig::default(), "x::y");
+        assert_eq!(a.rng().next_u64(), b.rng().next_u64());
+        let mut c = TestRunner::new(ProptestConfig::default(), "x::z");
+        assert_ne!(a.rng().next_u64(), c.rng().next_u64());
+    }
+}

@@ -1,0 +1,78 @@
+//! JSON facade over the in-tree [`serde`] subset, mirroring the parts of
+//! `serde_json`'s API this workspace uses.
+
+pub use serde::{Error, Map, Number, Value};
+
+/// Serializes a value to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string())
+}
+
+/// Serializes a value to indented JSON text.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(pretty(&value.to_value(), 0))
+}
+
+/// Parses JSON text into any deserializable type.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    T::from_value(&serde::parse(text)?)
+}
+
+/// Converts a value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Rebuilds a typed value from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_value(value)
+}
+
+fn pretty(v: &Value, indent: usize) -> String {
+    let pad = "  ".repeat(indent + 1);
+    let close = "  ".repeat(indent);
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            let inner: Vec<String> = items
+                .iter()
+                .map(|i| format!("{pad}{}", pretty(i, indent + 1)))
+                .collect();
+            format!("[\n{}\n{close}]", inner.join(",\n"))
+        }
+        Value::Object(m) if !m.is_empty() => {
+            let inner: Vec<String> = m
+                .iter()
+                .map(|(k, val)| {
+                    let mut key = String::new();
+                    serde::write_escaped(&mut key, k).expect("string write");
+                    format!("{pad}{key}: {}", pretty(val, indent + 1))
+                })
+                .collect();
+            format!("{{\n{}\n{close}}}", inner.join(",\n"))
+        }
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_text() {
+        let v = vec![1.5f64, 2.25, -3.0];
+        let text = to_string(&v).unwrap();
+        let back: Vec<f64> = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn pretty_output_reparses() {
+        let text = r#"{"a":[1,2],"b":{"c":true},"d":[]}"#;
+        let v: Value = from_str(text).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(v, back);
+    }
+}

@@ -22,8 +22,7 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -59,8 +58,7 @@ pub fn maximize_ei<S: Surrogate>(
     let mut candidates = latin_hypercube(96, dims, rng);
     candidates.extend((0..32).map(|_| (0..dims).map(|_| rng.uniform()).collect::<Vec<f64>>()));
 
-    let mut scored: Vec<(f64, Vec<f64>)> =
-        candidates.into_iter().map(|c| (ei_at(&c), c)).collect();
+    let mut scored: Vec<(f64, Vec<f64>)> = candidates.into_iter().map(|c| (ei_at(&c), c)).collect();
     scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN EI"));
 
     let mut best = scored[0].clone();
@@ -119,7 +117,10 @@ mod tests {
 
         let low_var = expected_improvement(1.2, 0.01, 1.0);
         let high_var = expected_improvement(1.2, 1.0, 1.0);
-        assert!(high_var > low_var, "exploration term must reward uncertainty");
+        assert!(
+            high_var > low_var,
+            "exploration term must reward uncertainty"
+        );
     }
 
     #[test]

@@ -23,21 +23,38 @@ pub struct ForestParams {
 
 impl Default for ForestParams {
     fn default() -> Self {
-        ForestParams { n_trees: 48, max_depth: 10, min_leaf: 2, feature_fraction: 0.75 }
+        ForestParams {
+            n_trees: 48,
+            max_depth: 10,
+            min_leaf: 2,
+            feature_fraction: 0.75,
+        }
     }
 }
 
 #[derive(Debug, Clone)]
 enum Node {
-    Leaf { value: f64 },
-    Split { feature: usize, threshold: f64, left: Box<Node>, right: Box<Node> },
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
 }
 
 impl Node {
     fn predict(&self, x: &[f64]) -> f64 {
         match self {
             Node::Leaf { value } => *value,
-            Node::Split { feature, threshold, left, right } => {
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
                 if x[*feature] <= *threshold {
                     left.predict(x)
                 } else {
@@ -58,7 +75,9 @@ impl Forest {
     /// Fits a forest. Deterministic given the seed.
     pub fn fit(x: &[Vec<f64>], y: &[f64], params: ForestParams, seed: u64) -> Result<Forest> {
         if x.is_empty() || x.len() != y.len() {
-            return Err(Error::Numerical("forest needs matching, non-empty inputs".into()));
+            return Err(Error::Numerical(
+                "forest needs matching, non-empty inputs".into(),
+            ));
         }
         let mut rng = Rng::new(seed ^ 0xBB67_AE85);
         let trees = (0..params.n_trees.max(1))
@@ -203,7 +222,10 @@ mod tests {
         for _ in 0..100 {
             let p = [rng.uniform() * 2.0 - 0.5, rng.uniform()];
             let m = forest.predict_mean(&p);
-            assert!(m >= lo - 1e-9 && m <= hi + 1e-9, "prediction {m} outside [{lo}, {hi}]");
+            assert!(
+                m >= lo - 1e-9 && m <= hi + 1e-9,
+                "prediction {m} outside [{lo}, {hi}]"
+            );
         }
     }
 
@@ -214,8 +236,10 @@ mod tests {
         let mut rng = Rng::new(5);
         let mut x: Vec<Vec<f64>> = (0..40).map(|_| vec![rng.uniform() * 0.2]).collect();
         x.extend((0..40).map(|_| vec![0.8 + rng.uniform() * 0.2]));
-        let y: Vec<f64> =
-            x.iter().map(|v| if v[0] > 0.5 { 10.0 } else { 0.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|v| if v[0] > 0.5 { 10.0 } else { 0.0 })
+            .collect();
         let forest = Forest::fit(&x, &y, ForestParams::default(), 5).unwrap();
         let (_, var_core) = forest.predict(&[0.1]);
         let (_, var_gap) = forest.predict(&[0.5]);

@@ -59,7 +59,9 @@ impl Gp {
     /// likelihood. `x` rows must share a dimensionality; `y.len() == x.len()`.
     pub fn fit(x: Vec<Vec<f64>>, y: &[f64], seed: u64) -> Result<Gp> {
         if x.is_empty() || x.len() != y.len() {
-            return Err(Error::Numerical("GP needs matching, non-empty inputs".into()));
+            return Err(Error::Numerical(
+                "GP needs matching, non-empty inputs".into(),
+            ));
         }
         let dims = x[0].len();
         if x.iter().any(|r| r.len() != dims) {
@@ -117,7 +119,14 @@ impl Gp {
         let k = gram(&x, &best);
         let chol = Cholesky::with_jitter(&k, 1e-8)?;
         let alpha = chol.solve(&ys);
-        Ok(Gp { x, params: best, chol, alpha, y_mean, y_scale })
+        Ok(Gp {
+            x,
+            params: best,
+            chol,
+            alpha,
+            y_mean,
+            y_scale,
+        })
     }
 
     /// Posterior mean and variance at `x` (Equation 6), in the original
@@ -171,9 +180,7 @@ pub fn log_marginal_likelihood(x: &[Vec<f64>], ys: &[f64], params: &GpParams) ->
     let chol = Cholesky::new(&k)?;
     let alpha = chol.solve(ys);
     let n = ys.len() as f64;
-    Ok(-0.5 * dot(ys, &alpha)
-        - 0.5 * chol.log_det()
-        - 0.5 * n * (2.0 * std::f64::consts::PI).ln())
+    Ok(-0.5 * dot(ys, &alpha) - 0.5 * chol.log_det() - 0.5 * n * (2.0 * std::f64::consts::PI).ln())
 }
 
 #[cfg(test)]
@@ -202,7 +209,10 @@ mod tests {
         let gp = Gp::fit(x, &y, 2).unwrap();
         let (_, var_near) = gp.predict(&[0.3]);
         let (_, var_far) = gp.predict(&[0.95]);
-        assert!(var_far > var_near, "far variance {var_far} <= near {var_near}");
+        assert!(
+            var_far > var_near,
+            "far variance {var_far} <= near {var_near}"
+        );
     }
 
     #[test]
@@ -219,8 +229,9 @@ mod tests {
     #[test]
     fn fits_multidimensional_smooth_functions() {
         let mut rng = Rng::new(7);
-        let x: Vec<Vec<f64>> =
-            (0..40).map(|_| vec![rng.uniform(), rng.uniform(), rng.uniform()]).collect();
+        let x: Vec<Vec<f64>> = (0..40)
+            .map(|_| vec![rng.uniform(), rng.uniform(), rng.uniform()])
+            .collect();
         let f = |v: &[f64]| 3.0 * v[0] - 2.0 * v[1] * v[1] + (v[2] * 3.0).sin();
         let y: Vec<f64> = x.iter().map(|v| f(v)).collect();
         let gp = Gp::fit(x, &y, 4).unwrap();
@@ -232,7 +243,11 @@ mod tests {
             err += (m - f(&p)).abs();
             count += 1;
         }
-        assert!(err / (count as f64) < 0.5, "mean abs error too high: {}", err / count as f64);
+        assert!(
+            err / (count as f64) < 0.5,
+            "mean abs error too high: {}",
+            err / count as f64
+        );
     }
 
     #[test]

@@ -13,7 +13,10 @@ pub struct Matrix {
 impl Matrix {
     /// Creates an `n × n` zero matrix.
     pub fn zeros(n: usize) -> Self {
-        Matrix { n, data: vec![0.0; n * n] }
+        Matrix {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     /// Dimension.
@@ -85,9 +88,8 @@ impl Cholesky {
         let mut jitter = base_jitter;
         for _ in 0..8 {
             let n = a.n();
-            let jittered = Matrix::from_fn(n, |i, j| {
-                a.get(i, j) + if i == j { jitter } else { 0.0 }
-            });
+            let jittered =
+                Matrix::from_fn(n, |i, j| a.get(i, j) + if i == j { jitter } else { 0.0 });
             if let Ok(c) = Cholesky::new(&jittered) {
                 return Ok(c);
             }
@@ -153,7 +155,7 @@ mod tests {
         let b = [[1.0, 2.0, 0.0], [0.0, 1.0, 1.0], [1.0, 0.0, 1.0]];
         Matrix::from_fn(3, |i, j| {
             let mut s = 0.0;
-            for (_, row) in b.iter().enumerate() {
+            for row in b.iter() {
                 s += row[i] * row[j];
             }
             s + if i == j { 1.0 } else { 0.0 }

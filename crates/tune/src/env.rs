@@ -4,8 +4,13 @@
 use crate::space::ConfigSpace;
 use relm_app::{AppSpec, Engine, RunResult};
 use relm_common::{Mem, MemoryConfig, Millis};
+use relm_obs::Obs;
 use relm_profile::Profile;
 use serde::{Deserialize, Serialize};
+
+/// Multiplier applied to the worst observed runtime when scoring an
+/// aborted run (§6.1).
+pub const ABORT_PENALTY_FACTOR: f64 = 2.0;
 
 /// One evaluated configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -29,15 +34,41 @@ pub struct TuningEnv {
     history: Vec<Observation>,
     next_seed: u64,
     worst_mins: f64,
+    obs: Obs,
 }
 
 impl TuningEnv {
     /// Creates an environment. `base_seed` makes the whole tuning session
     /// reproducible; policies repeated with different base seeds produce the
     /// run-to-run variability of Figures 18–20.
+    ///
+    /// The environment adopts the engine's observability handle, so a
+    /// single `Engine::with_obs` call instruments the whole stack.
     pub fn new(engine: Engine, app: AppSpec, base_seed: u64) -> Self {
         let space = ConfigSpace::for_app(engine.cluster(), &app);
-        TuningEnv { engine, app, space, history: Vec::new(), next_seed: base_seed, worst_mins: 0.0 }
+        let obs = engine.obs().clone();
+        TuningEnv {
+            engine,
+            app,
+            space,
+            history: Vec::new(),
+            next_seed: base_seed,
+            worst_mins: 0.0,
+            obs,
+        }
+    }
+
+    /// Replaces the observability handle (also propagated to future runs
+    /// recorded by this environment, not the engine's own spans).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The observability handle shared by this environment and the tuners
+    /// driving it.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The configuration space.
@@ -57,9 +88,16 @@ impl TuningEnv {
 
     fn score(&mut self, result: &RunResult) -> f64 {
         let mins = result.runtime_mins();
-        let score = if result.aborted { (2.0 * self.worst_mins).max(mins * 2.0) } else { mins };
-        self.worst_mins = self.worst_mins.max(score);
-        score
+        // `worst_mins` tracks the worst *observed* runtime, never a
+        // penalized score — otherwise consecutive aborts would compound the
+        // ×2 penalty and blow up the objective scale.
+        self.worst_mins = self.worst_mins.max(mins);
+        if result.aborted {
+            self.obs.inc("env.abort_penalties");
+            ABORT_PENALTY_FACTOR * self.worst_mins
+        } else {
+            mins
+        }
     }
 
     /// Runs a stress test: executes the application under `config`, scores
@@ -74,9 +112,23 @@ impl TuningEnv {
     pub fn evaluate_profiled(&mut self, config: &MemoryConfig) -> (Observation, Profile) {
         let seed = self.next_seed;
         self.next_seed = self.next_seed.wrapping_add(0x9E37).wrapping_mul(3) | 1;
+        let mut span = self.obs.span("env.evaluate");
         let (result, profile) = self.engine.run(&self.app, config, seed);
         let score = self.score(&result);
-        let obs = Observation { config: *config, result, score_mins: score };
+        if span.is_recording() {
+            span.set("seed", seed);
+            span.set("score_mins", score);
+            span.set("aborted", result.aborted);
+            self.obs.inc("env.stress_tests");
+            self.obs.add("env.stress_time_ms", result.runtime.as_ms());
+            self.obs.record("env.score_mins", score);
+        }
+        drop(span);
+        let obs = Observation {
+            config: *config,
+            result,
+            score_mins: score,
+        };
         self.history.push(obs.clone());
         (obs, profile)
     }
@@ -173,7 +225,44 @@ mod tests {
                 );
             }
         }
-        assert!(saw_abort, "expected the hostile config to abort at least once");
+        assert!(
+            saw_abort,
+            "expected the hostile config to abort at least once"
+        );
+    }
+
+    #[test]
+    fn abort_penalty_does_not_compound_across_consecutive_aborts() {
+        let mut env = TuningEnv::new(
+            Engine::new(ClusterSpec::cluster_a()),
+            relm_workloads::pagerank(),
+            3,
+        );
+        let hostile = MemoryConfig {
+            containers_per_node: 2,
+            heap: ClusterSpec::cluster_a().heap_for(2),
+            task_concurrency: 8,
+            cache_fraction: 0.8,
+            shuffle_fraction: 0.0,
+            new_ratio: 3,
+            survivor_ratio: 8,
+        };
+        for _ in 0..8 {
+            env.evaluate(&hostile);
+        }
+        // Every penalized score must be exactly 2× the worst runtime seen
+        // up to that point; feeding penalized scores back into the
+        // baseline would instead double it on every consecutive abort.
+        let mut worst = 0.0f64;
+        let mut aborts = 0;
+        for o in env.history() {
+            worst = worst.max(o.result.runtime_mins());
+            if o.result.aborted {
+                aborts += 1;
+                assert_eq!(o.score_mins, ABORT_PENALTY_FACTOR * worst);
+            }
+        }
+        assert!(aborts >= 2, "hostile config should abort repeatedly");
     }
 
     #[test]

@@ -7,8 +7,12 @@
 //! Concurrency to `spark.executor.cores`, and `NewRatio`/`SurvivorRatio` to
 //! the executor's JVM options.
 
+use crate::env::TuningEnv;
+use crate::tuner::Recommendation;
 use relm_cluster::ClusterSpec;
 use relm_common::MemoryConfig;
+use relm_obs::HistogramSummary;
+use serde::{Deserialize, Serialize};
 
 /// One `key = value` property.
 pub type Property = (String, String);
@@ -18,7 +22,11 @@ pub fn to_spark_properties(config: &MemoryConfig, cluster: &ClusterSpec) -> Vec<
     let executors = cluster.total_containers(config.containers_per_node);
     let overhead = cluster.container(config.containers_per_node).phys_cap - config.heap;
     let unified = config.unified_fraction();
-    let storage_fraction = if unified > 0.0 { config.cache_fraction / unified } else { 0.5 };
+    let storage_fraction = if unified > 0.0 {
+        config.cache_fraction / unified
+    } else {
+        0.5
+    };
 
     vec![
         ("spark.executor.instances".into(), executors.to_string()),
@@ -30,9 +38,15 @@ pub fn to_spark_properties(config: &MemoryConfig, cluster: &ClusterSpec) -> Vec<
             "spark.yarn.executor.memoryOverhead".into(),
             format!("{}m", overhead.as_mb().round() as u64),
         ),
-        ("spark.executor.cores".into(), config.task_concurrency.to_string()),
+        (
+            "spark.executor.cores".into(),
+            config.task_concurrency.to_string(),
+        ),
         ("spark.memory.fraction".into(), format!("{unified:.2}")),
-        ("spark.memory.storageFraction".into(), format!("{storage_fraction:.2}")),
+        (
+            "spark.memory.storageFraction".into(),
+            format!("{storage_fraction:.2}"),
+        ),
         (
             "spark.executor.extraJavaOptions".into(),
             format!(
@@ -49,6 +63,67 @@ pub fn to_spark_defaults_conf(config: &MemoryConfig, cluster: &ClusterSpec) -> S
         .into_iter()
         .map(|(k, v)| format!("{k} {v}\n"))
         .collect()
+}
+
+/// Cost accounting of one tuning session, embedded in every
+/// [`SessionExport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionMetrics {
+    /// Stress tests the session ran.
+    pub evaluations: usize,
+    /// How many of those aborted (and were penalty-scored).
+    pub aborts: usize,
+    /// Total simulated stress-test wall-clock, in milliseconds.
+    pub stress_time_ms: f64,
+    /// Decision-latency histograms (`*.fit_ms`, `*.acq_ms`,
+    /// `*.decide_ms`, …) captured from the environment's observability
+    /// handle. Empty when observability was disabled.
+    pub decision_latency: Vec<HistogramSummary>,
+}
+
+impl SessionMetrics {
+    /// Gathers the metrics from a finished environment. Evaluations,
+    /// aborts, and stress time come from the evaluation history (always
+    /// available); decision latencies come from the [`relm_obs::Obs`]
+    /// handle when one was attached.
+    pub fn from_env(env: &TuningEnv) -> Self {
+        let aborts = env.history().iter().filter(|o| o.result.aborted).count();
+        let decision_latency = env
+            .obs()
+            .snapshot()
+            .histograms
+            .into_iter()
+            .filter(|h| {
+                !h.name.starts_with("engine.")
+                    && !h.name.starts_with("env.")
+                    && h.name.ends_with("_ms")
+            })
+            .collect();
+        SessionMetrics {
+            evaluations: env.evaluations(),
+            aborts,
+            stress_time_ms: env.stress_time().as_ms(),
+            decision_latency,
+        }
+    }
+}
+
+/// A complete tuning-session export: the recommendation, its rendered
+/// Spark properties, and the session's cost metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionExport {
+    pub recommendation: Recommendation,
+    pub properties: Vec<Property>,
+    pub metrics: SessionMetrics,
+}
+
+/// Packages a finished session for serialization.
+pub fn session_export(env: &TuningEnv, rec: &Recommendation) -> SessionExport {
+    SessionExport {
+        recommendation: rec.clone(),
+        properties: to_spark_properties(&rec.config, env.engine().cluster()),
+        metrics: SessionMetrics::from_env(env),
+    }
 }
 
 #[cfg(test)]
@@ -103,6 +178,44 @@ mod tests {
         let conf = to_spark_defaults_conf(&config(), &ClusterSpec::cluster_a());
         assert_eq!(conf.lines().count(), 7);
         assert!(conf.contains("spark.executor.memory 2202m"));
+    }
+
+    #[test]
+    fn session_export_embeds_metrics_snapshot() {
+        use crate::policies::RandomSearch;
+        use crate::tuner::Tuner;
+        let engine =
+            relm_app::Engine::new(ClusterSpec::cluster_a()).with_obs(relm_obs::Obs::enabled());
+        let mut env = crate::env::TuningEnv::new(engine, relm_workloads::wordcount(), 9);
+        let rec = RandomSearch::new(4, 2).tune(&mut env).unwrap();
+        let export = session_export(&env, &rec);
+        assert_eq!(export.metrics.evaluations, 4);
+        assert_eq!(export.metrics.stress_time_ms, env.stress_time().as_ms());
+        assert!(
+            export
+                .metrics
+                .decision_latency
+                .iter()
+                .any(|h| h.name == "random.decide_ms"),
+            "decision latency histograms missing: {:?}",
+            export.metrics.decision_latency
+        );
+        assert!(!export.properties.is_empty());
+        let text = serde_json::to_string(&export).unwrap();
+        let back: SessionExport = serde_json::from_str(&text).unwrap();
+        assert_eq!(export, back);
+    }
+
+    #[test]
+    fn session_export_works_without_observability() {
+        use crate::policies::RandomSearch;
+        use crate::tuner::Tuner;
+        let engine = relm_app::Engine::new(ClusterSpec::cluster_a());
+        let mut env = crate::env::TuningEnv::new(engine, relm_workloads::wordcount(), 9);
+        let rec = RandomSearch::new(3, 2).tune(&mut env).unwrap();
+        let export = session_export(&env, &rec);
+        assert_eq!(export.metrics.evaluations, 3);
+        assert!(export.metrics.decision_latency.is_empty());
     }
 
     #[test]

@@ -21,9 +21,11 @@ pub mod rrs;
 pub mod space;
 pub mod tuner;
 
-pub use env::{Observation, TuningEnv};
+pub use env::{Observation, TuningEnv, ABORT_PENALTY_FACTOR};
+pub use export::{
+    session_export, to_spark_defaults_conf, to_spark_properties, SessionExport, SessionMetrics,
+};
 pub use policies::{DefaultPolicy, ExhaustiveSearch, RandomSearch};
-pub use export::{to_spark_defaults_conf, to_spark_properties};
 pub use rrs::RecursiveRandomSearch;
 pub use space::{ConfigSpace, DominantPool};
 pub use tuner::{recommendation, Recommendation, Tuner};

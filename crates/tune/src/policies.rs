@@ -17,7 +17,14 @@ impl Tuner for DefaultPolicy {
     }
 
     fn tune(&mut self, env: &mut TuningEnv) -> Result<Recommendation> {
-        let config = max_resource_allocation(env.engine().cluster(), env.app());
+        let obs = env.obs().clone();
+        let _session = obs.span("tuner.tune").with("policy", self.name());
+        let t0 = std::time::Instant::now();
+        let config = {
+            let _decide = obs.span("default.decide");
+            max_resource_allocation(env.engine().cluster(), env.app())
+        };
+        obs.record("default.decide_ms", t0.elapsed().as_secs_f64() * 1e3);
         Ok(recommendation(self.name(), env, config))
     }
 }
@@ -33,7 +40,15 @@ impl Tuner for ExhaustiveSearch {
     }
 
     fn tune(&mut self, env: &mut TuningEnv) -> Result<Recommendation> {
-        for config in env.space().grid() {
+        let obs = env.obs().clone();
+        let _session = obs.span("tuner.tune").with("policy", self.name());
+        let t0 = std::time::Instant::now();
+        let grid = {
+            let _decide = obs.span("exhaustive.decide").with("kind", "grid");
+            env.space().grid()
+        };
+        obs.record("exhaustive.decide_ms", t0.elapsed().as_secs_f64() * 1e3);
+        for config in grid {
             env.evaluate(&config);
         }
         let best = env
@@ -55,7 +70,10 @@ pub struct RandomSearch {
 impl RandomSearch {
     /// Creates a random search with the given stress-test budget.
     pub fn new(budget: usize, seed: u64) -> Self {
-        RandomSearch { budget, rng: Rng::new(seed) }
+        RandomSearch {
+            budget,
+            rng: Rng::new(seed),
+        }
     }
 }
 
@@ -65,14 +83,21 @@ impl Tuner for RandomSearch {
     }
 
     fn tune(&mut self, env: &mut TuningEnv) -> Result<Recommendation> {
-        for _ in 0..self.budget {
-            let x = [
-                self.rng.uniform(),
-                self.rng.uniform(),
-                self.rng.uniform(),
-                self.rng.uniform(),
-            ];
-            let config = env.space().decode(&x);
+        let obs = env.obs().clone();
+        let _session = obs.span("tuner.tune").with("policy", self.name());
+        for iter in 0..self.budget {
+            let t0 = std::time::Instant::now();
+            let config = {
+                let _decide = obs.span("random.decide").with("iter", iter);
+                let x = [
+                    self.rng.uniform(),
+                    self.rng.uniform(),
+                    self.rng.uniform(),
+                    self.rng.uniform(),
+                ];
+                env.space().decode(&x)
+            };
+            obs.record("random.decide_ms", t0.elapsed().as_secs_f64() * 1e3);
             env.evaluate(&config);
         }
         let best = env

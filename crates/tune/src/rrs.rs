@@ -37,6 +37,8 @@ impl Tuner for RecursiveRandomSearch {
     }
 
     fn tune(&mut self, env: &mut TuningEnv) -> Result<Recommendation> {
+        let telemetry = env.obs().clone();
+        let _session = telemetry.span("tuner.tune").with("policy", self.name());
         let dims = 4;
         let mut remaining = self.budget;
         let mut center = vec![0.5; dims];
@@ -47,14 +49,20 @@ impl Tuner for RecursiveRandomSearch {
         while remaining > 0 {
             let mut round_best: Option<(f64, Vec<f64>)> = None;
             for _ in 0..self.samples_per_round.min(remaining) {
-                let x: Vec<f64> = (0..dims)
-                    .map(|d| {
-                        let lo = (center[d] - width / 2.0).max(0.0);
-                        let hi = (center[d] + width / 2.0).min(1.0);
-                        self.rng.uniform_in(lo, hi)
-                    })
-                    .collect();
-                let config = env.space().decode(&x);
+                let t0 = std::time::Instant::now();
+                let (x, config) = {
+                    let _decide = telemetry.span("rrs.decide").with("width", width);
+                    let x: Vec<f64> = (0..dims)
+                        .map(|d| {
+                            let lo = (center[d] - width / 2.0).max(0.0);
+                            let hi = (center[d] + width / 2.0).min(1.0);
+                            self.rng.uniform_in(lo, hi)
+                        })
+                        .collect();
+                    let config = env.space().decode(&x);
+                    (x, config)
+                };
+                telemetry.record("rrs.decide_ms", t0.elapsed().as_secs_f64() * 1e3);
                 let obs = env.evaluate(&config);
                 remaining -= 1;
                 if round_best.as_ref().is_none_or(|(s, _)| obs.score_mins < *s) {
@@ -113,7 +121,10 @@ mod tests {
         let engine = Engine::new(ClusterSpec::cluster_a());
         let run = |seed| {
             let mut env = TuningEnv::new(engine.clone(), wordcount(), seed);
-            RecursiveRandomSearch::new(8, seed).tune(&mut env).unwrap().config
+            RecursiveRandomSearch::new(8, seed)
+                .tune(&mut env)
+                .unwrap()
+                .config
         };
         assert_eq!(run(7), run(7));
     }
@@ -131,6 +142,9 @@ mod tests {
                 improved += 1;
             }
         }
-        assert!(improved >= 3, "RRS should usually improve on its first draw");
+        assert!(
+            improved >= 3,
+            "RRS should usually improve on its first draw"
+        );
     }
 }

@@ -44,15 +44,22 @@ impl ConfigSpace {
     /// Builds the space for an application: the dominant pool follows the
     /// application's character, mirroring the paper's per-application choice.
     pub fn for_app(cluster: &ClusterSpec, app: &AppSpec) -> Self {
-        let dominant =
-            if app.uses_cache() { DominantPool::Cache } else { DominantPool::Shuffle };
+        let dominant = if app.uses_cache() {
+            DominantPool::Cache
+        } else {
+            DominantPool::Shuffle
+        };
         let minor_fraction = match dominant {
             DominantPool::Cache if app.uses_shuffle_memory() => 0.1,
             DominantPool::Cache => 0.0,
             DominantPool::Shuffle if app.uses_cache() => 0.1,
             DominantPool::Shuffle => 0.0,
         };
-        ConfigSpace { cluster: cluster.clone(), dominant, minor_fraction }
+        ConfigSpace {
+            cluster: cluster.clone(),
+            dominant,
+            minor_fraction,
+        }
     }
 
     /// The cluster the space is defined over.
@@ -110,8 +117,8 @@ impl ConfigSpace {
             DominantPool::Shuffle => config.shuffle_fraction,
         };
         let x2 = ((capacity - CAP_MIN) / (CAP_MAX - CAP_MIN)).clamp(0.0, 1.0);
-        let x3 = (config.new_ratio.clamp(NR_MIN, NR_MAX) - NR_MIN) as f64
-            / (NR_MAX - NR_MIN) as f64;
+        let x3 =
+            (config.new_ratio.clamp(NR_MIN, NR_MAX) - NR_MIN) as f64 / (NR_MAX - NR_MIN) as f64;
         [x0, x1, x2, x3]
     }
 
@@ -163,8 +170,7 @@ mod tests {
     #[test]
     fn dominant_pool_follows_application() {
         assert_eq!(cache_space().dominant(), DominantPool::Cache);
-        let shuffle =
-            ConfigSpace::for_app(&ClusterSpec::cluster_a(), &sortbykey());
+        let shuffle = ConfigSpace::for_app(&ClusterSpec::cluster_a(), &sortbykey());
         assert_eq!(shuffle.dominant(), DominantPool::Shuffle);
         let wc = ConfigSpace::for_app(&ClusterSpec::cluster_a(), &wordcount());
         assert_eq!(wc.dominant(), DominantPool::Shuffle);
@@ -193,7 +199,9 @@ mod tests {
             let t = i as f64 / 199.0;
             let cfg = space.decode(&[t, 1.0 - t, t, (t * 7.0) % 1.0]);
             assert!(cfg.validate().is_ok(), "invalid config from decode: {cfg}");
-            let max_p = space.cluster().max_task_concurrency(cfg.containers_per_node);
+            let max_p = space
+                .cluster()
+                .max_task_concurrency(cfg.containers_per_node);
             assert!(cfg.task_concurrency <= max_p);
         }
     }
@@ -201,7 +209,11 @@ mod tests {
     #[test]
     fn encode_decode_round_trip() {
         let space = cache_space();
-        for x in [[0.1, 0.2, 0.3, 0.4], [0.9, 0.8, 0.7, 0.6], [0.5, 0.0, 1.0, 0.25]] {
+        for x in [
+            [0.1, 0.2, 0.3, 0.4],
+            [0.9, 0.8, 0.7, 0.6],
+            [0.5, 0.0, 1.0, 0.25],
+        ] {
             let cfg = space.decode(&x);
             let x2 = space.encode(&cfg);
             let cfg2 = space.decode(&x2);
@@ -233,8 +245,7 @@ mod tests {
         let km = cache_space().decode(&[0.0; 4]);
         assert_eq!(km.shuffle_fraction, 0.0);
         // SortByKey uses no cache: minor pool is 0.
-        let sbk = ConfigSpace::for_app(&ClusterSpec::cluster_a(), &sortbykey())
-            .decode(&[0.0; 4]);
+        let sbk = ConfigSpace::for_app(&ClusterSpec::cluster_a(), &sortbykey()).decode(&[0.0; 4]);
         assert_eq!(sbk.cache_fraction, 0.0);
     }
 }

@@ -28,11 +28,7 @@ pub trait Tuner {
 
 /// Helper for policies: package the current environment state into a
 /// [`Recommendation`].
-pub fn recommendation(
-    policy: &str,
-    env: &TuningEnv,
-    config: MemoryConfig,
-) -> Recommendation {
+pub fn recommendation(policy: &str, env: &TuningEnv, config: MemoryConfig) -> Recommendation {
     Recommendation {
         policy: policy.to_owned(),
         config,

@@ -64,7 +64,9 @@ pub fn kmeans() -> AppSpec {
     load.cache_block_per_task = Mem::mb(140.0); // 33.6 GB total demand
 
     let mut iterate = StageSpec::new("km-iterate", 240, Mem::mb(140.0));
-    iterate.input = InputSource::Cached { miss_penalty_ms_per_mb: 30.0 };
+    iterate.input = InputSource::Cached {
+        miss_penalty_ms_per_mb: 30.0,
+    };
     iterate.cpu_ms_per_mb = 18.0;
     iterate.unmanaged_per_task = Mem::mb(200.0);
     iterate.churn_factor = 1.6;
@@ -95,7 +97,9 @@ pub fn svm_scaled(scale: f64) -> AppSpec {
     load.cache_block_per_task = Mem::mb(32.0); // 16 GB total at scale 1
 
     let mut iterate = StageSpec::new("svm-iterate", tasks, Mem::mb(32.0));
-    iterate.input = InputSource::Cached { miss_penalty_ms_per_mb: 35.0 };
+    iterate.input = InputSource::Cached {
+        miss_penalty_ms_per_mb: 35.0,
+    };
     iterate.cpu_ms_per_mb = 20.0;
     iterate.unmanaged_per_task = Mem::mb(120.0);
     iterate.churn_factor = 1.5;
@@ -130,7 +134,9 @@ pub fn pagerank() -> AppSpec {
     coalesce.cache_block_per_task = Mem::mb(1280.0); // 61.4 GB total demand
 
     let mut iterate = StageSpec::new("pr-iterate", 48, Mem::mb(1280.0));
-    iterate.input = InputSource::Cached { miss_penalty_ms_per_mb: 12.0 };
+    iterate.input = InputSource::Cached {
+        miss_penalty_ms_per_mb: 12.0,
+    };
     iterate.cpu_ms_per_mb = 8.0;
     iterate.unmanaged_per_task = Mem::mb(400.0);
     iterate.churn_factor = 1.2;
@@ -158,7 +164,10 @@ mod tests {
         let suite = benchmark_suite();
         assert_eq!(suite.len(), 5);
         let names: Vec<&str> = suite.iter().map(|a| a.name.as_str()).collect();
-        assert_eq!(names, vec!["WordCount", "SortByKey", "K-means", "SVM", "PageRank"]);
+        assert_eq!(
+            names,
+            vec!["WordCount", "SortByKey", "K-means", "SVM", "PageRank"]
+        );
     }
 
     #[test]

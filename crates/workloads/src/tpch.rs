@@ -56,15 +56,21 @@ pub fn tpch_query(query: u32) -> AppSpec {
     let mut remaining = shuffle_total;
     for j in 0..joins {
         let join_tasks = 64;
-        let mut join =
-            StageSpec::new(&format!("q{query}-join{}", j + 1), join_tasks, remaining / 64.0);
+        let mut join = StageSpec::new(
+            &format!("q{query}-join{}", j + 1),
+            join_tasks,
+            remaining / 64.0,
+        );
         join.input = InputSource::ShuffleRead;
         join.uses_shuffle_memory = true;
         join.cpu_ms_per_mb = cpu_w * 0.8;
         join.unmanaged_per_task = (remaining / 64.0 * 0.6).max(Mem::mb(96.0));
         join.churn_factor = 2.0;
-        join.shuffle_write_per_task =
-            if j + 1 < joins { remaining / 64.0 * 0.4 } else { Mem::ZERO };
+        join.shuffle_write_per_task = if j + 1 < joins {
+            remaining / 64.0 * 0.4
+        } else {
+            Mem::ZERO
+        };
         remaining = remaining * 0.4;
         stages.push(join);
     }
@@ -96,11 +102,21 @@ mod tests {
     fn query_shapes_vary() {
         let q6 = tpch_query(6);
         let q9 = tpch_query(9);
-        assert!(q9.stages.len() > q6.stages.len() || {
-            let s9: f64 = q9.stages.iter().map(|s| s.shuffle_write_per_task.as_mb()).sum();
-            let s6: f64 = q6.stages.iter().map(|s| s.shuffle_write_per_task.as_mb()).sum();
-            s9 > s6
-        });
+        assert!(
+            q9.stages.len() > q6.stages.len() || {
+                let s9: f64 = q9
+                    .stages
+                    .iter()
+                    .map(|s| s.shuffle_write_per_task.as_mb())
+                    .sum();
+                let s6: f64 = q6
+                    .stages
+                    .iter()
+                    .map(|s| s.shuffle_write_per_task.as_mb())
+                    .sum();
+                s9 > s6
+            }
+        );
     }
 
     #[test]

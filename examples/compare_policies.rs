@@ -23,7 +23,9 @@ fn pick_app(name: &str) -> AppSpec {
 }
 
 fn main() {
-    let app_name = std::env::args().nth(1).unwrap_or_else(|| "sortbykey".to_owned());
+    let app_name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "sortbykey".to_owned());
     let app = pick_app(&app_name);
     let cluster = ClusterSpec::cluster_a();
     let engine = Engine::new(cluster.clone());

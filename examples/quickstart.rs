@@ -53,5 +53,8 @@ fn main() {
 
     // 5. The last mile: the concrete Spark/YARN/JVM settings to apply.
     println!("\nspark-defaults.conf fragment:");
-    print!("{}", relm::tune::to_spark_defaults_conf(&rec.config, &cluster));
+    print!(
+        "{}",
+        relm::tune::to_spark_defaults_conf(&rec.config, &cluster)
+    );
 }

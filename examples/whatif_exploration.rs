@@ -37,7 +37,10 @@ fn main() {
     let app = svm();
     let default = max_resource_allocation(&cluster, &app);
     for p in [1u32, 2, 4, 8] {
-        let cfg = MemoryConfig { task_concurrency: p, ..default };
+        let cfg = MemoryConfig {
+            task_concurrency: p,
+            ..default
+        };
         let (r, _) = engine.run(&app, &cfg, 5);
         println!(
             "  p={p}: {:>5.1} min  cpu {:>4.0}%  gc {:>4.1}%",
@@ -51,14 +54,22 @@ fn main() {
     let app = kmeans();
     let default = max_resource_allocation(&cluster, &app);
     for nr in [1u32, 2, 5] {
-        let cfg = MemoryConfig { cache_fraction: 0.6, new_ratio: nr, ..default };
+        let cfg = MemoryConfig {
+            cache_fraction: 0.6,
+            new_ratio: nr,
+            ..default
+        };
         let old = cfg.old_capacity();
         let (r, _) = engine.run(&app, &cfg, 5);
         println!(
             "  NR={nr} (Old={old}): {:>5.1} min, gc {:>4.1}%  {}",
             r.runtime_mins(),
             r.gc_overhead * 100.0,
-            if old < cfg.cache_capacity() { "<- cache does not fit Old" } else { "" }
+            if old < cfg.cache_capacity() {
+                "<- cache does not fit Old"
+            } else {
+                ""
+            }
         );
     }
 
@@ -66,7 +77,11 @@ fn main() {
     let app = sortbykey();
     let default = max_resource_allocation(&cluster, &app);
     for sc in [0.1, 0.3, 0.6, 0.8] {
-        let cfg = MemoryConfig { shuffle_fraction: sc, cache_fraction: 0.0, ..default };
+        let cfg = MemoryConfig {
+            shuffle_fraction: sc,
+            cache_fraction: 0.0,
+            ..default
+        };
         let (r, _) = engine.run(&app, &cfg, 5);
         println!(
             "  shuffle={sc:.1}: {:>5.1} min, spill fraction {:>4.2}, gc {:>4.1}%",

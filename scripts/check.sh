@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local gate: formatting, lints, build, and the test suite.
+# Run from the workspace root before sending a change for review.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (-D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --workspace --release
+
+echo "== cargo test =="
+cargo test --workspace --release -q
+
+echo "All checks passed."

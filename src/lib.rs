@@ -48,11 +48,11 @@ pub mod prelude {
     pub use relm_ddpg::DdpgTuner;
     pub use relm_profile::{derive_stats, DerivedStats, Profile};
     pub use relm_tune::{
-        ConfigSpace, DefaultPolicy, ExhaustiveSearch, Observation, RandomSearch,
-        Recommendation, RecursiveRandomSearch, Tuner, TuningEnv,
+        ConfigSpace, DefaultPolicy, ExhaustiveSearch, Observation, RandomSearch, Recommendation,
+        RecursiveRandomSearch, Tuner, TuningEnv,
     };
     pub use relm_workloads::{
-        benchmark_suite, kmeans, max_resource_allocation, pagerank, sortbykey, svm,
-        svm_scaled, tpch_queries, tpch_query, wordcount,
+        benchmark_suite, kmeans, max_resource_allocation, pagerank, sortbykey, svm, svm_scaled,
+        tpch_queries, tpch_query, wordcount,
     };
 }

@@ -14,10 +14,19 @@ fn relm_is_safe_on_every_benchmark_application() {
         let mut env = TuningEnv::new(engine.clone(), app.clone(), 11);
         let mut relm = RelmTuner::default();
         let rec = relm.tune(&mut env).expect("RelM recommendation");
-        assert!(rec.evaluations <= 2, "{}: RelM used {} runs", app.name, rec.evaluations);
+        assert!(
+            rec.evaluations <= 2,
+            "{}: RelM used {} runs",
+            app.name,
+            rec.evaluations
+        );
         for seed in 0..4u64 {
             let r = run_config(&engine, &app, &rec.config, 50_000 + seed * 7);
-            assert!(!r.aborted, "{}: RelM config aborted ({})", app.name, rec.config);
+            assert!(
+                !r.aborted,
+                "{}: RelM config aborted ({})",
+                app.name, rec.config
+            );
             assert_eq!(
                 r.container_failures, 0,
                 "{}: RelM config had container failures ({})",
@@ -56,14 +65,18 @@ fn relm_beats_the_default_policy() {
 fn bo_and_gbo_converge_with_expected_budgets() {
     let engine = Engine::new(ClusterSpec::cluster_a());
     let app = sortbykey();
-    let variants: [(fn(u64) -> BayesOpt, &str); 2] =
-        [(BayesOpt::new, "BO"), (BayesOpt::guided, "GBO")];
+    type MakeBo = fn(u64) -> BayesOpt;
+    let variants: [(MakeBo, &str); 2] = [(BayesOpt::new, "BO"), (BayesOpt::guided, "GBO")];
     for (mk, name) in variants {
         let mut env = TuningEnv::new(engine.clone(), app.clone(), 17);
         let rec = mk(17).tune(&mut env).expect("BO tuning");
         assert_eq!(rec.policy, name);
         // 4 LHS bootstrap + >= 6 adaptive samples (the CherryPick rule).
-        assert!(rec.evaluations >= 10, "{name} used only {} evaluations", rec.evaluations);
+        assert!(
+            rec.evaluations >= 10,
+            "{name} used only {} evaluations",
+            rec.evaluations
+        );
         let best = env.best().expect("history").score_mins;
         assert!(best.is_finite());
     }
@@ -74,10 +87,16 @@ fn ddpg_improves_over_its_first_observation() {
     let engine = Engine::new(ClusterSpec::cluster_a());
     let app = svm();
     let mut env = TuningEnv::new(engine.clone(), app.clone(), 19);
-    let rec = DdpgTuner::new(19).with_budget(12).tune(&mut env).expect("ddpg");
+    let rec = DdpgTuner::new(19)
+        .with_budget(12)
+        .tune(&mut env)
+        .expect("ddpg");
     let first = env.history().first().expect("history").score_mins;
     let best = env.best().expect("history").score_mins;
-    assert!(best <= first, "DDPG never improved on the default observation");
+    assert!(
+        best <= first,
+        "DDPG never improved on the default observation"
+    );
     assert_eq!(rec.evaluations, 13);
 }
 

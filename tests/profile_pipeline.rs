@@ -39,7 +39,11 @@ fn derived_stats_match_ground_truth_footprints() {
     // The PageRank spec plants M_i = 115MB and a coalesce-stage unmanaged
     // footprint of 770MB/task; the profiler should recover both within
     // noise (Table 6's example column).
-    assert!((stats.m_i.as_mb() - 115.0).abs() < 10.0, "M_i = {}", stats.m_i);
+    assert!(
+        (stats.m_i.as_mb() - 115.0).abs() < 10.0,
+        "M_i = {}",
+        stats.m_i
+    );
     assert!(
         (stats.m_u.as_mb() - 770.0).abs() < 120.0,
         "M_u = {} (expected ~770MB)",
@@ -113,14 +117,26 @@ fn q_model_flags_the_paper_s_bad_regions() {
     let q = QModel::new(derive_stats(&profile), 0.1);
 
     // Observation 5 region: big cache, tiny Old.
-    let bad = MemoryConfig { cache_fraction: 0.7, new_ratio: 1, ..cfg };
-    let good = MemoryConfig { cache_fraction: 0.6, new_ratio: 5, ..cfg };
+    let bad = MemoryConfig {
+        cache_fraction: 0.7,
+        new_ratio: 1,
+        ..cfg
+    };
+    let good = MemoryConfig {
+        cache_fraction: 0.6,
+        new_ratio: 5,
+        ..cfg
+    };
     let qb = q.q(&bad);
     let qg = q.q(&good);
     assert!(qb[1] > qg[1], "q2 must flag Old < cache: {qb:?} vs {qg:?}");
 
     // Over-packing: q1 > 1 for an obviously unsafe configuration.
-    let packed = MemoryConfig { cache_fraction: 0.8, task_concurrency: 8, ..cfg };
+    let packed = MemoryConfig {
+        cache_fraction: 0.8,
+        task_concurrency: 8,
+        ..cfg
+    };
     assert!(q.q(&packed)[0] > 1.0);
 }
 

@@ -2,9 +2,9 @@
 
 use proptest::prelude::*;
 use relm::prelude::*;
+use relm_common::Rng as SimRng;
 use relm_core::{Arbitrator, Initializer};
 use relm_profile::DerivedStats;
-use relm_common::Rng as SimRng;
 use relm_surrogate::{expected_improvement, latin_hypercube, Forest, ForestParams, Gp};
 
 fn cluster() -> ClusterSpec {

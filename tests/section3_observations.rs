@@ -10,7 +10,11 @@ fn engine() -> Engine {
 }
 
 fn with_containers(cfg: &MemoryConfig, engine: &Engine, n: u32) -> MemoryConfig {
-    MemoryConfig { containers_per_node: n, heap: engine.cluster().heap_for(n), ..*cfg }
+    MemoryConfig {
+        containers_per_node: n,
+        heap: engine.cluster().heap_for(n),
+        ..*cfg
+    }
 }
 
 #[test]
@@ -19,7 +23,9 @@ fn obs1_wordcount_prefers_thin_containers() {
     let app = wordcount();
     let default = max_resource_allocation(engine.cluster(), &app);
     let fat = engine.run(&app, &default, 42).0;
-    let thin = engine.run(&app, &with_containers(&default, &engine, 4), 42).0;
+    let thin = engine
+        .run(&app, &with_containers(&default, &engine, 4), 42)
+        .0;
     assert!(
         thin.runtime < fat.runtime * 0.8,
         "WordCount should run >20% faster on 4 thin containers: {} vs {}",
@@ -34,9 +40,17 @@ fn obs1_kmeans_fails_on_the_thinnest_containers() {
     let app = kmeans();
     let default = max_resource_allocation(engine.cluster(), &app);
     let aborts = (0..4)
-        .filter(|&s| engine.run(&app, &with_containers(&default, &engine, 4), 100 + s).0.aborted)
+        .filter(|&s| {
+            engine
+                .run(&app, &with_containers(&default, &engine, 4), 100 + s)
+                .0
+                .aborted
+        })
         .count();
-    assert!(aborts >= 2, "K-means at 4 containers/node should usually abort, got {aborts}/4");
+    assert!(
+        aborts >= 2,
+        "K-means at 4 containers/node should usually abort, got {aborts}/4"
+    );
 }
 
 #[test]
@@ -45,7 +59,10 @@ fn obs2_overprovisioned_shuffle_is_unreliable_or_slow() {
     let app = sortbykey();
     let mut cfg = max_resource_allocation(engine.cluster(), &app);
     cfg.shuffle_fraction = 0.7;
-    let modest = MemoryConfig { shuffle_fraction: 0.2, ..cfg };
+    let modest = MemoryConfig {
+        shuffle_fraction: 0.2,
+        ..cfg
+    };
     let big = engine.run(&app, &cfg, 7).0;
     let small = engine.run(&app, &modest, 7).0;
     assert!(
@@ -63,7 +80,10 @@ fn obs3_concurrency_plateaus() {
     let app = svm();
     let default = max_resource_allocation(engine.cluster(), &app);
     let runtime = |p| {
-        let cfg = MemoryConfig { task_concurrency: p, ..default };
+        let cfg = MemoryConfig {
+            task_concurrency: p,
+            ..default
+        };
         engine.run(&app, &cfg, 77).0.runtime_mins()
     };
     let p1 = runtime(1);
@@ -73,7 +93,10 @@ fn obs3_concurrency_plateaus() {
     // Diminishing returns: the 4 -> 8 step gains far less than 1 -> 4.
     let early_gain = p1 - p4;
     let late_gain = p4 - p8;
-    assert!(late_gain < early_gain * 0.5, "expected a plateau: {p1} {p4} {p8}");
+    assert!(
+        late_gain < early_gain * 0.5,
+        "expected a plateau: {p1} {p4} {p8}"
+    );
 }
 
 #[test]
@@ -82,13 +105,20 @@ fn obs4_cache_hit_ratio_tracks_capacity_until_memory_bottleneck() {
     let app = kmeans();
     let default = max_resource_allocation(engine.cluster(), &app);
     let hit = |cc: f64| {
-        let cfg = MemoryConfig { cache_fraction: cc, shuffle_fraction: 0.0, ..default };
+        let cfg = MemoryConfig {
+            cache_fraction: cc,
+            shuffle_fraction: 0.0,
+            ..default
+        };
         engine.run(&app, &cfg, 5).0.cache_hit_ratio
     };
     assert!(hit(0.2) < hit(0.4));
     assert!(hit(0.4) < hit(0.6));
     // The memory bottleneck: K-means cannot fit everything even at 0.8.
-    assert!(hit(0.8) < 0.95, "K-means must not fit all partitions on Cluster A");
+    assert!(
+        hit(0.8) < 0.95,
+        "K-means must not fit all partitions on Cluster A"
+    );
 }
 
 #[test]
@@ -97,7 +127,12 @@ fn obs5_old_smaller_than_cache_thrashes() {
     let app = kmeans();
     let default = max_resource_allocation(engine.cluster(), &app);
     let run = |nr: u32| {
-        let cfg = MemoryConfig { cache_fraction: 0.7, shuffle_fraction: 0.0, new_ratio: nr, ..default };
+        let cfg = MemoryConfig {
+            cache_fraction: 0.7,
+            shuffle_fraction: 0.0,
+            new_ratio: nr,
+            ..default
+        };
         engine.run(&app, &cfg, 13).0
     };
     let low = run(1); // Old (2202MB) < cache (~2990MB): promotion failure
@@ -123,7 +158,10 @@ fn obs6_higher_new_ratio_arrests_physical_memory_growth() {
     let kills = |nr: u32, seeds: std::ops::Range<u64>| {
         seeds
             .map(|s| {
-                let cfg = MemoryConfig { new_ratio: nr, ..default };
+                let cfg = MemoryConfig {
+                    new_ratio: nr,
+                    ..default
+                };
                 engine.run(&app, &cfg, s).0.rss_kills
             })
             .sum::<u32>()
@@ -152,8 +190,14 @@ fn obs7_shuffle_buffers_beyond_half_eden_cost_gc() {
         };
         engine.run(&app, &cfg, 3).0.gc_overhead
     };
-    assert!(gc(0.1, 3) > gc(0.1, 1) - 0.02, "higher NewRatio should not reduce GC here");
-    assert!(gc(0.3, 3) >= gc(0.05, 1), "bigger spill batches + smaller Eden cost GC");
+    assert!(
+        gc(0.1, 3) > gc(0.1, 1) - 0.02,
+        "higher NewRatio should not reduce GC here"
+    );
+    assert!(
+        gc(0.3, 3) >= gc(0.05, 1),
+        "bigger spill batches + smaller Eden cost GC"
+    );
 }
 
 #[test]
@@ -167,10 +211,16 @@ fn pagerank_fails_under_the_default_but_not_under_manual_fixes() {
         let r = engine.run(&app, &default, seed).0;
         default_failures += r.container_failures;
     }
-    assert!(default_failures > 0, "the default PageRank setup should be unreliable");
+    assert!(
+        default_failures > 0,
+        "the default PageRank setup should be unreliable"
+    );
 
     // Table 5 row 2: lowering concurrency to 1 is reliable.
-    let p1 = MemoryConfig { task_concurrency: 1, ..default };
+    let p1 = MemoryConfig {
+        task_concurrency: 1,
+        ..default
+    };
     for seed in 300..303u64 {
         let r = engine.run(&app, &p1, seed).0;
         assert!(!r.aborted, "p=1 PageRank should be reliable");
