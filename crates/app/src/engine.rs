@@ -26,6 +26,7 @@ use crate::result::RunResult;
 use crate::spec::{AppSpec, InputSource, StageSpec};
 use relm_cluster::{ClusterSpec, ContainerSpec, ResourceManager};
 use relm_common::{Mem, MemoryConfig, Millis, Rng};
+use relm_faults::{AbortCause, FaultPlan, ProfileNoise};
 use relm_jvm::{GcCostModel, GcSettings, JvmSim, WavePressure};
 use relm_obs::Obs;
 use relm_profile::{ContainerTrace, Profile};
@@ -121,6 +122,7 @@ pub struct Engine {
     cluster: ClusterSpec,
     cost: EngineCostModel,
     obs: Obs,
+    faults: Option<FaultPlan>,
 }
 
 impl Engine {
@@ -131,6 +133,7 @@ impl Engine {
             cluster,
             cost: EngineCostModel::default(),
             obs: Obs::disabled(),
+            faults: None,
         }
     }
 
@@ -150,6 +153,19 @@ impl Engine {
     /// The observability handle (a disabled no-op by default).
     pub fn obs(&self) -> &Obs {
         &self.obs
+    }
+
+    /// Attaches a fault plan; every run then suffers the plan's injected
+    /// kills, node losses, stragglers, and profile corruption. An off plan
+    /// (all rates zero) is dropped so the no-fault path stays untouched.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = if plan.is_off() { None } else { Some(plan) };
+        self
+    }
+
+    /// The fault plan in effect, if any.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// The cluster this engine simulates.
@@ -175,7 +191,11 @@ impl Engine {
             span.set("spill_mb", sim.spilled_bytes_mb);
             span.set("spill_events", sim.spill_events);
             span.set("aborted", sim.aborted);
-            span.set("abort_cause", sim.abort_cause.unwrap_or("none"));
+            span.set(
+                "abort_cause",
+                sim.abort_cause.map(|c| c.as_str()).unwrap_or("none"),
+            );
+            span.set("injected_faults", result.injected_faults as u64);
             self.obs.inc("engine.runs");
             if sim.aborted {
                 self.obs.inc("engine.aborts");
@@ -206,6 +226,19 @@ struct ContainerWave {
 enum FailureKind {
     Oom,
     RssKill(Mem),
+    /// A fault plan killed this container (transient — not the config's
+    /// fault).
+    Injected,
+}
+
+impl FailureKind {
+    fn abort_cause(self) -> AbortCause {
+        match self {
+            FailureKind::Oom => AbortCause::Oom,
+            FailureKind::RssKill(_) => AbortCause::RssKill,
+            FailureKind::Injected => AbortCause::InjectedKill,
+        }
+    }
 }
 
 enum WaveAttempt {
@@ -213,6 +246,11 @@ enum WaveAttempt {
     ContainerFailed {
         idx: usize,
         kind: FailureKind,
+        recovery: Millis,
+    },
+    /// A fault plan took a whole node down; every container on it dies.
+    NodeLost {
+        node: u32,
         recovery: Millis,
     },
 }
@@ -227,7 +265,10 @@ struct RunSim<'a> {
     rm: ResourceManager,
     now: Millis,
     aborted: bool,
-    abort_cause: Option<&'static str>,
+    abort_cause: Option<AbortCause>,
+    /// Injected stragglers + corrupted profiles (container-level injections
+    /// are tallied by the resource manager).
+    soft_injections: u32,
     spill_events: u64,
     // Aggregates.
     cpu_busy_core_ms: f64,
@@ -320,6 +361,7 @@ impl<'a> RunSim<'a> {
             now: engine.cost.startup,
             aborted: false,
             abort_cause: None,
+            soft_injections: 0,
             spill_events: 0,
             cpu_busy_core_ms: 0.0,
             disk_bytes_mb: 0.0,
@@ -358,7 +400,7 @@ impl<'a> RunSim<'a> {
 
             let mut attempts = 0u32;
             loop {
-                match self.attempt_wave(stage, wave, base, extra) {
+                match self.attempt_wave(stage, wave, base, extra, attempts) {
                     WaveAttempt::Ok => break,
                     WaveAttempt::ContainerFailed {
                         idx,
@@ -370,10 +412,23 @@ impl<'a> RunSim<'a> {
                         self.now += recovery;
                         if attempts >= self.engine.cost.max_task_retries {
                             self.aborted = true;
-                            self.abort_cause = Some(match kind {
-                                FailureKind::Oom => "oom",
-                                FailureKind::RssKill(_) => "rss_kill",
-                            });
+                            self.abort_cause = Some(kind.abort_cause());
+                            return;
+                        }
+                    }
+                    WaveAttempt::NodeLost { node, recovery } => {
+                        attempts += 1;
+                        // Every container on the node comes back as a fresh
+                        // JVM on replacement hardware.
+                        let cpn = self.config.containers_per_node.max(1) as usize;
+                        let first = node as usize * cpn;
+                        for idx in first..(first + cpn).min(self.containers.len()) {
+                            self.replace_container(idx, FailureKind::Injected);
+                        }
+                        self.now += recovery;
+                        if attempts >= self.engine.cost.max_task_retries {
+                            self.aborted = true;
+                            self.abort_cause = Some(AbortCause::NodeLoss);
                             return;
                         }
                     }
@@ -383,12 +438,15 @@ impl<'a> RunSim<'a> {
     }
 
     /// Simulates what one container does during this wave attempt.
+    /// `straggle` is an injected slowdown multiplier (1.0 = healthy): it
+    /// stretches the container's compute time and its GC pauses alike.
     fn simulate_container(
         &mut self,
         idx: usize,
         stage: &StageSpec,
         wave_idx: u32,
         tasks: u32,
+        straggle: f64,
     ) -> ContainerWave {
         let cost = self.engine.cost;
         let p = self.config.task_concurrency.max(1);
@@ -478,7 +536,8 @@ impl<'a> RunSim<'a> {
         let state = &mut self.containers[idx];
         let noise = state.rng.noise_factor(noise_level);
         let compute = Millis::ms(
-            (input_time_ms + cpu_time_ms + disk_time_ms) * noise + cost.wave_overhead.as_ms(),
+            (input_time_ms + cpu_time_ms + disk_time_ms) * noise * straggle
+                + cost.wave_overhead.as_ms(),
         );
 
         // Cache population: fill toward this container's target.
@@ -520,6 +579,7 @@ impl<'a> RunSim<'a> {
         };
 
         state.jvm.set_cache_used(state.cache_used);
+        state.jvm.set_wave_slowdown(straggle);
         let gc = state.jvm.simulate_wave(now, &pressure);
 
         // Failure checks.
@@ -571,16 +631,57 @@ impl<'a> RunSim<'a> {
         wave_idx: u32,
         base_tasks: u32,
         extra: u32,
+        attempt: u32,
     ) -> WaveAttempt {
         let n = self.containers.len();
         let mut wave_wall = Millis::ZERO;
+        let plan = self.engine.faults.as_ref();
+
+        // Node loss preempts the whole wave: every container on the victim
+        // node dies before any task finishes.
+        if let Some(node) = plan.and_then(|p| {
+            p.node_loss(
+                self.seed,
+                &stage.name,
+                wave_idx,
+                attempt,
+                self.engine.cluster.nodes,
+            )
+        }) {
+            let cpn = self.config.containers_per_node.max(1);
+            let recovery = self.rm.report_node_loss(self.now, cpn);
+            self.engine.obs.inc("faults.injected");
+            self.engine.obs.inc("faults.injected.node_loss");
+            return WaveAttempt::NodeLost { node, recovery };
+        }
 
         for idx in 0..n {
             let tasks = base_tasks + u32::from((idx as u32) < extra);
             if tasks == 0 {
                 continue;
             }
-            let wave = self.simulate_container(idx, stage, wave_idx, tasks);
+
+            let straggle = plan
+                .and_then(|p| p.straggler(self.seed, &stage.name, wave_idx, idx, attempt))
+                .unwrap_or(1.0);
+            if straggle > 1.0 {
+                self.soft_injections += 1;
+                self.engine.obs.inc("faults.injected");
+                self.engine.obs.inc("faults.injected.straggler");
+            }
+
+            let mut wave = self.simulate_container(idx, stage, wave_idx, tasks, straggle);
+
+            // An injected kill takes the container down even if the wave
+            // would have survived organically; organic failures win the
+            // race because they fire first.
+            if wave.failure.is_none()
+                && plan
+                    .and_then(|p| p.container_kill(self.seed, &stage.name, wave_idx, idx, attempt))
+                    .is_some()
+            {
+                wave.failure = Some(FailureKind::Injected);
+            }
 
             if let Some(kind) = wave.failure {
                 // The attempt consumed time up to the failure.
@@ -591,6 +692,11 @@ impl<'a> RunSim<'a> {
                         .rm
                         .check_rss(self.now, &self.container_spec, rss)
                         .expect("rss kill failure implies rss above cap"),
+                    FailureKind::Injected => {
+                        self.engine.obs.inc("faults.injected");
+                        self.engine.obs.inc("faults.injected.container_kill");
+                        self.rm.report_injected_kill(self.now)
+                    }
                 };
                 return WaveAttempt::ContainerFailed {
                     idx,
@@ -688,10 +794,25 @@ impl<'a> RunSim<'a> {
         let young_gcs: u64 = self.containers.iter().map(|c| c.jvm.young_gc_count()).sum();
         let full_gcs: u64 = self.containers.iter().map(|c| c.jvm.full_gc_count()).sum();
 
+        // Decide profile corruption before assembling the result so the
+        // injection tally includes it.
+        let corruption = self
+            .engine
+            .faults
+            .as_ref()
+            .and_then(|p| p.profile_corruption(self.seed));
+        if corruption.is_some() {
+            self.soft_injections += 1;
+            self.engine.obs.inc("faults.injected");
+            self.engine.obs.inc("faults.injected.profile_corruption");
+        }
+
         let result = RunResult {
             runtime: elapsed,
             aborted: self.aborted,
+            abort_cause: self.abort_cause,
             container_failures: self.rm.failures(),
+            injected_faults: self.rm.injected_failures() + self.soft_injections,
             oom_failures: self.rm.oom_failures(),
             rss_kills: self.rm.rss_kills(),
             max_heap_util,
@@ -719,7 +840,7 @@ impl<'a> RunSim<'a> {
             })
             .collect();
 
-        let profile = Profile {
+        let mut profile = Profile {
             app_name: self.app.name.clone(),
             config: self.config,
             duration: elapsed,
@@ -731,7 +852,31 @@ impl<'a> RunSim<'a> {
             gc_overhead,
         };
 
+        if let Some(mut noise) = corruption {
+            corrupt_profile(&mut profile, &mut noise);
+        }
+
         (result, profile)
+    }
+}
+
+/// Degrades a collected profile the way a flaky monitoring stack does:
+/// summary statistics drift (clock skew, partial sample windows) and
+/// individual GC events go missing (log rotation, dropped scrapes). The
+/// perturbation is multiplicative and clamped into each statistic's valid
+/// range, so downstream consumers get a *plausible* but wrong profile —
+/// exactly the failure mode white-box tuning must survive.
+fn corrupt_profile(profile: &mut Profile, noise: &mut ProfileNoise) {
+    profile.cpu_avg = (profile.cpu_avg * noise.factor()).clamp(0.0, 100.0);
+    profile.disk_avg = (profile.disk_avg * noise.factor()).clamp(0.0, 100.0);
+    profile.cache_hit_ratio = (profile.cache_hit_ratio * noise.factor()).clamp(0.0, 1.0);
+    profile.spill_fraction = (profile.spill_fraction * noise.factor()).clamp(0.0, 1.0);
+    profile.gc_overhead = (profile.gc_overhead * noise.factor()).clamp(0.0, 1.0);
+    for trace in &mut profile.containers {
+        let f = noise.factor();
+        trace.peak_heap_used = trace.peak_heap_used * f;
+        trace.peak_old_used = (trace.peak_old_used * f).min(trace.peak_heap_used);
+        trace.gc_events.retain(|_| !noise.chance(0.3));
     }
 }
 
@@ -904,6 +1049,69 @@ mod tests {
             r_high.gc_overhead,
             r_low.gc_overhead
         );
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        use relm_faults::{FaultConfig, FaultPlan};
+        let e = engine().with_faults(FaultPlan::new(99, FaultConfig::uniform(0.10)));
+        let app = simple_app();
+        let cfg = default_config();
+        let (r1, p1) = e.run(&app, &cfg, 7);
+        let (r2, p2) = e.run(&app, &cfg, 7);
+        assert_eq!(r1, r2);
+        assert_eq!(p1.cpu_avg, p2.cpu_avg);
+        assert_eq!(p1.cache_hit_ratio, p2.cache_hit_ratio);
+    }
+
+    #[test]
+    fn injected_faults_slow_the_run_but_are_not_the_configs_fault() {
+        use relm_faults::{FaultConfig, FaultPlan};
+        let app = simple_app();
+        let cfg = default_config();
+        let (clean, _) = engine().run(&app, &cfg, 13);
+        assert_eq!(clean.injected_faults, 0);
+
+        let faulty = engine().with_faults(FaultPlan::new(5, FaultConfig::uniform(0.15)));
+        let (r, _) = faulty.run(&app, &cfg, 13);
+        assert!(r.injected_faults > 0, "a 15% plan must inject something");
+        assert!(
+            r.runtime > clean.runtime,
+            "recovery delays must cost wall time: {} vs {}",
+            r.runtime,
+            clean.runtime
+        );
+        assert_eq!(r.oom_failures, 0);
+        assert_eq!(r.rss_kills, 0);
+        assert!(
+            r.is_safe(),
+            "injected faults must not mark the config unsafe"
+        );
+    }
+
+    #[test]
+    fn off_plan_matches_no_plan_exactly() {
+        use relm_faults::{FaultConfig, FaultPlan};
+        let app = simple_app();
+        let cfg = default_config();
+        let (plain, _) = engine().run(&app, &cfg, 21);
+        let off = engine().with_faults(FaultPlan::new(1, FaultConfig::off()));
+        let (gated, _) = off.run(&app, &cfg, 21);
+        assert_eq!(plain, gated);
+    }
+
+    #[test]
+    fn organic_aborts_carry_a_persistent_cause() {
+        use relm_faults::{AbortCause, AbortClass};
+        let e = engine();
+        let mut map = StageSpec::new("map", 64, Mem::mb(512.0));
+        map.unmanaged_per_task = Mem::mb(3000.0);
+        let app = AppSpec::new("oom", vec![map]);
+        let (r, _) = e.run(&app, &default_config(), 1);
+        assert!(r.aborted);
+        assert_eq!(r.abort_cause, Some(AbortCause::Oom));
+        assert_eq!(r.abort_cause.unwrap().class(), AbortClass::Persistent);
+        assert!(!r.is_safe());
     }
 
     #[test]

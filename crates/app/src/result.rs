@@ -1,6 +1,7 @@
 //! The outcome of one simulated application run.
 
 use relm_common::Millis;
+use relm_faults::{AbortCause, AbortClass};
 use serde::{Deserialize, Serialize};
 
 /// Metrics of one application run — the quantities plotted throughout §3 and
@@ -12,8 +13,14 @@ pub struct RunResult {
     /// Whether the application job was aborted because a task exceeded the
     /// retry limit.
     pub aborted: bool,
-    /// Total container failures (OOM + physical-memory kills).
+    /// What took the application down, when it aborted.
+    pub abort_cause: Option<AbortCause>,
+    /// Total container failures (OOM + physical-memory kills + injected).
     pub container_failures: u32,
+    /// Faults injected by an attached fault plan (transient kills, node-loss
+    /// casualties, stragglers, profile corruption) — infrastructure trouble
+    /// the configuration is not responsible for.
+    pub injected_faults: u32,
     /// Container failures caused by `OutOfMemoryError`.
     pub oom_failures: u32,
     /// Container failures caused by the resource manager's physical-memory
@@ -44,9 +51,15 @@ impl RunResult {
         self.runtime.as_mins()
     }
 
-    /// True when the run finished with no container failures — the paper's
-    /// notion of a *safe* execution.
+    /// True when the run finished with no container failures the
+    /// *configuration* caused — the paper's notion of a *safe* execution.
+    /// Injected faults (and aborts whose cause is transient or
+    /// infrastructural) do not count against the configuration.
     pub fn is_safe(&self) -> bool {
-        !self.aborted && self.container_failures == 0
+        let config_abort = self.aborted
+            && self
+                .abort_cause
+                .is_none_or(|c| c.class() == AbortClass::Persistent);
+        !config_abort && self.oom_failures == 0 && self.rss_kills == 0
     }
 }

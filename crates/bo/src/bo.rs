@@ -216,15 +216,16 @@ impl Tuner for BayesOpt {
             let (obs, profile) = env.evaluate_profiled(&config);
             // GBO's guiding model comes from "a prior execution, not
             // necessarily using the same configuration" (§5.2). Prefer the
-            // first *successful* bootstrap run — an aborted run's truncated
-            // profile would poison the guidance — falling back to whatever
-            // profile exists if every bootstrap run failed.
+            // first *clean* bootstrap run — a censored run's truncated
+            // profile, or one degraded by injected faults, would poison the
+            // guidance — falling back to whatever profile exists if every
+            // bootstrap run failed.
             if self.guided && !self.q_locked {
                 qmodel = Some(QModel::new(
                     derive_stats(&profile),
                     relm_core::DEFAULT_SAFETY,
                 ));
-                self.q_locked = !obs.result.aborted;
+                self.q_locked = !obs.result.aborted && obs.result.injected_faults == 0;
             }
             self.trace.push(BoStep {
                 x: x.clone(),

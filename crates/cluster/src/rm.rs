@@ -19,6 +19,12 @@ pub enum ContainerEvent {
     /// The resource manager killed the container for exceeding its
     /// physical-memory cap.
     RssKill,
+    /// An injected transient kill (preemption, operator restart, kernel
+    /// OOM-killer race) took the container down.
+    InjectedKill,
+    /// The container's node was lost; the replacement comes up on fresh
+    /// hardware after the node-manager expiry interval.
+    NodeLoss,
 }
 
 /// Failure bookkeeping for one application run.
@@ -27,6 +33,9 @@ pub struct ResourceManager {
     events: Vec<(Millis, ContainerEvent)>,
     /// Delay before a replacement container is running again.
     replacement_delay: Millis,
+    /// Delay before containers of a lost node are rescheduled elsewhere
+    /// (YARN waits out `nm.liveness-monitor.expiry-interval` first).
+    node_loss_delay: Millis,
 }
 
 impl ResourceManager {
@@ -36,6 +45,7 @@ impl ResourceManager {
         ResourceManager {
             events: Vec::new(),
             replacement_delay: Millis::secs(12.0),
+            node_loss_delay: Millis::secs(45.0),
         }
     }
 
@@ -62,7 +72,23 @@ impl ResourceManager {
         self.replacement_delay
     }
 
-    /// Total container failures of either kind.
+    /// Records an injected transient container kill and returns the
+    /// replacement delay.
+    pub fn report_injected_kill(&mut self, now: Millis) -> Millis {
+        self.events.push((now, ContainerEvent::InjectedKill));
+        self.replacement_delay
+    }
+
+    /// Records the loss of a whole node (`containers` containers die at
+    /// once) and returns the recovery delay before replacements are up.
+    pub fn report_node_loss(&mut self, now: Millis, containers: u32) -> Millis {
+        for _ in 0..containers.max(1) {
+            self.events.push((now, ContainerEvent::NodeLoss));
+        }
+        self.node_loss_delay
+    }
+
+    /// Total container failures of any kind.
     pub fn failures(&self) -> u32 {
         self.events.len() as u32
     }
@@ -80,6 +106,16 @@ impl ResourceManager {
         self.events
             .iter()
             .filter(|(_, e)| *e == ContainerEvent::RssKill)
+            .count() as u32
+    }
+
+    /// Count of injected failures (transient kills plus node-loss
+    /// casualties) — the failures a fault plan, not the configuration,
+    /// is responsible for.
+    pub fn injected_failures(&self) -> u32 {
+        self.events
+            .iter()
+            .filter(|(_, e)| matches!(e, ContainerEvent::InjectedKill | ContainerEvent::NodeLoss))
             .count() as u32
     }
 
@@ -128,6 +164,18 @@ mod tests {
         let delay = rm.report_oom(Millis::secs(1.0));
         assert!(delay > Millis::ZERO);
         assert_eq!(rm.oom_failures(), 1);
+        assert_eq!(rm.rss_kills(), 0);
+    }
+
+    #[test]
+    fn injected_failures_are_tallied_separately() {
+        let mut rm = ResourceManager::new();
+        let kill_delay = rm.report_injected_kill(Millis::secs(1.0));
+        let node_delay = rm.report_node_loss(Millis::secs(2.0), 2);
+        assert!(node_delay > kill_delay, "node loss recovers slower");
+        assert_eq!(rm.injected_failures(), 3); // 1 kill + 2 node casualties
+        assert_eq!(rm.failures(), 3);
+        assert_eq!(rm.oom_failures(), 0);
         assert_eq!(rm.rss_kills(), 0);
     }
 

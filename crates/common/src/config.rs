@@ -9,6 +9,72 @@ use crate::Mem;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Largest supported container count per node. YARN on the paper's
+/// 8-core/30 GB nodes never carves more than 4 homogeneous containers
+/// out of a worker, and every enumeration in the workspace
+/// (`ClusterSpec::container_options`, the §6.1 grid) stops there.
+pub const MAX_CONTAINERS_PER_NODE: u32 = 4;
+
+/// Largest supported `NewRatio`. The tuned space of §6.1 spans 1–9; the
+/// Old generation already holds 90% of the heap at 9, so larger values
+/// add nothing but overflow risk in the generation arithmetic.
+pub const MAX_NEW_RATIO: u32 = 9;
+
+/// A typed violation of a [`MemoryConfig`] invariant.
+///
+/// Each variant names the knob at fault and carries the offending value,
+/// so callers (config-space samplers, checkpoint loaders, CLI parsers)
+/// can react per knob instead of string-matching an error message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// `containers_per_node` outside `1..=MAX_CONTAINERS_PER_NODE`.
+    ContainersPerNodeOutOfRange(u32),
+    /// `task_concurrency` of zero: no execution slots at all.
+    ZeroTaskConcurrency,
+    /// Non-positive heap.
+    ZeroHeap,
+    /// A pool fraction outside `[0, 1]`; carries the knob name and value.
+    FractionOutOfRange(&'static str, f64),
+    /// `cache_fraction + shuffle_fraction` exceeds the whole heap.
+    UnifiedPoolOverflow(f64),
+    /// `new_ratio` outside `1..=MAX_NEW_RATIO`.
+    NewRatioOutOfRange(u32),
+    /// `survivor_ratio` of zero: Eden would swallow the Young generation.
+    ZeroSurvivorRatio,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ContainersPerNodeOutOfRange(n) => write!(
+                f,
+                "containers_per_node must be in 1..={MAX_CONTAINERS_PER_NODE}, got {n}"
+            ),
+            ConfigError::ZeroTaskConcurrency => write!(f, "task_concurrency must be >= 1"),
+            ConfigError::ZeroHeap => write!(f, "heap must be positive"),
+            ConfigError::FractionOutOfRange(knob, v) => {
+                write!(f, "{knob} must be in [0, 1], got {v}")
+            }
+            ConfigError::UnifiedPoolOverflow(v) => write!(
+                f,
+                "cache_fraction + shuffle_fraction must not exceed 1, got {v}"
+            ),
+            ConfigError::NewRatioOutOfRange(nr) => {
+                write!(f, "new_ratio must be in 1..={MAX_NEW_RATIO}, got {nr}")
+            }
+            ConfigError::ZeroSurvivorRatio => write!(f, "survivor_ratio must be >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<ConfigError> for crate::Error {
+    fn from(e: ConfigError) -> Self {
+        crate::Error::InvalidConfig(e.to_string())
+    }
+}
+
 /// A complete assignment of the memory-management knobs of Table 1.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MemoryConfig {
@@ -80,43 +146,50 @@ impl MemoryConfig {
         self.young_capacity() * (1.0 / (sr + 2.0))
     }
 
-    /// Validates internal consistency: positive pools, fractions in `[0, 1]`,
-    /// and the unified pool not exceeding the heap.
-    pub fn validate(&self) -> crate::Result<()> {
-        use crate::Error;
-        if self.containers_per_node == 0 {
-            return Err(Error::InvalidConfig(
-                "containers_per_node must be >= 1".into(),
+    /// Checks every invariant and reports the first violation as a typed
+    /// [`ConfigError`]: containers and `NewRatio` within their supported
+    /// ranges, positive pools, fractions in `[0, 1]`, and the unified pool
+    /// not exceeding the heap.
+    pub fn check(&self) -> Result<(), ConfigError> {
+        if !(1..=MAX_CONTAINERS_PER_NODE).contains(&self.containers_per_node) {
+            return Err(ConfigError::ContainersPerNodeOutOfRange(
+                self.containers_per_node,
             ));
         }
         if self.task_concurrency == 0 {
-            return Err(Error::InvalidConfig("task_concurrency must be >= 1".into()));
+            return Err(ConfigError::ZeroTaskConcurrency);
         }
         if self.heap.is_zero() {
-            return Err(Error::InvalidConfig("heap must be positive".into()));
+            return Err(ConfigError::ZeroHeap);
         }
         if !(0.0..=1.0).contains(&self.cache_fraction) {
-            return Err(Error::InvalidConfig(
-                "cache_fraction must be in [0, 1]".into(),
+            return Err(ConfigError::FractionOutOfRange(
+                "cache_fraction",
+                self.cache_fraction,
             ));
         }
         if !(0.0..=1.0).contains(&self.shuffle_fraction) {
-            return Err(Error::InvalidConfig(
-                "shuffle_fraction must be in [0, 1]".into(),
+            return Err(ConfigError::FractionOutOfRange(
+                "shuffle_fraction",
+                self.shuffle_fraction,
             ));
         }
         if self.unified_fraction() > 1.0 {
-            return Err(Error::InvalidConfig(
-                "cache_fraction + shuffle_fraction must not exceed 1".into(),
-            ));
+            return Err(ConfigError::UnifiedPoolOverflow(self.unified_fraction()));
         }
-        if self.new_ratio == 0 {
-            return Err(Error::InvalidConfig("new_ratio must be >= 1".into()));
+        if !(1..=MAX_NEW_RATIO).contains(&self.new_ratio) {
+            return Err(ConfigError::NewRatioOutOfRange(self.new_ratio));
         }
         if self.survivor_ratio < 1 {
-            return Err(Error::InvalidConfig("survivor_ratio must be >= 1".into()));
+            return Err(ConfigError::ZeroSurvivorRatio);
         }
         Ok(())
+    }
+
+    /// Validates internal consistency like [`MemoryConfig::check`], erasing
+    /// the violation into the workspace-wide [`crate::Error`].
+    pub fn validate(&self) -> crate::Result<()> {
+        self.check().map_err(Into::into)
     }
 }
 
@@ -181,23 +254,67 @@ mod tests {
     fn validation_rejects_bad_configs() {
         let mut c = cfg();
         c.containers_per_node = 0;
-        assert!(c.validate().is_err());
+        assert_eq!(c.check(), Err(ConfigError::ContainersPerNodeOutOfRange(0)));
+
+        let mut c = cfg();
+        c.containers_per_node = 5;
+        assert_eq!(c.check(), Err(ConfigError::ContainersPerNodeOutOfRange(5)));
 
         let mut c = cfg();
         c.task_concurrency = 0;
-        assert!(c.validate().is_err());
+        assert_eq!(c.check(), Err(ConfigError::ZeroTaskConcurrency));
 
         let mut c = cfg();
         c.cache_fraction = 0.7;
         c.shuffle_fraction = 0.7;
-        assert!(c.validate().is_err());
+        assert!(matches!(
+            c.check(),
+            Err(ConfigError::UnifiedPoolOverflow(_))
+        ));
+
+        let mut c = cfg();
+        c.cache_fraction = -0.1;
+        assert!(matches!(
+            c.check(),
+            Err(ConfigError::FractionOutOfRange("cache_fraction", _))
+        ));
 
         let mut c = cfg();
         c.new_ratio = 0;
-        assert!(c.validate().is_err());
+        assert_eq!(c.check(), Err(ConfigError::NewRatioOutOfRange(0)));
+
+        let mut c = cfg();
+        c.new_ratio = 10;
+        assert_eq!(c.check(), Err(ConfigError::NewRatioOutOfRange(10)));
 
         let mut c = cfg();
         c.heap = Mem::ZERO;
-        assert!(c.validate().is_err());
+        assert_eq!(c.check(), Err(ConfigError::ZeroHeap));
+
+        let mut c = cfg();
+        c.survivor_ratio = 0;
+        assert_eq!(c.check(), Err(ConfigError::ZeroSurvivorRatio));
+    }
+
+    #[test]
+    fn config_error_erases_into_workspace_error() {
+        let mut c = cfg();
+        c.new_ratio = 12;
+        let err = c.validate().unwrap_err();
+        match err {
+            crate::Error::InvalidConfig(msg) => {
+                assert!(msg.contains("new_ratio"), "unexpected message: {msg}");
+                assert!(msg.contains("12"), "unexpected message: {msg}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn boundary_values_are_accepted() {
+        let mut c = cfg();
+        c.containers_per_node = MAX_CONTAINERS_PER_NODE;
+        c.new_ratio = MAX_NEW_RATIO;
+        assert!(c.check().is_ok());
     }
 }

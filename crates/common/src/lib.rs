@@ -15,7 +15,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use config::MemoryConfig;
+pub use config::{ConfigError, MemoryConfig, MAX_CONTAINERS_PER_NODE, MAX_NEW_RATIO};
 pub use error::{Error, Result};
 pub use mem::Mem;
 pub use rng::Rng;

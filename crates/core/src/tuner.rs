@@ -10,6 +10,16 @@ use relm_tune::{recommendation, Recommendation, Tuner, TuningEnv};
 use relm_workloads::max_resource_allocation;
 use serde::{Deserialize, Serialize};
 
+/// Utility ordering key: NaN (possible when the model runs on a corrupted
+/// profile) ranks below every real utility instead of panicking.
+fn utility_key(u: f64) -> f64 {
+    if u.is_nan() {
+        f64::NEG_INFINITY
+    } else {
+        u
+    }
+}
+
 /// One enumerated candidate: the best arbitrated configuration for a
 /// container size, with its utility score.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -81,8 +91,10 @@ impl RelmTuner {
                 });
             }
         }
-        // Selector: rank by utility, best first.
-        out.sort_by(|a, b| b.utility.partial_cmp(&a.utility).expect("NaN utility"));
+        // Selector: rank by utility, best first. A corrupted profile can
+        // drive the model to a NaN utility; those candidates sort last
+        // instead of panicking the session.
+        out.sort_by(|a, b| utility_key(b.utility).total_cmp(&utility_key(a.utility)));
         out
     }
 
@@ -117,7 +129,7 @@ impl RelmTuner {
         }
         self.last_outcomes
             .iter()
-            .max_by(|a, b| a.1.utility.partial_cmp(&b.1.utility).expect("NaN utility"))
+            .max_by(|a, b| utility_key(a.1.utility).total_cmp(&utility_key(b.1.utility)))
             .map(|(_, o)| o.config)
             .ok_or_else(|| {
                 relm_common::Error::Tuning(
@@ -154,7 +166,8 @@ impl Tuner for RelmTuner {
         // Profile once under the vendor defaults (Thoth collects the profile
         // with minimal overhead, §6.1).
         let default = max_resource_allocation(env.engine().cluster(), env.app());
-        let (_, profile) = env.evaluate_profiled(&default);
+        let (obs0, profile) = env.evaluate_profiled(&default);
+        let censored0 = obs0.result.aborted;
         let stats_started = std::time::Instant::now();
         let mut stats = {
             let _stats_span = telemetry.span("relm.derive_stats");
@@ -164,11 +177,14 @@ impl Tuner for RelmTuner {
 
         // §4.1: a profile without full-GC events cannot yield an accurate
         // M_u; make one additional profiling run with GC pressure raised.
-        if !stats.m_u_from_full_gc {
+        // A censored first run (aborted or timed out on a faulty substrate)
+        // also warrants re-profiling: its truncated profile may mislead the
+        // model.
+        if !stats.m_u_from_full_gc || censored0 {
             let pressure_cfg = Self::reprofile_config(env, &default);
-            let (_, profile2) = env.evaluate_profiled(&pressure_cfg);
+            let (obs2, profile2) = env.evaluate_profiled(&pressure_cfg);
             let stats2 = derive_stats(&profile2);
-            if stats2.m_u_from_full_gc {
+            if stats2.m_u_from_full_gc || (censored0 && !obs2.result.aborted) {
                 stats = stats2;
             }
         }

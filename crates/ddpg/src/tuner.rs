@@ -39,6 +39,11 @@ pub fn state_vector(profile: &Profile) -> Vec<f64> {
         q[1].min(5.0) / 5.0,
         q[2].min(5.0) / 5.0,
     ]
+    .into_iter()
+    // A corrupted or truncated profile must not feed NaN/Inf into the
+    // networks — one bad state would propagate through every later update.
+    .map(|v| if v.is_finite() { v } else { 0.0 })
+    .collect()
 }
 
 /// The DDPG tuner. The agent persists across [`Tuner::tune`] calls, which is

@@ -1,0 +1,92 @@
+//! Acceptance tests for the fault-injection + retry/recovery pipeline:
+//! every tuning policy must complete on a faulty substrate without
+//! panicking, retries must stay within the policy bound, and the whole
+//! injection machinery must be deterministic end to end.
+
+use relm_app::Engine;
+use relm_bo::{BayesOpt, BoConfig};
+use relm_cluster::ClusterSpec;
+use relm_ddpg::DdpgTuner;
+use relm_faults::{FaultConfig, FaultPlan};
+use relm_tune::{DefaultPolicy, RandomSearch, RecursiveRandomSearch, Tuner, TuningEnv};
+use relm_workloads::wordcount;
+
+fn faulty_engine(rate: f64) -> Engine {
+    Engine::new(ClusterSpec::cluster_a())
+        .with_faults(FaultPlan::new(77, FaultConfig::uniform(rate)))
+}
+
+fn all_policies(seed: u64) -> Vec<(&'static str, Box<dyn Tuner>)> {
+    let short_bo = BoConfig {
+        max_iterations: 4,
+        min_adaptive_samples: 3,
+        ..BoConfig::default()
+    };
+    vec![
+        ("Default", Box::new(DefaultPolicy)),
+        ("Random", Box::new(RandomSearch::new(5, seed))),
+        ("RRS", Box::new(RecursiveRandomSearch::new(6, seed))),
+        ("RelM", Box::<relm_core::RelmTuner>::default()),
+        ("BO", Box::new(BayesOpt::new(seed).with_config(short_bo))),
+        (
+            "GBO",
+            Box::new(BayesOpt::guided(seed).with_config(short_bo)),
+        ),
+        ("DDPG", Box::new(DdpgTuner::new(seed).with_budget(4))),
+    ]
+}
+
+#[test]
+fn every_policy_survives_a_ten_percent_fault_rate() {
+    for (name, mut tuner) in all_policies(3) {
+        let mut env = TuningEnv::new(faulty_engine(0.10), wordcount(), 11);
+        let rec = tuner.tune(&mut env);
+        assert!(
+            rec.is_ok(),
+            "{name} failed to produce a recommendation under faults: {rec:?}"
+        );
+        let bound = env.retry_policy().max_retries;
+        for obs in env.history() {
+            assert!(
+                obs.retries <= bound,
+                "{name}: observation used {} retries (bound {bound})",
+                obs.retries
+            );
+        }
+    }
+}
+
+#[test]
+fn tuning_under_faults_is_deterministic() {
+    let run = || {
+        let mut env = TuningEnv::new(faulty_engine(0.10), wordcount(), 5);
+        let mut tuner = RandomSearch::new(6, 2);
+        let rec = tuner.tune(&mut env).expect("random search succeeds");
+        let history: Vec<_> = env
+            .history()
+            .iter()
+            .map(|o| (o.score_mins, o.retries, o.result.injected_faults))
+            .collect();
+        (rec.config, history)
+    };
+    let (cfg_a, hist_a) = run();
+    let (cfg_b, hist_b) = run();
+    assert_eq!(cfg_a, cfg_b);
+    assert_eq!(hist_a, hist_b);
+}
+
+#[test]
+fn higher_fault_rates_cost_more_stress_time() {
+    let stress = |rate: f64| {
+        let mut env = TuningEnv::new(faulty_engine(rate), wordcount(), 9);
+        let mut tuner = RandomSearch::new(6, 4);
+        tuner.tune(&mut env).expect("random search succeeds");
+        env.stress_time()
+    };
+    let calm = stress(0.0);
+    let stormy = stress(0.25);
+    assert!(
+        stormy > calm,
+        "faults must cost time: calm {calm} vs stormy {stormy}"
+    );
+}

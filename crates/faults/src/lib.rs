@@ -1,0 +1,31 @@
+//! # relm-faults
+//!
+//! Deterministic fault injection for the evaluation substrate.
+//!
+//! Online tuning is expensive precisely because the substrate it measures
+//! on is hostile (§6.1, Figure 5): containers are OOM-killed after Spark's
+//! `spark.task.maxFailures`, nodes disappear, stragglers stretch wave
+//! times, and monitoring stacks hand back degraded profiles. This crate
+//! models that hostility as a *seeded plan*: every injection decision is a
+//! pure function of the plan seed and the injection site, so the same seed
+//! and plan produce byte-identical histories — replayable, diffable, and
+//! safe to use in regression tests.
+//!
+//! The two halves:
+//!
+//! * [`FaultPlan`] — the injector. The engine asks it at each decision
+//!   site (container wave attempts, whole waves for node loss, the profile
+//!   assembly step) whether a fault fires. Sites are addressed by
+//!   `(run seed, stage, wave, container, attempt)`, so injections are
+//!   independent of evaluation order and survive checkpoint/resume.
+//! * [`AbortCause`] / [`AbortClass`] — the classification the retry layer
+//!   uses: injected kills are *transient* (retry helps), node loss is
+//!   *infrastructure* (retry on fresh containers helps), organic memory
+//!   failures are *persistent* (the configuration is at fault; retrying
+//!   burns stress time for nothing).
+
+mod cause;
+mod plan;
+
+pub use cause::{AbortCause, AbortClass};
+pub use plan::{FaultConfig, FaultPlan, InjectedFault, ProfileNoise};

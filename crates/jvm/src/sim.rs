@@ -200,6 +200,12 @@ pub struct JvmSim {
     peak_rss: Mem,
     peak_heap_used: Mem,
     peak_old_used: Mem,
+    /// Slowdown requested for the *next* wave (fault injection: a
+    /// straggling container's collector threads crawl along with its
+    /// mutators). Consumed by `simulate_wave`, then reset to 1.
+    wave_slowdown: f64,
+    /// Slowdown in effect for the wave currently being simulated.
+    active_slowdown: f64,
 }
 
 impl JvmSim {
@@ -226,7 +232,17 @@ impl JvmSim {
             peak_rss: Mem::ZERO,
             peak_heap_used: Mem::ZERO,
             peak_old_used: Mem::ZERO,
+            wave_slowdown: 1.0,
+            active_slowdown: 1.0,
         }
+    }
+
+    /// Applies a straggler slowdown to the next simulated wave: every GC
+    /// pause of that wave is stretched by `factor` (clamped to ≥ 1). The
+    /// fault injector uses this to model a container whose node is
+    /// overloaded — compute and collection both crawl.
+    pub fn set_wave_slowdown(&mut self, factor: f64) {
+        self.wave_slowdown = factor.max(1.0);
     }
 
     /// The heap layout in effect.
@@ -350,6 +366,7 @@ impl JvmSim {
         if promotion_failure {
             pause = pause * self.cost.promotion_failure_penalty;
         }
+        pause = pause * self.active_slowdown;
         self.dead_transient = Mem::ZERO;
         self.record_event(time, GcKind::Full, pause, Mem::ZERO);
         pause
@@ -360,6 +377,8 @@ impl JvmSim {
     /// Returns the GC activity; the caller adds `gc_pause` to the wave's wall
     /// time and reacts to `oom`.
     pub fn simulate_wave(&mut self, now: Millis, w: &WavePressure) -> WaveOutcome {
+        self.active_slowdown = self.wave_slowdown.max(1.0);
+        self.wave_slowdown = 1.0;
         let eden = self.layout.eden;
         let survivor = self.layout.survivor;
         let old_cap = self.layout.old;
@@ -463,8 +482,9 @@ impl JvmSim {
                 working_in_young = Mem::ZERO;
             }
 
-            let pause = self.cost.young_base
-                + Millis::ms(self.cost.young_ms_per_mb * (copied + overflow).as_mb());
+            let pause = (self.cost.young_base
+                + Millis::ms(self.cost.young_ms_per_mb * (copied + overflow).as_mb()))
+                * self.active_slowdown;
             self.young_gcs += 1;
             self.record_event(t, GcKind::Young, pause, working_in_young + shuffle_in_young);
 
@@ -618,6 +638,32 @@ mod tests {
             o_high.young_gcs,
             o_low.young_gcs
         );
+    }
+
+    #[test]
+    fn wave_slowdown_stretches_pauses_and_resets() {
+        let w = wave(10.0, 5000.0, 100.0);
+        let mut plain = sim(4404.0, 2);
+        let baseline = plain.simulate_wave(Millis::ZERO, &w).gc_pause;
+        assert!(baseline > Millis::ZERO);
+
+        let mut straggler = sim(4404.0, 2);
+        straggler.set_wave_slowdown(3.0);
+        let slowed = straggler.simulate_wave(Millis::ZERO, &w).gc_pause;
+        assert!(
+            (slowed / baseline - 3.0).abs() < 1e-9,
+            "slowdown should scale pauses exactly: {slowed} vs {baseline}"
+        );
+
+        // The slowdown applies to one wave only.
+        let after = straggler.simulate_wave(Millis::secs(30.0), &w).gc_pause;
+        let plain_after = plain.simulate_wave(Millis::secs(30.0), &w).gc_pause;
+        assert_eq!(after, plain_after);
+
+        // Sub-unity factors are clamped: a "straggler" cannot speed up.
+        let mut fast = sim(4404.0, 2);
+        fast.set_wave_slowdown(0.1);
+        assert_eq!(fast.simulate_wave(Millis::ZERO, &w).gc_pause, baseline);
     }
 
     #[test]

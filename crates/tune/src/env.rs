@@ -4,6 +4,7 @@
 use crate::space::ConfigSpace;
 use relm_app::{AppSpec, Engine, RunResult};
 use relm_common::{Mem, MemoryConfig, Millis};
+use relm_faults::{AbortCause, AbortClass};
 use relm_obs::Obs;
 use relm_profile::Profile;
 use serde::{Deserialize, Serialize};
@@ -17,12 +18,91 @@ pub const ABORT_PENALTY_FACTOR: f64 = 2.0;
 pub struct Observation {
     /// The configuration that was run.
     pub config: MemoryConfig,
-    /// The run's metrics.
+    /// The metrics of the *final* attempt.
     pub result: RunResult,
     /// Objective value in minutes. Aborted runs are penalized at twice the
     /// worst runtime observed so far (§6.1), which keeps the failing region
-    /// ranked low during exploration.
+    /// ranked low during exploration. When the final attempt aborted or
+    /// timed out this is a *censored* score: the surrogate sees the
+    /// penalty, not the (unknown) true runtime.
     pub score_mins: f64,
+    /// How many extra attempts the retry policy spent before this
+    /// observation settled (0 = first attempt stood).
+    pub retries: u32,
+}
+
+impl Observation {
+    /// True when the score is censored — the run never finished cleanly,
+    /// so `score_mins` is a penalty bound rather than a measurement.
+    pub fn is_censored(&self) -> bool {
+        self.result.aborted
+    }
+}
+
+/// Bounded retry/recovery for stress tests on a faulty substrate.
+///
+/// A real tuning session does not give up on a configuration because a
+/// spot instance was preempted mid-run; it re-submits, with backoff, a
+/// bounded number of times — and only for abort causes where retrying can
+/// help. [`AbortClass::Persistent`] failures (the configuration's own
+/// OOMs) are never retried: the rerun would fail the same way and the
+/// stress-time budget is better spent elsewhere.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum re-executions after a retryable abort (mirrors Spark's
+    /// `spark.task.maxFailures = 4`).
+    pub max_retries: u32,
+    /// Backoff before the first retry, charged to stress time.
+    pub backoff: Millis,
+    /// Backoff growth per retry (exponential).
+    pub backoff_factor: f64,
+    /// Per-evaluation budget: a run that would exceed this is cut off and
+    /// censored as a [`AbortCause::Timeout`] abort at the budget.
+    pub timeout: Option<Millis>,
+}
+
+impl RetryPolicy {
+    /// The default policy: up to 4 retries, 10 s doubling backoff, no
+    /// timeout.
+    pub fn standard() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            backoff: Millis::secs(10.0),
+            backoff_factor: 2.0,
+            timeout: None,
+        }
+    }
+
+    /// Never retry, never time out — every abort is recorded as-is.
+    pub fn disabled() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            backoff: Millis::ZERO,
+            backoff_factor: 1.0,
+            timeout: None,
+        }
+    }
+
+    /// The backoff charged before retry number `retry` (1-based).
+    pub fn backoff_for(&self, retry: u32) -> Millis {
+        let exp = self
+            .backoff_factor
+            .max(1.0)
+            .powi(retry.saturating_sub(1) as i32);
+        Millis::ms(self.backoff.as_ms() * exp)
+    }
+
+    /// Whether a run aborted with `cause` should be retried after `retries`
+    /// re-executions already spent.
+    pub fn should_retry(&self, cause: AbortCause, retries: u32) -> bool {
+        retries < self.max_retries && cause.class() != AbortClass::Persistent
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::standard()
+    }
 }
 
 /// Wraps an engine + application + space, executing stress tests and keeping
@@ -34,6 +114,10 @@ pub struct TuningEnv {
     history: Vec<Observation>,
     next_seed: u64,
     worst_mins: f64,
+    retry: RetryPolicy,
+    /// Simulated time burned on failed attempts and backoff — part of the
+    /// session's stress time even though no observation records it.
+    retry_time: Millis,
     obs: Obs,
 }
 
@@ -54,8 +138,59 @@ impl TuningEnv {
             history: Vec::new(),
             next_seed: base_seed,
             worst_mins: 0.0,
+            retry: RetryPolicy::standard(),
+            retry_time: Millis::ZERO,
             obs,
         }
+    }
+
+    /// Reconstructs an environment from checkpointed state (see
+    /// `SessionCheckpoint` in the export module). The restored environment
+    /// continues exactly where the captured one stopped: same seed chain,
+    /// same penalty baseline, same history.
+    pub fn restore(
+        engine: Engine,
+        app: AppSpec,
+        next_seed: u64,
+        worst_mins: f64,
+        retry_time: Millis,
+        history: Vec<Observation>,
+    ) -> Self {
+        let space = ConfigSpace::for_app(engine.cluster(), &app);
+        let obs = engine.obs().clone();
+        TuningEnv {
+            engine,
+            app,
+            space,
+            history,
+            next_seed,
+            worst_mins,
+            retry: RetryPolicy::standard(),
+            retry_time,
+            obs,
+        }
+    }
+
+    /// The seed the next evaluation will run under (checkpoint state).
+    pub fn next_seed(&self) -> u64 {
+        self.next_seed
+    }
+
+    /// The worst observed runtime in minutes — the abort-penalty baseline
+    /// (checkpoint state).
+    pub fn worst_mins(&self) -> f64 {
+        self.worst_mins
+    }
+
+    /// Replaces the retry policy (the default is [`RetryPolicy::standard`]).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The retry policy in effect.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
     }
 
     /// Replaces the observability handle (also propagated to future runs
@@ -107,27 +242,76 @@ impl TuningEnv {
         obs
     }
 
-    /// Like [`TuningEnv::evaluate`] but also returns the collected profile
-    /// (used by RelM and GBO).
-    pub fn evaluate_profiled(&mut self, config: &MemoryConfig) -> (Observation, Profile) {
+    /// Applies the per-evaluation timeout: a run that would exceed the
+    /// budget is cut off there and censored as a `Timeout` abort.
+    fn apply_timeout(&self, result: &mut RunResult) {
+        if let Some(budget) = self.retry.timeout {
+            if result.runtime > budget {
+                result.runtime = budget;
+                result.aborted = true;
+                result.abort_cause = Some(AbortCause::Timeout);
+                self.obs.inc("env.timeouts");
+            }
+        }
+    }
+
+    /// Runs one attempt and classifies the outcome.
+    fn run_attempt(&mut self, config: &MemoryConfig) -> (RunResult, Profile) {
         let seed = self.next_seed;
         self.next_seed = self.next_seed.wrapping_add(0x9E37).wrapping_mul(3) | 1;
         let mut span = self.obs.span("env.evaluate");
-        let (result, profile) = self.engine.run(&self.app, config, seed);
-        let score = self.score(&result);
+        let (mut result, profile) = self.engine.run(&self.app, config, seed);
+        self.apply_timeout(&mut result);
+        if let Some(cause) = result.abort_cause.filter(|_| result.aborted) {
+            // Per-cause abort histogram; summed over causes this equals
+            // env.retries + the number of censored observations.
+            self.obs.inc(&format!("env.aborts.{cause}"));
+        }
         if span.is_recording() {
             span.set("seed", seed);
-            span.set("score_mins", score);
             span.set("aborted", result.aborted);
+            if let Some(cause) = result.abort_cause {
+                span.set("abort_cause", cause.as_str());
+            }
             self.obs.inc("env.stress_tests");
             self.obs.add("env.stress_time_ms", result.runtime.as_ms());
-            self.obs.record("env.score_mins", score);
         }
-        drop(span);
+        (result, profile)
+    }
+
+    /// Like [`TuningEnv::evaluate`] but also returns the collected profile
+    /// (used by RelM and GBO).
+    ///
+    /// Failed attempts whose abort cause is transient or infrastructural
+    /// are retried (with backoff) up to the policy's bound; each retry runs
+    /// under a fresh seed so an injected fault does not recur identically.
+    /// Only the attempt that settles is recorded in the history — but every
+    /// attempt's runtime, plus backoff, is charged to
+    /// [`TuningEnv::stress_time`].
+    pub fn evaluate_profiled(&mut self, config: &MemoryConfig) -> (Observation, Profile) {
+        let mut retries = 0u32;
+        let (result, profile) = loop {
+            let (result, profile) = self.run_attempt(config);
+            let retryable = result
+                .abort_cause
+                .filter(|_| result.aborted)
+                .is_some_and(|cause| self.retry.should_retry(cause, retries));
+            if !retryable {
+                break (result, profile);
+            }
+            retries += 1;
+            let backoff = self.retry.backoff_for(retries);
+            self.retry_time += result.runtime + backoff;
+            self.obs.inc("env.retries");
+            self.obs.add("env.backoff_ms", backoff.as_ms());
+        };
+        let score = self.score(&result);
+        self.obs.record("env.score_mins", score);
         let obs = Observation {
             config: *config,
             result,
             score_mins: score,
+            retries,
         };
         self.history.push(obs.clone());
         (obs, profile)
@@ -143,17 +327,34 @@ impl TuningEnv {
         self.history.len()
     }
 
-    /// The best (lowest-score) observation so far.
+    /// The best (lowest-score) observation so far. NaN scores (which a
+    /// degenerate surrogate or corrupted profile can produce) sort last
+    /// instead of panicking.
     pub fn best(&self) -> Option<&Observation> {
         self.history
             .iter()
-            .min_by(|a, b| a.score_mins.partial_cmp(&b.score_mins).expect("NaN score"))
+            .min_by(|a, b| a.score_mins.total_cmp(&b.score_mins))
     }
 
-    /// Total simulated wall-clock time spent in stress tests — the dominant
-    /// training overhead of Figure 16.
+    /// Total simulated wall-clock time spent in stress tests, including
+    /// failed attempts and retry backoff — the dominant training overhead
+    /// of Figure 16.
     pub fn stress_time(&self) -> Millis {
-        self.history.iter().map(|o| o.result.runtime).sum()
+        self.history
+            .iter()
+            .map(|o| o.result.runtime)
+            .sum::<Millis>()
+            + self.retry_time
+    }
+
+    /// Simulated time burned on failed attempts and backoff alone.
+    pub fn retry_time(&self) -> Millis {
+        self.retry_time
+    }
+
+    /// Total retries across all evaluations.
+    pub fn total_retries(&self) -> u32 {
+        self.history.iter().map(|o| o.retries).sum()
     }
 
     /// Convenience: the per-container heap for `n` containers per node.
@@ -272,5 +473,115 @@ mod tests {
         let a = env.evaluate(&cfg);
         let b = env.evaluate(&cfg);
         assert_ne!(a.result.runtime, b.result.runtime);
+    }
+
+    fn nan_observation(cfg: MemoryConfig, score: f64) -> Observation {
+        Observation {
+            config: cfg,
+            result: RunResult {
+                runtime: Millis::secs(60.0),
+                aborted: false,
+                abort_cause: None,
+                container_failures: 0,
+                injected_faults: 0,
+                oom_failures: 0,
+                rss_kills: 0,
+                max_heap_util: 0.5,
+                avg_cpu_util: 0.5,
+                avg_disk_util: 0.1,
+                gc_overhead: 0.05,
+                cache_hit_ratio: 1.0,
+                spill_fraction: 0.0,
+                young_gcs: 10,
+                full_gcs: 1,
+            },
+            score_mins: score,
+            retries: 0,
+        }
+    }
+
+    #[test]
+    fn best_survives_nan_scores() {
+        // Regression: `best()` used to panic on NaN via
+        // `partial_cmp().expect()`. NaN must sort last, not crash the
+        // session.
+        let mut env = env();
+        let cfg = max_resource_allocation(&ClusterSpec::cluster_a(), env.app());
+        let good = env.evaluate(&cfg);
+        env.history.push(nan_observation(cfg, f64::NAN));
+        let best = env.best().expect("history is non-empty");
+        assert_eq!(best.score_mins, good.score_mins);
+        assert!(!best.score_mins.is_nan());
+    }
+
+    #[test]
+    fn transient_aborts_are_retried_within_the_bound() {
+        use relm_faults::{FaultConfig, FaultPlan};
+        // A kill rate this high fails every wave attempt somewhere, so the
+        // engine aborts and the env retries until the bound.
+        let mut config = FaultConfig::off();
+        config.container_kill_rate = 0.5;
+        let engine = Engine::new(ClusterSpec::cluster_a()).with_faults(FaultPlan::new(7, config));
+        let mut env = TuningEnv::new(engine, wordcount(), 11);
+        let cfg = max_resource_allocation(&ClusterSpec::cluster_a(), env.app());
+        let obs = env.evaluate(&cfg);
+        assert!(obs.retries <= env.retry_policy().max_retries);
+        if obs.is_censored() {
+            assert_eq!(
+                obs.result.abort_cause.unwrap().class(),
+                AbortClass::Transient
+            );
+            assert_eq!(
+                obs.retries,
+                env.retry_policy().max_retries,
+                "a censored transient abort means the whole retry budget was spent"
+            );
+        }
+        assert!(env.retry_time() > Millis::ZERO);
+        assert!(env.stress_time() > obs.result.runtime);
+    }
+
+    #[test]
+    fn persistent_aborts_are_never_retried() {
+        let mut env = TuningEnv::new(
+            Engine::new(ClusterSpec::cluster_a()),
+            relm_workloads::pagerank(),
+            3,
+        );
+        let hostile = MemoryConfig {
+            containers_per_node: 2,
+            heap: ClusterSpec::cluster_a().heap_for(2),
+            task_concurrency: 8,
+            cache_fraction: 0.8,
+            shuffle_fraction: 0.0,
+            new_ratio: 3,
+            survivor_ratio: 8,
+        };
+        let mut saw_abort = false;
+        for _ in 0..6 {
+            let obs = env.evaluate(&hostile);
+            assert_eq!(obs.retries, 0, "config's own OOMs must not be retried");
+            saw_abort |= obs.result.aborted;
+        }
+        assert!(saw_abort);
+        assert_eq!(env.total_retries(), 0);
+        assert_eq!(env.retry_time(), Millis::ZERO);
+    }
+
+    #[test]
+    fn timeout_censors_and_caps_the_charged_runtime() {
+        let budget = Millis::secs(5.0);
+        let mut env = env().with_retry_policy(RetryPolicy {
+            max_retries: 0,
+            backoff: Millis::ZERO,
+            backoff_factor: 1.0,
+            timeout: Some(budget),
+        });
+        let cfg = max_resource_allocation(&ClusterSpec::cluster_a(), env.app());
+        let obs = env.evaluate(&cfg);
+        assert!(obs.is_censored());
+        assert_eq!(obs.result.abort_cause, Some(AbortCause::Timeout));
+        assert_eq!(obs.result.runtime, budget);
+        assert!(obs.score_mins >= obs.result.runtime_mins());
     }
 }

@@ -7,12 +7,16 @@
 //! Concurrency to `spark.executor.cores`, and `NewRatio`/`SurvivorRatio` to
 //! the executor's JVM options.
 
-use crate::env::TuningEnv;
+use crate::env::{Observation, TuningEnv};
 use crate::tuner::Recommendation;
+use relm_app::{AppSpec, Engine};
 use relm_cluster::ClusterSpec;
-use relm_common::MemoryConfig;
+use relm_common::{MemoryConfig, Millis};
+use relm_faults::AbortCause;
 use relm_obs::HistogramSummary;
 use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
 
 /// One `key = value` property.
 pub type Property = (String, String);
@@ -71,8 +75,16 @@ pub fn to_spark_defaults_conf(config: &MemoryConfig, cluster: &ClusterSpec) -> S
 pub struct SessionMetrics {
     /// Stress tests the session ran.
     pub evaluations: usize,
-    /// How many of those aborted (and were penalty-scored).
+    /// How many of those settled aborted (censored, penalty-scored).
     pub aborts: usize,
+    /// Per-cause breakdown of the censored observations, `(cause label,
+    /// count)`; causes that never fired are omitted. Sums to `aborts`.
+    pub abort_causes: Vec<(String, u32)>,
+    /// Retries the environment's policy spent across all evaluations.
+    pub retries: u32,
+    /// Simulated time burned on failed attempts and retry backoff, in
+    /// milliseconds (included in `stress_time_ms`).
+    pub retry_time_ms: f64,
     /// Total simulated stress-test wall-clock, in milliseconds.
     pub stress_time_ms: f64,
     /// Decision-latency histograms (`*.fit_ms`, `*.acq_ms`,
@@ -88,6 +100,17 @@ impl SessionMetrics {
     /// handle when one was attached.
     pub fn from_env(env: &TuningEnv) -> Self {
         let aborts = env.history().iter().filter(|o| o.result.aborted).count();
+        let abort_causes: Vec<(String, u32)> = AbortCause::ALL
+            .iter()
+            .filter_map(|cause| {
+                let n = env
+                    .history()
+                    .iter()
+                    .filter(|o| o.result.aborted && o.result.abort_cause == Some(*cause))
+                    .count() as u32;
+                (n > 0).then(|| (cause.as_str().to_string(), n))
+            })
+            .collect();
         let decision_latency = env
             .obs()
             .snapshot()
@@ -102,6 +125,9 @@ impl SessionMetrics {
         SessionMetrics {
             evaluations: env.evaluations(),
             aborts,
+            abort_causes,
+            retries: env.total_retries(),
+            retry_time_ms: env.retry_time().as_ms(),
             stress_time_ms: env.stress_time().as_ms(),
             decision_latency,
         }
@@ -123,6 +149,96 @@ pub fn session_export(env: &TuningEnv, rec: &Recommendation) -> SessionExport {
         recommendation: rec.clone(),
         properties: to_spark_properties(&rec.config, env.engine().cluster()),
         metrics: SessionMetrics::from_env(env),
+    }
+}
+
+/// Crash-safe snapshot of a tuning session in progress.
+///
+/// A session that dies mid-way (node reboot, operator Ctrl-C, the tuning
+/// driver itself being preempted) should not forfeit the stress tests it
+/// already paid for. The checkpoint captures everything the environment
+/// needs to continue *exactly* where it stopped: the application spec, the
+/// evaluation history, the seed chain position, and the abort-penalty
+/// baseline. Because the engine's fault injection is site-addressed (not
+/// stateful), a resumed session replays into the same injected faults the
+/// uninterrupted one would have seen — resumed and uninterrupted histories
+/// are byte-identical.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionCheckpoint {
+    /// Format version, for forward compatibility.
+    pub version: u32,
+    /// The application under tuning.
+    pub app: AppSpec,
+    /// The seed the next evaluation will run under.
+    pub next_seed: u64,
+    /// The abort-penalty baseline (worst observed runtime, minutes).
+    pub worst_mins: f64,
+    /// Time burned on failed attempts and backoff so far, milliseconds.
+    pub retry_time_ms: f64,
+    /// Every observation recorded so far, in order.
+    pub history: Vec<Observation>,
+}
+
+/// The checkpoint format version written by this build.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+impl SessionCheckpoint {
+    /// Captures the resumable state of a session in progress.
+    pub fn capture(env: &TuningEnv) -> Self {
+        SessionCheckpoint {
+            version: CHECKPOINT_VERSION,
+            app: env.app().clone(),
+            next_seed: env.next_seed(),
+            worst_mins: env.worst_mins(),
+            retry_time_ms: env.retry_time().as_ms(),
+            history: env.history().to_vec(),
+        }
+    }
+
+    /// Rebuilds a live environment on `engine` that continues where the
+    /// captured session stopped. The engine should carry the same cluster,
+    /// cost model, and fault plan as the original; the retry policy is
+    /// reset to the default and can be overridden afterwards.
+    pub fn resume(self, engine: Engine) -> TuningEnv {
+        TuningEnv::restore(
+            engine,
+            self.app,
+            self.next_seed,
+            self.worst_mins,
+            Millis::ms(self.retry_time_ms),
+            self.history,
+        )
+    }
+
+    /// Atomically writes the checkpoint to `path`: the JSON goes to a
+    /// sibling temporary file first and is renamed into place, so a crash
+    /// mid-write leaves either the previous checkpoint or none — never a
+    /// torn file.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let json = serde_json::to_string(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads a checkpoint written by [`SessionCheckpoint::save`].
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        let ckpt: SessionCheckpoint = serde_json::from_str(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if ckpt.version != CHECKPOINT_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "checkpoint version {} not supported (expected {})",
+                    ckpt.version, CHECKPOINT_VERSION
+                ),
+            ));
+        }
+        Ok(ckpt)
     }
 }
 
@@ -216,6 +332,95 @@ mod tests {
         let export = session_export(&env, &rec);
         assert_eq!(export.metrics.evaluations, 3);
         assert!(export.metrics.decision_latency.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_resume_replays_identically() {
+        use crate::env::TuningEnv;
+        use relm_faults::{FaultConfig, FaultPlan};
+        use relm_workloads::{max_resource_allocation, wordcount};
+
+        let make_engine = || {
+            relm_app::Engine::new(ClusterSpec::cluster_a())
+                .with_faults(FaultPlan::new(3, FaultConfig::uniform(0.10)))
+        };
+        let base = max_resource_allocation(&ClusterSpec::cluster_a(), &wordcount());
+        let configs: Vec<MemoryConfig> = (1..=6)
+            .map(|p| MemoryConfig {
+                task_concurrency: p,
+                ..base
+            })
+            .collect();
+
+        // The uninterrupted session.
+        let mut full = TuningEnv::new(make_engine(), wordcount(), 42);
+        for c in &configs {
+            full.evaluate(c);
+        }
+
+        // The same session, killed after 3 evaluations and resumed from a
+        // checkpoint on a fresh engine.
+        let mut half = TuningEnv::new(make_engine(), wordcount(), 42);
+        for c in &configs[..3] {
+            half.evaluate(c);
+        }
+        let ckpt = SessionCheckpoint::capture(&half);
+        let mut resumed = ckpt.resume(make_engine());
+        for c in &configs[3..] {
+            resumed.evaluate(c);
+        }
+
+        // Byte-identical histories — including any injected faults,
+        // retries, and censored scores.
+        let a = serde_json::to_string(&full.history().to_vec()).unwrap();
+        let b = serde_json::to_string(&resumed.history().to_vec()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(full.stress_time(), resumed.stress_time());
+    }
+
+    #[test]
+    fn checkpoint_save_load_round_trips_atomically() {
+        use crate::env::TuningEnv;
+        use relm_workloads::{max_resource_allocation, wordcount};
+
+        let mut env = TuningEnv::new(
+            relm_app::Engine::new(ClusterSpec::cluster_a()),
+            wordcount(),
+            7,
+        );
+        let cfg = max_resource_allocation(&ClusterSpec::cluster_a(), env.app());
+        env.evaluate(&cfg);
+        let ckpt = SessionCheckpoint::capture(&env);
+
+        let path = std::env::temp_dir().join(format!("relm_ckpt_test_{}.json", std::process::id()));
+        ckpt.save(&path).unwrap();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(
+            !std::path::PathBuf::from(tmp).exists(),
+            "temporary file must be renamed away"
+        );
+        let back = SessionCheckpoint::load(&path).unwrap();
+        assert_eq!(ckpt, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_rejects_unknown_versions() {
+        use crate::env::TuningEnv;
+        use relm_workloads::wordcount;
+        let env = TuningEnv::new(
+            relm_app::Engine::new(ClusterSpec::cluster_a()),
+            wordcount(),
+            7,
+        );
+        let mut ckpt = SessionCheckpoint::capture(&env);
+        ckpt.version = 999;
+        let path =
+            std::env::temp_dir().join(format!("relm_ckpt_ver_test_{}.json", std::process::id()));
+        ckpt.save(&path).unwrap();
+        assert!(SessionCheckpoint::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

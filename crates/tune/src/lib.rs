@@ -21,9 +21,10 @@ pub mod rrs;
 pub mod space;
 pub mod tuner;
 
-pub use env::{Observation, TuningEnv, ABORT_PENALTY_FACTOR};
+pub use env::{Observation, RetryPolicy, TuningEnv, ABORT_PENALTY_FACTOR};
 pub use export::{
-    session_export, to_spark_defaults_conf, to_spark_properties, SessionExport, SessionMetrics,
+    session_export, to_spark_defaults_conf, to_spark_properties, SessionCheckpoint, SessionExport,
+    SessionMetrics, CHECKPOINT_VERSION,
 };
 pub use policies::{DefaultPolicy, ExhaustiveSearch, RandomSearch};
 pub use rrs::RecursiveRandomSearch;

@@ -8,7 +8,7 @@
 
 use relm_app::AppSpec;
 use relm_cluster::ClusterSpec;
-use relm_common::MemoryConfig;
+use relm_common::{MemoryConfig, MAX_CONTAINERS_PER_NODE, MAX_NEW_RATIO};
 use serde::{Deserialize, Serialize};
 
 /// Which of the two application-level pools is tuned as the 3rd dimension.
@@ -36,9 +36,10 @@ pub const DIMS: usize = 4;
 /// Bounds of the capacity dimension.
 const CAP_MIN: f64 = 0.05;
 const CAP_MAX: f64 = 0.8;
-/// Bounds of the NewRatio dimension.
+/// Bounds of the NewRatio dimension (upper bound shared with the
+/// [`MemoryConfig`] invariants so decoded points always pass `check`).
 const NR_MIN: u32 = 1;
-const NR_MAX: u32 = 9;
+const NR_MAX: u32 = MAX_NEW_RATIO;
 
 impl ConfigSpace {
     /// Builds the space for an application: the dominant pool follows the
@@ -79,7 +80,7 @@ impl ConfigSpace {
         assert_eq!(x.len(), DIMS, "expected {DIMS} dimensions");
         let clamp01 = |v: f64| v.clamp(0.0, 1.0);
 
-        let n = 1 + (clamp01(x[0]) * 3.999).floor() as u32;
+        let n = 1 + (clamp01(x[0]) * (MAX_CONTAINERS_PER_NODE as f64 - 0.001)).floor() as u32;
         let max_p = self.cluster.max_task_concurrency(n);
         let p = 1 + (clamp01(x[1]) * (max_p as f64 - 1.0)).round() as u32;
         let capacity = CAP_MIN + clamp01(x[2]) * (CAP_MAX - CAP_MIN);
@@ -90,7 +91,7 @@ impl ConfigSpace {
             DominantPool::Shuffle => (self.minor_fraction, capacity),
         };
 
-        MemoryConfig {
+        let config = MemoryConfig {
             containers_per_node: n,
             heap: self.cluster.heap_for(n),
             task_concurrency: p,
@@ -98,14 +99,22 @@ impl ConfigSpace {
             shuffle_fraction,
             new_ratio,
             survivor_ratio: 8,
-        }
+        };
+        // Every sampled point must land inside the MemoryConfig invariants;
+        // a violation here is a bug in the space, not in the caller.
+        debug_assert!(
+            config.check().is_ok(),
+            "decode produced an invalid configuration ({:?}): {config}",
+            config.check()
+        );
+        config
     }
 
     /// Encodes a configuration back into the unit hypercube (inverse of
     /// [`ConfigSpace::decode`] up to discretization).
     pub fn encode(&self, config: &MemoryConfig) -> [f64; DIMS] {
-        let n = config.containers_per_node.clamp(1, 4);
-        let x0 = (n - 1) as f64 / 4.0 + 0.125;
+        let n = config.containers_per_node.clamp(1, MAX_CONTAINERS_PER_NODE);
+        let x0 = (n - 1) as f64 / MAX_CONTAINERS_PER_NODE as f64 + 0.125;
         let max_p = self.cluster.max_task_concurrency(n);
         let x1 = if max_p <= 1 {
             0.0
@@ -127,7 +136,7 @@ impl ConfigSpace {
     /// Cluster A, exactly as in §6.1.
     pub fn grid(&self) -> Vec<MemoryConfig> {
         let mut out = Vec::new();
-        for n in 1u32..=4 {
+        for n in 1u32..=MAX_CONTAINERS_PER_NODE {
             let max_p = self.cluster.max_task_concurrency(n);
             // 4 concurrency values spread over [1, max_p], deduplicated.
             let mut ps: Vec<u32> = (0..4)
@@ -198,7 +207,9 @@ mod tests {
         for i in 0..200 {
             let t = i as f64 / 199.0;
             let cfg = space.decode(&[t, 1.0 - t, t, (t * 7.0) % 1.0]);
-            assert!(cfg.validate().is_ok(), "invalid config from decode: {cfg}");
+            assert!(cfg.check().is_ok(), "invalid config from decode: {cfg}");
+            assert!(cfg.containers_per_node <= MAX_CONTAINERS_PER_NODE);
+            assert!(cfg.new_ratio <= MAX_NEW_RATIO);
             let max_p = space
                 .cluster()
                 .max_task_concurrency(cfg.containers_per_node);

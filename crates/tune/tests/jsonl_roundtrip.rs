@@ -1,0 +1,126 @@
+//! Property tests: censored (aborted) observations and session metrics
+//! must survive the JSONL pivot byte-for-byte — the sweep binaries, the
+//! crash-safe checkpoint, and the replay smoke test all depend on it.
+
+use proptest::prelude::*;
+use relm_app::{Engine, RunResult};
+use relm_cluster::ClusterSpec;
+use relm_common::{Mem, MemoryConfig, Millis};
+use relm_faults::{AbortCause, FaultConfig, FaultPlan};
+use relm_tune::{Observation, RandomSearch, SessionMetrics, Tuner, TuningEnv};
+use relm_workloads::wordcount;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn censored_observations_round_trip_through_jsonl(
+        cause_idx in 0usize..AbortCause::ALL.len(),
+        retries in 0u32..=4,
+        runtime_ms in 1e3..1e7f64,
+        score in 0.1..500.0f64,
+        n in 1u32..=4,
+        p in 1u32..=8,
+        nr in 1u32..=9,
+        cap in 0.05..0.8f64,
+        injected in 0u32..6,
+        batch in 1usize..=5,
+    ) {
+        let cause = AbortCause::ALL[cause_idx];
+        // A batch of observations: index 0 is the censored one under test,
+        // the rest are clean runs riding along in the same JSONL stream.
+        let observations: Vec<Observation> = (0..batch)
+            .map(|i| {
+                let aborted = i == 0;
+                let config = MemoryConfig {
+                    containers_per_node: n,
+                    heap: Mem::mb(17_616.0 / n as f64),
+                    task_concurrency: p,
+                    cache_fraction: 0.1,
+                    shuffle_fraction: cap,
+                    new_ratio: nr,
+                    survivor_ratio: 8,
+                };
+                assert!(config.check().is_ok(), "generated config invalid: {config}");
+                let result = RunResult {
+                    runtime: Millis::ms(runtime_ms * (i as f64 + 1.0)),
+                    aborted,
+                    abort_cause: aborted.then_some(cause),
+                    container_failures: injected,
+                    injected_faults: injected,
+                    oom_failures: 0,
+                    rss_kills: 0,
+                    max_heap_util: 0.9,
+                    avg_cpu_util: 0.55,
+                    avg_disk_util: 0.2,
+                    gc_overhead: 0.08,
+                    cache_hit_ratio: 0.0,
+                    spill_fraction: 0.3,
+                    young_gcs: 40 + i as u64,
+                    full_gcs: 2,
+                };
+                Observation {
+                    config,
+                    result,
+                    score_mins: score * (i as f64 + 1.0),
+                    retries: if aborted { retries } else { 0 },
+                }
+            })
+            .collect();
+        prop_assert!(observations[0].is_censored());
+
+        let jsonl: String = observations
+            .iter()
+            .map(|o| serde_json::to_string(o).expect("observation serializes") + "\n")
+            .collect();
+        let back: Vec<Observation> = jsonl
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("observation parses"))
+            .collect();
+
+        prop_assert_eq!(&back, &observations);
+        prop_assert_eq!(back[0].result.abort_cause, Some(cause));
+        prop_assert_eq!(back[0].retries, observations[0].retries);
+        prop_assert!(back[0].is_censored());
+        prop_assert!(back[1..].iter().all(|o| !o.is_censored()));
+        // A second pivot is byte-identical — the replay smoke test's
+        // `diff` depends on serialization being deterministic.
+        let again: String = back
+            .iter()
+            .map(|o| serde_json::to_string(o).unwrap() + "\n")
+            .collect();
+        prop_assert_eq!(again, jsonl);
+    }
+
+    #[test]
+    fn session_metrics_round_trip_with_abort_causes(
+        plan_seed in 0u64..1_000,
+        env_seed in 0u64..1_000,
+        evals in 3usize..=6,
+    ) {
+        // A real faulty session, aggressive enough to censor observations.
+        let engine = Engine::new(ClusterSpec::cluster_a())
+            .with_faults(FaultPlan::new(plan_seed, FaultConfig::uniform(0.30)));
+        let mut env = TuningEnv::new(engine, wordcount(), env_seed);
+        let mut tuner = RandomSearch::new(evals, env_seed);
+        tuner.tune(&mut env).expect("random search succeeds");
+
+        let metrics = SessionMetrics::from_env(&env);
+        let text = serde_json::to_string(&metrics).expect("metrics serialize");
+        let back: SessionMetrics = serde_json::from_str(&text).expect("metrics parse");
+        prop_assert_eq!(&back, &metrics);
+
+        // The per-cause breakdown must reconcile with the abort total, and
+        // every label must be a known cause.
+        let cause_sum: u32 = back.abort_causes.iter().map(|(_, n)| n).sum();
+        prop_assert_eq!(cause_sum as usize, back.aborts);
+        for (label, count) in &back.abort_causes {
+            prop_assert!(*count > 0, "zero-count causes must be omitted");
+            prop_assert!(
+                AbortCause::ALL.iter().any(|c| c.as_str() == label),
+                "unknown abort cause label: {label}"
+            );
+        }
+        prop_assert_eq!(back.evaluations, evals);
+    }
+}

@@ -16,4 +16,18 @@ cargo build --workspace --release
 echo "== cargo test =="
 cargo test --workspace --release -q
 
+echo "== deterministic replay smoke test =="
+# The fault sweep writes only simulated quantities, so two runs of the same
+# build must produce byte-identical JSONL. A diff here means something
+# non-deterministic (wall clock, hash order, global RNG) leaked into the
+# tuning pipeline.
+replay_dir="$(mktemp -d)"
+trap 'rm -rf "$replay_dir"' EXIT
+cargo run --release -q -p relm-experiments --bin fig05_fault_sweep >/dev/null
+cp results/fig05_fault_sweep.jsonl "$replay_dir/first.jsonl"
+cargo run --release -q -p relm-experiments --bin fig05_fault_sweep >/dev/null
+diff "$replay_dir/first.jsonl" results/fig05_fault_sweep.jsonl \
+  || { echo "replay smoke test FAILED: sweep output differs between runs" >&2; exit 1; }
+echo "replay OK: results/fig05_fault_sweep.jsonl is byte-identical across runs"
+
 echo "All checks passed."
