@@ -1,0 +1,267 @@
+//! Load generator for `relm-serve`: drives a fleet of concurrent tuning
+//! sessions over the TCP frontend and verifies the service's headline
+//! guarantees end to end.
+//!
+//! ```text
+//! serve_load [--workers N] [--sessions N] [--steps N] [--clients N]
+//!            [--out PATH] [--checkpoint-dir PATH]
+//! ```
+//!
+//! Each session's spec is a pure function of its index (workload cycles
+//! through the benchmark suite, seeds derive from the index, every third
+//! session runs under a seeded fault plan), so the exported histories are
+//! too: the JSONL written to `--out` contains only simulated quantities,
+//! keyed and sorted by session index, and is **byte-identical** for any
+//! `--workers` / `--clients` values. `scripts/check.sh` runs this binary
+//! with 1 worker and 8 workers and diffs the outputs.
+//!
+//! Before exiting, the binary drains the service and reconciles the
+//! books: every admitted evaluation completed exactly once, every session
+//! was checkpointed, and the observability counters agree with the
+//! protocol-level tallies. Any mismatch aborts the process. Wall-clock
+//! throughput and latency quantiles go to stdout only.
+
+use relm_experiments::results_dir;
+use relm_faults::FaultConfig;
+use relm_obs::Obs;
+use relm_serve::{Request, Response, ServeConfig, Service, SessionSpec, TcpClient, TcpServer};
+use relm_tune::Observation;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+const WORKLOADS: [&str; 5] = ["WordCount", "SortByKey", "K-means", "SVM", "PageRank"];
+
+/// One session's exported history — simulated quantities only, keyed by
+/// the spec index so the file is independent of scheduling.
+#[derive(Debug, Serialize, Deserialize)]
+struct SessionRecord {
+    index: u64,
+    workload: String,
+    faulty: bool,
+    evaluations: usize,
+    censored: usize,
+    best_score_mins: f64,
+    history: Vec<Observation>,
+}
+
+/// The session spec for fleet index `i` — a pure function of `i`.
+fn spec_for(i: u64) -> SessionSpec {
+    let mut spec = SessionSpec::named(WORKLOADS[(i % 5) as usize], 9000 + 23 * i);
+    if i.is_multiple_of(3) {
+        spec = spec.with_faults(400 + i, FaultConfig::uniform(0.08));
+    }
+    spec
+}
+
+struct Args {
+    workers: usize,
+    sessions: u64,
+    steps: u32,
+    clients: usize,
+    out: Option<PathBuf>,
+    checkpoint_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workers: 4,
+        sessions: 16,
+        steps: 4,
+        clients: 4,
+        out: None,
+        checkpoint_dir: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--workers" => args.workers = value().parse().expect("--workers"),
+            "--sessions" => args.sessions = value().parse().expect("--sessions"),
+            "--steps" => args.steps = value().parse().expect("--steps"),
+            "--clients" => args.clients = value().parse().expect("--clients"),
+            "--out" => args.out = Some(PathBuf::from(value())),
+            "--checkpoint-dir" => args.checkpoint_dir = Some(PathBuf::from(value())),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args.clients = args.clients.clamp(1, args.sessions.max(1) as usize);
+    args
+}
+
+/// One client thread: drives every fleet index congruent to `client` over
+/// its own TCP connection, returns the per-session records.
+fn drive_client(
+    addr: std::net::SocketAddr,
+    client: usize,
+    clients: usize,
+    sessions: u64,
+    steps: u32,
+) -> Vec<SessionRecord> {
+    let mut conn = TcpClient::connect(addr).expect("connect load client");
+    let mut records = Vec::new();
+    for index in (client as u64..sessions).step_by(clients) {
+        let spec = spec_for(index);
+        let name = match conn
+            .request(&Request::CreateSession { spec: spec.clone() })
+            .expect("create request")
+        {
+            Response::SessionCreated { session } => session,
+            other => panic!("create rejected: {other:?}"),
+        };
+        // Admission control may push back under a small global queue;
+        // back off and retry until the batch is accepted whole.
+        loop {
+            match conn
+                .request(&Request::StepAuto {
+                    session: name.clone(),
+                    evals: steps,
+                })
+                .expect("step request")
+            {
+                Response::Accepted { enqueued, .. } => {
+                    assert_eq!(enqueued, steps as usize);
+                    break;
+                }
+                Response::Overloaded { .. } => {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                other => panic!("step rejected: {other:?}"),
+            }
+        }
+        match conn
+            .request(&Request::Result {
+                session: name.clone(),
+            })
+            .expect("result request")
+        {
+            Response::ResultReady { history, .. } => {
+                assert_eq!(history.len(), steps as usize, "lost evaluations on {name}");
+                records.push(SessionRecord {
+                    index,
+                    workload: spec.workload.clone(),
+                    faulty: spec.faults.is_some(),
+                    evaluations: history.len(),
+                    censored: history.iter().filter(|o| o.is_censored()).count(),
+                    best_score_mins: history
+                        .iter()
+                        .map(|o| o.score_mins)
+                        .fold(f64::INFINITY, f64::min),
+                    history,
+                });
+            }
+            other => panic!("result rejected: {other:?}"),
+        }
+    }
+    records
+}
+
+fn main() {
+    let args = parse_args();
+    let obs = Obs::enabled();
+    let service = Arc::new(Service::start(
+        ServeConfig {
+            workers: args.workers,
+            max_sessions: args.sessions as usize,
+            session_queue_limit: args.steps as usize,
+            global_queue_limit: (args.steps as usize) * (args.sessions as usize).min(64),
+            checkpoint_dir: args.checkpoint_dir.clone(),
+            ..ServeConfig::default()
+        },
+        obs.clone(),
+    ));
+    let server = TcpServer::start(Arc::clone(&service), "127.0.0.1:0").expect("bind frontend");
+    let addr = server.addr();
+
+    let started = Instant::now();
+    let threads: Vec<_> = (0..args.clients)
+        .map(|c| {
+            let (clients, sessions, steps) = (args.clients, args.sessions, args.steps);
+            std::thread::spawn(move || drive_client(addr, c, clients, sessions, steps))
+        })
+        .collect();
+    let mut records: Vec<SessionRecord> = threads
+        .into_iter()
+        .flat_map(|t| t.join().expect("client thread panicked"))
+        .collect();
+    records.sort_by_key(|r| r.index);
+    let elapsed = started.elapsed().as_secs_f64();
+
+    // Graceful shutdown: every session checkpointed, nothing in flight.
+    let mut admin = TcpClient::connect(addr).expect("connect admin client");
+    let (drained_sessions, drained_evals, checkpointed) =
+        match admin.request(&Request::Drain).expect("drain request") {
+            Response::Drained {
+                sessions,
+                evaluations,
+                checkpointed,
+            } => (sessions, evaluations, checkpointed),
+            other => panic!("drain rejected: {other:?}"),
+        };
+
+    // Reconciliation: the protocol-level tallies, the drain report, and
+    // the observability counters must all agree exactly.
+    let expected_evals = args.sessions as usize * args.steps as usize;
+    assert_eq!(records.len(), args.sessions as usize, "lost sessions");
+    assert_eq!(drained_sessions, args.sessions as usize, "lost sessions");
+    assert_eq!(drained_evals, expected_evals, "lost/duplicated evaluations");
+    assert_eq!(
+        obs.counter_value("serve.evaluations"),
+        expected_evals as f64
+    );
+    assert_eq!(
+        obs.counter_value("serve.sessions.created"),
+        args.sessions as f64
+    );
+    if args.checkpoint_dir.is_some() {
+        assert_eq!(checkpointed, args.sessions as usize, "missing checkpoints");
+    }
+
+    // Histories to JSONL — deterministic, wall-clock free.
+    let out = match &args.out {
+        Some(path) => path.clone(),
+        None => results_dir().expect("results dir").join("serve_load.jsonl"),
+    };
+    if let Some(parent) = out.parent() {
+        std::fs::create_dir_all(parent).expect("create output dir");
+    }
+    let mut file = std::io::BufWriter::new(std::fs::File::create(&out).expect("create output"));
+    for record in &records {
+        let line = serde_json::to_string(record).expect("record serializes");
+        writeln!(file, "{line}").expect("write record");
+    }
+    file.flush().expect("flush output");
+
+    // Wall-clock numbers go to stdout only.
+    let q = |p: f64| {
+        obs.histogram_quantile("serve.evaluate_ms", p)
+            .unwrap_or(0.0)
+    };
+    println!(
+        "serve_load: {} sessions x {} evals on {} workers / {} clients in {:.2}s ({:.0} evals/s)",
+        args.sessions,
+        args.steps,
+        args.workers,
+        args.clients,
+        elapsed,
+        expected_evals as f64 / elapsed.max(1e-9),
+    );
+    println!(
+        "serve.evaluate_ms: p50={:.3} p95={:.3} p99={:.3}",
+        q(0.50),
+        q(0.95),
+        q(0.99)
+    );
+    println!(
+        "rejected: overloaded={} malformed={} oversized={}",
+        obs.counter_value("serve.rejected.overloaded"),
+        obs.counter_value("serve.rejected.malformed"),
+        obs.counter_value("serve.rejected.oversized"),
+    );
+    println!("wrote {}", out.display());
+}

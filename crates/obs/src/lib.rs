@@ -8,6 +8,19 @@
 //! observability is off. Enable it explicitly with [`Obs::enabled`] or via
 //! the `RELM_OBS=1` environment variable with [`Obs::from_env`].
 //!
+//! ## Thread safety
+//!
+//! [`Obs`] (and its clones) may be shared freely across threads: counters
+//! and gauges are lock-free atomics whose increments are exact for
+//! integer-valued totals below 2^53, histograms are arrays of atomic
+//! bucket counts, and the span ring is behind a `Mutex`. The one
+//! *per-thread* aspect is span **parenting**: the open-span stack lives in
+//! thread-local storage, so a span opened on a worker thread never
+//! parents under a span opened on another thread — by design, since
+//! cross-thread parent edges would depend on scheduling. The threaded
+//! stress test (`tests/threaded_stress.rs`) pins these guarantees with
+//! exact cross-thread reconciliation.
+//!
 //! ```
 //! let obs = relm_obs::Obs::enabled();
 //! {
@@ -173,6 +186,18 @@ impl Obs {
         summary_table(&self.snapshot())
     }
 }
+
+// The serving layer hands one `Obs` to every worker thread; these
+// bindings break the build if any layer of the handle stops being
+// shareable.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Obs>();
+    assert_send_sync::<Counter>();
+    assert_send_sync::<Gauge>();
+    assert_send_sync::<Histogram>();
+    assert_send_sync::<Registry>();
+};
 
 /// Point-in-time export of everything an [`Obs`] handle has recorded.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]

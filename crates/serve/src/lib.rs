@@ -1,0 +1,40 @@
+//! `relm-serve`: a concurrent tuning service over the RelM pipeline.
+//!
+//! The paper's tuner is a single-session program: one application, one
+//! seed chain, one history. This crate turns it into a *service*: a
+//! registry of concurrent tuning sessions multiplexed onto a bounded
+//! `std::thread` worker pool, driven through a JSON-lines protocol that
+//! works identically in-process ([`Service::handle`]) and over TCP
+//! ([`TcpServer`]/[`TcpClient`]).
+//!
+//! Three properties define the design:
+//!
+//! 1. **Determinism under concurrency.** Each session owns an isolated
+//!    [`relm_tune::TuningEnv`]; per-session FIFO ordering with at most one
+//!    in-flight evaluation per session makes every session's history a
+//!    pure function of its spec — byte-identical whether the pool runs 1
+//!    worker or 8, alone or beside 31 other sessions.
+//! 2. **Backpressure, not buffering.** Bounded pending queues per session
+//!    and globally; batches that would overflow are rejected whole with
+//!    [`Response::Overloaded`]. Frames over the configured bound are
+//!    rejected without being read.
+//! 3. **Graceful shutdown.** [`Request::Drain`] stops admission, runs the
+//!    accepted backlog dry, checkpoints every session via
+//!    [`relm_tune::SessionCheckpoint`], and stops the workers — zero lost
+//!    or duplicated evaluations.
+//!
+//! Everything is instrumented through [`relm_obs`]: per-endpoint latency
+//! histograms (`serve.endpoint.*_ms`), queue-depth gauges
+//! (`serve.queue.global`, `serve.workers.busy`), and rejection counters
+//! (`serve.rejected.*`).
+
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use protocol::{
+    decode, encode, read_frame, FrameError, Request, Response, SessionSpec, SessionStatus,
+    DEFAULT_MAX_FRAME_BYTES,
+};
+pub use server::{TcpClient, TcpServer};
+pub use service::{resolve_workload, ServeConfig, Service};

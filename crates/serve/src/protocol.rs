@@ -1,0 +1,307 @@
+//! The JSON-lines wire protocol of `relm-serve`.
+//!
+//! Every request and every response is one JSON object on one line
+//! (externally tagged by variant name). The same [`Request`]/[`Response`]
+//! pair serves both the in-process client and the TCP frontend, so a
+//! session driven over a socket is indistinguishable from one driven
+//! in-process.
+//!
+//! Framing is deliberately strict: a line that does not parse is a
+//! *malformed frame* and a line longer than the configured bound is an
+//! *oversized frame*. Both are rejected (and counted) instead of being
+//! buffered — the service never allocates proportionally to what a
+//! misbehaving client sends.
+
+use relm_app::AppSpec;
+use relm_common::MemoryConfig;
+use relm_faults::FaultConfig;
+use relm_tune::{Observation, RetryPolicy, SessionExport};
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Read};
+
+/// Default upper bound on one frame (request or response line), in bytes.
+/// Histories of long sessions dominate response size; 8 MiB leaves an
+/// order of magnitude of headroom over the largest legitimate frame.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 8 * 1024 * 1024;
+
+/// What a session tunes: the application, the seed chain, and the
+/// substrate faults it runs against.
+///
+/// The fault plan rides through the protocol untouched — injection is
+/// site-addressed (pure function of plan seed + site), so a session's
+/// faults are identical whether it runs alone or interleaved with dozens
+/// of others on a worker pool.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSpec {
+    /// Workload name resolved against the benchmark suite (`WordCount`,
+    /// `SortByKey`, `K-means`, `SVM`, `PageRank`), ignored when `app` is
+    /// given.
+    pub workload: String,
+    /// Explicit application spec; overrides `workload` when present.
+    pub app: Option<AppSpec>,
+    /// Base seed of the session's evaluation seed chain.
+    pub base_seed: u64,
+    /// Seeded fault plan applied to every evaluation of this session.
+    pub fault_seed: Option<u64>,
+    /// Fault rates for the plan; `None` (or all-zero rates) disables
+    /// injection.
+    pub faults: Option<FaultConfig>,
+    /// Retry/recovery policy; `None` means [`RetryPolicy::standard`].
+    pub retry: Option<RetryPolicy>,
+}
+
+impl SessionSpec {
+    /// A plain fault-free session on a named workload.
+    pub fn named(workload: &str, base_seed: u64) -> Self {
+        SessionSpec {
+            workload: workload.to_string(),
+            app: None,
+            base_seed,
+            fault_seed: None,
+            faults: None,
+            retry: None,
+        }
+    }
+
+    /// Adds a seeded fault plan.
+    pub fn with_faults(mut self, fault_seed: u64, faults: FaultConfig) -> Self {
+        self.fault_seed = Some(fault_seed);
+        self.faults = Some(faults);
+        self
+    }
+}
+
+/// A client request. One JSON object per line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Registers a new tuning session. Rejected with
+    /// [`Response::Overloaded`] when the session table is full.
+    CreateSession { spec: SessionSpec },
+    /// Enqueues explicit configurations for evaluation, in order.
+    /// All-or-nothing: if the batch would overflow the session's or the
+    /// service's pending bound, nothing is enqueued and the reply is
+    /// [`Response::Overloaded`].
+    Step {
+        session: String,
+        configs: Vec<MemoryConfig>,
+    },
+    /// Enqueues `evals` server-chosen configurations, drawn from the
+    /// session's deterministic sampler (seeded by the session spec, so the
+    /// sequence is a pure function of the spec — not of timing).
+    StepAuto { session: String, evals: u32 },
+    /// Non-blocking progress snapshot.
+    Status { session: String },
+    /// Blocks until the session has no pending or running evaluations,
+    /// then returns its status.
+    Join { session: String },
+    /// The session's evaluation history and, once at least one evaluation
+    /// completed, its exported recommendation.
+    Result { session: String },
+    /// Discards the session's pending evaluations. The in-flight
+    /// evaluation (if any) completes; completed history is kept.
+    Cancel { session: String },
+    /// Graceful shutdown: stop admitting work, run every already-accepted
+    /// evaluation to completion, checkpoint every session, stop the
+    /// workers, and report the tally.
+    Drain,
+}
+
+impl Request {
+    /// Endpoint label used for per-endpoint metrics
+    /// (`serve.endpoint.<label>_ms`).
+    pub fn endpoint(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::CreateSession { .. } => "create_session",
+            Request::Step { .. } => "step",
+            Request::StepAuto { .. } => "step_auto",
+            Request::Status { .. } => "status",
+            Request::Join { .. } => "join",
+            Request::Result { .. } => "result",
+            Request::Cancel { .. } => "cancel",
+            Request::Drain => "drain",
+        }
+    }
+}
+
+/// Progress snapshot of one session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionStatus {
+    pub session: String,
+    /// Evaluations accepted but not yet started.
+    pub pending: usize,
+    /// Whether an evaluation is on a worker right now.
+    pub running: bool,
+    /// Evaluations completed (including censored ones).
+    pub completed: usize,
+    /// Completed evaluations whose final attempt aborted.
+    pub censored: usize,
+    /// Best (lowest) score so far, minutes.
+    pub best_score_mins: Option<f64>,
+    pub cancelled: bool,
+}
+
+/// A server response. One JSON object per line, one per request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    Pong,
+    SessionCreated {
+        session: String,
+    },
+    /// The step batch was admitted; `enqueued` configurations now wait in
+    /// the session's FIFO.
+    Accepted {
+        session: String,
+        enqueued: usize,
+    },
+    Status(SessionStatus),
+    ResultReady {
+        session: String,
+        export: SessionExport,
+        history: Vec<Observation>,
+    },
+    Cancelled {
+        session: String,
+        discarded: usize,
+    },
+    Drained {
+        sessions: usize,
+        evaluations: usize,
+        checkpointed: usize,
+    },
+    /// Admission control said no. Nothing was enqueued; the client should
+    /// back off and retry. `session_pending`/`global_pending` report the
+    /// depths that triggered the rejection.
+    Overloaded {
+        reason: String,
+        session_pending: usize,
+        global_pending: usize,
+    },
+    /// The request was understood but cannot be served (unknown session,
+    /// draining service, empty history, …).
+    Error {
+        message: String,
+    },
+}
+
+/// Serializes one frame (no trailing newline — the transport adds it).
+pub fn encode<T: Serialize>(frame: &T) -> String {
+    serde_json::to_string(frame).expect("protocol frames always serialize")
+}
+
+/// Why an incoming frame was rejected before reaching the service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The line exceeded the frame bound. The connection cannot be
+    /// re-synchronized and must be closed.
+    Oversized { limit: usize },
+    /// The line was not a valid frame of the expected type.
+    Malformed { message: String },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized { limit } => {
+                write!(f, "frame exceeds the {limit}-byte bound")
+            }
+            FrameError::Malformed { message } => write!(f, "malformed frame: {message}"),
+        }
+    }
+}
+
+/// Parses one frame from a line already read off the wire.
+pub fn decode<T: Deserialize>(line: &str, limit: usize) -> Result<T, FrameError> {
+    if line.len() > limit {
+        return Err(FrameError::Oversized { limit });
+    }
+    serde_json::from_str(line.trim_end()).map_err(|e| FrameError::Malformed {
+        message: e.to_string(),
+    })
+}
+
+/// Reads one newline-terminated frame without ever buffering more than
+/// `limit + 1` bytes. Returns `Ok(None)` on clean EOF before any byte of a
+/// new frame, `Err(Oversized)` once the line exceeds the bound (the reader
+/// is then out of sync and the connection should be dropped).
+pub fn read_frame(
+    reader: &mut impl BufRead,
+    limit: usize,
+) -> std::io::Result<Result<Option<String>, FrameError>> {
+    let mut line = Vec::with_capacity(256);
+    // `take` caps how much one frame may pull off the stream; anything
+    // longer is rejected without reading (or allocating) the remainder.
+    let mut bounded = reader.take(limit as u64 + 1);
+    let n = bounded.read_until(b'\n', &mut line)?;
+    if n == 0 {
+        return Ok(Ok(None));
+    }
+    if line.len() > limit {
+        return Ok(Err(FrameError::Oversized { limit }));
+    }
+    match String::from_utf8(line) {
+        Ok(s) => Ok(Ok(Some(s))),
+        Err(_) => Ok(Err(FrameError::Malformed {
+            message: "frame is not valid UTF-8".to_string(),
+        })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn request_frames_round_trip() {
+        let reqs = vec![
+            Request::Ping,
+            Request::CreateSession {
+                spec: SessionSpec::named("WordCount", 7),
+            },
+            Request::StepAuto {
+                session: "s-1".into(),
+                evals: 4,
+            },
+            Request::Drain,
+        ];
+        for req in reqs {
+            let line = encode(&req);
+            assert!(!line.contains('\n'), "frames must be single-line");
+            let back: Request = decode(&line, DEFAULT_MAX_FRAME_BYTES).unwrap();
+            assert_eq!(req, back);
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected() {
+        let err = decode::<Request>("{not json", 1024).unwrap_err();
+        assert!(matches!(err, FrameError::Malformed { .. }));
+        let err = decode::<Request>("{\"NoSuchVariant\":{}}", 1024).unwrap_err();
+        assert!(matches!(err, FrameError::Malformed { .. }));
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_without_buffering() {
+        let line = format!("{}\n", "x".repeat(100));
+        let mut reader = BufReader::new(line.as_bytes());
+        let out = read_frame(&mut reader, 16).unwrap();
+        assert_eq!(out, Err(FrameError::Oversized { limit: 16 }));
+    }
+
+    #[test]
+    fn read_frame_returns_none_on_eof() {
+        let mut reader = BufReader::new(&b""[..]);
+        assert_eq!(read_frame(&mut reader, 64).unwrap(), Ok(None));
+    }
+
+    #[test]
+    fn read_frame_accepts_exact_fit() {
+        let line = b"abc\n";
+        let mut reader = BufReader::new(&line[..]);
+        let got = read_frame(&mut reader, 4).unwrap().unwrap().unwrap();
+        assert_eq!(got, "abc\n");
+    }
+}

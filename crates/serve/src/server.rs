@@ -1,0 +1,309 @@
+//! The TCP frontend: JSON-lines over `std::net`, one thread per
+//! connection, no async runtime.
+//!
+//! Every connection is an independent sequence of request/response frames
+//! against the shared [`Service`]; ordering across connections is
+//! irrelevant to session histories (see the determinism argument in
+//! [`crate::service`]). Malformed frames get a [`Response::Error`] reply
+//! and the connection continues; an oversized frame cannot be
+//! re-synchronized, so the server replies with an error and closes the
+//! connection. Both are counted (`serve.rejected.malformed`,
+//! `serve.rejected.oversized`).
+
+use crate::protocol::{encode, read_frame, FrameError, Request, Response};
+use crate::service::Service;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running TCP frontend over a [`Service`].
+pub struct TcpServer {
+    service: Arc<Service>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop.
+    pub fn start(service: Arc<Service>, addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("relm-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &service, &stop))?
+        };
+        Ok(TcpServer {
+            service,
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service behind the frontend.
+    pub fn service(&self) -> &Service {
+        &self.service
+    }
+
+    /// Stops accepting connections and joins the accept loop. Connection
+    /// threads finish their in-flight request exchanges on their own.
+    pub fn stop(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock `accept` by poking the listener with a throwaway
+        // connection; the loop re-checks the flag first thing.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, service: &Arc<Service>, stop: &Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = conn else { continue };
+        let service = Arc::clone(service);
+        let spawned = std::thread::Builder::new()
+            .name("relm-serve-conn".into())
+            .spawn(move || {
+                let _ = serve_connection(&stream, &service);
+            });
+        if spawned.is_err() {
+            // Out of threads: drop the connection rather than the server.
+            continue;
+        }
+    }
+}
+
+/// Runs the request/response loop for one connection until EOF, an
+/// unrecoverable frame, or an I/O error.
+fn serve_connection(stream: &TcpStream, service: &Service) -> io::Result<()> {
+    let limit = service.config().max_frame_bytes;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let line = match read_frame(&mut reader, limit)? {
+            Ok(None) => return Ok(()),
+            Ok(Some(line)) => line,
+            Err(err @ FrameError::Oversized { .. }) => {
+                service.obs().inc("serve.rejected.oversized");
+                let reply = Response::Error {
+                    message: err.to_string(),
+                };
+                writeln!(writer, "{}", encode(&reply))?;
+                writer.flush()?;
+                // The stream is mid-frame; no way back to a line boundary.
+                return Ok(());
+            }
+            Err(err) => {
+                service.obs().inc("serve.rejected.malformed");
+                let reply = Response::Error {
+                    message: err.to_string(),
+                };
+                writeln!(writer, "{}", encode(&reply))?;
+                writer.flush()?;
+                continue;
+            }
+        };
+        let response = match crate::protocol::decode::<Request>(&line, limit) {
+            Ok(request) => service.handle(&request),
+            Err(err) => {
+                service.obs().inc("serve.rejected.malformed");
+                Response::Error {
+                    message: err.to_string(),
+                }
+            }
+        };
+        writeln!(writer, "{}", encode(&response))?;
+        writer.flush()?;
+    }
+}
+
+/// A blocking client for the TCP frontend: one request, one response, in
+/// order, over a single connection.
+pub struct TcpClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    max_frame_bytes: usize,
+}
+
+impl TcpClient {
+    /// Connects to a server started with [`TcpServer::start`].
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Self::connect_with_limit(addr, crate::protocol::DEFAULT_MAX_FRAME_BYTES)
+    }
+
+    /// [`TcpClient::connect`] with a custom response-frame bound.
+    pub fn connect_with_limit(addr: impl ToSocketAddrs, limit: usize) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(TcpClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            max_frame_bytes: limit,
+        })
+    }
+
+    /// Sends one request and blocks for its response.
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        writeln!(self.writer, "{}", encode(request))?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Sends a raw line (not necessarily a valid frame) and blocks for the
+    /// server's reply. Test hook for protocol-robustness checks.
+    pub fn request_raw(&mut self, line: &str) -> io::Result<Response> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<Response> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        crate::protocol::decode(&line, self.max_frame_bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::SessionSpec;
+    use crate::service::ServeConfig;
+    use relm_obs::Obs;
+
+    fn start() -> TcpServer {
+        let service = Arc::new(Service::start(
+            ServeConfig {
+                workers: 2,
+                ..ServeConfig::default()
+            },
+            Obs::enabled(),
+        ));
+        TcpServer::start(service, "127.0.0.1:0").expect("bind ephemeral port")
+    }
+
+    #[test]
+    fn tcp_round_trip_matches_in_process() {
+        let server = start();
+        let mut client = TcpClient::connect(server.addr()).unwrap();
+        assert_eq!(client.request(&Request::Ping).unwrap(), Response::Pong);
+        let session = match client
+            .request(&Request::CreateSession {
+                spec: SessionSpec::named("WordCount", 21),
+            })
+            .unwrap()
+        {
+            Response::SessionCreated { session } => session,
+            other => panic!("create failed: {other:?}"),
+        };
+        client
+            .request(&Request::StepAuto {
+                session: session.clone(),
+                evals: 2,
+            })
+            .unwrap();
+        let over_tcp = match client
+            .request(&Request::Result {
+                session: session.clone(),
+            })
+            .unwrap()
+        {
+            Response::ResultReady { history, .. } => history,
+            other => panic!("result failed: {other:?}"),
+        };
+        // The same spec driven in-process yields the byte-identical
+        // history: the transport is not part of the session's state.
+        let local = Service::start(
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+            Obs::enabled(),
+        );
+        let s2 = match local.handle(&Request::CreateSession {
+            spec: SessionSpec::named("WordCount", 21),
+        }) {
+            Response::SessionCreated { session } => session,
+            other => panic!("create failed: {other:?}"),
+        };
+        local.handle(&Request::StepAuto {
+            session: s2.clone(),
+            evals: 2,
+        });
+        let in_process = match local.handle(&Request::Result { session: s2 }) {
+            Response::ResultReady { history, .. } => history,
+            other => panic!("result failed: {other:?}"),
+        };
+        assert_eq!(
+            serde_json::to_string(&over_tcp).unwrap(),
+            serde_json::to_string(&in_process).unwrap()
+        );
+    }
+
+    #[test]
+    fn malformed_frame_gets_error_and_connection_survives() {
+        let server = start();
+        let mut client = TcpClient::connect(server.addr()).unwrap();
+        let reply = client.request_raw("{this is not json").unwrap();
+        assert!(matches!(reply, Response::Error { .. }), "{reply:?}");
+        // Still usable afterwards.
+        assert_eq!(client.request(&Request::Ping).unwrap(), Response::Pong);
+        assert!(
+            server
+                .service()
+                .obs()
+                .counter_value("serve.rejected.malformed")
+                >= 1.0
+        );
+    }
+
+    #[test]
+    fn oversized_frame_closes_the_connection() {
+        let service = Arc::new(Service::start(
+            ServeConfig {
+                workers: 1,
+                max_frame_bytes: 256,
+                ..ServeConfig::default()
+            },
+            Obs::enabled(),
+        ));
+        let server = TcpServer::start(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let mut client = TcpClient::connect(server.addr()).unwrap();
+        let reply = client.request_raw(&"x".repeat(1024)).unwrap();
+        assert!(matches!(reply, Response::Error { .. }), "{reply:?}");
+        // The server hung up: the next exchange fails.
+        assert!(client.request(&Request::Ping).is_err());
+        assert_eq!(service.obs().counter_value("serve.rejected.oversized"), 1.0);
+    }
+}

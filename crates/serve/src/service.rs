@@ -1,0 +1,1019 @@
+//! The tuning service: a registry of concurrent sessions multiplexed onto
+//! a bounded `std::thread` worker pool.
+//!
+//! ## Scheduling model
+//!
+//! Each session owns its own [`TuningEnv`] (engine clone, seed chain,
+//! history). Work arrives as per-session FIFO queues of configurations to
+//! evaluate. A *ready queue* of session ids round-robins across sessions:
+//! a worker pops the front session, takes its environment, runs exactly
+//! one evaluation, puts the environment back, and re-enqueues the session
+//! at the back if it still has pending work. At most one evaluation of a
+//! given session is ever in flight, so a session's history is produced by
+//! a serial program — which is the whole determinism argument:
+//!
+//! * the seed chain advances inside the session's own `TuningEnv`,
+//! * fault injection is site-addressed (pure function of plan seed +
+//!   site), and
+//! * no evaluation reads anything outside its session.
+//!
+//! Therefore a session's observation history is **byte-identical** whether
+//! the pool has 1 worker or 8, and whatever other sessions run next to it.
+//!
+//! ## Backpressure
+//!
+//! Admission control is explicit: a bounded pending queue per session and
+//! a global bound across sessions. A step that would overflow either bound
+//! is rejected whole with [`Response::Overloaded`] — the service never
+//! buffers without bound, and the client learns the queue depths that
+//! triggered the rejection.
+
+use crate::protocol::{Request, Response, SessionSpec, SessionStatus, DEFAULT_MAX_FRAME_BYTES};
+use relm_app::Engine;
+use relm_cluster::ClusterSpec;
+use relm_common::{MemoryConfig, Rng};
+use relm_faults::FaultPlan;
+use relm_obs::Obs;
+use relm_tune::{recommendation, session_export, ConfigSpace, SessionCheckpoint, TuningEnv};
+use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Service limits and pool sizing.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads evaluating configurations. At least 1.
+    pub workers: usize,
+    /// Maximum registered sessions.
+    pub max_sessions: usize,
+    /// Pending-evaluation bound per session.
+    pub session_queue_limit: usize,
+    /// Pending-evaluation bound across all sessions.
+    pub global_queue_limit: usize,
+    /// Frame bound for the wire protocol.
+    pub max_frame_bytes: usize,
+    /// Where `Drain` writes one `SessionCheckpoint` per session; `None`
+    /// skips checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            max_sessions: 64,
+            session_queue_limit: 32,
+            global_queue_limit: 256,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            checkpoint_dir: None,
+        }
+    }
+}
+
+/// One registered tuning session.
+struct Session {
+    name: String,
+    /// The environment, absent exactly while one of its evaluations is on
+    /// a worker.
+    env: Option<TuningEnv>,
+    /// Deterministic sampler behind `StepAuto` — a pure function of the
+    /// session spec, never of request timing.
+    sampler: Rng,
+    /// The tuned space, cloned out of the environment so `StepAuto` can
+    /// decode samples while the environment is on a worker.
+    space: ConfigSpace,
+    pending: VecDeque<MemoryConfig>,
+    /// Whether the session currently sits in the ready queue.
+    queued: bool,
+    /// Whether one of its evaluations is currently on a worker.
+    running: bool,
+    cancelled: bool,
+    // Mirrors of environment state, maintained by the workers so `Status`
+    // never has to wait for the environment to come back.
+    completed: usize,
+    censored: usize,
+    best_score_mins: Option<f64>,
+}
+
+impl Session {
+    fn status(&self) -> SessionStatus {
+        SessionStatus {
+            session: self.name.clone(),
+            pending: self.pending.len(),
+            running: self.running,
+            completed: self.completed,
+            censored: self.censored,
+            best_score_mins: self.best_score_mins,
+            cancelled: self.cancelled,
+        }
+    }
+}
+
+/// Mutable service state behind the lock.
+struct State {
+    sessions: BTreeMap<String, Session>,
+    /// Round-robin queue of sessions with pending work and an idle
+    /// environment.
+    ready: VecDeque<String>,
+    global_pending: usize,
+    /// Evaluations currently on workers.
+    running: usize,
+    /// Total evaluations completed across all sessions (lifetime).
+    evaluations: usize,
+    draining: bool,
+    stopped: bool,
+    /// Test hook: workers leave the ready queue untouched while paused,
+    /// letting scheduling tests stage a backlog deterministically.
+    paused: bool,
+    next_session: u64,
+}
+
+struct Shared {
+    config: ServeConfig,
+    obs: Obs,
+    state: Mutex<State>,
+    /// Wakes workers when work arrives or the service stops.
+    work: Condvar,
+    /// Wakes `Join`/`Drain` waiters when an evaluation completes.
+    done: Condvar,
+}
+
+impl Shared {
+    fn refresh_gauges(&self, state: &State) {
+        self.obs
+            .gauge("serve.queue.global", state.global_pending as f64);
+        self.obs
+            .gauge("serve.sessions.active", state.sessions.len() as f64);
+        self.obs.gauge("serve.workers.busy", state.running as f64);
+    }
+}
+
+/// The concurrent tuning service. Cheap to share behind an [`Arc`];
+/// dropping the last handle stops and joins the worker pool.
+pub struct Service {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Starts the worker pool and returns the service handle.
+    pub fn start(config: ServeConfig, obs: Obs) -> Self {
+        let shared = Arc::new(Shared {
+            config: ServeConfig {
+                workers: config.workers.max(1),
+                ..config
+            },
+            obs,
+            state: Mutex::new(State {
+                sessions: BTreeMap::new(),
+                ready: VecDeque::new(),
+                global_pending: 0,
+                running: 0,
+                evaluations: 0,
+                draining: false,
+                stopped: false,
+                paused: false,
+                next_session: 1,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let workers = (0..shared.config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("relm-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Service { shared, workers }
+    }
+
+    /// The service's observability handle.
+    pub fn obs(&self) -> &Obs {
+        &self.shared.obs
+    }
+
+    /// The configured limits.
+    pub fn config(&self) -> &ServeConfig {
+        &self.shared.config
+    }
+
+    /// Handles one request — the single dispatch point shared by the
+    /// in-process client and the TCP frontend. Records per-endpoint
+    /// latency (`serve.endpoint.<name>_ms`) and request counters.
+    pub fn handle(&self, request: &Request) -> Response {
+        let start = Instant::now();
+        let endpoint = request.endpoint();
+        let response = self.dispatch(request);
+        let obs = &self.shared.obs;
+        obs.inc(&format!("serve.requests.{endpoint}"));
+        obs.record(
+            &format!("serve.endpoint.{endpoint}_ms"),
+            start.elapsed().as_secs_f64() * 1e3,
+        );
+        if matches!(response, Response::Overloaded { .. }) {
+            obs.inc("serve.rejected.overloaded");
+            obs.inc(&format!("serve.rejected.overloaded.{endpoint}"));
+        }
+        response
+    }
+
+    fn dispatch(&self, request: &Request) -> Response {
+        match request {
+            Request::Ping => Response::Pong,
+            Request::CreateSession { spec } => self.create_session(spec),
+            Request::Step { session, configs } => self.step(session, configs.clone()),
+            Request::StepAuto { session, evals } => self.step_auto(session, *evals),
+            Request::Status { session } => self.status(session),
+            Request::Join { session } => self.join(session),
+            Request::Result { session } => self.result(session),
+            Request::Cancel { session } => self.cancel(session),
+            Request::Drain => self.drain(),
+        }
+    }
+
+    /// Builds the per-session engine + environment from a spec.
+    fn build_env(&self, spec: &SessionSpec) -> Result<TuningEnv, String> {
+        let app = match &spec.app {
+            Some(app) => app.clone(),
+            None => resolve_workload(&spec.workload)
+                .ok_or_else(|| format!("unknown workload `{}`", spec.workload))?,
+        };
+        let mut engine = Engine::new(ClusterSpec::cluster_a()).with_obs(self.shared.obs.clone());
+        if let (Some(seed), Some(faults)) = (spec.fault_seed, spec.faults) {
+            engine = engine.with_faults(FaultPlan::new(seed, faults));
+        }
+        let mut env = TuningEnv::new(engine, app, spec.base_seed);
+        if let Some(retry) = spec.retry {
+            env = env.with_retry_policy(retry);
+        }
+        Ok(env)
+    }
+
+    fn create_session(&self, spec: &SessionSpec) -> Response {
+        let env = match self.build_env(spec) {
+            Ok(env) => env,
+            Err(message) => return Response::Error { message },
+        };
+        let mut state = self.shared.state.lock().expect("service state poisoned");
+        if state.draining || state.stopped {
+            return Response::Error {
+                message: "service is draining".into(),
+            };
+        }
+        if state.sessions.len() >= self.shared.config.max_sessions {
+            return Response::Overloaded {
+                reason: format!(
+                    "session table full ({} sessions)",
+                    self.shared.config.max_sessions
+                ),
+                session_pending: 0,
+                global_pending: state.global_pending,
+            };
+        }
+        let name = format!("s-{:04}", state.next_session);
+        state.next_session += 1;
+        let space = env.space().clone();
+        // The sampler seed folds the base seed with the workload name, so
+        // two sessions differing only in workload draw different auto
+        // sequences — and the sequence never depends on request timing.
+        let sampler = Rng::new(spec.base_seed).fork(str_hash(&spec.workload) | 1);
+        state.sessions.insert(
+            name.clone(),
+            Session {
+                name: name.clone(),
+                env: Some(env),
+                sampler,
+                space,
+                pending: VecDeque::new(),
+                queued: false,
+                running: false,
+                cancelled: false,
+                completed: 0,
+                censored: 0,
+                best_score_mins: None,
+            },
+        );
+        self.shared.obs.inc("serve.sessions.created");
+        self.shared.refresh_gauges(&state);
+        Response::SessionCreated { session: name }
+    }
+
+    /// Admits a batch of evaluations into a session's FIFO, all or
+    /// nothing.
+    fn admit(&self, session: &str, configs: Vec<MemoryConfig>) -> Response {
+        let shared = &self.shared;
+        let mut state = shared.state.lock().expect("service state poisoned");
+        if state.draining || state.stopped {
+            return Response::Error {
+                message: "service is draining".into(),
+            };
+        }
+        let global_pending = state.global_pending;
+        let global_limit = shared.config.global_queue_limit;
+        let session_limit = shared.config.session_queue_limit;
+        let Some(sess) = state.sessions.get_mut(session) else {
+            return Response::Error {
+                message: format!("unknown session `{session}`"),
+            };
+        };
+        if sess.cancelled {
+            return Response::Error {
+                message: format!("session `{session}` is cancelled"),
+            };
+        }
+        if sess.pending.len() + configs.len() > session_limit {
+            return Response::Overloaded {
+                reason: format!("session queue limit ({session_limit}) exceeded"),
+                session_pending: sess.pending.len(),
+                global_pending,
+            };
+        }
+        if global_pending + configs.len() > global_limit {
+            return Response::Overloaded {
+                reason: format!("global queue limit ({global_limit}) exceeded"),
+                session_pending: sess.pending.len(),
+                global_pending,
+            };
+        }
+        let enqueued = configs.len();
+        sess.pending.extend(configs);
+        let became_ready = !sess.queued && !sess.running && !sess.pending.is_empty();
+        if became_ready {
+            sess.queued = true;
+        }
+        if became_ready {
+            let name = sess.name.clone();
+            state.ready.push_back(name);
+        }
+        state.global_pending += enqueued;
+        shared.obs.add("serve.enqueued", enqueued as f64);
+        shared.refresh_gauges(&state);
+        drop(state);
+        shared.work.notify_all();
+        Response::Accepted {
+            session: session.to_string(),
+            enqueued,
+        }
+    }
+
+    fn step(&self, session: &str, configs: Vec<MemoryConfig>) -> Response {
+        if configs.is_empty() {
+            return Response::Error {
+                message: "step carries no configurations".into(),
+            };
+        }
+        for config in &configs {
+            if let Err(e) = config.check() {
+                return Response::Error {
+                    message: format!("invalid configuration: {e}"),
+                };
+            }
+        }
+        self.admit(session, configs)
+    }
+
+    fn step_auto(&self, session: &str, evals: u32) -> Response {
+        if evals == 0 {
+            return Response::Error {
+                message: "step carries no configurations".into(),
+            };
+        }
+        // Draw the batch under the lock, then go through the common
+        // admission path. Draws must not be lost on rejection, so sample
+        // from a *copy* of the sampler and only commit it on admission.
+        let configs = {
+            let mut state = self.shared.state.lock().expect("service state poisoned");
+            let Some(sess) = state.sessions.get_mut(session) else {
+                return Response::Error {
+                    message: format!("unknown session `{session}`"),
+                };
+            };
+            let mut sampler = sess.sampler.clone();
+            let configs: Vec<MemoryConfig> = (0..evals)
+                .map(|_| {
+                    let x = [
+                        sampler.uniform(),
+                        sampler.uniform(),
+                        sampler.uniform(),
+                        sampler.uniform(),
+                    ];
+                    sess.space.decode(&x)
+                })
+                .collect();
+            (configs, sampler)
+        };
+        let (configs, sampler) = configs;
+        let response = self.admit(session, configs);
+        if matches!(response, Response::Accepted { .. }) {
+            let mut state = self.shared.state.lock().expect("service state poisoned");
+            if let Some(sess) = state.sessions.get_mut(session) {
+                sess.sampler = sampler;
+            }
+        }
+        response
+    }
+
+    fn status(&self, session: &str) -> Response {
+        let state = self.shared.state.lock().expect("service state poisoned");
+        match state.sessions.get(session) {
+            Some(sess) => Response::Status(sess.status()),
+            None => Response::Error {
+                message: format!("unknown session `{session}`"),
+            },
+        }
+    }
+
+    /// Blocks until the session is idle (no pending, nothing running).
+    fn join(&self, session: &str) -> Response {
+        let mut state = self.shared.state.lock().expect("service state poisoned");
+        loop {
+            match state.sessions.get(session) {
+                None => {
+                    return Response::Error {
+                        message: format!("unknown session `{session}`"),
+                    }
+                }
+                Some(sess) if !sess.running && sess.pending.is_empty() => {
+                    return Response::Status(sess.status());
+                }
+                Some(_) => {
+                    state = self
+                        .shared
+                        .done
+                        .wait(state)
+                        .expect("service state poisoned");
+                }
+            }
+        }
+    }
+
+    /// Waits for the session to go idle, then exports its history and
+    /// recommendation (the best observation so far).
+    fn result(&self, session: &str) -> Response {
+        let mut state = self.shared.state.lock().expect("service state poisoned");
+        loop {
+            match state.sessions.get(session) {
+                None => {
+                    return Response::Error {
+                        message: format!("unknown session `{session}`"),
+                    }
+                }
+                Some(sess) if !sess.running && sess.pending.is_empty() => break,
+                Some(_) => {
+                    state = self
+                        .shared
+                        .done
+                        .wait(state)
+                        .expect("service state poisoned");
+                }
+            }
+        }
+        let sess = state.sessions.get(session).expect("checked above");
+        let env = sess.env.as_ref().expect("idle session owns its env");
+        let Some(best) = env.best() else {
+            return Response::Error {
+                message: format!("session `{session}` has no completed evaluations"),
+            };
+        };
+        let rec = recommendation("serve", env, best.config);
+        Response::ResultReady {
+            session: session.to_string(),
+            export: session_export(env, &rec),
+            history: env.history().to_vec(),
+        }
+    }
+
+    fn cancel(&self, session: &str) -> Response {
+        let shared = &self.shared;
+        let mut state = shared.state.lock().expect("service state poisoned");
+        let Some(sess) = state.sessions.get_mut(session) else {
+            return Response::Error {
+                message: format!("unknown session `{session}`"),
+            };
+        };
+        let discarded = sess.pending.len();
+        sess.pending.clear();
+        sess.cancelled = true;
+        sess.queued = false;
+        let name = sess.name.clone();
+        state.ready.retain(|s| *s != name);
+        state.global_pending -= discarded;
+        shared.obs.inc("serve.sessions.cancelled");
+        shared.obs.add("serve.discarded", discarded as f64);
+        shared.refresh_gauges(&state);
+        drop(state);
+        shared.done.notify_all();
+        Response::Cancelled {
+            session: session.to_string(),
+            discarded,
+        }
+    }
+
+    /// Graceful shutdown: stop admitting, run the backlog dry, checkpoint
+    /// every session, then stop the workers.
+    fn drain(&self) -> Response {
+        let shared = &self.shared;
+        let mut state = shared.state.lock().expect("service state poisoned");
+        state.draining = true;
+        while state.global_pending > 0 || state.running > 0 {
+            state = shared.done.wait(state).expect("service state poisoned");
+        }
+        // Quiescent: every environment is home, histories are final.
+        let mut checkpointed = 0usize;
+        if let Some(dir) = &shared.config.checkpoint_dir {
+            if std::fs::create_dir_all(dir).is_ok() {
+                for (name, sess) in &state.sessions {
+                    let env = sess.env.as_ref().expect("quiescent session owns its env");
+                    let ckpt = SessionCheckpoint::capture(env);
+                    let path = dir.join(format!("{name}.ckpt.json"));
+                    match ckpt.save_tagged(&path, name) {
+                        Ok(()) => {
+                            checkpointed += 1;
+                            shared.obs.inc("serve.checkpointed");
+                        }
+                        Err(_) => shared.obs.inc("serve.checkpoint_errors"),
+                    }
+                }
+            }
+        }
+        let sessions = state.sessions.len();
+        let evaluations = state.evaluations;
+        let already_stopped = state.stopped;
+        state.stopped = true;
+        shared.refresh_gauges(&state);
+        drop(state);
+        if !already_stopped {
+            shared.work.notify_all();
+        }
+        Response::Drained {
+            sessions,
+            evaluations,
+            checkpointed,
+        }
+    }
+
+    /// Stops the pool (draining first if the caller didn't) and joins the
+    /// worker threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("service state poisoned");
+            state.stopped = true;
+        }
+        self.shared.work.notify_all();
+        self.shared.done.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// The worker loop: pull the front ready session, run exactly one of its
+/// pending evaluations, hand the session back to the scheduler.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let (name, mut env, config) = {
+            let mut state = shared.state.lock().expect("service state poisoned");
+            loop {
+                if state.stopped {
+                    return;
+                }
+                if state.paused {
+                    state = shared.work.wait(state).expect("service state poisoned");
+                    continue;
+                }
+                if let Some(name) = state.ready.pop_front() {
+                    let sess = state
+                        .sessions
+                        .get_mut(&name)
+                        .expect("ready session is registered");
+                    sess.queued = false;
+                    let config = sess
+                        .pending
+                        .pop_front()
+                        .expect("ready session has pending work");
+                    let env = sess.env.take().expect("idle session owns its env");
+                    sess.running = true;
+                    state.global_pending -= 1;
+                    state.running += 1;
+                    shared.refresh_gauges(&state);
+                    break (name, env, config);
+                }
+                state = shared.work.wait(state).expect("service state poisoned");
+            }
+        };
+
+        let start = Instant::now();
+        let observation = {
+            let mut span = shared.obs.span("serve.evaluate");
+            span.set("session", name.as_str());
+            env.evaluate(&config)
+        };
+        shared
+            .obs
+            .record("serve.evaluate_ms", start.elapsed().as_secs_f64() * 1e3);
+        shared.obs.inc("serve.evaluations");
+
+        let mut state = shared.state.lock().expect("service state poisoned");
+        state.running -= 1;
+        state.evaluations += 1;
+        let sess = state
+            .sessions
+            .get_mut(&name)
+            .expect("running session is registered");
+        sess.completed += 1;
+        if observation.is_censored() {
+            sess.censored += 1;
+        }
+        sess.best_score_mins = Some(match sess.best_score_mins {
+            Some(best) => best.min(observation.score_mins),
+            None => observation.score_mins,
+        });
+        sess.env = Some(env);
+        sess.running = false;
+        if !sess.pending.is_empty() && !sess.cancelled && !sess.queued {
+            sess.queued = true;
+            let name = sess.name.clone();
+            state.ready.push_back(name);
+            shared.work.notify_all();
+        }
+        shared.refresh_gauges(&state);
+        drop(state);
+        shared.done.notify_all();
+    }
+}
+
+/// Resolves a workload name against the benchmark suite
+/// (case-insensitive, punctuation-insensitive: `K-means` == `kmeans`).
+pub fn resolve_workload(name: &str) -> Option<relm_app::AppSpec> {
+    let key: String = name
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .collect::<String>()
+        .to_ascii_lowercase();
+    match key.as_str() {
+        "wordcount" => Some(relm_workloads::wordcount()),
+        "sortbykey" => Some(relm_workloads::sortbykey()),
+        "kmeans" => Some(relm_workloads::kmeans()),
+        "svm" => Some(relm_workloads::svm()),
+        "pagerank" => Some(relm_workloads::pagerank()),
+        _ => None,
+    }
+}
+
+/// FNV-1a, matching the engine's cross-platform stable hash construction.
+fn str_hash(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// The worker pool moves `TuningEnv` (engine, seed chain, history) across
+// threads; these bindings fail to compile if any layer regresses to a
+// non-`Send` type. `Obs` is additionally shared by reference from every
+// worker, so it must be `Sync` too.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send::<TuningEnv>();
+    assert_send::<Engine>();
+    assert_send::<SessionSpec>();
+    assert_send_sync::<Obs>();
+    assert_send_sync::<Service>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::SessionSpec;
+
+    fn svc(workers: usize) -> Service {
+        Service::start(
+            ServeConfig {
+                workers,
+                ..ServeConfig::default()
+            },
+            Obs::enabled(),
+        )
+    }
+
+    fn create(service: &Service, spec: SessionSpec) -> String {
+        match service.handle(&Request::CreateSession { spec }) {
+            Response::SessionCreated { session } => session,
+            other => panic!("create failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn create_step_join_result_lifecycle() {
+        let service = svc(2);
+        let session = create(&service, SessionSpec::named("WordCount", 11));
+        match service.handle(&Request::StepAuto {
+            session: session.clone(),
+            evals: 3,
+        }) {
+            Response::Accepted { enqueued, .. } => assert_eq!(enqueued, 3),
+            other => panic!("step rejected: {other:?}"),
+        }
+        match service.handle(&Request::Join {
+            session: session.clone(),
+        }) {
+            Response::Status(st) => {
+                assert_eq!(st.completed, 3);
+                assert_eq!(st.pending, 0);
+                assert!(!st.running);
+                assert!(st.best_score_mins.is_some());
+            }
+            other => panic!("join failed: {other:?}"),
+        }
+        match service.handle(&Request::Result { session }) {
+            Response::ResultReady {
+                export, history, ..
+            } => {
+                assert_eq!(history.len(), 3);
+                assert_eq!(export.metrics.evaluations, 3);
+                assert_eq!(export.recommendation.policy, "serve");
+            }
+            other => panic!("result failed: {other:?}"),
+        }
+        assert_eq!(service.obs().counter_value("serve.evaluations"), 3.0);
+    }
+
+    #[test]
+    fn unknown_session_and_workload_are_errors() {
+        let service = svc(1);
+        assert!(matches!(
+            service.handle(&Request::Status {
+                session: "s-9999".into()
+            }),
+            Response::Error { .. }
+        ));
+        assert!(matches!(
+            service.handle(&Request::CreateSession {
+                spec: SessionSpec::named("NoSuchWorkload", 1)
+            }),
+            Response::Error { .. }
+        ));
+    }
+
+    #[test]
+    fn session_queue_bound_rejects_with_overloaded() {
+        let service = Service::start(
+            ServeConfig {
+                workers: 1,
+                session_queue_limit: 2,
+                ..ServeConfig::default()
+            },
+            Obs::enabled(),
+        );
+        let session = create(&service, SessionSpec::named("WordCount", 5));
+        // One big batch over the limit: rejected whole, nothing enqueued.
+        match service.handle(&Request::StepAuto {
+            session: session.clone(),
+            evals: 3,
+        }) {
+            Response::Overloaded { reason, .. } => {
+                assert!(reason.contains("session queue"), "{reason}")
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert!(service.obs().counter_value("serve.rejected.overloaded") >= 1.0);
+        // A fitting batch still goes through, and the rejected batch did
+        // not consume sampler draws (histories must not depend on rejected
+        // requests).
+        match service.handle(&Request::StepAuto {
+            session: session.clone(),
+            evals: 2,
+        }) {
+            Response::Accepted { enqueued, .. } => assert_eq!(enqueued, 2),
+            other => panic!("step rejected: {other:?}"),
+        }
+        service.handle(&Request::Join { session });
+    }
+
+    #[test]
+    fn global_queue_bound_rejects_with_overloaded() {
+        let service = Service::start(
+            ServeConfig {
+                workers: 1,
+                session_queue_limit: 8,
+                global_queue_limit: 4,
+                ..ServeConfig::default()
+            },
+            Obs::enabled(),
+        );
+        // Hold the worker so the staged backlog cannot drain mid-test.
+        {
+            let mut state = service.shared.state.lock().unwrap();
+            state.paused = true;
+        }
+        let a = create(&service, SessionSpec::named("WordCount", 1));
+        let b = create(&service, SessionSpec::named("WordCount", 2));
+        // Fill the whole global budget through session a...
+        match service.handle(&Request::StepAuto {
+            session: a.clone(),
+            evals: 4,
+        }) {
+            Response::Accepted { .. } => {}
+            other => panic!("step rejected: {other:?}"),
+        }
+        // ... so any batch on session b overflows globally, not per-session.
+        match service.handle(&Request::StepAuto {
+            session: b.clone(),
+            evals: 1,
+        }) {
+            Response::Overloaded {
+                reason,
+                global_pending,
+                ..
+            } => {
+                assert!(reason.contains("global queue"), "{reason}");
+                assert_eq!(global_pending, 4);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        {
+            let mut state = service.shared.state.lock().unwrap();
+            state.paused = false;
+        }
+        service.shared.work.notify_all();
+        service.handle(&Request::Join { session: a });
+        service.handle(&Request::Join { session: b });
+    }
+
+    #[test]
+    fn cancel_discards_pending_and_blocks_new_steps() {
+        let service = svc(1);
+        let session = create(&service, SessionSpec::named("WordCount", 3));
+        service.handle(&Request::StepAuto {
+            session: session.clone(),
+            evals: 8,
+        });
+        let discarded = match service.handle(&Request::Cancel {
+            session: session.clone(),
+        }) {
+            Response::Cancelled { discarded, .. } => discarded,
+            other => panic!("cancel failed: {other:?}"),
+        };
+        assert!(matches!(
+            service.handle(&Request::StepAuto {
+                session: session.clone(),
+                evals: 1
+            }),
+            Response::Error { .. }
+        ));
+        match service.handle(&Request::Join { session }) {
+            Response::Status(st) => {
+                assert!(st.cancelled);
+                assert_eq!(st.pending, 0);
+                // Every admitted evaluation either ran before the cancel or
+                // was discarded by it — none linger, none run twice.
+                assert_eq!(st.completed + discarded, 8);
+            }
+            other => panic!("join failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drain_completes_backlog_checkpoints_and_stops() {
+        let dir = std::env::temp_dir().join(format!("relm_serve_drain_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let service = Service::start(
+            ServeConfig {
+                workers: 4,
+                checkpoint_dir: Some(dir.clone()),
+                ..ServeConfig::default()
+            },
+            Obs::enabled(),
+        );
+        let mut sessions = Vec::new();
+        for i in 0..3 {
+            let s = create(&service, SessionSpec::named("WordCount", 100 + i));
+            service.handle(&Request::StepAuto {
+                session: s.clone(),
+                evals: 2,
+            });
+            sessions.push(s);
+        }
+        match service.handle(&Request::Drain) {
+            Response::Drained {
+                sessions: n,
+                evaluations,
+                checkpointed,
+            } => {
+                assert_eq!(n, 3);
+                assert_eq!(evaluations, 6, "drain must run the whole backlog");
+                assert_eq!(checkpointed, 3);
+            }
+            other => panic!("drain failed: {other:?}"),
+        }
+        for s in &sessions {
+            let path = dir.join(format!("{s}.ckpt.json"));
+            let ckpt = SessionCheckpoint::load(&path).expect("checkpoint readable");
+            assert_eq!(ckpt.history.len(), 2, "no lost or duplicated evaluations");
+        }
+        // Post-drain requests are refused.
+        assert!(matches!(
+            service.handle(&Request::CreateSession {
+                spec: SessionSpec::named("WordCount", 9)
+            }),
+            Response::Error { .. }
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn round_robin_alternates_sessions_on_one_worker() {
+        let service = svc(1);
+        // Hold the worker while both sessions stage their backlogs, so
+        // the expected schedule is exact rather than racing admission.
+        {
+            let mut state = service.shared.state.lock().unwrap();
+            state.paused = true;
+        }
+        let a = create(&service, SessionSpec::named("WordCount", 1));
+        let b = create(&service, SessionSpec::named("WordCount", 2));
+        for s in [&a, &b] {
+            match service.handle(&Request::StepAuto {
+                session: s.clone(),
+                evals: 3,
+            }) {
+                Response::Accepted { .. } => {}
+                other => panic!("step rejected: {other:?}"),
+            }
+        }
+        {
+            let mut state = service.shared.state.lock().unwrap();
+            state.paused = false;
+        }
+        service.shared.work.notify_all();
+        for s in [&a, &b] {
+            service.handle(&Request::Join { session: s.clone() });
+        }
+        let snapshot = service.obs().snapshot();
+        let order: Vec<String> = snapshot
+            .spans
+            .iter()
+            .filter(|sp| sp.name == "serve.evaluate")
+            .filter_map(|sp| {
+                sp.fields.iter().find_map(|(k, v)| match (k.as_str(), v) {
+                    ("session", relm_obs::FieldValue::Str(s)) => Some(s.clone()),
+                    _ => None,
+                })
+            })
+            .collect();
+        // With both backlogs staged before the single worker wakes, a
+        // fair scheduler must strictly alternate: a b a b a b.
+        let expected: Vec<String> = [&a, &b, &a, &b, &a, &b]
+            .iter()
+            .map(|s| (*s).clone())
+            .collect();
+        assert_eq!(order, expected, "unfair schedule");
+    }
+
+    #[test]
+    fn fault_plans_compose_with_serving() {
+        use relm_faults::FaultConfig;
+        let service = svc(4);
+        let spec = SessionSpec::named("WordCount", 77).with_faults(9, FaultConfig::uniform(0.2));
+        let session = create(&service, spec);
+        service.handle(&Request::Step {
+            session: session.clone(),
+            configs: vec![relm_workloads::max_resource_allocation(
+                &ClusterSpec::cluster_a(),
+                &relm_workloads::wordcount(),
+            )],
+        });
+        service.handle(&Request::Join {
+            session: session.clone(),
+        });
+        match service.handle(&Request::Result { session }) {
+            Response::ResultReady { history, .. } => {
+                assert_eq!(history.len(), 1);
+                assert!(
+                    history[0].result.injected_faults > 0 || history[0].retries > 0,
+                    "a 20% plan should fault or retry: {:?}",
+                    history[0].result
+                );
+            }
+            other => panic!("result failed: {other:?}"),
+        }
+    }
+}

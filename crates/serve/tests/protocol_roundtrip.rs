@@ -1,0 +1,191 @@
+//! Protocol robustness: every request and response variant survives the
+//! JSON-lines pivot byte-for-byte, and the framing layer rejects
+//! malformed and oversized frames instead of buffering them.
+
+use proptest::prelude::*;
+use relm_cluster::ClusterSpec;
+use relm_common::{Mem, MemoryConfig};
+use relm_faults::FaultConfig;
+use relm_serve::{
+    decode, encode, read_frame, FrameError, Request, Response, SessionSpec, SessionStatus,
+    DEFAULT_MAX_FRAME_BYTES,
+};
+use relm_tune::{recommendation, session_export, RetryPolicy, TuningEnv};
+use std::io::BufReader;
+
+fn config(n: u32, p: u32, cache: f64, shuffle: f64) -> MemoryConfig {
+    let cfg = MemoryConfig {
+        containers_per_node: n,
+        heap: Mem::mb(17_616.0 / n as f64),
+        task_concurrency: p,
+        cache_fraction: cache,
+        shuffle_fraction: shuffle,
+        new_ratio: 4,
+        survivor_ratio: 8,
+    };
+    assert!(cfg.check().is_ok(), "generated config invalid: {cfg}");
+    cfg
+}
+
+/// A real (small) session export, so `ResultReady` carries the same
+/// payload shapes production responses do.
+fn real_export() -> (relm_tune::SessionExport, Vec<relm_tune::Observation>) {
+    let engine = relm_app::Engine::new(ClusterSpec::cluster_a());
+    let mut env = TuningEnv::new(engine, relm_workloads::wordcount(), 5);
+    let cfg = relm_workloads::max_resource_allocation(&ClusterSpec::cluster_a(), env.app());
+    env.evaluate(&cfg);
+    let rec = recommendation("serve", &env, cfg);
+    (session_export(&env, &rec), env.history().to_vec())
+}
+
+fn assert_request_round_trips(req: &Request) {
+    let line = encode(req);
+    assert!(!line.contains('\n'), "frames must be single-line");
+    let back: Request = decode(&line, DEFAULT_MAX_FRAME_BYTES).unwrap();
+    assert_eq!(req, &back);
+    // Determinism of the wire form itself: re-encoding is byte-identical.
+    assert_eq!(encode(&back), line);
+}
+
+fn assert_response_round_trips(resp: &Response) {
+    let line = encode(resp);
+    assert!(!line.contains('\n'), "frames must be single-line");
+    let back: Response = decode(&line, DEFAULT_MAX_FRAME_BYTES).unwrap();
+    assert_eq!(resp, &back);
+    assert_eq!(encode(&back), line);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_request_variant_round_trips(
+        seed in 0u64..1_000_000,
+        fault_seed in 0u64..1_000,
+        rate in 0.0..0.5f64,
+        evals in 1u32..64,
+        n in 1u32..=4,
+        p in 1u32..=8,
+        cache in 0.05..0.4f64,
+        shuffle in 0.05..0.4f64,
+        sid in 0u64..10_000,
+    ) {
+        let session = format!("s-{sid:04}");
+        let spec_plain = SessionSpec::named("WordCount", seed);
+        let mut spec_full = SessionSpec::named("K-means", seed)
+            .with_faults(fault_seed, FaultConfig::uniform(rate));
+        spec_full.retry = Some(RetryPolicy::standard());
+        let requests = [
+            Request::Ping,
+            Request::CreateSession { spec: spec_plain },
+            Request::CreateSession { spec: spec_full },
+            Request::Step {
+                session: session.clone(),
+                configs: vec![config(n, p, cache, shuffle), config(n, p, shuffle, cache)],
+            },
+            Request::StepAuto { session: session.clone(), evals },
+            Request::Status { session: session.clone() },
+            Request::Join { session: session.clone() },
+            Request::Result { session: session.clone() },
+            Request::Cancel { session: session.clone() },
+            Request::Drain,
+        ];
+        for req in &requests {
+            assert_request_round_trips(req);
+        }
+    }
+
+    #[test]
+    fn every_response_variant_round_trips(
+        pending in 0usize..100,
+        completed in 0usize..100,
+        censored in 0usize..10,
+        score in 0.1..500.0f64,
+        discarded in 0usize..50,
+        sessions in 0usize..64,
+        evaluations in 0usize..10_000,
+        sid in 0u64..10_000,
+        best_known in 0u32..2,
+    ) {
+        let session = format!("s-{sid:04}");
+        let status = SessionStatus {
+            session: session.clone(),
+            pending,
+            running: pending.is_multiple_of(2),
+            completed,
+            censored,
+            best_score_mins: (best_known == 1).then_some(score),
+            cancelled: completed % 2 == 1,
+        };
+        let (export, history) = real_export();
+        let responses = [
+            Response::Pong,
+            Response::SessionCreated { session: session.clone() },
+            Response::Accepted { session: session.clone(), enqueued: pending },
+            Response::Status(status),
+            Response::ResultReady { session: session.clone(), export, history },
+            Response::Cancelled { session: session.clone(), discarded },
+            Response::Drained { sessions, evaluations, checkpointed: sessions },
+            Response::Overloaded {
+                reason: "global queue limit exceeded".into(),
+                session_pending: pending,
+                global_pending: pending + discarded,
+            },
+            Response::Error { message: format!("unknown session `{session}`") },
+        ];
+        for resp in &responses {
+            assert_response_round_trips(resp);
+        }
+    }
+
+    #[test]
+    fn oversized_frames_reject_at_every_limit(
+        limit in 8usize..256,
+        excess in 1usize..64,
+    ) {
+        let line = format!("{}\n", "y".repeat(limit + excess));
+        let mut reader = BufReader::new(line.as_bytes());
+        let out = read_frame(&mut reader, limit).unwrap();
+        prop_assert_eq!(out, Err(FrameError::Oversized { limit }));
+        // A frame exactly at the bound passes.
+        let fit = format!("{}\n", "y".repeat(limit - 1));
+        let mut reader = BufReader::new(fit.as_bytes());
+        let got = read_frame(&mut reader, limit).unwrap().unwrap().unwrap();
+        prop_assert_eq!(got, fit);
+    }
+}
+
+#[test]
+fn malformed_frames_never_panic() {
+    let garbage = [
+        "",
+        "   ",
+        "{",
+        "}",
+        "null",
+        "42",
+        "\"Ping\" trailing",
+        "{\"CreateSession\":{}}",
+        "{\"Step\":{\"session\":5}}",
+        "{\"NoSuchVariant\":{}}",
+        "[1,2,3]",
+        "{\"Status\":{\"session\":\"s-1\"},\"extra\":1}",
+    ];
+    for line in garbage {
+        match decode::<Request>(line, 1024) {
+            Ok(Request::Ping) if line.trim() == "\"Ping\"" => {}
+            Ok(other) => panic!("garbage {line:?} decoded to {other:?}"),
+            Err(FrameError::Malformed { .. }) => {}
+            Err(other) => panic!("garbage {line:?} gave {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn decode_enforces_the_limit_too() {
+    let line = encode(&Request::Ping);
+    assert!(matches!(
+        decode::<Request>(&line, 3),
+        Err(FrameError::Oversized { limit: 3 })
+    ));
+}

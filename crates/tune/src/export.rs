@@ -215,13 +215,41 @@ impl SessionCheckpoint {
     /// mid-write leaves either the previous checkpoint or none — never a
     /// torn file.
     pub fn save(&self, path: &Path) -> io::Result<()> {
+        self.save_tagged(path, "ckpt")
+    }
+
+    /// [`SessionCheckpoint::save`] with a caller-supplied tag woven into
+    /// the temporary file's name.
+    ///
+    /// Writers sharing a results directory — or even the *same* target
+    /// path — must not share a temporary file, or one writer's rename can
+    /// promote another writer's half-written JSON. The temporary name
+    /// therefore embeds the sanitized tag (e.g. a session id), the process
+    /// id, and a process-wide sequence number, making it unique across
+    /// concurrent writers in and across processes.
+    pub fn save_tagged(&self, path: &Path, tag: &str) -> io::Result<()> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
         let json = serde_json::to_string(self)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let tag: String = tag
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
         let mut tmp = path.as_os_str().to_owned();
-        tmp.push(".tmp");
+        tmp.push(format!(
+            ".{}.{}.{}.tmp",
+            tag,
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         let tmp = std::path::PathBuf::from(tmp);
         std::fs::write(&tmp, json)?;
-        std::fs::rename(&tmp, path)
+        let renamed = std::fs::rename(&tmp, path);
+        if renamed.is_err() {
+            std::fs::remove_file(&tmp).ok();
+        }
+        renamed
     }
 
     /// Loads a checkpoint written by [`SessionCheckpoint::save`].
@@ -403,6 +431,70 @@ mod tests {
         let back = SessionCheckpoint::load(&path).unwrap();
         assert_eq!(ckpt, back);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_saves_to_one_path_never_tear() {
+        use crate::env::TuningEnv;
+        use relm_workloads::{max_resource_allocation, wordcount};
+        use std::sync::Arc;
+
+        // Two sessions sharing one results path (the historical collision:
+        // both used `<path>.tmp`). Hammer saves from both threads; every
+        // load in between — and the final one — must parse as a complete
+        // checkpoint, never a torn or mixed file.
+        let make = |seed: u64, evals: usize| {
+            let mut env = TuningEnv::new(
+                relm_app::Engine::new(ClusterSpec::cluster_a()),
+                wordcount(),
+                seed,
+            );
+            let cfg = max_resource_allocation(&ClusterSpec::cluster_a(), env.app());
+            for _ in 0..evals {
+                env.evaluate(&cfg);
+            }
+            SessionCheckpoint::capture(&env)
+        };
+        let a = Arc::new(make(1, 1));
+        let b = Arc::new(make(2, 3));
+        let path = Arc::new(
+            std::env::temp_dir().join(format!("relm_ckpt_race_{}.json", std::process::id())),
+        );
+        let _ = std::fs::remove_file(path.as_path());
+
+        let threads: Vec<_> = [(a.clone(), "s-0001"), (b.clone(), "s-0002")]
+            .into_iter()
+            .map(|(ckpt, tag)| {
+                let path = Arc::clone(&path);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        ckpt.save_tagged(&path, tag).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..50 {
+            if path.exists() {
+                let loaded = SessionCheckpoint::load(&path).expect("never torn");
+                assert!(loaded == *a || loaded == *b, "mixed checkpoint contents");
+            }
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        let final_ckpt = SessionCheckpoint::load(&path).unwrap();
+        assert!(final_ckpt == *a || final_ckpt == *b);
+        // No temporary files left behind.
+        let dir = path.parent().unwrap();
+        let stem = path.file_name().unwrap().to_string_lossy().to_string();
+        let leftovers: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().to_string())
+            .filter(|n| n.starts_with(&stem) && n.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "leaked tmp files: {leftovers:?}");
+        std::fs::remove_file(path.as_path()).ok();
     }
 
     #[test]

@@ -18,7 +18,12 @@ pub struct Recommendation {
 }
 
 /// A tuning policy: given a fresh [`TuningEnv`], produce a recommendation.
-pub trait Tuner {
+///
+/// `Send` is a supertrait: the serving layer moves tuners (and their
+/// sessions) across worker threads, so a policy holding a non-`Send`
+/// handle (`Rc`, `RefCell` captured by reference, raw pointers) is
+/// rejected at compile time rather than at integration time.
+pub trait Tuner: Send {
     /// Policy name as reported in the evaluation tables.
     fn name(&self) -> &'static str;
 

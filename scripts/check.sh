@@ -30,4 +30,27 @@ diff "$replay_dir/first.jsonl" results/fig05_fault_sweep.jsonl \
   || { echo "replay smoke test FAILED: sweep output differs between runs" >&2; exit 1; }
 echo "replay OK: results/fig05_fault_sweep.jsonl is byte-identical across runs"
 
+echo "== serve smoke test =="
+# Start the tuning service, drive a fleet of concurrent sessions through
+# the TCP frontend, drain, and hold the serving layer to its headline
+# guarantees: (1) per-session histories are byte-identical between a
+# serial run and 8 workers under 8 concurrent clients, (2) the drain
+# checkpoints every session with zero lost or duplicated evaluations
+# (serve_load reconciles the drain report against the obs counters and
+# aborts on any mismatch).
+serve_dir="$(mktemp -d)"
+trap 'rm -rf "$replay_dir" "$serve_dir"' EXIT
+cargo run --release -q -p relm-experiments --bin serve_load -- \
+  --workers 1 --clients 1 --sessions 12 --steps 3 \
+  --out "$serve_dir/serial.jsonl" --checkpoint-dir "$serve_dir/ckpt1"
+cargo run --release -q -p relm-experiments --bin serve_load -- \
+  --workers 8 --clients 8 --sessions 12 --steps 3 \
+  --out "$serve_dir/parallel.jsonl" --checkpoint-dir "$serve_dir/ckpt8"
+diff "$serve_dir/serial.jsonl" "$serve_dir/parallel.jsonl" \
+  || { echo "serve smoke test FAILED: histories depend on worker count" >&2; exit 1; }
+ckpts="$(ls "$serve_dir/ckpt8" | wc -l)"
+[ "$ckpts" -eq 12 ] \
+  || { echo "serve smoke test FAILED: expected 12 checkpoints, found $ckpts" >&2; exit 1; }
+echo "serve OK: 12 sessions byte-identical across 1/8 workers, all checkpointed on drain"
+
 echo "All checks passed."
