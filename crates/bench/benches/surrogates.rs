@@ -1,10 +1,15 @@
 //! Surrogate-model scaling: Gaussian-process fitting/prediction as the
 //! sample count grows (why "the BO regression model is not suited for high
 //! dimensional spaces", §6.3) and Random-Forest fitting for comparison.
+//!
+//! The `gp_fit` / `gp_refit_incremental` pair measures the PR-4 surrogate
+//! kernels: a full fit re-runs the hyperparameter search over the cached
+//! Gram differences, while an incremental refit appends one Cholesky row
+//! at the retained hyperparameters (bit-identical posterior, O(n²)).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use relm_common::Rng;
-use relm_surrogate::{latin_hypercube, Forest, ForestParams, Gp};
+use relm_surrogate::{latin_hypercube, maximize_ei_threaded, Forest, ForestParams, Gp, GpFitter};
 use std::hint::black_box;
 
 fn dataset(n: usize, dims: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
@@ -22,9 +27,11 @@ fn dataset(n: usize, dims: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
     (xs, ys)
 }
 
+const SCALES: [usize; 4] = [10, 20, 40, 80];
+
 fn bench_gp_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("gp_fit");
-    for n in [8usize, 16, 32, 64] {
+    for n in SCALES {
         let (xs, ys) = dataset(n, 4);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| black_box(Gp::fit(xs.clone(), &ys, 1).expect("fit")))
@@ -32,13 +39,69 @@ fn bench_gp_scaling(c: &mut Criterion) {
     }
     group.finish();
 
+    let mut group = c.benchmark_group("gp_refit_incremental");
+    for n in SCALES {
+        // A fitter holding n-1 observations plus one not-yet-factorized
+        // point: `refit` extends the stored Cholesky by exactly one row.
+        let (xs, ys) = dataset(n, 4);
+        let mut fitter = GpFitter::new(1);
+        for (x, y) in xs[..n - 1].iter().zip(&ys) {
+            fitter.observe(x.clone(), *y).expect("observe");
+        }
+        fitter.fit_full(1).expect("fit");
+        fitter
+            .observe(xs[n - 1].clone(), ys[n - 1])
+            .expect("observe");
+        // The clone (a flat memcpy of the cached differences and the packed
+        // factor) rides along in the measurement; it is an order of
+        // magnitude below the refit flops at every scale here.
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut f = fitter.clone();
+                black_box(f.refit().expect("refit"))
+            })
+        });
+    }
+    group.finish();
+
     let mut group = c.benchmark_group("gp_predict");
-    for n in [16usize, 64] {
+    for n in SCALES {
         let (xs, ys) = dataset(n, 4);
         let gp = Gp::fit(xs, &ys, 1).expect("fit");
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| black_box(gp.predict(&[0.3, 0.5, 0.7, 0.2])))
         });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("gp_predict_batch_128");
+    for n in SCALES {
+        let (xs, ys) = dataset(n, 4);
+        let gp = Gp::fit(xs, &ys, 1).expect("fit");
+        let mut rng = Rng::new(11);
+        let batch = latin_hypercube(128, 4, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(gp.predict_batch(&batch)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_acquisition(c: &mut Criterion) {
+    let (xs, ys) = dataset(40, 4);
+    let gp = Gp::fit(xs, &ys, 1).expect("fit");
+    let mut group = c.benchmark_group("maximize_ei_40pts");
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut rng = Rng::new(7);
+                    black_box(maximize_ei_threaded(&gp, 4, 5.0, &mut rng, threads))
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -71,6 +134,7 @@ fn bench_forest(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_gp_scaling,
+    bench_acquisition,
     bench_gp_dimensionality,
     bench_forest
 );

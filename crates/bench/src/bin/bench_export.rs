@@ -1,0 +1,230 @@
+//! Measures the surrogate hot path (GP fit / incremental refit / predict /
+//! EI maximization) with plain wall-clock timing and writes the medians to
+//! `BENCH_surrogate.json` at the workspace root, next to a frozen pre-PR-4
+//! baseline captured on the same machine with the same harness — so the
+//! performance trajectory of the surrogate kernels is tracked in-repo.
+//!
+//! Run from the workspace root: `cargo run --release -p relm-bench --bin
+//! bench_export`.
+
+use relm_common::Rng;
+use relm_surrogate::{latin_hypercube, maximize_ei, maximize_ei_threaded, Gp, GpFitter};
+use serde::{Map, Number, Value};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const SCALES: [usize; 5] = [10, 20, 30, 40, 80];
+
+/// Median nanoseconds of the *pre-PR-4* surrogate (commit d6fb743) under
+/// this same harness on the reference machine, keyed `metric -> n`. Frozen
+/// so every rerun reports speedup against the same before-state.
+fn baseline_pre_pr() -> BTreeMap<String, BTreeMap<String, u64>> {
+    let table: [(&str, [u64; 5]); 3] = [
+        (
+            "gp_fit",
+            [436_996, 2_093_695, 4_214_682, 6_731_600, 34_634_084],
+        ),
+        (
+            "gp_predict_x1000",
+            [684_842, 1_661_877, 2_004_539, 3_994_120, 8_062_795],
+        ),
+        (
+            "maximize_ei",
+            [405_098, 919_669, 875_170, 1_762_972, 3_906_156],
+        ),
+    ];
+    table
+        .into_iter()
+        .map(|(name, row)| {
+            let per_n = SCALES
+                .iter()
+                .zip(row)
+                .map(|(n, ns)| (n.to_string(), ns))
+                .collect();
+            (name.to_string(), per_n)
+        })
+        .collect()
+}
+
+/// `metric -> n -> ns` as a JSON object (BTreeMap iteration keeps the key
+/// order deterministic; the vendored `serde::Map` preserves insertion
+/// order).
+fn tables_to_value(tables: &BTreeMap<String, BTreeMap<String, u64>>) -> Value {
+    let mut out = Map::new();
+    for (metric, per_n) in tables {
+        let mut row = Map::new();
+        for (n, ns) in per_n {
+            row.insert(n.clone(), Value::Number(Number::U64(*ns)));
+        }
+        out.insert(metric.clone(), Value::Object(row));
+    }
+    Value::Object(out)
+}
+
+fn dataset(n: usize, dims: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = Rng::new(3);
+    let xs = latin_hypercube(n, dims, &mut rng);
+    let ys = xs
+        .iter()
+        .map(|x| {
+            x.iter()
+                .enumerate()
+                .map(|(i, v)| v * (i as f64 + 1.0))
+                .sum::<f64>()
+        })
+        .collect();
+    (xs, ys)
+}
+
+/// Median nanoseconds per call over `reps` timed calls.
+fn median_ns(reps: usize, mut f: impl FnMut()) -> u64 {
+    let mut samples: Vec<u64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let reps = 15;
+    let mut current: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
+    let mut record = |metric: &str, n: usize, ns: u64| {
+        current
+            .entry(metric.to_string())
+            .or_default()
+            .insert(n.to_string(), ns);
+    };
+
+    for n in SCALES {
+        let (xs, ys) = dataset(n, 4);
+
+        let ns = median_ns(reps, || {
+            std::hint::black_box(Gp::fit(xs.clone(), &ys, 1).expect("fit"));
+        });
+        record("gp_fit", n, ns);
+
+        // A fitter holding n-1 observations plus one not-yet-factorized
+        // point: `refit` extends the stored Cholesky by exactly one row —
+        // the per-iteration cost of a BO loop running `refit_period > 1`.
+        // The clone (flat memcpys) rides along in the measurement.
+        let mut fitter = GpFitter::new(1);
+        for (x, y) in xs[..n - 1].iter().zip(&ys) {
+            fitter.observe(x.clone(), *y).expect("observe");
+        }
+        fitter.fit_full(1).expect("fit");
+        fitter
+            .observe(xs[n - 1].clone(), ys[n - 1])
+            .expect("observe");
+        let ns = median_ns(reps, || {
+            let mut f = fitter.clone();
+            std::hint::black_box(f.refit().expect("refit"));
+        });
+        record("gp_refit_incremental", n, ns);
+
+        let gp = Gp::fit(xs, &ys, 1).expect("fit");
+        let ns = median_ns(reps, || {
+            for i in 0..1000 {
+                let t = i as f64 / 1000.0;
+                std::hint::black_box(gp.predict(&[t, 0.5, 0.7, 0.2]));
+            }
+        });
+        record("gp_predict_x1000", n, ns);
+
+        let batch: Vec<Vec<f64>> = (0..1000)
+            .map(|i| vec![i as f64 / 1000.0, 0.5, 0.7, 0.2])
+            .collect();
+        let ns = median_ns(reps, || {
+            std::hint::black_box(gp.predict_batch(&batch));
+        });
+        record("gp_predict_batch_x1000", n, ns);
+
+        let ns = median_ns(reps, || {
+            let mut rng = Rng::new(7);
+            std::hint::black_box(maximize_ei(&gp, 4, 5.0, &mut rng));
+        });
+        record("maximize_ei", n, ns);
+
+        let ns = median_ns(reps, || {
+            let mut rng = Rng::new(7);
+            std::hint::black_box(maximize_ei_threaded(&gp, 4, 5.0, &mut rng, 4));
+        });
+        record("maximize_ei_threads4", n, ns);
+    }
+
+    let baseline = baseline_pre_pr();
+    let ratio = |metric: &str, n: &str| -> f64 {
+        let before = baseline["gp_fit"][n] as f64;
+        let after = current[metric][n] as f64;
+        (before / after * 100.0).round() / 100.0
+    };
+    // `baseline gp_fit / current gp_fit` — the full-fit speedup from the
+    // cached Gram assembly and packed Cholesky — and `baseline gp_fit /
+    // current gp_refit_incremental` — what a BO iteration pays between
+    // hyperparameter re-tunes (`refit_period > 1`).
+    let mut speedup_full_fit = Map::new();
+    let mut speedup_incremental_refit = Map::new();
+    for n in SCALES {
+        let key = n.to_string();
+        speedup_full_fit.insert(
+            key.clone(),
+            Value::Number(Number::F64(ratio("gp_fit", &key))),
+        );
+        speedup_incremental_refit.insert(
+            key.clone(),
+            Value::Number(Number::F64(ratio("gp_refit_incremental", &key))),
+        );
+    }
+
+    for (metric, per_n) in &current {
+        for (n, ns) in per_n {
+            println!("{metric:<24} n={n:<3} {ns:>12} ns");
+        }
+    }
+    println!(
+        "speedup vs pre-PR gp_fit at n=30: full fit {:.2}x, incremental refit {:.2}x",
+        ratio("gp_fit", "30"),
+        ratio("gp_refit_incremental", "30"),
+    );
+
+    let mut file = Map::new();
+    file.insert(
+        "description",
+        Value::String(
+            "Surrogate hot-path medians (GP fit / incremental refit / predict / EI \
+             maximization), current vs. the frozen pre-PR-4 baseline"
+                .to_string(),
+        ),
+    );
+    file.insert("units", Value::String("ns (median)".to_string()));
+    file.insert("reps", Value::Number(Number::U64(reps as u64)));
+    file.insert(
+        "scales",
+        Value::Array(
+            SCALES
+                .iter()
+                .map(|n| Value::Number(Number::U64(*n as u64)))
+                .collect(),
+        ),
+    );
+    file.insert("baseline_pre_pr", tables_to_value(&baseline));
+    file.insert("current", tables_to_value(&current));
+    file.insert("speedup_full_fit", Value::Object(speedup_full_fit));
+    file.insert(
+        "speedup_incremental_refit",
+        Value::Object(speedup_incremental_refit),
+    );
+
+    // `CARGO_MANIFEST_DIR` is crates/bench; the file lives at the root.
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| PathBuf::from(d).join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."));
+    let out = root.join("BENCH_surrogate.json");
+    let json = serde_json::to_string_pretty(&Value::Object(file)).expect("bench file serializes");
+    std::fs::write(&out, json + "\n").expect("write BENCH_surrogate.json");
+    println!("wrote {}", out.display());
+}

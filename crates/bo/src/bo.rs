@@ -3,7 +3,7 @@
 use relm_common::{MemoryConfig, Result, Rng};
 use relm_core::QModel;
 use relm_profile::derive_stats;
-use relm_surrogate::{maximize_ei, Forest, ForestParams, Gp, Surrogate};
+use relm_surrogate::{maximize_ei_threaded, Forest, ForestParams, GpFitStats, GpFitter, Surrogate};
 use relm_tune::{recommendation, ConfigSpace, Recommendation, Tuner, TuningEnv};
 use serde::{Deserialize, Serialize};
 
@@ -33,6 +33,17 @@ pub struct BoConfig {
     pub max_iterations: usize,
     /// Surrogate model.
     pub surrogate: SurrogateKind,
+    /// Re-tune the GP hyperparameters (full marginal-likelihood search)
+    /// every this many adaptive iterations; in between, the factor is
+    /// extended incrementally at the retained hyperparameters (O(n²) per
+    /// observation instead of O(n³) per search). `1` re-tunes every
+    /// iteration — the pre-optimization behavior, kept as the default so
+    /// historical traces replay byte-identically.
+    pub refit_period: usize,
+    /// Threads used to score hyperparameter proposals and acquisition
+    /// candidates. Results are bit-identical at every value, so this is a
+    /// pure wall-clock knob.
+    pub scoring_threads: usize,
 }
 
 impl Default for BoConfig {
@@ -43,6 +54,8 @@ impl Default for BoConfig {
             ei_threshold: 0.1,
             max_iterations: 24,
             surrogate: SurrogateKind::GaussianProcess,
+            refit_period: 1,
+            scoring_threads: 4,
         }
     }
 }
@@ -129,30 +142,11 @@ impl BayesOpt {
         let mut f = x.to_vec();
         if let Some(q) = q {
             let config = space.decode(x);
-            f.extend(q.q(&config));
+            let mut qv = [0.0; 3];
+            q.q_into(&config, &mut qv);
+            f.extend(qv);
         }
         f
-    }
-
-    fn fit_surrogate(
-        &self,
-        features: &[Vec<f64>],
-        scores: &[f64],
-        iter: usize,
-    ) -> Result<Box<dyn Surrogate>> {
-        match self.cfg.surrogate {
-            SurrogateKind::GaussianProcess => Ok(Box::new(Gp::fit(
-                features.to_vec(),
-                scores,
-                self.seed ^ (iter as u64) << 8,
-            )?)),
-            SurrogateKind::RandomForest => Ok(Box::new(Forest::fit(
-                features,
-                scores,
-                ForestParams::default(),
-                self.seed ^ (iter as u64) << 8,
-            )?)),
-        }
     }
 }
 
@@ -238,26 +232,68 @@ impl Tuner for BayesOpt {
             scores.push(obs.score_mins);
         }
 
+        // Persistent GP fitter: the Gram cache of pairwise feature
+        // differences survives across iterations (the q-model is locked
+        // after bootstrap, so feature vectors are stable), and between full
+        // hyperparameter re-tunes the Cholesky factor is extended one row
+        // per observation.
+        let mut fitter = GpFitter::new(self.cfg.scoring_threads);
+        for (x, y) in xs.iter().zip(&scores) {
+            fitter.observe(Self::features(&space, qmodel.as_ref(), x), *y)?;
+        }
+        let refit_period = self.cfg.refit_period.max(1);
+        let mut last_stats = GpFitStats::default();
+
         // Adaptive sampling.
         let mut adaptive = 0usize;
         while adaptive < self.cfg.max_iterations {
             let fit_started = std::time::Instant::now();
-            let surrogate = {
+            let surrogate: Box<dyn Surrogate> = {
                 let _fit = telemetry
                     .span("bo.fit_surrogate")
                     .with("iter", adaptive)
                     .with("samples", xs.len())
                     .with("guided", self.guided);
-                let features: Vec<Vec<f64>> = xs
-                    .iter()
-                    .map(|x| Self::features(&space, qmodel.as_ref(), x))
-                    .collect();
-                self.fit_surrogate(&features, &scores, adaptive)?
+                match self.cfg.surrogate {
+                    SurrogateKind::GaussianProcess => {
+                        let gp = if !fitter.has_fit() || adaptive.is_multiple_of(refit_period) {
+                            fitter.fit_full(self.seed ^ (adaptive as u64) << 8)?
+                        } else {
+                            fitter.refit()?
+                        };
+                        Box::new(gp)
+                    }
+                    SurrogateKind::RandomForest => {
+                        let features: Vec<Vec<f64>> = xs
+                            .iter()
+                            .map(|x| Self::features(&space, qmodel.as_ref(), x))
+                            .collect();
+                        Box::new(Forest::fit(
+                            &features,
+                            &scores,
+                            ForestParams::default(),
+                            self.seed ^ (adaptive as u64) << 8,
+                        )?)
+                    }
+                }
             };
-            telemetry.record(
-                &format!("{metric_prefix}.fit_ms"),
-                fit_started.elapsed().as_secs_f64() * 1e3,
+            let fit_ms = fit_started.elapsed().as_secs_f64() * 1e3;
+            telemetry.record(&format!("{metric_prefix}.fit_ms"), fit_ms);
+            telemetry.record("surrogate.fit_ms", fit_ms);
+            let stats = fitter.stats();
+            telemetry.add(
+                "surrogate.gram_reuse",
+                (stats.gram_reused_dims - last_stats.gram_reused_dims) as f64,
             );
+            telemetry.add(
+                "surrogate.incremental_fits",
+                (stats.incremental_fits - last_stats.incremental_fits) as f64,
+            );
+            telemetry.add(
+                "surrogate.chol_jitter_retries",
+                (stats.chol_jitter_retries - last_stats.chol_jitter_retries) as f64,
+            );
+            last_stats = stats;
             let tau = scores.iter().cloned().fold(f64::INFINITY, f64::min);
 
             let acq_started = std::time::Instant::now();
@@ -271,7 +307,7 @@ impl Tuner for BayesOpt {
                     space: &space,
                     q: qmodel.as_ref(),
                 };
-                maximize_ei(&wrapped, dims, tau, &mut rng)
+                maximize_ei_threaded(&wrapped, dims, tau, &mut rng, self.cfg.scoring_threads)
             };
             telemetry.record(
                 &format!("{metric_prefix}.acq_ms"),
@@ -287,6 +323,10 @@ impl Tuner for BayesOpt {
                 bootstrap: false,
                 ei: Some(ei),
             });
+            fitter.observe(
+                Self::features(&space, qmodel.as_ref(), &x_next),
+                obs.score_mins,
+            )?;
             xs.push(x_next);
             scores.push(obs.score_mins);
             adaptive += 1;
@@ -379,6 +419,55 @@ mod tests {
         let rb = b.tune(&mut e2).unwrap();
         assert_eq!(ra.config, rb.config);
         assert_eq!(a.trace().len(), b.trace().len());
+    }
+
+    #[test]
+    fn scoring_threads_do_not_change_the_trace() {
+        // The whole point of the deterministic parallel scoring: any thread
+        // count must reproduce the serial trace to the last bit.
+        let run = |threads: usize| {
+            let mut e = env(sortbykey(), 6);
+            let mut bo = BayesOpt::new(13).with_config(BoConfig {
+                scoring_threads: threads,
+                max_iterations: 10,
+                ..BoConfig::default()
+            });
+            bo.tune(&mut e).unwrap();
+            bo.trace().to_vec()
+        };
+        let serial = run(1);
+        for threads in [2, 8] {
+            assert_eq!(serial, run(threads), "trace diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn incremental_refit_period_is_deterministic_across_thread_counts() {
+        // K > 1 changes the trace (fewer hyperparameter re-tunes) but must
+        // stay deterministic, guided included, at every thread count.
+        let run = |threads: usize, guided: bool| {
+            let mut e = env(svm(), 8);
+            let mut bo = if guided {
+                BayesOpt::guided(21)
+            } else {
+                BayesOpt::new(21)
+            };
+            bo = bo.with_config(BoConfig {
+                refit_period: 4,
+                scoring_threads: threads,
+                max_iterations: 12,
+                ..BoConfig::default()
+            });
+            bo.tune(&mut e).unwrap();
+            bo.trace().to_vec()
+        };
+        for guided in [false, true] {
+            let serial = run(1, guided);
+            assert!(serial.iter().any(|s| !s.bootstrap));
+            for threads in [2, 8] {
+                assert_eq!(serial, run(threads, guided), "guided={guided}");
+            }
+        }
     }
 
     #[test]

@@ -39,6 +39,15 @@ impl QModel {
     /// * `q3` — shuffle memory efficiency: live shuffle memory against half
     ///   of Eden (Observation 7). High values mean large-spill GC overheads.
     pub fn q(&self, config: &MemoryConfig) -> [f64; 3] {
+        let mut out = [0.0; 3];
+        self.q_into(config, &mut out);
+        out
+    }
+
+    /// Evaluates `q` into a caller-owned buffer — the form the surrogate
+    /// feature-assembly hot path uses (one `q` evaluation per acquisition
+    /// candidate), keeping the inner loop free of intermediate copies.
+    pub fn q_into(&self, config: &MemoryConfig, out: &mut [f64; 3]) {
         let s = *self.init.stats();
         let m_h = config.heap;
         let p = config.task_concurrency.max(1) as f64;
@@ -75,7 +84,7 @@ impl QModel {
             (cfg_shuffle_per_task.min(req_shuffle) * p) / (m_e * 0.5).max(Mem::mb(1.0))
         };
 
-        [q1, q2, q3]
+        *out = [q1, q2, q3];
     }
 }
 
@@ -155,6 +164,20 @@ mod tests {
             bad[2]
         );
         assert!(good[2] < bad[2]);
+    }
+
+    #[test]
+    fn q_into_matches_q_bitwise() {
+        let q = QModel::new(stats(), 0.1);
+        for (cache, shuffle, p, nr) in [(0.2, 0.1, 2, 2), (0.7, 0.0, 8, 1), (0.0, 0.6, 4, 9)] {
+            let c = config(cache, shuffle, p, nr);
+            let arr = q.q(&c);
+            let mut buf = [f64::NAN; 3];
+            q.q_into(&c, &mut buf);
+            for (a, b) in arr.iter().zip(&buf) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -1,12 +1,34 @@
 //! Figure 20: convergence of the tuning policies on K-means. Each tuner
 //! runs 5 times; the mean, min, and max of the best-runtime-so-far are
 //! reported per iteration.
+//!
+//! ```text
+//! fig20_convergence [--scoring-threads N] [--out PATH]
+//! ```
+//!
+//! Besides the stdout table, the per-run trajectories go to a JSONL file
+//! (default `results/fig20_convergence.jsonl`) holding simulated
+//! quantities only. `--scoring-threads` sets the BO/GBO acquisition
+//! scoring pool — a pure wall-clock knob, so the file is **byte-identical**
+//! for any value; `scripts/check.sh` diffs 1 thread against 8.
 
 use relm_app::Engine;
 use relm_cluster::ClusterSpec;
-use relm_experiments::{long_bo, long_ddpg};
+use relm_experiments::{long_bo_threaded, long_ddpg, results_dir};
 use relm_tune::{Tuner, TuningEnv};
 use relm_workloads::kmeans;
+use serde::Serialize;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// One tuning run's best-so-far curve — what the convergence plot draws.
+#[derive(Debug, Serialize)]
+struct RunRecord {
+    policy: &'static str,
+    rep: u64,
+    seed: u64,
+    best_so_far_mins: Vec<f64>,
+}
 
 /// Best-so-far trajectory of one tuning session.
 fn trajectory(env: &TuningEnv, len: usize) -> Vec<f64> {
@@ -24,6 +46,21 @@ fn trajectory(env: &TuningEnv, len: usize) -> Vec<f64> {
 }
 
 fn main() {
+    let mut scoring_threads = relm_bo::BoConfig::default().scoring_threads;
+    let mut out_path: Option<PathBuf> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--scoring-threads" => scoring_threads = value().parse().expect("--scoring-threads"),
+            "--out" => out_path = Some(PathBuf::from(value())),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
     let engine = Engine::new(ClusterSpec::cluster_a());
     let app = kmeans();
     let reps = 5u64;
@@ -37,6 +74,7 @@ fn main() {
     println!();
 
     let mut curves: Vec<Vec<Vec<f64>>> = Vec::new();
+    let mut records: Vec<RunRecord> = Vec::new();
     for policy_name in ["BO", "GBO", "DDPG"] {
         let mut per_rep = Vec::new();
         for rep in 0..reps {
@@ -44,16 +82,23 @@ fn main() {
             let mut env = TuningEnv::new(engine.clone(), app.clone(), seed);
             match policy_name {
                 "BO" => {
-                    let _ = long_bo(seed, false).tune(&mut env);
+                    let _ = long_bo_threaded(seed, false, scoring_threads).tune(&mut env);
                 }
                 "GBO" => {
-                    let _ = long_bo(seed, true).tune(&mut env);
+                    let _ = long_bo_threaded(seed, true, scoring_threads).tune(&mut env);
                 }
                 _ => {
                     let _ = long_ddpg(seed).tune(&mut env);
                 }
             }
-            per_rep.push(trajectory(&env, horizon));
+            let curve = trajectory(&env, horizon);
+            records.push(RunRecord {
+                policy: policy_name,
+                rep,
+                seed,
+                best_so_far_mins: curve.clone(),
+            });
+            per_rep.push(curve);
         }
         curves.push(per_rep);
     }
@@ -69,6 +114,25 @@ fn main() {
         }
         println!();
     }
-    println!("\npaper shape: GBO fits earlier than BO; DDPG explores low-reward regions");
+
+    // The trajectories hold simulated quantities only — no wall clock, no
+    // thread count — so this file must not change with --scoring-threads.
+    let out = match out_path {
+        Some(path) => path,
+        None => results_dir()
+            .expect("results dir")
+            .join("fig20_convergence.jsonl"),
+    };
+    if let Some(parent) = out.parent() {
+        std::fs::create_dir_all(parent).expect("create output dir");
+    }
+    let mut file = std::io::BufWriter::new(std::fs::File::create(&out).expect("create output"));
+    for record in &records {
+        let line = serde_json::to_string(record).expect("record serializes");
+        writeln!(file, "{line}").expect("write record");
+    }
+    file.flush().expect("flush output");
+    println!("\nwrote {}", out.display());
+    println!("paper shape: GBO fits earlier than BO; DDPG explores low-reward regions");
     println!("first and converges last.");
 }

@@ -3,9 +3,16 @@
 //! guarantees end to end.
 //!
 //! ```text
-//! serve_load [--workers N] [--sessions N] [--steps N] [--clients N]
-//!            [--out PATH] [--checkpoint-dir PATH]
+//! serve_load [--workers N] [--sessions N] [--steps N] [--guided N]
+//!            [--clients N] [--out PATH] [--checkpoint-dir PATH]
 //! ```
+//!
+//! `--guided N` appends N GP-proposed evaluations per session after the
+//! sampled bootstrap (`StepGuided`): the client joins the session so the
+//! history is settled, then asks the server to propose. Guided proposals
+//! are a pure function of the settled history, so the output file stays
+//! byte-identical across `--workers` / `--clients` — now exercising the
+//! surrogate hot path end to end.
 //!
 //! Each session's spec is a pure function of its index (workload cycles
 //! through the benchmark suite, seeds derive from the index, every third
@@ -60,6 +67,7 @@ struct Args {
     workers: usize,
     sessions: u64,
     steps: u32,
+    guided: u32,
     clients: usize,
     out: Option<PathBuf>,
     checkpoint_dir: Option<PathBuf>,
@@ -70,6 +78,7 @@ fn parse_args() -> Args {
         workers: 4,
         sessions: 16,
         steps: 4,
+        guided: 0,
         clients: 4,
         out: None,
         checkpoint_dir: None,
@@ -84,6 +93,7 @@ fn parse_args() -> Args {
             "--workers" => args.workers = value().parse().expect("--workers"),
             "--sessions" => args.sessions = value().parse().expect("--sessions"),
             "--steps" => args.steps = value().parse().expect("--steps"),
+            "--guided" => args.guided = value().parse().expect("--guided"),
             "--clients" => args.clients = value().parse().expect("--clients"),
             "--out" => args.out = Some(PathBuf::from(value())),
             "--checkpoint-dir" => args.checkpoint_dir = Some(PathBuf::from(value())),
@@ -91,6 +101,10 @@ fn parse_args() -> Args {
         }
     }
     args.clients = args.clients.clamp(1, args.sessions.max(1) as usize);
+    assert!(
+        args.guided == 0 || args.steps >= 4,
+        "--guided needs a bootstrap of at least 4 steps"
+    );
     args
 }
 
@@ -102,6 +116,7 @@ fn drive_client(
     clients: usize,
     sessions: u64,
     steps: u32,
+    guided: u32,
 ) -> Vec<SessionRecord> {
     let mut conn = TcpClient::connect(addr).expect("connect load client");
     let mut records = Vec::new();
@@ -134,6 +149,38 @@ fn drive_client(
                 other => panic!("step rejected: {other:?}"),
             }
         }
+        if guided > 0 {
+            // Settle the bootstrap, then ask the server to propose. A
+            // rejected guided batch never advances the proposal stream, so
+            // the retry loop cannot skew the history.
+            match conn
+                .request(&Request::Join {
+                    session: name.clone(),
+                })
+                .expect("join request")
+            {
+                Response::Status(_) => {}
+                other => panic!("join rejected: {other:?}"),
+            }
+            loop {
+                match conn
+                    .request(&Request::StepGuided {
+                        session: name.clone(),
+                        evals: guided,
+                    })
+                    .expect("guided step request")
+                {
+                    Response::Accepted { enqueued, .. } => {
+                        assert_eq!(enqueued, guided as usize);
+                        break;
+                    }
+                    Response::Overloaded { .. } => {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                    other => panic!("guided step rejected: {other:?}"),
+                }
+            }
+        }
         match conn
             .request(&Request::Result {
                 session: name.clone(),
@@ -141,7 +188,11 @@ fn drive_client(
             .expect("result request")
         {
             Response::ResultReady { history, .. } => {
-                assert_eq!(history.len(), steps as usize, "lost evaluations on {name}");
+                assert_eq!(
+                    history.len(),
+                    (steps + guided) as usize,
+                    "lost evaluations on {name}"
+                );
                 records.push(SessionRecord {
                     index,
                     workload: spec.workload.clone(),
@@ -168,7 +219,7 @@ fn main() {
         ServeConfig {
             workers: args.workers,
             max_sessions: args.sessions as usize,
-            session_queue_limit: args.steps as usize,
+            session_queue_limit: args.steps.max(args.guided) as usize,
             global_queue_limit: (args.steps as usize) * (args.sessions as usize).min(64),
             checkpoint_dir: args.checkpoint_dir.clone(),
             ..ServeConfig::default()
@@ -181,8 +232,9 @@ fn main() {
     let started = Instant::now();
     let threads: Vec<_> = (0..args.clients)
         .map(|c| {
-            let (clients, sessions, steps) = (args.clients, args.sessions, args.steps);
-            std::thread::spawn(move || drive_client(addr, c, clients, sessions, steps))
+            let (clients, sessions, steps, guided) =
+                (args.clients, args.sessions, args.steps, args.guided);
+            std::thread::spawn(move || drive_client(addr, c, clients, sessions, steps, guided))
         })
         .collect();
     let mut records: Vec<SessionRecord> = threads
@@ -206,7 +258,7 @@ fn main() {
 
     // Reconciliation: the protocol-level tallies, the drain report, and
     // the observability counters must all agree exactly.
-    let expected_evals = args.sessions as usize * args.steps as usize;
+    let expected_evals = args.sessions as usize * (args.steps + args.guided) as usize;
     assert_eq!(records.len(), args.sessions as usize, "lost sessions");
     assert_eq!(drained_sessions, args.sessions as usize, "lost sessions");
     assert_eq!(drained_evals, expected_evals, "lost/duplicated evaluations");
@@ -243,9 +295,10 @@ fn main() {
             .unwrap_or(0.0)
     };
     println!(
-        "serve_load: {} sessions x {} evals on {} workers / {} clients in {:.2}s ({:.0} evals/s)",
+        "serve_load: {} sessions x {}+{} evals on {} workers / {} clients in {:.2}s ({:.0} evals/s)",
         args.sessions,
         args.steps,
+        args.guided,
         args.workers,
         args.clients,
         elapsed,

@@ -118,6 +118,13 @@ pub fn train_until(
 
 /// A long-budget BO (no early stop) for convergence studies.
 pub fn long_bo(seed: u64, guided: bool) -> BayesOpt {
+    long_bo_threaded(seed, guided, relm_bo::BoConfig::default().scoring_threads)
+}
+
+/// [`long_bo`] with an explicit acquisition-scoring thread count. Purely a
+/// wall-clock knob: the tuning trace is bit-identical at any value, which
+/// `fig20_convergence --scoring-threads N` exploits to prove it end to end.
+pub fn long_bo_threaded(seed: u64, guided: bool, scoring_threads: usize) -> BayesOpt {
     let base = if guided {
         BayesOpt::guided(seed)
     } else {
@@ -126,6 +133,7 @@ pub fn long_bo(seed: u64, guided: bool) -> BayesOpt {
     base.with_config(relm_bo::BoConfig {
         max_iterations: 28,
         min_adaptive_samples: 28,
+        scoring_threads,
         ..relm_bo::BoConfig::default()
     })
 }

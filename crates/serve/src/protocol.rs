@@ -91,6 +91,12 @@ pub enum Request {
     /// session's deterministic sampler (seeded by the session spec, so the
     /// sequence is a pure function of the spec — not of timing).
     StepAuto { session: String, evals: u32 },
+    /// Enqueues `evals` server-proposed configurations chosen by a GP
+    /// surrogate fitted on the session's settled history (expected
+    /// improvement over the encoded observations). Requires an *idle*
+    /// session — proposals are a pure function of the settled history, so
+    /// the sequence is byte-identical at any worker count.
+    StepGuided { session: String, evals: u32 },
     /// Non-blocking progress snapshot.
     Status { session: String },
     /// Blocks until the session has no pending or running evaluations,
@@ -117,6 +123,7 @@ impl Request {
             Request::CreateSession { .. } => "create_session",
             Request::Step { .. } => "step",
             Request::StepAuto { .. } => "step_auto",
+            Request::StepGuided { .. } => "step_guided",
             Request::Status { .. } => "status",
             Request::Join { .. } => "join",
             Request::Result { .. } => "result",
@@ -264,6 +271,10 @@ mod tests {
             Request::StepAuto {
                 session: "s-1".into(),
                 evals: 4,
+            },
+            Request::StepGuided {
+                session: "s-1".into(),
+                evals: 2,
             },
             Request::Drain,
         ];

@@ -34,6 +34,8 @@ use relm_cluster::ClusterSpec;
 use relm_common::{MemoryConfig, Rng};
 use relm_faults::FaultPlan;
 use relm_obs::Obs;
+use relm_surrogate::{maximize_ei_threaded, GpFitter};
+use relm_tune::space::DIMS;
 use relm_tune::{recommendation, session_export, ConfigSpace, SessionCheckpoint, TuningEnv};
 use std::collections::{BTreeMap, VecDeque};
 use std::path::PathBuf;
@@ -72,6 +74,32 @@ impl Default for ServeConfig {
     }
 }
 
+/// Completed evaluations a session needs before `StepGuided` can fit its
+/// surrogate.
+const GUIDED_MIN_HISTORY: usize = 4;
+/// Every K-th guided fit re-tunes the GP hyperparameters from scratch; the
+/// fits in between extend the stored Cholesky factor incrementally
+/// (bit-identical to a from-scratch fit at the retained hyperparameters).
+const GUIDED_REFIT_PERIOD: usize = 4;
+/// Scoring threads for guided acquisition. Purely a wall-clock knob:
+/// proposals are bit-identical at any thread count.
+const GUIDED_SCORING_THREADS: usize = 2;
+
+/// Deterministic GP proposal state behind `StepGuided`.
+///
+/// A pure function of the session spec and the *settled* history: the
+/// fitter ingests encoded observations in history order, and the RNG
+/// advances only when a batch is admitted (clone-compute-commit, exactly
+/// like the auto sampler) — so rejected requests never shift the stream.
+#[derive(Clone)]
+struct GuidedState {
+    fitter: GpFitter,
+    rng: Rng,
+    /// Guided fits performed so far — drives the full-vs-incremental
+    /// refit schedule.
+    fits: usize,
+}
+
 /// One registered tuning session.
 struct Session {
     name: String,
@@ -84,6 +112,10 @@ struct Session {
     /// The tuned space, cloned out of the environment so `StepAuto` can
     /// decode samples while the environment is on a worker.
     space: ConfigSpace,
+    /// GP proposal state for `StepGuided`, built on first use.
+    guided: Option<GuidedState>,
+    /// Seed of the guided proposal stream, folded from the session spec.
+    guided_seed: u64,
     pending: VecDeque<MemoryConfig>,
     /// Whether the session currently sits in the ready queue.
     queued: bool,
@@ -228,6 +260,7 @@ impl Service {
             Request::CreateSession { spec } => self.create_session(spec),
             Request::Step { session, configs } => self.step(session, configs.clone()),
             Request::StepAuto { session, evals } => self.step_auto(session, *evals),
+            Request::StepGuided { session, evals } => self.step_guided(session, *evals),
             Request::Status { session } => self.status(session),
             Request::Join { session } => self.join(session),
             Request::Result { session } => self.result(session),
@@ -282,6 +315,9 @@ impl Service {
         // two sessions differing only in workload draw different auto
         // sequences — and the sequence never depends on request timing.
         let sampler = Rng::new(spec.base_seed).fork(str_hash(&spec.workload) | 1);
+        // A distinct stream for guided proposals, so interleaving auto and
+        // guided steps never couples their draws.
+        let guided_seed = spec.base_seed ^ str_hash(&spec.workload) ^ str_hash("guided");
         state.sessions.insert(
             name.clone(),
             Session {
@@ -289,6 +325,8 @@ impl Service {
                 env: Some(env),
                 sampler,
                 space,
+                guided: None,
+                guided_seed,
                 pending: VecDeque::new(),
                 queued: false,
                 running: false,
@@ -308,6 +346,24 @@ impl Service {
     fn admit(&self, session: &str, configs: Vec<MemoryConfig>) -> Response {
         let shared = &self.shared;
         let mut state = shared.state.lock().expect("service state poisoned");
+        let response = Self::admit_locked(shared, &mut state, session, configs);
+        drop(state);
+        if matches!(response, Response::Accepted { .. }) {
+            shared.work.notify_all();
+        }
+        response
+    }
+
+    /// The admission path on an already-held state lock, shared by
+    /// [`Service::admit`] and the guided step (which must propose and admit
+    /// under one lock acquisition so the history it fitted on cannot move).
+    /// The caller notifies `work` after releasing the lock on acceptance.
+    fn admit_locked(
+        shared: &Shared,
+        state: &mut State,
+        session: &str,
+        configs: Vec<MemoryConfig>,
+    ) -> Response {
         if state.draining || state.stopped {
             return Response::Error {
                 message: "service is draining".into(),
@@ -352,9 +408,7 @@ impl Service {
         }
         state.global_pending += enqueued;
         shared.obs.add("serve.enqueued", enqueued as f64);
-        shared.refresh_gauges(&state);
-        drop(state);
-        shared.work.notify_all();
+        shared.refresh_gauges(state);
         Response::Accepted {
             session: session.to_string(),
             enqueued,
@@ -414,6 +468,138 @@ impl Service {
             if let Some(sess) = state.sessions.get_mut(session) {
                 sess.sampler = sampler;
             }
+        }
+        response
+    }
+
+    /// Enqueues `evals` GP-proposed configurations.
+    ///
+    /// The session must be *idle* (nothing pending, nothing running): the
+    /// surrogate is fitted on the settled history, so the proposals are a
+    /// pure function of the session spec and that history — byte-identical
+    /// whether the pool has 1 worker or 8, and however the request
+    /// interleaves with other sessions. Proposing and admitting happen
+    /// under one lock acquisition so the history cannot move in between;
+    /// the proposal state commits only on admission, so a rejected batch
+    /// leaves the stream untouched.
+    fn step_guided(&self, session: &str, evals: u32) -> Response {
+        if evals == 0 {
+            return Response::Error {
+                message: "step carries no configurations".into(),
+            };
+        }
+        let shared = &self.shared;
+        let mut state = shared.state.lock().expect("service state poisoned");
+        if state.draining || state.stopped {
+            return Response::Error {
+                message: "service is draining".into(),
+            };
+        }
+        let (mut guided, space, tau, guided_seed) = {
+            let Some(sess) = state.sessions.get_mut(session) else {
+                return Response::Error {
+                    message: format!("unknown session `{session}`"),
+                };
+            };
+            if sess.cancelled {
+                return Response::Error {
+                    message: format!("session `{session}` is cancelled"),
+                };
+            }
+            if sess.running || !sess.pending.is_empty() {
+                return Response::Error {
+                    message: format!(
+                        "session `{session}` must be idle for guided steps (join first)"
+                    ),
+                };
+            }
+            let env = sess.env.as_ref().expect("idle session owns its env");
+            let history = env.history();
+            if history.len() < GUIDED_MIN_HISTORY {
+                return Response::Error {
+                    message: format!(
+                        "guided steps need at least {GUIDED_MIN_HISTORY} completed \
+                         evaluations, session `{session}` has {}",
+                        history.len()
+                    ),
+                };
+            }
+            let mut guided = match &sess.guided {
+                Some(g) => g.clone(),
+                None => GuidedState {
+                    fitter: GpFitter::new(GUIDED_SCORING_THREADS),
+                    rng: Rng::new(sess.guided_seed),
+                    fits: 0,
+                },
+            };
+            // Feed the settled observations the fitter has not seen yet, in
+            // history order, encoded into the space's unit hypercube.
+            for obs in &history[guided.fitter.len()..] {
+                let x = sess.space.encode(&obs.config).to_vec();
+                if let Err(e) = guided.fitter.observe(x, obs.score_mins) {
+                    return Response::Error {
+                        message: format!("guided fit failed: {e}"),
+                    };
+                }
+            }
+            let tau = history
+                .iter()
+                .fold(f64::INFINITY, |t, obs| t.min(obs.score_mins));
+            (guided, sess.space.clone(), tau, sess.guided_seed)
+        };
+        let before = guided.fitter.stats();
+        let fit_started = Instant::now();
+        let full = !guided.fitter.has_fit() || guided.fits.is_multiple_of(GUIDED_REFIT_PERIOD);
+        let fitted = if full {
+            guided
+                .fitter
+                .fit_full(guided_seed ^ ((guided.fits as u64) << 8))
+        } else {
+            guided.fitter.refit()
+        };
+        let gp = match fitted {
+            Ok(gp) => gp,
+            Err(e) => {
+                return Response::Error {
+                    message: format!("guided fit failed: {e}"),
+                }
+            }
+        };
+        guided.fits += 1;
+        shared.obs.record(
+            "surrogate.fit_ms",
+            fit_started.elapsed().as_secs_f64() * 1e3,
+        );
+        let stats = guided.fitter.stats();
+        shared.obs.add(
+            "surrogate.gram_reuse",
+            (stats.gram_reused_dims - before.gram_reused_dims) as f64,
+        );
+        shared.obs.add(
+            "surrogate.incremental_fits",
+            (stats.incremental_fits - before.incremental_fits) as f64,
+        );
+        shared.obs.add(
+            "surrogate.chol_jitter_retries",
+            (stats.chol_jitter_retries - before.chol_jitter_retries) as f64,
+        );
+        shared.obs.inc("serve.guided.batches");
+        let configs: Vec<MemoryConfig> = (0..evals)
+            .map(|_| {
+                let (x, _ei) =
+                    maximize_ei_threaded(&gp, DIMS, tau, &mut guided.rng, GUIDED_SCORING_THREADS);
+                space.decode(&x)
+            })
+            .collect();
+        let response = Self::admit_locked(shared, &mut state, session, configs);
+        if matches!(response, Response::Accepted { .. }) {
+            let sess = state
+                .sessions
+                .get_mut(session)
+                .expect("admitted session is registered");
+            sess.guided = Some(guided);
+            drop(state);
+            shared.work.notify_all();
         }
         response
     }
@@ -986,6 +1172,155 @@ mod tests {
             .map(|s| (*s).clone())
             .collect();
         assert_eq!(order, expected, "unfair schedule");
+    }
+
+    #[test]
+    fn guided_steps_require_history_and_an_idle_session() {
+        let service = svc(1);
+        let session = create(&service, SessionSpec::named("WordCount", 31));
+        // No history yet: the surrogate has nothing to fit.
+        match service.handle(&Request::StepGuided {
+            session: session.clone(),
+            evals: 1,
+        }) {
+            Response::Error { message } => assert!(message.contains("at least"), "{message}"),
+            other => panic!("expected Error, got {other:?}"),
+        }
+        // Stage a backlog with the worker held: the session is not idle, so
+        // a guided step must be refused rather than fitted on a moving
+        // history.
+        {
+            let mut state = service.shared.state.lock().unwrap();
+            state.paused = true;
+        }
+        service.handle(&Request::StepAuto {
+            session: session.clone(),
+            evals: 5,
+        });
+        match service.handle(&Request::StepGuided {
+            session: session.clone(),
+            evals: 1,
+        }) {
+            Response::Error { message } => assert!(message.contains("idle"), "{message}"),
+            other => panic!("expected Error, got {other:?}"),
+        }
+        {
+            let mut state = service.shared.state.lock().unwrap();
+            state.paused = false;
+        }
+        service.shared.work.notify_all();
+        service.handle(&Request::Join {
+            session: session.clone(),
+        });
+        // Idle with history: proposals flow.
+        match service.handle(&Request::StepGuided {
+            session: session.clone(),
+            evals: 2,
+        }) {
+            Response::Accepted { enqueued, .. } => assert_eq!(enqueued, 2),
+            other => panic!("guided step rejected: {other:?}"),
+        }
+        match service.handle(&Request::Join { session }) {
+            Response::Status(st) => assert_eq!(st.completed, 7),
+            other => panic!("join failed: {other:?}"),
+        }
+        assert!(service.obs().counter_value("serve.guided.batches") >= 1.0);
+    }
+
+    /// Drives bootstrap + two guided batches and returns the serialized
+    /// history — the byte string the determinism tests compare.
+    fn guided_history(workers: usize) -> String {
+        let service = svc(workers);
+        let session = create(&service, SessionSpec::named("SortByKey", 42));
+        service.handle(&Request::StepAuto {
+            session: session.clone(),
+            evals: 5,
+        });
+        service.handle(&Request::Join {
+            session: session.clone(),
+        });
+        for evals in [3u32, 2] {
+            match service.handle(&Request::StepGuided {
+                session: session.clone(),
+                evals,
+            }) {
+                Response::Accepted { .. } => {}
+                other => panic!("guided step rejected: {other:?}"),
+            }
+            service.handle(&Request::Join {
+                session: session.clone(),
+            });
+        }
+        match service.handle(&Request::Result { session }) {
+            Response::ResultReady { history, .. } => {
+                assert_eq!(history.len(), 10);
+                crate::protocol::encode(&history)
+            }
+            other => panic!("result failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn guided_histories_are_byte_identical_at_any_worker_count() {
+        let serial = guided_history(1);
+        for workers in [2, 8] {
+            assert_eq!(
+                serial,
+                guided_history(workers),
+                "guided history diverged at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn rejected_guided_batch_does_not_advance_the_proposal_stream() {
+        let run = |overflow_first: bool| -> String {
+            let service = Service::start(
+                ServeConfig {
+                    workers: 1,
+                    session_queue_limit: 2,
+                    ..ServeConfig::default()
+                },
+                Obs::enabled(),
+            );
+            let session = create(&service, SessionSpec::named("WordCount", 17));
+            for _ in 0..3 {
+                service.handle(&Request::StepAuto {
+                    session: session.clone(),
+                    evals: 2,
+                });
+                service.handle(&Request::Join {
+                    session: session.clone(),
+                });
+            }
+            if overflow_first {
+                match service.handle(&Request::StepGuided {
+                    session: session.clone(),
+                    evals: 3,
+                }) {
+                    Response::Overloaded { .. } => {}
+                    other => panic!("expected Overloaded, got {other:?}"),
+                }
+            }
+            match service.handle(&Request::StepGuided {
+                session: session.clone(),
+                evals: 2,
+            }) {
+                Response::Accepted { .. } => {}
+                other => panic!("guided step rejected: {other:?}"),
+            }
+            service.handle(&Request::Join {
+                session: session.clone(),
+            });
+            match service.handle(&Request::Result { session }) {
+                Response::ResultReady { history, .. } => crate::protocol::encode(&history),
+                other => panic!("result failed: {other:?}"),
+            }
+        };
+        // An over-limit guided batch is rejected whole; the next admitted
+        // batch must propose exactly what it would have without the
+        // rejection (histories must not depend on rejected requests).
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

@@ -1,8 +1,15 @@
 //! The Expected Improvement acquisition function (Equation 7) and its
 //! maximizer (random candidates + coordinate hill climbing, standing in for
 //! the paper's "random sampling and standard gradient-based search").
+//!
+//! [`maximize_ei_threaded`] scores the 128-point candidate set — and runs
+//! the four local hill climbs — on a bounded scoped-thread pool. All
+//! randomness is drawn serially up front and every reduction folds in index
+//! order with strict comparisons, so the argmax is bit-identical to the
+//! serial [`maximize_ei`] at any thread count.
 
 use crate::lhs::latin_hypercube;
+use crate::scoring::par_map;
 use crate::Surrogate;
 use relm_common::Rng;
 
@@ -44,11 +51,27 @@ pub fn expected_improvement(mean: f64, variance: f64, tau: f64) -> f64 {
 /// Maximizes EI over the unit hypercube: scores a space-filling candidate
 /// set, then hill-climbs from the best few candidates coordinate-wise.
 /// Returns `(argmax, EI value)`.
-pub fn maximize_ei<S: Surrogate>(
+pub fn maximize_ei<S: Surrogate + ?Sized>(
     surrogate: &S,
     dims: usize,
     tau: f64,
     rng: &mut Rng,
+) -> (Vec<f64>, f64) {
+    maximize_ei_threaded(surrogate, dims, tau, rng, 1)
+}
+
+/// [`maximize_ei`] with candidate scoring and the hill climbs distributed
+/// over up to `threads` scoped threads. The candidate set is drawn from
+/// `rng` serially before any scoring, each climb is a pure function of its
+/// start point, and both reductions (the stable sort and the final fold)
+/// run over index-ordered results — so the returned argmax is bit-identical
+/// to the serial maximizer at every thread count.
+pub fn maximize_ei_threaded<S: Surrogate + ?Sized>(
+    surrogate: &S,
+    dims: usize,
+    tau: f64,
+    rng: &mut Rng,
+    threads: usize,
 ) -> (Vec<f64>, f64) {
     let ei_at = |x: &[f64]| {
         let (m, v) = surrogate.predict(x);
@@ -58,12 +81,14 @@ pub fn maximize_ei<S: Surrogate>(
     let mut candidates = latin_hypercube(96, dims, rng);
     candidates.extend((0..32).map(|_| (0..dims).map(|_| rng.uniform()).collect::<Vec<f64>>()));
 
-    let mut scored: Vec<(f64, Vec<f64>)> = candidates.into_iter().map(|c| (ei_at(&c), c)).collect();
+    let scores = par_map(&candidates, threads, |_, c| ei_at(c));
+    let mut scored: Vec<(f64, Vec<f64>)> = scores.into_iter().zip(candidates).collect();
     scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN EI"));
 
-    let mut best = scored[0].clone();
-    for (_, start) in scored.into_iter().take(4) {
-        let mut x = start;
+    let best = scored[0].clone();
+    let starts: Vec<Vec<f64>> = scored.into_iter().take(4).map(|(_, s)| s).collect();
+    let climbs = par_map(&starts, threads, |_, start| {
+        let mut x = start.clone();
         let mut fx = ei_at(&x);
         let mut step = 0.12;
         while step > 0.005 {
@@ -84,6 +109,10 @@ pub fn maximize_ei<S: Surrogate>(
                 step *= 0.5;
             }
         }
+        (fx, x)
+    });
+    let mut best = best;
+    for (fx, x) in climbs {
         if fx > best.0 {
             best = (fx, x);
         }
@@ -145,5 +174,31 @@ mod tests {
         assert!(ei > 0.0);
         assert!((x[0] - 0.7).abs() < 0.08, "x0 = {}", x[0]);
         assert!((x[1] - 0.3).abs() < 0.08, "x1 = {}", x[1]);
+    }
+
+    #[test]
+    fn threaded_maximizer_returns_identical_bits_at_every_thread_count() {
+        use crate::Gp;
+        // A real GP surrogate so EI values exercise the full predict path.
+        let mut data_rng = Rng::new(17);
+        let xs = crate::latin_hypercube(14, 3, &mut data_rng);
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|v| (v[0] * 4.0).sin() + v[1] * v[2])
+            .collect();
+        let gp = Gp::fit(xs, &ys, 9).unwrap();
+        for seed in [1u64, 23, 456] {
+            let mut rng = Rng::new(seed);
+            let serial = maximize_ei(&gp, 3, 0.4, &mut rng);
+            for threads in [2usize, 4, 8] {
+                let mut rng = Rng::new(seed);
+                let parallel = maximize_ei_threaded(&gp, 3, 0.4, &mut rng, threads);
+                assert_eq!(serial.1.to_bits(), parallel.1.to_bits(), "EI value");
+                assert_eq!(serial.0.len(), parallel.0.len());
+                for (a, b) in serial.0.iter().zip(&parallel.0) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "argmax coordinate");
+                }
+            }
+        }
     }
 }

@@ -6,8 +6,20 @@
 //! (per-dimension lengthscales, signal variance, observation noise) are
 //! selected by maximizing the log marginal likelihood over a seeded random
 //! search refined by coordinate descent.
+//!
+//! The hot path is organized around [`GpFitter`], which owns a
+//! [`GramCache`] of pairwise differences so the ~136 likelihood evaluations
+//! per fit assemble their Gram matrices with one `exp` per pair, scores the
+//! random proposals on a bounded thread pool ([`crate::scoring::par_map`]),
+//! and — between hyperparameter re-tunes — extends the previous Cholesky
+//! factor by one row per new observation instead of refactorizing. Every
+//! path is bit-identical to the original serial from-scratch fit; the
+//! property tests in this module and the byte-identical-trace gates in
+//! `scripts/check.sh` hold it to that.
 
+use crate::gram::GramCache;
 use crate::linalg::{dot, Cholesky, Matrix};
+use crate::scoring::par_map;
 use crate::Surrogate;
 use relm_common::{Error, Result, Rng};
 
@@ -43,6 +55,15 @@ impl GpParams {
     }
 }
 
+/// Standardizes targets: returns `(mean, scale, standardized)`.
+fn standardize(y: &[f64]) -> (f64, f64, Vec<f64>) {
+    let y_mean = y.iter().sum::<f64>() / y.len() as f64;
+    let var = y.iter().map(|v| (v - y_mean).powi(2)).sum::<f64>() / y.len() as f64;
+    let y_scale = var.sqrt().max(1e-9);
+    let ys = y.iter().map(|v| (v - y_mean) / y_scale).collect();
+    (y_mean, y_scale, ys)
+}
+
 /// A fitted Gaussian process.
 #[derive(Debug, Clone)]
 pub struct Gp {
@@ -52,12 +73,39 @@ pub struct Gp {
     alpha: Vec<f64>,
     y_mean: f64,
     y_scale: f64,
+    /// Exponentiated lengthscales, hoisted out of the per-pair kernel loop.
+    ls: Vec<f64>,
+    /// `exp(log_signal_var)`.
+    sv: f64,
+    /// `exp(log_noise_var)`.
+    noise: f64,
 }
 
 impl Gp {
     /// Fits a GP to the observations, selecting hyperparameters by marginal
     /// likelihood. `x` rows must share a dimensionality; `y.len() == x.len()`.
     pub fn fit(x: Vec<Vec<f64>>, y: &[f64], seed: u64) -> Result<Gp> {
+        Gp::fit_threaded(x, y, seed, 1)
+    }
+
+    /// [`Gp::fit`] with hyperparameter proposals scored on up to `threads`
+    /// scoped threads. The result is bit-identical at every thread count.
+    pub fn fit_threaded(x: Vec<Vec<f64>>, y: &[f64], seed: u64, threads: usize) -> Result<Gp> {
+        if x.is_empty() || x.len() != y.len() {
+            return Err(Error::Numerical(
+                "GP needs matching, non-empty inputs".into(),
+            ));
+        }
+        let mut fitter = GpFitter::new(threads);
+        for (xi, yi) in x.into_iter().zip(y) {
+            fitter.observe(xi, *yi)?;
+        }
+        fitter.fit_full(seed)
+    }
+
+    /// Fits with fixed hyperparameters (no marginal-likelihood search) —
+    /// the reference the incremental refit path is tested against.
+    pub fn fit_with_params(x: Vec<Vec<f64>>, y: &[f64], params: GpParams) -> Result<Gp> {
         if x.is_empty() || x.len() != y.len() {
             return Err(Error::Numerical(
                 "GP needs matching, non-empty inputs".into(),
@@ -67,80 +115,88 @@ impl Gp {
         if x.iter().any(|r| r.len() != dims) {
             return Err(Error::Numerical("inconsistent input dimensionality".into()));
         }
-
-        // Standardize targets.
-        let y_mean = y.iter().sum::<f64>() / y.len() as f64;
-        let var = y.iter().map(|v| (v - y_mean).powi(2)).sum::<f64>() / y.len() as f64;
-        let y_scale = var.sqrt().max(1e-9);
-        let ys: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_scale).collect();
-
-        // Hyperparameter search: seeded random proposals around the default,
-        // then coordinate refinement of the winner.
-        let mut rng = Rng::new(seed ^ 0x6A09_E667);
-        let mut best = GpParams::default_for(dims);
-        let mut best_lml = log_marginal_likelihood(&x, &ys, &best).unwrap_or(f64::NEG_INFINITY);
-
-        for _ in 0..24 {
-            let cand = GpParams {
-                log_lengthscales: (0..dims)
-                    .map(|_| rng.uniform_in((0.05f64).ln(), (2.0f64).ln()))
-                    .collect(),
-                log_signal_var: rng.uniform_in((0.2f64).ln(), (3.0f64).ln()),
-                log_noise_var: rng.uniform_in((1e-4f64).ln(), (0.3f64).ln()),
-            };
-            if let Ok(lml) = log_marginal_likelihood(&x, &ys, &cand) {
-                if lml > best_lml {
-                    best_lml = lml;
-                    best = cand;
-                }
-            }
-        }
-
-        // Coordinate descent, two sweeps.
-        for _ in 0..2 {
-            for coord in 0..(dims + 2) {
-                for step in [-0.4, 0.4, -0.15, 0.15] {
-                    let mut cand = best.clone();
-                    match coord {
-                        c if c < dims => cand.log_lengthscales[c] += step,
-                        c if c == dims => cand.log_signal_var += step,
-                        _ => cand.log_noise_var += step,
-                    }
-                    if let Ok(lml) = log_marginal_likelihood(&x, &ys, &cand) {
-                        if lml > best_lml {
-                            best_lml = lml;
-                            best = cand;
-                        }
-                    }
-                }
-            }
-        }
-
-        let k = gram(&x, &best);
+        let (y_mean, y_scale, ys) = standardize(y);
+        let cache = GramCache::new(&x);
+        let mut k = Matrix::zeros(0);
+        cache.assemble_fresh_into(&params, &mut k);
         let chol = Cholesky::with_jitter(&k, 1e-8)?;
         let alpha = chol.solve(&ys);
-        Ok(Gp {
+        Ok(Gp::assemble(x, params, chol, alpha, y_mean, y_scale))
+    }
+
+    /// Builds the struct, hoisting the exponentiated hyperparameters the
+    /// predict loop uses.
+    fn assemble(
+        x: Vec<Vec<f64>>,
+        params: GpParams,
+        chol: Cholesky,
+        alpha: Vec<f64>,
+        y_mean: f64,
+        y_scale: f64,
+    ) -> Gp {
+        let ls = params.log_lengthscales.iter().map(|l| l.exp()).collect();
+        let sv = params.log_signal_var.exp();
+        let noise = params.log_noise_var.exp();
+        Gp {
             x,
-            params: best,
+            params,
             chol,
             alpha,
             y_mean,
             y_scale,
-        })
+            ls,
+            sv,
+            noise,
+        }
+    }
+
+    /// The kernel with hoisted lengthscales — the same accumulation order as
+    /// [`GpParams::kernel`], so the value is identical to the last bit.
+    #[inline]
+    fn k(&self, a: &[f64], b: &[f64]) -> f64 {
+        let mut s = 0.0;
+        for ((x, y), l) in a.iter().zip(b).zip(&self.ls) {
+            let d = (x - y) / l;
+            s += d * d;
+        }
+        self.sv * (-0.5 * s).exp()
     }
 
     /// Posterior mean and variance at `x` (Equation 6), in the original
     /// target units.
     pub fn predict(&self, x: &[f64]) -> (f64, f64) {
-        let k_star: Vec<f64> = self.x.iter().map(|xi| self.params.kernel(xi, x)).collect();
+        let k_star: Vec<f64> = self.x.iter().map(|xi| self.k(xi, x)).collect();
         let mean_std = dot(&k_star, &self.alpha);
         let v = self.chol.solve_l(&k_star);
-        let k_xx = self.params.kernel(x, x) + self.params.log_noise_var.exp();
+        let k_xx = self.k(x, x) + self.noise;
         let var_std = (k_xx - dot(&v, &v)).max(1e-12);
         (
             self.y_mean + self.y_scale * mean_std,
             var_std * self.y_scale * self.y_scale,
         )
+    }
+
+    /// Batched prediction reusing the `k*` and forward-solve buffers across
+    /// queries. Bit-identical to calling [`Gp::predict`] per point.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        let n = self.x.len();
+        let mut k_star = vec![0.0; n];
+        let mut v = vec![0.0; n];
+        xs.iter()
+            .map(|q| {
+                for (ks, xi) in k_star.iter_mut().zip(&self.x) {
+                    *ks = self.k(xi, q);
+                }
+                let mean_std = dot(&k_star, &self.alpha);
+                self.chol.solve_l_into(&k_star, &mut v);
+                let k_xx = self.k(q, q) + self.noise;
+                let var_std = (k_xx - dot(&v, &v)).max(1e-12);
+                (
+                    self.y_mean + self.y_scale * mean_std,
+                    var_std * self.y_scale * self.y_scale,
+                )
+            })
+            .collect()
     }
 
     /// The selected hyperparameters.
@@ -164,28 +220,284 @@ impl Surrogate for Gp {
     fn predict(&self, x: &[f64]) -> (f64, f64) {
         Gp::predict(self, x)
     }
+
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        Gp::predict_batch(self, xs)
+    }
 }
 
+/// Counters accumulated by a [`GpFitter`] — the deltas feed the
+/// `surrogate.*` observability metrics recorded by the tuners.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GpFitStats {
+    /// Full hyperparameter-search fits.
+    pub full_fits: u64,
+    /// Incremental (Cholesky row-append) refits.
+    pub incremental_fits: u64,
+    /// Gram matrices assembled (memoized + fresh).
+    pub gram_builds: u64,
+    /// Per-dimension Gram contributions served from the memo.
+    pub gram_reused_dims: u64,
+    /// Jitter escalation attempts consumed by final factorizations.
+    pub chol_jitter_retries: u64,
+}
+
+/// The previous factorization a [`GpFitter`] can extend incrementally.
+#[derive(Debug, Clone)]
+struct LastFit {
+    params: GpParams,
+    chol: Cholesky,
+}
+
+/// Incremental GP fitting over a growing dataset.
+///
+/// Owns the [`GramCache`] so successive fits — BO performs one per
+/// iteration on the same (extended) dataset — reuse the pairwise
+/// differences, and keeps the last accepted factorization so
+/// [`GpFitter::refit`] can append rows in O(n²) instead of re-running the
+/// O(n³) hyperparameter search. `refit` is bit-identical to a from-scratch
+/// [`Gp::fit_with_params`] at the retained hyperparameters.
+#[derive(Debug, Clone)]
+pub struct GpFitter {
+    cache: GramCache,
+    x: Vec<Vec<f64>>,
+    y: Vec<f64>,
+    threads: usize,
+    scratch: Matrix,
+    stats: GpFitStats,
+    last: Option<LastFit>,
+}
+
+impl GpFitter {
+    /// A fitter scoring hyperparameter proposals on up to `threads` threads
+    /// (1 = serial; results are identical either way).
+    pub fn new(threads: usize) -> Self {
+        GpFitter {
+            cache: GramCache::new(&[]),
+            x: Vec::new(),
+            y: Vec::new(),
+            threads,
+            scratch: Matrix::zeros(0),
+            stats: GpFitStats::default(),
+            last: None,
+        }
+    }
+
+    /// Appends one observation, extending the difference cache in O(n·dims).
+    pub fn observe(&mut self, x: Vec<f64>, y: f64) -> Result<()> {
+        if !self.cache.is_empty() && x.len() != self.cache.dims() {
+            return Err(Error::Numerical("inconsistent input dimensionality".into()));
+        }
+        self.cache.append(&x);
+        self.x.push(x);
+        self.y.push(y);
+        Ok(())
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True when no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// True once a full fit has run, i.e. [`GpFitter::refit`] is available.
+    pub fn has_fit(&self) -> bool {
+        self.last.is_some()
+    }
+
+    /// Counter snapshot (includes the Gram-cache counters).
+    pub fn stats(&self) -> GpFitStats {
+        GpFitStats {
+            gram_builds: self.stats.gram_builds + self.cache.builds(),
+            gram_reused_dims: self.cache.reused_dims(),
+            ..self.stats
+        }
+    }
+
+    /// Full fit: marginal-likelihood hyperparameter search (24 seeded random
+    /// proposals scored in parallel, then serial coordinate descent over the
+    /// memoized Gram), final jittered factorization. Bit-identical to the
+    /// original serial `Gp::fit` at every thread count.
+    pub fn fit_full(&mut self, seed: u64) -> Result<Gp> {
+        if self.cache.is_empty() {
+            return Err(Error::Numerical(
+                "GP needs matching, non-empty inputs".into(),
+            ));
+        }
+        let dims = self.cache.dims();
+        let (y_mean, y_scale, ys) = standardize(&self.y);
+
+        // Hyperparameter search: seeded random proposals around the default,
+        // then coordinate refinement of the winner.
+        let mut rng = Rng::new(seed ^ 0x6A09_E667);
+        let mut best = GpParams::default_for(dims);
+        let mut best_lml = self.lml_memo(&best, &ys).unwrap_or(f64::NEG_INFINITY);
+
+        // Draw every proposal first (serial RNG, unchanged stream), score
+        // them in parallel, then fold strictly in draw order — the same
+        // strict-`>` fold the serial loop performed.
+        let candidates: Vec<GpParams> = (0..24)
+            .map(|_| GpParams {
+                log_lengthscales: (0..dims)
+                    .map(|_| rng.uniform_in((0.05f64).ln(), (2.0f64).ln()))
+                    .collect(),
+                log_signal_var: rng.uniform_in((0.2f64).ln(), (3.0f64).ln()),
+                log_noise_var: rng.uniform_in((1e-4f64).ln(), (0.3f64).ln()),
+            })
+            .collect();
+        let cache = &self.cache;
+        let ys_ref = &ys;
+        let lmls = par_map(&candidates, self.threads, |_, cand| {
+            let mut k = Matrix::zeros(0);
+            cache.assemble_fresh_into(cand, &mut k);
+            lml_from_gram(&k, ys_ref)
+        });
+        self.stats.gram_builds += candidates.len() as u64;
+        for (cand, lml) in candidates.iter().zip(&lmls) {
+            if let Ok(lml) = lml {
+                if *lml > best_lml {
+                    best_lml = *lml;
+                    best = cand.clone();
+                }
+            }
+        }
+
+        // Coordinate descent, two sweeps. Inherently serial (each step
+        // mutates the incumbent), but each candidate differs from the memo
+        // state in at most one lengthscale, so the cache reuses the rest.
+        for _ in 0..2 {
+            for coord in 0..(dims + 2) {
+                for step in [-0.4, 0.4, -0.15, 0.15] {
+                    let mut cand = best.clone();
+                    match coord {
+                        c if c < dims => cand.log_lengthscales[c] += step,
+                        c if c == dims => cand.log_signal_var += step,
+                        _ => cand.log_noise_var += step,
+                    }
+                    if let Ok(lml) = self.lml_memo(&cand, &ys) {
+                        if lml > best_lml {
+                            best_lml = lml;
+                            best = cand;
+                        }
+                    }
+                }
+            }
+        }
+
+        self.cache.assemble_into(&best, &mut self.scratch);
+        let chol = Cholesky::with_jitter(&self.scratch, 1e-8)?;
+        self.stats.full_fits += 1;
+        self.stats.chol_jitter_retries += u64::from(chol.jitter_retries());
+        let alpha = chol.solve(&ys);
+        self.last = Some(LastFit {
+            params: best.clone(),
+            chol: chol.clone(),
+        });
+        Ok(Gp::assemble(
+            self.x.clone(),
+            best,
+            chol,
+            alpha,
+            y_mean,
+            y_scale,
+        ))
+    }
+
+    /// Incremental refit at the previously selected hyperparameters: appends
+    /// one Cholesky row per observation recorded since the last fit (O(n²)
+    /// each) and re-solves for the weights. Falls back to a full jittered
+    /// refactorization if a row append loses positive definiteness — either
+    /// way the result is bit-identical to [`Gp::fit_with_params`] on the
+    /// extended dataset. Requires a prior [`GpFitter::fit_full`].
+    pub fn refit(&mut self) -> Result<Gp> {
+        let Some(last) = self.last.as_ref() else {
+            return Err(Error::Numerical(
+                "incremental refit requires a prior full fit".into(),
+            ));
+        };
+        let params = last.params.clone();
+        let mut chol = last.chol.clone();
+        let mut appended_ok = true;
+        for i in chol.n()..self.cache.len() {
+            let (row, diag) = self.cache.kernel_row(i, &params);
+            if chol.append_row(&row, diag).is_err() {
+                appended_ok = false;
+                break;
+            }
+        }
+        let chol = if appended_ok {
+            chol
+        } else {
+            self.cache.assemble_into(&params, &mut self.scratch);
+            let c = Cholesky::with_jitter(&self.scratch, 1e-8)?;
+            self.stats.chol_jitter_retries += u64::from(c.jitter_retries());
+            c
+        };
+        self.stats.incremental_fits += 1;
+        let (y_mean, y_scale, ys) = standardize(&self.y);
+        let alpha = chol.solve(&ys);
+        self.last = Some(LastFit {
+            params: params.clone(),
+            chol: chol.clone(),
+        });
+        Ok(Gp::assemble(
+            self.x.clone(),
+            params,
+            chol,
+            alpha,
+            y_mean,
+            y_scale,
+        ))
+    }
+}
+
+/// Builds the Gram matrix directly from raw inputs: lower triangle computed
+/// once, mirrored to the upper (the kernel is symmetric to the bit — the
+/// squared difference is sign-insensitive).
 fn gram(x: &[Vec<f64>], params: &GpParams) -> Matrix {
     let n = x.len();
     let noise = params.log_noise_var.exp();
-    Matrix::from_fn(n, |i, j| {
-        params.kernel(&x[i], &x[j]) + if i == j { noise + 1e-10 } else { 0.0 }
-    })
+    let mut k = Matrix::zeros(n);
+    for i in 0..n {
+        for j in 0..=i {
+            let v = params.kernel(&x[i], &x[j]) + if i == j { noise + 1e-10 } else { 0.0 };
+            k.set(i, j, v);
+            k.set(j, i, v);
+        }
+    }
+    k
 }
 
-/// Log marginal likelihood of standardized targets under the kernel.
-pub fn log_marginal_likelihood(x: &[Vec<f64>], ys: &[f64], params: &GpParams) -> Result<f64> {
-    let k = gram(x, params);
-    let chol = Cholesky::new(&k)?;
+/// LML of standardized targets given an assembled Gram matrix.
+fn lml_from_gram(k: &Matrix, ys: &[f64]) -> Result<f64> {
+    let chol = Cholesky::new(k)?;
     let alpha = chol.solve(ys);
     let n = ys.len() as f64;
     Ok(-0.5 * dot(ys, &alpha) - 0.5 * chol.log_det() - 0.5 * n * (2.0 * std::f64::consts::PI).ln())
 }
 
+/// Log marginal likelihood of standardized targets under the kernel.
+pub fn log_marginal_likelihood(x: &[Vec<f64>], ys: &[f64], params: &GpParams) -> Result<f64> {
+    lml_from_gram(&gram(x, params), ys)
+}
+
+impl GpFitter {
+    /// LML through the memoized Gram assembly (serial path).
+    fn lml_memo(&mut self, params: &GpParams, ys: &[f64]) -> Result<f64> {
+        self.cache.assemble_into(params, &mut self.scratch);
+        lml_from_gram(&self.scratch, ys)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lhs::latin_hypercube;
+    use proptest::prelude::*;
 
     fn grid_1d(n: usize) -> Vec<Vec<f64>> {
         (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect()
@@ -275,5 +587,192 @@ mod tests {
         let (m, v) = gp.predict(&[0.33]);
         assert!((m - 2.0).abs() < 1e-3);
         assert!(v.is_finite());
+    }
+
+    #[test]
+    fn gram_is_symmetric() {
+        let mut rng = Rng::new(31);
+        let x: Vec<Vec<f64>> = (0..9)
+            .map(|_| (0..4).map(|_| rng.uniform()).collect())
+            .collect();
+        let p = GpParams::default_for(4);
+        let k = gram(&x, &p);
+        for i in 0..k.n() {
+            for j in 0..k.n() {
+                assert_eq!(k.get(i, j).to_bits(), k.get(j, i).to_bits());
+            }
+        }
+    }
+
+    /// The pre-cache fit, reconstructed verbatim: direct Gram per candidate
+    /// and a serial strict-`>` search. The production path must match it to
+    /// the last bit — this is the trace-compatibility contract.
+    fn legacy_fit(x: Vec<Vec<f64>>, y: &[f64], seed: u64) -> Gp {
+        let dims = x[0].len();
+        let (_, _, ys) = standardize(y);
+        let mut rng = Rng::new(seed ^ 0x6A09_E667);
+        let mut best = GpParams::default_for(dims);
+        let mut best_lml = log_marginal_likelihood(&x, &ys, &best).unwrap_or(f64::NEG_INFINITY);
+        for _ in 0..24 {
+            let cand = GpParams {
+                log_lengthscales: (0..dims)
+                    .map(|_| rng.uniform_in((0.05f64).ln(), (2.0f64).ln()))
+                    .collect(),
+                log_signal_var: rng.uniform_in((0.2f64).ln(), (3.0f64).ln()),
+                log_noise_var: rng.uniform_in((1e-4f64).ln(), (0.3f64).ln()),
+            };
+            if let Ok(lml) = log_marginal_likelihood(&x, &ys, &cand) {
+                if lml > best_lml {
+                    best_lml = lml;
+                    best = cand;
+                }
+            }
+        }
+        for _ in 0..2 {
+            for coord in 0..(dims + 2) {
+                for step in [-0.4, 0.4, -0.15, 0.15] {
+                    let mut cand = best.clone();
+                    match coord {
+                        c if c < dims => cand.log_lengthscales[c] += step,
+                        c if c == dims => cand.log_signal_var += step,
+                        _ => cand.log_noise_var += step,
+                    }
+                    if let Ok(lml) = log_marginal_likelihood(&x, &ys, &cand) {
+                        if lml > best_lml {
+                            best_lml = lml;
+                            best = cand;
+                        }
+                    }
+                }
+            }
+        }
+        Gp::fit_with_params(x, y, best).unwrap()
+    }
+
+    fn random_dataset(n: usize, dims: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = Rng::new(seed);
+        let xs = latin_hypercube(n, dims, &mut rng);
+        let ys = xs
+            .iter()
+            .map(|x| {
+                x.iter()
+                    .enumerate()
+                    .map(|(i, v)| (v * (i as f64 + 1.3)).sin())
+                    .sum::<f64>()
+            })
+            .collect();
+        (xs, ys)
+    }
+
+    fn assert_gps_bitwise_equal(a: &Gp, b: &Gp, probes: &[Vec<f64>], ctx: &str) {
+        assert_eq!(a.params(), b.params(), "{ctx}: hyperparameters differ");
+        for p in probes {
+            let (ma, va) = a.predict(p);
+            let (mb, vb) = b.predict(p);
+            assert_eq!(ma.to_bits(), mb.to_bits(), "{ctx}: mean differs at {p:?}");
+            assert_eq!(va.to_bits(), vb.to_bits(), "{ctx}: var differs at {p:?}");
+        }
+    }
+
+    #[test]
+    fn fit_matches_the_legacy_search_bitwise() {
+        for (n, seed) in [(6usize, 1u64), (13, 9), (20, 42)] {
+            let (xs, ys) = random_dataset(n, 4, seed);
+            let mut rng = Rng::new(seed ^ 77);
+            let probes = latin_hypercube(12, 4, &mut rng);
+            let fast = Gp::fit(xs.clone(), &ys, seed).unwrap();
+            let legacy = legacy_fit(xs, &ys, seed);
+            assert_gps_bitwise_equal(&fast, &legacy, &probes, "legacy-vs-cached");
+        }
+    }
+
+    #[test]
+    fn fit_is_bit_identical_at_every_thread_count() {
+        let (xs, ys) = random_dataset(17, 4, 5);
+        let mut rng = Rng::new(99);
+        let probes = latin_hypercube(10, 4, &mut rng);
+        let serial = Gp::fit_threaded(xs.clone(), &ys, 11, 1).unwrap();
+        for threads in [2, 3, 8, 16] {
+            let parallel = Gp::fit_threaded(xs.clone(), &ys, 11, threads).unwrap();
+            assert_gps_bitwise_equal(&serial, &parallel, &probes, &format!("threads={threads}"));
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_predict_bitwise() {
+        let (xs, ys) = random_dataset(15, 4, 3);
+        let gp = Gp::fit(xs, &ys, 2).unwrap();
+        let mut rng = Rng::new(12);
+        let probes = latin_hypercube(25, 4, &mut rng);
+        let batch = gp.predict_batch(&probes);
+        for (p, (bm, bv)) in probes.iter().zip(&batch) {
+            let (m, v) = gp.predict(p);
+            assert_eq!(m.to_bits(), bm.to_bits());
+            assert_eq!(v.to_bits(), bv.to_bits());
+        }
+    }
+
+    #[test]
+    fn refit_requires_a_prior_full_fit() {
+        let mut fitter = GpFitter::new(1);
+        fitter.observe(vec![0.3, 0.4], 1.0).unwrap();
+        assert!(fitter.refit().is_err());
+        fitter.fit_full(1).unwrap();
+        fitter.observe(vec![0.6, 0.1], 2.0).unwrap();
+        assert!(fitter.refit().is_ok());
+        assert_eq!(fitter.stats().incremental_fits, 1);
+        assert_eq!(fitter.stats().full_fits, 1);
+    }
+
+    #[test]
+    fn fitter_rejects_inconsistent_dimensions() {
+        let mut fitter = GpFitter::new(1);
+        fitter.observe(vec![0.1, 0.2], 1.0).unwrap();
+        assert!(fitter.observe(vec![0.1], 2.0).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+        /// Satellite: incremental-vs-full equivalence. Fit once, stream in
+        /// a random number of extra observations (random values, random
+        /// count), refit incrementally after each — predictions must equal
+        /// a from-scratch fixed-params fit on the grown dataset bit for bit.
+        #[test]
+        fn incremental_refit_equals_from_scratch(
+            seed in 0u64..1000,
+            n0 in 4usize..12,
+            appends in 1usize..5,
+        ) {
+            let dims = 3;
+            let (xs, ys) = random_dataset(n0 + appends, dims, seed ^ 0x51AB);
+            let mut fitter = GpFitter::new(1);
+            for (x, y) in xs[..n0].iter().zip(&ys) {
+                fitter.observe(x.clone(), *y).unwrap();
+            }
+            let fitted = fitter.fit_full(seed).unwrap();
+            let params = fitted.params().clone();
+            let mut rng = Rng::new(seed ^ 3);
+            let probes = latin_hypercube(8, dims, &mut rng);
+            for step in 0..appends {
+                let grown = n0 + step + 1;
+                fitter
+                    .observe(xs[grown - 1].clone(), ys[grown - 1])
+                    .unwrap();
+                let incremental = fitter.refit().unwrap();
+                let scratch = Gp::fit_with_params(
+                    xs[..grown].to_vec(),
+                    &ys[..grown],
+                    params.clone(),
+                )
+                .unwrap();
+                assert_gps_bitwise_equal(
+                    &incremental,
+                    &scratch,
+                    &probes,
+                    &format!("seed={seed} n0={n0} step={step}"),
+                );
+            }
+        }
     }
 }

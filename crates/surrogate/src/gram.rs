@@ -1,0 +1,378 @@
+//! Cached Gram-matrix assembly for the squared-exponential ARD kernel.
+//!
+//! Hyperparameter selection evaluates the log marginal likelihood for on
+//! the order of a hundred candidate parameter sets *on the same dataset*.
+//! The naive path recomputes every pairwise kernel from the raw inputs each
+//! time — one `exp` per dimension per pair (for the lengthscales) plus the
+//! kernel's own `exp`. [`GramCache`] precomputes the per-dimension pairwise
+//! coordinate differences once per dataset, hoists the per-candidate
+//! `exp(log ℓ_d)` out of the pair loop, and assembles each candidate's Gram
+//! as an accumulation of per-dimension scaled squares with a **single**
+//! `exp` per pair. A memo of the per-dimension contributions additionally
+//! lets coordinate-descent steps that change one lengthscale (or only the
+//! signal/noise variances) reuse the other dimensions' work.
+//!
+//! Everything here is bit-identical to the naive formulation: differences
+//! are exact, the division by ℓ_d and the accumulation order match the
+//! original `kernel` loop term for term, so hyperparameter search — and
+//! therefore every tuning trace downstream — is unchanged to the last bit.
+
+use crate::gp::GpParams;
+use crate::linalg::Matrix;
+
+/// Offset of packed pair `(i, j)`, `j <= i`, in a row-major lower triangle.
+#[inline]
+fn pair_index(i: usize, j: usize) -> usize {
+    i * (i + 1) / 2 + j
+}
+
+/// Per-dataset cache of pairwise coordinate differences plus a memo of the
+/// last assembled lengthscale state.
+#[derive(Debug, Clone)]
+pub struct GramCache {
+    n: usize,
+    dims: usize,
+    /// The cached points, row-major (`n × dims`) — kept so rows can be
+    /// appended without the caller re-supplying the dataset.
+    points: Vec<f64>,
+    /// Pair-major packed differences: entry `pair_index(i, j) * dims + d`
+    /// holds `x_i[d] − x_j[d]` for `j <= i`.
+    diffs: Vec<f64>,
+    /// Lengthscales (already exponentiated) of the memoized assembly;
+    /// empty when the memo is cold.
+    memo_ls: Vec<f64>,
+    /// Per-dimension scaled squares `((x_i[d] − x_j[d]) / ℓ_d)²`, one packed
+    /// array per dimension.
+    memo_scaled: Vec<Vec<f64>>,
+    /// Per-pair sums of the scaled squares, accumulated in dimension order.
+    memo_s: Vec<f64>,
+    /// Per-pair `exp(−s/2)` — the only transcendental left per pair.
+    memo_e: Vec<f64>,
+    /// Dimension contributions served from the memo instead of recomputed.
+    reused_dims: u64,
+    /// Gram matrices assembled from the cache.
+    builds: u64,
+}
+
+impl GramCache {
+    /// Builds the difference cache for a dataset (`x` rows must share the
+    /// dimensionality; the caller has validated this).
+    pub fn new(x: &[Vec<f64>]) -> Self {
+        let dims = x.first().map_or(0, |r| r.len());
+        let mut cache = GramCache {
+            n: 0,
+            dims,
+            points: Vec::with_capacity(x.len() * dims),
+            diffs: Vec::with_capacity(x.len() * (x.len() + 1) / 2 * dims),
+            memo_ls: Vec::new(),
+            memo_scaled: vec![Vec::new(); dims],
+            memo_s: Vec::new(),
+            memo_e: Vec::new(),
+            reused_dims: 0,
+            builds: 0,
+        };
+        for row in x {
+            cache.append(row);
+        }
+        cache
+    }
+
+    /// Appends one point: extends the packed difference rows in place
+    /// (`O(n·dims)`), invalidating the assembly memo.
+    pub fn append(&mut self, row: &[f64]) {
+        if self.n == 0 {
+            self.dims = row.len();
+            self.memo_scaled = vec![Vec::new(); self.dims];
+        }
+        debug_assert_eq!(row.len(), self.dims);
+        // New packed row: pairs (n, 0), …, (n, n). The diagonal difference
+        // is exactly 0.0 in every dimension.
+        for j in 0..self.n {
+            for (d, v) in row.iter().enumerate() {
+                self.diffs.push(v - self.points[j * self.dims + d]);
+            }
+        }
+        self.diffs.extend(std::iter::repeat_n(0.0, self.dims));
+        self.points.extend_from_slice(row);
+        self.n += 1;
+        self.memo_ls.clear();
+    }
+
+    /// Number of cached points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when no points are cached.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Input dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Gram matrices assembled through the memoized path so far.
+    pub fn builds(&self) -> u64 {
+        self.builds
+    }
+
+    /// Per-dimension contributions served from the memo.
+    pub fn reused_dims(&self) -> u64 {
+        self.reused_dims
+    }
+
+    /// Assembles the Gram matrix for `params` into `out`, reusing the
+    /// per-dimension memo where the lengthscales are unchanged since the
+    /// previous call. Lower triangle is computed, the upper is mirrored.
+    pub fn assemble_into(&mut self, params: &GpParams, out: &mut Matrix) {
+        let pairs = pair_index(self.n, 0);
+        let ls: Vec<f64> = params.log_lengthscales.iter().map(|l| l.exp()).collect();
+        let cold = self.memo_ls.is_empty();
+        if cold {
+            for scaled in &mut self.memo_scaled {
+                scaled.clear();
+                scaled.resize(pairs, 0.0);
+            }
+            self.memo_s.clear();
+            self.memo_s.resize(pairs, 0.0);
+            self.memo_e.clear();
+            self.memo_e.resize(pairs, 0.0);
+        }
+        let mut changed = false;
+        for (d, &l) in ls.iter().enumerate() {
+            if !cold && self.memo_ls[d].to_bits() == l.to_bits() {
+                self.reused_dims += 1;
+                continue;
+            }
+            changed = true;
+            let scaled = &mut self.memo_scaled[d];
+            for (p, out_p) in scaled.iter_mut().enumerate() {
+                let t = self.diffs[p * self.dims + d] / l;
+                *out_p = t * t;
+            }
+        }
+        if changed {
+            // Accumulate in dimension order — the same association the
+            // per-pair kernel loop used, so the sums are bit-identical.
+            self.memo_s.iter_mut().for_each(|s| *s = 0.0);
+            for scaled in &self.memo_scaled {
+                for (s, t) in self.memo_s.iter_mut().zip(scaled) {
+                    *s += t;
+                }
+            }
+            for (e, s) in self.memo_e.iter_mut().zip(&self.memo_s) {
+                *e = (-0.5 * s).exp();
+            }
+        }
+        self.memo_ls = ls;
+        let sv = params.log_signal_var.exp();
+        let noise = params.log_noise_var.exp();
+        out.reset(self.n);
+        for i in 0..self.n {
+            for j in 0..=i {
+                let mut k = sv * self.memo_e[pair_index(i, j)];
+                if i == j {
+                    k += noise + 1e-10;
+                }
+                out.set(i, j, k);
+                out.set(j, i, k);
+            }
+        }
+        self.builds += 1;
+    }
+
+    /// Memo-free assembly (same bits as [`GramCache::assemble_into`]):
+    /// shared-reference, so candidate parameter sets can be scored from
+    /// worker threads against one cache.
+    pub fn assemble_fresh_into(&self, params: &GpParams, out: &mut Matrix) {
+        let ls: Vec<f64> = params.log_lengthscales.iter().map(|l| l.exp()).collect();
+        let sv = params.log_signal_var.exp();
+        let noise = params.log_noise_var.exp();
+        out.reset(self.n);
+        for i in 0..self.n {
+            for j in 0..=i {
+                let base = pair_index(i, j) * self.dims;
+                let mut s = 0.0;
+                for (d, &l) in ls.iter().enumerate() {
+                    let t = self.diffs[base + d] / l;
+                    s += t * t;
+                }
+                let mut k = sv * (-0.5 * s).exp();
+                if i == j {
+                    k += noise + 1e-10;
+                }
+                out.set(i, j, k);
+                out.set(j, i, k);
+            }
+        }
+    }
+
+    /// The covariance row of point `i` against every earlier point, plus its
+    /// own (noise-inflated) diagonal — exactly the entries a from-scratch
+    /// Gram would place in row `i` of its lower triangle. Feeds
+    /// [`crate::linalg::Cholesky::append_row`] on the incremental fit path.
+    pub fn kernel_row(&self, i: usize, params: &GpParams) -> (Vec<f64>, f64) {
+        assert!(i < self.n, "kernel_row index out of range");
+        let ls: Vec<f64> = params.log_lengthscales.iter().map(|l| l.exp()).collect();
+        let sv = params.log_signal_var.exp();
+        let noise = params.log_noise_var.exp();
+        let row = (0..i)
+            .map(|j| {
+                let base = pair_index(i, j) * self.dims;
+                let mut s = 0.0;
+                for (d, &l) in ls.iter().enumerate() {
+                    let t = self.diffs[base + d] / l;
+                    s += t * t;
+                }
+                sv * (-0.5 * s).exp()
+            })
+            .collect();
+        // Diagonal: zero squared distance, so the kernel is exactly the
+        // signal variance (sv · exp(−0) ≡ sv bitwise).
+        (row, sv + (noise + 1e-10))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relm_common::Rng;
+
+    /// The pre-cache reference: the per-pair kernel loop the cache replaced.
+    fn naive_gram(x: &[Vec<f64>], params: &GpParams) -> Matrix {
+        let noise = params.log_noise_var.exp();
+        Matrix::from_fn(x.len(), |i, j| {
+            let mut s = 0.0;
+            for ((a, b), log_l) in x[i].iter().zip(&x[j]).zip(&params.log_lengthscales) {
+                let l = log_l.exp();
+                let d = (a - b) / l;
+                s += d * d;
+            }
+            params.log_signal_var.exp() * (-0.5 * s).exp()
+                + if i == j { noise + 1e-10 } else { 0.0 }
+        })
+    }
+
+    fn dataset(n: usize, dims: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = Rng::new(seed);
+        (0..n)
+            .map(|_| (0..dims).map(|_| rng.uniform()).collect())
+            .collect()
+    }
+
+    fn params(dims: usize, seed: u64) -> GpParams {
+        let mut rng = Rng::new(seed);
+        GpParams {
+            log_lengthscales: (0..dims)
+                .map(|_| rng.uniform_in((0.05f64).ln(), (2.0f64).ln()))
+                .collect(),
+            log_signal_var: rng.uniform_in((0.2f64).ln(), (3.0f64).ln()),
+            log_noise_var: rng.uniform_in((1e-4f64).ln(), (0.3f64).ln()),
+        }
+    }
+
+    fn assert_bitwise_eq(a: &Matrix, b: &Matrix) {
+        assert_eq!(a.n(), b.n());
+        for i in 0..a.n() {
+            for j in 0..a.n() {
+                assert_eq!(
+                    a.get(i, j).to_bits(),
+                    b.get(i, j).to_bits(),
+                    "gram mismatch at ({i},{j}): {} vs {}",
+                    a.get(i, j),
+                    b.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cached_assembly_is_bitwise_identical_to_naive() {
+        for seed in 0..8 {
+            let x = dataset(12, 4, seed);
+            let p = params(4, seed ^ 0xABCD);
+            let mut cache = GramCache::new(&x);
+            let mut got = Matrix::zeros(0);
+            cache.assemble_into(&p, &mut got);
+            assert_bitwise_eq(&got, &naive_gram(&x, &p));
+            // Second assembly with identical params: full memo reuse.
+            let reused_before = cache.reused_dims();
+            cache.assemble_into(&p, &mut got);
+            assert_bitwise_eq(&got, &naive_gram(&x, &p));
+            assert_eq!(cache.reused_dims(), reused_before + 4);
+        }
+    }
+
+    #[test]
+    fn memoized_and_fresh_paths_agree_after_partial_changes() {
+        let x = dataset(9, 4, 3);
+        let mut cache = GramCache::new(&x);
+        let mut memo = Matrix::zeros(0);
+        let mut fresh = Matrix::zeros(0);
+        let mut p = params(4, 17);
+        for step in 0..6 {
+            // Perturb one coordinate at a time, like coordinate descent.
+            match step % 3 {
+                0 => p.log_lengthscales[step % 4] += 0.4,
+                1 => p.log_signal_var -= 0.15,
+                _ => p.log_noise_var += 0.15,
+            }
+            cache.assemble_into(&p, &mut memo);
+            cache.assemble_fresh_into(&p, &mut fresh);
+            assert_bitwise_eq(&memo, &fresh);
+            assert_bitwise_eq(&memo, &naive_gram(&x, &p));
+        }
+        assert!(
+            cache.reused_dims() > 0,
+            "coordinate steps must reuse unchanged dimensions"
+        );
+    }
+
+    #[test]
+    fn append_extends_the_cache_consistently() {
+        let x = dataset(10, 3, 5);
+        let p = params(3, 9);
+        let mut grown = GramCache::new(&x[..6]);
+        for row in &x[6..] {
+            grown.append(row);
+        }
+        let scratch = GramCache::new(&x);
+        let mut a = Matrix::zeros(0);
+        let mut b = Matrix::zeros(0);
+        grown.assemble_into(&p, &mut a);
+        GramCache::assemble_fresh_into(&scratch, &p, &mut b);
+        assert_bitwise_eq(&a, &b);
+    }
+
+    #[test]
+    fn kernel_row_matches_last_gram_row() {
+        let x = dataset(7, 4, 11);
+        let p = params(4, 13);
+        let cache = GramCache::new(&x);
+        let gram = naive_gram(&x, &p);
+        for i in [3usize, 6] {
+            let (row, diag) = cache.kernel_row(i, &p);
+            assert_eq!(row.len(), i);
+            for (j, v) in row.iter().enumerate() {
+                assert_eq!(v.to_bits(), gram.get(i, j).to_bits());
+            }
+            assert_eq!(diag.to_bits(), gram.get(i, i).to_bits());
+        }
+    }
+
+    #[test]
+    fn assembled_gram_is_symmetric() {
+        let x = dataset(11, 4, 21);
+        let p = params(4, 22);
+        let mut cache = GramCache::new(&x);
+        let mut k = Matrix::zeros(0);
+        cache.assemble_into(&p, &mut k);
+        for i in 0..k.n() {
+            for j in 0..k.n() {
+                assert_eq!(k.get(i, j).to_bits(), k.get(j, i).to_bits());
+            }
+        }
+    }
+}

@@ -4,9 +4,14 @@
 //!
 //! * [`Gp`] — Gaussian-process regression with a squared-exponential ARD
 //!   kernel, Cholesky-based inference, and marginal-likelihood
-//!   hyperparameter selection (§5.1's Equation 6).
+//!   hyperparameter selection (§5.1's Equation 6). [`GpFitter`] is the
+//!   incremental front end: it caches pairwise differences across fits
+//!   ([`gram::GramCache`]), extends the Cholesky factor row-by-row between
+//!   hyperparameter re-tunes, and scores proposals on a bounded thread pool
+//!   — all bit-identical to the serial from-scratch fit.
 //! * [`expected_improvement`] — the EI acquisition function (Equation 7),
-//!   plus a maximizer combining random candidates with local hill climbing.
+//!   plus a maximizer combining random candidates with local hill climbing
+//!   ([`maximize_ei_threaded`] parallelizes it deterministically).
 //! * [`latin_hypercube`] — Latin Hypercube Sampling for bootstrap samples
 //!   (Table 7).
 //! * [`Forest`] — Random-Forest regression (bagged CART trees), the
@@ -18,18 +23,30 @@
 pub mod acquisition;
 pub mod forest;
 pub mod gp;
+pub mod gram;
 pub mod lhs;
 pub mod linalg;
+pub mod scoring;
 
-pub use acquisition::{expected_improvement, maximize_ei};
+pub use acquisition::{expected_improvement, maximize_ei, maximize_ei_threaded};
 pub use forest::{Forest, ForestParams};
-pub use gp::{Gp, GpParams};
+pub use gp::{Gp, GpFitStats, GpFitter, GpParams};
+pub use gram::GramCache;
 pub use lhs::latin_hypercube;
+pub use scoring::{par_map, MAX_SCORING_THREADS};
 
 /// A regression surrogate with predictive uncertainty — the interface both
 /// the Gaussian Process and the Random Forest implement, letting BO/GBO swap
-/// surrogates (Figure 26).
-pub trait Surrogate {
+/// surrogates (Figure 26). `Send + Sync` is a supertrait so acquisition
+/// scoring can share a surrogate across scoped threads.
+pub trait Surrogate: Send + Sync {
     /// Predictive mean and variance at a point.
     fn predict(&self, x: &[f64]) -> (f64, f64);
+
+    /// Predictive mean and variance for a batch of points, in input order.
+    /// Implementations may reuse internal buffers across the batch but must
+    /// return exactly what per-point [`Surrogate::predict`] calls would.
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
 }

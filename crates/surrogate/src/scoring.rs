@@ -1,0 +1,105 @@
+//! Deterministic parallel scoring.
+//!
+//! [`par_map`] fans an index-preserving map over a bounded pool of scoped
+//! `std::thread`s and concatenates the per-chunk results **in chunk order**,
+//! so the output is element-for-element identical to the serial loop — the
+//! thread count changes wall-clock time, never a single bit of the result.
+//! Determinism rests on two properties: every element is scored by a pure
+//! function of that element alone (no shared accumulator, so no cross-thread
+//! op reordering), and any reduction the caller performs afterwards runs
+//! over the index-ordered output exactly as it would over serial results.
+
+/// Upper bound on worker threads, no matter what callers request.
+pub const MAX_SCORING_THREADS: usize = 16;
+
+/// Maps `f` over `items`, scoring contiguous chunks on up to `threads`
+/// scoped threads (clamped to `1..=`[`MAX_SCORING_THREADS`]). The returned
+/// vector is in input order and bit-identical to
+/// `items.iter().enumerate().map(|(i, t)| f(i, t)).collect()` regardless of
+/// the thread count.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.clamp(1, MAX_SCORING_THREADS).min(items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    // Contiguous chunks, remainder spread over the leading chunks, so chunk
+    // boundaries depend only on (len, threads).
+    let base = items.len() / threads;
+    let extra = items.len() % threads;
+    let mut bounds = Vec::with_capacity(threads);
+    let mut start = 0;
+    for c in 0..threads {
+        let len = base + usize::from(c < extra);
+        bounds.push((start, start + len));
+        start += len;
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds[1..]
+            .iter()
+            .map(|&(lo, hi)| {
+                let f = &f;
+                scope.spawn(move || {
+                    items[lo..hi]
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| f(lo + i, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        let (lo, hi) = bounds[0];
+        let mut out: Vec<R> = items[lo..hi]
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(lo + i, t))
+            .collect();
+        // Join in spawn order: concatenation is index-ordered by
+        // construction, independent of which thread finished first.
+        for h in handles {
+            out.extend(h.join().expect("scoring thread panicked"));
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_map_for_every_thread_count() {
+        let items: Vec<f64> = (0..103).map(|i| (i as f64) * 0.37 + 0.011).collect();
+        let score = |i: usize, x: &f64| (x.sin() * (i as f64 + 1.0).sqrt(), i);
+        let serial: Vec<_> = items.iter().enumerate().map(|(i, x)| score(i, x)).collect();
+        for threads in [1, 2, 3, 4, 7, 8, 16, 64] {
+            let parallel = par_map(&items, threads, score);
+            assert_eq!(parallel.len(), serial.len());
+            for (a, b) in parallel.iter().zip(&serial) {
+                assert_eq!(a.0.to_bits(), b.0.to_bits(), "threads={threads}");
+                assert_eq!(a.1, b.1);
+            }
+        }
+    }
+
+    #[test]
+    fn handles_degenerate_sizes() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, 8, |_, v| *v).is_empty());
+        assert_eq!(par_map(&[5u32], 8, |i, v| v + i as u32), vec![5]);
+        assert_eq!(par_map(&[1u32, 2], 0, |_, v| v * 2), vec![2, 4]);
+    }
+
+    #[test]
+    fn chunks_cover_all_indices_exactly_once() {
+        let items: Vec<usize> = (0..37).collect();
+        for threads in 1..=16 {
+            let indices = par_map(&items, threads, |i, _| i);
+            assert_eq!(indices, (0..37).collect::<Vec<_>>());
+        }
+    }
+}

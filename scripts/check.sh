@@ -41,16 +41,34 @@ echo "== serve smoke test =="
 serve_dir="$(mktemp -d)"
 trap 'rm -rf "$replay_dir" "$serve_dir"' EXIT
 cargo run --release -q -p relm-experiments --bin serve_load -- \
-  --workers 1 --clients 1 --sessions 12 --steps 3 \
+  --workers 1 --clients 1 --sessions 12 --steps 4 --guided 2 \
   --out "$serve_dir/serial.jsonl" --checkpoint-dir "$serve_dir/ckpt1"
 cargo run --release -q -p relm-experiments --bin serve_load -- \
-  --workers 8 --clients 8 --sessions 12 --steps 3 \
+  --workers 8 --clients 8 --sessions 12 --steps 4 --guided 2 \
   --out "$serve_dir/parallel.jsonl" --checkpoint-dir "$serve_dir/ckpt8"
 diff "$serve_dir/serial.jsonl" "$serve_dir/parallel.jsonl" \
   || { echo "serve smoke test FAILED: histories depend on worker count" >&2; exit 1; }
 ckpts="$(ls "$serve_dir/ckpt8" | wc -l)"
 [ "$ckpts" -eq 12 ] \
   || { echo "serve smoke test FAILED: expected 12 checkpoints, found $ckpts" >&2; exit 1; }
-echo "serve OK: 12 sessions byte-identical across 1/8 workers, all checkpointed on drain"
+echo "serve OK: 12 sessions (incl. GP-guided steps) byte-identical across 1/8 workers, all checkpointed on drain"
+
+echo "== surrogate perf smoke test =="
+# The fast surrogate kernels must be invisible in the traces: the
+# equivalence suite proves incremental refits and threaded scoring are
+# bit-identical to the serial from-scratch path, and the convergence
+# driver must emit byte-identical JSONL whether EI candidates are scored
+# on 1 thread or 8.
+cargo test --release -q -p relm-surrogate -p relm-bo >/dev/null \
+  || { echo "surrogate smoke test FAILED: equivalence suite" >&2; exit 1; }
+surrogate_dir="$(mktemp -d)"
+trap 'rm -rf "$replay_dir" "$serve_dir" "$surrogate_dir"' EXIT
+cargo run --release -q -p relm-experiments --bin fig20_convergence -- \
+  --scoring-threads 1 --out "$surrogate_dir/t1.jsonl" >/dev/null
+cargo run --release -q -p relm-experiments --bin fig20_convergence -- \
+  --scoring-threads 8 --out "$surrogate_dir/t8.jsonl" >/dev/null
+diff "$surrogate_dir/t1.jsonl" "$surrogate_dir/t8.jsonl" \
+  || { echo "surrogate smoke test FAILED: convergence depends on scoring threads" >&2; exit 1; }
+echo "surrogate OK: fig20 convergence byte-identical across 1/8 scoring threads"
 
 echo "All checks passed."
