@@ -4,11 +4,21 @@
 //! baseline captured on the same machine with the same harness — so the
 //! performance trajectory of the surrogate kernels is tracked in-repo.
 //!
+//! Also measures the evaluation cache: a faulty 24-evaluation tuning
+//! session run live versus replayed from a warm `EvalStore`, written to
+//! `BENCH_evalcache.json` with the replay speedup.
+//!
 //! Run from the workspace root: `cargo run --release -p relm-bench --bin
 //! bench_export`.
 
-use relm_common::Rng;
+use relm_app::Engine;
+use relm_cluster::ClusterSpec;
+use relm_common::{MemoryConfig, Rng};
+use relm_faults::{FaultConfig, FaultPlan};
+use relm_obs::Obs;
 use relm_surrogate::{latin_hypercube, maximize_ei, maximize_ei_threaded, Gp, GpFitter};
+use relm_tune::{EvalStore, TuningEnv};
+use relm_workloads::{max_resource_allocation, wordcount};
 use serde::{Map, Number, Value};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -88,6 +98,112 @@ fn median_ns(reps: usize, mut f: impl FnMut()) -> u64 {
         .collect();
     samples.sort_unstable();
     samples[samples.len() / 2]
+}
+
+/// How many evaluations the cache-bench session runs. Matches the order
+/// of magnitude a single fig05 cell performs.
+const EVALCACHE_EVALS: usize = 24;
+
+fn evalcache_configs() -> Vec<MemoryConfig> {
+    let cluster = ClusterSpec::cluster_a();
+    let base = max_resource_allocation(&cluster, &wordcount());
+    (0..EVALCACHE_EVALS)
+        .map(|i| {
+            let n = 2 + (i % 5) as u32;
+            MemoryConfig {
+                containers_per_node: n,
+                heap: cluster.heap_for(n),
+                task_concurrency: 1 + (i % 3) as u32,
+                ..base
+            }
+        })
+        .collect()
+}
+
+/// One full tuning session over `configs` — live when `cache` is `None`
+/// or misses, pure replay when it is warm. Faults are on (10% uniform
+/// plan) so retries are part of what the cache memoizes.
+fn evalcache_session(cache: Option<&EvalStore>, configs: &[MemoryConfig]) {
+    let obs = Obs::enabled();
+    let engine = Engine::new(ClusterSpec::cluster_a())
+        .with_obs(obs)
+        .with_faults(FaultPlan::new(7, FaultConfig::uniform(0.10)));
+    let mut env = TuningEnv::new(engine, wordcount(), 42);
+    if let Some(cache) = cache {
+        env = env.with_cache(cache.clone());
+    }
+    for config in configs {
+        std::hint::black_box(env.evaluate(config));
+    }
+}
+
+/// Measures live evaluation vs warm-cache replay and writes
+/// `BENCH_evalcache.json`. The speedup here is evaluation-level — it
+/// isolates the work the cache actually memoizes. A whole experiment
+/// sweep (see `fig05_fault_sweep`'s `sweep_ms=` line) improves less,
+/// because its warm floor is the uncached tuner math (GP fits, DDPG
+/// training) that runs regardless.
+fn export_evalcache(root: &std::path::Path, reps: usize) {
+    let configs = evalcache_configs();
+    let live_ns = median_ns(reps, || evalcache_session(None, &configs));
+
+    let cache = EvalStore::new();
+    evalcache_session(Some(&cache), &configs);
+    assert_eq!(cache.stats().inserts as usize, EVALCACHE_EVALS);
+    let replay_ns = median_ns(reps, || evalcache_session(Some(&cache), &configs));
+    assert!(
+        cache.stats().hits as usize >= EVALCACHE_EVALS * reps,
+        "warm sessions must replay every evaluation"
+    );
+
+    let speedup = (live_ns as f64 / replay_ns as f64 * 100.0).round() / 100.0;
+    println!(
+        "evalcache session ({EVALCACHE_EVALS} evals, faults on): live {live_ns} ns, \
+         replay {replay_ns} ns — {speedup:.2}x"
+    );
+
+    let mut file = Map::new();
+    file.insert(
+        "description",
+        Value::String(
+            "Evaluation-cache replay speedup: a 24-evaluation WordCount tuning session \
+             under a 10% fault plan, run live vs replayed from a warm EvalStore"
+                .to_string(),
+        ),
+    );
+    file.insert("units", Value::String("ns (median)".to_string()));
+    file.insert("reps", Value::Number(Number::U64(reps as u64)));
+    file.insert(
+        "evaluations_per_session",
+        Value::Number(Number::U64(EVALCACHE_EVALS as u64)),
+    );
+    file.insert("fault_rate", Value::Number(Number::F64(0.10)));
+    file.insert("session_live_ns", Value::Number(Number::U64(live_ns)));
+    file.insert("session_replay_ns", Value::Number(Number::U64(replay_ns)));
+    file.insert(
+        "per_eval_live_ns",
+        Value::Number(Number::U64(live_ns / EVALCACHE_EVALS as u64)),
+    );
+    file.insert(
+        "per_eval_replay_ns",
+        Value::Number(Number::U64(replay_ns / EVALCACHE_EVALS as u64)),
+    );
+    file.insert("speedup_replay", Value::Number(Number::F64(speedup)));
+    file.insert(
+        "note",
+        Value::String(
+            "Evaluation-level measurement: isolates the work the cache memoizes. \
+             End-to-end sweep wall-clock (fig05_fault_sweep sweep_ms=) improves less \
+             because warm runs still pay for uncached tuner math (GP fits, DDPG \
+             training)."
+                .to_string(),
+        ),
+    );
+
+    let out = root.join("BENCH_evalcache.json");
+    let json = serde_json::to_string_pretty(&Value::Object(file)).expect("bench file serializes");
+    std::fs::write(&out, json + "\n").expect("write BENCH_evalcache.json");
+    println!("wrote {}", out.display());
 }
 
 fn main() {
@@ -227,4 +343,6 @@ fn main() {
     let json = serde_json::to_string_pretty(&Value::Object(file)).expect("bench file serializes");
     std::fs::write(&out, json + "\n").expect("write BENCH_surrogate.json");
     println!("wrote {}", out.display());
+
+    export_evalcache(&root, reps);
 }

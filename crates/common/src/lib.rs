@@ -10,6 +10,7 @@
 
 pub mod config;
 pub mod error;
+pub mod hash;
 pub mod mem;
 pub mod rng;
 pub mod stats;

@@ -1,0 +1,142 @@
+//! Property tests for the cache key's canonical encoding: keys must be
+//! stable under field reordering (the whole point of content addressing)
+//! and must separate any two evaluations that differ in a fault plan,
+//! seed, or configuration field.
+
+use proptest::prelude::*;
+use relm_evalcache::{EvalKey, KeyBuilder};
+use serde::{Map, Number, Value};
+
+/// Builds a key from `(name, value)` fields presented in a given order.
+fn key_of(namespace: &str, fields: &[(String, u64)]) -> EvalKey {
+    let mut kb = KeyBuilder::new(namespace);
+    for (name, value) in fields {
+        kb = kb.field(name, value);
+    }
+    kb.finish()
+}
+
+/// Deterministic field set derived from a case seed (the vendored
+/// proptest has no collection strategies).
+fn fields_from(seed: u64, n: usize) -> Vec<(String, u64)> {
+    (0..n)
+        .map(|i| {
+            (
+                format!("field_{i}"),
+                seed.wrapping_mul(6364136223846793005)
+                    .wrapping_add(i as u64 * 1442695040888963407),
+            )
+        })
+        .collect()
+}
+
+/// A nested object whose insertion order is controlled by `reversed` —
+/// stands in for a serialized struct whose field order changed between
+/// writers.
+fn nested(reversed: bool, a: u64, b: f64) -> Value {
+    let mut inner = Map::new();
+    let mut outer = Map::new();
+    if reversed {
+        inner.insert("beta", Value::Number(Number::F64(b)));
+        inner.insert("alpha", Value::Number(Number::U64(a)));
+        outer.insert("inner", Value::Object(inner));
+        outer.insert("tag", Value::String("x".into()));
+    } else {
+        inner.insert("alpha", Value::Number(Number::U64(a)));
+        inner.insert("beta", Value::Number(Number::F64(b)));
+        outer.insert("tag", Value::String("x".into()));
+        outer.insert("inner", Value::Object(inner));
+    }
+    Value::Object(outer)
+}
+
+/// A fault-plan-shaped payload: seed plus per-site rates. Mirrors what
+/// `TuningEnv` feeds the key builder for `engine.faults()`.
+fn fault_plan(seed: u64, kill: f64, node: f64, straggler: f64) -> Value {
+    let mut config = Map::new();
+    config.insert("container_kill_rate", Value::Number(Number::F64(kill)));
+    config.insert("node_loss_rate", Value::Number(Number::F64(node)));
+    config.insert("straggler_rate", Value::Number(Number::F64(straggler)));
+    let mut plan = Map::new();
+    plan.insert("seed", Value::Number(Number::U64(seed)));
+    plan.insert("config", Value::Object(config));
+    Value::Object(plan)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn keys_are_stable_under_field_reordering(
+        seed in 0u64..1_000_000,
+        n in 1usize..8,
+        rotation in 0usize..8,
+    ) {
+        let fields = fields_from(seed, n);
+        let mut rotated = fields.clone();
+        rotated.rotate_left(rotation % n);
+        let mut reversed = fields.clone();
+        reversed.reverse();
+        let base = key_of("prop", &fields);
+        prop_assert_eq!(base, key_of("prop", &rotated));
+        prop_assert_eq!(base, key_of("prop", &reversed));
+    }
+
+    #[test]
+    fn nested_object_key_order_never_changes_the_key(
+        a in 0u64..1_000_000_000,
+        b in -1e6..1e6f64,
+    ) {
+        let fwd = KeyBuilder::new("prop").field("payload", &nested(false, a, b)).finish();
+        let rev = KeyBuilder::new("prop").field("payload", &nested(true, a, b)).finish();
+        prop_assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn distinct_fault_plans_get_distinct_keys(
+        seed_a in 0u64..10_000,
+        offset in 1u64..10_000,
+        kill in 0.0..0.5f64,
+        node in 0.0..0.5f64,
+        straggler in 0.0..0.5f64,
+    ) {
+        let seed_b = seed_a + offset;
+        let common = |plan: Value| {
+            KeyBuilder::new("tuning-env/v1")
+                .field("workload", &"wordcount".to_string())
+                .field("seed", &42u64)
+                .field("faults", &plan)
+                .finish()
+        };
+        let a = common(fault_plan(seed_a, kill, node, straggler));
+        let b = common(fault_plan(seed_b, kill, node, straggler));
+        prop_assert_ne!(a, b, "fault-plan seed must separate keys");
+
+        // A changed rate separates keys too, even at an equal seed.
+        let c = common(fault_plan(seed_a, kill + 0.5, node, straggler));
+        prop_assert_ne!(a, c, "fault rates must separate keys");
+    }
+
+    #[test]
+    fn value_changes_always_change_the_key(
+        name_idx in 0usize..4,
+        value in 0u64..1_000_000,
+        bump in 1u64..1_000,
+    ) {
+        let names = ["app", "config", "seed", "retry"];
+        let build = |v: u64| {
+            let mut kb = KeyBuilder::new("prop");
+            for (i, n) in names.iter().enumerate() {
+                kb = kb.field(n, &(if i == name_idx { v } else { 7u64 }));
+            }
+            kb.finish()
+        };
+        prop_assert_ne!(build(value), build(value + bump));
+    }
+
+    #[test]
+    fn hex_round_trips_for_arbitrary_keys(seed in 0u64..1_000_000, n in 1usize..5) {
+        let key = key_of("prop", &fields_from(seed, n));
+        prop_assert_eq!(EvalKey::from_hex(&key.hex()), Some(key));
+    }
+}

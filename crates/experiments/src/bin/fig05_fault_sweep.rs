@@ -7,26 +7,39 @@
 //! policy, and writes one JSONL record per (rate, policy) combination to
 //! `results/fig05_fault_sweep.jsonl`.
 //!
-//! The output contains only simulated quantities — no wall-clock values —
-//! so two invocations produce byte-identical files. `scripts/check.sh`
-//! relies on this: it runs the sweep twice and diffs the outputs as the
-//! deterministic-replay smoke test.
+//! The (rate, policy) cells are enumerated up front and executed on a
+//! bounded worker pool (`--workers N`, default 4) with an index-ordered
+//! merge, so the output file is **byte-identical at any worker count** —
+//! `scripts/check.sh` asserts 1 vs 8. Each cell builds its own isolated
+//! observability handle and environment; nothing crosses cells.
 //!
-//! The binary also self-checks the observability counters: the total
-//! `faults.injected` must equal the sum of its per-kind counters, and the
-//! abort-cause histogram must reconcile with `env.retries` plus the number
-//! of censored observations. A mismatch aborts the process.
+//! Evaluations are memoized in a shared content-addressed cache persisted
+//! at `results/.evalcache/fig05_fault_sweep.jsonl` (override with
+//! `--cache-file PATH`, disable with `--no-cache`): a warm rerun replays
+//! every evaluation from the cache and must produce the identical output
+//! file — `scripts/check.sh` asserts that too, along with a ≥3× speedup
+//! on the `sweep_ms=` line this binary prints.
+//!
+//! The output contains only simulated quantities — no wall-clock values —
+//! so two invocations produce byte-identical files. The binary also
+//! self-checks the observability counters: the total `faults.injected`
+//! must equal the sum of its per-kind counters, and the abort-cause
+//! histogram must reconcile with `env.retries` plus the number of censored
+//! observations — live *and* under cache replay. A mismatch aborts the
+//! process.
 
 use relm_app::Engine;
 use relm_bo::{BayesOpt, BoConfig};
 use relm_cluster::ClusterSpec;
 use relm_ddpg::DdpgTuner;
-use relm_experiments::results_dir;
+use relm_experiments::{parse_workers, results_dir, run_sharded};
 use relm_faults::{AbortCause, FaultConfig, FaultPlan};
 use relm_obs::Obs;
-use relm_tune::{DefaultPolicy, RandomSearch, Tuner, TuningEnv};
+use relm_tune::{DefaultPolicy, EvalStore, RandomSearch, Tuner, TuningEnv};
 use relm_workloads::wordcount;
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::time::Instant;
 
 /// One (fault rate, policy) cell of the sweep.
 #[derive(Debug, Serialize, Deserialize)]
@@ -44,32 +57,36 @@ struct SweepRecord {
     best_score_mins: Option<f64>,
 }
 
-fn policies(seed: u64) -> Vec<(&'static str, Box<dyn Tuner>)> {
+const POLICY_NAMES: [&str; 6] = ["Default", "Random", "RelM", "BO", "GBO", "DDPG"];
+
+fn tuner_for(name: &str, seed: u64) -> Box<dyn Tuner> {
     let short_bo = BoConfig {
         max_iterations: 6,
         min_adaptive_samples: 4,
         ..BoConfig::default()
     };
-    vec![
-        ("Default", Box::new(DefaultPolicy)),
-        ("Random", Box::new(RandomSearch::new(6, seed))),
-        ("RelM", Box::<relm_core::RelmTuner>::default()),
-        ("BO", Box::new(BayesOpt::new(seed).with_config(short_bo))),
-        (
-            "GBO",
-            Box::new(BayesOpt::guided(seed).with_config(short_bo)),
-        ),
-        ("DDPG", Box::new(DdpgTuner::new(seed).with_budget(5))),
-    ]
+    match name {
+        "Default" => Box::new(DefaultPolicy),
+        "Random" => Box::new(RandomSearch::new(6, seed)),
+        "RelM" => Box::<relm_core::RelmTuner>::default(),
+        "BO" => Box::new(BayesOpt::new(seed).with_config(short_bo)),
+        "GBO" => Box::new(BayesOpt::guided(seed).with_config(short_bo)),
+        "DDPG" => Box::new(DdpgTuner::new(seed).with_budget(5)),
+        other => panic!("unknown policy {other}"),
+    }
 }
 
-fn run_cell(fault_rate: f64, plan_seed: u64, name: &str, mut tuner: Box<dyn Tuner>) -> SweepRecord {
+fn run_cell(fault_rate: f64, plan_seed: u64, name: &str, cache: Option<&EvalStore>) -> SweepRecord {
+    let mut tuner = tuner_for(name, 7);
     let obs = Obs::enabled();
     let mut engine = Engine::new(ClusterSpec::cluster_a()).with_obs(obs.clone());
     if fault_rate > 0.0 {
         engine = engine.with_faults(FaultPlan::new(plan_seed, FaultConfig::uniform(fault_rate)));
     }
     let mut env = TuningEnv::new(engine, wordcount(), 42);
+    if let Some(cache) = cache {
+        env = env.with_cache(cache.clone());
+    }
     let completed = tuner.tune(&mut env).is_ok();
 
     // Counter self-check 1: the fault total must equal its parts.
@@ -131,34 +148,71 @@ fn run_cell(fault_rate: f64, plan_seed: u64, name: &str, mut tuner: Box<dyn Tune
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workers = parse_workers(&args, 4);
+    let use_cache = !args.iter().any(|a| a == "--no-cache");
+    let cache_file: PathBuf = args
+        .iter()
+        .position(|a| a == "--cache-file")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results/.evalcache/fig05_fault_sweep.jsonl"));
+
+    let cache = use_cache.then(EvalStore::new);
+    if let Some(cache) = &cache {
+        if cache_file.exists() {
+            let loaded = relm_evalcache::store::load(cache, &cache_file)
+                .expect("evaluation cache file is readable and verified");
+            println!(
+                "evalcache: loaded {loaded} entries from {}",
+                cache_file.display()
+            );
+        }
+    }
+
     let rates = [0.0, 0.05, 0.10, 0.20];
+    // Cell order defines output order; the sharded merge preserves it.
+    let cells: Vec<(f64, u64, &str)> = rates
+        .iter()
+        .enumerate()
+        .flat_map(|(ri, &rate)| {
+            POLICY_NAMES
+                .iter()
+                .map(move |&name| (rate, 1000 + ri as u64, name))
+        })
+        .collect();
+
     println!("Figure 5 extension: tuning under injected faults (WordCount)\n");
+    let sweep_start = Instant::now();
+    let records = run_sharded(cells, workers, |_, &(rate, plan_seed, name)| {
+        run_cell(rate, plan_seed, name, cache.as_ref())
+    });
+    let sweep_ms = sweep_start.elapsed().as_secs_f64() * 1e3;
+
     println!(
         "{:<6} {:<8} {:>5} {:>6} {:>8} {:>8} {:>10} {:>10}",
         "rate", "policy", "evals", "cens", "retries", "faults", "stress(m)", "best(m)"
     );
-
     let mut lines = String::new();
-    for (ri, &rate) in rates.iter().enumerate() {
-        for (name, tuner) in policies(7) {
-            let rec = run_cell(rate, 1000 + ri as u64, name, tuner);
-            println!(
-                "{:<6} {:<8} {:>5} {:>6} {:>8} {:>8} {:>10.1} {:>10}",
-                format!("{:.0}%", rate * 100.0),
-                rec.policy,
-                rec.evaluations,
-                rec.censored,
-                rec.retries,
-                rec.injected_faults,
-                rec.stress_time_ms / 60_000.0,
-                rec.best_score_mins
-                    .map(|s| format!("{s:.2}"))
-                    .unwrap_or_else(|| "-".into()),
-            );
-            lines.push_str(&serde_json::to_string(&rec).expect("record serializes"));
-            lines.push('\n');
+    for (i, rec) in records.iter().enumerate() {
+        println!(
+            "{:<6} {:<8} {:>5} {:>6} {:>8} {:>8} {:>10.1} {:>10}",
+            format!("{:.0}%", rec.fault_rate * 100.0),
+            rec.policy,
+            rec.evaluations,
+            rec.censored,
+            rec.retries,
+            rec.injected_faults,
+            rec.stress_time_ms / 60_000.0,
+            rec.best_score_mins
+                .map(|s| format!("{s:.2}"))
+                .unwrap_or_else(|| "-".into()),
+        );
+        if (i + 1) % POLICY_NAMES.len() == 0 {
+            println!();
         }
-        println!();
+        lines.push_str(&serde_json::to_string(rec).expect("record serializes"));
+        lines.push('\n');
     }
 
     let dir = results_dir().expect("results dir");
@@ -166,6 +220,20 @@ fn main() {
     std::fs::write(&path, lines).expect("write sweep results");
     println!("counter reconciliation: OK (totals match per-kind counters and abort histogram)");
     println!("wrote {}", path.display());
+
+    if let Some(cache) = &cache {
+        relm_evalcache::store::save(cache, &cache_file).expect("persist evaluation cache");
+        let stats = cache.stats();
+        println!(
+            "evalcache: hits={} misses={} inserts={} entries={} file={}",
+            stats.hits,
+            stats.misses,
+            stats.inserts,
+            cache.len(),
+            cache_file.display()
+        );
+    }
+    println!("workers={workers} sweep_ms={sweep_ms:.0}");
     println!("\npaper shape: the white-box policies keep recommending near-optimal configs");
     println!("under modest fault rates because censored observations are penalty-scored,");
     println!("not trusted; black-box policies pay for faults with extra stress time.");

@@ -3,18 +3,20 @@
 //! reported per iteration.
 //!
 //! ```text
-//! fig20_convergence [--scoring-threads N] [--out PATH]
+//! fig20_convergence [--scoring-threads N] [--workers N] [--out PATH]
 //! ```
 //!
 //! Besides the stdout table, the per-run trajectories go to a JSONL file
 //! (default `results/fig20_convergence.jsonl`) holding simulated
 //! quantities only. `--scoring-threads` sets the BO/GBO acquisition
-//! scoring pool — a pure wall-clock knob, so the file is **byte-identical**
-//! for any value; `scripts/check.sh` diffs 1 thread against 8.
+//! scoring pool and `--workers` shards the (policy, rep) cells over a
+//! bounded worker pool with an index-ordered merge — both are pure
+//! wall-clock knobs, so the file is **byte-identical** for any value;
+//! `scripts/check.sh` diffs 1 against 8 for each.
 
 use relm_app::Engine;
 use relm_cluster::ClusterSpec;
-use relm_experiments::{long_bo_threaded, long_ddpg, results_dir};
+use relm_experiments::{long_bo_threaded, long_ddpg, parse_workers, results_dir, run_sharded};
 use relm_tune::{Tuner, TuningEnv};
 use relm_workloads::kmeans;
 use serde::Serialize;
@@ -46,9 +48,11 @@ fn trajectory(env: &TuningEnv, len: usize) -> Vec<f64> {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workers = parse_workers(&args, 1);
     let mut scoring_threads = relm_bo::BoConfig::default().scoring_threads;
     let mut out_path: Option<PathBuf> = None;
-    let mut it = std::env::args().skip(1);
+    let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = || {
             it.next()
@@ -57,6 +61,9 @@ fn main() {
         match flag.as_str() {
             "--scoring-threads" => scoring_threads = value().parse().expect("--scoring-threads"),
             "--out" => out_path = Some(PathBuf::from(value())),
+            "--workers" => {
+                value();
+            }
             other => panic!("unknown flag {other}"),
         }
     }
@@ -73,35 +80,37 @@ fn main() {
     }
     println!();
 
-    let mut curves: Vec<Vec<Vec<f64>>> = Vec::new();
-    let mut records: Vec<RunRecord> = Vec::new();
-    for policy_name in ["BO", "GBO", "DDPG"] {
-        let mut per_rep = Vec::new();
-        for rep in 0..reps {
-            let seed = 400 + rep * 19;
-            let mut env = TuningEnv::new(engine.clone(), app.clone(), seed);
-            match policy_name {
-                "BO" => {
-                    let _ = long_bo_threaded(seed, false, scoring_threads).tune(&mut env);
-                }
-                "GBO" => {
-                    let _ = long_bo_threaded(seed, true, scoring_threads).tune(&mut env);
-                }
-                _ => {
-                    let _ = long_ddpg(seed).tune(&mut env);
-                }
+    // Cell order (policy-major, rep-minor) defines output order; the
+    // sharded merge preserves it at any worker count.
+    let cells: Vec<(&'static str, u64)> = ["BO", "GBO", "DDPG"]
+        .into_iter()
+        .flat_map(|policy| (0..reps).map(move |rep| (policy, rep)))
+        .collect();
+    let records: Vec<RunRecord> = run_sharded(cells, workers, |_, &(policy_name, rep)| {
+        let seed = 400 + rep * 19;
+        let mut env = TuningEnv::new(engine.clone(), app.clone(), seed);
+        match policy_name {
+            "BO" => {
+                let _ = long_bo_threaded(seed, false, scoring_threads).tune(&mut env);
             }
-            let curve = trajectory(&env, horizon);
-            records.push(RunRecord {
-                policy: policy_name,
-                rep,
-                seed,
-                best_so_far_mins: curve.clone(),
-            });
-            per_rep.push(curve);
+            "GBO" => {
+                let _ = long_bo_threaded(seed, true, scoring_threads).tune(&mut env);
+            }
+            _ => {
+                let _ = long_ddpg(seed).tune(&mut env);
+            }
         }
-        curves.push(per_rep);
-    }
+        RunRecord {
+            policy: policy_name,
+            rep,
+            seed,
+            best_so_far_mins: trajectory(&env, horizon),
+        }
+    });
+    let curves: Vec<Vec<&Vec<f64>>> = records
+        .chunks(reps as usize)
+        .map(|chunk| chunk.iter().map(|r| &r.best_so_far_mins).collect())
+        .collect();
 
     for i in 0..horizon {
         print!("{:<5}", i + 1);

@@ -3,6 +3,14 @@
 //! These are actual wall-clock measurements of this implementation
 //! (the Criterion benches in `crates/bench` measure the same quantities
 //! with statistical rigor).
+//!
+//! ```text
+//! tab10_overheads [--workers N]
+//! ```
+//!
+//! `--workers` shards the four telemetry-validation sessions over a
+//! bounded worker pool; it only affects wall-clock, never the measured
+//! counters (they are exact atomic sums).
 
 use relm_app::Engine;
 use relm_bo::{BayesOpt, BoConfig};
@@ -10,7 +18,7 @@ use relm_cluster::ClusterSpec;
 use relm_common::Rng;
 use relm_core::{QModel, RelmTuner};
 use relm_ddpg::{state_vector, AgentConfig, DdpgAgent, DdpgTuner, Transition, STATE_DIMS};
-use relm_experiments::write_run_telemetry;
+use relm_experiments::{parse_workers, run_sharded, write_run_telemetry};
 use relm_obs::{Event, Obs};
 use relm_profile::derive_stats;
 use relm_surrogate::{latin_hypercube, maximize_ei, Gp};
@@ -24,38 +32,34 @@ fn time_ms(f: impl FnOnce()) -> f64 {
     t.elapsed().as_secs_f64() * 1000.0
 }
 
-/// Runs short instrumented tuning sessions and validates the emitted
+/// Runs short instrumented tuning sessions — sharded over `workers`
+/// threads, since each session owns an isolated environment and the
+/// shared counters are exact atomics — and validates the emitted
 /// telemetry: the JSONL file must be non-empty and parse, and the
 /// cumulative stress-time counter must agree with the environments'
 /// `stress_time()` accounting to within 1%.
-fn measured_telemetry(obs: &Obs) {
+fn measured_telemetry(obs: &Obs, workers: usize) {
     let cluster = ClusterSpec::cluster_a();
     let app = svm();
-    let mut expected_stress_ms = 0.0;
-    let mut run_session = |tuner: &mut dyn Tuner, seed: u64| {
+    let short_bo = BoConfig {
+        max_iterations: 4,
+        min_adaptive_samples: 2,
+        ..BoConfig::default()
+    };
+    let cells: Vec<(&str, u64)> = vec![("BO", 21), ("GBO", 22), ("DDPG", 23), ("RelM", 24)];
+    let stress_ms = run_sharded(cells, workers, |_, &(policy, seed)| {
+        let mut tuner: Box<dyn Tuner> = match policy {
+            "BO" => Box::new(BayesOpt::new(3).with_config(short_bo)),
+            "GBO" => Box::new(BayesOpt::guided(3).with_config(short_bo)),
+            "DDPG" => Box::new(DdpgTuner::new(3).with_budget(3)),
+            _ => Box::new(RelmTuner::default()),
+        };
         let engine = Engine::new(cluster.clone()).with_obs(obs.clone());
         let mut env = TuningEnv::new(engine, app.clone(), seed);
         tuner.tune(&mut env).expect("tuning session failed");
-        expected_stress_ms += env.stress_time().as_ms();
-    };
-    run_session(
-        &mut BayesOpt::new(3).with_config(BoConfig {
-            max_iterations: 4,
-            min_adaptive_samples: 2,
-            ..BoConfig::default()
-        }),
-        21,
-    );
-    run_session(
-        &mut BayesOpt::guided(3).with_config(BoConfig {
-            max_iterations: 4,
-            min_adaptive_samples: 2,
-            ..BoConfig::default()
-        }),
-        22,
-    );
-    run_session(&mut DdpgTuner::new(3).with_budget(3), 23);
-    run_session(&mut RelmTuner::default(), 24);
+        env.stress_time().as_ms()
+    });
+    let expected_stress_ms: f64 = stress_ms.iter().sum();
 
     let path = write_run_telemetry(obs, "tab10_overheads")
         .expect("telemetry write failed")
@@ -121,6 +125,8 @@ fn measured_telemetry(obs: &Obs) {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workers = parse_workers(&args, 1);
     let obs = {
         let from_env = relm_experiments::obs_from_env();
         if from_env.is_enabled() {
@@ -253,5 +259,5 @@ fn main() {
     });
     println!("  4-candidate probe above vs large-cluster probe: {t:.3}ms");
 
-    measured_telemetry(&obs);
+    measured_telemetry(&obs, workers);
 }

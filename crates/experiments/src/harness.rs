@@ -1,12 +1,73 @@
-//! Shared helpers for the experiment binaries: run repetition, the
-//! exhaustive-search baseline, and "train until top-5%-quality" loops used
-//! by the training-overhead figures.
+//! Shared helpers for the experiment binaries: the sharded replication
+//! runner, run repetition, the exhaustive-search baseline, and "train
+//! until top-5%-quality" loops used by the training-overhead figures.
 
 use relm_app::{AppSpec, Engine, RunResult};
 use relm_bo::BayesOpt;
 use relm_common::{MemoryConfig, Millis};
 use relm_ddpg::DdpgTuner;
 use relm_tune::{Observation, Tuner, TuningEnv};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs one closure per cell on a bounded worker pool and merges the
+/// results back in **cell-index order** — the backbone of every sharded
+/// experiment sweep.
+///
+/// Cells are enumerated up front; workers claim the next unclaimed index
+/// from a shared atomic counter, so the pool is busy until the last cell
+/// without any static partitioning skew. Because each result lands in its
+/// cell's slot, the merged output is byte-identical at any worker count —
+/// the experiment binaries assert exactly that in CI (1 worker vs 8).
+///
+/// `workers` is clamped to `[1, cells.len()]` (an empty cell list returns
+/// an empty vec without spawning).
+///
+/// Panics in a cell closure propagate: the sweep fails loudly rather than
+/// silently dropping a cell.
+pub fn run_sharded<C, R, F>(cells: Vec<C>, workers: usize, f: F) -> Vec<R>
+where
+    C: Sync,
+    R: Send,
+    F: Fn(usize, &C) -> R + Sync,
+{
+    if cells.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, cells.len());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(cell) = cells.get(i) else { break };
+                let result = f(i, cell);
+                *slots[i].lock().expect("sweep slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .expect("sweep slot poisoned")
+                .unwrap_or_else(|| panic!("cell {i} produced no result"))
+        })
+        .collect()
+}
+
+/// Parses a `--workers N` style flag shared by the experiment binaries;
+/// returns `default` when the flag is absent.
+pub fn parse_workers(args: &[String], default: usize) -> usize {
+    args.iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .map(|w: usize| w.max(1))
+        .unwrap_or(default)
+}
 
 /// Runs an application `repeats` times with distinct seeds and returns every
 /// result (the paper repeats each stochastic setup 5–10 times).
@@ -151,6 +212,33 @@ mod tests {
     use super::*;
     use relm_cluster::ClusterSpec;
     use relm_workloads::{max_resource_allocation, wordcount};
+
+    #[test]
+    fn run_sharded_merges_in_index_order_at_any_worker_count() {
+        let cells: Vec<u64> = (0..37).collect();
+        let serial = run_sharded(cells.clone(), 1, |i, c| (i, c * 3));
+        for workers in [2, 5, 8, 64] {
+            let parallel = run_sharded(cells.clone(), workers, |i, c| (i, c * 3));
+            assert_eq!(parallel, serial, "diverged at {workers} workers");
+        }
+        assert_eq!(serial[5], (5, 15));
+        assert!(run_sharded(Vec::<u64>::new(), 4, |_, _: &u64| 0u64).is_empty());
+    }
+
+    #[test]
+    fn parse_workers_reads_the_flag() {
+        let args: Vec<String> = ["--out", "x.jsonl", "--workers", "6"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(parse_workers(&args, 1), 6);
+        assert_eq!(parse_workers(&args[..2], 3), 3);
+        let bad: Vec<String> = ["--workers", "zero"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(parse_workers(&bad, 2), 2);
+    }
 
     #[test]
     fn repeat_runs_uses_distinct_seeds() {

@@ -23,6 +23,24 @@
 //!   *infrastructure* (retry on fresh containers helps), organic memory
 //!   failures are *persistent* (the configuration is at fault; retrying
 //!   burns stress time for nothing).
+//!
+//! ```
+//! use relm_faults::{FaultConfig, FaultPlan};
+//!
+//! // A 20% uniform plan: every fault class fires at rate 0.2.
+//! let plan = FaultPlan::new(7, FaultConfig::uniform(0.2));
+//! assert!(!plan.is_off());
+//!
+//! // Decisions are pure functions of (plan seed, site): asking twice
+//! // gives the same answer, and a sweep over many sites fires at
+//! // roughly the configured rate.
+//! let first = plan.container_kill(42, "map", 0, 3, 0);
+//! assert_eq!(first, plan.container_kill(42, "map", 0, 3, 0));
+//! let fired = (0..1000)
+//!     .filter(|&c| plan.container_kill(42, "map", 0, c, 0).is_some())
+//!     .count();
+//! assert!((100..350).contains(&fired), "~20% of 1000 sites, got {fired}");
+//! ```
 
 mod cause;
 mod plan;

@@ -98,27 +98,10 @@ pub struct FaultPlan {
     config: FaultConfig,
 }
 
-/// FNV-1a over the site coordinates — the same construction the engine
-/// uses for sticky data skew, chosen for cross-platform stability.
-fn site_hash(parts: &[u64]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &part in parts {
-        for b in part.to_le_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    }
-    h
-}
-
-fn str_hash(s: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in s.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
-}
+// Site addressing uses FNV-1a from `relm_common::hash` — the same
+// construction the engine uses for sticky data skew and the evaluation
+// cache uses for content addressing, chosen for cross-platform stability.
+use relm_common::hash::{fnv1a64_parts as site_hash, fnv1a64_str as str_hash};
 
 impl FaultPlan {
     /// Creates a plan from a seed and rates.

@@ -128,6 +128,18 @@ impl Obs {
         }
     }
 
+    /// Reads every counter as name-sorted `(name, value)` pairs (empty
+    /// when disabled). Cheaper than [`Obs::snapshot`] — no spans, gauges,
+    /// or histograms — which makes it suitable for before/after delta
+    /// capture around a single operation, as the evaluation cache does to
+    /// replay the counters a memoized run would have emitted.
+    pub fn counters(&self) -> Vec<(String, f64)> {
+        match &self.inner {
+            Some(inner) => inner.registry.counter_values(),
+            None => Vec::new(),
+        }
+    }
+
     /// Sets the named gauge.
     pub fn gauge(&self, name: &str, value: f64) {
         if let Some(inner) = &self.inner {

@@ -26,7 +26,27 @@
 //! Everything is instrumented through [`relm_obs`]: per-endpoint latency
 //! histograms (`serve.endpoint.*_ms`), queue-depth gauges
 //! (`serve.queue.global`, `serve.workers.busy`), and rejection counters
-//! (`serve.rejected.*`).
+//! (`serve.rejected.*`). Sessions created with
+//! [`SessionSpec::with_cache`] additionally share the service's
+//! content-addressed evaluation cache (`evalcache.*` counters): identical
+//! evaluations replay memoized outcomes instead of re-simulating.
+//!
+//! ```
+//! use relm_serve::{Request, Response, ServeConfig, Service, SessionSpec};
+//!
+//! let service = Service::start(ServeConfig::default(), relm_obs::Obs::disabled());
+//! let spec = SessionSpec::named("WordCount", 7);
+//! let session = match service.handle(&Request::CreateSession { spec }) {
+//!     Response::SessionCreated { session } => session,
+//!     other => panic!("create failed: {other:?}"),
+//! };
+//! service.handle(&Request::StepAuto { session: session.clone(), evals: 2 });
+//! service.handle(&Request::Join { session: session.clone() });
+//! match service.handle(&Request::Result { session }) {
+//!     Response::ResultReady { history, .. } => assert_eq!(history.len(), 2),
+//!     other => panic!("result failed: {other:?}"),
+//! }
+//! ```
 
 pub mod protocol;
 pub mod server;

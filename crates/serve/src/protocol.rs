@@ -48,6 +48,13 @@ pub struct SessionSpec {
     pub faults: Option<FaultConfig>,
     /// Retry/recovery policy; `None` means [`RetryPolicy::standard`].
     pub retry: Option<RetryPolicy>,
+    /// Opt the session into the service's shared evaluation cache:
+    /// identical evaluations (same spec inputs, same seed-chain position)
+    /// replay a memoized outcome instead of re-simulating. Off by default
+    /// — the shared [`relm_obs::Obs`] handle means a replayed session's
+    /// counter deltas are approximate when other sessions run
+    /// concurrently, so caching is something a client asks for.
+    pub use_cache: bool,
 }
 
 impl SessionSpec {
@@ -60,6 +67,7 @@ impl SessionSpec {
             fault_seed: None,
             faults: None,
             retry: None,
+            use_cache: false,
         }
     }
 
@@ -67,6 +75,12 @@ impl SessionSpec {
     pub fn with_faults(mut self, fault_seed: u64, faults: FaultConfig) -> Self {
         self.fault_seed = Some(fault_seed);
         self.faults = Some(faults);
+        self
+    }
+
+    /// Opts into the service's shared evaluation cache.
+    pub fn with_cache(mut self) -> Self {
+        self.use_cache = true;
         self
     }
 }

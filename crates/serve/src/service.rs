@@ -165,6 +165,11 @@ struct State {
 struct Shared {
     config: ServeConfig,
     obs: Obs,
+    /// Shared evaluation cache: one process-wide handle, attached to a
+    /// session's environment only when its spec opts in
+    /// (`SessionSpec::use_cache`). Instrumented on the service's obs
+    /// handle (`evalcache.*`).
+    cache: relm_tune::EvalStore,
     state: Mutex<State>,
     /// Wakes workers when work arrives or the service stops.
     work: Condvar,
@@ -192,12 +197,14 @@ pub struct Service {
 impl Service {
     /// Starts the worker pool and returns the service handle.
     pub fn start(config: ServeConfig, obs: Obs) -> Self {
+        let cache = relm_tune::EvalStore::instrumented(obs.clone());
         let shared = Arc::new(Shared {
             config: ServeConfig {
                 workers: config.workers.max(1),
                 ..config
             },
             obs,
+            cache,
             state: Mutex::new(State {
                 sessions: BTreeMap::new(),
                 ready: VecDeque::new(),
@@ -283,6 +290,9 @@ impl Service {
         let mut env = TuningEnv::new(engine, app, spec.base_seed);
         if let Some(retry) = spec.retry {
             env = env.with_retry_policy(retry);
+        }
+        if spec.use_cache {
+            env = env.with_cache(self.shared.cache.clone());
         }
         Ok(env)
     }
@@ -861,15 +871,9 @@ pub fn resolve_workload(name: &str) -> Option<relm_app::AppSpec> {
     }
 }
 
-/// FNV-1a, matching the engine's cross-platform stable hash construction.
-fn str_hash(s: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in s.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
-}
+// FNV-1a from `relm_common::hash`, matching the engine's cross-platform
+// stable hash construction.
+use relm_common::hash::fnv1a64_str as str_hash;
 
 // The worker pool moves `TuningEnv` (engine, seed chain, history) across
 // threads; these bindings fail to compile if any layer regresses to a

@@ -88,6 +88,73 @@ fn histories_are_byte_identical_across_worker_counts() {
 }
 
 #[test]
+fn cached_sessions_replay_identically_and_report_hits() {
+    let obs = Obs::enabled();
+    let service = Service::start(ServeConfig::default(), obs.clone());
+    // Two sessions with identical specs, both opted into the shared
+    // cache: the first populates it, the second replays from it.
+    let spec = spec_for(3).with_cache(); // index 3 → fault plan in the mix
+    let mut histories = Vec::new();
+    for _ in 0..2 {
+        let name = match service.handle(&Request::CreateSession { spec: spec.clone() }) {
+            Response::SessionCreated { session } => session,
+            other => panic!("create failed: {other:?}"),
+        };
+        service.handle(&Request::StepAuto {
+            session: name.clone(),
+            evals: 4,
+        });
+        match service.handle(&Request::Join {
+            session: name.clone(),
+        }) {
+            Response::Status(_) => {}
+            other => panic!("join failed: {other:?}"),
+        }
+        match service.handle(&Request::Result { session: name }) {
+            Response::ResultReady { history, .. } => {
+                histories.push(serde_json::to_string(&history).unwrap());
+            }
+            other => panic!("result failed: {other:?}"),
+        }
+    }
+    assert_eq!(
+        histories[0], histories[1],
+        "a cached replayed session must match the live one byte-for-byte"
+    );
+    assert_eq!(obs.counter_value("evalcache.inserts"), 4.0);
+    assert_eq!(obs.counter_value("evalcache.hits"), 4.0);
+
+    // An uncached session with the same spec matches too — the cache is
+    // an optimization, never a behavior change.
+    let uncached_spec = spec_for(3);
+    assert!(!uncached_spec.use_cache);
+    let name = match service.handle(&Request::CreateSession {
+        spec: uncached_spec,
+    }) {
+        Response::SessionCreated { session } => session,
+        other => panic!("create failed: {other:?}"),
+    };
+    service.handle(&Request::StepAuto {
+        session: name.clone(),
+        evals: 4,
+    });
+    service.handle(&Request::Join {
+        session: name.clone(),
+    });
+    match service.handle(&Request::Result { session: name }) {
+        Response::ResultReady { history, .. } => {
+            assert_eq!(serde_json::to_string(&history).unwrap(), histories[0]);
+        }
+        other => panic!("result failed: {other:?}"),
+    }
+    assert_eq!(
+        obs.counter_value("evalcache.hits"),
+        4.0,
+        "an uncached session must never touch the cache"
+    );
+}
+
+#[test]
 fn drain_checkpoints_match_live_histories() {
     let dir = std::env::temp_dir().join(format!("relm_serve_det_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);

@@ -19,6 +19,23 @@
 //!
 //! Everything is implemented from first principles on `f64` slices — no
 //! external linear-algebra or ML dependencies.
+//!
+//! ```
+//! use relm_surrogate::{expected_improvement, Gp, Surrogate};
+//!
+//! // Fit a GP to a toy 1-D objective and query it like the tuners do.
+//! let xs: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 / 7.0]).collect();
+//! let ys: Vec<f64> = xs.iter().map(|x| (x[0] - 0.3).powi(2)).collect();
+//! let gp = Gp::fit(xs, &ys, 42).expect("toy data is well-conditioned");
+//!
+//! // Near a training point the posterior mean tracks the data and the
+//! // variance collapses; EI is finite and non-negative everywhere.
+//! let (mean, var) = gp.predict(&[2.0 / 7.0]);
+//! assert!((mean - (2.0 / 7.0f64 - 0.3).powi(2)).abs() < 0.05);
+//! assert!(var < 0.1);
+//! let best = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+//! assert!(expected_improvement(mean, var, best) >= 0.0);
+//! ```
 
 pub mod acquisition;
 pub mod forest;

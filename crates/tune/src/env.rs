@@ -1,9 +1,11 @@
 //! The tuning environment: stress-test execution, objective scoring, and
 //! bookkeeping shared by every tuning policy.
 
+use crate::cache::{counter_deltas, CachedEval, EvalStore};
 use crate::space::ConfigSpace;
 use relm_app::{AppSpec, Engine, RunResult};
 use relm_common::{Mem, MemoryConfig, Millis};
+use relm_evalcache::{EvalKey, KeyBuilder};
 use relm_faults::{AbortCause, AbortClass};
 use relm_obs::Obs;
 use relm_profile::Profile;
@@ -119,6 +121,13 @@ pub struct TuningEnv {
     /// session's stress time even though no observation records it.
     retry_time: Millis,
     obs: Obs,
+    /// Optional shared evaluation cache. `None` (the default) runs every
+    /// stress test live.
+    cache: Option<EvalStore>,
+    /// Lazily computed fingerprint of the cache key's per-session
+    /// constants (app, cluster, cost model, fault plan, retry policy), so
+    /// per-evaluation keys only re-encode what actually varies.
+    cache_static_fp: Option<EvalKey>,
 }
 
 impl TuningEnv {
@@ -141,6 +150,8 @@ impl TuningEnv {
             retry: RetryPolicy::standard(),
             retry_time: Millis::ZERO,
             obs,
+            cache: None,
+            cache_static_fp: None,
         }
     }
 
@@ -168,6 +179,8 @@ impl TuningEnv {
             retry: RetryPolicy::standard(),
             retry_time,
             obs,
+            cache: None,
+            cache_static_fp: None,
         }
     }
 
@@ -185,6 +198,8 @@ impl TuningEnv {
     /// Replaces the retry policy (the default is [`RetryPolicy::standard`]).
     pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        // The retry policy is part of the cache key's static fingerprint.
+        self.cache_static_fp = None;
         self
     }
 
@@ -198,6 +213,22 @@ impl TuningEnv {
     pub fn with_obs(mut self, obs: Obs) -> Self {
         self.obs = obs;
         self
+    }
+
+    /// Attaches a shared evaluation cache. Evaluations whose full input —
+    /// application, cluster, cost model, configuration, seed-chain
+    /// position, fault plan, retry policy — was already simulated (by this
+    /// environment, a sibling worker, or a previous process via the
+    /// persistent store) are replayed from the cached outcome instead of
+    /// re-simulated: same history bytes, same counters, no engine time.
+    pub fn with_cache(mut self, cache: EvalStore) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached evaluation cache, if any.
+    pub fn cache(&self) -> Option<&EvalStore> {
+        self.cache.as_ref()
     }
 
     /// The observability handle shared by this environment and the tuners
@@ -221,18 +252,28 @@ impl TuningEnv {
         &self.engine
     }
 
-    fn score(&mut self, result: &RunResult) -> f64 {
+    /// Scores a settled result against the current penalty baseline
+    /// without touching observability. Shared by the live path (which adds
+    /// the `env.abort_penalties` counter on top) and the cache-replay path
+    /// (where that counter arrives via the replayed deltas instead).
+    fn score_value(&mut self, result: &RunResult) -> f64 {
         let mins = result.runtime_mins();
         // `worst_mins` tracks the worst *observed* runtime, never a
         // penalized score — otherwise consecutive aborts would compound the
         // ×2 penalty and blow up the objective scale.
         self.worst_mins = self.worst_mins.max(mins);
         if result.aborted {
-            self.obs.inc("env.abort_penalties");
             ABORT_PENALTY_FACTOR * self.worst_mins
         } else {
             mins
         }
+    }
+
+    fn score(&mut self, result: &RunResult) -> f64 {
+        if result.aborted {
+            self.obs.inc("env.abort_penalties");
+        }
+        self.score_value(result)
     }
 
     /// Runs a stress test: executes the application under `config`, scores
@@ -288,7 +329,70 @@ impl TuningEnv {
     /// Only the attempt that settles is recorded in the history — but every
     /// attempt's runtime, plus backoff, is charged to
     /// [`TuningEnv::stress_time`].
+    ///
+    /// With a cache attached (see [`TuningEnv::with_cache`]) the
+    /// evaluation is first looked up under its content-addressed key; a
+    /// hit replays the memoized outcome — advancing the seed chain,
+    /// charging retry time, replaying the counter deltas, and re-scoring
+    /// against the current penalty baseline — producing the exact history
+    /// a live run would have.
     pub fn evaluate_profiled(&mut self, config: &MemoryConfig) -> (Observation, Profile) {
+        let Some(cache) = self.cache.clone() else {
+            return self.evaluate_live(config);
+        };
+        let key = self.cache_key(config);
+        if let Some(cached) = cache.get(&key) {
+            return self.replay_cached(config, &cached);
+        }
+        let counters_before = self.obs.counters();
+        let retry_time_before = self.retry_time;
+        let (obs, profile) = self.evaluate_live(config);
+        let counters_after = self.obs.counters();
+        cache.insert(
+            key,
+            CachedEval {
+                result: obs.result.clone(),
+                profile: profile.clone(),
+                retries: obs.retries,
+                retry_time: Millis::ms(self.retry_time.as_ms() - retry_time_before.as_ms()),
+                counters: counter_deltas(&counters_before, &counters_after),
+            },
+        );
+        (obs, profile)
+    }
+
+    /// The content-addressed identity of the *next* evaluation of
+    /// `config`: everything the engine's outcome is a pure function of.
+    /// The seed-chain position is part of the key, so repeated evaluations
+    /// of the same configuration within a session stay distinct — exactly
+    /// as they are live.
+    ///
+    /// The session constants (application, cluster, cost model, fault
+    /// plan, retry policy) are folded into one fingerprint on first use;
+    /// per-evaluation keys then only encode the configuration and the seed
+    /// position, keeping key construction off the replay hot path's
+    /// critical cost.
+    fn cache_key(&mut self, config: &MemoryConfig) -> EvalKey {
+        let fp = *self.cache_static_fp.get_or_insert_with(|| {
+            let mut key = KeyBuilder::new("tuning-env-static/v1")
+                .field("app", &self.app)
+                .field("cluster", self.engine.cluster())
+                .field("cost", self.engine.cost_model())
+                .field("retry", &self.retry);
+            if let Some(plan) = self.engine.faults() {
+                key = key.field("faults", plan);
+            }
+            key.finish()
+        });
+        KeyBuilder::new("tuning-env/v1")
+            .field("env", &fp.hex())
+            .field("config", config)
+            .field("seed", &self.next_seed)
+            .finish()
+    }
+
+    /// Runs the retry loop live against the engine.
+    fn evaluate_live(&mut self, config: &MemoryConfig) -> (Observation, Profile) {
         let mut retries = 0u32;
         let (result, profile) = loop {
             let (result, profile) = self.run_attempt(config);
@@ -315,6 +419,39 @@ impl TuningEnv {
         };
         self.history.push(obs.clone());
         (obs, profile)
+    }
+
+    /// Replays a memoized evaluation: identical session state transitions
+    /// (seed chain, retry time, penalty baseline, history) and identical
+    /// counters (via the stored deltas) — without touching the engine.
+    fn replay_cached(
+        &mut self,
+        config: &MemoryConfig,
+        cached: &CachedEval,
+    ) -> (Observation, Profile) {
+        // One seed-chain step per attempt, exactly as `run_attempt` would
+        // have advanced it.
+        for _ in 0..=cached.retries {
+            self.next_seed = self.next_seed.wrapping_add(0x9E37).wrapping_mul(3) | 1;
+        }
+        self.retry_time += cached.retry_time;
+        for (name, delta) in &cached.counters {
+            self.obs.add(name, *delta);
+        }
+        // Scores are session state, not evaluation state: re-derive against
+        // the *current* worst-runtime baseline. `env.abort_penalties` was
+        // already replayed through the deltas, so the silent scorer is the
+        // right one here.
+        let score = self.score_value(&cached.result);
+        self.obs.record("env.score_mins", score);
+        let obs = Observation {
+            config: *config,
+            result: cached.result.clone(),
+            score_mins: score,
+            retries: cached.retries,
+        };
+        self.history.push(obs.clone());
+        (obs, cached.profile.clone())
     }
 
     /// All evaluations so far, in order.

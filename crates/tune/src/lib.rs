@@ -14,6 +14,7 @@
 //!   [`RandomSearch`] baselines. RelM, BO/GBO, and DDPG live in their own
 //!   crates.
 
+pub mod cache;
 pub mod env;
 pub mod export;
 pub mod policies;
@@ -21,6 +22,7 @@ pub mod rrs;
 pub mod space;
 pub mod tuner;
 
+pub use cache::{CachedEval, EvalStore};
 pub use env::{Observation, RetryPolicy, TuningEnv, ABORT_PENALTY_FACTOR};
 pub use export::{
     session_export, to_spark_defaults_conf, to_spark_properties, SessionCheckpoint, SessionExport,

@@ -10,6 +10,9 @@ cargo fmt --all --check
 echo "== cargo clippy (-D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc (-D warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== cargo build --release =="
 cargo build --workspace --release
 
@@ -17,18 +20,42 @@ echo "== cargo test =="
 cargo test --workspace --release -q
 
 echo "== deterministic replay smoke test =="
-# The fault sweep writes only simulated quantities, so two runs of the same
-# build must produce byte-identical JSONL. A diff here means something
-# non-deterministic (wall clock, hash order, global RNG) leaked into the
-# tuning pipeline.
+# The fault sweep writes only simulated quantities, so the same build must
+# produce byte-identical JSONL on every run — including across worker
+# counts, since the sharded runner merges results in cell-index order. A
+# diff here means something non-deterministic (wall clock, hash order,
+# global RNG, merge order) leaked into the tuning pipeline.
 replay_dir="$(mktemp -d)"
 trap 'rm -rf "$replay_dir"' EXIT
-cargo run --release -q -p relm-experiments --bin fig05_fault_sweep >/dev/null
+cargo run --release -q -p relm-experiments --bin fig05_fault_sweep -- \
+  --no-cache --workers 1 >/dev/null
 cp results/fig05_fault_sweep.jsonl "$replay_dir/first.jsonl"
-cargo run --release -q -p relm-experiments --bin fig05_fault_sweep >/dev/null
+cargo run --release -q -p relm-experiments --bin fig05_fault_sweep -- \
+  --no-cache --workers 8 >/dev/null
 diff "$replay_dir/first.jsonl" results/fig05_fault_sweep.jsonl \
-  || { echo "replay smoke test FAILED: sweep output differs between runs" >&2; exit 1; }
-echo "replay OK: results/fig05_fault_sweep.jsonl is byte-identical across runs"
+  || { echo "replay smoke test FAILED: sweep output depends on worker count" >&2; exit 1; }
+echo "replay OK: results/fig05_fault_sweep.jsonl is byte-identical across 1/8 workers"
+
+echo "== evalcache smoke test =="
+# A cold run populates a fresh persistent cache; a warm rerun must replay
+# from it (nonzero hits, zero misses) and still produce the byte-identical
+# output file. This is the cache's end-to-end contract: memoization is
+# invisible in the results.
+cache_dir="$(mktemp -d)"
+trap 'rm -rf "$replay_dir" "$cache_dir"' EXIT
+cargo run --release -q -p relm-experiments --bin fig05_fault_sweep -- \
+  --cache-file "$cache_dir/cache.jsonl" --workers 8 >/dev/null
+cp results/fig05_fault_sweep.jsonl "$cache_dir/cold.jsonl"
+warm_out="$(cargo run --release -q -p relm-experiments --bin fig05_fault_sweep -- \
+  --cache-file "$cache_dir/cache.jsonl" --workers 8)"
+diff "$cache_dir/cold.jsonl" results/fig05_fault_sweep.jsonl \
+  || { echo "evalcache smoke test FAILED: warm-cache output differs from cold" >&2; exit 1; }
+warm_hits="$(printf '%s\n' "$warm_out" | sed -n 's/^evalcache: hits=\([0-9]*\).*/\1/p')"
+[ -n "$warm_hits" ] && [ "$warm_hits" -gt 0 ] \
+  || { echo "evalcache smoke test FAILED: warm run reported no cache hits" >&2; exit 1; }
+printf '%s\n' "$warm_out" | grep -q 'evalcache: hits=[0-9]* misses=0 ' \
+  || { echo "evalcache smoke test FAILED: warm run still missed the cache" >&2; exit 1; }
+echo "evalcache OK: warm rerun replayed $warm_hits evaluations with byte-identical output"
 
 echo "== serve smoke test =="
 # Start the tuning service, drive a fleet of concurrent sessions through
@@ -39,7 +66,7 @@ echo "== serve smoke test =="
 # (serve_load reconciles the drain report against the obs counters and
 # aborts on any mismatch).
 serve_dir="$(mktemp -d)"
-trap 'rm -rf "$replay_dir" "$serve_dir"' EXIT
+trap 'rm -rf "$replay_dir" "$cache_dir" "$serve_dir"' EXIT
 cargo run --release -q -p relm-experiments --bin serve_load -- \
   --workers 1 --clients 1 --sessions 12 --steps 4 --guided 2 \
   --out "$serve_dir/serial.jsonl" --checkpoint-dir "$serve_dir/ckpt1"
@@ -58,17 +85,18 @@ echo "== surrogate perf smoke test =="
 # equivalence suite proves incremental refits and threaded scoring are
 # bit-identical to the serial from-scratch path, and the convergence
 # driver must emit byte-identical JSONL whether EI candidates are scored
-# on 1 thread or 8.
+# on 1 thread or 8 — and whether its (policy, rep) cells run on 1 worker
+# or 8.
 cargo test --release -q -p relm-surrogate -p relm-bo >/dev/null \
   || { echo "surrogate smoke test FAILED: equivalence suite" >&2; exit 1; }
 surrogate_dir="$(mktemp -d)"
-trap 'rm -rf "$replay_dir" "$serve_dir" "$surrogate_dir"' EXIT
+trap 'rm -rf "$replay_dir" "$cache_dir" "$serve_dir" "$surrogate_dir"' EXIT
 cargo run --release -q -p relm-experiments --bin fig20_convergence -- \
-  --scoring-threads 1 --out "$surrogate_dir/t1.jsonl" >/dev/null
+  --scoring-threads 1 --workers 1 --out "$surrogate_dir/t1.jsonl" >/dev/null
 cargo run --release -q -p relm-experiments --bin fig20_convergence -- \
-  --scoring-threads 8 --out "$surrogate_dir/t8.jsonl" >/dev/null
+  --scoring-threads 8 --workers 8 --out "$surrogate_dir/t8.jsonl" >/dev/null
 diff "$surrogate_dir/t1.jsonl" "$surrogate_dir/t8.jsonl" \
-  || { echo "surrogate smoke test FAILED: convergence depends on scoring threads" >&2; exit 1; }
-echo "surrogate OK: fig20 convergence byte-identical across 1/8 scoring threads"
+  || { echo "surrogate smoke test FAILED: convergence depends on threads/workers" >&2; exit 1; }
+echo "surrogate OK: fig20 convergence byte-identical across 1/8 scoring threads and workers"
 
 echo "All checks passed."
