@@ -5,7 +5,19 @@
 //! ```text
 //! serve_load [--workers N] [--sessions N] [--steps N] [--guided N]
 //!            [--clients N] [--out PATH] [--checkpoint-dir PATH]
+//!            [--scrape] [--flightrec-dir PATH]
 //! ```
+//!
+//! `--scrape` starts a scraper thread that hammers the `Metrics` endpoint
+//! over its own TCP connection for the whole run and verifies every
+//! response is internally consistent *mid-load*: the Prometheus text
+//! parses back to exactly the structured snapshot it shipped with,
+//! counters never move backwards between scrapes, and the
+//! scrape-ordering invariants hold (`serve.slo.evaluations >=
+//! serve.evaluations`, evaluate-histogram count `>= serve.evaluations`).
+//! After the drain, one final scrape must reconcile **exactly** against
+//! the drain report. `--flightrec-dir` enables the flight recorder; the
+//! binary then checks the drain froze one readable dump per session.
 //!
 //! `--guided N` appends N GP-proposed evaluations per session after the
 //! sampled bootstrap (`StepGuided`): the client joins the session so the
@@ -30,12 +42,13 @@
 
 use relm_experiments::results_dir;
 use relm_faults::FaultConfig;
-use relm_obs::Obs;
+use relm_obs::{parse_prometheus, read_dump, MetricsSnapshot, Obs};
 use relm_serve::{Request, Response, ServeConfig, Service, SessionSpec, TcpClient, TcpServer};
 use relm_tune::Observation;
 use serde::{Deserialize, Serialize};
 use std::io::Write;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -71,6 +84,8 @@ struct Args {
     clients: usize,
     out: Option<PathBuf>,
     checkpoint_dir: Option<PathBuf>,
+    scrape: bool,
+    flightrec_dir: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -82,6 +97,8 @@ fn parse_args() -> Args {
         clients: 4,
         out: None,
         checkpoint_dir: None,
+        scrape: false,
+        flightrec_dir: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -97,6 +114,8 @@ fn parse_args() -> Args {
             "--clients" => args.clients = value().parse().expect("--clients"),
             "--out" => args.out = Some(PathBuf::from(value())),
             "--checkpoint-dir" => args.checkpoint_dir = Some(PathBuf::from(value())),
+            "--scrape" => args.scrape = true,
+            "--flightrec-dir" => args.flightrec_dir = Some(PathBuf::from(value())),
             other => panic!("unknown flag {other}"),
         }
     }
@@ -208,8 +227,85 @@ fn drive_client(
             }
             other => panic!("result rejected: {other:?}"),
         }
+        // Live cost attribution must agree with the settled history: the
+        // session did real (simulated) work, waited a non-negative time
+        // in queue, and — with no cache configured — replayed nothing.
+        match conn
+            .request(&Request::Status {
+                session: name.clone(),
+            })
+            .expect("status request")
+        {
+            Response::Status(status) => {
+                let record = records.last().expect("status follows result");
+                assert_eq!(status.completed, record.evaluations, "status drift");
+                assert_eq!(status.censored, record.censored, "censoring drift");
+                assert!(
+                    status.stress_time_ms > 0.0,
+                    "stress time must accrue: {status:?}"
+                );
+                assert!(status.queue_wait_ms >= 0.0);
+                assert_eq!(status.evalcache_hits, 0, "no cache configured");
+            }
+            other => panic!("status rejected: {other:?}"),
+        }
     }
     records
+}
+
+fn counter_of(snapshot: &MetricsSnapshot, name: &str) -> Option<f64> {
+    snapshot
+        .counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| *v)
+}
+
+/// Scrapes `Metrics` over one response-checked connection, verifying
+/// every scrape's internal consistency, until `stop` flips. Returns the
+/// scrape count and the eval counter seen on the last scrape.
+fn scrape_loop(addr: std::net::SocketAddr, stop: &AtomicBool) -> (usize, f64) {
+    let mut conn = TcpClient::connect(addr).expect("connect scraper");
+    let mut scrapes = 0usize;
+    let mut last_evals = 0.0f64;
+    loop {
+        let done = stop.load(Ordering::Relaxed);
+        let (snapshot, expo) = match conn.request(&Request::Metrics).expect("metrics request") {
+            Response::Metrics { snapshot, expo } => (snapshot, expo),
+            other => panic!("metrics rejected: {other:?}"),
+        };
+        // The text half is a faithful projection of the structured half.
+        assert_eq!(
+            parse_prometheus(&expo).expect("exposition parses"),
+            snapshot,
+            "Prometheus text diverged from the JSON snapshot"
+        );
+        let evals = counter_of(&snapshot, "serve.evaluations").unwrap_or(0.0);
+        assert!(
+            evals >= last_evals,
+            "serve.evaluations went backwards: {last_evals} -> {evals}"
+        );
+        last_evals = evals;
+        if evals > 0.0 {
+            // Write ordering (histogram, then SLO tracker, then the
+            // cumulative counter) + name-sorted read order make these
+            // hold in *every* scrape, including mid-evaluation ones.
+            let slo = counter_of(&snapshot, "serve.slo.evaluations")
+                .expect("slo counter present once evals ran");
+            assert!(slo >= evals, "slo counter behind: {slo} < {evals}");
+            let hist = snapshot
+                .histograms
+                .iter()
+                .find(|h| h.name == "serve.evaluate_ms")
+                .expect("evaluate histogram present once evals ran");
+            assert!(hist.count as f64 >= evals, "histogram behind the counter");
+        }
+        scrapes += 1;
+        if done {
+            return (scrapes, last_evals);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
 }
 
 fn main() {
@@ -222,12 +318,21 @@ fn main() {
             session_queue_limit: args.steps.max(args.guided) as usize,
             global_queue_limit: (args.steps as usize) * (args.sessions as usize).min(64),
             checkpoint_dir: args.checkpoint_dir.clone(),
+            flightrec_dir: args.flightrec_dir.clone(),
             ..ServeConfig::default()
         },
         obs.clone(),
     ));
     let server = TcpServer::start(Arc::clone(&service), "127.0.0.1:0").expect("bind frontend");
     let addr = server.addr();
+
+    // The concurrent scraper: proves the metrics plane is consistent
+    // *while* the load runs, not just at the end.
+    let scrape_stop = Arc::new(AtomicBool::new(false));
+    let scraper = args.scrape.then(|| {
+        let stop = Arc::clone(&scrape_stop);
+        std::thread::spawn(move || scrape_loop(addr, &stop))
+    });
 
     let started = Instant::now();
     let threads: Vec<_> = (0..args.clients)
@@ -246,15 +351,18 @@ fn main() {
 
     // Graceful shutdown: every session checkpointed, nothing in flight.
     let mut admin = TcpClient::connect(addr).expect("connect admin client");
-    let (drained_sessions, drained_evals, checkpointed) =
+    let (drained_sessions, drained_evals, checkpointed, flight_dumped) =
         match admin.request(&Request::Drain).expect("drain request") {
             Response::Drained {
                 sessions,
                 evaluations,
                 checkpointed,
-            } => (sessions, evaluations, checkpointed),
+                flight_dumped,
+            } => (sessions, evaluations, checkpointed, flight_dumped),
             other => panic!("drain rejected: {other:?}"),
         };
+    scrape_stop.store(true, Ordering::Relaxed);
+    let scrapes = scraper.map(|t| t.join().expect("scraper panicked"));
 
     // Reconciliation: the protocol-level tallies, the drain report, and
     // the observability counters must all agree exactly.
@@ -272,6 +380,70 @@ fn main() {
     );
     if args.checkpoint_dir.is_some() {
         assert_eq!(checkpointed, args.sessions as usize, "missing checkpoints");
+    }
+
+    // Final scrape: now that the service is quiescent, the live metrics
+    // plane must reconcile *exactly* against the drain report.
+    let final_snapshot = match admin.request(&Request::Metrics).expect("final scrape") {
+        Response::Metrics { snapshot, expo } => {
+            assert_eq!(
+                parse_prometheus(&expo).expect("final exposition parses"),
+                snapshot
+            );
+            snapshot
+        }
+        other => panic!("final scrape rejected: {other:?}"),
+    };
+    let final_counter = |name: &str| {
+        counter_of(&final_snapshot, name)
+            .unwrap_or_else(|| panic!("{name} missing from final scrape"))
+    };
+    assert_eq!(final_counter("serve.evaluations"), drained_evals as f64);
+    assert_eq!(
+        final_counter("serve.slo.evaluations"),
+        drained_evals as f64,
+        "SLO tracker out of step with the drain report"
+    );
+    let final_hist = final_snapshot
+        .histograms
+        .iter()
+        .find(|h| h.name == "serve.evaluate_ms")
+        .expect("evaluate histogram in final scrape");
+    assert_eq!(final_hist.count as usize, drained_evals);
+    if let Some((scrapes, last_seen)) = scrapes {
+        assert!(scrapes > 0, "scraper never ran");
+        assert_eq!(
+            last_seen, drained_evals as f64,
+            "scraper's post-drain view disagrees with the drain report"
+        );
+    }
+
+    // Flight recorder: the drain froze one readable, checksummed dump per
+    // session, and the dump counter reconciles with the files on disk.
+    if let Some(dir) = &args.flightrec_dir {
+        assert_eq!(flight_dumped, args.sessions as usize, "missed drain dumps");
+        let dumps: Vec<PathBuf> = std::fs::read_dir(dir)
+            .expect("flightrec dir")
+            .map(|e| e.expect("flightrec entry").path())
+            .filter(|p| p.to_string_lossy().ends_with(".flight.json"))
+            .collect();
+        assert_eq!(
+            dumps.len() as f64,
+            obs.counter_value("serve.flightrec.dumps"),
+            "dump files on disk disagree with the dump counter"
+        );
+        assert_eq!(obs.counter_value("serve.flightrec.errors"), 0.0);
+        let drain_dumps = dumps
+            .iter()
+            .filter(|p| p.to_string_lossy().contains("-drain-"))
+            .count();
+        assert_eq!(drain_dumps, args.sessions as usize, "one drain dump each");
+        for path in &dumps {
+            let dump = read_dump(path).expect("every dump parses and verifies");
+            assert!(!dump.events.is_empty(), "empty flight dump {path:?}");
+        }
+    } else {
+        assert_eq!(flight_dumped, 0, "dumps without a flightrec dir");
     }
 
     // Histories to JSONL — deterministic, wall-clock free.
@@ -316,5 +488,12 @@ fn main() {
         obs.counter_value("serve.rejected.malformed"),
         obs.counter_value("serve.rejected.oversized"),
     );
+    if let Some((scrapes, _)) = scrapes {
+        println!(
+            "scraper: {scrapes} consistent scrapes, flight dumps: {} ({} on drain)",
+            obs.counter_value("serve.flightrec.dumps"),
+            flight_dumped,
+        );
+    }
     println!("wrote {}", out.display());
 }

@@ -1,0 +1,399 @@
+//! Metrics exposition: a spans-free snapshot plus a Prometheus-style text
+//! rendering of it.
+//!
+//! The serving layer answers a `Metrics` request with one
+//! [`MetricsSnapshot`] captured under the registry locks and ships it in
+//! two forms — the structured JSON half and [`render_prometheus`] applied
+//! to *the same capture* — so the two halves of a reply can never
+//! disagree. [`parse_prometheus`] inverts the rendering exactly
+//! (`parse_prometheus(&render_prometheus(&s)) == Ok(s)`), which the
+//! proptest in `tests/expo_roundtrip.rs` pins; scrapers therefore lose
+//! nothing by consuming the text form.
+//!
+//! Metric names here are dotted (`serve.evaluate_ms`), which Prometheus
+//! identifiers do not allow, so every sample carries the original name in
+//! a `name="…"` label and uses a sanitized identifier (`relm_` prefix,
+//! non-identifier bytes mapped to `_`) for the line itself. The lone bare
+//! line is `relm_dropped_spans`, a reserved series for ring-buffer
+//! overwrites.
+
+use crate::metrics::HistogramSummary;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Point-in-time metric values: everything in [`crate::Snapshot`] except
+/// the span ring. Small enough to ship on every scrape.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Name-sorted `(name, value)` counter pairs.
+    pub counters: Vec<(String, f64)>,
+    /// Name-sorted `(name, value)` gauge pairs.
+    pub gauges: Vec<(String, f64)>,
+    /// Name-sorted histogram readouts.
+    pub histograms: Vec<HistogramSummary>,
+    /// Spans lost to ring-buffer overwrites.
+    pub dropped_spans: u64,
+}
+
+/// Maps a dotted metric name to a Prometheus identifier: `relm_` prefix,
+/// every byte outside `[A-Za-z0-9_]` becomes `_`.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("relm_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    let mut chars = value.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Renders `f64` so that `str::parse::<f64>` recovers the exact bits:
+/// Rust's shortest-round-trip `Display`, with an explicit spelling for
+/// the infinities Prometheus writes as `+Inf`/`-Inf`.
+fn render_value(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn parse_value(s: &str) -> Result<f64, String> {
+    match s {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        other => other
+            .parse::<f64>()
+            .map_err(|e| format!("bad sample value {other:?}: {e}")),
+    }
+}
+
+/// Renders the snapshot in the Prometheus text exposition format.
+/// Deterministic: same snapshot, same bytes.
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let id = sanitize(name);
+        let _ = writeln!(out, "# TYPE {id} counter");
+        let _ = writeln!(
+            out,
+            "{id}{{name=\"{}\"}} {}",
+            escape_label(name),
+            render_value(*value)
+        );
+    }
+    for (name, value) in &snapshot.gauges {
+        let id = sanitize(name);
+        let _ = writeln!(out, "# TYPE {id} gauge");
+        let _ = writeln!(
+            out,
+            "{id}{{name=\"{}\"}} {}",
+            escape_label(name),
+            render_value(*value)
+        );
+    }
+    for h in &snapshot.histograms {
+        let id = sanitize(&h.name);
+        let label = escape_label(&h.name);
+        let _ = writeln!(out, "# TYPE {id} summary");
+        for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
+            let _ = writeln!(
+                out,
+                "{id}{{name=\"{label}\",quantile=\"{q}\"}} {}",
+                render_value(v)
+            );
+        }
+        let _ = writeln!(out, "{id}_sum{{name=\"{label}\"}} {}", render_value(h.sum));
+        let _ = writeln!(out, "{id}_count{{name=\"{label}\"}} {}", h.count);
+        // Not part of the standard summary shape, but required for the
+        // lossless parse-back guarantee.
+        let _ = writeln!(out, "{id}_min{{name=\"{label}\"}} {}", render_value(h.min));
+        let _ = writeln!(out, "{id}_max{{name=\"{label}\"}} {}", render_value(h.max));
+    }
+    let _ = writeln!(out, "# TYPE relm_dropped_spans counter");
+    let _ = writeln!(out, "relm_dropped_spans {}", snapshot.dropped_spans);
+    out
+}
+
+/// One parsed sample line: identifier, labels, value.
+struct Sample {
+    id: String,
+    name_label: Option<String>,
+    quantile: Option<String>,
+    value: f64,
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (head, value_text) = match line.find('{') {
+        Some(_) => {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| format!("unclosed label set: {line:?}"))?;
+            (&line[..close + 1], line[close + 1..].trim())
+        }
+        None => {
+            let sp = line
+                .find(' ')
+                .ok_or_else(|| format!("sample without value: {line:?}"))?;
+            (&line[..sp], line[sp + 1..].trim())
+        }
+    };
+    let (id, labels) = match head.find('{') {
+        Some(brace) => (&head[..brace], &head[brace + 1..head.len() - 1]),
+        None => (head, ""),
+    };
+    let mut name_label = None;
+    let mut quantile = None;
+    let mut rest = labels;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("malformed label in {line:?}"))?;
+        let key = &rest[..eq];
+        let after = &rest[eq + 1..];
+        if !after.starts_with('"') {
+            return Err(format!("unquoted label value in {line:?}"));
+        }
+        // Find the closing quote, honouring backslash escapes.
+        let bytes = after.as_bytes();
+        let mut i = 1;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => break,
+                _ => i += 1,
+            }
+        }
+        if i >= bytes.len() {
+            return Err(format!("unterminated label value in {line:?}"));
+        }
+        let raw = &after[1..i];
+        match key {
+            "name" => name_label = Some(unescape_label(raw)),
+            "quantile" => quantile = Some(raw.to_string()),
+            other => return Err(format!("unexpected label {other:?} in {line:?}")),
+        }
+        rest = after[i + 1..].trim_start_matches(',');
+    }
+    Ok(Sample {
+        id: id.to_string(),
+        name_label,
+        quantile,
+        value: parse_value(value_text)?,
+    })
+}
+
+/// Parses text produced by [`render_prometheus`] back into the snapshot
+/// it was rendered from. Rejects anything it does not understand — this
+/// is a verifier for our own exposition, not a general Prometheus parser.
+pub fn parse_prometheus(text: &str) -> Result<MetricsSnapshot, String> {
+    let mut snapshot = MetricsSnapshot::default();
+    // Current `# TYPE` context: (identifier, kind).
+    let mut context: Option<(String, String)> = None;
+    // Histogram under assembly, completed when its `_max` sample arrives.
+    let mut partial: Option<HistogramSummary> = None;
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let id = parts
+                .next()
+                .ok_or_else(|| format!("malformed TYPE line: {line:?}"))?;
+            let kind = parts
+                .next()
+                .ok_or_else(|| format!("malformed TYPE line: {line:?}"))?;
+            if let Some(h) = partial.take() {
+                return Err(format!("incomplete summary for {:?}", h.name));
+            }
+            context = Some((id.to_string(), kind.to_string()));
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let sample = parse_sample(line)?;
+        let (ctx_id, kind) = context
+            .as_ref()
+            .ok_or_else(|| format!("sample before any TYPE line: {line:?}"))?;
+        if sample.id == "relm_dropped_spans" && sample.name_label.is_none() {
+            snapshot.dropped_spans = sample.value as u64;
+            continue;
+        }
+        match kind.as_str() {
+            "counter" | "gauge" => {
+                if sample.id != *ctx_id {
+                    return Err(format!("sample {:?} outside its TYPE block", sample.id));
+                }
+                let name = sample
+                    .name_label
+                    .ok_or_else(|| format!("missing name label: {line:?}"))?;
+                let target = if kind == "counter" {
+                    &mut snapshot.counters
+                } else {
+                    &mut snapshot.gauges
+                };
+                target.push((name, sample.value));
+            }
+            "summary" => {
+                let name = sample
+                    .name_label
+                    .ok_or_else(|| format!("missing name label: {line:?}"))?;
+                let h = partial.get_or_insert_with(|| HistogramSummary {
+                    name: name.clone(),
+                    count: 0,
+                    sum: 0.0,
+                    min: 0.0,
+                    max: 0.0,
+                    p50: 0.0,
+                    p95: 0.0,
+                    p99: 0.0,
+                });
+                if h.name != name {
+                    return Err(format!("summary name changed mid-block: {line:?}"));
+                }
+                if let Some(q) = &sample.quantile {
+                    match q.as_str() {
+                        "0.5" => h.p50 = sample.value,
+                        "0.95" => h.p95 = sample.value,
+                        "0.99" => h.p99 = sample.value,
+                        other => return Err(format!("unexpected quantile {other:?}")),
+                    }
+                } else if sample.id == format!("{ctx_id}_sum") {
+                    h.sum = sample.value;
+                } else if sample.id == format!("{ctx_id}_count") {
+                    h.count = sample.value as u64;
+                } else if sample.id == format!("{ctx_id}_min") {
+                    h.min = sample.value;
+                } else if sample.id == format!("{ctx_id}_max") {
+                    h.max = sample.value;
+                    snapshot
+                        .histograms
+                        .push(partial.take().expect("summary under assembly"));
+                } else {
+                    return Err(format!("unexpected summary sample: {line:?}"));
+                }
+            }
+            other => return Err(format!("unsupported TYPE {other:?}")),
+        }
+    }
+    if let Some(h) = partial {
+        return Err(format!("incomplete summary for {:?}", h.name));
+    }
+    Ok(snapshot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: vec![
+                ("serve.enqueued".into(), 12.0),
+                ("serve.evaluations".into(), 12.0),
+            ],
+            gauges: vec![("serve.queue_depth".into(), 3.0)],
+            histograms: vec![HistogramSummary {
+                name: "serve.evaluate_ms".into(),
+                count: 12,
+                sum: 101.25,
+                min: 0.5,
+                max: 30.0,
+                p50: 7.5,
+                p95: 28.0,
+                p99: 30.0,
+            }],
+            dropped_spans: 2,
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let snap = sample();
+        let text = render_prometheus(&snap);
+        assert_eq!(parse_prometheus(&text), Ok(snap));
+    }
+
+    #[test]
+    fn rendering_is_deterministic_and_labelled() {
+        let snap = sample();
+        assert_eq!(render_prometheus(&snap), render_prometheus(&snap));
+        let text = render_prometheus(&snap);
+        assert!(text.contains("# TYPE relm_serve_enqueued counter"));
+        assert!(text.contains("relm_serve_enqueued{name=\"serve.enqueued\"} 12"));
+        assert!(text
+            .contains("relm_serve_evaluate_ms{name=\"serve.evaluate_ms\",quantile=\"0.99\"} 30"));
+        assert!(text.contains("relm_dropped_spans 2"));
+    }
+
+    #[test]
+    fn awkward_values_survive() {
+        let snap = MetricsSnapshot {
+            counters: vec![("odd\"name\\with.stuff".into(), 0.1 + 0.2)],
+            gauges: vec![("g".into(), f64::INFINITY), ("h".into(), -0.0)],
+            histograms: vec![],
+            dropped_spans: 0,
+        };
+        let back = parse_prometheus(&render_prometheus(&snap)).unwrap();
+        assert_eq!(back.counters[0].0, "odd\"name\\with.stuff");
+        assert_eq!(back.counters[0].1.to_bits(), (0.1f64 + 0.2).to_bits());
+        assert_eq!(back.gauges[0].1, f64::INFINITY);
+        assert_eq!(back.gauges[1].1.to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_prometheus("relm_x 1").is_err()); // sample before TYPE
+        assert!(parse_prometheus("# TYPE relm_x counter\nrelm_x{name=\"x\" 1").is_err());
+        assert!(
+            parse_prometheus("# TYPE relm_x summary\nrelm_x{name=\"x\",quantile=\"0.5\"} 1")
+                .is_err()
+        ); // incomplete summary
+        assert!(parse_prometheus("# TYPE relm_x widget\nrelm_x{name=\"x\"} 1").is_err());
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = MetricsSnapshot::default();
+        assert_eq!(parse_prometheus(&render_prometheus(&snap)), Ok(snap));
+    }
+}

@@ -34,16 +34,26 @@
 //! println!("{}", relm_obs::summary_table(&snapshot));
 //! ```
 
+mod expo;
+mod flightrec;
 mod metrics;
 mod sink;
 mod span;
+pub mod trace;
+mod window;
 
+pub use expo::{parse_prometheus, render_prometheus, MetricsSnapshot};
+pub use flightrec::{
+    read_dump, save_dump, FlightDump, FlightEvent, FlightRecorder, DEFAULT_FLIGHT_CAPACITY,
+    FLIGHTREC_VERSION,
+};
 pub use metrics::{
     bucket_edges, Counter, Gauge, Histogram, HistogramSummary, Registry, MAX_EXP, MIN_EXP,
     SUB_BUCKETS,
 };
 pub use sink::{events, read_jsonl, summary_table, write_jsonl, write_jsonl_file, Event};
 pub use span::{FieldValue, SpanGuard, SpanRecord, SpanRing};
+pub use window::{WindowedCounter, WindowedHistogram, DEFAULT_WINDOW_EPOCHS};
 
 use serde::{Deserialize, Serialize};
 use std::path::Path;
@@ -106,6 +116,26 @@ impl Obs {
     /// attached with [`SpanGuard::set`] / [`SpanGuard::with`].
     pub fn span(&self, name: &str) -> SpanGuard {
         span::begin_span(self.inner.as_ref().map(|i| &i.tracer), name)
+    }
+
+    /// Opens a span whose start time is back-dated to `start_us` (a value
+    /// previously read from [`Obs::now_us`]). This is how one span covers
+    /// an interval that began on another thread — e.g. queue wait, opened
+    /// by the worker at dequeue but stamped from the enqueue timestamp
+    /// carried with the work item.
+    pub fn span_at(&self, name: &str, start_us: u64) -> SpanGuard {
+        let mut guard = self.span(name);
+        guard.set_start_us(start_us);
+        guard
+    }
+
+    /// Microseconds since this handle was created (0 when disabled) — the
+    /// clock every span start/end is stamped on.
+    pub fn now_us(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.tracer.now_us(),
+            None => 0,
+        }
     }
 
     /// Increments the named counter by 1.
@@ -181,6 +211,26 @@ impl Obs {
                     histograms: inner.registry.histogram_summaries(),
                 }
             }
+        }
+    }
+
+    /// Captures the current metric values without the span ring — the
+    /// cheap, scrape-friendly subset of [`Obs::snapshot`] that the serve
+    /// `Metrics` endpoint ships (as JSON and via [`render_prometheus`]).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        match &self.inner {
+            None => MetricsSnapshot::default(),
+            Some(inner) => MetricsSnapshot {
+                counters: inner.registry.counter_values(),
+                gauges: inner.registry.gauge_values(),
+                histograms: inner.registry.histogram_summaries(),
+                dropped_spans: inner
+                    .tracer
+                    .ring
+                    .lock()
+                    .expect("span ring poisoned")
+                    .dropped(),
+            },
         }
     }
 

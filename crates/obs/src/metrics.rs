@@ -69,10 +69,10 @@ pub const MIN_EXP: i32 = -20;
 /// bucket.
 pub const MAX_EXP: i32 = 43;
 const OCTAVES: usize = (MAX_EXP - MIN_EXP + 1) as usize;
-const BUCKETS: usize = OCTAVES * SUB_BUCKETS;
+pub(crate) const BUCKETS: usize = OCTAVES * SUB_BUCKETS;
 
 /// Maps a positive finite value to its log-linear bucket index.
-fn bucket_index(value: f64) -> usize {
+pub(crate) fn bucket_index(value: f64) -> usize {
     debug_assert!(value > 0.0 && value.is_finite());
     let bits = value.to_bits();
     let exp = ((bits >> 52) & 0x7ff) as i32 - 1023;
@@ -99,7 +99,7 @@ pub fn bucket_edges(value: f64) -> (f64, f64) {
 }
 
 /// Representative value reported for a bucket (its midpoint).
-fn bucket_midpoint(index: usize) -> f64 {
+pub(crate) fn bucket_midpoint(index: usize) -> f64 {
     let exp = MIN_EXP + (index / SUB_BUCKETS) as i32;
     let sub = (index % SUB_BUCKETS) as f64;
     (exp as f64).exp2() * (1.0 + (sub + 0.5) / SUB_BUCKETS as f64)

@@ -57,21 +57,56 @@ pub fn events(snapshot: &Snapshot) -> Vec<Event> {
     out
 }
 
-/// Writes the snapshot as JSON Lines.
-pub fn write_jsonl<W: Write>(mut w: W, snapshot: &Snapshot) -> io::Result<()> {
-    for event in events(snapshot) {
-        let line = serde_json::to_string(&event).map_err(|e| io::Error::other(e.to_string()))?;
-        writeln!(w, "{line}")?;
+/// Writes the snapshot as JSON Lines, streaming one event at a time
+/// through a `BufWriter` — peak extra memory is one serialized line, not
+/// a materialized copy of the whole snapshot, so full-ring snapshots
+/// (tens of thousands of spans) export without doubling their footprint.
+/// The line stream is identical to serializing [`events`].
+pub fn write_jsonl<W: Write>(w: W, snapshot: &Snapshot) -> io::Result<()> {
+    let mut w = io::BufWriter::new(w);
+    let emit = |w: &mut io::BufWriter<W>, event: &Event| -> io::Result<()> {
+        let line = serde_json::to_string(event).map_err(|e| io::Error::other(e.to_string()))?;
+        writeln!(w, "{line}")
+    };
+    for span in &snapshot.spans {
+        emit(&mut w, &Event::Span(span.clone()))?;
     }
-    Ok(())
+    if snapshot.dropped_spans > 0 {
+        emit(
+            &mut w,
+            &Event::DroppedSpans {
+                count: snapshot.dropped_spans,
+            },
+        )?;
+    }
+    for (name, value) in &snapshot.counters {
+        emit(
+            &mut w,
+            &Event::Counter {
+                name: name.clone(),
+                value: *value,
+            },
+        )?;
+    }
+    for (name, value) in &snapshot.gauges {
+        emit(
+            &mut w,
+            &Event::Gauge {
+                name: name.clone(),
+                value: *value,
+            },
+        )?;
+    }
+    for h in &snapshot.histograms {
+        emit(&mut w, &Event::Histogram(h.clone()))?;
+    }
+    w.flush()
 }
 
 /// Writes the snapshot as JSON Lines to `path` (truncating).
 pub fn write_jsonl_file(path: impl AsRef<Path>, snapshot: &Snapshot) -> io::Result<()> {
     let file = std::fs::File::create(path)?;
-    let mut buf = io::BufWriter::new(file);
-    write_jsonl(&mut buf, snapshot)?;
-    buf.flush()
+    write_jsonl(file, snapshot)
 }
 
 /// Parses a JSONL telemetry stream back into events. Blank lines are
@@ -142,6 +177,7 @@ mod tests {
             spans: vec![SpanRecord {
                 id: 1,
                 parent: None,
+                trace: Some(11),
                 name: "engine.run".into(),
                 start_us: 10,
                 end_us: 900,
@@ -191,5 +227,30 @@ mod tests {
     fn read_rejects_garbage() {
         assert!(read_jsonl("{\"NotAnEvent\":1}").is_err());
         assert!(read_jsonl("not json").is_err());
+    }
+
+    /// Regression for the satellite fix: `write_jsonl` must stream — the
+    /// line stream for a ring-sized snapshot has to match the event list
+    /// exactly without materializing it. (The old implementation cloned
+    /// every span into a `Vec<Event>` up front.)
+    #[test]
+    fn large_snapshot_streams_exactly() {
+        let mut snapshot = sample_snapshot();
+        let template = snapshot.spans[0].clone();
+        snapshot.spans = (0..50_000)
+            .map(|i| {
+                let mut s = template.clone();
+                s.id = i;
+                s.trace = Some(i | 1);
+                s
+            })
+            .collect();
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &snapshot).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // 50k spans + DroppedSpans + counter + gauge + histogram.
+        assert_eq!(text.lines().count(), 50_004);
+        let events_back = read_jsonl(&text).unwrap();
+        assert_eq!(events_back, events(&snapshot));
     }
 }

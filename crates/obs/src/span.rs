@@ -71,6 +71,13 @@ pub struct SpanRecord {
     /// Id of the span that was open on the same thread when this one
     /// started, if any.
     pub parent: Option<u64>,
+    /// Request-scoped trace id (see [`crate::trace`]), inherited from the
+    /// innermost [`crate::trace::enter`] scope on the opening thread.
+    /// Trace scopes cross thread boundaries explicitly — the id is carried
+    /// with the work item and re-entered on the worker — so one trace
+    /// stitches a request's spans across threads where parent links (which
+    /// are per-thread by design) cannot.
+    pub trace: Option<u64>,
     /// Span name (e.g. `engine.run`, `bo.fit_surrogate`).
     pub name: String,
     /// Microseconds since the owning `Obs` was created.
@@ -180,6 +187,7 @@ impl Tracer {
             record: SpanRecord {
                 id,
                 parent,
+                trace: crate::trace::current(),
                 name: name.to_string(),
                 start_us: self.now_us(),
                 end_us: 0,
@@ -209,14 +217,7 @@ impl SpanGuard {
     fn noop() -> Self {
         SpanGuard {
             tracer: None,
-            record: SpanRecord {
-                id: 0,
-                parent: None,
-                name: String::new(),
-                start_us: 0,
-                end_us: 0,
-                fields: Vec::new(),
-            },
+            record: empty_record(),
         }
     }
 
@@ -237,13 +238,30 @@ impl SpanGuard {
         self.set(key, value);
         self
     }
-}
 
-impl Drop for SpanGuard {
-    fn drop(&mut self) {
-        let Some(tracer) = self.tracer.take() else {
-            return;
-        };
+    /// Overrides the span's start time (microseconds on the owning `Obs`
+    /// clock, see [`crate::Obs::now_us`]). Lets a span cover an interval
+    /// that began on another thread — e.g. queue wait, opened at dequeue
+    /// but stamped from the enqueue timestamp carried with the work item.
+    pub(crate) fn set_start_us(&mut self, start_us: u64) {
+        if self.tracer.is_some() {
+            self.record.start_us = start_us;
+        }
+    }
+
+    /// Commits the span (exactly as dropping it would) and returns a copy
+    /// of the recorded span, so callers can mirror it into a secondary
+    /// sink — the serve flight recorder does this per session. `None` when
+    /// the guard was not recording.
+    pub fn finish(mut self) -> Option<SpanRecord> {
+        self.commit(true)
+    }
+
+    /// Stamps the end time, pops the open-span stack, and pushes the
+    /// record into the ring. Returns a copy only when `keep` is set, so
+    /// the plain drop path never clones.
+    fn commit(&mut self, keep: bool) -> Option<SpanRecord> {
+        let tracer = self.tracer.take()?;
         OPEN_SPANS.with(|s| {
             let mut s = s.borrow_mut();
             // Normally our id is innermost; a retain keeps the stack sane
@@ -255,18 +273,28 @@ impl Drop for SpanGuard {
             }
         });
         self.record.end_us = tracer.now_us();
-        let record = std::mem::replace(
-            &mut self.record,
-            SpanRecord {
-                id: 0,
-                parent: None,
-                name: String::new(),
-                start_us: 0,
-                end_us: 0,
-                fields: Vec::new(),
-            },
-        );
+        let record = std::mem::replace(&mut self.record, empty_record());
+        let kept = keep.then(|| record.clone());
         tracer.ring.lock().expect("span ring poisoned").push(record);
+        kept
+    }
+}
+
+fn empty_record() -> SpanRecord {
+    SpanRecord {
+        id: 0,
+        parent: None,
+        trace: None,
+        name: String::new(),
+        start_us: 0,
+        end_us: 0,
+        fields: Vec::new(),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.commit(false);
     }
 }
 
@@ -281,6 +309,7 @@ mod tests {
             ring.push(SpanRecord {
                 id,
                 parent: None,
+                trace: None,
                 name: format!("s{id}"),
                 start_us: id,
                 end_us: id + 1,

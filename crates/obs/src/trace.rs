@@ -1,0 +1,137 @@
+//! Request-scoped trace propagation.
+//!
+//! A *trace id* ties together every span a request produces as it crosses
+//! threads: the serving layer derives one id per protocol request
+//! ([`trace_id`] — a pure function of session id and request sequence,
+//! never wall clock or randomness), enters a [`TraceScope`] for the
+//! handling thread, and carries the id alongside queued work so the worker
+//! that eventually evaluates it can re-enter the same scope. Every span
+//! opened while a scope is active records the innermost scope's id in
+//! [`crate::SpanRecord::trace`].
+//!
+//! Scopes are plain thread-local state — entering one costs a `Vec` push
+//! and works whether or not any [`crate::Obs`] handle is recording — and
+//! they nest: the innermost scope wins, so a sub-request handled inline
+//! under another request keeps its own id.
+//!
+//! ```
+//! let obs = relm_obs::Obs::enabled();
+//! let id = relm_obs::trace::trace_id("s-0001", 1);
+//! {
+//!     let _scope = relm_obs::trace::enter(id);
+//!     let _span = obs.span("serve.request");
+//! }
+//! let snap = obs.snapshot();
+//! assert_eq!(snap.spans[0].trace, Some(id));
+//! ```
+
+use std::cell::RefCell;
+
+thread_local! {
+    /// Trace scopes active on this thread, innermost last.
+    static ACTIVE_TRACES: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Derives the deterministic trace id of request number `seq` on session
+/// `session`: an FNV-1a fold of the session name xor-mixed with the
+/// sequence number spread by the 64-bit golden ratio. Never zero, so ids
+/// survive contexts that reserve 0 for "no trace".
+pub fn trace_id(session: &str, seq: u64) -> u64 {
+    let id = relm_common::hash::fnv1a64_str(session) ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    id | 1
+}
+
+/// Enters a trace scope on the current thread; spans opened before the
+/// returned guard drops record `trace` as their trace id.
+pub fn enter(trace: u64) -> TraceScope {
+    ACTIVE_TRACES.with(|t| t.borrow_mut().push(trace));
+    TraceScope { trace }
+}
+
+/// The innermost active trace id on this thread, if any.
+pub fn current() -> Option<u64> {
+    ACTIVE_TRACES.with(|t| t.borrow().last().copied())
+}
+
+/// RAII guard for an active trace scope (see [`enter`]).
+#[derive(Debug)]
+pub struct TraceScope {
+    trace: u64,
+}
+
+impl TraceScope {
+    /// The id this scope propagates.
+    pub fn trace(&self) -> u64 {
+        self.trace
+    }
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        ACTIVE_TRACES.with(|t| {
+            let mut t = t.borrow_mut();
+            // Innermost-first is the normal case; the retain keeps the
+            // stack sane if scopes are dropped out of order.
+            if t.last() == Some(&self.trace) {
+                t.pop();
+            } else if let Some(pos) = t.iter().rposition(|&x| x == self.trace) {
+                t.remove(pos);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_deterministic_and_nonzero() {
+        assert_eq!(trace_id("s-0001", 3), trace_id("s-0001", 3));
+        assert_ne!(trace_id("s-0001", 3), trace_id("s-0001", 4));
+        assert_ne!(trace_id("s-0001", 3), trace_id("s-0002", 3));
+        for seq in 0..64 {
+            assert_ne!(trace_id("s", seq), 0);
+        }
+    }
+
+    #[test]
+    fn scopes_nest_and_unwind() {
+        assert_eq!(current(), None);
+        let outer = enter(7);
+        assert_eq!(current(), Some(7));
+        {
+            let _inner = enter(9);
+            assert_eq!(current(), Some(9));
+        }
+        assert_eq!(current(), Some(7));
+        drop(outer);
+        assert_eq!(current(), None);
+    }
+
+    #[test]
+    fn spans_inherit_the_innermost_scope() {
+        let obs = crate::Obs::enabled();
+        {
+            let _scope = enter(42);
+            let _a = obs.span("a");
+        }
+        let _b = obs.span("b");
+        drop(_b);
+        let spans = obs.snapshot().spans;
+        let a = spans.iter().find(|s| s.name == "a").unwrap();
+        let b = spans.iter().find(|s| s.name == "b").unwrap();
+        assert_eq!(a.trace, Some(42));
+        assert_eq!(b.trace, None);
+    }
+
+    #[test]
+    fn out_of_order_scope_drop_keeps_the_stack_sane() {
+        let a = enter(1);
+        let b = enter(2);
+        drop(a);
+        assert_eq!(current(), Some(2));
+        drop(b);
+        assert_eq!(current(), None);
+    }
+}

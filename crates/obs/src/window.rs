@@ -1,0 +1,338 @@
+//! Rolling-window instruments for SLO tracking.
+//!
+//! A [`WindowedHistogram`] keeps the last `N` *epochs* of log-linear
+//! bucket counts (same bucket layout as [`crate::Histogram`]); quantiles
+//! merge the live epochs, so they reflect recent behaviour instead of the
+//! whole process lifetime. Rotation is **event-driven** — the owner calls
+//! [`WindowedHistogram::rotate`] on its own cadence (the serving layer
+//! rotates every K completed evaluations) — so nothing in the window
+//! machinery reads a wall clock and the deterministic paths stay pure.
+//!
+//! Rotation never loses samples from the books: every recorded value is
+//! counted in [`WindowedHistogram::total_count`] forever — it merely moves
+//! from the live window into the retired tally when its epoch ages out —
+//! so windowed instruments reconcile exactly against lifetime counters.
+//! The threaded test in `tests/window_rotation.rs` pins this under
+//! concurrent recording and rotation.
+
+use crate::metrics::{bucket_index, bucket_midpoint, HistogramSummary, BUCKETS};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Default number of live epochs in a window.
+pub const DEFAULT_WINDOW_EPOCHS: usize = 4;
+
+/// One epoch's worth of histogram state.
+#[derive(Debug)]
+struct Epoch {
+    buckets: Vec<u64>,
+    /// Values `<= 0`, reported as 0.0 (mirrors [`crate::Histogram`]).
+    zero_count: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Epoch {
+    fn new() -> Self {
+        Epoch {
+            buckets: vec![0; BUCKETS],
+            zero_count: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct WindowState {
+    /// Live epochs, oldest first; the back epoch receives new samples.
+    epochs: VecDeque<Epoch>,
+    max_epochs: usize,
+    /// Lifetime samples recorded, live or retired.
+    total: u64,
+    /// Samples whose epoch aged out of the window.
+    retired: u64,
+    rotations: u64,
+}
+
+/// A histogram over the last `N` epochs. Recording takes a short mutex —
+/// windowed instruments sit on request/evaluation paths, not in per-sample
+/// inner loops, so contention is negligible next to the work they time.
+#[derive(Debug)]
+pub struct WindowedHistogram {
+    state: Mutex<WindowState>,
+}
+
+impl WindowedHistogram {
+    /// A window of `max_epochs` live epochs (at least 1).
+    pub fn new(max_epochs: usize) -> Self {
+        let mut epochs = VecDeque::new();
+        epochs.push_back(Epoch::new());
+        WindowedHistogram {
+            state: Mutex::new(WindowState {
+                epochs,
+                max_epochs: max_epochs.max(1),
+                total: 0,
+                retired: 0,
+                rotations: 0,
+            }),
+        }
+    }
+
+    /// Records one observation into the current epoch. Non-finite values
+    /// are ignored, exactly as in [`crate::Histogram::record`].
+    pub fn record(&self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let mut state = self.state.lock().expect("window poisoned");
+        state.total += 1;
+        let epoch = state.epochs.back_mut().expect("window has an epoch");
+        if value > 0.0 {
+            epoch.buckets[bucket_index(value)] += 1;
+        } else {
+            epoch.zero_count += 1;
+        }
+        epoch.count += 1;
+        epoch.sum += value;
+        epoch.min = epoch.min.min(value);
+        epoch.max = epoch.max.max(value);
+    }
+
+    /// Starts a fresh epoch; when the window is full the oldest epoch
+    /// retires (its samples leave the live window but stay in
+    /// [`WindowedHistogram::total_count`]).
+    pub fn rotate(&self) {
+        let mut state = self.state.lock().expect("window poisoned");
+        state.epochs.push_back(Epoch::new());
+        if state.epochs.len() > state.max_epochs {
+            let old = state.epochs.pop_front().expect("window has an epoch");
+            state.retired += old.count;
+        }
+        state.rotations += 1;
+    }
+
+    /// Samples in the live window.
+    pub fn live_count(&self) -> u64 {
+        let state = self.state.lock().expect("window poisoned");
+        state.epochs.iter().map(|e| e.count).sum()
+    }
+
+    /// Lifetime samples recorded, live and retired — the number every
+    /// reconciliation compares against cumulative counters.
+    pub fn total_count(&self) -> u64 {
+        self.state.lock().expect("window poisoned").total
+    }
+
+    /// Samples retired by rotation.
+    pub fn retired_count(&self) -> u64 {
+        self.state.lock().expect("window poisoned").retired
+    }
+
+    /// How many times the window rotated.
+    pub fn rotations(&self) -> u64 {
+        self.state.lock().expect("window poisoned").rotations
+    }
+
+    /// Value at quantile `q` over the live window, to the same bucket
+    /// resolution as [`crate::Histogram::quantile`]. `None` when the
+    /// window is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let state = self.state.lock().expect("window poisoned");
+        Self::quantile_locked(&state, q)
+    }
+
+    fn quantile_locked(state: &WindowState, q: f64) -> Option<f64> {
+        let count: u64 = state.epochs.iter().map(|e| e.count).sum();
+        if count == 0 {
+            return None;
+        }
+        let min = state
+            .epochs
+            .iter()
+            .filter(|e| e.count > 0)
+            .fold(f64::INFINITY, |m, e| m.min(e.min));
+        let max = state
+            .epochs
+            .iter()
+            .filter(|e| e.count > 0)
+            .fold(f64::NEG_INFINITY, |m, e| m.max(e.max));
+        let rank = (q.clamp(0.0, 1.0) * (count as f64 - 1.0)).round() as u64;
+        let mut seen: u64 = state.epochs.iter().map(|e| e.zero_count).sum();
+        if rank < seen {
+            return Some(min.min(0.0));
+        }
+        for i in 0..BUCKETS {
+            seen += state.epochs.iter().map(|e| e.buckets[i]).sum::<u64>();
+            if rank < seen {
+                return Some(bucket_midpoint(i).clamp(min, max));
+            }
+        }
+        Some(max)
+    }
+
+    /// The standard p50/p95/p99 readout over the live window.
+    pub fn summary(&self, name: &str) -> HistogramSummary {
+        let state = self.state.lock().expect("window poisoned");
+        let count: u64 = state.epochs.iter().map(|e| e.count).sum();
+        let live: Vec<&Epoch> = state.epochs.iter().filter(|e| e.count > 0).collect();
+        let min = live.iter().fold(f64::INFINITY, |m, e| m.min(e.min));
+        let max = live.iter().fold(f64::NEG_INFINITY, |m, e| m.max(e.max));
+        HistogramSummary {
+            name: name.to_string(),
+            count,
+            sum: state.epochs.iter().map(|e| e.sum).sum(),
+            min: if min.is_finite() { min } else { 0.0 },
+            max: if max.is_finite() { max } else { 0.0 },
+            p50: Self::quantile_locked(&state, 0.50).unwrap_or(0.0),
+            p95: Self::quantile_locked(&state, 0.95).unwrap_or(0.0),
+            p99: Self::quantile_locked(&state, 0.99).unwrap_or(0.0),
+        }
+    }
+}
+
+/// A counter over the last `N` epochs: [`WindowedCounter::window_value`]
+/// sums the live epochs, [`WindowedCounter::total`] never forgets. Drives
+/// error-budget arithmetic next to a [`WindowedHistogram`] rotated on the
+/// same cadence.
+#[derive(Debug)]
+pub struct WindowedCounter {
+    state: Mutex<CounterState>,
+}
+
+#[derive(Debug)]
+struct CounterState {
+    epochs: VecDeque<f64>,
+    max_epochs: usize,
+    total: f64,
+}
+
+impl WindowedCounter {
+    /// A window of `max_epochs` live epochs (at least 1).
+    pub fn new(max_epochs: usize) -> Self {
+        let mut epochs = VecDeque::new();
+        epochs.push_back(0.0);
+        WindowedCounter {
+            state: Mutex::new(CounterState {
+                epochs,
+                max_epochs: max_epochs.max(1),
+                total: 0.0,
+            }),
+        }
+    }
+
+    /// Adds `delta` to the current epoch (and the lifetime total).
+    pub fn add(&self, delta: f64) {
+        let mut state = self.state.lock().expect("window poisoned");
+        *state.epochs.back_mut().expect("window has an epoch") += delta;
+        state.total += delta;
+    }
+
+    /// Starts a fresh epoch, retiring the oldest when the window is full.
+    pub fn rotate(&self) {
+        let mut state = self.state.lock().expect("window poisoned");
+        state.epochs.push_back(0.0);
+        if state.epochs.len() > state.max_epochs {
+            state.epochs.pop_front();
+        }
+    }
+
+    /// Sum over the live window.
+    pub fn window_value(&self) -> f64 {
+        let state = self.state.lock().expect("window poisoned");
+        state.epochs.iter().sum()
+    }
+
+    /// Lifetime sum, live and retired.
+    pub fn total(&self) -> f64 {
+        self.state.lock().expect("window poisoned").total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_track_the_window_not_the_lifetime() {
+        let w = WindowedHistogram::new(2);
+        for _ in 0..100 {
+            w.record(1.0);
+        }
+        w.rotate();
+        for _ in 0..100 {
+            w.record(1000.0);
+        }
+        // Both epochs live: the median sits between the modes.
+        assert_eq!(w.live_count(), 200);
+        w.rotate();
+        // The 1.0 epoch retired; the window is all 1000s.
+        let p50 = w.quantile(0.5).unwrap();
+        assert!((p50 - 1000.0).abs() / 1000.0 < 0.04, "p50={p50}");
+        assert_eq!(w.live_count(), 100);
+        assert_eq!(w.retired_count(), 100);
+        assert_eq!(w.total_count(), 200);
+        assert_eq!(w.rotations(), 2);
+    }
+
+    #[test]
+    fn summary_merges_live_epochs() {
+        // 5 live epochs: all four 25-sample epochs (plus the trailing
+        // empty one) stay in the window.
+        let w = WindowedHistogram::new(5);
+        for i in 1..=100 {
+            w.record(i as f64);
+            if i % 25 == 0 {
+                w.rotate();
+            }
+        }
+        let s = w.summary("lat");
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.sum - 5050.0).abs() < 1e-9);
+        assert!((s.p50 - 50.0).abs() / 50.0 < 0.05, "p50={}", s.p50);
+    }
+
+    #[test]
+    fn empty_window_has_no_quantiles() {
+        let w = WindowedHistogram::new(3);
+        assert_eq!(w.quantile(0.5), None);
+        let s = w.summary("empty");
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50, 0.0);
+        w.rotate();
+        assert_eq!(w.quantile(0.5), None);
+    }
+
+    #[test]
+    fn zeros_count_toward_rank() {
+        let w = WindowedHistogram::new(2);
+        for _ in 0..50 {
+            w.record(0.0);
+        }
+        for _ in 0..50 {
+            w.record(100.0);
+        }
+        assert_eq!(w.quantile(0.25).unwrap(), 0.0);
+        let p75 = w.quantile(0.75).unwrap();
+        assert!((p75 - 100.0).abs() / 100.0 < 0.04, "p75={p75}");
+    }
+
+    #[test]
+    fn windowed_counter_forgets_the_window_but_not_the_total() {
+        let c = WindowedCounter::new(2);
+        c.add(3.0);
+        c.rotate();
+        c.add(4.0);
+        assert_eq!(c.window_value(), 7.0);
+        c.rotate();
+        // The 3.0 epoch retired.
+        assert_eq!(c.window_value(), 4.0);
+        assert_eq!(c.total(), 7.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! The Prometheus exposition is a faithful projection of the JSON
+//! snapshot: for any snapshot — awkward metric names, denormal values,
+//! infinities — `parse_prometheus(render_prometheus(s)) == s`, bit for
+//! bit. The text format is what a scraper sees; if it ever diverged from
+//! the JSON half of a `Metrics` response the two halves of the same
+//! response could disagree.
+
+use proptest::prelude::*;
+use proptest::{FnStrategy, TestRng};
+use relm_obs::{parse_prometheus, render_prometheus, HistogramSummary, MetricsSnapshot, Obs};
+use std::collections::BTreeSet;
+
+/// Dotted metric names, salted with bytes the Prometheus identifier must
+/// sanitize away (the original survives in the `name` label, including
+/// characters the label encoding has to escape).
+fn gen_name(rng: &mut TestRng) -> String {
+    const SEGS: [&str; 8] = [
+        "serve",
+        "queue",
+        "slo",
+        "evals",
+        "lat-ms",
+        "p99 9",
+        "bad\"quote",
+        "back\\slash",
+    ];
+    let n = 1 + (rng.next_u64() % 3) as usize;
+    let mut parts = Vec::with_capacity(n);
+    for _ in 0..n {
+        parts.push(SEGS[(rng.next_u64() % SEGS.len() as u64) as usize]);
+    }
+    format!("{}.{}", parts.join("."), rng.next_u64() % 100)
+}
+
+/// Values a counter/gauge can legally hold. NaN is excluded — it never
+/// equals itself, and no instrument in this codebase can produce one
+/// (histograms ignore non-finite samples; counters add finite deltas).
+fn gen_value(rng: &mut TestRng) -> f64 {
+    match rng.next_u64() % 12 {
+        0 => f64::INFINITY,
+        1 => f64::NEG_INFINITY,
+        2 => -0.0,
+        3 => 0.1f64 + 0.2f64,
+        4 => f64::MIN_POSITIVE / 8.0, // subnormal
+        _ => (rng.unit() - 0.5) * 2.0e12,
+    }
+}
+
+fn gen_pairs(rng: &mut TestRng, max: u64) -> Vec<(String, f64)> {
+    let n = rng.next_u64() % max;
+    let mut seen = BTreeSet::new();
+    let mut out: Vec<(String, f64)> = (0..n)
+        .map(|_| (gen_name(rng), gen_value(rng)))
+        .filter(|(name, _)| seen.insert(name.clone()))
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+fn gen_snapshot(rng: &mut TestRng) -> MetricsSnapshot {
+    let mut seen = BTreeSet::new();
+    let mut histograms: Vec<HistogramSummary> = (0..rng.next_u64() % 5)
+        .map(|_| HistogramSummary {
+            name: gen_name(rng),
+            count: rng.next_u64() % 1_000_000,
+            sum: gen_value(rng),
+            min: gen_value(rng),
+            max: gen_value(rng),
+            p50: gen_value(rng),
+            p95: gen_value(rng),
+            p99: gen_value(rng),
+        })
+        .filter(|s| seen.insert(s.name.clone()))
+        .collect();
+    histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    MetricsSnapshot {
+        counters: gen_pairs(rng, 8),
+        gauges: gen_pairs(rng, 8),
+        histograms,
+        dropped_spans: rng.next_u64() % 1_000,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 192, ..ProptestConfig::default() })]
+
+    #[test]
+    fn exposition_parses_back_to_the_exact_snapshot(
+        snapshot in FnStrategy(gen_snapshot),
+    ) {
+        let expo = render_prometheus(&snapshot);
+        let back = parse_prometheus(&expo).expect("own exposition must parse");
+        prop_assert_eq!(back, snapshot);
+    }
+}
+
+#[test]
+fn live_obs_snapshot_round_trips() {
+    // Not synthetic: a snapshot captured from a working Obs — the exact
+    // object a `Metrics` response carries — survives the text pivot.
+    let obs = Obs::enabled();
+    for i in 0..300u64 {
+        obs.inc("serve.evaluations");
+        obs.record("serve.evaluate_ms", (i % 37) as f64 + 0.25);
+        obs.gauge("serve.queue.global", (i % 5) as f64);
+        let mut span = obs.span("serve.request");
+        span.set("endpoint", "step_auto");
+    }
+    let snapshot = obs.metrics_snapshot();
+    assert!(snapshot
+        .counters
+        .iter()
+        .any(|(n, _)| n == "serve.evaluations"));
+    let expo = render_prometheus(&snapshot);
+    assert_eq!(parse_prometheus(&expo).expect("parse own expo"), snapshot);
+    // Identifier sanitization happened: dots never reach the text format.
+    for line in expo.lines().filter(|l| !l.starts_with('#')) {
+        let ident: String = line
+            .chars()
+            .take_while(|c| *c != '{' && *c != ' ')
+            .collect();
+        assert!(
+            ident.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "unsanitized identifier in {line:?}"
+        );
+    }
+}

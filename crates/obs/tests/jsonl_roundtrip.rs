@@ -8,6 +8,7 @@ use relm_obs::{events, read_jsonl, write_jsonl, Event, Obs};
 proptest! {
     #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
 
+    #[test]
     fn snapshot_round_trips_through_jsonl(
         counter_a in 0.0..1e6f64,
         counter_b in 0.0..1e6f64,

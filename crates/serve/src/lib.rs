@@ -51,6 +51,7 @@
 pub mod protocol;
 pub mod server;
 pub mod service;
+pub mod slo;
 
 pub use protocol::{
     decode, encode, read_frame, FrameError, Request, Response, SessionSpec, SessionStatus,
@@ -58,3 +59,4 @@ pub use protocol::{
 };
 pub use server::{TcpClient, TcpServer};
 pub use service::{resolve_workload, ServeConfig, Service};
+pub use slo::SLO_EPOCH_EVALS;

@@ -123,9 +123,19 @@ pub enum Request {
     /// evaluation (if any) completes; completed history is kept.
     Cancel { session: String },
     /// Graceful shutdown: stop admitting work, run every already-accepted
-    /// evaluation to completion, checkpoint every session, stop the
-    /// workers, and report the tally.
+    /// evaluation to completion, checkpoint every session, dump every
+    /// session's flight recorder, stop the workers, and report the tally.
     Drain,
+    /// Live metrics scrape: a point-in-time snapshot of every counter,
+    /// gauge, and histogram, in both JSON and Prometheus text form.
+    /// Answered without pausing workers — scraping mid-load is the point.
+    Metrics,
+    /// The session's flight-recorder ring (recent spans and protocol
+    /// events), without writing anything to disk.
+    Trace { session: String },
+    /// Writes the session's flight recorder to the configured dump
+    /// directory (`reason: "request"`) and reports the path.
+    Dump { session: String },
 }
 
 impl Request {
@@ -143,6 +153,29 @@ impl Request {
             Request::Result { .. } => "result",
             Request::Cancel { .. } => "cancel",
             Request::Drain => "drain",
+            Request::Metrics => "metrics",
+            Request::Trace { .. } => "trace",
+            Request::Dump { .. } => "dump",
+        }
+    }
+
+    /// The session a request addresses, when it addresses one — the basis
+    /// for its deterministic trace id (session name + per-session request
+    /// sequence, see [`relm_obs::trace::trace_id`]).
+    pub fn session(&self) -> Option<&str> {
+        match self {
+            Request::Step { session, .. }
+            | Request::StepAuto { session, .. }
+            | Request::StepGuided { session, .. }
+            | Request::Status { session }
+            | Request::Join { session }
+            | Request::Result { session }
+            | Request::Cancel { session }
+            | Request::Trace { session }
+            | Request::Dump { session } => Some(session),
+            Request::Ping | Request::CreateSession { .. } | Request::Drain | Request::Metrics => {
+                None
+            }
         }
     }
 }
@@ -162,6 +195,17 @@ pub struct SessionStatus {
     /// Best (lowest) score so far, minutes.
     pub best_score_mins: Option<f64>,
     pub cancelled: bool,
+    /// Simulated stress-test time this session has burned (its dominant
+    /// cost), including failed attempts and retry backoff, milliseconds.
+    pub stress_time_ms: f64,
+    /// Total retries across the session's completed evaluations.
+    pub retries: u32,
+    /// Evaluations answered from the shared evaluation cache.
+    pub evalcache_hits: u64,
+    /// Cumulative wall-clock time the session's evaluations spent queued
+    /// behind the worker pool, milliseconds. Telemetry (timing-dependent),
+    /// never part of the deterministic outputs.
+    pub queue_wait_ms: f64,
 }
 
 /// A server response. One JSON object per line, one per request.
@@ -191,6 +235,29 @@ pub enum Response {
         sessions: usize,
         evaluations: usize,
         checkpointed: usize,
+        /// Flight-recorder dumps written during the drain (one per
+        /// session when a dump directory is configured, 0 otherwise).
+        flight_dumped: usize,
+    },
+    /// Reply to [`Request::Metrics`]: the snapshot and its Prometheus
+    /// text rendering, produced from the *same* capture so the two can
+    /// never disagree.
+    Metrics {
+        snapshot: relm_obs::MetricsSnapshot,
+        expo: String,
+    },
+    /// Reply to [`Request::Trace`]: the session's flight-recorder ring.
+    Trace {
+        session: String,
+        /// Events evicted from the ring before this snapshot.
+        dropped: u64,
+        events: Vec<relm_obs::FlightEvent>,
+    },
+    /// Reply to [`Request::Dump`]: where the flight recorder landed.
+    Dumped {
+        session: String,
+        path: String,
+        events: usize,
     },
     /// Admission control said no. Nothing was enqueued; the client should
     /// back off and retry. `session_pending`/`global_pending` report the
@@ -205,6 +272,26 @@ pub enum Response {
     Error {
         message: String,
     },
+}
+
+impl Response {
+    /// Variant label, used for flight-recorder protocol events.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Response::Pong => "pong",
+            Response::SessionCreated { .. } => "session_created",
+            Response::Accepted { .. } => "accepted",
+            Response::Status(_) => "status",
+            Response::ResultReady { .. } => "result_ready",
+            Response::Cancelled { .. } => "cancelled",
+            Response::Drained { .. } => "drained",
+            Response::Metrics { .. } => "metrics",
+            Response::Trace { .. } => "trace",
+            Response::Dumped { .. } => "dumped",
+            Response::Overloaded { .. } => "overloaded",
+            Response::Error { .. } => "error",
+        }
+    }
 }
 
 /// Serializes one frame (no trailing newline — the transport adds it).

@@ -98,9 +98,21 @@ fn accept_loop(listener: &TcpListener, service: &Arc<Service>, stop: &Arc<Atomic
     }
 }
 
+/// Decrements `serve.connections.open` however the connection loop exits.
+struct ConnGauge<'a>(&'a Service);
+
+impl Drop for ConnGauge<'_> {
+    fn drop(&mut self) {
+        self.0.obs().add("serve.connections.open", -1.0);
+    }
+}
+
 /// Runs the request/response loop for one connection until EOF, an
 /// unrecoverable frame, or an I/O error.
 fn serve_connection(stream: &TcpStream, service: &Service) -> io::Result<()> {
+    service.obs().inc("serve.connections.accepted");
+    service.obs().add("serve.connections.open", 1.0);
+    let _gauge = ConnGauge(service);
     let limit = service.config().max_frame_bytes;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);

@@ -29,11 +29,12 @@
 //! triggered the rejection.
 
 use crate::protocol::{Request, Response, SessionSpec, SessionStatus, DEFAULT_MAX_FRAME_BYTES};
+use crate::slo::SloTracker;
 use relm_app::Engine;
 use relm_cluster::ClusterSpec;
 use relm_common::{MemoryConfig, Rng};
 use relm_faults::FaultPlan;
-use relm_obs::Obs;
+use relm_obs::{trace, FlightEvent, FlightRecorder, Obs, DEFAULT_FLIGHT_CAPACITY};
 use relm_surrogate::{maximize_ei_threaded, GpFitter};
 use relm_tune::space::DIMS;
 use relm_tune::{recommendation, session_export, ConfigSpace, SessionCheckpoint, TuningEnv};
@@ -59,6 +60,11 @@ pub struct ServeConfig {
     /// Where `Drain` writes one `SessionCheckpoint` per session; `None`
     /// skips checkpointing.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Where flight-recorder dumps land (`results/flightrec/` by
+    /// convention): one per faulted evaluation, one per session on
+    /// `Drain`, one per explicit `Dump` request. `None` disables dumping
+    /// to disk; the in-memory rings and the `Trace` endpoint still work.
+    pub flightrec_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +76,7 @@ impl Default for ServeConfig {
             global_queue_limit: 256,
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             checkpoint_dir: None,
+            flightrec_dir: None,
         }
     }
 }
@@ -100,6 +107,21 @@ struct GuidedState {
     fits: usize,
 }
 
+/// One admitted evaluation waiting in a session's FIFO, carrying the
+/// trace context of the request that enqueued it so the worker that
+/// eventually runs it can re-enter the same trace.
+struct QueuedEval {
+    config: MemoryConfig,
+    /// Trace id of the admitting request (see [`trace::trace_id`]).
+    trace: u64,
+    /// Telemetry-clock enqueue timestamp ([`Obs::now_us`]) — the start of
+    /// the `serve.queue_wait` span the worker closes at dequeue.
+    enqueued_us: u64,
+    /// Wall-clock enqueue instant, for the session's queue-wait cost
+    /// mirror (works even when telemetry is disabled).
+    enqueued_at: Instant,
+}
+
 /// One registered tuning session.
 struct Session {
     name: String,
@@ -116,17 +138,30 @@ struct Session {
     guided: Option<GuidedState>,
     /// Seed of the guided proposal stream, folded from the session spec.
     guided_seed: u64,
-    pending: VecDeque<MemoryConfig>,
+    pending: VecDeque<QueuedEval>,
     /// Whether the session currently sits in the ready queue.
     queued: bool,
     /// Whether one of its evaluations is currently on a worker.
     running: bool,
     cancelled: bool,
+    /// Per-session request sequence — with the session name it derives
+    /// each request's deterministic trace id.
+    seq: u64,
+    /// Flight recorder: recent spans and protocol events for this
+    /// session, frozen to disk on faults, drain, or explicit `Dump`.
+    flight: Arc<FlightRecorder>,
     // Mirrors of environment state, maintained by the workers so `Status`
     // never has to wait for the environment to come back.
     completed: usize,
     censored: usize,
     best_score_mins: Option<f64>,
+    // Cost-attribution mirrors, refreshed by the worker each time the
+    // environment comes home.
+    stress_time_ms: f64,
+    retries: u32,
+    evalcache_hits: u64,
+    /// Cumulative wall-clock queue wait, telemetry only.
+    queue_wait_ms: f64,
 }
 
 impl Session {
@@ -139,6 +174,10 @@ impl Session {
             censored: self.censored,
             best_score_mins: self.best_score_mins,
             cancelled: self.cancelled,
+            stress_time_ms: self.stress_time_ms,
+            retries: self.retries,
+            evalcache_hits: self.evalcache_hits,
+            queue_wait_ms: self.queue_wait_ms,
         }
     }
 }
@@ -160,6 +199,9 @@ struct State {
     /// letting scheduling tests stage a backlog deterministically.
     paused: bool,
     next_session: u64,
+    /// Sequence for requests that address no session (ping, drain,
+    /// metrics, create); their trace ids derive from `"service"` + this.
+    next_trace: u64,
 }
 
 struct Shared {
@@ -171,6 +213,8 @@ struct Shared {
     /// handle (`evalcache.*`).
     cache: relm_tune::EvalStore,
     state: Mutex<State>,
+    /// Windowed SLO instruments fed by the evaluation path.
+    slo: SloTracker,
     /// Wakes workers when work arrives or the service stops.
     work: Condvar,
     /// Wakes `Join`/`Drain` waiters when an evaluation completes.
@@ -215,7 +259,9 @@ impl Service {
                 stopped: false,
                 paused: false,
                 next_session: 1,
+                next_trace: 0,
             }),
+            slo: SloTracker::new(),
             work: Condvar::new(),
             done: Condvar::new(),
         });
@@ -241,14 +287,66 @@ impl Service {
         &self.shared.config
     }
 
+    /// Derives the request's deterministic trace id and, for
+    /// session-addressed requests, the session's flight recorder. The
+    /// id is a pure function of the session name and that session's
+    /// request sequence (or of the service-wide sequence for requests
+    /// addressing no session) — never of wall clock or randomness, so a
+    /// replayed request stream reproduces its trace ids exactly.
+    fn begin_trace(&self, request: &Request) -> (u64, Option<Arc<FlightRecorder>>) {
+        let mut state = self.shared.state.lock().expect("service state poisoned");
+        match request.session() {
+            Some(name) => match state.sessions.get_mut(name) {
+                Some(sess) => {
+                    sess.seq += 1;
+                    (
+                        trace::trace_id(name, sess.seq),
+                        Some(Arc::clone(&sess.flight)),
+                    )
+                }
+                // Unknown session: still a deterministic id, no ring to
+                // record into.
+                None => (trace::trace_id(name, 0), None),
+            },
+            None => {
+                state.next_trace += 1;
+                (trace::trace_id("service", state.next_trace), None)
+            }
+        }
+    }
+
+    /// The flight recorder of `session`, if registered.
+    fn flight_of(&self, session: &str) -> Option<Arc<FlightRecorder>> {
+        let state = self.shared.state.lock().expect("service state poisoned");
+        state.sessions.get(session).map(|s| Arc::clone(&s.flight))
+    }
+
     /// Handles one request — the single dispatch point shared by the
-    /// in-process client and the TCP frontend. Records per-endpoint
-    /// latency (`serve.endpoint.<name>_ms`) and request counters.
+    /// in-process client and the TCP frontend. Enters the request's trace
+    /// scope (so every span the request produces on this thread carries
+    /// its trace id), records per-endpoint latency
+    /// (`serve.endpoint.<name>_ms`) and request counters, and mirrors the
+    /// request lifecycle into the session's flight recorder.
     pub fn handle(&self, request: &Request) -> Response {
         let start = Instant::now();
         let endpoint = request.endpoint();
-        let response = self.dispatch(request);
         let obs = &self.shared.obs;
+        let (trace_id, flight) = self.begin_trace(request);
+        let _scope = trace::enter(trace_id);
+        if let Some(flight) = &flight {
+            flight.record(FlightEvent::Protocol {
+                trace: trace_id,
+                event: format!("request.{endpoint}"),
+                at_us: obs.now_us(),
+                detail: String::new(),
+            });
+        }
+        let mut span = obs.span("serve.request");
+        span.set("endpoint", endpoint);
+        if let Some(session) = request.session() {
+            span.set("session", session);
+        }
+        let response = self.dispatch(request);
         obs.inc(&format!("serve.requests.{endpoint}"));
         obs.record(
             &format!("serve.endpoint.{endpoint}_ms"),
@@ -257,6 +355,25 @@ impl Service {
         if matches!(response, Response::Overloaded { .. }) {
             obs.inc("serve.rejected.overloaded");
             obs.inc(&format!("serve.rejected.overloaded.{endpoint}"));
+            self.shared.slo.record_rejection(obs);
+        }
+        let record = span.finish();
+        // `CreateSession` has no ring until dispatch registers one; its
+        // accept/response events land in the newborn session's ring.
+        let flight = flight.or_else(|| match &response {
+            Response::SessionCreated { session } => self.flight_of(session),
+            _ => None,
+        });
+        if let Some(flight) = flight {
+            flight.record(FlightEvent::Protocol {
+                trace: trace_id,
+                event: format!("response.{}", response.label()),
+                at_us: obs.now_us(),
+                detail: String::new(),
+            });
+            if let Some(record) = record {
+                flight.record_span(record);
+            }
         }
         response
     }
@@ -273,6 +390,65 @@ impl Service {
             Request::Result { session } => self.result(session),
             Request::Cancel { session } => self.cancel(session),
             Request::Drain => self.drain(),
+            Request::Metrics => self.metrics(),
+            Request::Trace { session } => self.trace_ring(session),
+            Request::Dump { session } => self.dump(session),
+        }
+    }
+
+    /// Live metrics scrape: one snapshot captured from the registry,
+    /// shipped both structured and as Prometheus text rendered *from that
+    /// same capture* — the two halves cannot disagree. Never blocks the
+    /// workers: capturing reads the registry under its own short locks.
+    fn metrics(&self) -> Response {
+        let snapshot = self.shared.obs.metrics_snapshot();
+        let expo = relm_obs::render_prometheus(&snapshot);
+        Response::Metrics { snapshot, expo }
+    }
+
+    /// The session's flight-recorder ring, without touching disk.
+    fn trace_ring(&self, session: &str) -> Response {
+        let Some(flight) = self.flight_of(session) else {
+            return Response::Error {
+                message: format!("unknown session `{session}`"),
+            };
+        };
+        let (events, dropped) = flight.snapshot();
+        Response::Trace {
+            session: session.to_string(),
+            dropped,
+            events,
+        }
+    }
+
+    /// Writes the session's flight recorder to the configured directory.
+    fn dump(&self, session: &str) -> Response {
+        let Some(dir) = &self.shared.config.flightrec_dir else {
+            return Response::Error {
+                message: "no flight-recorder directory configured".into(),
+            };
+        };
+        let Some(flight) = self.flight_of(session) else {
+            return Response::Error {
+                message: format!("unknown session `{session}`"),
+            };
+        };
+        let dump = flight.dump(session, "request");
+        match relm_obs::save_dump(dir, &dump) {
+            Ok(path) => {
+                self.shared.obs.inc("serve.flightrec.dumps");
+                Response::Dumped {
+                    session: session.to_string(),
+                    path: path.display().to_string(),
+                    events: dump.events.len(),
+                }
+            }
+            Err(e) => {
+                self.shared.obs.inc("serve.flightrec.errors");
+                Response::Error {
+                    message: format!("flight dump failed: {e}"),
+                }
+            }
         }
     }
 
@@ -341,9 +517,15 @@ impl Service {
                 queued: false,
                 running: false,
                 cancelled: false,
+                seq: 0,
+                flight: Arc::new(FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY)),
                 completed: 0,
                 censored: 0,
                 best_score_mins: None,
+                stress_time_ms: 0.0,
+                retries: 0,
+                evalcache_hits: 0,
+                queue_wait_ms: 0.0,
             },
         );
         self.shared.obs.inc("serve.sessions.created");
@@ -407,7 +589,19 @@ impl Service {
             };
         }
         let enqueued = configs.len();
-        sess.pending.extend(configs);
+        // Carry the admitting request's trace context with each queued
+        // evaluation, so the worker that eventually runs it re-enters the
+        // same trace and the queue-wait span covers enqueue → dequeue.
+        let trace = trace::current().unwrap_or(0);
+        let enqueued_us = shared.obs.now_us();
+        let enqueued_at = Instant::now();
+        sess.pending
+            .extend(configs.into_iter().map(|config| QueuedEval {
+                config,
+                trace,
+                enqueued_us,
+                enqueued_at,
+            }));
         let became_ready = !sess.queued && !sess.running && !sess.pending.is_empty();
         if became_ready {
             sess.queued = true;
@@ -737,6 +931,21 @@ impl Service {
                 }
             }
         }
+        // Freeze every session's flight recorder alongside the
+        // checkpoints — the post-mortem record of the whole run.
+        let mut flight_dumped = 0usize;
+        if let Some(dir) = &shared.config.flightrec_dir {
+            for (name, sess) in &state.sessions {
+                let dump = sess.flight.dump(name, "drain");
+                match relm_obs::save_dump(dir, &dump) {
+                    Ok(_) => {
+                        flight_dumped += 1;
+                        shared.obs.inc("serve.flightrec.dumps");
+                    }
+                    Err(_) => shared.obs.inc("serve.flightrec.errors"),
+                }
+            }
+        }
         let sessions = state.sessions.len();
         let evaluations = state.evaluations;
         let already_stopped = state.stopped;
@@ -750,6 +959,7 @@ impl Service {
             sessions,
             evaluations,
             checkpointed,
+            flight_dumped,
         }
     }
 
@@ -780,9 +990,14 @@ impl Drop for Service {
 
 /// The worker loop: pull the front ready session, run exactly one of its
 /// pending evaluations, hand the session back to the scheduler.
+///
+/// The worker re-enters the trace scope carried with the queued item, so
+/// the queue-wait and evaluate spans it opens join the spans the handler
+/// thread recorded for the same request — one trace stitches TCP accept →
+/// admission → queue wait → evaluation across threads.
 fn worker_loop(shared: &Shared) {
     loop {
-        let (name, mut env, config) = {
+        let (name, mut env, item, flight) = {
             let mut state = shared.state.lock().expect("service state poisoned");
             loop {
                 if state.stopped {
@@ -798,31 +1013,92 @@ fn worker_loop(shared: &Shared) {
                         .get_mut(&name)
                         .expect("ready session is registered");
                     sess.queued = false;
-                    let config = sess
+                    let item = sess
                         .pending
                         .pop_front()
                         .expect("ready session has pending work");
                     let env = sess.env.take().expect("idle session owns its env");
+                    let flight = Arc::clone(&sess.flight);
                     sess.running = true;
                     state.global_pending -= 1;
                     state.running += 1;
                     shared.refresh_gauges(&state);
-                    break (name, env, config);
+                    break (name, env, item, flight);
                 }
                 state = shared.work.wait(state).expect("service state poisoned");
             }
         };
 
+        let _scope = trace::enter(item.trace);
+        // The queue-wait span covers enqueue (stamped on the handler
+        // thread, carried with the item) to dequeue (now).
+        let wait_ms = item.enqueued_at.elapsed().as_secs_f64() * 1e3;
+        let wait_span = shared
+            .obs
+            .span_at("serve.queue_wait", item.enqueued_us)
+            .with("session", name.as_str());
+        if let Some(record) = wait_span.finish() {
+            flight.record_span(record);
+        }
+        shared.obs.record("serve.queue_wait_ms", wait_ms);
+
         let start = Instant::now();
-        let observation = {
+        let (observation, eval_span) = {
             let mut span = shared.obs.span("serve.evaluate");
             span.set("session", name.as_str());
-            env.evaluate(&config)
+            let observation = env.evaluate(&item.config);
+            if observation.is_censored() {
+                span.set("aborted", true);
+                if let Some(cause) = observation.result.abort_cause {
+                    span.set("abort_cause", cause.as_str());
+                }
+            }
+            (observation, span.finish())
         };
+        let latency_ms = start.elapsed().as_secs_f64() * 1e3;
+        if let Some(record) = eval_span {
+            flight.record_span(record);
+        }
+        // Ordering matters for scrape consistency: histogram, then the
+        // SLO tracker (which bumps `serve.slo.evaluations`), then the
+        // cumulative counter — so any concurrent scrape observes
+        // `serve.slo.evaluations >= serve.evaluations`.
+        shared.obs.record("serve.evaluate_ms", latency_ms);
         shared
-            .obs
-            .record("serve.evaluate_ms", start.elapsed().as_secs_f64() * 1e3);
+            .slo
+            .record_eval(&shared.obs, latency_ms, observation.is_censored());
         shared.obs.inc("serve.evaluations");
+
+        // Cost attribution, read while the environment is still in hand.
+        let stress_time_ms = env.stress_time().as_ms();
+        let retries = env.total_retries();
+        let evalcache_hits = env.cache_hits();
+
+        // A censored (abort-cause) evaluation freezes the session's
+        // flight recorder — the complete trace of the failed request.
+        // Written *before* the completion is published to the session
+        // state, so any observer that sees the censored count (a joiner,
+        // the drain report, a reconciliation script) can rely on the dump
+        // already being on disk. No lock is held during the write.
+        if observation.is_censored() {
+            flight.record(FlightEvent::Protocol {
+                trace: item.trace,
+                event: "abort".to_string(),
+                at_us: shared.obs.now_us(),
+                detail: observation
+                    .result
+                    .abort_cause
+                    .map(|c| c.as_str().to_string())
+                    .unwrap_or_default(),
+            });
+            if let Some(dir) = &shared.config.flightrec_dir {
+                let dump = flight.dump(&name, "fault");
+                match relm_obs::save_dump(dir, &dump) {
+                    Ok(_) => shared.obs.inc("serve.flightrec.dumps"),
+                    Err(_) => shared.obs.inc("serve.flightrec.errors"),
+                }
+            }
+        }
 
         let mut state = shared.state.lock().expect("service state poisoned");
         state.running -= 1;
@@ -839,6 +1115,10 @@ fn worker_loop(shared: &Shared) {
             Some(best) => best.min(observation.score_mins),
             None => observation.score_mins,
         });
+        sess.stress_time_ms = stress_time_ms;
+        sess.retries = retries;
+        sess.evalcache_hits = evalcache_hits;
+        sess.queue_wait_ms += wait_ms;
         sess.env = Some(env);
         sess.running = false;
         if !sess.pending.is_empty() && !sess.cancelled && !sess.queued {
@@ -1107,10 +1387,13 @@ mod tests {
                 sessions: n,
                 evaluations,
                 checkpointed,
+                flight_dumped,
             } => {
                 assert_eq!(n, 3);
                 assert_eq!(evaluations, 6, "drain must run the whole backlog");
                 assert_eq!(checkpointed, 3);
+                // No flight-recorder directory configured in this test.
+                assert_eq!(flight_dumped, 0);
             }
             other => panic!("drain failed: {other:?}"),
         }

@@ -183,10 +183,13 @@ fn drain_checkpoints_match_live_histories() {
             sessions,
             evaluations,
             checkpointed,
+            flight_dumped,
         } => {
             assert_eq!(sessions, 6);
             assert_eq!(evaluations, 18);
             assert_eq!(checkpointed, 6);
+            // No flightrec_dir configured: nothing to dump.
+            assert_eq!(flight_dumped, 0);
         }
         other => panic!("drain failed: {other:?}"),
     }

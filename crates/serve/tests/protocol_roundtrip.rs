@@ -6,6 +6,7 @@ use proptest::prelude::*;
 use relm_cluster::ClusterSpec;
 use relm_common::{Mem, MemoryConfig};
 use relm_faults::FaultConfig;
+use relm_obs::{FieldValue, FlightEvent, MetricsSnapshot, SpanRecord};
 use relm_serve::{
     decode, encode, read_frame, FrameError, Request, Response, SessionSpec, SessionStatus,
     DEFAULT_MAX_FRAME_BYTES,
@@ -88,6 +89,9 @@ proptest! {
             Request::Join { session: session.clone() },
             Request::Result { session: session.clone() },
             Request::Cancel { session: session.clone() },
+            Request::Metrics,
+            Request::Trace { session: session.clone() },
+            Request::Dump { session: session.clone() },
             Request::Drain,
         ];
         for req in &requests {
@@ -116,8 +120,52 @@ proptest! {
             censored,
             best_score_mins: (best_known == 1).then_some(score),
             cancelled: completed % 2 == 1,
+            stress_time_ms: score * 3.0,
+            retries: censored as u32,
+            evalcache_hits: completed as u64 / 2,
+            queue_wait_ms: score / 7.0,
         };
         let (export, history) = real_export();
+        let snapshot = MetricsSnapshot {
+            counters: vec![
+                ("serve.evaluations".into(), completed as f64),
+                ("serve.slo.evaluations".into(), completed as f64),
+            ],
+            gauges: vec![("serve.queue.global".into(), pending as f64)],
+            histograms: vec![relm_obs::HistogramSummary {
+                name: "serve.evaluate_ms".into(),
+                count: completed as u64,
+                sum: score * completed as f64,
+                min: score / 2.0,
+                max: score * 2.0,
+                p50: score,
+                p95: score * 1.5,
+                p99: score * 1.9,
+            }],
+            dropped_spans: discarded as u64,
+        };
+        let expo = relm_obs::render_prometheus(&snapshot);
+        let events = vec![
+            FlightEvent::Protocol {
+                trace: sid | 1,
+                event: "step_auto".into(),
+                at_us: completed as u64 * 17,
+                detail: format!("enqueued={pending}"),
+            },
+            FlightEvent::Span(SpanRecord {
+                id: sid,
+                parent: (best_known == 1).then_some(sid + 1),
+                trace: Some(sid | 1),
+                name: "serve.evaluate".into(),
+                start_us: 10,
+                end_us: 10 + completed as u64,
+                fields: vec![
+                    ("session".into(), FieldValue::Str(session.clone())),
+                    ("aborted".into(), FieldValue::Bool(censored > 0)),
+                    ("retries".into(), FieldValue::U64(censored as u64)),
+                ],
+            }),
+        ];
         let responses = [
             Response::Pong,
             Response::SessionCreated { session: session.clone() },
@@ -125,7 +173,23 @@ proptest! {
             Response::Status(status),
             Response::ResultReady { session: session.clone(), export, history },
             Response::Cancelled { session: session.clone(), discarded },
-            Response::Drained { sessions, evaluations, checkpointed: sessions },
+            Response::Drained {
+                sessions,
+                evaluations,
+                checkpointed: sessions,
+                flight_dumped: sessions,
+            },
+            Response::Metrics { snapshot, expo },
+            Response::Trace {
+                session: session.clone(),
+                dropped: discarded as u64,
+                events,
+            },
+            Response::Dumped {
+                session: session.clone(),
+                path: format!("results/flightrec/{session}-request-1.flight.json"),
+                events: completed,
+            },
             Response::Overloaded {
                 reason: "global queue limit exceeded".into(),
                 session_pending: pending,

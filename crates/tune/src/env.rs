@@ -128,6 +128,9 @@ pub struct TuningEnv {
     /// constants (app, cluster, cost model, fault plan, retry policy), so
     /// per-evaluation keys only re-encode what actually varies.
     cache_static_fp: Option<EvalKey>,
+    /// Evaluations answered from the cache instead of run live — cost
+    /// attribution for the serving layer's per-session status.
+    cache_hits: u64,
 }
 
 impl TuningEnv {
@@ -152,6 +155,7 @@ impl TuningEnv {
             obs,
             cache: None,
             cache_static_fp: None,
+            cache_hits: 0,
         }
     }
 
@@ -181,6 +185,7 @@ impl TuningEnv {
             obs,
             cache: None,
             cache_static_fp: None,
+            cache_hits: 0,
         }
     }
 
@@ -429,6 +434,7 @@ impl TuningEnv {
         config: &MemoryConfig,
         cached: &CachedEval,
     ) -> (Observation, Profile) {
+        self.cache_hits += 1;
         // One seed-chain step per attempt, exactly as `run_attempt` would
         // have advanced it.
         for _ in 0..=cached.retries {
@@ -492,6 +498,11 @@ impl TuningEnv {
     /// Total retries across all evaluations.
     pub fn total_retries(&self) -> u32 {
         self.history.iter().map(|o| o.retries).sum()
+    }
+
+    /// Evaluations answered from the shared cache instead of run live.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
     }
 
     /// Convenience: the per-container heap for `n` containers per node.

@@ -61,24 +61,34 @@ echo "== serve smoke test =="
 # Start the tuning service, drive a fleet of concurrent sessions through
 # the TCP frontend, drain, and hold the serving layer to its headline
 # guarantees: (1) per-session histories are byte-identical between a
-# serial run and 8 workers under 8 concurrent clients, (2) the drain
-# checkpoints every session with zero lost or duplicated evaluations
-# (serve_load reconciles the drain report against the obs counters and
-# aborts on any mismatch).
+# serial run and 8 workers under 8 concurrent clients — with the
+# telemetry plane fully on (tracing, a concurrent Metrics scraper, the
+# flight recorder), (2) the drain checkpoints every session with zero
+# lost or duplicated evaluations (serve_load reconciles the drain report
+# against the obs counters, the mid-load scrapes, and the flight dumps on
+# disk, and aborts on any mismatch).
 serve_dir="$(mktemp -d)"
 trap 'rm -rf "$replay_dir" "$cache_dir" "$serve_dir"' EXIT
 cargo run --release -q -p relm-experiments --bin serve_load -- \
   --workers 1 --clients 1 --sessions 12 --steps 4 --guided 2 \
+  --scrape --flightrec-dir "$serve_dir/flight1" \
   --out "$serve_dir/serial.jsonl" --checkpoint-dir "$serve_dir/ckpt1"
 cargo run --release -q -p relm-experiments --bin serve_load -- \
   --workers 8 --clients 8 --sessions 12 --steps 4 --guided 2 \
+  --scrape --flightrec-dir "$serve_dir/flight8" \
   --out "$serve_dir/parallel.jsonl" --checkpoint-dir "$serve_dir/ckpt8"
 diff "$serve_dir/serial.jsonl" "$serve_dir/parallel.jsonl" \
   || { echo "serve smoke test FAILED: histories depend on worker count" >&2; exit 1; }
 ckpts="$(ls "$serve_dir/ckpt8" | wc -l)"
 [ "$ckpts" -eq 12 ] \
   || { echo "serve smoke test FAILED: expected 12 checkpoints, found $ckpts" >&2; exit 1; }
-echo "serve OK: 12 sessions (incl. GP-guided steps) byte-identical across 1/8 workers, all checkpointed on drain"
+# The drain freezes one flight dump per session (plus one per censored
+# evaluation); serve_load already verified each dump parses and
+# checksums, so here just pin the drain-dump count.
+drain_dumps="$(ls "$serve_dir/flight8" | grep -c -- '-drain-')"
+[ "$drain_dumps" -eq 12 ] \
+  || { echo "serve smoke test FAILED: expected 12 drain flight dumps, found $drain_dumps" >&2; exit 1; }
+echo "serve OK: 12 sessions (incl. GP-guided steps) byte-identical across 1/8 workers under a live scraper, all checkpointed and flight-dumped on drain"
 
 echo "== surrogate perf smoke test =="
 # The fast surrogate kernels must be invisible in the traces: the
