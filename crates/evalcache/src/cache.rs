@@ -124,6 +124,17 @@ impl<V> EvalCache<V> {
         found
     }
 
+    /// True if `key` is present, without counting a hit or a miss. The
+    /// serving fleet probes with this before leasing a task to a remote
+    /// worker (cross-worker dedup): a probe is a scheduling decision, not
+    /// an evaluation, so it must not skew the hit-ratio telemetry.
+    pub fn contains(&self, key: &EvalKey) -> bool {
+        self.shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .contains_key(key)
+    }
+
     /// Number of entries across all shards.
     pub fn len(&self) -> usize {
         self.inner

@@ -6,7 +6,20 @@
 //! serve_load [--workers N] [--sessions N] [--steps N] [--guided N]
 //!            [--clients N] [--out PATH] [--checkpoint-dir PATH]
 //!            [--scrape] [--flightrec-dir PATH]
+//!            [--fleet N] [--fleet-kill K]
 //! ```
+//!
+//! `--fleet N` switches the service into fleet mode
+//! ([`relm_serve::Execution::External`]): no in-process evaluation pool;
+//! instead a [`relm_fleet::Center`] farms every evaluation to N worker
+//! loops and commits their outcomes through the cache-replay path.
+//! `--fleet-kill K` arms K of those workers to crash silently right
+//! after acking their first task — the monitor detects the silence,
+//! reassigns, and the run must still reconcile exactly: the JSONL output
+//! stays **byte-identical** to a plain `--workers` run, the drain
+//! tally's `reassignments` equals K and agrees with the
+//! `fleet.reassignments` counter, and every admitted evaluation commits
+//! through exactly one door.
 //!
 //! `--scrape` starts a scraper thread that hammers the `Metrics` endpoint
 //! over its own TCP connection for the whole run and verifies every
@@ -41,9 +54,12 @@
 //! throughput and latency quantiles go to stdout only.
 
 use relm_experiments::results_dir;
-use relm_faults::FaultConfig;
+use relm_faults::{FaultConfig, WorkerFaultConfig, WorkerFaultPlan};
+use relm_fleet::{run_worker, Center, MonitorConfig, WorkerConfig, WorkerExit, WorkerReport};
 use relm_obs::{parse_prometheus, read_dump, MetricsSnapshot, Obs};
-use relm_serve::{Request, Response, ServeConfig, Service, SessionSpec, TcpClient, TcpServer};
+use relm_serve::{
+    Execution, Request, Response, ServeConfig, Service, SessionSpec, TcpClient, TcpServer,
+};
 use relm_tune::Observation;
 use serde::{Deserialize, Serialize};
 use std::io::Write;
@@ -86,6 +102,8 @@ struct Args {
     checkpoint_dir: Option<PathBuf>,
     scrape: bool,
     flightrec_dir: Option<PathBuf>,
+    fleet: usize,
+    fleet_kill: usize,
 }
 
 fn parse_args() -> Args {
@@ -99,6 +117,8 @@ fn parse_args() -> Args {
         checkpoint_dir: None,
         scrape: false,
         flightrec_dir: None,
+        fleet: 0,
+        fleet_kill: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -116,6 +136,8 @@ fn parse_args() -> Args {
             "--checkpoint-dir" => args.checkpoint_dir = Some(PathBuf::from(value())),
             "--scrape" => args.scrape = true,
             "--flightrec-dir" => args.flightrec_dir = Some(PathBuf::from(value())),
+            "--fleet" => args.fleet = value().parse().expect("--fleet"),
+            "--fleet-kill" => args.fleet_kill = value().parse().expect("--fleet-kill"),
             other => panic!("unknown flag {other}"),
         }
     }
@@ -123,6 +145,10 @@ fn parse_args() -> Args {
     assert!(
         args.guided == 0 || args.steps >= 4,
         "--guided needs a bootstrap of at least 4 steps"
+    );
+    assert!(
+        args.fleet_kill == 0 || args.fleet_kill < args.fleet,
+        "--fleet-kill needs at least one surviving worker (--fleet > K)"
     );
     args
 }
@@ -136,6 +162,7 @@ fn drive_client(
     sessions: u64,
     steps: u32,
     guided: u32,
+    fleet: bool,
 ) -> Vec<SessionRecord> {
     let mut conn = TcpClient::connect(addr).expect("connect load client");
     let mut records = Vec::new();
@@ -245,7 +272,16 @@ fn drive_client(
                     "stress time must accrue: {status:?}"
                 );
                 assert!(status.queue_wait_ms >= 0.0);
-                assert_eq!(status.evalcache_hits, 0, "no cache configured");
+                if fleet {
+                    // Fleet commits replay remote outcomes through the
+                    // shared cache, so every completion is a hit.
+                    assert_eq!(
+                        status.evalcache_hits, status.completed as u64,
+                        "fleet commits all replay through the cache"
+                    );
+                } else {
+                    assert_eq!(status.evalcache_hits, 0, "no cache configured");
+                }
             }
             other => panic!("status rejected: {other:?}"),
         }
@@ -314,6 +350,11 @@ fn main() {
     let service = Arc::new(Service::start(
         ServeConfig {
             workers: args.workers,
+            execution: if args.fleet > 0 {
+                Execution::External
+            } else {
+                Execution::InProcess
+            },
             max_sessions: args.sessions as usize,
             session_queue_limit: args.steps.max(args.guided) as usize,
             global_queue_limit: (args.steps as usize) * (args.sessions as usize).min(64),
@@ -323,6 +364,39 @@ fn main() {
         },
         obs.clone(),
     ));
+    // Fleet mode: a center routes every evaluation to in-process worker
+    // loops (same loop the fleet_worker binary runs, minus the socket).
+    // The death timeout (500ms) is far above any legitimate in-process
+    // stall, so the only deaths are the K armed kills — which keeps
+    // `fleet.reassignments` deterministic.
+    let center = (args.fleet > 0).then(|| {
+        Center::start(
+            Arc::clone(&service),
+            MonitorConfig {
+                heartbeat_ms: 20,
+                missed_threshold: 25,
+            },
+        )
+    });
+    let fleet_stop = Arc::new(AtomicBool::new(false));
+    let mut fleet_threads = Vec::new();
+    // Armed workers start first: each acks one task and dies silently.
+    for k in 0..args.fleet_kill {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&fleet_stop);
+        fleet_threads.push(std::thread::spawn(move || {
+            let config = WorkerConfig::named(format!("lw-kill-{k}"))
+                .with_faults(WorkerFaultPlan::new(
+                    7000 + k as u64,
+                    WorkerFaultConfig {
+                        kill_rate: 1.0,
+                        ..WorkerFaultConfig::off()
+                    },
+                ))
+                .with_heartbeat_ms(10);
+            run_worker(|req| Ok(service.handle(req)), &config, &stop)
+        }));
+    }
     let server = TcpServer::start(Arc::clone(&service), "127.0.0.1:0").expect("bind frontend");
     let addr = server.addr();
 
@@ -337,11 +411,45 @@ fn main() {
     let started = Instant::now();
     let threads: Vec<_> = (0..args.clients)
         .map(|c| {
-            let (clients, sessions, steps, guided) =
-                (args.clients, args.sessions, args.steps, args.guided);
-            std::thread::spawn(move || drive_client(addr, c, clients, sessions, steps, guided))
+            let (clients, sessions, steps, guided, fleet) = (
+                args.clients,
+                args.sessions,
+                args.steps,
+                args.guided,
+                args.fleet > 0,
+            );
+            std::thread::spawn(move || {
+                drive_client(addr, c, clients, sessions, steps, guided, fleet)
+            })
         })
         .collect();
+    if args.fleet > 0 {
+        // With kills armed, hold the survivors back until every armed
+        // worker has taken a task, died, and been detected — so each kill
+        // contributes exactly one reassignment and none goes hungry.
+        if args.fleet_kill > 0 {
+            let deadline = Instant::now() + std::time::Duration::from_secs(30);
+            while obs.counter_value("fleet.reassignments") < args.fleet_kill as f64 {
+                assert!(
+                    Instant::now() < deadline,
+                    "armed workers never died: reassignments={}",
+                    obs.counter_value("fleet.reassignments")
+                );
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        }
+        for w in 0..args.fleet - args.fleet_kill {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&fleet_stop);
+            fleet_threads.push(std::thread::spawn(move || {
+                run_worker(
+                    |req| Ok(service.handle(req)),
+                    &WorkerConfig::named(format!("lw-{w}")).with_heartbeat_ms(10),
+                    &stop,
+                )
+            }));
+        }
+    }
     let mut records: Vec<SessionRecord> = threads
         .into_iter()
         .flat_map(|t| t.join().expect("client thread panicked"))
@@ -349,16 +457,32 @@ fn main() {
     records.sort_by_key(|r| r.index);
     let elapsed = started.elapsed().as_secs_f64();
 
+    // Every client got its Result, so every evaluation is committed: the
+    // fleet can retire before the drain (an empty fleet also proves the
+    // drain needs no workers to run reassignment limbo dry).
+    fleet_stop.store(true, Ordering::Relaxed);
+    let fleet_reports: Vec<WorkerReport> = fleet_threads
+        .into_iter()
+        .map(|t| t.join().expect("fleet worker thread panicked"))
+        .collect();
+
     // Graceful shutdown: every session checkpointed, nothing in flight.
     let mut admin = TcpClient::connect(addr).expect("connect admin client");
-    let (drained_sessions, drained_evals, checkpointed, flight_dumped) =
+    let (drained_sessions, drained_evals, checkpointed, flight_dumped, drained_reassignments) =
         match admin.request(&Request::Drain).expect("drain request") {
             Response::Drained {
                 sessions,
                 evaluations,
                 checkpointed,
                 flight_dumped,
-            } => (sessions, evaluations, checkpointed, flight_dumped),
+                reassignments,
+            } => (
+                sessions,
+                evaluations,
+                checkpointed,
+                flight_dumped,
+                reassignments,
+            ),
             other => panic!("drain rejected: {other:?}"),
         };
     scrape_stop.store(true, Ordering::Relaxed);
@@ -380,6 +504,52 @@ fn main() {
     );
     if args.checkpoint_dir.is_some() {
         assert_eq!(checkpointed, args.sessions as usize, "missing checkpoints");
+    }
+
+    // Fleet reconciliation: the drain tally, the counter, and the armed
+    // kill count must all agree, every armed worker died without
+    // evaluating, the survivors did all the work, and every admitted
+    // evaluation committed through exactly one door.
+    assert_eq!(
+        drained_reassignments as f64,
+        obs.counter_value("fleet.reassignments"),
+        "drain tally and reassignment counter disagree"
+    );
+    if args.fleet > 0 {
+        assert_eq!(
+            drained_reassignments, args.fleet_kill,
+            "each armed kill must cause exactly one reassignment"
+        );
+        for report in &fleet_reports {
+            if report.id.starts_with("lw-kill-") {
+                assert_eq!(report.exit, WorkerExit::Killed, "{} survived", report.id);
+                assert_eq!(
+                    report.evaluations, 0,
+                    "{} evaluated before dying",
+                    report.id
+                );
+            } else {
+                assert_eq!(report.exit, WorkerExit::Stopped, "{} died", report.id);
+                assert_eq!(report.deposed, 0, "{} was falsely deposed", report.id);
+            }
+        }
+        let executed: usize = fleet_reports.iter().map(|r| r.evaluations).sum();
+        assert_eq!(
+            executed, expected_evals,
+            "workers executed a different number"
+        );
+        let commits = obs.counter_value("fleet.tasks_completed")
+            + obs.counter_value("fleet.cache_commits")
+            + obs.counter_value("fleet.local_commits");
+        assert_eq!(
+            commits, expected_evals as f64,
+            "commit doors don't sum to the admitted total"
+        );
+    } else {
+        assert_eq!(drained_reassignments, 0, "reassignments without a fleet");
+    }
+    if let Some(center) = &center {
+        assert_eq!(center.outstanding(), 0, "tasks left in the table");
     }
 
     // Final scrape: now that the service is quiescent, the live metrics
@@ -488,6 +658,20 @@ fn main() {
         obs.counter_value("serve.rejected.malformed"),
         obs.counter_value("serve.rejected.oversized"),
     );
+    if let Some(center) = center {
+        println!(
+            "fleet: {} workers ({} armed to die), reassignments={}, \
+             commits: remote={} cache={} local={}, heartbeats_missed={}",
+            args.fleet,
+            args.fleet_kill,
+            drained_reassignments,
+            obs.counter_value("fleet.tasks_completed"),
+            obs.counter_value("fleet.cache_commits"),
+            obs.counter_value("fleet.local_commits"),
+            obs.counter_value("fleet.heartbeats_missed"),
+        );
+        center.stop();
+    }
     if let Some((scrapes, _)) = scrapes {
         println!(
             "scraper: {scrapes} consistent scrapes, flight dumps: {} ({} on drain)",

@@ -44,6 +44,8 @@
 
 mod cause;
 mod plan;
+mod worker;
 
 pub use cause::{AbortCause, AbortClass};
 pub use plan::{FaultConfig, FaultPlan, InjectedFault, ProfileNoise};
+pub use worker::{WorkerFaultConfig, WorkerFaultPlan};

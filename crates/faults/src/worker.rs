@@ -1,0 +1,207 @@
+//! Worker-level fault sites for the distributed serving fleet.
+//!
+//! The fleet's failure matrix is three faults above the evaluation layer:
+//! a worker process dying mid-evaluation, a worker's heartbeat getting
+//! lost on the wire, and the result-delivery link dropping after the
+//! evaluation finished. Like [`crate::FaultPlan`], every decision is a
+//! pure function of `(plan seed, site)`, so a fleet run under a given
+//! plan injects exactly the same worker failures regardless of thread
+//! interleaving — which is what lets the kill tests diff histories
+//! byte-for-byte against a no-fault local run.
+
+use relm_common::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Injection rates for worker-level faults. All probabilities are per
+/// decision site; a rate of 0 disables that fault class entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkerFaultConfig {
+    /// Probability that the worker dies after acking an assignment but
+    /// before delivering the result (process kill mid-evaluation).
+    pub kill_rate: f64,
+    /// Probability that one heartbeat is lost on the wire (the worker
+    /// stays alive; the center just never sees that beat).
+    pub heartbeat_loss_rate: f64,
+    /// Probability that a finished evaluation's result is dropped on the
+    /// delivery link (the worker computed it, the center never hears).
+    pub link_drop_rate: f64,
+}
+
+impl WorkerFaultConfig {
+    /// No worker faults at all.
+    pub fn off() -> Self {
+        WorkerFaultConfig {
+            kill_rate: 0.0,
+            heartbeat_loss_rate: 0.0,
+            link_drop_rate: 0.0,
+        }
+    }
+
+    /// True when every rate is zero — the plan will never inject.
+    pub fn is_off(&self) -> bool {
+        self.kill_rate == 0.0 && self.heartbeat_loss_rate == 0.0 && self.link_drop_rate == 0.0
+    }
+}
+
+impl Default for WorkerFaultConfig {
+    fn default() -> Self {
+        WorkerFaultConfig::off()
+    }
+}
+
+/// Site tags keep the per-site random streams decorrelated, mirroring
+/// the engine-level `FaultPlan`'s construction. Tags start at 16 so the
+/// two plans never collide even if they share a seed.
+#[derive(Clone, Copy)]
+enum Site {
+    Kill = 16,
+    HeartbeatLoss = 17,
+    LinkDrop = 18,
+}
+
+/// A fully deterministic worker-fault plan. Decisions are addressed by
+/// `(worker id, task id, attempt)` for kills and link drops, and by
+/// `(worker id, heartbeat seq)` for heartbeat loss, so two fleet runs
+/// holding equal plans fail at exactly the same points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerFaultPlan {
+    seed: u64,
+    config: WorkerFaultConfig,
+}
+
+use relm_common::hash::{fnv1a64_parts as site_hash, fnv1a64_str as str_hash};
+
+impl WorkerFaultPlan {
+    /// Creates a plan from a seed and rates.
+    pub fn new(seed: u64, config: WorkerFaultConfig) -> Self {
+        WorkerFaultPlan { seed, config }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The plan's rates.
+    pub fn config(&self) -> &WorkerFaultConfig {
+        &self.config
+    }
+
+    /// True when this plan never injects anything.
+    pub fn is_off(&self) -> bool {
+        self.config.is_off()
+    }
+
+    fn site_rng(&self, site: Site, worker: &str, coords: &[u64]) -> Rng {
+        let mut parts = vec![self.seed, site as u64, str_hash(worker)];
+        parts.extend_from_slice(coords);
+        Rng::new(site_hash(&parts))
+    }
+
+    /// Does `worker` die while executing `(task, attempt)`? A killed
+    /// worker stops heartbeating and never delivers the result; the
+    /// monitor later declares it dead and the task is reassigned.
+    pub fn worker_kill(&self, worker: &str, task: u64, attempt: u32) -> bool {
+        if self.config.kill_rate <= 0.0 {
+            return false;
+        }
+        let mut rng = self.site_rng(Site::Kill, worker, &[task, attempt as u64]);
+        rng.chance(self.config.kill_rate)
+    }
+
+    /// Is `worker`'s heartbeat number `seq` lost on the wire? The worker
+    /// keeps running; the center sees a gap in the sequence.
+    pub fn heartbeat_loss(&self, worker: &str, seq: u64) -> bool {
+        if self.config.heartbeat_loss_rate <= 0.0 {
+            return false;
+        }
+        let mut rng = self.site_rng(Site::HeartbeatLoss, worker, &[seq]);
+        rng.chance(self.config.heartbeat_loss_rate)
+    }
+
+    /// Is the result of `(task, attempt)` dropped on the delivery link?
+    /// The worker paid for the evaluation but the center never hears;
+    /// the retry delivers from the worker's local copy or the task is
+    /// reassigned and replays from the shared cache.
+    pub fn link_drop(&self, worker: &str, task: u64, attempt: u32) -> bool {
+        if self.config.link_drop_rate <= 0.0 {
+            return false;
+        }
+        let mut rng = self.site_rng(Site::LinkDrop, worker, &[task, attempt as u64]);
+        rng.chance(self.config.link_drop_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(kill: f64, hb: f64, link: f64) -> WorkerFaultPlan {
+        WorkerFaultPlan::new(
+            77,
+            WorkerFaultConfig {
+                kill_rate: kill,
+                heartbeat_loss_rate: hb,
+                link_drop_rate: link,
+            },
+        )
+    }
+
+    #[test]
+    fn off_plan_never_injects() {
+        let p = WorkerFaultPlan::new(1, WorkerFaultConfig::off());
+        assert!(p.is_off());
+        for t in 0..100 {
+            assert!(!p.worker_kill("w-0", t, 0));
+            assert!(!p.heartbeat_loss("w-0", t));
+            assert!(!p.link_drop("w-0", t, 0));
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_site() {
+        let a = plan(0.3, 0.3, 0.3);
+        let b = plan(0.3, 0.3, 0.3);
+        for t in 0..200 {
+            assert_eq!(a.worker_kill("w-1", t, 2), b.worker_kill("w-1", t, 2));
+            assert_eq!(a.heartbeat_loss("w-1", t), b.heartbeat_loss("w-1", t));
+            assert_eq!(a.link_drop("w-1", t, 2), b.link_drop("w-1", t, 2));
+        }
+    }
+
+    #[test]
+    fn sites_are_decorrelated_across_workers_and_attempts() {
+        let p = plan(0.4, 0.0, 0.0);
+        let differs_by_worker =
+            (0..200).any(|t| p.worker_kill("w-0", t, 0) != p.worker_kill("w-1", t, 0));
+        let differs_by_attempt =
+            (0..200).any(|t| p.worker_kill("w-0", t, 0) != p.worker_kill("w-0", t, 1));
+        assert!(differs_by_worker, "worker id must address the site");
+        assert!(differs_by_attempt, "attempt must address the site");
+    }
+
+    #[test]
+    fn rates_are_approximately_honoured() {
+        let p = plan(0.2, 0.0, 0.0);
+        let n = 5_000;
+        let kills = (0..n).filter(|&t| p.worker_kill("w-0", t, 0)).count();
+        let frac = kills as f64 / n as f64;
+        assert!((frac - 0.2).abs() < 0.03, "kill rate {frac} far from 0.2");
+    }
+
+    #[test]
+    fn certain_kill_fires_everywhere() {
+        let p = plan(1.0, 0.0, 0.0);
+        for t in 0..50 {
+            assert!(p.worker_kill("w-0", t, 0));
+        }
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let p = plan(0.1, 0.05, 0.02);
+        let text = serde_json::to_string(&p).unwrap();
+        let back: WorkerFaultPlan = serde_json::from_str(&text).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,115 @@
+//! The fleet center process: an [`relm_serve`] TCP frontend in external
+//! execution mode with a [`relm_fleet::Center`] attached.
+//!
+//! ```text
+//! fleet_center [--bind ADDR] [--heartbeat-ms N] [--missed-threshold N]
+//!              [--checkpoint-dir PATH]
+//! ```
+//!
+//! Binds the JSON-lines protocol on `--bind` (default `127.0.0.1:7463`,
+//! port 0 for ephemeral; the resolved address is printed first). Clients
+//! create sessions and step them exactly as against a local server;
+//! workers ([`fleet_worker`](../fleet_worker/index.html)) connect to the
+//! same port. Type `drain` (or close stdin) for a graceful shutdown:
+//! admission stops, reassignment limbo runs dry, every session is
+//! checkpointed, and the drain tally is printed.
+
+use std::io::BufRead;
+use std::sync::Arc;
+
+use relm_fleet::{Center, MonitorConfig};
+use relm_obs::Obs;
+use relm_serve::{Execution, Request, Response, ServeConfig, Service, TcpServer};
+
+struct Args {
+    bind: String,
+    monitor: MonitorConfig,
+    checkpoint_dir: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        bind: "127.0.0.1:7463".into(),
+        monitor: MonitorConfig::default(),
+        checkpoint_dir: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--bind" => args.bind = value(),
+            "--heartbeat-ms" => {
+                args.monitor.heartbeat_ms = value().parse().expect("--heartbeat-ms")
+            }
+            "--missed-threshold" => {
+                args.monitor.missed_threshold = value().parse().expect("--missed-threshold")
+            }
+            "--checkpoint-dir" => args.checkpoint_dir = Some(value().into()),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let obs = Obs::enabled();
+    let service = Arc::new(Service::start(
+        ServeConfig {
+            execution: Execution::External,
+            checkpoint_dir: args.checkpoint_dir.clone(),
+            ..ServeConfig::default()
+        },
+        obs.clone(),
+    ));
+    let center = Center::start(Arc::clone(&service), args.monitor);
+    let server = TcpServer::start(Arc::clone(&service), args.bind.as_str()).expect("bind center");
+    println!("fleet_center listening on {}", server.addr());
+    println!(
+        "liveness: heartbeat every {}ms, dead after {} missed",
+        args.monitor.heartbeat_ms, args.monitor.missed_threshold
+    );
+    println!("type `drain` (or close stdin) for graceful shutdown");
+
+    // Block on stdin; `drain` or EOF triggers the graceful path.
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(cmd) if cmd.trim() == "drain" => break,
+            Ok(cmd) if cmd.trim().is_empty() => continue,
+            Ok(cmd) => println!("unknown command `{}` (try `drain`)", cmd.trim()),
+            Err(_) => break,
+        }
+    }
+
+    match service.handle(&Request::Drain) {
+        Response::Drained {
+            sessions,
+            evaluations,
+            checkpointed,
+            reassignments,
+            ..
+        } => {
+            println!(
+                "drained: {sessions} sessions, {evaluations} evaluations, \
+                 {checkpointed} checkpointed, {reassignments} reassignments"
+            );
+            println!(
+                "fleet counters: assigned={} completed={} cache_commits={} \
+                 local_commits={} late_results={} heartbeats_missed={}",
+                obs.counter_value("fleet.tasks_assigned"),
+                obs.counter_value("fleet.tasks_completed"),
+                obs.counter_value("fleet.cache_commits"),
+                obs.counter_value("fleet.local_commits"),
+                obs.counter_value("fleet.late_results"),
+                obs.counter_value("fleet.heartbeats_missed"),
+            );
+        }
+        other => eprintln!("drain failed: {other:?}"),
+    }
+    center.stop();
+    drop(server);
+}

@@ -1,0 +1,92 @@
+//! The fleet worker process: connects to a
+//! [`fleet_center`](../fleet_center/index.html), registers, and
+//! evaluates leased tasks until the center refuses it or the connection
+//! drops.
+//!
+//! ```text
+//! fleet_worker --connect ADDR [--id NAME] [--heartbeat-ms N]
+//!              [--fault-seed N] [--kill-rate R] [--heartbeat-loss-rate R]
+//!              [--link-drop-rate R]
+//! ```
+//!
+//! The fault flags arm a seeded [`relm_faults::WorkerFaultPlan`] — the
+//! same site-addressed injection used by the fleet tests, so a worker
+//! can be made to crash mid-evaluation (`--kill-rate 1.0`), drop beats,
+//! or lose result frames, deterministically per (seed, site, coords).
+
+use std::sync::atomic::AtomicBool;
+
+use relm_faults::{WorkerFaultConfig, WorkerFaultPlan};
+use relm_fleet::{run_worker, WorkerConfig};
+use relm_serve::TcpClient;
+
+struct Args {
+    connect: String,
+    id: String,
+    heartbeat_ms: Option<u64>,
+    fault_seed: u64,
+    fault_config: WorkerFaultConfig,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        connect: String::new(),
+        id: format!("worker-{}", std::process::id()),
+        heartbeat_ms: None,
+        fault_seed: 0,
+        fault_config: WorkerFaultConfig::off(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--connect" => args.connect = value(),
+            "--id" => args.id = value(),
+            "--heartbeat-ms" => args.heartbeat_ms = Some(value().parse().expect("--heartbeat-ms")),
+            "--fault-seed" => args.fault_seed = value().parse().expect("--fault-seed"),
+            "--kill-rate" => args.fault_config.kill_rate = value().parse().expect("--kill-rate"),
+            "--heartbeat-loss-rate" => {
+                args.fault_config.heartbeat_loss_rate =
+                    value().parse().expect("--heartbeat-loss-rate")
+            }
+            "--link-drop-rate" => {
+                args.fault_config.link_drop_rate = value().parse().expect("--link-drop-rate")
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    assert!(!args.connect.is_empty(), "--connect ADDR is required");
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let mut config = WorkerConfig::named(&args.id);
+    if let Some(ms) = args.heartbeat_ms {
+        config = config.with_heartbeat_ms(ms);
+    }
+    if !args.fault_config.is_off() {
+        config = config.with_faults(WorkerFaultPlan::new(args.fault_seed, args.fault_config));
+        eprintln!(
+            "{}: armed fault plan seed={} {:?}",
+            args.id, args.fault_seed, args.fault_config
+        );
+    }
+    let mut client = TcpClient::connect(args.connect.as_str()).expect("connect to center");
+    println!("{}: connected to {}", args.id, args.connect);
+    let stop = AtomicBool::new(false);
+    let report = run_worker(|req| client.request(req), &config, &stop);
+    println!(
+        "{}: exit={:?} evaluations={} heartbeats={} (lost {}) link_drops={} deposed={}",
+        report.id,
+        report.exit,
+        report.evaluations,
+        report.heartbeats,
+        report.heartbeats_lost,
+        report.link_drops,
+        report.deposed,
+    );
+}

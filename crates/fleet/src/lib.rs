@@ -1,0 +1,39 @@
+//! `relm-fleet`: fault-tolerant distributed serving for the RelM tuner.
+//!
+//! [`relm_serve`] multiplexes tuning sessions onto an in-process pool;
+//! this crate stretches the same service across processes. A **center**
+//! owns the sessions and their histories; stateless **workers** register
+//! over the existing JSON-lines protocol, heartbeat on a fixed cadence,
+//! and pull evaluations one at a time. A monitor declares silent workers
+//! dead after a missed-heartbeat threshold and requeues their tasks; a
+//! content-addressed dedup key (the evaluation cache's [`EvalKey`])
+//! makes reassignment **at-most-once**: no cell is ever paid for twice,
+//! and no session ever sees a duplicated or dropped evaluation.
+//!
+//! The standing invariant, inherited from the serving layer and enforced
+//! by `tests/fleet_kill.rs`: per-session histories are **byte-identical
+//! at any fleet size under any injected worker-failure schedule** — a
+//! 3-worker fleet with a worker killed mid-evaluation produces exactly
+//! the history of a 1-worker local run. The trick is that a worker ships
+//! back the same [`relm_tune::CachedEval`] the cache-fill path would
+//! have stored, and the center *replays* it through the session's
+//! environment — so distribution, like caching before it, is invisible
+//! to the deterministic state.
+//!
+//! Worker-level fault injection lives in [`relm_faults::WorkerFaultPlan`]
+//! (kill mid-evaluation, heartbeat loss, result-link drop), seeded and
+//! site-addressed like every other fault in the repro.
+//!
+//! [`EvalKey`]: relm_tune::EvalKey
+
+pub mod center;
+pub mod monitor;
+pub mod registry;
+pub mod tasks;
+pub mod worker;
+
+pub use center::Center;
+pub use monitor::MonitorConfig;
+pub use registry::{WorkerRegistry, WorkerState};
+pub use tasks::{TaskState, TaskTable};
+pub use worker::{evaluate_task, run_worker, WorkerConfig, WorkerExit, WorkerReport};

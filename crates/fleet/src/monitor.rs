@@ -1,0 +1,57 @@
+//! Liveness policy: how often workers beat and how much silence means
+//! death.
+
+use std::time::Duration;
+
+/// Heartbeat cadence and death threshold, fixed by the center and
+/// announced to every worker at registration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorConfig {
+    /// Interval between worker heartbeats, in milliseconds.
+    pub heartbeat_ms: u64,
+    /// Consecutive missed intervals after which a silent worker is
+    /// declared dead and its task reassigned.
+    pub missed_threshold: u32,
+}
+
+impl MonitorConfig {
+    /// Silence longer than this declares a worker dead.
+    ///
+    /// Must dominate the longest legitimate silent window a worker can
+    /// hit: one result-frame round-trip over a blocking connection (a
+    /// worker cannot beat while its `Complete` is in flight). The
+    /// default (2s) leaves ample room; tests that shrink it to tens of
+    /// milliseconds must use an in-process transport.
+    pub fn death_timeout(&self) -> Duration {
+        Duration::from_millis(self.heartbeat_ms * u64::from(self.missed_threshold))
+    }
+
+    /// How long the monitor sleeps between sweeps.
+    pub fn sweep_interval(&self) -> Duration {
+        Duration::from_millis(self.heartbeat_ms.max(1))
+    }
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            heartbeat_ms: 500,
+            missed_threshold: 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn death_timeout_is_threshold_intervals() {
+        let cfg = MonitorConfig {
+            heartbeat_ms: 100,
+            missed_threshold: 3,
+        };
+        assert_eq!(cfg.death_timeout(), Duration::from_millis(300));
+        assert_eq!(cfg.sweep_interval(), Duration::from_millis(100));
+    }
+}

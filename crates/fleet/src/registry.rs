@@ -1,0 +1,237 @@
+//! The worker registry: who is alive, when they last spoke, and what
+//! they are running.
+//!
+//! Liveness has two independent signals:
+//!
+//! * **Sequence gaps** — heartbeats are numbered by the worker, so a
+//!   beat lost on the wire is visible as a gap even when the next beat
+//!   arrives on time. Gap counting is deterministic: the same injected
+//!   heartbeat-loss schedule produces the same `fleet.heartbeats_missed`
+//!   tally on every run.
+//! * **Silence** — the monitor declares a worker dead once nothing has
+//!   arrived for `missed_threshold` heartbeat intervals. This side is
+//!   wall-clock (real failure detection cannot be anything else); the
+//!   serving layer's determinism does not depend on *when* a worker is
+//!   declared dead, only on the at-most-once commit discipline.
+//!
+//! All methods take `now` explicitly so tests can drive the clock.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Liveness state of one registered worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerState {
+    /// Heartbeating within bounds.
+    Alive,
+    /// Declared dead by the monitor (or force-killed by a test). A dead
+    /// worker's requests are refused until it re-registers.
+    Dead,
+}
+
+/// One registered worker.
+#[derive(Debug)]
+struct WorkerEntry {
+    state: WorkerState,
+    /// Evaluations the worker runs concurrently (currently always 1).
+    #[allow(dead_code)]
+    capacity: u32,
+    /// When the center last heard anything from this worker.
+    last_seen: Instant,
+    /// Highest heartbeat sequence number seen.
+    last_seq: u64,
+    /// Heartbeats missed, counted from sequence gaps.
+    missed: u64,
+    /// The task currently assigned to this worker, if any.
+    assigned: Option<u64>,
+}
+
+/// The center's view of the fleet.
+#[derive(Debug, Default)]
+pub struct WorkerRegistry {
+    workers: BTreeMap<String, WorkerEntry>,
+}
+
+impl WorkerRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        WorkerRegistry::default()
+    }
+
+    /// Registers (or re-registers) a worker. If the worker was already
+    /// known and had a task assigned — a presumed-dead process coming
+    /// back, or a restart reusing the id — that assignment is orphaned
+    /// and returned so the caller can requeue it.
+    pub fn register(&mut self, worker: &str, capacity: u32, now: Instant) -> Option<u64> {
+        self.workers
+            .insert(
+                worker.to_string(),
+                WorkerEntry {
+                    state: WorkerState::Alive,
+                    capacity,
+                    last_seen: now,
+                    last_seq: 0,
+                    missed: 0,
+                    assigned: None,
+                },
+            )
+            .and_then(|old| old.assigned)
+    }
+
+    /// Records a heartbeat. Returns the number of beats lost on the wire
+    /// since the last one (the sequence gap), or `None` if the worker is
+    /// unknown or already declared dead — the caller must refuse it.
+    pub fn heartbeat(&mut self, worker: &str, seq: u64, now: Instant) -> Option<u64> {
+        let entry = self.workers.get_mut(worker)?;
+        if entry.state == WorkerState::Dead {
+            return None;
+        }
+        entry.last_seen = now;
+        let gap = seq.saturating_sub(entry.last_seq + 1);
+        entry.missed += gap;
+        entry.last_seq = entry.last_seq.max(seq);
+        Some(gap)
+    }
+
+    /// Marks any other request from the worker (`Ack`, `Complete`) as a
+    /// sign of life. Returns false for unknown or dead workers.
+    pub fn touch(&mut self, worker: &str, now: Instant) -> bool {
+        match self.workers.get_mut(worker) {
+            Some(entry) if entry.state == WorkerState::Alive => {
+                entry.last_seen = now;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The worker's current liveness, if registered.
+    pub fn state(&self, worker: &str) -> Option<WorkerState> {
+        self.workers.get(worker).map(|e| e.state)
+    }
+
+    /// The task currently assigned to `worker`.
+    pub fn assigned(&self, worker: &str) -> Option<u64> {
+        self.workers.get(worker).and_then(|e| e.assigned)
+    }
+
+    /// Records that `task` was assigned to `worker`.
+    pub fn set_assigned(&mut self, worker: &str, task: u64) {
+        if let Some(entry) = self.workers.get_mut(worker) {
+            entry.assigned = Some(task);
+        }
+    }
+
+    /// Clears the worker's assignment (after a commit).
+    pub fn clear_assigned(&mut self, worker: &str) {
+        if let Some(entry) = self.workers.get_mut(worker) {
+            entry.assigned = None;
+        }
+    }
+
+    /// Declares every worker silent for longer than `timeout` dead and
+    /// returns `(worker, orphaned task)` for each newly dead one.
+    pub fn sweep(&mut self, now: Instant, timeout: Duration) -> Vec<(String, Option<u64>)> {
+        let mut died = Vec::new();
+        for (name, entry) in &mut self.workers {
+            if entry.state == WorkerState::Alive && now.duration_since(entry.last_seen) > timeout {
+                entry.state = WorkerState::Dead;
+                died.push((name.clone(), entry.assigned.take()));
+            }
+        }
+        died
+    }
+
+    /// Test/ops hook: declare `worker` dead immediately, returning its
+    /// orphaned task.
+    pub fn force_dead(&mut self, worker: &str) -> Option<u64> {
+        let entry = self.workers.get_mut(worker)?;
+        entry.state = WorkerState::Dead;
+        entry.assigned.take()
+    }
+
+    /// Workers currently alive.
+    pub fn alive(&self) -> usize {
+        self.workers
+            .values()
+            .filter(|e| e.state == WorkerState::Alive)
+            .count()
+    }
+
+    /// Total heartbeats missed (sequence gaps), across all workers ever
+    /// registered.
+    pub fn heartbeats_missed(&self) -> u64 {
+        self.workers.values().map(|e| e.missed).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn now() -> Instant {
+        Instant::now()
+    }
+
+    #[test]
+    fn register_heartbeat_and_liveness() {
+        let mut reg = WorkerRegistry::new();
+        assert_eq!(reg.register("w-0", 1, now()), None);
+        assert_eq!(reg.state("w-0"), Some(WorkerState::Alive));
+        assert_eq!(reg.alive(), 1);
+        assert_eq!(reg.heartbeat("w-0", 1, now()), Some(0));
+        assert_eq!(reg.heartbeat("w-0", 2, now()), Some(0));
+        assert_eq!(reg.heartbeats_missed(), 0);
+    }
+
+    #[test]
+    fn sequence_gaps_count_missed_beats_deterministically() {
+        let mut reg = WorkerRegistry::new();
+        reg.register("w-0", 1, now());
+        assert_eq!(reg.heartbeat("w-0", 1, now()), Some(0));
+        // Beats 2 and 3 lost on the wire; 4 arrives.
+        assert_eq!(reg.heartbeat("w-0", 4, now()), Some(2));
+        assert_eq!(reg.heartbeats_missed(), 2);
+        // A duplicate or reordered old beat never double-counts.
+        assert_eq!(reg.heartbeat("w-0", 4, now()), Some(0));
+        assert_eq!(reg.heartbeat("w-0", 3, now()), Some(0));
+        assert_eq!(reg.heartbeats_missed(), 2);
+    }
+
+    #[test]
+    fn silence_past_the_threshold_kills_and_orphans() {
+        let mut reg = WorkerRegistry::new();
+        let t0 = now();
+        reg.register("w-0", 1, t0);
+        reg.register("w-1", 1, t0);
+        reg.set_assigned("w-0", 42);
+        let timeout = Duration::from_millis(30);
+        // w-1 keeps beating, w-0 goes silent.
+        let t1 = t0 + Duration::from_millis(40);
+        reg.heartbeat("w-1", 1, t1);
+        let died = reg.sweep(t1, timeout);
+        assert_eq!(died, vec![("w-0".to_string(), Some(42))]);
+        assert_eq!(reg.state("w-0"), Some(WorkerState::Dead));
+        assert_eq!(reg.alive(), 1);
+        // A dead worker's beats are refused until it re-registers.
+        assert_eq!(reg.heartbeat("w-0", 5, t1), None);
+        assert!(!reg.touch("w-0", t1));
+        // Sweeping again reports nothing new.
+        assert!(reg.sweep(t1 + timeout, timeout).is_empty());
+    }
+
+    #[test]
+    fn reregistration_revives_and_orphans_the_old_assignment() {
+        let mut reg = WorkerRegistry::new();
+        let t0 = now();
+        reg.register("w-0", 1, t0);
+        reg.set_assigned("w-0", 7);
+        reg.force_dead("w-0");
+        // force_dead already orphaned the task.
+        assert_eq!(reg.register("w-0", 1, t0), None);
+        assert_eq!(reg.state("w-0"), Some(WorkerState::Alive));
+        // But a live worker re-registering with a task in hand orphans it.
+        reg.set_assigned("w-0", 9);
+        assert_eq!(reg.register("w-0", 1, t0), Some(9));
+    }
+}

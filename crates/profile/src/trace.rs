@@ -8,7 +8,7 @@ use relm_jvm::GcEvent;
 use serde::{Deserialize, Serialize};
 
 /// Everything monitored for one container.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ContainerTrace {
     /// GC events logged by the JMX GC profiler.
     pub gc_events: Vec<GcEvent>,
@@ -49,7 +49,7 @@ impl ContainerTrace {
 }
 
 /// A complete application profile.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Profile {
     /// Application name.
     pub app_name: String,

@@ -54,9 +54,9 @@ pub mod service;
 pub mod slo;
 
 pub use protocol::{
-    decode, encode, read_frame, FrameError, Request, Response, SessionSpec, SessionStatus,
-    DEFAULT_MAX_FRAME_BYTES,
+    decode, encode, read_frame, EvalOutcome, FleetTask, FrameError, Request, Response, SessionSpec,
+    SessionStatus, DEFAULT_MAX_FRAME_BYTES,
 };
 pub use server::{TcpClient, TcpServer};
-pub use service::{resolve_workload, ServeConfig, Service};
+pub use service::{resolve_workload, EvalLease, Execution, FleetRouter, ServeConfig, Service};
 pub use slo::SLO_EPOCH_EVALS;

@@ -12,10 +12,11 @@
 //! buffered — the service never allocates proportionally to what a
 //! misbehaving client sends.
 
-use relm_app::AppSpec;
+use relm_app::{AppSpec, EngineCostModel};
+use relm_cluster::ClusterSpec;
 use relm_common::MemoryConfig;
-use relm_faults::FaultConfig;
-use relm_tune::{Observation, RetryPolicy, SessionExport};
+use relm_faults::{FaultConfig, FaultPlan};
+use relm_tune::{CachedEval, Observation, RetryPolicy, SessionExport};
 use serde::{Deserialize, Serialize};
 use std::io::{BufRead, Read};
 
@@ -85,6 +86,51 @@ impl SessionSpec {
     }
 }
 
+/// One evaluation leased to a remote fleet worker: everything the
+/// engine's outcome is a pure function of, plus the routing identity
+/// (`id`, `attempt`, `session`). A worker rebuilds a throwaway
+/// [`relm_tune::TuningEnv`] from this and executes exactly the live
+/// evaluation the center would have run locally — which is what makes
+/// the result safe to commit through the shared cache's replay path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetTask {
+    /// Center-assigned task id, unique for the service's lifetime.
+    pub id: u64,
+    /// Assignment attempt (0 on first lease, +1 per reassignment).
+    pub attempt: u32,
+    /// The session the evaluation belongs to (routing only — the worker
+    /// holds no session state).
+    pub session: String,
+    /// Application under test.
+    pub app: AppSpec,
+    /// Cluster the engine simulates.
+    pub cluster: ClusterSpec,
+    /// Engine cost model.
+    pub cost: EngineCostModel,
+    /// The memory configuration to stress-test.
+    pub config: MemoryConfig,
+    /// The session's seed-chain position for this evaluation.
+    pub seed: u64,
+    /// Retry/recovery policy the evaluation runs under.
+    pub retry: RetryPolicy,
+    /// The session's seeded fault plan, if any.
+    pub faults: Option<FaultPlan>,
+}
+
+/// What a worker ships back for one completed [`FleetTask`]: the same
+/// [`CachedEval`] the cache-fill path would have stored, so the center
+/// can insert it into the shared evaluation cache and *replay* it into
+/// the session — byte-identical to having run the evaluation locally.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalOutcome {
+    /// The memoized evaluation outcome (result, profile, retry
+    /// accounting, counter deltas).
+    pub eval: CachedEval,
+    /// Wall-clock milliseconds the worker spent. Telemetry only — never
+    /// part of the deterministic outputs.
+    pub wall_ms: f64,
+}
+
 /// A client request. One JSON object per line.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Request {
@@ -136,6 +182,28 @@ pub enum Request {
     /// Writes the session's flight recorder to the configured dump
     /// directory (`reason: "request"`) and reports the path.
     Dump { session: String },
+    /// A fleet worker announces itself to the center. `capacity` is how
+    /// many evaluations it runs concurrently (currently always 1).
+    /// Answered with [`Response::Registered`].
+    Register { worker: String, capacity: u32 },
+    /// A fleet worker's periodic liveness beat, sequence-numbered so the
+    /// center counts wire losses deterministically (a gap in `seq` is a
+    /// missed beat even if the next one arrives on time). Doubles as the
+    /// work poll: the center answers [`Response::Assign`] when a task is
+    /// queued, [`Response::HeartbeatAck`] otherwise.
+    Heartbeat { worker: String, seq: u64 },
+    /// A fleet worker confirms it accepted an assigned task and is
+    /// starting the evaluation.
+    Ack { worker: String, task: u64 },
+    /// A fleet worker delivers a finished evaluation. Commits at most
+    /// once: if the worker was declared dead and the task reassigned,
+    /// the outcome only warms the shared cache and the reply is
+    /// [`Response::Reassigned`].
+    Complete {
+        worker: String,
+        task: u64,
+        outcome: EvalOutcome,
+    },
 }
 
 impl Request {
@@ -156,6 +224,10 @@ impl Request {
             Request::Metrics => "metrics",
             Request::Trace { .. } => "trace",
             Request::Dump { .. } => "dump",
+            Request::Register { .. } => "register",
+            Request::Heartbeat { .. } => "heartbeat",
+            Request::Ack { .. } => "ack",
+            Request::Complete { .. } => "complete",
         }
     }
 
@@ -173,9 +245,14 @@ impl Request {
             | Request::Cancel { session }
             | Request::Trace { session }
             | Request::Dump { session } => Some(session),
-            Request::Ping | Request::CreateSession { .. } | Request::Drain | Request::Metrics => {
-                None
-            }
+            Request::Ping
+            | Request::CreateSession { .. }
+            | Request::Drain
+            | Request::Metrics
+            | Request::Register { .. }
+            | Request::Heartbeat { .. }
+            | Request::Ack { .. }
+            | Request::Complete { .. } => None,
         }
     }
 }
@@ -238,6 +315,11 @@ pub enum Response {
         /// Flight-recorder dumps written during the drain (one per
         /// session when a dump directory is configured, 0 otherwise).
         flight_dumped: usize,
+        /// Fleet task reassignments over the service's lifetime (0 when
+        /// serving locally). Reported so the drain tally reconciles
+        /// against `fleet.reassignments` — every reassigned task must
+        /// have been run dry, not dropped.
+        reassignments: usize,
     },
     /// Reply to [`Request::Metrics`]: the snapshot and its Prometheus
     /// text rendering, produced from the *same* capture so the two can
@@ -267,6 +349,34 @@ pub enum Response {
         session_pending: usize,
         global_pending: usize,
     },
+    /// Reply to [`Request::Register`]: the worker is in the registry and
+    /// must heartbeat every `heartbeat_ms`; after `missed_threshold`
+    /// consecutive silent intervals the monitor declares it dead and
+    /// reassigns its task.
+    Registered {
+        worker: String,
+        heartbeat_ms: u64,
+        missed_threshold: u32,
+    },
+    /// The center leases an evaluation to the worker (sent in reply to a
+    /// [`Request::Heartbeat`] or [`Request::Complete`] poll). The worker
+    /// must [`Request::Ack`] before executing. Boxed: the lease snapshot
+    /// dwarfs every other variant.
+    Assign {
+        task: Box<FleetTask>,
+    },
+    /// Reply to a [`Request::Heartbeat`] with no work to hand out.
+    /// `pending` is the number of queued fleet tasks (backpressure
+    /// signal only).
+    HeartbeatAck {
+        pending: usize,
+    },
+    /// Reply to a [`Request::Complete`] from a worker that was declared
+    /// dead and deposed: the task was already reassigned, so the outcome
+    /// was *not* committed (it only warmed the shared cache).
+    Reassigned {
+        task: u64,
+    },
     /// The request was understood but cannot be served (unknown session,
     /// draining service, empty history, …).
     Error {
@@ -289,6 +399,10 @@ impl Response {
             Response::Trace { .. } => "trace",
             Response::Dumped { .. } => "dumped",
             Response::Overloaded { .. } => "overloaded",
+            Response::Registered { .. } => "registered",
+            Response::Assign { .. } => "assign",
+            Response::HeartbeatAck { .. } => "heartbeat_ack",
+            Response::Reassigned { .. } => "reassigned",
             Response::Error { .. } => "error",
         }
     }

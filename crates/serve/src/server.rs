@@ -114,10 +114,32 @@ fn serve_connection(stream: &TcpStream, service: &Service) -> io::Result<()> {
     service.obs().add("serve.connections.open", 1.0);
     let _gauge = ConnGauge(service);
     let limit = service.config().max_frame_bytes;
+    // Read/idle bound: a client that stops sending complete frames (hung
+    // process, half-open socket after a silent peer death) trips the
+    // timeout instead of pinning this thread forever.
+    stream.set_read_timeout(service.config().conn_idle_timeout)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     loop {
-        let line = match read_frame(&mut reader, limit)? {
+        let line = match read_frame(&mut reader, limit) {
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                service.obs().inc("serve.conn_timeouts");
+                let reply = Response::Error {
+                    message: "connection idle timeout".into(),
+                };
+                // Best effort: the peer may be gone entirely.
+                let _ = writeln!(writer, "{}", encode(&reply));
+                let _ = writer.flush();
+                return Ok(());
+            }
+            other => other?,
+        };
+        let line = match line {
             Ok(None) => return Ok(()),
             Ok(Some(line)) => line,
             Err(err @ FrameError::Oversized { .. }) => {
@@ -191,6 +213,13 @@ impl TcpClient {
         writeln!(self.writer, "{line}")?;
         self.writer.flush()?;
         self.read_response()
+    }
+
+    /// Sends raw bytes without a newline and without waiting for a reply.
+    /// Test hook for half-open/stalled-connection checks.
+    pub fn send_raw_bytes(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.writer.write_all(bytes)?;
+        self.writer.flush()
     }
 
     fn read_response(&mut self) -> io::Result<Response> {
@@ -298,6 +327,49 @@ mod tests {
                 .counter_value("serve.rejected.malformed")
                 >= 1.0
         );
+    }
+
+    #[test]
+    fn stalled_connection_times_out_instead_of_pinning_a_thread() {
+        use std::time::Duration;
+        let service = Arc::new(Service::start(
+            ServeConfig {
+                workers: 1,
+                conn_idle_timeout: Some(Duration::from_millis(50)),
+                ..ServeConfig::default()
+            },
+            Obs::enabled(),
+        ));
+        let server = TcpServer::start(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        // A client that connects and then goes silent — never a complete
+        // frame. The server must cut it loose, not wait forever.
+        let mut client = TcpClient::connect(server.addr()).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while service.obs().counter_value("serve.conn_timeouts") < 1.0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "stalled connection was not timed out"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // The server said goodbye (an error frame and/or a close); either
+        // way the next exchange cannot succeed with a Pong.
+        match client.request(&Request::Ping) {
+            Ok(Response::Error { message }) => assert!(message.contains("timeout"), "{message}"),
+            Ok(other) => panic!("expected timeout error or close, got {other:?}"),
+            Err(_) => {}
+        }
+        // A half-sent frame stalls the same way: bytes but no newline.
+        let mut partial = TcpClient::connect(server.addr()).unwrap();
+        let _ = partial.send_raw_bytes(b"{\"Ping");
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while service.obs().counter_value("serve.conn_timeouts") < 2.0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "half-frame connection was not timed out"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
     }
 
     #[test]

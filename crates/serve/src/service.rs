@@ -30,24 +30,43 @@
 
 use crate::protocol::{Request, Response, SessionSpec, SessionStatus, DEFAULT_MAX_FRAME_BYTES};
 use crate::slo::SloTracker;
-use relm_app::Engine;
+use relm_app::{AppSpec, Engine, EngineCostModel};
 use relm_cluster::ClusterSpec;
 use relm_common::{MemoryConfig, Rng};
 use relm_faults::FaultPlan;
 use relm_obs::{trace, FlightEvent, FlightRecorder, Obs, DEFAULT_FLIGHT_CAPACITY};
 use relm_surrogate::{maximize_ei_threaded, GpFitter};
 use relm_tune::space::DIMS;
-use relm_tune::{recommendation, session_export, ConfigSpace, SessionCheckpoint, TuningEnv};
+use relm_tune::{
+    recommendation, session_export, CachedEval, ConfigSpace, EvalKey, RetryPolicy,
+    SessionCheckpoint, TuningEnv,
+};
 use std::collections::{BTreeMap, VecDeque};
 use std::path::PathBuf;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Who runs the evaluations the service admits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Execution {
+    /// The classic mode: a bounded in-process `std::thread` pool pulls
+    /// ready sessions and evaluates inline.
+    InProcess,
+    /// Fleet mode: no in-process evaluation threads. An attached
+    /// [`FleetRouter`] (the fleet center) leases evaluations via
+    /// [`Service::lease_next`], farms them to remote workers, and commits
+    /// outcomes via [`Service::commit_lease`] — every commit replays
+    /// through the shared evaluation cache, so histories stay
+    /// byte-identical to a local run.
+    External,
+}
 
 /// Service limits and pool sizing.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Worker threads evaluating configurations. At least 1.
+    /// Worker threads evaluating configurations. At least 1 (ignored in
+    /// [`Execution::External`] mode, which spawns none).
     pub workers: usize,
     /// Maximum registered sessions.
     pub max_sessions: usize,
@@ -65,6 +84,13 @@ pub struct ServeConfig {
     /// `Drain`, one per explicit `Dump` request. `None` disables dumping
     /// to disk; the in-memory rings and the `Trace` endpoint still work.
     pub flightrec_dir: Option<PathBuf>,
+    /// Who evaluates: the in-process pool or an attached fleet center.
+    pub execution: Execution,
+    /// Per-connection read/idle bound on the TCP frontend: a connection
+    /// that sends no complete frame within this window is closed (counted
+    /// as `serve.conn_timeouts`), so a hung or half-open client cannot
+    /// pin a connection thread forever. `None` disables the bound.
+    pub conn_idle_timeout: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -77,8 +103,68 @@ impl Default for ServeConfig {
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             checkpoint_dir: None,
             flightrec_dir: None,
+            execution: Execution::InProcess,
+            conn_idle_timeout: Some(Duration::from_secs(600)),
         }
     }
+}
+
+/// The fleet center's side of the service↔fleet contract. The service
+/// routes fleet-protocol requests (`Register`/`Heartbeat`/`Ack`/
+/// `Complete`) to the attached router and asks it to clear reassignment
+/// limbo during a drain. Stored as a [`Weak`] so the center (which owns
+/// an `Arc<Service>`) never forms a reference cycle.
+///
+/// Lock-ordering rule: the router may call back into the service
+/// ([`Service::lease_next`], [`Service::commit_lease`], …), so the
+/// service never invokes the router while holding its state lock.
+pub trait FleetRouter: Send + Sync {
+    /// Handles one fleet-protocol request.
+    fn route(&self, request: &Request) -> Response;
+    /// Drain support: run every queued or orphaned task dry — locally if
+    /// no live worker will take it — and return only when no fleet task
+    /// is outstanding. `Drain` must never drop a task in reassignment
+    /// limbo.
+    fn drain_assist(&self);
+    /// Lifetime task reassignments, reported in the drain tally so it
+    /// reconciles against the `fleet.reassignments` counter.
+    fn reassignments(&self) -> usize;
+}
+
+/// One evaluation leased out of the service's queues for external
+/// execution: the session's next queued configuration plus everything the
+/// engine's outcome is a pure function of, snapshotted from the session's
+/// environment at lease time. The environment stays home (marked
+/// running); the lease must eventually come back through
+/// [`Service::commit_lease`].
+#[derive(Debug)]
+pub struct EvalLease {
+    /// The session the evaluation belongs to.
+    pub session: String,
+    /// The configuration to evaluate.
+    pub config: MemoryConfig,
+    /// The session's seed-chain position for this evaluation.
+    pub seed: u64,
+    /// The evaluation's content-addressed identity — the fleet's dedup
+    /// key: equal keys are the same cell and must be paid for at most
+    /// once.
+    pub key: EvalKey,
+    /// Application under test.
+    pub app: AppSpec,
+    /// Cluster the engine simulates.
+    pub cluster: ClusterSpec,
+    /// Engine cost model.
+    pub cost: EngineCostModel,
+    /// Retry/recovery policy.
+    pub retry: RetryPolicy,
+    /// The session's seeded fault plan, if any.
+    pub faults: Option<FaultPlan>,
+    /// Trace context of the admitting request, restored at commit.
+    trace: u64,
+    /// Telemetry-clock enqueue timestamp, for the queue-wait span.
+    enqueued_us: u64,
+    /// Wall-clock enqueue instant, for the queue-wait cost mirror.
+    enqueued_at: Instant,
 }
 
 /// Completed evaluations a session needs before `StepGuided` can fit its
@@ -219,6 +305,8 @@ struct Shared {
     work: Condvar,
     /// Wakes `Join`/`Drain` waiters when an evaluation completes.
     done: Condvar,
+    /// The attached fleet center, if any ([`Execution::External`]).
+    router: Mutex<Option<Weak<dyn FleetRouter>>>,
 }
 
 impl Shared {
@@ -264,17 +352,39 @@ impl Service {
             slo: SloTracker::new(),
             work: Condvar::new(),
             done: Condvar::new(),
+            router: Mutex::new(None),
         });
-        let workers = (0..shared.config.workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("relm-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker thread")
-            })
-            .collect();
+        let workers = match shared.config.execution {
+            // Fleet mode: evaluations leave through `lease_next`, not an
+            // in-process pool.
+            Execution::External => Vec::new(),
+            Execution::InProcess => (0..shared.config.workers)
+                .map(|i| {
+                    let shared = Arc::clone(&shared);
+                    std::thread::Builder::new()
+                        .name(format!("relm-serve-worker-{i}"))
+                        .spawn(move || worker_loop(&shared))
+                        .expect("spawn worker thread")
+                })
+                .collect(),
+        };
         Service { shared, workers }
+    }
+
+    /// Attaches the fleet center. Fleet-protocol requests route to it;
+    /// `Drain` asks it to clear reassignment limbo before tallying.
+    pub fn set_router(&self, router: Weak<dyn FleetRouter>) {
+        *self.shared.router.lock().expect("router slot poisoned") = Some(router);
+    }
+
+    /// The attached fleet center, if it is still alive.
+    fn router(&self) -> Option<Arc<dyn FleetRouter>> {
+        self.shared
+            .router
+            .lock()
+            .expect("router slot poisoned")
+            .as_ref()
+            .and_then(Weak::upgrade)
     }
 
     /// The service's observability handle.
@@ -393,6 +503,15 @@ impl Service {
             Request::Metrics => self.metrics(),
             Request::Trace { session } => self.trace_ring(session),
             Request::Dump { session } => self.dump(session),
+            Request::Register { .. }
+            | Request::Heartbeat { .. }
+            | Request::Ack { .. }
+            | Request::Complete { .. } => match self.router() {
+                Some(router) => router.route(request),
+                None => Response::Error {
+                    message: "no fleet center attached".into(),
+                },
+            },
         }
     }
 
@@ -467,7 +586,11 @@ impl Service {
         if let Some(retry) = spec.retry {
             env = env.with_retry_policy(retry);
         }
-        if spec.use_cache {
+        if spec.use_cache || self.shared.config.execution == Execution::External {
+            // Fleet mode rides on the cache unconditionally: remote
+            // outcomes land in the shared cache and commit by *replaying*
+            // through the session's environment — the same path a warm
+            // local run takes, proven byte-identical to a live one.
             env = env.with_cache(self.shared.cache.clone());
         }
         Ok(env)
@@ -906,10 +1029,26 @@ impl Service {
 
     /// Graceful shutdown: stop admitting, run the backlog dry, checkpoint
     /// every session, then stop the workers.
+    ///
+    /// With a fleet attached, "run the backlog dry" includes tasks in
+    /// reassignment limbo: after admission closes, the center's
+    /// [`FleetRouter::drain_assist`] runs every queued or orphaned task
+    /// to completion (locally if no live worker will take it) before the
+    /// tally below — a draining service never drops a leased task.
     fn drain(&self) -> Response {
         let shared = &self.shared;
+        {
+            let mut state = shared.state.lock().expect("service state poisoned");
+            state.draining = true;
+        }
+        // No state lock held across the router call (lock-ordering rule:
+        // the router calls back into `lease_next`/`commit_lease`).
+        let router = self.router();
+        if let Some(router) = &router {
+            router.drain_assist();
+        }
+        let reassignments = router.map_or(0, |r| r.reassignments());
         let mut state = shared.state.lock().expect("service state poisoned");
-        state.draining = true;
         while state.global_pending > 0 || state.running > 0 {
             state = shared.done.wait(state).expect("service state poisoned");
         }
@@ -960,6 +1099,121 @@ impl Service {
             evaluations,
             checkpointed,
             flight_dumped,
+            reassignments,
+        }
+    }
+
+    /// Leases the next ready evaluation for external execution (fleet
+    /// mode). Pops the front ready session's next queued configuration,
+    /// marks the session running (its environment stays home, so status
+    /// and guided-step gating behave exactly as with an in-process
+    /// worker), and snapshots everything a remote worker needs. Returns
+    /// `None` when nothing is ready or the service has stopped. Every
+    /// lease must come back through [`Service::commit_lease`].
+    pub fn lease_next(&self) -> Option<EvalLease> {
+        let shared = &self.shared;
+        let mut state = shared.state.lock().expect("service state poisoned");
+        if state.stopped {
+            return None;
+        }
+        let name = state.ready.pop_front()?;
+        let sess = state
+            .sessions
+            .get_mut(&name)
+            .expect("ready session is registered");
+        sess.queued = false;
+        let item = sess
+            .pending
+            .pop_front()
+            .expect("ready session has pending work");
+        let env = sess.env.as_mut().expect("idle session owns its env");
+        let lease = EvalLease {
+            session: name.clone(),
+            config: item.config,
+            seed: env.next_seed(),
+            key: env.eval_key(&item.config),
+            app: env.app().clone(),
+            cluster: env.engine().cluster().clone(),
+            cost: *env.engine().cost_model(),
+            retry: *env.retry_policy(),
+            faults: env.engine().faults().cloned(),
+            trace: item.trace,
+            enqueued_us: item.enqueued_us,
+            enqueued_at: item.enqueued_at,
+        };
+        sess.running = true;
+        state.global_pending -= 1;
+        state.running += 1;
+        shared.refresh_gauges(&state);
+        Some(lease)
+    }
+
+    /// Commits a lease: lands the evaluation in the session's history and
+    /// releases the session for its next queued evaluation.
+    ///
+    /// With `Some(outcome)` — a remote worker's result — the outcome is
+    /// first inserted into the shared cache under the lease's key; the
+    /// session's environment then *replays* it (seed chain, retry time,
+    /// counter deltas, re-scoring against the current penalty baseline),
+    /// which is byte-identical to having evaluated locally. With `None`
+    /// the environment evaluates through the cache directly: a hit
+    /// replays an outcome that already landed (cross-worker dedup, or a
+    /// reassigned task whose first assignee delivered late); a miss runs
+    /// the evaluation live in this process (the drain-assist path).
+    ///
+    /// Either way the commit is at-most-once *per lease*: the caller (the
+    /// fleet center's task table) guarantees a lease enters this method
+    /// exactly once, and the content-addressed key guarantees the same
+    /// cell is never paid for twice across workers.
+    pub fn commit_lease(&self, lease: EvalLease, outcome: Option<CachedEval>) {
+        let shared = &self.shared;
+        if let Some(eval) = outcome {
+            shared.cache.insert(lease.key, eval);
+        }
+        let (env, flight) = {
+            let mut state = shared.state.lock().expect("service state poisoned");
+            let sess = state
+                .sessions
+                .get_mut(&lease.session)
+                .expect("leased session is registered");
+            (
+                sess.env.take().expect("leased session keeps its env"),
+                Arc::clone(&sess.flight),
+            )
+        };
+        let item = QueuedEval {
+            config: lease.config,
+            trace: lease.trace,
+            enqueued_us: lease.enqueued_us,
+            enqueued_at: lease.enqueued_at,
+        };
+        run_session_eval(shared, &lease.session, env, item, flight);
+    }
+
+    /// True when no evaluation is pending or in flight — the condition
+    /// `Drain` waits for. The fleet center's drain-assist polls this to
+    /// close the race between a worker's final commit (which may ready
+    /// another evaluation) and its own exit check.
+    pub fn quiesced(&self) -> bool {
+        let state = self.shared.state.lock().expect("service state poisoned");
+        state.global_pending == 0 && state.running == 0
+    }
+
+    /// True if the lease's outcome already sits in the shared cache —
+    /// i.e. committing it needs no worker at all. Probed by the fleet
+    /// center before assigning, so two workers never pay for the same
+    /// (workload, config, seed, fault-plan) cell.
+    pub fn outcome_cached(&self, lease: &EvalLease) -> bool {
+        self.shared.cache.contains(&lease.key)
+    }
+
+    /// Inserts a late or deposed worker's outcome into the shared cache
+    /// without committing anything: the reassigned run of the same cell
+    /// will replay it instead of paying again. First write wins — a cell
+    /// already present is left untouched.
+    pub fn warm_cache(&self, key: EvalKey, eval: CachedEval) {
+        if !self.shared.cache.contains(&key) {
+            self.shared.cache.insert(key, eval);
         }
     }
 
@@ -997,7 +1251,7 @@ impl Drop for Service {
 /// admission → queue wait → evaluation across threads.
 fn worker_loop(shared: &Shared) {
     loop {
-        let (name, mut env, item, flight) = {
+        let (name, env, item, flight) = {
             let mut state = shared.state.lock().expect("service state poisoned");
             loop {
                 if state.stopped {
@@ -1028,109 +1282,125 @@ fn worker_loop(shared: &Shared) {
                 state = shared.work.wait(state).expect("service state poisoned");
             }
         };
-
-        let _scope = trace::enter(item.trace);
-        // The queue-wait span covers enqueue (stamped on the handler
-        // thread, carried with the item) to dequeue (now).
-        let wait_ms = item.enqueued_at.elapsed().as_secs_f64() * 1e3;
-        let wait_span = shared
-            .obs
-            .span_at("serve.queue_wait", item.enqueued_us)
-            .with("session", name.as_str());
-        if let Some(record) = wait_span.finish() {
-            flight.record_span(record);
-        }
-        shared.obs.record("serve.queue_wait_ms", wait_ms);
-
-        let start = Instant::now();
-        let (observation, eval_span) = {
-            let mut span = shared.obs.span("serve.evaluate");
-            span.set("session", name.as_str());
-            let observation = env.evaluate(&item.config);
-            if observation.is_censored() {
-                span.set("aborted", true);
-                if let Some(cause) = observation.result.abort_cause {
-                    span.set("abort_cause", cause.as_str());
-                }
-            }
-            (observation, span.finish())
-        };
-        let latency_ms = start.elapsed().as_secs_f64() * 1e3;
-        if let Some(record) = eval_span {
-            flight.record_span(record);
-        }
-        // Ordering matters for scrape consistency: histogram, then the
-        // SLO tracker (which bumps `serve.slo.evaluations`), then the
-        // cumulative counter — so any concurrent scrape observes
-        // `serve.slo.evaluations >= serve.evaluations`.
-        shared.obs.record("serve.evaluate_ms", latency_ms);
-        shared
-            .slo
-            .record_eval(&shared.obs, latency_ms, observation.is_censored());
-        shared.obs.inc("serve.evaluations");
-
-        // Cost attribution, read while the environment is still in hand.
-        let stress_time_ms = env.stress_time().as_ms();
-        let retries = env.total_retries();
-        let evalcache_hits = env.cache_hits();
-
-        // A censored (abort-cause) evaluation freezes the session's
-        // flight recorder — the complete trace of the failed request.
-        // Written *before* the completion is published to the session
-        // state, so any observer that sees the censored count (a joiner,
-        // the drain report, a reconciliation script) can rely on the dump
-        // already being on disk. No lock is held during the write.
-        if observation.is_censored() {
-            flight.record(FlightEvent::Protocol {
-                trace: item.trace,
-                event: "abort".to_string(),
-                at_us: shared.obs.now_us(),
-                detail: observation
-                    .result
-                    .abort_cause
-                    .map(|c| c.as_str().to_string())
-                    .unwrap_or_default(),
-            });
-            if let Some(dir) = &shared.config.flightrec_dir {
-                let dump = flight.dump(&name, "fault");
-                match relm_obs::save_dump(dir, &dump) {
-                    Ok(_) => shared.obs.inc("serve.flightrec.dumps"),
-                    Err(_) => shared.obs.inc("serve.flightrec.errors"),
-                }
-            }
-        }
-
-        let mut state = shared.state.lock().expect("service state poisoned");
-        state.running -= 1;
-        state.evaluations += 1;
-        let sess = state
-            .sessions
-            .get_mut(&name)
-            .expect("running session is registered");
-        sess.completed += 1;
-        if observation.is_censored() {
-            sess.censored += 1;
-        }
-        sess.best_score_mins = Some(match sess.best_score_mins {
-            Some(best) => best.min(observation.score_mins),
-            None => observation.score_mins,
-        });
-        sess.stress_time_ms = stress_time_ms;
-        sess.retries = retries;
-        sess.evalcache_hits = evalcache_hits;
-        sess.queue_wait_ms += wait_ms;
-        sess.env = Some(env);
-        sess.running = false;
-        if !sess.pending.is_empty() && !sess.cancelled && !sess.queued {
-            sess.queued = true;
-            let name = sess.name.clone();
-            state.ready.push_back(name);
-            shared.work.notify_all();
-        }
-        shared.refresh_gauges(&state);
-        drop(state);
-        shared.done.notify_all();
+        run_session_eval(shared, &name, env, item, flight);
     }
+}
+
+/// Runs one dequeued evaluation through a session's environment and
+/// publishes the completion: spans, SLO accounting, fault dumps, the
+/// session's status mirrors, and rescheduling. Shared by the in-process
+/// worker pool and the fleet commit path ([`Service::commit_lease`]) —
+/// in the latter the "evaluation" is usually a cache replay of a remote
+/// worker's outcome, which takes the identical route through
+/// `env.evaluate`, so both modes publish completions the same way.
+fn run_session_eval(
+    shared: &Shared,
+    name: &str,
+    mut env: TuningEnv,
+    item: QueuedEval,
+    flight: Arc<FlightRecorder>,
+) {
+    let _scope = trace::enter(item.trace);
+    // The queue-wait span covers enqueue (stamped on the handler
+    // thread, carried with the item) to dequeue (now).
+    let wait_ms = item.enqueued_at.elapsed().as_secs_f64() * 1e3;
+    let wait_span = shared
+        .obs
+        .span_at("serve.queue_wait", item.enqueued_us)
+        .with("session", name);
+    if let Some(record) = wait_span.finish() {
+        flight.record_span(record);
+    }
+    shared.obs.record("serve.queue_wait_ms", wait_ms);
+
+    let start = Instant::now();
+    let (observation, eval_span) = {
+        let mut span = shared.obs.span("serve.evaluate");
+        span.set("session", name);
+        let observation = env.evaluate(&item.config);
+        if observation.is_censored() {
+            span.set("aborted", true);
+            if let Some(cause) = observation.result.abort_cause {
+                span.set("abort_cause", cause.as_str());
+            }
+        }
+        (observation, span.finish())
+    };
+    let latency_ms = start.elapsed().as_secs_f64() * 1e3;
+    if let Some(record) = eval_span {
+        flight.record_span(record);
+    }
+    // Ordering matters for scrape consistency: histogram, then the
+    // SLO tracker (which bumps `serve.slo.evaluations`), then the
+    // cumulative counter — so any concurrent scrape observes
+    // `serve.slo.evaluations >= serve.evaluations`.
+    shared.obs.record("serve.evaluate_ms", latency_ms);
+    shared
+        .slo
+        .record_eval(&shared.obs, latency_ms, observation.is_censored());
+    shared.obs.inc("serve.evaluations");
+
+    // Cost attribution, read while the environment is still in hand.
+    let stress_time_ms = env.stress_time().as_ms();
+    let retries = env.total_retries();
+    let evalcache_hits = env.cache_hits();
+
+    // A censored (abort-cause) evaluation freezes the session's
+    // flight recorder — the complete trace of the failed request.
+    // Written *before* the completion is published to the session
+    // state, so any observer that sees the censored count (a joiner,
+    // the drain report, a reconciliation script) can rely on the dump
+    // already being on disk. No lock is held during the write.
+    if observation.is_censored() {
+        flight.record(FlightEvent::Protocol {
+            trace: item.trace,
+            event: "abort".to_string(),
+            at_us: shared.obs.now_us(),
+            detail: observation
+                .result
+                .abort_cause
+                .map(|c| c.as_str().to_string())
+                .unwrap_or_default(),
+        });
+        if let Some(dir) = &shared.config.flightrec_dir {
+            let dump = flight.dump(name, "fault");
+            match relm_obs::save_dump(dir, &dump) {
+                Ok(_) => shared.obs.inc("serve.flightrec.dumps"),
+                Err(_) => shared.obs.inc("serve.flightrec.errors"),
+            }
+        }
+    }
+
+    let mut state = shared.state.lock().expect("service state poisoned");
+    state.running -= 1;
+    state.evaluations += 1;
+    let sess = state
+        .sessions
+        .get_mut(name)
+        .expect("running session is registered");
+    sess.completed += 1;
+    if observation.is_censored() {
+        sess.censored += 1;
+    }
+    sess.best_score_mins = Some(match sess.best_score_mins {
+        Some(best) => best.min(observation.score_mins),
+        None => observation.score_mins,
+    });
+    sess.stress_time_ms = stress_time_ms;
+    sess.retries = retries;
+    sess.evalcache_hits = evalcache_hits;
+    sess.queue_wait_ms += wait_ms;
+    sess.env = Some(env);
+    sess.running = false;
+    if !sess.pending.is_empty() && !sess.cancelled && !sess.queued {
+        sess.queued = true;
+        let name = sess.name.clone();
+        state.ready.push_back(name);
+        shared.work.notify_all();
+    }
+    shared.refresh_gauges(&state);
+    drop(state);
+    shared.done.notify_all();
 }
 
 /// Resolves a workload name against the benchmark suite
@@ -1388,12 +1658,15 @@ mod tests {
                 evaluations,
                 checkpointed,
                 flight_dumped,
+                reassignments,
             } => {
                 assert_eq!(n, 3);
                 assert_eq!(evaluations, 6, "drain must run the whole backlog");
                 assert_eq!(checkpointed, 3);
                 // No flight-recorder directory configured in this test.
                 assert_eq!(flight_dumped, 0);
+                // No fleet attached: nothing to reassign.
+                assert_eq!(reassignments, 0);
             }
             other => panic!("drain failed: {other:?}"),
         }

@@ -184,12 +184,15 @@ fn drain_checkpoints_match_live_histories() {
             evaluations,
             checkpointed,
             flight_dumped,
+            reassignments,
         } => {
             assert_eq!(sessions, 6);
             assert_eq!(evaluations, 18);
             assert_eq!(checkpointed, 6);
             // No flightrec_dir configured: nothing to dump.
             assert_eq!(flight_dumped, 0);
+            // No fleet attached: nothing was ever reassigned.
+            assert_eq!(reassignments, 0);
         }
         other => panic!("drain failed: {other:?}"),
     }

@@ -5,13 +5,13 @@
 use proptest::prelude::*;
 use relm_cluster::ClusterSpec;
 use relm_common::{Mem, MemoryConfig};
-use relm_faults::FaultConfig;
+use relm_faults::{FaultConfig, FaultPlan};
 use relm_obs::{FieldValue, FlightEvent, MetricsSnapshot, SpanRecord};
 use relm_serve::{
-    decode, encode, read_frame, FrameError, Request, Response, SessionSpec, SessionStatus,
-    DEFAULT_MAX_FRAME_BYTES,
+    decode, encode, read_frame, EvalOutcome, FleetTask, FrameError, Request, Response, SessionSpec,
+    SessionStatus, DEFAULT_MAX_FRAME_BYTES,
 };
-use relm_tune::{recommendation, session_export, RetryPolicy, TuningEnv};
+use relm_tune::{recommendation, session_export, EvalStore, RetryPolicy, TuningEnv};
 use std::io::BufReader;
 
 fn config(n: u32, p: u32, cache: f64, shuffle: f64) -> MemoryConfig {
@@ -37,6 +37,44 @@ fn real_export() -> (relm_tune::SessionExport, Vec<relm_tune::Observation>) {
     env.evaluate(&cfg);
     let rec = recommendation("serve", &env, cfg);
     (session_export(&env, &rec), env.history().to_vec())
+}
+
+/// A real fleet lease and its completed outcome, built exactly the way a
+/// worker would: the evaluation runs through a cache so the fill path
+/// produces the canonical [`relm_tune::CachedEval`] payload.
+fn real_task_and_outcome(
+    id: u64,
+    seed: u64,
+    cfg: MemoryConfig,
+    faults: Option<FaultPlan>,
+    wall_ms: f64,
+) -> (FleetTask, EvalOutcome) {
+    let cluster = ClusterSpec::cluster_a();
+    let cost = *relm_app::Engine::new(cluster.clone()).cost_model();
+    let task = FleetTask {
+        id,
+        attempt: (seed % 3) as u32,
+        session: format!("s-{id:04}"),
+        app: relm_workloads::wordcount(),
+        cluster: cluster.clone(),
+        cost,
+        config: cfg,
+        seed,
+        retry: RetryPolicy::standard(),
+        faults,
+    };
+    let mut engine = relm_app::Engine::new(cluster).with_cost_model(cost);
+    if let Some(plan) = &task.faults {
+        engine = engine.with_faults(plan.clone());
+    }
+    let store = EvalStore::new();
+    let mut env = TuningEnv::new(engine, task.app.clone(), seed)
+        .with_retry_policy(task.retry)
+        .with_cache(store.clone());
+    let key = env.eval_key(&task.config);
+    env.evaluate(&task.config);
+    let eval = (*store.get(&key).expect("cache-fill stores the eval")).clone();
+    (task, EvalOutcome { eval, wall_ms })
 }
 
 fn assert_request_round_trips(req: &Request) {
@@ -76,6 +114,16 @@ proptest! {
         let mut spec_full = SessionSpec::named("K-means", seed)
             .with_faults(fault_seed, FaultConfig::uniform(rate));
         spec_full.retry = Some(RetryPolicy::standard());
+        let worker = format!("w-{}", sid % 8);
+        // A faulty lease exercises the censored/retry payload shapes in
+        // the Complete frame too.
+        let (_, outcome) = real_task_and_outcome(
+            sid,
+            seed,
+            config(n, p, cache, shuffle),
+            Some(FaultPlan::new(fault_seed, FaultConfig::uniform(rate))),
+            rate * 100.0,
+        );
         let requests = [
             Request::Ping,
             Request::CreateSession { spec: spec_plain },
@@ -93,6 +141,10 @@ proptest! {
             Request::Trace { session: session.clone() },
             Request::Dump { session: session.clone() },
             Request::Drain,
+            Request::Register { worker: worker.clone(), capacity: n },
+            Request::Heartbeat { worker: worker.clone(), seq: seed },
+            Request::Ack { worker: worker.clone(), task: sid },
+            Request::Complete { worker, task: sid, outcome },
         ];
         for req in &requests {
             assert_request_round_trips(req);
@@ -166,6 +218,7 @@ proptest! {
                 ],
             }),
         ];
+        let (task, _) = real_task_and_outcome(sid, sid.wrapping_mul(31), config(2, 4, 0.2, 0.2), None, score);
         let responses = [
             Response::Pong,
             Response::SessionCreated { session: session.clone() },
@@ -178,6 +231,7 @@ proptest! {
                 evaluations,
                 checkpointed: sessions,
                 flight_dumped: sessions,
+                reassignments: discarded,
             },
             Response::Metrics { snapshot, expo },
             Response::Trace {
@@ -195,6 +249,14 @@ proptest! {
                 session_pending: pending,
                 global_pending: pending + discarded,
             },
+            Response::Registered {
+                worker: format!("w-{}", sid % 8),
+                heartbeat_ms: 500,
+                missed_threshold: censored as u32 + 1,
+            },
+            Response::Assign { task: Box::new(task) },
+            Response::HeartbeatAck { pending },
+            Response::Reassigned { task: sid },
             Response::Error { message: format!("unknown session `{session}`") },
         ];
         for resp in &responses {
@@ -234,6 +296,10 @@ fn malformed_frames_never_panic() {
         "{\"NoSuchVariant\":{}}",
         "[1,2,3]",
         "{\"Status\":{\"session\":\"s-1\"},\"extra\":1}",
+        "{\"Register\":{\"worker\":5,\"capacity\":1}}",
+        "{\"Heartbeat\":{\"worker\":\"w-0\",\"seq\":-1}}",
+        "{\"Ack\":{\"worker\":\"w-0\",\"task\":\"one\"}}",
+        "{\"Complete\":{\"worker\":\"w-0\",\"task\":1}}",
     ];
     for line in garbage {
         match decode::<Request>(line, 1024) {

@@ -23,7 +23,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// The memoized outcome of one evaluation (final attempt + retry loop).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CachedEval {
     /// Metrics of the attempt that settled.
     pub result: RunResult,

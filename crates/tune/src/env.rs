@@ -345,7 +345,7 @@ impl TuningEnv {
         let Some(cache) = self.cache.clone() else {
             return self.evaluate_live(config);
         };
-        let key = self.cache_key(config);
+        let key = self.eval_key(config);
         if let Some(cached) = cache.get(&key) {
             return self.replay_cached(config, &cached);
         }
@@ -377,7 +377,12 @@ impl TuningEnv {
     /// per-evaluation keys then only encode the configuration and the seed
     /// position, keeping key construction off the replay hot path's
     /// critical cost.
-    fn cache_key(&mut self, config: &MemoryConfig) -> EvalKey {
+    ///
+    /// Public because the serving fleet uses the same key as its
+    /// cross-worker deduplication identity: the center computes it when
+    /// leasing an evaluation to a remote worker, and any worker's result
+    /// landed under it commits at most once.
+    pub fn eval_key(&mut self, config: &MemoryConfig) -> EvalKey {
         let fp = *self.cache_static_fp.get_or_insert_with(|| {
             let mut key = KeyBuilder::new("tuning-env-static/v1")
                 .field("app", &self.app)

@@ -29,6 +29,7 @@ pub use export::{
     SessionMetrics, CHECKPOINT_VERSION,
 };
 pub use policies::{DefaultPolicy, ExhaustiveSearch, RandomSearch};
+pub use relm_evalcache::EvalKey;
 pub use rrs::RecursiveRandomSearch;
 pub use space::{ConfigSpace, DominantPool};
 pub use tuner::{recommendation, Recommendation, Tuner};

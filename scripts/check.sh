@@ -90,6 +90,21 @@ drain_dumps="$(ls "$serve_dir/flight8" | grep -c -- '-drain-')"
   || { echo "serve smoke test FAILED: expected 12 drain flight dumps, found $drain_dumps" >&2; exit 1; }
 echo "serve OK: 12 sessions (incl. GP-guided steps) byte-identical across 1/8 workers under a live scraper, all checkpointed and flight-dumped on drain"
 
+echo "== fleet smoke test =="
+# Same load, but evaluated by a 3-worker fleet with one worker armed to
+# crash silently right after acking its first task. The monitor must
+# detect the death and reassign at most once, serve_load reconciles the
+# drain tally's reassignment count against the fleet.reassignments
+# counter (it aborts on any mismatch, double commit, or lost
+# evaluation), and the output must stay byte-identical to the serial
+# no-fleet run above — worker death is invisible to the histories.
+cargo run --release -q -p relm-experiments --bin serve_load -- \
+  --clients 4 --sessions 12 --steps 4 --guided 2 \
+  --fleet 3 --fleet-kill 1 --out "$serve_dir/fleet.jsonl"
+diff "$serve_dir/serial.jsonl" "$serve_dir/fleet.jsonl" \
+  || { echo "fleet smoke test FAILED: histories depend on fleet/worker death" >&2; exit 1; }
+echo "fleet OK: 12 sessions byte-identical under a 3-worker fleet with a mid-run kill, reassignment books reconciled"
+
 echo "== surrogate perf smoke test =="
 # The fast surrogate kernels must be invisible in the traces: the
 # equivalence suite proves incremental refits and threaded scoring are
