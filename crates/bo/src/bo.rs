@@ -126,6 +126,17 @@ impl BayesOpt {
         self
     }
 
+    /// Warm-starts from a cross-session memory prior
+    /// ([`relm_memory::PriorBundle`]): the similarity-allocated GP
+    /// observations seed the surrogate in place of the LHS bootstrap. An
+    /// empty prior (a retrieval miss) leaves the tuner cold.
+    pub fn with_memory_prior(self, prior: &relm_memory::PriorBundle) -> Self {
+        if prior.gp_obs.is_empty() {
+            return self;
+        }
+        self.with_warm_start(prior.gp_obs.clone())
+    }
+
     /// The step trace of the last tuning session.
     pub fn trace(&self) -> &[BoStep] {
         &self.trace
@@ -191,12 +202,22 @@ impl Tuner for BayesOpt {
         // Bootstrap with LHS samples — unless a warm start from a mapped
         // prior workload replaces them; GBO derives the white-box model from
         // the first bootstrap run's profile.
-        let bootstrap_n = if self.warm_start.is_empty() {
-            self.cfg.bootstrap_samples
+        let lhs = if self.warm_start.is_empty() {
+            relm_surrogate::latin_hypercube(self.cfg.bootstrap_samples, dims, &mut rng)
         } else {
-            1
+            // Incumbent transfer: the single bootstrap evaluation goes to
+            // the prior's best-known point, not a random LHS sample — the
+            // mapped workload's incumbent is the highest-value probe, and
+            // re-scoring it on *this* workload anchors the surrogate where
+            // the prior claims the optimum lives.
+            let best = self
+                .warm_start
+                .iter()
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|(x, _)| x.clone())
+                .expect("warm start is non-empty");
+            vec![best]
         };
-        let lhs = relm_surrogate::latin_hypercube(bootstrap_n, dims, &mut rng);
         let mut xs: Vec<Vec<f64>> = Vec::new();
         let mut scores: Vec<f64> = Vec::new();
         let mut qmodel: Option<QModel> = None;

@@ -17,10 +17,12 @@ pub mod noise;
 pub mod replay;
 pub mod reward;
 pub mod tuner;
+pub mod warm;
 
 pub use agent::{AgentConfig, DdpgAgent};
 pub use nn::{Activation, Mlp};
 pub use noise::OrnsteinUhlenbeck;
 pub use replay::{ReplayBuffer, Transition};
 pub use reward::cdbtune_reward;
-pub use tuner::{state_vector, DdpgTuner, STATE_DIMS};
+pub use tuner::{state_vector, state_vector_from_stats, DdpgTuner, STATE_DIMS};
+pub use warm::transitions_from_prior;

@@ -7,7 +7,7 @@
 use crate::agent::{AgentConfig, DdpgAgent};
 use crate::replay::Transition;
 use crate::reward::cdbtune_reward;
-use relm_common::Result;
+use relm_common::{MemoryConfig, Result};
 use relm_core::QModel;
 use relm_profile::{derive_stats, DerivedStats, Profile};
 use relm_tune::{recommendation, Recommendation, Tuner, TuningEnv};
@@ -21,7 +21,17 @@ pub const STATE_DIMS: usize = 14;
 /// the profile (§5.3).
 pub fn state_vector(profile: &Profile) -> Vec<f64> {
     let stats: DerivedStats = derive_stats(profile);
-    let q = QModel::new(stats, relm_core::DEFAULT_SAFETY).q(&profile.config);
+    state_vector_from_stats(&stats, &profile.config)
+}
+
+/// Like [`state_vector`], but from an already-derived statistics vector
+/// and the configuration that produced it. This is the form cross-session
+/// memory uses to reconstruct states from a [`relm_memory::SessionDigest`]
+/// (which keeps mean stats and configs, not profiles) when pre-filling the
+/// replay buffer — the featurization is shared so seeded and live
+/// transitions live in the same state space.
+pub fn state_vector_from_stats(stats: &DerivedStats, config: &MemoryConfig) -> Vec<f64> {
+    let q = QModel::new(*stats, relm_core::DEFAULT_SAFETY).q(config);
     let heap = stats.heap.as_mb().max(1.0);
     vec![
         stats.cpu_avg / 100.0,
@@ -79,6 +89,26 @@ impl DdpgTuner {
     /// The underlying agent (for analysis).
     pub fn agent(&self) -> &DdpgAgent {
         &self.agent
+    }
+
+    /// Pre-fills the replay buffer with transitions reconstructed from
+    /// cross-session memory (see [`crate::warm::transitions_from_prior`])
+    /// and pre-trains on them, so the first session on a new workload
+    /// starts from experience instead of noise. Returns how many
+    /// transitions were seeded. Training is a no-op until the buffer
+    /// holds a batch, exactly as during a live session.
+    pub fn seed_replay(&mut self, transitions: impl IntoIterator<Item = Transition>) -> usize {
+        let mut seeded = 0usize;
+        for t in transitions {
+            self.agent.observe(t);
+            seeded += 1;
+        }
+        if seeded > 0 {
+            for _ in 0..self.updates_per_step.saturating_mul(4) {
+                self.agent.train_step();
+            }
+        }
+        seeded
     }
 }
 

@@ -1,0 +1,91 @@
+//! Replay-buffer seeding from cross-session memory.
+//!
+//! A retrieved [`relm_memory::SessionDigest`] holds the session's mean
+//! Table-6 statistics and its ordered `(config, score)` observations —
+//! enough to replay the session as a sequence of DDPG transitions: the
+//! state of step *k* is the shared featurization
+//! ([`crate::tuner::state_vector_from_stats`]) of the digest's stats under
+//! the configuration of step *k−1*, the action is the encoded
+//! configuration of step *k*, and the reward is the same CDBTune score a
+//! live session would have computed. Feeding these through
+//! [`crate::DdpgTuner::seed_replay`] pre-fills the experience buffer so
+//! the agent's first noisy actions on a *new* workload are already shaped
+//! by how similar workloads responded.
+
+use crate::replay::Transition;
+use crate::reward::cdbtune_reward;
+use crate::tuner::state_vector_from_stats;
+use relm_memory::PriorBundle;
+use relm_tune::ConfigSpace;
+
+/// Reconstructs replay transitions from a retrieved prior. Sessions
+/// without statistics (no clean run) are skipped; sessions with fewer
+/// than two observations yield no transition. Deterministic: transitions
+/// follow retrieval order, then each digest's history order.
+pub fn transitions_from_prior(prior: &PriorBundle, space: &ConfigSpace) -> Vec<Transition> {
+    let mut out = Vec::new();
+    for (_similarity, digest) in &prior.sessions {
+        let Some(stats) = &digest.stats else {
+            continue;
+        };
+        let obs = &digest.observations;
+        if obs.len() < 2 {
+            continue;
+        }
+        // The digest's first observation plays the vendor-default role the
+        // live session's bootstrap run plays: it anchors the reward scale.
+        let initial = obs[0].score_mins;
+        for k in 1..obs.len() {
+            let prev = &obs[k - 1];
+            let cur = &obs[k];
+            out.push(Transition {
+                state: state_vector_from_stats(stats, &prev.config),
+                action: space.encode(&cur.config).to_vec(),
+                reward: cdbtune_reward(initial, prev.score_mins, cur.score_mins),
+                next_state: state_vector_from_stats(stats, &cur.config),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relm_app::Engine;
+    use relm_cluster::ClusterSpec;
+    use relm_memory::{build_prior, MemoryStore, SessionDigest, DEFAULT_PRIOR_CAP};
+    use relm_tune::TuningEnv;
+    use relm_workloads::{max_resource_allocation, wordcount};
+
+    #[test]
+    fn prior_replays_into_well_formed_transitions() {
+        let mut env = TuningEnv::new(Engine::new(ClusterSpec::cluster_a()), wordcount(), 5);
+        let base = max_resource_allocation(&ClusterSpec::cluster_a(), env.app());
+        env.evaluate(&base);
+        let mut thin = base;
+        thin.containers_per_node = 4;
+        thin.heap = env.heap_for(4);
+        env.evaluate(&thin);
+        env.evaluate(&base);
+
+        let mut store = MemoryStore::new();
+        store.ingest(SessionDigest::from_env("WordCount", 5, &env));
+        let query = store.fingerprint_for_workload("WordCount").unwrap();
+        let prior = build_prior(&store.retrieve(&query, 3), env.space(), DEFAULT_PRIOR_CAP);
+
+        let transitions = transitions_from_prior(&prior, env.space());
+        assert_eq!(transitions.len(), 2, "3 observations replay 2 steps");
+        for t in &transitions {
+            assert_eq!(t.state.len(), crate::STATE_DIMS);
+            assert_eq!(t.next_state.len(), crate::STATE_DIMS);
+            assert_eq!(t.action.len(), 4);
+            assert!(t.reward.is_finite());
+        }
+
+        // And they seed a tuner's buffer.
+        let mut tuner = crate::DdpgTuner::new(9);
+        assert_eq!(tuner.seed_replay(transitions), 2);
+        assert_eq!(tuner.agent().replay_len(), 2);
+    }
+}

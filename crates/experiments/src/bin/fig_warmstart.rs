@@ -1,0 +1,469 @@
+//! Warm-start study: how many evaluations each tuner family needs to get
+//! within 5% of its cold run's best score, cold versus warm-started from
+//! the cross-session memory store (`relm-memory`).
+//!
+//! ```text
+//! fig_warmstart              # full study, writes BENCH_warmstart.json
+//! fig_warmstart --smoke      # serve-based end-to-end smoke for check.sh
+//! ```
+//!
+//! Full mode builds a store from *source* tuning sessions, round-trips it
+//! through disk (asserting zero skipped records), then tunes a *target*
+//! session cold and warm for each family:
+//!
+//! * **BO** — the prior's similarity-allocated observations replace the
+//!   LHS bootstrap (`BayesOpt::with_memory_prior`).
+//! * **DDPG** — the prior replays into transitions that pre-fill the
+//!   experience buffer (`transitions_from_prior` + `seed_replay`).
+//! * **RelM** — the prior's similarity-weighted Table-6 statistics feed
+//!   `recommend_from_stats`, skipping the profiling runs entirely.
+//!
+//! Retrieval mirrors the serving layer: a same-workload pair resolves the
+//! query fingerprint from the store by label (no extra evaluation); a
+//! cross-workload pair must first profile the default configuration (one
+//! evaluation, counted against the warm run) to fingerprint the target.
+//!
+//! The numbers in `BENCH_warmstart.json` are evaluation *counts* of the
+//! deterministic simulation — no wall clock — so the file is reproducible
+//! byte-for-byte and the cold baselines it carries are frozen alongside
+//! the warm results they gate.
+
+use relm_app::Engine;
+use relm_cluster::ClusterSpec;
+use relm_core::RelmTuner;
+use relm_ddpg::{transitions_from_prior, DdpgTuner};
+use relm_memory::{
+    build_prior, normalize_label, Fingerprint, MemoryStore, PriorBundle, SessionDigest,
+    DEFAULT_PRIOR_CAP,
+};
+use relm_obs::Obs;
+use relm_serve::{Request, Response, ServeConfig, Service, SessionSpec};
+use relm_tune::{Tuner, TuningEnv};
+use relm_workloads::{kmeans, max_resource_allocation, sortbykey};
+use serde_json::{Map, Number, Value};
+use std::path::PathBuf;
+
+const BO_BUDGET: usize = 20;
+const DDPG_BUDGET: usize = 24;
+const SOURCE_SEEDS: [u64; 2] = [21, 22];
+const TARGET_SEED: u64 = 7;
+const RETRIEVE_K: usize = 3;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        smoke();
+    } else {
+        full();
+    }
+}
+
+/// First 1-based evaluation index at or under `threshold`, if reached.
+fn evals_to(env: &TuningEnv, threshold: f64) -> Option<usize> {
+    env.history()
+        .iter()
+        .position(|o| o.score_mins <= threshold)
+        .map(|i| i + 1)
+}
+
+fn best(env: &TuningEnv) -> f64 {
+    env.history()
+        .iter()
+        .map(|o| o.score_mins)
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// A long-budget BO with no early stop: the cold trajectory is the frozen
+/// baseline, so it must not depend on the stopping rule.
+fn bo(seed: u64) -> relm_bo::BayesOpt {
+    relm_bo::BayesOpt::new(seed).with_config(relm_bo::BoConfig {
+        max_iterations: BO_BUDGET,
+        min_adaptive_samples: BO_BUDGET,
+        ..relm_bo::BoConfig::default()
+    })
+}
+
+/// Builds a memory store from BO source sessions on `app`, then proves
+/// the persistence round trip (save → load, zero skipped records).
+fn build_source_store(engine: &Engine, app: &relm_app::AppSpec) -> MemoryStore {
+    let mut store = MemoryStore::new();
+    for seed in SOURCE_SEEDS {
+        let mut env = TuningEnv::new(engine.clone(), app.clone(), seed);
+        let _ = bo(seed).tune(&mut env);
+        store.ingest(SessionDigest::from_env(&app.name, seed, &env));
+    }
+    let path = std::env::temp_dir().join(format!(
+        "relm-warmstart-{}-{}.jsonl",
+        std::process::id(),
+        normalize_label(&app.name)
+    ));
+    store.save(&path).expect("store saves");
+    let loaded = MemoryStore::load(&path, Obs::disabled()).expect("store loads");
+    assert_eq!(loaded.skipped(), 0, "round trip must skip nothing");
+    assert_eq!(loaded.len(), store.len());
+    std::fs::remove_file(&path).ok();
+    loaded
+}
+
+/// Retrieves the warm-start prior the way the serving layer would: by
+/// stored label when the store has seen the workload, else by profiling
+/// the default configuration (one evaluation, charged to `env`).
+fn retrieve_prior(store: &MemoryStore, env: &mut TuningEnv) -> PriorBundle {
+    let label = normalize_label(&env.app().name);
+    let query = match store.fingerprint_for_workload(&label) {
+        Some(query) => Some(query),
+        None => {
+            let default = max_resource_allocation(env.engine().cluster(), env.app());
+            env.evaluate(&default);
+            env.mean_stats().map(|s| Fingerprint::from_stats(&s))
+        }
+    };
+    match query {
+        Some(query) => build_prior(
+            &store.retrieve(&query, RETRIEVE_K),
+            env.space(),
+            DEFAULT_PRIOR_CAP,
+        ),
+        None => PriorBundle::empty(),
+    }
+}
+
+struct PairResult {
+    cold_evals: usize,
+    warm_evals: Option<usize>,
+    cold_best: f64,
+    warm_best: f64,
+}
+
+impl PairResult {
+    fn ratio(&self) -> Option<f64> {
+        self.warm_evals.map(|w| w as f64 / self.cold_evals as f64)
+    }
+}
+
+/// Cold-vs-warm for one tuner family on one (store, target) pair. `cold`
+/// and `warm` drive their own environments; the threshold is 5% above the
+/// *cold* run's best — the warm run is measured against the frozen
+/// baseline, never against itself.
+fn run_pair(
+    engine: &Engine,
+    app: &relm_app::AppSpec,
+    store: &MemoryStore,
+    seed: u64,
+    cold: impl FnOnce(&mut TuningEnv),
+    warm: impl FnOnce(&mut TuningEnv, &PriorBundle),
+) -> PairResult {
+    let mut cold_env = TuningEnv::new(engine.clone(), app.clone(), seed);
+    cold(&mut cold_env);
+    let cold_best = best(&cold_env);
+    let threshold = cold_best * 1.05;
+    let cold_evals = evals_to(&cold_env, threshold).expect("cold run reaches its own best");
+
+    let mut warm_env = TuningEnv::new(engine.clone(), app.clone(), seed);
+    let prior = retrieve_prior(store, &mut warm_env);
+    warm(&mut warm_env, &prior);
+    PairResult {
+        cold_evals,
+        warm_evals: evals_to(&warm_env, threshold),
+        cold_best,
+        warm_best: best(&warm_env),
+    }
+}
+
+fn run_family(
+    engine: &Engine,
+    app: &relm_app::AppSpec,
+    store: &MemoryStore,
+    family: &str,
+    seed: u64,
+) -> PairResult {
+    match family {
+        "bo" => run_pair(
+            engine,
+            app,
+            store,
+            seed,
+            |env| {
+                let _ = bo(seed).tune(env);
+            },
+            |env, prior| {
+                let _ = bo(seed).with_memory_prior(prior).tune(env);
+            },
+        ),
+        "ddpg" => run_pair(
+            engine,
+            app,
+            store,
+            seed,
+            |env| {
+                let _ = DdpgTuner::new(seed).with_budget(DDPG_BUDGET).tune(env);
+            },
+            |env, prior| {
+                let mut tuner = DdpgTuner::new(seed).with_budget(DDPG_BUDGET);
+                tuner.seed_replay(transitions_from_prior(prior, env.space()));
+                let _ = tuner.tune(env);
+            },
+        ),
+        "relm" => run_pair(
+            engine,
+            app,
+            store,
+            seed,
+            |env| {
+                // Cold RelM profiles, recommends, and pays to verify the
+                // recommendation — its evaluations-to-threshold.
+                let rec = RelmTuner::default().tune(env).expect("relm recommends");
+                env.evaluate(&rec.config);
+            },
+            |env, prior| {
+                // Warm RelM recommends straight from the prior's
+                // similarity-weighted statistics: no profiling run at all
+                // on a same-workload hit.
+                let cluster = env.engine().cluster().clone();
+                match prior.stats {
+                    Some(stats) => {
+                        let config = RelmTuner::default()
+                            .recommend_from_stats(&cluster, stats)
+                            .expect("relm recommends from prior");
+                        env.evaluate(&config);
+                    }
+                    None => {
+                        let rec = RelmTuner::default().tune(env).expect("relm recommends");
+                        env.evaluate(&rec.config);
+                    }
+                }
+            },
+        ),
+        other => panic!("unknown family {other}"),
+    }
+}
+
+fn full() {
+    let engine = Engine::new(ClusterSpec::cluster_a());
+    let pairs: [(&str, relm_app::AppSpec, relm_app::AppSpec); 2] = [
+        ("sortbykey->sortbykey", sortbykey(), sortbykey()),
+        ("kmeans->sortbykey", kmeans(), sortbykey()),
+    ];
+    let families = ["bo", "ddpg", "relm"];
+
+    println!("Warm-start study: evaluations to within 5% of the cold run's best\n");
+    println!(
+        "{:<16} {:<6} {:>10} {:>10} {:>7} {:>12} {:>12}",
+        "pair", "tuner", "cold", "warm", "ratio", "cold_best", "warm_best"
+    );
+
+    let mut out = Map::new();
+    out.insert(
+        "description".to_string(),
+        Value::String(
+            "Evaluations each tuner needs to reach within 5% of its cold run's best \
+             score, cold vs warm-started from the relm-memory store. Warm counts \
+             include any probe evaluation spent fingerprinting the target. Cold \
+             columns are the frozen baselines."
+                .into(),
+        ),
+    );
+    out.insert(
+        "units".to_string(),
+        Value::String("evaluations (deterministic simulation)".into()),
+    );
+    out.insert(
+        "source_seeds".to_string(),
+        Value::Array(
+            SOURCE_SEEDS
+                .iter()
+                .map(|s| Value::Number(Number::U64(*s)))
+                .collect(),
+        ),
+    );
+    out.insert(
+        "target_seed".to_string(),
+        Value::Number(Number::U64(TARGET_SEED)),
+    );
+
+    let mut pair_values = Map::new();
+    for (pair_name, source, target) in pairs {
+        let store = build_source_store(&engine, &source);
+        let mut family_values = Map::new();
+        for family in families {
+            let r = run_family(&engine, &target, &store, family, TARGET_SEED);
+            let warm_str = r
+                .warm_evals
+                .map(|w| w.to_string())
+                .unwrap_or_else(|| "-".into());
+            let ratio_str = r
+                .ratio()
+                .map(|x| format!("{x:.2}"))
+                .unwrap_or_else(|| "-".into());
+            println!(
+                "{:<16} {:<6} {:>10} {:>10} {:>7} {:>12.3} {:>12.3}",
+                pair_name, family, r.cold_evals, warm_str, ratio_str, r.cold_best, r.warm_best
+            );
+            family_values.insert(
+                format!("{family}_cold_evals"),
+                Value::Number(Number::U64(r.cold_evals as u64)),
+            );
+            family_values.insert(
+                format!("{family}_warm_evals"),
+                match r.warm_evals {
+                    Some(w) => Value::Number(Number::U64(w as u64)),
+                    None => Value::Null,
+                },
+            );
+            family_values.insert(
+                format!("{family}_ratio"),
+                match r.ratio() {
+                    Some(x) => Value::Number(Number::F64((x * 1000.0).round() / 1000.0)),
+                    None => Value::Null,
+                },
+            );
+
+            if pair_name == "sortbykey->sortbykey" && (family == "bo" || family == "relm") {
+                let ratio = r.ratio().expect("warm run reaches the cold threshold");
+                assert!(
+                    ratio <= 0.5,
+                    "{family} warm start must halve the evaluations on {pair_name}, got {ratio:.2}"
+                );
+            }
+        }
+        pair_values.insert(pair_name.to_string(), Value::Object(family_values));
+    }
+    out.insert("pairs".to_string(), Value::Object(pair_values));
+    out.insert(
+        "note".to_string(),
+        Value::String(
+            "Same-workload pairs retrieve by stored label (no probe); the cross pair \
+             pays one probe evaluation to fingerprint the target. RelM's warm path \
+             recommends from the prior's similarity-weighted Table-6 statistics and \
+             skips profiling entirely."
+                .into(),
+        ),
+    );
+
+    // `CARGO_MANIFEST_DIR` is crates/experiments; the file lives at the root.
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| PathBuf::from(d).join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."));
+    let path = root.join("BENCH_warmstart.json");
+    let json = serde_json::to_string_pretty(&Value::Object(out)).expect("bench serializes");
+    std::fs::write(&path, json + "\n").expect("write BENCH_warmstart.json");
+    println!("\nwrote {}", path.display());
+}
+
+/// Serve-based smoke for `scripts/check.sh`: a cold session builds the
+/// store through `Drain`, a warm session on a fresh seed retrieves from
+/// it and must reach the cold threshold in fewer evaluations. Prints one
+/// deterministic counter line (no wall clock, no paths) so the caller can
+/// diff two runs byte-for-byte.
+fn smoke() {
+    let store =
+        std::env::temp_dir().join(format!("relm-warmstart-smoke-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&store);
+
+    // Phase A: cold session, drained into the store.
+    let obs_a = Obs::enabled();
+    let cold_history = {
+        let service = Service::start(
+            ServeConfig {
+                workers: 2,
+                memory_store: Some(store.clone()),
+                ..ServeConfig::default()
+            },
+            obs_a.clone(),
+        );
+        let session = match service.handle(&Request::CreateSession {
+            spec: SessionSpec::named("SortByKey", 42),
+        }) {
+            Response::SessionCreated { session } => session,
+            other => panic!("create failed: {other:?}"),
+        };
+        service.handle(&Request::StepAuto {
+            session: session.clone(),
+            evals: 4,
+        });
+        service.handle(&Request::Join {
+            session: session.clone(),
+        });
+        match service.handle(&Request::StepGuided {
+            session: session.clone(),
+            evals: 4,
+        }) {
+            Response::Accepted { .. } => {}
+            other => panic!("cold guided step failed: {other:?}"),
+        }
+        let history = match service.handle(&Request::Result { session }) {
+            Response::ResultReady { history, .. } => history,
+            other => panic!("result failed: {other:?}"),
+        };
+        match service.handle(&Request::Drain) {
+            Response::Drained { sessions, .. } => assert_eq!(sessions, 1),
+            other => panic!("drain failed: {other:?}"),
+        }
+        history
+    };
+
+    // Phase B: warm session on a fresh seed, guided from evaluation zero.
+    let obs_b = Obs::enabled();
+    let warm_history = {
+        let service = Service::start(
+            ServeConfig {
+                workers: 2,
+                memory_store: Some(store.clone()),
+                ..ServeConfig::default()
+            },
+            obs_b.clone(),
+        );
+        let session = match service.handle(&Request::CreateSession {
+            spec: SessionSpec::named("SortByKey", 43).with_warm_start(),
+        }) {
+            Response::SessionCreated { session } => session,
+            other => panic!("create failed: {other:?}"),
+        };
+        match service.handle(&Request::StepGuided {
+            session: session.clone(),
+            evals: 4,
+        }) {
+            Response::Accepted { .. } => {}
+            other => panic!("warm guided step failed: {other:?}"),
+        }
+        match service.handle(&Request::Result { session }) {
+            Response::ResultReady { history, .. } => history,
+            other => panic!("result failed: {other:?}"),
+        }
+    };
+    std::fs::remove_file(&store).ok();
+
+    let cold_best = cold_history
+        .iter()
+        .map(|o| o.score_mins)
+        .fold(f64::INFINITY, f64::min);
+    let threshold = cold_best * 1.05;
+    let cold_evals = cold_history
+        .iter()
+        .position(|o| o.score_mins <= threshold)
+        .expect("cold run reaches its own best")
+        + 1;
+    let warm_evals = warm_history
+        .iter()
+        .position(|o| o.score_mins <= threshold)
+        .map(|i| i + 1)
+        .expect("warm run must reach the cold threshold");
+
+    let ingested = obs_a.counter_value("memory.ingested") as u64;
+    let retrievals = obs_b.counter_value("memory.retrievals") as u64;
+    let prior_obs = obs_b.counter_value("memory.prior_obs") as u64;
+    assert_eq!(ingested, 1, "exactly the cold session's digest is ingested");
+    assert_eq!(retrievals, 1, "exactly the warm session retrieves");
+    assert!(
+        prior_obs >= 4,
+        "prior must carry enough observations to fit"
+    );
+    assert!(
+        warm_evals < cold_evals,
+        "warm start must need fewer evaluations ({warm_evals} vs {cold_evals})"
+    );
+    println!(
+        "warmstart: ingested={ingested} retrievals={retrievals} prior_obs={prior_obs} \
+         cold_evals={cold_evals} warm_evals={warm_evals}"
+    );
+}

@@ -324,6 +324,187 @@ fn deposed_workers_late_result_warms_cache_but_never_commits() {
     center.stop();
 }
 
+/// Warm-start meets the fleet: sessions seeded from a cross-session
+/// memory store, evaluated by remote workers with one armed to die, must
+/// produce histories byte-identical to a 1-worker local warm run against
+/// the same store — and the fleet's drain must ingest the warm sessions'
+/// digests back into the store.
+#[test]
+fn warm_started_fleet_run_with_kill_matches_local_warm_run() {
+    let dir = std::env::temp_dir().join(format!("relm_fleet_warm_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("memory.jsonl");
+
+    // Phase 1: a cold local run builds the store (drain extracts and
+    // persists the digests).
+    {
+        let service = Service::start(
+            ServeConfig {
+                workers: 2,
+                memory_store: Some(store.clone()),
+                ..ServeConfig::default()
+            },
+            Obs::disabled(),
+        );
+        drive_sessions(&service);
+        match service.handle(&Request::Drain) {
+            Response::Drained { sessions, .. } => assert_eq!(sessions, 2),
+            other => panic!("drain failed: {other:?}"),
+        }
+    }
+
+    // Fresh seeds of the same workloads, warm-started from the store.
+    let warm_specs = || -> Vec<SessionSpec> {
+        specs()
+            .into_iter()
+            .map(|mut s| {
+                s.base_seed += 5000;
+                s.with_warm_start()
+            })
+            .collect()
+    };
+    // Guided from evaluation zero when the prior clears the fit minimum;
+    // a warm miss (workload with no usable fingerprint) degrades to auto
+    // sampling. Either way the choice is a pure function of the store.
+    let enqueue_warm = |service: &Service| -> Vec<String> {
+        let mut names = Vec::new();
+        for spec in warm_specs() {
+            let session = match service.handle(&Request::CreateSession { spec }) {
+                Response::SessionCreated { session } => session,
+                other => panic!("create failed: {other:?}"),
+            };
+            let guided = service.handle(&Request::StepGuided {
+                session: session.clone(),
+                evals: STEPS,
+            });
+            match guided {
+                Response::Accepted { .. } => {}
+                Response::Error { .. } => {
+                    match service.handle(&Request::StepAuto {
+                        session: session.clone(),
+                        evals: STEPS,
+                    }) {
+                        Response::Accepted { .. } => {}
+                        other => panic!("auto fallback failed: {other:?}"),
+                    }
+                }
+                other => panic!("guided step failed: {other:?}"),
+            }
+            names.push(session);
+        }
+        names
+    };
+    let collect = |service: &Service, names: Vec<String>| -> Vec<String> {
+        names
+            .into_iter()
+            .map(
+                |session| match service.handle(&Request::Result { session }) {
+                    Response::ResultReady { history, .. } => {
+                        assert_eq!(history.len(), STEPS as usize, "lost evaluations");
+                        serde_json::to_string(&history).expect("history serializes")
+                    }
+                    other => panic!("result failed: {other:?}"),
+                },
+            )
+            .collect()
+    };
+
+    // Local warm reference (1 worker, same store, no drain — the
+    // reference must not mutate the store the fleet run reads).
+    let local = {
+        let service = Service::start(
+            ServeConfig {
+                workers: 1,
+                memory_store: Some(store.clone()),
+                ..ServeConfig::default()
+            },
+            Obs::disabled(),
+        );
+        let names = enqueue_warm(&service);
+        collect(&service, names)
+    };
+
+    // Fleet warm run: external execution, 3 workers, w-0 armed to die on
+    // its first acked assignment.
+    let obs = Obs::enabled();
+    let service = Arc::new(Service::start(
+        ServeConfig {
+            execution: Execution::External,
+            memory_store: Some(store.clone()),
+            ..ServeConfig::default()
+        },
+        obs.clone(),
+    ));
+    let center = Center::start(Arc::clone(&service), fast_monitor());
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut workers = Vec::new();
+    {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        workers.push(std::thread::spawn(move || {
+            let config = WorkerConfig::named("w-0").with_faults(WorkerFaultPlan::new(
+                17,
+                WorkerFaultConfig {
+                    kill_rate: 1.0,
+                    ..WorkerFaultConfig::off()
+                },
+            ));
+            run_worker(|req| Ok(service.handle(req)), &config, &stop)
+        }));
+    }
+    let names = enqueue_warm(&service);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while obs.counter_value("fleet.tasks_assigned") < 1.0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "w-0 never took a task"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    for i in 1..3 {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        workers.push(std::thread::spawn(move || {
+            run_worker(
+                |req| Ok(service.handle(req)),
+                &WorkerConfig::named(format!("w-{i}")),
+                &stop,
+            )
+        }));
+    }
+    let fleet = collect(&service, names);
+    assert_eq!(
+        fleet, local,
+        "warm fleet histories diverged from the local warm run"
+    );
+    assert!(
+        obs.counter_value("memory.retrievals") >= 1.0,
+        "no prior was ever retrieved"
+    );
+
+    // Drain the fleet service: the warm sessions' digests flow back into
+    // the store through the same path a local drain takes.
+    match service.handle(&Request::Drain) {
+        Response::Drained { sessions, .. } => assert_eq!(sessions, 2),
+        other => panic!("drain failed: {other:?}"),
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for t in workers {
+        t.join().expect("worker thread");
+    }
+    center.stop();
+
+    let merged = relm_memory::MemoryStore::load(&store, Obs::disabled()).unwrap();
+    assert_eq!(
+        merged.len(),
+        4,
+        "store must hold the 2 cold and 2 warm session digests"
+    );
+    assert_eq!(merged.skipped(), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Drain-report reconciliation: tasks stranded in reassignment limbo by
 /// dead workers are run dry locally by the drain — zero lost sessions,
 /// and the drain tally's `reassignments` agrees with the counter.

@@ -1,0 +1,127 @@
+//! Workload fingerprints: the Table-6 resource-statistics vector of a
+//! session, normalized into a fixed-dimensional point so sessions can be
+//! compared across workloads, heap sizes, and cluster shapes.
+//!
+//! The paper's own transfer argument (Table 6, §6.6) is that this compact
+//! vector characterizes a workload well enough to carry knowledge across
+//! applications: two workloads whose resource statistics are close respond
+//! similarly to the same memory-configuration changes. The fingerprint
+//! normalizes every memory pool by the profiled heap and every bounded
+//! quantity by its range, so distance is scale-free and dominated by the
+//! workload's *behavior* (cache pressure, shuffle volume, spill, GC
+//! accuracy), not by the absolute hardware numbers.
+
+use relm_profile::DerivedStats;
+use serde::{Deserialize, Serialize};
+
+/// Fingerprint dimensionality.
+pub const FP_DIMS: usize = 12;
+
+/// A workload's normalized resource-statistics vector.
+///
+/// Serializes transparently as a plain JSON array of `FP_DIMS` numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fingerprint(pub [f64; FP_DIMS]);
+
+impl Fingerprint {
+    /// Builds a fingerprint from a (mean) Table-6 statistics vector. Every
+    /// coordinate is normalized to roughly `[0, 1]`; non-finite inputs
+    /// (a degenerate profile) clamp to 0 so a corrupted session can never
+    /// poison retrieval with NaN distances.
+    pub fn from_stats(stats: &DerivedStats) -> Self {
+        let heap = stats.heap.as_mb().max(1.0);
+        let dims = [
+            stats.cpu_avg / 100.0,
+            stats.disk_avg / 100.0,
+            stats.m_i.as_mb() / heap,
+            stats.m_c.as_mb() / heap,
+            stats.m_s.as_mb() / heap,
+            stats.m_u.as_mb() / heap,
+            stats.p as f64 / 8.0,
+            stats.h,
+            stats.s,
+            stats.containers_per_node as f64 / 4.0,
+            heap / 16_384.0,
+            if stats.m_u_from_full_gc { 1.0 } else { 0.0 },
+        ];
+        Fingerprint(dims.map(|v| if v.is_finite() { v } else { 0.0 }))
+    }
+
+    /// Normalized Euclidean distance (root mean squared coordinate
+    /// difference). Zero means identical statistics; commensurate across
+    /// store generations because both sides are normalized the same way.
+    pub fn distance(&self, other: &Fingerprint) -> f64 {
+        let sum: f64 = self
+            .0
+            .iter()
+            .zip(other.0.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        (sum / FP_DIMS as f64).sqrt()
+    }
+
+    /// Similarity weight in `(0, 1]`: `1 / (1 + distance)`. Identical
+    /// fingerprints weigh 1; the weight decays smoothly with distance and
+    /// never reaches zero, so even a far session contributes *something*
+    /// when it is all the store has.
+    pub fn similarity(&self, other: &Fingerprint) -> f64 {
+        1.0 / (1.0 + self.distance(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relm_common::Mem;
+
+    fn stats() -> DerivedStats {
+        DerivedStats {
+            containers_per_node: 2,
+            heap: Mem::mb(8808.0),
+            cpu_avg: 40.0,
+            disk_avg: 5.0,
+            m_i: Mem::mb(120.0),
+            m_c: Mem::mb(2000.0),
+            m_s: Mem::mb(300.0),
+            m_u: Mem::mb(700.0),
+            p: 4,
+            h: 0.8,
+            s: 0.1,
+            m_u_from_full_gc: true,
+        }
+    }
+
+    #[test]
+    fn self_distance_is_zero_and_similarity_one() {
+        let fp = Fingerprint::from_stats(&stats());
+        assert_eq!(fp.distance(&fp), 0.0);
+        assert_eq!(fp.similarity(&fp), 1.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_grows_with_divergence() {
+        let a = Fingerprint::from_stats(&stats());
+        let mut near_stats = stats();
+        near_stats.cpu_avg = 45.0;
+        let near = Fingerprint::from_stats(&near_stats);
+        let mut far_stats = stats();
+        far_stats.cpu_avg = 95.0;
+        far_stats.h = 0.0;
+        far_stats.s = 0.9;
+        let far = Fingerprint::from_stats(&far_stats);
+        assert_eq!(a.distance(&near), near.distance(&a));
+        assert!(a.distance(&near) < a.distance(&far));
+        assert!(a.similarity(&near) > a.similarity(&far));
+    }
+
+    #[test]
+    fn non_finite_stats_clamp_to_zero() {
+        let mut s = stats();
+        s.cpu_avg = f64::NAN;
+        s.h = f64::INFINITY;
+        let fp = Fingerprint::from_stats(&s);
+        assert!(fp.0.iter().all(|v| v.is_finite()));
+        let other = Fingerprint::from_stats(&stats());
+        assert!(fp.distance(&other).is_finite());
+    }
+}

@@ -1,0 +1,242 @@
+//! Property tests for the cross-session memory store: every persisted
+//! record (digest, fingerprint, prior bundle) must survive a serde round
+//! trip unchanged; save → load → save must be byte-idempotent; corrupted
+//! or truncated entry lines must be *skipped with a counter* — never a
+//! panic, never a hard error; and retrieval must not depend on ingestion
+//! order.
+
+use proptest::prelude::*;
+use relm_cluster::ClusterSpec;
+use relm_common::Mem;
+use relm_memory::{
+    build_prior, Fingerprint, MemoryStore, SessionDigest, DEFAULT_PRIOR_CAP, DIGEST_VERSION,
+};
+use relm_profile::DerivedStats;
+use relm_tune::ConfigSpace;
+use relm_workloads::wordcount;
+
+/// Synthesizes plausible Table-6 statistics from one scalar draw (the
+/// vendored proptest has no collection or struct strategies).
+fn stats(seed: u64) -> DerivedStats {
+    DerivedStats {
+        containers_per_node: 1 + (seed % 8) as u32,
+        heap: Mem::mb(1024.0 + (seed % 7) as f64 * 512.0),
+        cpu_avg: (seed % 101) as f64,
+        disk_avg: ((seed / 3) % 101) as f64,
+        m_i: Mem::mb(200.0 + (seed % 5) as f64 * 50.0),
+        m_c: Mem::mb(300.0 + (seed % 11) as f64 * 40.0),
+        m_s: Mem::mb(150.0 + (seed % 13) as f64 * 30.0),
+        m_u: Mem::mb(400.0 + (seed % 17) as f64 * 20.0),
+        p: 1 + (seed % 6) as u32,
+        h: (seed % 10) as f64 / 10.0,
+        s: (seed % 9) as f64 / 9.0,
+        m_u_from_full_gc: seed.is_multiple_of(2),
+    }
+}
+
+fn space() -> ConfigSpace {
+    ConfigSpace::for_app(&ClusterSpec::cluster_a(), &wordcount())
+}
+
+/// A digest with `n_obs` observations decoded from the unit hypercube.
+fn digest(seed: u64, n_obs: usize) -> SessionDigest {
+    let space = space();
+    let unit = |i: u64| {
+        let v = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(i.wrapping_mul(2654435761));
+        (v % 1000) as f64 / 1000.0
+    };
+    let observations = (0..n_obs as u64)
+        .map(|i| {
+            let x = [
+                unit(4 * i),
+                unit(4 * i + 1),
+                unit(4 * i + 2),
+                unit(4 * i + 3),
+            ];
+            relm_memory::DigestObs {
+                config: space.decode(&x),
+                score_mins: 5.0 + unit(4 * i + 7) * 20.0,
+                censored: (seed + i).is_multiple_of(5),
+            }
+        })
+        .collect();
+    SessionDigest {
+        version: DIGEST_VERSION,
+        workload: format!("wl{}", seed % 4),
+        base_seed: seed,
+        evaluations: n_obs,
+        profiled: n_obs as u64,
+        stats: if seed.is_multiple_of(7) {
+            None
+        } else {
+            Some(stats(seed))
+        },
+        observations,
+    }
+}
+
+fn distinct_seeds(base: u64, n: usize) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| {
+            base.wrapping_mul(6364136223846793005)
+                .wrapping_add(i.wrapping_mul(2654435761))
+        })
+        .collect()
+}
+
+fn tmp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "relm-memory-prop-{}-{tag}.jsonl",
+        std::process::id()
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn records_round_trip_through_serde(base in 0u64..100_000, n_obs in 0usize..12) {
+        // Digest.
+        let d = digest(base, n_obs);
+        let body = serde_json::to_string(&d).unwrap();
+        let back: SessionDigest = serde_json::from_str(&body).unwrap();
+        prop_assert_eq!(&back, &d);
+
+        // Fingerprint (when the digest carries stats).
+        if let Some(fp) = d.fingerprint() {
+            let body = serde_json::to_string(&fp).unwrap();
+            let back: Fingerprint = serde_json::from_str(&body).unwrap();
+            prop_assert_eq!(back, fp);
+            prop_assert_eq!(fp.distance(&fp), 0.0);
+        }
+
+        // Prior bundle built from a store holding the digest.
+        let mut store = MemoryStore::new();
+        store.ingest(d.clone());
+        if let Some(query) = store.fingerprint_for_workload(&d.workload) {
+            let prior = build_prior(&store.retrieve(&query, 3), &space(), DEFAULT_PRIOR_CAP);
+            let body = serde_json::to_string(&prior).unwrap();
+            let back: relm_memory::PriorBundle = serde_json::from_str(&body).unwrap();
+            prop_assert_eq!(back, prior);
+        }
+    }
+
+    #[test]
+    fn save_load_save_is_byte_idempotent(
+        base in 0u64..100_000,
+        n in 0usize..10,
+        case in 0u64..1_000_000,
+    ) {
+        let mut store = MemoryStore::new();
+        for &seed in &distinct_seeds(base, n) {
+            store.ingest(digest(seed, 2 + (seed % 4) as usize));
+        }
+        let first_path = tmp_path(&format!("{case}-first"));
+        let second_path = tmp_path(&format!("{case}-second"));
+        store.save(&first_path).unwrap();
+
+        let loaded = MemoryStore::load(&first_path, relm_obs::Obs::disabled()).unwrap();
+        prop_assert_eq!(loaded.len(), store.len());
+        prop_assert_eq!(loaded.skipped(), 0);
+        loaded.save(&second_path).unwrap();
+        let first = std::fs::read(&first_path).unwrap();
+        let second = std::fs::read(&second_path).unwrap();
+        prop_assert_eq!(first, second, "save(load(f)) must reproduce f byte-for-byte");
+
+        std::fs::remove_file(&first_path).ok();
+        std::fs::remove_file(&second_path).ok();
+    }
+
+    #[test]
+    fn corrupt_or_truncated_lines_are_skipped_never_fatal(
+        base in 1u64..100_000,
+        n in 2usize..8,
+        pick in 0usize..64,
+        mode in 0u8..3,
+        case in 0u64..1_000_000,
+    ) {
+        let mut store = MemoryStore::new();
+        for &seed in &distinct_seeds(base, n) {
+            store.ingest(digest(seed, 2));
+        }
+        let total = store.len();
+        let path = tmp_path(&format!("{case}-corrupt"));
+        store.save(&path).unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // Line 0 is the header (which must stay intact); damage an entry.
+        let idx = 1 + pick % (lines.len() - 1);
+        let damaged: String = lines
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                if i != idx {
+                    return l.to_string();
+                }
+                match mode {
+                    // Truncated mid-record (a torn write).
+                    0 => l[..l.len() / 2].to_string(),
+                    // Not JSON at all.
+                    1 => "garbage not json".to_string(),
+                    // Valid JSON, wrong checksum: flip a digit in the value.
+                    _ => {
+                        let at = l
+                            .find("\"value\"")
+                            .and_then(|v| {
+                                l[v..].char_indices().find(|(_, c)| c.is_ascii_digit()).map(|(i, _)| v + i)
+                            })
+                            .expect("entry has digits");
+                        let mut b = l.as_bytes().to_vec();
+                        b[at] = if b[at] == b'9' { b'0' } else { b[at] + 1 };
+                        String::from_utf8(b).unwrap()
+                    }
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        std::fs::write(&path, damaged).unwrap();
+
+        let loaded = MemoryStore::load(&path, relm_obs::Obs::disabled()).unwrap();
+        prop_assert_eq!(loaded.skipped(), 1, "exactly the damaged line is skipped");
+        prop_assert_eq!(loaded.len(), total - 1, "every intact entry survives");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn retrieval_is_independent_of_ingestion_order(
+        base in 0u64..100_000,
+        n in 1usize..10,
+        rot in 0usize..10,
+        k in 1usize..5,
+    ) {
+        let seeds = distinct_seeds(base, n);
+        let digests: Vec<SessionDigest> = seeds
+            .iter()
+            .map(|&s| digest(s, 2 + (s % 3) as usize))
+            .collect();
+
+        let mut forward = MemoryStore::new();
+        for d in &digests {
+            forward.ingest(d.clone());
+        }
+        let mut rotated = MemoryStore::new();
+        let pivot = rot % digests.len();
+        for d in digests[pivot..].iter().chain(&digests[..pivot]) {
+            rotated.ingest(d.clone());
+        }
+        prop_assert_eq!(forward.len(), rotated.len());
+
+        let query = Fingerprint::from_stats(&stats(base | 1));
+        let a = forward.retrieve(&query, k);
+        let b = rotated.retrieve(&query, k);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(&x.key, &y.key);
+            prop_assert_eq!(x.similarity, y.similarity);
+            prop_assert_eq!(&x.digest, &y.digest);
+        }
+    }
+}

@@ -11,6 +11,6 @@ pub mod stats;
 pub mod timeline;
 pub mod trace;
 
-pub use stats::{derive_stats, DerivedStats};
+pub use stats::{derive_stats, DerivedStats, StatsAccumulator};
 pub use timeline::Timeline;
 pub use trace::{ContainerTrace, Profile};

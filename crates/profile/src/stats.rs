@@ -131,6 +131,98 @@ pub fn derive_stats(profile: &Profile) -> DerivedStats {
     }
 }
 
+/// Streaming aggregator of [`DerivedStats`] across a session's *clean*
+/// (non-aborted) evaluations.
+///
+/// A tuning session throws its profiles away once each observation is
+/// scored; this accumulator is the compact remainder that survives — the
+/// running sums needed to reconstruct a mean Table-6 statistics vector at
+/// any point, including after a checkpoint/drain when no live profile
+/// exists anymore. `relm-memory` fingerprints workloads from exactly this
+/// mean.
+///
+/// Both the live evaluation path and the cache-replay path feed the same
+/// per-observation stats in history order, so an accumulator restored
+/// from a replayed session is bit-identical to the live one.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StatsAccumulator {
+    /// Clean evaluations aggregated.
+    count: u64,
+    containers: f64,
+    heap_mb: f64,
+    cpu_avg: f64,
+    disk_avg: f64,
+    m_i_mb: f64,
+    m_c_mb: f64,
+    m_s_mb: f64,
+    m_u_mb: f64,
+    p: f64,
+    h: f64,
+    s: f64,
+    /// How many aggregated runs derived `M_u` from a full-GC event.
+    full_gc: u64,
+}
+
+impl StatsAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        StatsAccumulator::default()
+    }
+
+    /// Folds one run's statistics into the running sums.
+    pub fn add(&mut self, stats: &DerivedStats) {
+        self.count += 1;
+        self.containers += stats.containers_per_node as f64;
+        self.heap_mb += stats.heap.as_mb();
+        self.cpu_avg += stats.cpu_avg;
+        self.disk_avg += stats.disk_avg;
+        self.m_i_mb += stats.m_i.as_mb();
+        self.m_c_mb += stats.m_c.as_mb();
+        self.m_s_mb += stats.m_s.as_mb();
+        self.m_u_mb += stats.m_u.as_mb();
+        self.p += stats.p as f64;
+        self.h += stats.h;
+        self.s += stats.s;
+        if stats.m_u_from_full_gc {
+            self.full_gc += 1;
+        }
+    }
+
+    /// Runs aggregated so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been aggregated.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The mean statistics vector, or `None` when nothing was aggregated.
+    /// Integer fields round to the nearest profiled value;
+    /// `m_u_from_full_gc` reports the majority.
+    pub fn mean(&self) -> Option<DerivedStats> {
+        if self.count == 0 {
+            return None;
+        }
+        let n = self.count as f64;
+        Some(DerivedStats {
+            containers_per_node: ((self.containers / n).round() as u32).max(1),
+            heap: Mem::mb(self.heap_mb / n),
+            cpu_avg: self.cpu_avg / n,
+            disk_avg: self.disk_avg / n,
+            m_i: Mem::mb(self.m_i_mb / n),
+            m_c: Mem::mb(self.m_c_mb / n),
+            m_s: Mem::mb(self.m_s_mb / n),
+            m_u: Mem::mb(self.m_u_mb / n),
+            p: ((self.p / n).round() as u32).max(1),
+            h: self.h / n,
+            s: self.s / n,
+            m_u_from_full_gc: self.full_gc * 2 >= self.count,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,6 +319,31 @@ mod tests {
         let p = profile(vec![trace]);
         let s = derive_stats(&p);
         assert_eq!(s.m_s, Mem::mb(300.0));
+    }
+
+    #[test]
+    fn accumulator_mean_reproduces_single_sample_and_averages() {
+        let p = profile(vec![trace_with_full_gc()]);
+        let s = derive_stats(&p);
+        let mut acc = StatsAccumulator::new();
+        assert!(acc.mean().is_none());
+        acc.add(&s);
+        let mean = acc.mean().unwrap();
+        assert_eq!(mean.containers_per_node, s.containers_per_node);
+        assert!((mean.heap.as_mb() - s.heap.as_mb()).abs() < 1e-9);
+        assert!((mean.m_u.as_mb() - s.m_u.as_mb()).abs() < 1e-9);
+        assert!(mean.m_u_from_full_gc);
+
+        // A second sample with doubled CPU averages halfway.
+        let mut s2 = s;
+        s2.cpu_avg = s.cpu_avg * 3.0;
+        s2.m_u_from_full_gc = false;
+        acc.add(&s2);
+        let mean = acc.mean().unwrap();
+        assert_eq!(acc.count(), 2);
+        assert!((mean.cpu_avg - s.cpu_avg * 2.0).abs() < 1e-9);
+        // 1 of 2 from full GC → majority rule keeps it true on the tie.
+        assert!(mean.m_u_from_full_gc);
     }
 
     #[test]

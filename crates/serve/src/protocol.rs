@@ -56,6 +56,12 @@ pub struct SessionSpec {
     /// counter deltas are approximate when other sessions run
     /// concurrently, so caching is something a client asks for.
     pub use_cache: bool,
+    /// Warm-start the session from the service's cross-session memory
+    /// store: retrieve the nearest past sessions by workload fingerprint
+    /// and seed the guided sampler's surrogate with their re-weighted
+    /// observations. A retrieval miss (empty store, unknown workload)
+    /// degrades to a cold start; it never fails the request.
+    pub warm_start: bool,
 }
 
 impl SessionSpec {
@@ -69,6 +75,7 @@ impl SessionSpec {
             faults: None,
             retry: None,
             use_cache: false,
+            warm_start: false,
         }
     }
 
@@ -82,6 +89,12 @@ impl SessionSpec {
     /// Opts into the service's shared evaluation cache.
     pub fn with_cache(mut self) -> Self {
         self.use_cache = true;
+        self
+    }
+
+    /// Opts into warm-starting from the service's memory store.
+    pub fn with_warm_start(mut self) -> Self {
+        self.warm_start = true;
         self
     }
 }

@@ -34,6 +34,7 @@ use relm_app::{AppSpec, Engine, EngineCostModel};
 use relm_cluster::ClusterSpec;
 use relm_common::{MemoryConfig, Rng};
 use relm_faults::FaultPlan;
+use relm_memory::{build_prior, normalize_label, MemoryStore, PriorBundle, SessionDigest};
 use relm_obs::{trace, FlightEvent, FlightRecorder, Obs, DEFAULT_FLIGHT_CAPACITY};
 use relm_surrogate::{maximize_ei_threaded, GpFitter};
 use relm_tune::space::DIMS;
@@ -84,6 +85,12 @@ pub struct ServeConfig {
     /// `Drain`, one per explicit `Dump` request. `None` disables dumping
     /// to disk; the in-memory rings and the `Trace` endpoint still work.
     pub flightrec_dir: Option<PathBuf>,
+    /// Cross-session tuning memory: the JSONL store `Drain` ingests
+    /// session digests into and warm-started sessions
+    /// ([`SessionSpec::warm_start`]) retrieve priors from. Loaded once at
+    /// startup (a missing file is an empty store); saved atomically on
+    /// `Drain`. `None` disables both ingest and retrieval.
+    pub memory_store: Option<PathBuf>,
     /// Who evaluates: the in-process pool or an attached fleet center.
     pub execution: Execution,
     /// Per-connection read/idle bound on the TCP frontend: a connection
@@ -103,6 +110,7 @@ impl Default for ServeConfig {
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             checkpoint_dir: None,
             flightrec_dir: None,
+            memory_store: None,
             execution: Execution::InProcess,
             conn_idle_timeout: Some(Duration::from_secs(600)),
         }
@@ -177,6 +185,9 @@ const GUIDED_REFIT_PERIOD: usize = 4;
 /// Scoring threads for guided acquisition. Purely a wall-clock knob:
 /// proposals are bit-identical at any thread count.
 const GUIDED_SCORING_THREADS: usize = 2;
+/// Nearest past sessions a warm-started session retrieves from the
+/// memory store.
+const MEMORY_RETRIEVE_K: usize = 3;
 
 /// Deterministic GP proposal state behind `StepGuided`.
 ///
@@ -191,6 +202,11 @@ struct GuidedState {
     /// Guided fits performed so far — drives the full-vs-incremental
     /// refit schedule.
     fits: usize,
+    /// How many *history* observations the fitter has ingested. Tracked
+    /// separately from `fitter.len()` because a warm-started fitter also
+    /// holds prior observations that are not part of this session's
+    /// history.
+    fed: usize,
 }
 
 /// One admitted evaluation waiting in a session's FIFO, carrying the
@@ -224,6 +240,15 @@ struct Session {
     guided: Option<GuidedState>,
     /// Seed of the guided proposal stream, folded from the session spec.
     guided_seed: u64,
+    /// Normalized workload label, the memory store's retrieval key and
+    /// the digest identity `Drain` ingests under.
+    workload_label: String,
+    /// Base seed of the spec, part of the digest identity.
+    base_seed: u64,
+    /// Warm-start prior retrieved at creation; empty for cold sessions
+    /// and on retrieval miss. A pure function of the spec and the store
+    /// contents at creation, so warm sessions stay deterministic.
+    prior: PriorBundle,
     pending: VecDeque<QueuedEval>,
     /// Whether the session currently sits in the ready queue.
     queued: bool,
@@ -307,6 +332,11 @@ struct Shared {
     done: Condvar,
     /// The attached fleet center, if any ([`Execution::External`]).
     router: Mutex<Option<Weak<dyn FleetRouter>>>,
+    /// Cross-session tuning memory, present when
+    /// [`ServeConfig::memory_store`] is set. Lock-ordering rule: never
+    /// held together with the state lock — retrieval happens before
+    /// session registration, ingest after the drain tally settles.
+    memory: Mutex<Option<MemoryStore>>,
 }
 
 impl Shared {
@@ -330,6 +360,18 @@ impl Service {
     /// Starts the worker pool and returns the service handle.
     pub fn start(config: ServeConfig, obs: Obs) -> Self {
         let cache = relm_tune::EvalStore::instrumented(obs.clone());
+        // Load the memory store up front: a corrupt store surfaces at
+        // startup, not mid-drain, and retrieval never touches disk.
+        let memory = match &config.memory_store {
+            Some(path) => match MemoryStore::load_or_empty(path, obs.clone()) {
+                Ok(store) => Some(store),
+                Err(_) => {
+                    obs.inc("memory.load_errors");
+                    Some(MemoryStore::instrumented(obs.clone()))
+                }
+            },
+            None => None,
+        };
         let shared = Arc::new(Shared {
             config: ServeConfig {
                 workers: config.workers.max(1),
@@ -353,6 +395,7 @@ impl Service {
             work: Condvar::new(),
             done: Condvar::new(),
             router: Mutex::new(None),
+            memory: Mutex::new(memory),
         });
         let workers = match shared.config.execution {
             // Fleet mode: evaluations leave through `lease_next`, not an
@@ -601,6 +644,39 @@ impl Service {
             Ok(env) => env,
             Err(message) => return Response::Error { message },
         };
+        // The digest identity follows the application actually tuned, so
+        // an explicit `app` spec warm-matches sessions of the same app.
+        let workload_label = normalize_label(&env.app().name);
+        // Warm-start retrieval happens *before* the state lock (the
+        // memory and state locks are never held together) and is a pure
+        // function of the spec and the store contents, so the prior — and
+        // everything guided proposals derive from it — replays
+        // byte-identically against the same store.
+        let prior = if spec.warm_start {
+            let memory = self.shared.memory.lock().expect("memory store poisoned");
+            match memory.as_ref() {
+                Some(store) => match store.fingerprint_for_workload(&workload_label) {
+                    Some(query) => {
+                        let hits = store.retrieve(&query, MEMORY_RETRIEVE_K);
+                        let prior = build_prior(&hits, env.space(), relm_memory::DEFAULT_PRIOR_CAP);
+                        self.shared
+                            .obs
+                            .add("memory.prior_obs", prior.gp_obs.len() as f64);
+                        prior
+                    }
+                    None => {
+                        self.shared.obs.inc("memory.warm_misses");
+                        PriorBundle::empty()
+                    }
+                },
+                None => {
+                    self.shared.obs.inc("memory.warm_misses");
+                    PriorBundle::empty()
+                }
+            }
+        } else {
+            PriorBundle::empty()
+        };
         let mut state = self.shared.state.lock().expect("service state poisoned");
         if state.draining || state.stopped {
             return Response::Error {
@@ -636,6 +712,9 @@ impl Service {
                 space,
                 guided: None,
                 guided_seed,
+                workload_label,
+                base_seed: spec.base_seed,
+                prior,
                 pending: VecDeque::new(),
                 queued: false,
                 running: false,
@@ -822,7 +901,7 @@ impl Service {
                 message: "service is draining".into(),
             };
         }
-        let (mut guided, space, tau, guided_seed) = {
+        let (mut guided, space, tau, guided_seed, incumbent) = {
             let Some(sess) = state.sessions.get_mut(session) else {
                 return Response::Error {
                     message: format!("unknown session `{session}`"),
@@ -842,7 +921,10 @@ impl Service {
             }
             let env = sess.env.as_ref().expect("idle session owns its env");
             let history = env.history();
-            if history.len() < GUIDED_MIN_HISTORY {
+            // A warm-started session's prior observations count toward
+            // the fit minimum: with a usable prior, guided steps can run
+            // from evaluation zero.
+            if history.len() + sess.prior.gp_obs.len() < GUIDED_MIN_HISTORY {
                 return Response::Error {
                     message: format!(
                         "guided steps need at least {GUIDED_MIN_HISTORY} completed \
@@ -853,15 +935,29 @@ impl Service {
             }
             let mut guided = match &sess.guided {
                 Some(g) => g.clone(),
-                None => GuidedState {
-                    fitter: GpFitter::new(GUIDED_SCORING_THREADS),
-                    rng: Rng::new(sess.guided_seed),
-                    fits: 0,
-                },
+                None => {
+                    let mut fitter = GpFitter::new(GUIDED_SCORING_THREADS);
+                    // Seed the surrogate with the retrieved prior before
+                    // any history: prior points are part of the fitter
+                    // but never of `fed`, which indexes history alone.
+                    for (x, y) in &sess.prior.gp_obs {
+                        if let Err(e) = fitter.observe(x.clone(), *y) {
+                            return Response::Error {
+                                message: format!("guided fit failed: {e}"),
+                            };
+                        }
+                    }
+                    GuidedState {
+                        fitter,
+                        rng: Rng::new(sess.guided_seed),
+                        fits: 0,
+                        fed: 0,
+                    }
+                }
             };
             // Feed the settled observations the fitter has not seen yet, in
             // history order, encoded into the space's unit hypercube.
-            for obs in &history[guided.fitter.len()..] {
+            for obs in &history[guided.fed..] {
                 let x = sess.space.encode(&obs.config).to_vec();
                 if let Err(e) = guided.fitter.observe(x, obs.score_mins) {
                     return Response::Error {
@@ -869,10 +965,24 @@ impl Service {
                     };
                 }
             }
+            guided.fed = history.len();
+            // The EI threshold folds in the prior's best score, so the
+            // first warm proposals already aim below what similar past
+            // sessions achieved.
             let tau = history
                 .iter()
-                .fold(f64::INFINITY, |t, obs| t.min(obs.score_mins));
-            (guided, sess.space.clone(), tau, sess.guided_seed)
+                .fold(sess.prior.best_y().unwrap_or(f64::INFINITY), |t, obs| {
+                    t.min(obs.score_mins)
+                });
+            // Incumbent transfer: before any evaluation has settled, the
+            // first warm proposal re-evaluates the prior's best-known
+            // point rather than trusting the surrogate to re-discover it.
+            let incumbent = if history.is_empty() {
+                sess.prior.best_x().map(|x| x.to_vec())
+            } else {
+                None
+            };
+            (guided, sess.space.clone(), tau, sess.guided_seed, incumbent)
         };
         let before = guided.fitter.stats();
         let fit_started = Instant::now();
@@ -912,10 +1022,18 @@ impl Service {
         );
         shared.obs.inc("serve.guided.batches");
         let configs: Vec<MemoryConfig> = (0..evals)
-            .map(|_| {
-                let (x, _ei) =
-                    maximize_ei_threaded(&gp, DIMS, tau, &mut guided.rng, GUIDED_SCORING_THREADS);
-                space.decode(&x)
+            .map(|i| match (i, &incumbent) {
+                (0, Some(x)) => space.decode(x),
+                _ => {
+                    let (x, _ei) = maximize_ei_threaded(
+                        &gp,
+                        DIMS,
+                        tau,
+                        &mut guided.rng,
+                        GUIDED_SCORING_THREADS,
+                    );
+                    space.decode(&x)
+                }
             })
             .collect();
         let response = Self::admit_locked(shared, &mut state, session, configs);
@@ -1070,6 +1188,24 @@ impl Service {
                 }
             }
         }
+        // Extract one compact digest per session with completed work:
+        // written beside the checkpoints (so memory ingest never needs a
+        // live session) and merged into the memory store below.
+        let mut digests: Vec<SessionDigest> = Vec::new();
+        for (name, sess) in &state.sessions {
+            let env = sess.env.as_ref().expect("quiescent session owns its env");
+            if env.evaluations() == 0 {
+                continue;
+            }
+            let digest = SessionDigest::from_env(&sess.workload_label, sess.base_seed, env);
+            if let Some(dir) = &shared.config.checkpoint_dir {
+                match digest.save(&dir.join(format!("{name}.digest.json"))) {
+                    Ok(()) => shared.obs.inc("serve.digests_written"),
+                    Err(_) => shared.obs.inc("serve.digest_errors"),
+                }
+            }
+            digests.push(digest);
+        }
         // Freeze every session's flight recorder alongside the
         // checkpoints — the post-mortem record of the whole run.
         let mut flight_dumped = 0usize;
@@ -1091,6 +1227,22 @@ impl Service {
         state.stopped = true;
         shared.refresh_gauges(&state);
         drop(state);
+        // Merge the digests into the cross-session memory store and
+        // persist it — after the state lock is gone (lock-ordering rule:
+        // the memory and state locks are never held together).
+        if let Some(path) = &shared.config.memory_store {
+            if !digests.is_empty() {
+                let mut memory = shared.memory.lock().expect("memory store poisoned");
+                if let Some(store) = memory.as_mut() {
+                    for digest in digests {
+                        store.ingest(digest);
+                    }
+                    if store.save(path).is_err() {
+                        shared.obs.inc("memory.save_errors");
+                    }
+                }
+            }
+        }
         if !already_stopped {
             shared.work.notify_all();
         }

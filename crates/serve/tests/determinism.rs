@@ -154,6 +154,147 @@ fn cached_sessions_replay_identically_and_report_hits() {
     );
 }
 
+/// Builds a memory store at `store` by running one session per workload
+/// and draining (drain extracts the digests and persists the store).
+fn build_store(store: &std::path::Path) {
+    let service = Service::start(
+        ServeConfig {
+            workers: 4,
+            memory_store: Some(store.to_path_buf()),
+            ..ServeConfig::default()
+        },
+        Obs::enabled(),
+    );
+    for i in 0..5 {
+        let name = match service.handle(&Request::CreateSession { spec: spec_for(i) }) {
+            Response::SessionCreated { session } => session,
+            other => panic!("create failed: {other:?}"),
+        };
+        service.handle(&Request::StepAuto {
+            session: name,
+            evals: 6,
+        });
+    }
+    match service.handle(&Request::Drain) {
+        Response::Drained { sessions, .. } => assert_eq!(sessions, 5),
+        other => panic!("drain failed: {other:?}"),
+    }
+}
+
+/// Runs warm-started sessions (guided from evaluation zero, seeded by the
+/// store's priors) and returns their serialized histories.
+fn run_warm(workers: usize, store: &std::path::Path) -> BTreeMap<String, String> {
+    let obs = Obs::enabled();
+    let service = Service::start(
+        ServeConfig {
+            workers,
+            memory_store: Some(store.to_path_buf()),
+            ..ServeConfig::default()
+        },
+        obs.clone(),
+    );
+    // Guided when the prior (plus local history) clears the fit minimum,
+    // auto otherwise — a warm *miss* degrades to a cold start instead of
+    // failing. The choice is a pure function of the store contents, so it
+    // replays identically at any worker count.
+    let step = |name: &str, evals: u32| -> bool {
+        match service.handle(&Request::StepGuided {
+            session: name.to_string(),
+            evals,
+        }) {
+            Response::Accepted { .. } => true,
+            Response::Error { .. } => {
+                match service.handle(&Request::StepAuto {
+                    session: name.to_string(),
+                    evals,
+                }) {
+                    Response::Accepted { .. } => false,
+                    other => panic!("auto fallback rejected: {other:?}"),
+                }
+            }
+            other => panic!("guided step rejected: {other:?}"),
+        }
+    };
+    let mut names = Vec::new();
+    let mut guided_from_zero = 0;
+    for i in 0..5 {
+        // A *new* session (fresh seed) of a workload the store has seen.
+        let mut spec = spec_for(i).with_warm_start();
+        spec.base_seed += 9999;
+        let name = match service.handle(&Request::CreateSession { spec }) {
+            Response::SessionCreated { session } => session,
+            other => panic!("create failed: {other:?}"),
+        };
+        if step(&name, 2) {
+            guided_from_zero += 1;
+        }
+        names.push(name);
+    }
+    // Most workloads warm-start into guided steps with zero local
+    // history; a workload whose past runs all aborted has no fingerprint
+    // and degrades to auto sampling.
+    assert!(
+        guided_from_zero >= 3,
+        "only {guided_from_zero} sessions warm-started"
+    );
+    let mut histories = BTreeMap::new();
+    for name in names {
+        service.handle(&Request::Join {
+            session: name.clone(),
+        });
+        // A second batch, now mixing prior and local history.
+        step(&name, 2);
+        match service.handle(&Request::Result {
+            session: name.clone(),
+        }) {
+            Response::ResultReady { history, .. } => {
+                assert_eq!(history.len(), 4);
+                histories.insert(name, serde_json::to_string(&history).unwrap());
+            }
+            other => panic!("result failed: {other:?}"),
+        }
+    }
+    let retrievals = obs.counter_value("memory.retrievals");
+    let misses = obs.counter_value("memory.warm_misses");
+    assert_eq!(retrievals + misses, 5.0);
+    assert!(retrievals >= 3.0);
+    assert!(obs.counter_value("memory.prior_obs") >= retrievals * 4.0);
+    histories
+}
+
+#[test]
+fn warm_started_histories_are_byte_identical_across_worker_counts() {
+    let dir = std::env::temp_dir().join(format!("relm_serve_warm_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // The store itself is deterministic: two independent cold runs
+    // persist byte-identical files.
+    let store_a = dir.join("memory-a.jsonl");
+    let store_b = dir.join("memory-b.jsonl");
+    build_store(&store_a);
+    build_store(&store_b);
+    assert_eq!(
+        std::fs::read(&store_a).unwrap(),
+        std::fs::read(&store_b).unwrap(),
+        "two cold runs must persist byte-identical memory stores"
+    );
+
+    // Warm-started sessions against the same store: byte-identical
+    // histories at any worker count — the prior is a pure function of the
+    // spec and the store contents, never of scheduling.
+    let serial = run_warm(1, &store_a);
+    let parallel = run_warm(8, &store_a);
+    assert_eq!(serial.len(), 5);
+    for (name, history) in &serial {
+        assert_eq!(
+            history, &parallel[name],
+            "warm session {name} diverged between 1 and 8 workers"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn drain_checkpoints_match_live_histories() {
     let dir = std::env::temp_dir().join(format!("relm_serve_det_{}", std::process::id()));

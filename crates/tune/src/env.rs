@@ -8,7 +8,7 @@ use relm_common::{Mem, MemoryConfig, Millis};
 use relm_evalcache::{EvalKey, KeyBuilder};
 use relm_faults::{AbortCause, AbortClass};
 use relm_obs::Obs;
-use relm_profile::Profile;
+use relm_profile::{derive_stats, Profile, StatsAccumulator};
 use serde::{Deserialize, Serialize};
 
 /// Multiplier applied to the worst observed runtime when scoring an
@@ -131,6 +131,12 @@ pub struct TuningEnv {
     /// Evaluations answered from the cache instead of run live — cost
     /// attribution for the serving layer's per-session status.
     cache_hits: u64,
+    /// Running aggregate of each clean evaluation's Table-6 statistics.
+    /// Profiles themselves are dropped once scored; this compact remainder
+    /// is what `relm-memory` fingerprints a session from, so checkpoint
+    /// and drain never need a live profile. Fed identically by the live
+    /// and cache-replay paths.
+    stats_acc: StatsAccumulator,
 }
 
 impl TuningEnv {
@@ -156,6 +162,7 @@ impl TuningEnv {
             cache: None,
             cache_static_fp: None,
             cache_hits: 0,
+            stats_acc: StatsAccumulator::new(),
         }
     }
 
@@ -186,6 +193,7 @@ impl TuningEnv {
             cache: None,
             cache_static_fp: None,
             cache_hits: 0,
+            stats_acc: StatsAccumulator::new(),
         }
     }
 
@@ -421,6 +429,9 @@ impl TuningEnv {
         };
         let score = self.score(&result);
         self.obs.record("env.score_mins", score);
+        if !result.aborted {
+            self.stats_acc.add(&derive_stats(&profile));
+        }
         let obs = Observation {
             config: *config,
             result,
@@ -455,6 +466,11 @@ impl TuningEnv {
         // right one here.
         let score = self.score_value(&cached.result);
         self.obs.record("env.score_mins", score);
+        // The replayed profile feeds the stats aggregate exactly as the
+        // live run would have — a warm session fingerprints identically.
+        if !cached.result.aborted {
+            self.stats_acc.add(&derive_stats(&cached.profile));
+        }
         let obs = Observation {
             config: *config,
             result: cached.result.clone(),
@@ -508,6 +524,19 @@ impl TuningEnv {
     /// Evaluations answered from the shared cache instead of run live.
     pub fn cache_hits(&self) -> u64 {
         self.cache_hits
+    }
+
+    /// The running aggregate of clean evaluations' Table-6 statistics —
+    /// the compact per-session remainder `relm-memory` fingerprints a
+    /// workload from.
+    pub fn stats_accumulator(&self) -> &StatsAccumulator {
+        &self.stats_acc
+    }
+
+    /// Mean Table-6 statistics over the session's clean evaluations, or
+    /// `None` while every run aborted (or none ran).
+    pub fn mean_stats(&self) -> Option<relm_profile::DerivedStats> {
+        self.stats_acc.mean()
     }
 
     /// Convenience: the per-container heap for `n` containers per node.

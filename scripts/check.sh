@@ -79,16 +79,21 @@ cargo run --release -q -p relm-experiments --bin serve_load -- \
   --out "$serve_dir/parallel.jsonl" --checkpoint-dir "$serve_dir/ckpt8"
 diff "$serve_dir/serial.jsonl" "$serve_dir/parallel.jsonl" \
   || { echo "serve smoke test FAILED: histories depend on worker count" >&2; exit 1; }
-ckpts="$(ls "$serve_dir/ckpt8" | wc -l)"
+# The drain writes one checkpoint plus one .digest.json memory sidecar
+# per session.
+ckpts="$(ls "$serve_dir/ckpt8" | grep -cv '\.digest\.json$')"
 [ "$ckpts" -eq 12 ] \
   || { echo "serve smoke test FAILED: expected 12 checkpoints, found $ckpts" >&2; exit 1; }
+digests="$(ls "$serve_dir/ckpt8" | grep -c '\.digest\.json$')"
+[ "$digests" -eq 12 ] \
+  || { echo "serve smoke test FAILED: expected 12 digest sidecars, found $digests" >&2; exit 1; }
 # The drain freezes one flight dump per session (plus one per censored
 # evaluation); serve_load already verified each dump parses and
 # checksums, so here just pin the drain-dump count.
 drain_dumps="$(ls "$serve_dir/flight8" | grep -c -- '-drain-')"
 [ "$drain_dumps" -eq 12 ] \
   || { echo "serve smoke test FAILED: expected 12 drain flight dumps, found $drain_dumps" >&2; exit 1; }
-echo "serve OK: 12 sessions (incl. GP-guided steps) byte-identical across 1/8 workers under a live scraper, all checkpointed and flight-dumped on drain"
+echo "serve OK: 12 sessions (incl. GP-guided steps) byte-identical across 1/8 workers under a live scraper, all checkpointed (+digest sidecars) and flight-dumped on drain"
 
 echo "== fleet smoke test =="
 # Same load, but evaluated by a 3-worker fleet with one worker armed to
@@ -123,5 +128,25 @@ cargo run --release -q -p relm-experiments --bin fig20_convergence -- \
 diff "$surrogate_dir/t1.jsonl" "$surrogate_dir/t8.jsonl" \
   || { echo "surrogate smoke test FAILED: convergence depends on threads/workers" >&2; exit 1; }
 echo "surrogate OK: fig20 convergence byte-identical across 1/8 scoring threads and workers"
+
+echo "== warm-start smoke test =="
+# Cross-session memory end to end through the serving layer: a cold
+# session runs and drains (digest ingested into the store), then a
+# warm-started session on a fresh seed retrieves a prior and must reach
+# within 5% of the cold run's best in strictly fewer evaluations. The
+# binary reconciles the memory.* counters (ingested/retrievals/prior_obs)
+# and prints one line of simulated quantities only — so two runs must be
+# byte-identical.
+warm_dir="$(mktemp -d)"
+trap 'rm -rf "$replay_dir" "$cache_dir" "$serve_dir" "$surrogate_dir" "$warm_dir"' EXIT
+cargo run --release -q -p relm-experiments --bin fig_warmstart -- --smoke \
+  > "$warm_dir/first.txt"
+grep -q '^warmstart: ingested=1 retrievals=1 ' "$warm_dir/first.txt" \
+  || { echo "warm-start smoke test FAILED: counters did not reconcile" >&2; cat "$warm_dir/first.txt" >&2; exit 1; }
+cargo run --release -q -p relm-experiments --bin fig_warmstart -- --smoke \
+  > "$warm_dir/second.txt"
+diff "$warm_dir/first.txt" "$warm_dir/second.txt" \
+  || { echo "warm-start smoke test FAILED: output is not deterministic" >&2; exit 1; }
+echo "warm-start OK: $(cat "$warm_dir/first.txt" | sed 's/^warmstart: //'), byte-identical across reruns"
 
 echo "All checks passed."
