@@ -6,10 +6,17 @@
 //! kernels: a full fit re-runs the hyperparameter search over the cached
 //! Gram differences, while an incremental refit appends one Cholesky row
 //! at the retained hyperparameters (bit-identical posterior, O(n²)).
+//!
+//! The `*_sparse` groups measure the large-n inducing-subset path
+//! (`SparsePolicy::large_n()`): fit, batch prediction, and EI maximization
+//! at n ∈ {200, 500, 1000}, where the dense path is off the interactive
+//! budget entirely.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use relm_common::Rng;
-use relm_surrogate::{latin_hypercube, maximize_ei_threaded, Forest, ForestParams, Gp, GpFitter};
+use relm_surrogate::{
+    latin_hypercube, maximize_ei_threaded, Forest, ForestParams, Gp, GpFitter, SparsePolicy,
+};
 use std::hint::black_box;
 
 fn dataset(n: usize, dims: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
@@ -87,6 +94,66 @@ fn bench_gp_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Large-n scales where the dense GP is interactively unusable and the
+/// fitter switches to the sparse inducing-subset path.
+const LARGE_SCALES: [usize; 3] = [200, 500, 1000];
+
+fn bench_sparse_large_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp_fit_sparse");
+    for n in LARGE_SCALES {
+        let (xs, ys) = dataset(n, 4);
+        let mut fitter = GpFitter::new(1).with_policy(SparsePolicy::large_n());
+        for (x, y) in xs.iter().zip(&ys) {
+            fitter.observe(x.clone(), *y).expect("observe");
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(fitter.fit_full(1).expect("fit")))
+        });
+        assert!(fitter.stats().sparse_fits > 0, "n={n} must fit sparse");
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("gp_predict_batch_128_sparse");
+    for n in LARGE_SCALES {
+        let (xs, ys) = dataset(n, 4);
+        let mut fitter = GpFitter::new(1).with_policy(SparsePolicy::large_n());
+        for (x, y) in xs.iter().zip(&ys) {
+            fitter.observe(x.clone(), *y).expect("observe");
+        }
+        let gp = fitter.fit_full(1).expect("fit");
+        let mut rng = Rng::new(11);
+        let batch = latin_hypercube(128, 4, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(gp.predict_batch(&batch)))
+        });
+    }
+    group.finish();
+
+    // The end-to-end proposal step at n=1000: EI maximization over the
+    // sparse posterior, serial and on the default scoring pool.
+    let (xs, ys) = dataset(1000, 4);
+    let mut fitter = GpFitter::new(1).with_policy(SparsePolicy::large_n());
+    for (x, y) in xs.iter().zip(&ys) {
+        fitter.observe(x.clone(), *y).expect("observe");
+    }
+    let gp = fitter.fit_full(1).expect("fit");
+    let tau = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mut group = c.benchmark_group("maximize_ei_sparse_1000pts");
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut rng = Rng::new(7);
+                    black_box(maximize_ei_threaded(&gp, 4, tau, &mut rng, threads))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_acquisition(c: &mut Criterion) {
     let (xs, ys) = dataset(40, 4);
     let gp = Gp::fit(xs, &ys, 1).expect("fit");
@@ -134,6 +201,7 @@ fn bench_forest(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_gp_scaling,
+    bench_sparse_large_n,
     bench_acquisition,
     bench_gp_dimensionality,
     bench_forest

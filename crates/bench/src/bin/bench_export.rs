@@ -17,21 +17,42 @@
 //!
 //! Run from the workspace root: `cargo run --release -p relm-bench --bin
 //! bench_export`.
+//!
+//! Modes beyond the default export:
+//!
+//! * `--sparse-smoke [--smoke-threads N] [--smoke-out PATH]` — a fast CI
+//!   gate: asserts the sparse policy is bitwise-invisible below its
+//!   threshold, then fits the sparse surrogate at n=500 and writes probe
+//!   predictions + the EI proposal as bit-exact JSONL. `scripts/check.sh`
+//!   diffs the 1-thread file against the 8-thread file.
+//! * `--measure-exact-large` — re-measures the *exact* GP at the large
+//!   scales (slow: a dense n=1000 hyperparameter search) and prints the
+//!   table frozen in [`baseline_exact_large`].
 
 use relm_app::Engine;
+use relm_bo::{BayesOpt, BoConfig};
 use relm_cluster::ClusterSpec;
 use relm_common::{MemoryConfig, Rng};
 use relm_faults::{FaultConfig, FaultPlan};
 use relm_obs::Obs;
-use relm_surrogate::{latin_hypercube, maximize_ei, maximize_ei_threaded, Gp, GpFitter};
-use relm_tune::{EvalStore, TuningEnv};
-use relm_workloads::{max_resource_allocation, wordcount};
+use relm_surrogate::{
+    latin_hypercube, maximize_ei, maximize_ei_threaded, Gp, GpFitter, SparsePolicy,
+};
+use relm_tune::{EvalStore, Tuner, TuningEnv};
+use relm_workloads::{max_resource_allocation, sortbykey, wordcount};
 use serde::{Map, Number, Value};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::time::Instant;
 
 const SCALES: [usize; 5] = [10, 20, 30, 40, 80];
+
+/// Large-n scales exercising the sparse inducing-subset path.
+const LARGE_SCALES: [usize; 3] = [200, 500, 1000];
+
+/// Per-step budget for the sparse surrogate at the largest scale: one
+/// full fit plus one EI proposal must stay under 10 ms at n=1000.
+const FIT_PROPOSE_BUDGET_NS: u64 = 10_000_000;
 
 /// Median nanoseconds of the *pre-PR-4* surrogate (commit d6fb743) under
 /// this same harness on the reference machine, keyed `metric -> n`. Frozen
@@ -55,6 +76,32 @@ fn baseline_pre_pr() -> BTreeMap<String, BTreeMap<String, u64>> {
         .into_iter()
         .map(|(name, row)| {
             let per_n = SCALES
+                .iter()
+                .zip(row)
+                .map(|(n, ns)| (n.to_string(), ns))
+                .collect();
+            (name.to_string(), per_n)
+        })
+        .collect()
+}
+
+/// Median nanoseconds of the *exact* (dense) GP at the large scales under
+/// this harness on the reference machine — frozen so the sparse path's
+/// speedups report against a fixed before-state. Re-measure with
+/// `bench_export --measure-exact-large` (minutes: the n=1000 row runs a
+/// dense O(n³) hyperparameter search).
+fn baseline_exact_large() -> BTreeMap<String, BTreeMap<String, u64>> {
+    let table: [(&str, [u64; 3]); 2] = [
+        ("gp_fit_exact", [100_375_934, 1_261_313_283, 10_830_093_287]),
+        (
+            "fit_propose_exact",
+            [97_839_909, 1_425_009_459, 14_533_533_623],
+        ),
+    ];
+    table
+        .into_iter()
+        .map(|(name, row)| {
+            let per_n = LARGE_SCALES
                 .iter()
                 .zip(row)
                 .map(|(n, ns)| (n.to_string(), ns))
@@ -105,6 +152,183 @@ fn median_ns(reps: usize, mut f: impl FnMut()) -> u64 {
         .collect();
     samples.sort_unstable();
     samples[samples.len() / 2]
+}
+
+/// One BO step against a pre-observed fitter: a full fit at the retained
+/// policy plus one EI maximization over the resulting posterior — the
+/// latency a serving session pays per guided proposal.
+fn fit_propose(fitter: &mut GpFitter, ys: &[f64], threads: usize) {
+    let gp = fitter.fit_full(1).expect("fit");
+    let tau = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mut rng = Rng::new(7);
+    std::hint::black_box(maximize_ei_threaded(&gp, 4, tau, &mut rng, threads));
+}
+
+/// A fitter pre-loaded with the standard dataset at scale `n`.
+fn loaded_fitter(n: usize, policy: SparsePolicy) -> (GpFitter, Vec<f64>) {
+    let (xs, ys) = dataset(n, 4);
+    let mut fitter = GpFitter::new(1).with_policy(policy);
+    for (x, y) in xs.iter().zip(&ys) {
+        fitter.observe(x.clone(), *y).expect("observe");
+    }
+    (fitter, ys)
+}
+
+/// Measures the dense GP at the large scales and prints the
+/// [`baseline_exact_large`] table. Slow by design — run once per reference
+/// machine, paste the numbers, and keep the baseline frozen.
+fn measure_exact_large() {
+    let reps = 3;
+    for n in LARGE_SCALES {
+        let (mut fitter, ys) = loaded_fitter(n, SparsePolicy::exact());
+        let fit_ns = median_ns(reps, || {
+            std::hint::black_box(fitter.fit_full(1).expect("fit"));
+        });
+        let propose_ns = median_ns(reps, || fit_propose(&mut fitter, &ys, 1));
+        println!("gp_fit_exact         n={n:<5} {fit_ns:>13} ns");
+        println!("fit_propose_exact    n={n:<5} {propose_ns:>13} ns");
+    }
+}
+
+/// The CI sparse smoke: proves the policy is bitwise-invisible below its
+/// threshold, then emits a bit-exact JSONL fingerprint of the sparse
+/// surrogate at n=500 (probe posteriors + the EI proposal) for
+/// `scripts/check.sh` to diff across scoring-thread counts.
+fn sparse_smoke(threads: usize, out: Option<PathBuf>) {
+    use std::io::Write;
+
+    // Below the threshold the large-n policy must not change a single bit.
+    let probes = {
+        let mut rng = Rng::new(99);
+        latin_hypercube(32, 4, &mut rng)
+    };
+    let posterior = |n: usize, policy: SparsePolicy| -> (Gp, Vec<(f64, f64)>) {
+        let (mut fitter, _) = loaded_fitter(n, policy);
+        let gp = fitter.fit_full(5).expect("fit");
+        let preds = gp.predict_batch(&probes);
+        (gp, preds)
+    };
+    let small_n = 100;
+    assert!(!SparsePolicy::large_n().applies(small_n));
+    let (_, exact) = posterior(small_n, SparsePolicy::exact());
+    let (_, sparse) = posterior(small_n, SparsePolicy::large_n());
+    for (i, (e, s)) in exact.iter().zip(&sparse).enumerate() {
+        assert_eq!(
+            (e.0.to_bits(), e.1.to_bits()),
+            (s.0.to_bits(), s.1.to_bits()),
+            "probe {i}: sparse policy must be bitwise-invisible below its threshold"
+        );
+    }
+    println!("sparse-smoke: below-threshold equivalence at n={small_n}: OK");
+
+    // The sparse fingerprint at n=500. Everything written here is a pure
+    // function of the seeds — independent of `threads` by the surrogate's
+    // determinism contract, which the caller proves by diffing files.
+    let n = 500;
+    let (mut fitter, ys) = loaded_fitter(n, SparsePolicy::large_n());
+    let started = Instant::now();
+    let gp = fitter.fit_full(5).expect("fit");
+    let tau = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mut rng = Rng::new(7);
+    let (proposal, ei) = maximize_ei_threaded(&gp, 4, tau, &mut rng, threads);
+    let elapsed = started.elapsed();
+    assert_eq!(fitter.stats().sparse_fits, 1, "n=500 must fit sparse");
+    println!(
+        "sparse-smoke: n={n} fit+propose with {threads} scoring threads: {} ns",
+        elapsed.as_nanos()
+    );
+
+    let mut lines = Vec::new();
+    for (i, (mean, var)) in gp.predict_batch(&probes).iter().enumerate() {
+        let mut row = Map::new();
+        row.insert("probe", Value::Number(Number::U64(i as u64)));
+        row.insert("mean_bits", Value::Number(Number::U64(mean.to_bits())));
+        row.insert("var_bits", Value::Number(Number::U64(var.to_bits())));
+        lines.push(Value::Object(row));
+    }
+    let mut row = Map::new();
+    row.insert(
+        "proposal_bits",
+        Value::Array(
+            proposal
+                .iter()
+                .map(|v| Value::Number(Number::U64(v.to_bits())))
+                .collect(),
+        ),
+    );
+    row.insert("ei_bits", Value::Number(Number::U64(ei.to_bits())));
+    lines.push(Value::Object(row));
+
+    if let Some(path) = out {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).expect("create smoke dir");
+        }
+        let mut file = std::io::BufWriter::new(std::fs::File::create(&path).expect("create smoke"));
+        for line in &lines {
+            let body = serde_json::to_string(line).expect("smoke line serializes");
+            writeln!(file, "{body}").expect("write smoke line");
+        }
+        file.flush().expect("flush smoke");
+        println!("sparse-smoke: wrote {}", path.display());
+    }
+}
+
+/// Regret of the sparse surrogate against exact over fig20-style seeded
+/// BO runs: both policies tune the same workload from the same seeds; the
+/// sparse best-found total must stay within 5% of exact. Returns the JSON
+/// section for `BENCH_surrogate.json`.
+fn measure_regret() -> Map {
+    let best_with = |sparse: SparsePolicy, seed: u64| -> f64 {
+        let engine = Engine::new(ClusterSpec::cluster_a());
+        let mut env = TuningEnv::new(engine, sortbykey(), 30 + seed);
+        let mut bo = BayesOpt::new(400 + seed * 19).with_config(BoConfig {
+            sparse,
+            max_iterations: 16,
+            min_adaptive_samples: 16,
+            ..BoConfig::default()
+        });
+        bo.tune(&mut env).expect("tune");
+        bo.trace()
+            .iter()
+            .map(|s| s.score_mins)
+            .fold(f64::INFINITY, f64::min)
+    };
+    // A threshold low enough that every adaptive fit runs sparse.
+    let tiny = SparsePolicy {
+        threshold: 8,
+        inducing: 8,
+    };
+    let mut exact_total = 0.0;
+    let mut sparse_total = 0.0;
+    for seed in 0..3 {
+        exact_total += best_with(SparsePolicy::exact(), seed);
+        sparse_total += best_with(tiny, seed);
+    }
+    let ratio = sparse_total / exact_total;
+    assert!(
+        ratio <= 1.05,
+        "sparse regret {ratio:.4} exceeds the 5% budget \
+         (sparse {sparse_total:.3} vs exact {exact_total:.3} best-mins total)"
+    );
+    println!(
+        "regret vs exact over 3 seeded runs: sparse/exact best-mins ratio {:.4} (budget 1.05)",
+        ratio
+    );
+    let mut section = Map::new();
+    section.insert(
+        "exact_best_mins_total",
+        Value::Number(Number::F64((exact_total * 1e4).round() / 1e4)),
+    );
+    section.insert(
+        "sparse_best_mins_total",
+        Value::Number(Number::F64((sparse_total * 1e4).round() / 1e4)),
+    );
+    section.insert(
+        "ratio",
+        Value::Number(Number::F64((ratio * 1e4).round() / 1e4)),
+    );
+    section.insert("budget", Value::Number(Number::F64(1.05)));
+    section
 }
 
 /// How many evaluations the cache-bench session runs. Matches the order
@@ -414,6 +638,26 @@ fn export_obs(root: &std::path::Path) {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--measure-exact-large") {
+        measure_exact_large();
+        return;
+    }
+    if args.iter().any(|a| a == "--sparse-smoke") {
+        let value_of = |flag: &str| {
+            args.iter().position(|a| a == flag).map(|i| {
+                args.get(i + 1)
+                    .unwrap_or_else(|| panic!("missing value for {flag}"))
+            })
+        };
+        let threads = value_of("--smoke-threads")
+            .map(|v| v.parse().expect("--smoke-threads"))
+            .unwrap_or(1);
+        let out = value_of("--smoke-out").map(PathBuf::from);
+        sparse_smoke(threads, out);
+        return;
+    }
+
     let reps = 15;
     let mut current: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
     let mut record = |metric: &str, n: usize, ns: u64| {
@@ -479,7 +723,70 @@ fn main() {
         record("maximize_ei_threads4", n, ns);
     }
 
+    // The sparse inducing-subset path at histories the dense GP cannot
+    // serve interactively. Every metric here runs with the `large_n`
+    // policy engaged (the fit-counter assertion below proves it).
+    for n in LARGE_SCALES {
+        let (mut fitter, ys) = loaded_fitter(n, SparsePolicy::large_n());
+
+        let ns = median_ns(reps, || {
+            std::hint::black_box(fitter.fit_full(1).expect("fit"));
+        });
+        record("gp_fit_sparse", n, ns);
+        assert!(
+            fitter.stats().sparse_fits > 0,
+            "n={n} must exercise the sparse path"
+        );
+
+        let fit_propose_ns = median_ns(reps, || fit_propose(&mut fitter, &ys, 1));
+        record("fit_propose_sparse", n, fit_propose_ns);
+        if n == *LARGE_SCALES.last().expect("scales") {
+            assert!(
+                fit_propose_ns < FIT_PROPOSE_BUDGET_NS,
+                "sparse fit+propose at n={n} took {fit_propose_ns} ns — over the \
+                 {FIT_PROPOSE_BUDGET_NS} ns budget"
+            );
+        }
+
+        let gp = fitter.fit_full(1).expect("fit");
+        let batch: Vec<Vec<f64>> = (0..1000)
+            .map(|i| vec![i as f64 / 1000.0, 0.5, 0.7, 0.2])
+            .collect();
+        let ns = median_ns(reps, || {
+            std::hint::black_box(gp.predict_batch(&batch));
+        });
+        record("gp_predict_batch_x1000_sparse", n, ns);
+
+        let tau = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let ns = median_ns(reps, || {
+            let mut rng = Rng::new(7);
+            std::hint::black_box(maximize_ei(&gp, 4, tau, &mut rng));
+        });
+        record("maximize_ei_sparse", n, ns);
+
+        let ns = median_ns(reps, || {
+            let mut rng = Rng::new(7);
+            std::hint::black_box(maximize_ei_threaded(&gp, 4, tau, &mut rng, 4));
+        });
+        record("maximize_ei_sparse_threads4", n, ns);
+    }
+
+    let regret = measure_regret();
+
     let baseline = baseline_pre_pr();
+    let exact_large = baseline_exact_large();
+    // `exact gp_fit / sparse fit+propose` at each large scale: the full
+    // cost of one proposal step against what the dense path would charge.
+    let mut speedup_sparse = Map::new();
+    for n in LARGE_SCALES {
+        let key = n.to_string();
+        let before = exact_large["gp_fit_exact"][&key] as f64;
+        let after = current["fit_propose_sparse"][&key] as f64;
+        speedup_sparse.insert(
+            key,
+            Value::Number(Number::F64((before / after * 100.0).round() / 100.0)),
+        );
+    }
     let ratio = |metric: &str, n: &str| -> f64 {
         let before = baseline["gp_fit"][n] as f64;
         let after = current[metric][n] as f64;
@@ -513,6 +820,12 @@ fn main() {
         ratio("gp_fit", "30"),
         ratio("gp_refit_incremental", "30"),
     );
+    println!(
+        "sparse fit+propose at n=1000: {} ns (budget {} ns; exact baseline {} ns)",
+        current["fit_propose_sparse"]["1000"],
+        FIT_PROPOSE_BUDGET_NS,
+        exact_large["fit_propose_exact"]["1000"],
+    );
 
     let mut file = Map::new();
     file.insert(
@@ -534,13 +847,29 @@ fn main() {
                 .collect(),
         ),
     );
+    file.insert(
+        "large_scales",
+        Value::Array(
+            LARGE_SCALES
+                .iter()
+                .map(|n| Value::Number(Number::U64(*n as u64)))
+                .collect(),
+        ),
+    );
     file.insert("baseline_pre_pr", tables_to_value(&baseline));
+    file.insert("baseline_exact_large", tables_to_value(&exact_large));
     file.insert("current", tables_to_value(&current));
     file.insert("speedup_full_fit", Value::Object(speedup_full_fit));
     file.insert(
         "speedup_incremental_refit",
         Value::Object(speedup_incremental_refit),
     );
+    file.insert("speedup_sparse_fit_propose", Value::Object(speedup_sparse));
+    file.insert(
+        "fit_propose_budget_ns",
+        Value::Number(Number::U64(FIT_PROPOSE_BUDGET_NS)),
+    );
+    file.insert("regret_vs_exact", Value::Object(regret));
 
     // `CARGO_MANIFEST_DIR` is crates/bench; the file lives at the root.
     let root = std::env::var("CARGO_MANIFEST_DIR")

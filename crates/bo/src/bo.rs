@@ -3,7 +3,9 @@
 use relm_common::{MemoryConfig, Result, Rng};
 use relm_core::QModel;
 use relm_profile::derive_stats;
-use relm_surrogate::{maximize_ei_threaded, Forest, ForestParams, GpFitStats, GpFitter, Surrogate};
+use relm_surrogate::{
+    maximize_ei_threaded, Forest, ForestParams, GpFitStats, GpFitter, SparsePolicy, Surrogate,
+};
 use relm_tune::{recommendation, ConfigSpace, Recommendation, Tuner, TuningEnv};
 use serde::{Deserialize, Serialize};
 
@@ -44,6 +46,12 @@ pub struct BoConfig {
     /// candidates. Results are bit-identical at every value, so this is a
     /// pure wall-clock knob.
     pub scoring_threads: usize,
+    /// Sparse large-n surrogate policy. The default
+    /// ([`SparsePolicy::exact`]) never approximates, so historical traces
+    /// replay byte-identically; [`SparsePolicy::large_n`] caps GP fits at a
+    /// deterministic inducing subset once the history (including any warm
+    /// start) outgrows the threshold.
+    pub sparse: SparsePolicy,
 }
 
 impl Default for BoConfig {
@@ -56,6 +64,7 @@ impl Default for BoConfig {
             surrogate: SurrogateKind::GaussianProcess,
             refit_period: 1,
             scoring_threads: 4,
+            sparse: SparsePolicy::exact(),
         }
     }
 }
@@ -175,6 +184,17 @@ impl Surrogate for SpaceSurrogate<'_> {
         let f = BayesOpt::features(self.space, self.q, x);
         self.inner.predict(&f)
     }
+
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        // Map the whole batch to feature space once, then let the inner
+        // surrogate amortize its solve buffers over the fused batch. The
+        // inner contract (batch ≡ per-point, bitwise) carries through.
+        let feats: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| BayesOpt::features(self.space, self.q, x))
+            .collect();
+        self.inner.predict_batch(&feats)
+    }
 }
 
 impl Tuner for BayesOpt {
@@ -258,7 +278,7 @@ impl Tuner for BayesOpt {
         // after bootstrap, so feature vectors are stable), and between full
         // hyperparameter re-tunes the Cholesky factor is extended one row
         // per observation.
-        let mut fitter = GpFitter::new(self.cfg.scoring_threads);
+        let mut fitter = GpFitter::new(self.cfg.scoring_threads).with_policy(self.cfg.sparse);
         for (x, y) in xs.iter().zip(&scores) {
             fitter.observe(Self::features(&space, qmodel.as_ref(), x), *y)?;
         }
@@ -313,6 +333,10 @@ impl Tuner for BayesOpt {
             telemetry.add(
                 "surrogate.chol_jitter_retries",
                 (stats.chol_jitter_retries - last_stats.chol_jitter_retries) as f64,
+            );
+            telemetry.add(
+                "surrogate.sparse_fits",
+                (stats.sparse_fits - last_stats.sparse_fits) as f64,
             );
             last_stats = stats;
             let tau = scores.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -489,6 +513,103 @@ mod tests {
                 assert_eq!(serial, run(threads, guided), "guided={guided}");
             }
         }
+    }
+
+    #[test]
+    fn sparse_policy_below_threshold_leaves_the_trace_identical() {
+        // A large-n policy whose threshold the run never crosses must be
+        // invisible: byte-identical trace to the exact default.
+        let run = |sparse: SparsePolicy| {
+            let mut e = env(sortbykey(), 9);
+            let mut bo = BayesOpt::new(17).with_config(BoConfig {
+                sparse,
+                max_iterations: 10,
+                ..BoConfig::default()
+            });
+            bo.tune(&mut e).unwrap();
+            bo.trace().to_vec()
+        };
+        let exact = run(SparsePolicy::exact());
+        let sparse = run(SparsePolicy::large_n());
+        assert_eq!(exact, sparse, "large_n policy engaged below threshold");
+    }
+
+    #[test]
+    fn sparse_trace_is_deterministic_across_scoring_threads() {
+        // Force the sparse path with a tiny threshold: the subset fits must
+        // stay byte-identical at every thread count, exactly like exact.
+        let run = |threads: usize, guided: bool| {
+            let mut e = env(svm(), 10);
+            let mut bo = if guided {
+                BayesOpt::guided(23)
+            } else {
+                BayesOpt::new(23)
+            };
+            bo = bo.with_config(BoConfig {
+                sparse: SparsePolicy {
+                    threshold: 8,
+                    inducing: 8,
+                },
+                refit_period: 4,
+                scoring_threads: threads,
+                max_iterations: 12,
+                min_adaptive_samples: 12,
+                ..BoConfig::default()
+            });
+            bo.tune(&mut e).unwrap();
+            bo.trace().to_vec()
+        };
+        for guided in [false, true] {
+            let serial = run(1, guided);
+            assert!(
+                serial.len() > 8 + 4,
+                "trace must actually cross the sparse threshold"
+            );
+            for threads in [2, 8] {
+                assert_eq!(serial, run(threads, guided), "guided={guided}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_proposals_stay_within_five_percent_of_exact() {
+        // The regret gate: over fig20-style seeded runs, the best score a
+        // sparse-surrogate BO reaches must stay within 5% of the exact-GP
+        // best on the same workload and seeds.
+        let best_with = |sparse: SparsePolicy, seed: u64| -> f64 {
+            let mut e = env(sortbykey(), 30 + seed);
+            let mut bo = BayesOpt::new(400 + seed * 19).with_config(BoConfig {
+                sparse,
+                max_iterations: 16,
+                min_adaptive_samples: 16,
+                ..BoConfig::default()
+            });
+            bo.tune(&mut e).unwrap();
+            bo.trace()
+                .iter()
+                .map(|s| s.score_mins)
+                .fold(f64::INFINITY, f64::min)
+        };
+        let tiny = SparsePolicy {
+            threshold: 8,
+            inducing: 8,
+        };
+        let mut exact_total = 0.0;
+        let mut sparse_total = 0.0;
+        for seed in 0..3 {
+            let exact = best_with(SparsePolicy::exact(), seed);
+            let sparse = best_with(tiny, seed);
+            assert!(
+                sparse <= exact * 1.05,
+                "seed {seed}: sparse best {sparse} vs exact best {exact}"
+            );
+            exact_total += exact;
+            sparse_total += sparse;
+        }
+        assert!(
+            sparse_total <= exact_total * 1.05,
+            "aggregate regret: sparse {sparse_total} vs exact {exact_total}"
+        );
     }
 
     #[test]

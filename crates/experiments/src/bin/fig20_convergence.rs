@@ -3,7 +3,7 @@
 //! reported per iteration.
 //!
 //! ```text
-//! fig20_convergence [--scoring-threads N] [--workers N] [--out PATH]
+//! fig20_convergence [--scoring-threads N] [--workers N] [--out PATH] [--sparse]
 //! ```
 //!
 //! Besides the stdout table, the per-run trajectories go to a JSONL file
@@ -12,11 +12,16 @@
 //! scoring pool and `--workers` shards the (policy, rep) cells over a
 //! bounded worker pool with an index-ordered merge — both are pure
 //! wall-clock knobs, so the file is **byte-identical** for any value;
-//! `scripts/check.sh` diffs 1 against 8 for each.
+//! `scripts/check.sh` diffs 1 against 8 for each. `--sparse` forces the
+//! BO/GBO surrogate onto the sparse inducing-subset path (a *different*
+//! trace than exact, but equally byte-identical across thread and worker
+//! counts — which check.sh proves the same way).
 
 use relm_app::Engine;
 use relm_cluster::ClusterSpec;
-use relm_experiments::{long_bo_threaded, long_ddpg, parse_workers, results_dir, run_sharded};
+use relm_experiments::{
+    long_bo_sparse, long_bo_threaded, long_ddpg, parse_workers, results_dir, run_sharded,
+};
 use relm_tune::{Tuner, TuningEnv};
 use relm_workloads::kmeans;
 use serde::Serialize;
@@ -52,6 +57,7 @@ fn main() {
     let workers = parse_workers(&args, 1);
     let mut scoring_threads = relm_bo::BoConfig::default().scoring_threads;
     let mut out_path: Option<PathBuf> = None;
+    let mut sparse = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = || {
@@ -61,6 +67,7 @@ fn main() {
         match flag.as_str() {
             "--scoring-threads" => scoring_threads = value().parse().expect("--scoring-threads"),
             "--out" => out_path = Some(PathBuf::from(value())),
+            "--sparse" => sparse = true,
             "--workers" => {
                 value();
             }
@@ -89,12 +96,19 @@ fn main() {
     let records: Vec<RunRecord> = run_sharded(cells, workers, |_, &(policy_name, rep)| {
         let seed = 400 + rep * 19;
         let mut env = TuningEnv::new(engine.clone(), app.clone(), seed);
+        let bo = |guided: bool| {
+            if sparse {
+                long_bo_sparse(seed, guided, scoring_threads)
+            } else {
+                long_bo_threaded(seed, guided, scoring_threads)
+            }
+        };
         match policy_name {
             "BO" => {
-                let _ = long_bo_threaded(seed, false, scoring_threads).tune(&mut env);
+                let _ = bo(false).tune(&mut env);
             }
             "GBO" => {
-                let _ = long_bo_threaded(seed, true, scoring_threads).tune(&mut env);
+                let _ = bo(true).tune(&mut env);
             }
             _ => {
                 let _ = long_ddpg(seed).tune(&mut env);

@@ -199,6 +199,29 @@ pub fn long_bo_threaded(seed: u64, guided: bool, scoring_threads: usize) -> Baye
     })
 }
 
+/// [`long_bo_threaded`] with the surrogate forced onto the sparse
+/// inducing-subset path (threshold low enough that every adaptive fit is
+/// sparse). The sparse trace differs from the exact one by design, but is
+/// itself bit-identical at any thread or worker count —
+/// `fig20_convergence --sparse` proves that end to end.
+pub fn long_bo_sparse(seed: u64, guided: bool, scoring_threads: usize) -> BayesOpt {
+    let base = if guided {
+        BayesOpt::guided(seed)
+    } else {
+        BayesOpt::new(seed)
+    };
+    base.with_config(relm_bo::BoConfig {
+        max_iterations: 28,
+        min_adaptive_samples: 28,
+        scoring_threads,
+        sparse: relm_surrogate::SparsePolicy {
+            threshold: 8,
+            inducing: 8,
+        },
+        ..relm_bo::BoConfig::default()
+    })
+}
+
 /// A long-budget DDPG for convergence studies.
 pub fn long_ddpg(seed: u64) -> DdpgTuner {
     DdpgTuner::new(seed).with_budget(30)

@@ -22,11 +22,18 @@ use crate::digest::SessionDigest;
 use crate::store::Retrieved;
 use relm_common::Mem;
 use relm_profile::DerivedStats;
+use relm_surrogate::select_inducing;
 use relm_tune::ConfigSpace;
 use serde::{Deserialize, Serialize};
 
 /// Default per-session observation allocation cap for the GP prior.
 pub const DEFAULT_PRIOR_CAP: usize = 8;
+
+/// Default total budget on GP prior observations. Retrieval today caps out
+/// at `MEMORY_RETRIEVE_K · DEFAULT_PRIOR_CAP = 24` observations, so the
+/// default budget never truncates — it exists as the backstop for larger
+/// stores or raised caps, keeping warm-started fits off the O(n³) cliff.
+pub const DEFAULT_PRIOR_BUDGET: usize = 32;
 
 /// A warm-start prior built from retrieved past sessions.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -41,6 +48,10 @@ pub struct PriorBundle {
     /// The retrieved sessions themselves, `(similarity, digest)`, in
     /// retrieval order — the raw material for replay-buffer seeding.
     pub sessions: Vec<(f64, SessionDigest)>,
+    /// How many allocated observations the total budget dropped (0 when
+    /// the prior fit within budget — always the case at today's defaults).
+    #[serde(default)]
+    pub truncated: usize,
 }
 
 impl PriorBundle {
@@ -50,6 +61,7 @@ impl PriorBundle {
             gp_obs: Vec::new(),
             stats: None,
             sessions: Vec::new(),
+            truncated: 0,
         }
     }
 
@@ -89,6 +101,23 @@ impl PriorBundle {
 /// history position)` and duplicate configurations (identical encoded
 /// points) keep only their first, highest-rank occurrence.
 pub fn build_prior(retrieved: &[Retrieved], space: &ConfigSpace, cap: usize) -> PriorBundle {
+    build_prior_budgeted(retrieved, space, cap, DEFAULT_PRIOR_BUDGET)
+}
+
+/// [`build_prior`] with an explicit total budget on `gp_obs`. When the
+/// per-session allocation exceeds `budget`, the kept subset is chosen by
+/// the surrogate's deterministic greedy max–min selection
+/// ([`relm_surrogate::select_inducing`]) seeded at the best-scoring
+/// observation — space-filling coverage of the allocated points with the
+/// incumbent always retained — and re-emitted in the original allocation
+/// order (retrieval rank, then ascending score). [`PriorBundle::truncated`]
+/// records how many observations the budget dropped.
+pub fn build_prior_budgeted(
+    retrieved: &[Retrieved],
+    space: &ConfigSpace,
+    cap: usize,
+    budget: usize,
+) -> PriorBundle {
     let mut gp_obs: Vec<(Vec<f64>, f64)> = Vec::new();
     let mut seen: Vec<Vec<f64>> = Vec::new();
     for hit in retrieved {
@@ -106,6 +135,21 @@ pub fn build_prior(retrieved: &[Retrieved], space: &ConfigSpace, cap: usize) -> 
             gp_obs.push((x, obs.score_mins));
         }
     }
+    let mut truncated = 0;
+    if budget > 0 && gp_obs.len() > budget {
+        truncated = gp_obs.len() - budget;
+        let points: Vec<Vec<f64>> = gp_obs.iter().map(|(x, _)| x.clone()).collect();
+        let best = gp_obs
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        // `select_inducing` returns sorted indices, so the kept subset
+        // preserves the original rank-then-score ordering.
+        let keep = select_inducing(&points, budget, best);
+        gp_obs = keep.into_iter().map(|i| gp_obs[i].clone()).collect();
+    }
     PriorBundle {
         gp_obs,
         stats: weighted_mean_stats(retrieved),
@@ -113,6 +157,7 @@ pub fn build_prior(retrieved: &[Retrieved], space: &ConfigSpace, cap: usize) -> 
             .iter()
             .map(|hit| (hit.similarity, hit.digest.clone()))
             .collect(),
+        truncated,
     }
 }
 
@@ -169,4 +214,101 @@ fn weighted_mean_stats(retrieved: &[Retrieved]) -> Option<DerivedStats> {
         s: s / weight,
         m_u_from_full_gc: full_gc * 2.0 >= weight,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::DigestObs;
+    use relm_cluster::ClusterSpec;
+    use relm_workloads::wordcount;
+
+    fn space() -> ConfigSpace {
+        ConfigSpace::for_app(&ClusterSpec::cluster_a(), &wordcount())
+    }
+
+    /// A retrieval hit whose digest holds `n` distinct observations.
+    fn hit(seed: u64, similarity: f64, n: usize) -> Retrieved {
+        let space = space();
+        let unit = |i: u64| {
+            let v = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(i.wrapping_mul(2654435761));
+            (v % 997) as f64 / 996.0
+        };
+        let observations = (0..n as u64)
+            .map(|i| DigestObs {
+                config: space.decode(&[
+                    unit(4 * i),
+                    unit(4 * i + 1),
+                    unit(4 * i + 2),
+                    unit(4 * i + 3),
+                ]),
+                score_mins: 5.0 + unit(4 * i + 7) * 20.0,
+                censored: false,
+            })
+            .collect();
+        Retrieved {
+            key: format!("{seed:032x}"),
+            similarity,
+            digest: SessionDigest {
+                version: crate::digest::DIGEST_VERSION,
+                workload: format!("wl{seed}"),
+                base_seed: seed,
+                evaluations: n,
+                profiled: n as u64,
+                stats: None,
+                observations,
+            },
+        }
+    }
+
+    #[test]
+    fn default_budget_never_truncates_todays_retrieval() {
+        // MEMORY_RETRIEVE_K sessions at full similarity and the default cap
+        // allocate at most 3 * 8 = 24 observations < DEFAULT_PRIOR_BUDGET,
+        // so the default-path prior must be unaffected by the budget.
+        let hits = vec![hit(1, 1.0, 40), hit(2, 1.0, 40), hit(3, 1.0, 40)];
+        let prior = build_prior(&hits, &space(), DEFAULT_PRIOR_CAP);
+        assert_eq!(prior.truncated, 0);
+        assert!(prior.gp_obs.len() <= DEFAULT_PRIOR_BUDGET);
+        let unbudgeted = build_prior_budgeted(&hits, &space(), DEFAULT_PRIOR_CAP, usize::MAX);
+        assert_eq!(prior, unbudgeted);
+    }
+
+    #[test]
+    fn budget_truncates_deterministically_and_keeps_the_incumbent() {
+        let hits = vec![hit(10, 1.0, 30), hit(11, 1.0, 30), hit(12, 1.0, 30)];
+        let full = build_prior_budgeted(&hits, &space(), 20, usize::MAX);
+        let budget = 12;
+        assert!(
+            full.gp_obs.len() > budget,
+            "test needs an over-budget prior"
+        );
+
+        let capped = build_prior_budgeted(&hits, &space(), 20, budget);
+        assert_eq!(capped.gp_obs.len(), budget);
+        assert_eq!(capped.truncated, full.gp_obs.len() - budget);
+        // The incumbent survives truncation…
+        assert_eq!(capped.best_y(), full.best_y());
+        // …the kept set is an ordered subsequence of the full allocation…
+        let mut cursor = full.gp_obs.iter();
+        for obs in &capped.gp_obs {
+            assert!(
+                cursor.any(|o| o == obs),
+                "budgeted prior must preserve allocation order"
+            );
+        }
+        // …and the choice is deterministic.
+        assert_eq!(capped, build_prior_budgeted(&hits, &space(), 20, budget));
+    }
+
+    #[test]
+    fn zero_budget_means_unbounded() {
+        let hits = vec![hit(7, 1.0, 30)];
+        let capped = build_prior_budgeted(&hits, &space(), 20, 0);
+        let full = build_prior_budgeted(&hits, &space(), 20, usize::MAX);
+        assert_eq!(capped, full);
+        assert_eq!(capped.truncated, 0);
+    }
 }

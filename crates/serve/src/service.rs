@@ -34,9 +34,9 @@ use relm_app::{AppSpec, Engine, EngineCostModel};
 use relm_cluster::ClusterSpec;
 use relm_common::{MemoryConfig, Rng};
 use relm_faults::FaultPlan;
-use relm_memory::{build_prior, normalize_label, MemoryStore, PriorBundle, SessionDigest};
+use relm_memory::{build_prior_budgeted, normalize_label, MemoryStore, PriorBundle, SessionDigest};
 use relm_obs::{trace, FlightEvent, FlightRecorder, Obs, DEFAULT_FLIGHT_CAPACITY};
-use relm_surrogate::{maximize_ei_threaded, GpFitter};
+use relm_surrogate::{maximize_ei_threaded, GpFitter, SparsePolicy};
 use relm_tune::space::DIMS;
 use relm_tune::{
     recommendation, session_export, CachedEval, ConfigSpace, EvalKey, RetryPolicy,
@@ -98,6 +98,11 @@ pub struct ServeConfig {
     /// as `serve.conn_timeouts`), so a hung or half-open client cannot
     /// pin a connection thread forever. `None` disables the bound.
     pub conn_idle_timeout: Option<Duration>,
+    /// Total budget on warm-start prior observations per session. Priors
+    /// over budget are thinned by the surrogate's deterministic max–min
+    /// selection (the incumbent always survives), counted under
+    /// `memory.prior_truncated`. `0` disables the bound.
+    pub max_prior_obs: usize,
 }
 
 impl Default for ServeConfig {
@@ -113,6 +118,7 @@ impl Default for ServeConfig {
             memory_store: None,
             execution: Execution::InProcess,
             conn_idle_timeout: Some(Duration::from_secs(600)),
+            max_prior_obs: relm_memory::DEFAULT_PRIOR_BUDGET,
         }
     }
 }
@@ -658,10 +664,20 @@ impl Service {
                 Some(store) => match store.fingerprint_for_workload(&workload_label) {
                     Some(query) => {
                         let hits = store.retrieve(&query, MEMORY_RETRIEVE_K);
-                        let prior = build_prior(&hits, env.space(), relm_memory::DEFAULT_PRIOR_CAP);
+                        let prior = build_prior_budgeted(
+                            &hits,
+                            env.space(),
+                            relm_memory::DEFAULT_PRIOR_CAP,
+                            self.shared.config.max_prior_obs,
+                        );
                         self.shared
                             .obs
                             .add("memory.prior_obs", prior.gp_obs.len() as f64);
+                        if prior.truncated > 0 {
+                            self.shared
+                                .obs
+                                .add("memory.prior_truncated", prior.truncated as f64);
+                        }
                         prior
                     }
                     None => {
@@ -936,7 +952,12 @@ impl Service {
             let mut guided = match &sess.guided {
                 Some(g) => g.clone(),
                 None => {
-                    let mut fitter = GpFitter::new(GUIDED_SCORING_THREADS);
+                    // Long-lived sessions can accumulate histories in the
+                    // hundreds; the large-n policy keeps per-step fit cost
+                    // flat there while leaving smaller histories (below the
+                    // sparse threshold) byte-identical to the exact path.
+                    let mut fitter =
+                        GpFitter::new(GUIDED_SCORING_THREADS).with_policy(SparsePolicy::large_n());
                     // Seed the surrogate with the retrieved prior before
                     // any history: prior points are part of the fitter
                     // but never of `fed`, which indexes history alone.

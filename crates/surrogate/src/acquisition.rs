@@ -3,13 +3,16 @@
 //! the paper's "random sampling and standard gradient-based search").
 //!
 //! [`maximize_ei_threaded`] scores the 128-point candidate set — and runs
-//! the four local hill climbs — on a bounded scoped-thread pool. All
-//! randomness is drawn serially up front and every reduction folds in index
-//! order with strict comparisons, so the argmax is bit-identical to the
-//! serial [`maximize_ei`] at any thread count.
+//! the four local hill climbs — on a bounded scoped-thread pool. The
+//! candidate pool is scored as one fused [`Surrogate::predict_batch`] pass
+//! per chunk (scratch buffers reused across the chunk) rather than one
+//! `predict` call per candidate. All randomness is drawn serially up
+//! front and every reduction folds in index order with strict comparisons,
+//! so the argmax is bit-identical to the serial [`maximize_ei`] at any
+//! thread count.
 
 use crate::lhs::latin_hypercube;
-use crate::scoring::par_map;
+use crate::scoring::{par_map, par_map_chunks};
 use crate::Surrogate;
 use relm_common::Rng;
 
@@ -81,7 +84,17 @@ pub fn maximize_ei_threaded<S: Surrogate + ?Sized>(
     let mut candidates = latin_hypercube(96, dims, rng);
     candidates.extend((0..32).map(|_| (0..dims).map(|_| rng.uniform()).collect::<Vec<f64>>()));
 
-    let scores = par_map(&candidates, threads, |_, c| ei_at(c));
+    // One fused batch per chunk: `predict_batch` reuses its k*/solve
+    // buffers across the whole candidate pool instead of re-allocating per
+    // point, and `predict_batch` is bit-identical to per-point `predict`
+    // by contract — so these scores match the per-candidate loop exactly.
+    let scores = par_map_chunks(&candidates, threads, |_, chunk| {
+        surrogate
+            .predict_batch(chunk)
+            .into_iter()
+            .map(|(m, v)| expected_improvement(m, v, tau))
+            .collect()
+    });
     let mut scored: Vec<(f64, Vec<f64>)> = scores.into_iter().zip(candidates).collect();
     scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN EI"));
 

@@ -16,10 +16,16 @@
 //! path is bit-identical to the original serial from-scratch fit; the
 //! property tests in this module and the byte-identical-trace gates in
 //! `scripts/check.sh` hold it to that.
+//!
+//! For large histories an opt-in [`SparsePolicy`] (see
+//! [`GpFitter::with_policy`]) bounds the fit to a deterministic inducing
+//! subset — exact and byte-identical at or below the policy threshold,
+//! subset-of-data above it, with cost O(n·m + m³) instead of O(n³).
 
 use crate::gram::GramCache;
 use crate::linalg::{dot, Cholesky, Matrix};
 use crate::scoring::par_map;
+use crate::sparse::{select_inducing, SparsePolicy};
 use crate::Surrogate;
 use relm_common::{Error, Result, Rng};
 
@@ -57,11 +63,20 @@ impl GpParams {
 
 /// Standardizes targets: returns `(mean, scale, standardized)`.
 fn standardize(y: &[f64]) -> (f64, f64, Vec<f64>) {
+    let mut ys = Vec::new();
+    let (y_mean, y_scale) = standardize_into(y, &mut ys);
+    (y_mean, y_scale, ys)
+}
+
+/// [`standardize`] into a reused buffer — the fitter's refit path calls
+/// this once per observation batch and must not reallocate each time.
+fn standardize_into(y: &[f64], out: &mut Vec<f64>) -> (f64, f64) {
     let y_mean = y.iter().sum::<f64>() / y.len() as f64;
     let var = y.iter().map(|v| (v - y_mean).powi(2)).sum::<f64>() / y.len() as f64;
     let y_scale = var.sqrt().max(1e-9);
-    let ys = y.iter().map(|v| (v - y_mean) / y_scale).collect();
-    (y_mean, y_scale, ys)
+    out.clear();
+    out.extend(y.iter().map(|v| (v - y_mean) / y_scale));
+    (y_mean, y_scale)
 }
 
 /// A fitted Gaussian process.
@@ -240,13 +255,21 @@ pub struct GpFitStats {
     pub gram_reused_dims: u64,
     /// Jitter escalation attempts consumed by final factorizations.
     pub chol_jitter_retries: u64,
+    /// Fits (full or refit) served by the sparse inducing-subset path.
+    pub sparse_fits: u64,
 }
 
-/// The previous factorization a [`GpFitter`] can extend incrementally.
+/// The previous fit a [`GpFitter`] can cheaply refresh: hyperparameters
+/// plus — on the exact path — the factorization to extend incrementally.
 #[derive(Debug, Clone)]
 struct LastFit {
     params: GpParams,
-    chol: Cholesky,
+    /// The exact-path factor ([`None`] after a sparse fit: the subset is
+    /// re-selected per refit, so there is nothing to extend).
+    chol: Option<Cholesky>,
+    /// The seed of the full fit that selected `params` — re-derives the
+    /// sparse inducing-set start point on refits.
+    seed: u64,
 }
 
 /// Incremental GP fitting over a growing dataset.
@@ -257,13 +280,27 @@ struct LastFit {
 /// [`GpFitter::refit`] can append rows in O(n²) instead of re-running the
 /// O(n³) hyperparameter search. `refit` is bit-identical to a from-scratch
 /// [`Gp::fit_with_params`] at the retained hyperparameters.
+///
+/// With a non-default [`SparsePolicy`] (see [`GpFitter::with_policy`]),
+/// datasets above the policy threshold are fitted on a deterministic
+/// inducing subset ([`select_inducing`]) instead of exactly: fit cost
+/// stays O(n·m + m³) with `m = policy.inducing` no matter how large the
+/// history grows. At or below the threshold the fitter runs the exact
+/// path and is byte-identical to a policy-free fitter.
 #[derive(Debug, Clone)]
 pub struct GpFitter {
     cache: GramCache,
     x: Vec<Vec<f64>>,
     y: Vec<f64>,
+    /// Input dimensionality (0 until the first observation).
+    dims: usize,
     threads: usize,
+    policy: SparsePolicy,
     scratch: Matrix,
+    /// Reused kernel-row buffer for the incremental append path.
+    row_scratch: Vec<f64>,
+    /// Reused standardized-target buffer.
+    ys_scratch: Vec<f64>,
     stats: GpFitStats,
     last: Option<LastFit>,
 }
@@ -276,19 +313,50 @@ impl GpFitter {
             cache: GramCache::new(&[]),
             x: Vec::new(),
             y: Vec::new(),
+            dims: 0,
             threads,
+            policy: SparsePolicy::exact(),
             scratch: Matrix::zeros(0),
+            row_scratch: Vec::new(),
+            ys_scratch: Vec::new(),
             stats: GpFitStats::default(),
             last: None,
         }
     }
 
+    /// Sets the sparse large-n policy (builder style). The default is
+    /// [`SparsePolicy::exact`] — never approximate.
+    pub fn with_policy(mut self, policy: SparsePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The active sparse policy.
+    pub fn policy(&self) -> SparsePolicy {
+        self.policy
+    }
+
     /// Appends one observation, extending the difference cache in O(n·dims).
+    /// Once the dataset outgrows the sparse-policy threshold the pairwise
+    /// cache is dropped — the sparse path re-selects its subset per fit, so
+    /// keeping the O(n²) difference arrays current would be pure waste.
     pub fn observe(&mut self, x: Vec<f64>, y: f64) -> Result<()> {
-        if !self.cache.is_empty() && x.len() != self.cache.dims() {
+        if self.y.is_empty() {
+            self.dims = x.len();
+        } else if x.len() != self.dims {
             return Err(Error::Numerical("inconsistent input dimensionality".into()));
         }
-        self.cache.append(&x);
+        if self.policy.applies(self.y.len() + 1) {
+            if !self.cache.is_empty() {
+                // Bank the retiring cache's counters so stats() stays
+                // monotonic across the exact→sparse transition.
+                self.stats.gram_builds += self.cache.builds();
+                self.stats.gram_reused_dims += self.cache.reused_dims();
+                self.cache = GramCache::new(&[]);
+            }
+        } else {
+            self.cache.append(&x);
+        }
         self.x.push(x);
         self.y.push(y);
         Ok(())
@@ -313,7 +381,7 @@ impl GpFitter {
     pub fn stats(&self) -> GpFitStats {
         GpFitStats {
             gram_builds: self.stats.gram_builds + self.cache.builds(),
-            gram_reused_dims: self.cache.reused_dims(),
+            gram_reused_dims: self.stats.gram_reused_dims + self.cache.reused_dims(),
             ..self.stats
         }
     }
@@ -321,42 +389,208 @@ impl GpFitter {
     /// Full fit: marginal-likelihood hyperparameter search (24 seeded random
     /// proposals scored in parallel, then serial coordinate descent over the
     /// memoized Gram), final jittered factorization. Bit-identical to the
-    /// original serial `Gp::fit` at every thread count.
+    /// original serial `Gp::fit` at every thread count. Above the sparse
+    /// policy threshold the search and fit run on a deterministic inducing
+    /// subset instead of the full dataset.
     pub fn fit_full(&mut self, seed: u64) -> Result<Gp> {
-        if self.cache.is_empty() {
+        if self.y.is_empty() {
             return Err(Error::Numerical(
                 "GP needs matching, non-empty inputs".into(),
             ));
         }
-        let dims = self.cache.dims();
-        let (y_mean, y_scale, ys) = standardize(&self.y);
-
-        // Hyperparameter search: seeded random proposals around the default,
-        // then coordinate refinement of the winner.
-        let mut rng = Rng::new(seed ^ 0x6A09_E667);
-        let mut best = GpParams::default_for(dims);
-        let mut best_lml = self.lml_memo(&best, &ys).unwrap_or(f64::NEG_INFINITY);
-
-        // Draw every proposal first (serial RNG, unchanged stream), score
-        // them in parallel, then fold strictly in draw order — the same
-        // strict-`>` fold the serial loop performed.
-        let candidates: Vec<GpParams> = (0..24)
-            .map(|_| GpParams {
-                log_lengthscales: (0..dims)
-                    .map(|_| rng.uniform_in((0.05f64).ln(), (2.0f64).ln()))
-                    .collect(),
-                log_signal_var: rng.uniform_in((0.2f64).ln(), (3.0f64).ln()),
-                log_noise_var: rng.uniform_in((1e-4f64).ln(), (0.3f64).ln()),
-            })
-            .collect();
-        let cache = &self.cache;
-        let ys_ref = &ys;
-        let lmls = par_map(&candidates, self.threads, |_, cand| {
-            let mut k = Matrix::zeros(0);
-            cache.assemble_fresh_into(cand, &mut k);
-            lml_from_gram(&k, ys_ref)
+        if self.policy.applies(self.y.len()) {
+            return self.fit_sparse_full(seed);
+        }
+        let GpFitter {
+            cache,
+            x,
+            y,
+            threads,
+            scratch,
+            ys_scratch,
+            stats,
+            last,
+            ..
+        } = self;
+        let (y_mean, y_scale) = standardize_into(y, ys_scratch);
+        let best = search_hyperparams(cache, ys_scratch, seed, *threads, stats);
+        cache.assemble_into(&best, scratch);
+        let chol = Cholesky::with_jitter(scratch, 1e-8)?;
+        stats.full_fits += 1;
+        stats.chol_jitter_retries += u64::from(chol.jitter_retries());
+        let alpha = chol.solve(ys_scratch);
+        *last = Some(LastFit {
+            params: best.clone(),
+            chol: Some(chol.clone()),
+            seed,
         });
-        self.stats.gram_builds += candidates.len() as u64;
+        Ok(Gp::assemble(x.clone(), best, chol, alpha, y_mean, y_scale))
+    }
+
+    /// The sparse large-n full fit: selects `policy.inducing` points by
+    /// seeded greedy max-min ([`select_inducing`]), then runs the exact
+    /// hyperparameter search and factorization on the subset alone —
+    /// bit-identical to an exact fit of just those observations at the
+    /// same seed, and O(n·m + m³) instead of O(n³).
+    fn fit_sparse_full(&mut self, seed: u64) -> Result<Gp> {
+        let m = self.policy.subset_size(self.y.len());
+        let idx = select_inducing(&self.x, m, seed as usize);
+        let sub_x: Vec<Vec<f64>> = idx.iter().map(|&i| self.x[i].clone()).collect();
+        let sub_y: Vec<f64> = idx.iter().map(|&i| self.y[i]).collect();
+        let mut sub_cache = GramCache::new(&sub_x);
+        let (y_mean, y_scale) = standardize_into(&sub_y, &mut self.ys_scratch);
+        let best = search_hyperparams(
+            &mut sub_cache,
+            &self.ys_scratch,
+            seed,
+            self.threads,
+            &mut self.stats,
+        );
+        sub_cache.assemble_into(&best, &mut self.scratch);
+        let chol = Cholesky::with_jitter(&self.scratch, 1e-8)?;
+        self.stats.gram_builds += sub_cache.builds();
+        self.stats.gram_reused_dims += sub_cache.reused_dims();
+        self.stats.full_fits += 1;
+        self.stats.sparse_fits += 1;
+        self.stats.chol_jitter_retries += u64::from(chol.jitter_retries());
+        let alpha = chol.solve(&self.ys_scratch);
+        self.last = Some(LastFit {
+            params: best.clone(),
+            chol: None,
+            seed,
+        });
+        Ok(Gp::assemble(sub_x, best, chol, alpha, y_mean, y_scale))
+    }
+
+    /// Incremental refit at the previously selected hyperparameters: appends
+    /// one Cholesky row per observation recorded since the last fit (O(n²)
+    /// each) and re-solves for the weights. The kernel rows are written into
+    /// a reused scratch buffer and the stored factor is extended in place —
+    /// the append path allocates nothing per observation once warm. Falls
+    /// back to a full jittered refactorization if a row append loses
+    /// positive definiteness — either way the result is bit-identical to
+    /// [`Gp::fit_with_params`] on the extended dataset. Above the sparse
+    /// policy threshold the refit instead re-selects the inducing subset
+    /// (new observations can displace old inducing points) and refits it at
+    /// the retained hyperparameters. Requires a prior [`GpFitter::fit_full`].
+    pub fn refit(&mut self) -> Result<Gp> {
+        if self.last.is_none() {
+            return Err(Error::Numerical(
+                "incremental refit requires a prior full fit".into(),
+            ));
+        }
+        if self.policy.applies(self.y.len()) {
+            return self.refit_sparse();
+        }
+        let GpFitter {
+            cache,
+            x,
+            y,
+            scratch,
+            row_scratch,
+            ys_scratch,
+            stats,
+            last,
+            ..
+        } = self;
+        let last = last.as_mut().expect("checked above");
+        let params = last.params.clone();
+        let ls: Vec<f64> = params.log_lengthscales.iter().map(|l| l.exp()).collect();
+        let sv = params.log_signal_var.exp();
+        let noise = params.log_noise_var.exp();
+        let mut appended_ok = last.chol.is_some();
+        if let Some(chol) = last.chol.as_mut() {
+            for i in chol.n()..cache.len() {
+                let diag = cache.kernel_row_into(i, &ls, sv, noise, row_scratch);
+                if chol.append_row(row_scratch, diag).is_err() {
+                    appended_ok = false;
+                    break;
+                }
+            }
+        }
+        if !appended_ok {
+            cache.assemble_into(&params, scratch);
+            let c = Cholesky::with_jitter(scratch, 1e-8)?;
+            stats.chol_jitter_retries += u64::from(c.jitter_retries());
+            last.chol = Some(c);
+        }
+        let chol = last.chol.as_ref().expect("factor present after refit");
+        stats.incremental_fits += 1;
+        let (y_mean, y_scale) = standardize_into(y, ys_scratch);
+        let alpha = chol.solve(ys_scratch);
+        Ok(Gp::assemble(
+            x.clone(),
+            params,
+            chol.clone(),
+            alpha,
+            y_mean,
+            y_scale,
+        ))
+    }
+
+    /// The sparse refit: re-selects the inducing subset over the grown
+    /// dataset (same seeded start as the last full fit) and refits it at
+    /// the retained hyperparameters — no search, so O(n·m + m³).
+    fn refit_sparse(&mut self) -> Result<Gp> {
+        let last = self.last.as_ref().expect("checked by refit");
+        let params = last.params.clone();
+        let seed = last.seed;
+        let m = self.policy.subset_size(self.y.len());
+        let idx = select_inducing(&self.x, m, seed as usize);
+        let sub_x: Vec<Vec<f64>> = idx.iter().map(|&i| self.x[i].clone()).collect();
+        let sub_y: Vec<f64> = idx.iter().map(|&i| self.y[i]).collect();
+        let (y_mean, y_scale) = standardize_into(&sub_y, &mut self.ys_scratch);
+        let sub_cache = GramCache::new(&sub_x);
+        sub_cache.assemble_fresh_into(&params, &mut self.scratch);
+        let chol = Cholesky::with_jitter(&self.scratch, 1e-8)?;
+        self.stats.incremental_fits += 1;
+        self.stats.sparse_fits += 1;
+        self.stats.chol_jitter_retries += u64::from(chol.jitter_retries());
+        let alpha = chol.solve(&self.ys_scratch);
+        Ok(Gp::assemble(sub_x, params, chol, alpha, y_mean, y_scale))
+    }
+}
+
+/// Marginal-likelihood hyperparameter search over a cached dataset: a
+/// memoized evaluation of the default parameters, 24 seeded random
+/// proposals scored in parallel against the shared cache (strict-`>` fold
+/// in draw order), then two serial coordinate-descent sweeps through the
+/// memoized assembly. Identical operation sequence — and therefore
+/// identical bits — to the search `fit_full` originally inlined.
+fn search_hyperparams(
+    cache: &mut GramCache,
+    ys: &[f64],
+    seed: u64,
+    threads: usize,
+    stats: &mut GpFitStats,
+) -> GpParams {
+    let dims = cache.dims();
+    let mut scratch = Matrix::zeros(0);
+    let mut rng = Rng::new(seed ^ 0x6A09_E667);
+    let mut best = GpParams::default_for(dims);
+    cache.assemble_into(&best, &mut scratch);
+    let mut best_lml = lml_from_gram(&scratch, ys).unwrap_or(f64::NEG_INFINITY);
+
+    // Draw every proposal first (serial RNG, unchanged stream), score
+    // them in parallel, then fold strictly in draw order — the same
+    // strict-`>` fold the serial loop performed.
+    let candidates: Vec<GpParams> = (0..24)
+        .map(|_| GpParams {
+            log_lengthscales: (0..dims)
+                .map(|_| rng.uniform_in((0.05f64).ln(), (2.0f64).ln()))
+                .collect(),
+            log_signal_var: rng.uniform_in((0.2f64).ln(), (3.0f64).ln()),
+            log_noise_var: rng.uniform_in((1e-4f64).ln(), (0.3f64).ln()),
+        })
+        .collect();
+    {
+        let cache_ref: &GramCache = cache;
+        let lmls = par_map(&candidates, threads, |_, cand| {
+            let mut k = Matrix::zeros(0);
+            cache_ref.assemble_fresh_into(cand, &mut k);
+            lml_from_gram(&k, ys)
+        });
+        stats.gram_builds += candidates.len() as u64;
         for (cand, lml) in candidates.iter().zip(&lmls) {
             if let Ok(lml) = lml {
                 if *lml > best_lml {
@@ -365,94 +599,31 @@ impl GpFitter {
                 }
             }
         }
+    }
 
-        // Coordinate descent, two sweeps. Inherently serial (each step
-        // mutates the incumbent), but each candidate differs from the memo
-        // state in at most one lengthscale, so the cache reuses the rest.
-        for _ in 0..2 {
-            for coord in 0..(dims + 2) {
-                for step in [-0.4, 0.4, -0.15, 0.15] {
-                    let mut cand = best.clone();
-                    match coord {
-                        c if c < dims => cand.log_lengthscales[c] += step,
-                        c if c == dims => cand.log_signal_var += step,
-                        _ => cand.log_noise_var += step,
-                    }
-                    if let Ok(lml) = self.lml_memo(&cand, &ys) {
-                        if lml > best_lml {
-                            best_lml = lml;
-                            best = cand;
-                        }
+    // Coordinate descent, two sweeps. Inherently serial (each step
+    // mutates the incumbent), but each candidate differs from the memo
+    // state in at most one lengthscale, so the cache reuses the rest.
+    for _ in 0..2 {
+        for coord in 0..(dims + 2) {
+            for step in [-0.4, 0.4, -0.15, 0.15] {
+                let mut cand = best.clone();
+                match coord {
+                    c if c < dims => cand.log_lengthscales[c] += step,
+                    c if c == dims => cand.log_signal_var += step,
+                    _ => cand.log_noise_var += step,
+                }
+                cache.assemble_into(&cand, &mut scratch);
+                if let Ok(lml) = lml_from_gram(&scratch, ys) {
+                    if lml > best_lml {
+                        best_lml = lml;
+                        best = cand;
                     }
                 }
             }
         }
-
-        self.cache.assemble_into(&best, &mut self.scratch);
-        let chol = Cholesky::with_jitter(&self.scratch, 1e-8)?;
-        self.stats.full_fits += 1;
-        self.stats.chol_jitter_retries += u64::from(chol.jitter_retries());
-        let alpha = chol.solve(&ys);
-        self.last = Some(LastFit {
-            params: best.clone(),
-            chol: chol.clone(),
-        });
-        Ok(Gp::assemble(
-            self.x.clone(),
-            best,
-            chol,
-            alpha,
-            y_mean,
-            y_scale,
-        ))
     }
-
-    /// Incremental refit at the previously selected hyperparameters: appends
-    /// one Cholesky row per observation recorded since the last fit (O(n²)
-    /// each) and re-solves for the weights. Falls back to a full jittered
-    /// refactorization if a row append loses positive definiteness — either
-    /// way the result is bit-identical to [`Gp::fit_with_params`] on the
-    /// extended dataset. Requires a prior [`GpFitter::fit_full`].
-    pub fn refit(&mut self) -> Result<Gp> {
-        let Some(last) = self.last.as_ref() else {
-            return Err(Error::Numerical(
-                "incremental refit requires a prior full fit".into(),
-            ));
-        };
-        let params = last.params.clone();
-        let mut chol = last.chol.clone();
-        let mut appended_ok = true;
-        for i in chol.n()..self.cache.len() {
-            let (row, diag) = self.cache.kernel_row(i, &params);
-            if chol.append_row(&row, diag).is_err() {
-                appended_ok = false;
-                break;
-            }
-        }
-        let chol = if appended_ok {
-            chol
-        } else {
-            self.cache.assemble_into(&params, &mut self.scratch);
-            let c = Cholesky::with_jitter(&self.scratch, 1e-8)?;
-            self.stats.chol_jitter_retries += u64::from(c.jitter_retries());
-            c
-        };
-        self.stats.incremental_fits += 1;
-        let (y_mean, y_scale, ys) = standardize(&self.y);
-        let alpha = chol.solve(&ys);
-        self.last = Some(LastFit {
-            params: params.clone(),
-            chol: chol.clone(),
-        });
-        Ok(Gp::assemble(
-            self.x.clone(),
-            params,
-            chol,
-            alpha,
-            y_mean,
-            y_scale,
-        ))
-    }
+    best
 }
 
 /// Builds the Gram matrix directly from raw inputs: lower triangle computed
@@ -483,14 +654,6 @@ fn lml_from_gram(k: &Matrix, ys: &[f64]) -> Result<f64> {
 /// Log marginal likelihood of standardized targets under the kernel.
 pub fn log_marginal_likelihood(x: &[Vec<f64>], ys: &[f64], params: &GpParams) -> Result<f64> {
     lml_from_gram(&gram(x, params), ys)
-}
-
-impl GpFitter {
-    /// LML through the memoized Gram assembly (serial path).
-    fn lml_memo(&mut self, params: &GpParams, ys: &[f64]) -> Result<f64> {
-        self.cache.assemble_into(params, &mut self.scratch);
-        lml_from_gram(&self.scratch, ys)
-    }
 }
 
 #[cfg(test)]
@@ -731,6 +894,128 @@ mod tests {
         assert!(fitter.observe(vec![0.1], 2.0).is_err());
     }
 
+    fn sparse_policy_small() -> SparsePolicy {
+        SparsePolicy {
+            threshold: 12,
+            inducing: 10,
+        }
+    }
+
+    /// Feeds the same dataset to two fitters and returns their fits.
+    fn fit_pair(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        seed: u64,
+        a: &mut GpFitter,
+        b: &mut GpFitter,
+    ) -> (Gp, Gp) {
+        for (x, y) in xs.iter().zip(ys) {
+            a.observe(x.clone(), *y).unwrap();
+            b.observe(x.clone(), *y).unwrap();
+        }
+        (a.fit_full(seed).unwrap(), b.fit_full(seed).unwrap())
+    }
+
+    #[test]
+    fn sparse_fit_equals_exact_fit_of_the_selected_subset() {
+        let (xs, ys) = random_dataset(40, 3, 21);
+        let policy = sparse_policy_small();
+        let seed = 77u64;
+        let mut fitter = GpFitter::new(1).with_policy(policy);
+        for (x, y) in xs.iter().zip(&ys) {
+            fitter.observe(x.clone(), *y).unwrap();
+        }
+        let sparse = fitter.fit_full(seed).unwrap();
+        assert_eq!(fitter.stats().sparse_fits, 1);
+        assert_eq!(sparse.len(), policy.inducing);
+
+        // The reference: an exact fitter over exactly the inducing subset.
+        let idx = select_inducing(&xs, policy.inducing, seed as usize);
+        let mut exact = GpFitter::new(1);
+        for &i in &idx {
+            exact.observe(xs[i].clone(), ys[i]).unwrap();
+        }
+        let reference = exact.fit_full(seed).unwrap();
+        let mut rng = Rng::new(5);
+        let probes = latin_hypercube(10, 3, &mut rng);
+        assert_gps_bitwise_equal(&sparse, &reference, &probes, "sparse-vs-subset-exact");
+    }
+
+    #[test]
+    fn sparse_fit_is_bit_identical_at_every_thread_count() {
+        let (xs, ys) = random_dataset(30, 4, 8);
+        let mut rng = Rng::new(44);
+        let probes = latin_hypercube(10, 4, &mut rng);
+        let mut serial = GpFitter::new(1).with_policy(sparse_policy_small());
+        let mut base = None;
+        for threads in [1usize, 2, 8, 16] {
+            let mut fitter = GpFitter::new(threads).with_policy(sparse_policy_small());
+            for (x, y) in xs.iter().zip(&ys) {
+                fitter.observe(x.clone(), *y).unwrap();
+            }
+            let gp = fitter.fit_full(3).unwrap();
+            match &base {
+                None => {
+                    // Anchor on the serial fitter's result.
+                    for (x, y) in xs.iter().zip(&ys) {
+                        serial.observe(x.clone(), *y).unwrap();
+                    }
+                    let anchor = serial.fit_full(3).unwrap();
+                    assert_gps_bitwise_equal(&gp, &anchor, &probes, "threads=1 anchor");
+                    base = Some(anchor);
+                }
+                Some(anchor) => {
+                    assert_gps_bitwise_equal(&gp, anchor, &probes, &format!("threads={threads}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_refit_reselects_at_retained_params() {
+        let (xs, ys) = random_dataset(40, 3, 13);
+        let mut fitter = GpFitter::new(1).with_policy(sparse_policy_small());
+        for (x, y) in xs[..30].iter().zip(&ys) {
+            fitter.observe(x.clone(), *y).unwrap();
+        }
+        let full = fitter.fit_full(9).unwrap();
+        for (x, y) in xs[30..].iter().zip(&ys[30..]) {
+            fitter.observe(x.clone(), *y).unwrap();
+        }
+        let refit = fitter.refit().unwrap();
+        assert_eq!(refit.params(), full.params(), "refit must retain params");
+        assert_eq!(fitter.stats().sparse_fits, 2);
+        assert_eq!(fitter.stats().incremental_fits, 1);
+
+        // Reference: re-select over the grown dataset, fixed-params fit.
+        let idx = select_inducing(&xs, 10, 9);
+        let sub_x: Vec<Vec<f64>> = idx.iter().map(|&i| xs[i].clone()).collect();
+        let sub_y: Vec<f64> = idx.iter().map(|&i| ys[i]).collect();
+        let reference = Gp::fit_with_params(sub_x, &sub_y, full.params().clone()).unwrap();
+        let mut rng = Rng::new(6);
+        let probes = latin_hypercube(8, 3, &mut rng);
+        assert_gps_bitwise_equal(&refit, &reference, &probes, "sparse-refit-vs-scratch");
+    }
+
+    #[test]
+    fn crossing_the_threshold_switches_to_sparse_and_keeps_fitting() {
+        let (xs, ys) = random_dataset(16, 3, 99);
+        let mut fitter = GpFitter::new(1).with_policy(sparse_policy_small());
+        for (x, y) in xs[..12].iter().zip(&ys) {
+            fitter.observe(x.clone(), *y).unwrap();
+        }
+        let exact = fitter.fit_full(1).unwrap();
+        assert_eq!(fitter.stats().sparse_fits, 0, "at threshold: exact");
+        assert_eq!(exact.len(), 12);
+        for (x, y) in xs[12..].iter().zip(&ys[12..]) {
+            fitter.observe(x.clone(), *y).unwrap();
+        }
+        let sparse = fitter.fit_full(2).unwrap();
+        assert_eq!(fitter.stats().sparse_fits, 1, "above threshold: sparse");
+        assert_eq!(sparse.len(), 10, "capped at the inducing budget");
+        assert!(fitter.refit().is_ok(), "sparse refit after crossing");
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
 
@@ -773,6 +1058,26 @@ mod tests {
                     &format!("seed={seed} n0={n0} step={step}"),
                 );
             }
+        }
+
+        /// Satellite: the sparse policy is invisible at or below its
+        /// threshold. A fitter with an armed policy and a policy-free
+        /// fitter must produce bitwise-identical fits for every dataset
+        /// size up to the bound.
+        #[test]
+        fn sparse_mode_below_threshold_is_bitwise_exact(
+            seed in 0u64..1000,
+            n in 3usize..13,
+        ) {
+            let dims = 3;
+            let (xs, ys) = random_dataset(n, dims, seed ^ 0xC0DE);
+            let mut with_policy = GpFitter::new(1).with_policy(sparse_policy_small());
+            let mut exact = GpFitter::new(1);
+            let (a, b) = fit_pair(&xs, &ys, seed, &mut with_policy, &mut exact);
+            let mut rng = Rng::new(seed ^ 11);
+            let probes = latin_hypercube(6, dims, &mut rng);
+            assert_gps_bitwise_equal(&a, &b, &probes, &format!("seed={seed} n={n}"));
+            assert_eq!(with_policy.stats().sparse_fits, 0, "n <= threshold must stay exact");
         }
     }
 }

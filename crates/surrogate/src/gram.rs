@@ -12,10 +12,21 @@
 //! lets coordinate-descent steps that change one lengthscale (or only the
 //! signal/noise variances) reuse the other dimensions' work.
 //!
+//! The differences are stored as one packed pair-array *per dimension*
+//! (structure-of-arrays), so every sweep — scaling a dimension, summing
+//! dimensions into the pair totals, walking a kernel row — is a
+//! contiguous slice-to-slice loop the compiler can unroll and vectorize
+//! without bounds checks. [`GramCache::assemble_fresh_into`] additionally
+//! blocks the pair range into cache-resident tiles: each tile's
+//! per-dimension columns are streamed once while the running sums stay in
+//! registers/L1, instead of striding the whole `pairs × dims` array per
+//! pair.
+//!
 //! Everything here is bit-identical to the naive formulation: differences
-//! are exact, the division by ℓ_d and the accumulation order match the
-//! original `kernel` loop term for term, so hyperparameter search — and
-//! therefore every tuning trace downstream — is unchanged to the last bit.
+//! are exact, the division by ℓ_d and the accumulation order (dimension
+//! ascending, per pair) match the original `kernel` loop term for term, so
+//! hyperparameter search — and therefore every tuning trace downstream —
+//! is unchanged to the last bit.
 
 use crate::gp::GpParams;
 use crate::linalg::Matrix;
@@ -26,6 +37,11 @@ fn pair_index(i: usize, j: usize) -> usize {
     i * (i + 1) / 2 + j
 }
 
+/// Pairs per tile in the blocked fresh assembly: 512 doubles of running
+/// sums (4 KiB) stay L1-resident alongside one 4 KiB column slice per
+/// dimension.
+const TILE: usize = 512;
+
 /// Per-dataset cache of pairwise coordinate differences plus a memo of the
 /// last assembled lengthscale state.
 #[derive(Debug, Clone)]
@@ -35,9 +51,9 @@ pub struct GramCache {
     /// The cached points, row-major (`n × dims`) — kept so rows can be
     /// appended without the caller re-supplying the dataset.
     points: Vec<f64>,
-    /// Pair-major packed differences: entry `pair_index(i, j) * dims + d`
-    /// holds `x_i[d] − x_j[d]` for `j <= i`.
-    diffs: Vec<f64>,
+    /// Packed pairwise differences, one column per dimension: entry
+    /// `diffs[d][pair_index(i, j)]` holds `x_i[d] − x_j[d]` for `j <= i`.
+    diffs: Vec<Vec<f64>>,
     /// Lengthscales (already exponentiated) of the memoized assembly;
     /// empty when the memo is cold.
     memo_ls: Vec<f64>,
@@ -59,11 +75,12 @@ impl GramCache {
     /// dimensionality; the caller has validated this).
     pub fn new(x: &[Vec<f64>]) -> Self {
         let dims = x.first().map_or(0, |r| r.len());
+        let pairs = x.len() * (x.len() + 1) / 2;
         let mut cache = GramCache {
             n: 0,
             dims,
             points: Vec::with_capacity(x.len() * dims),
-            diffs: Vec::with_capacity(x.len() * (x.len() + 1) / 2 * dims),
+            diffs: vec![Vec::with_capacity(pairs); dims],
             memo_ls: Vec::new(),
             memo_scaled: vec![Vec::new(); dims],
             memo_s: Vec::new(),
@@ -77,22 +94,25 @@ impl GramCache {
         cache
     }
 
-    /// Appends one point: extends the packed difference rows in place
-    /// (`O(n·dims)`), invalidating the assembly memo.
+    /// Appends one point: extends each dimension's packed difference column
+    /// in place (`O(n·dims)`, amortized reallocation), invalidating the
+    /// assembly memo.
     pub fn append(&mut self, row: &[f64]) {
         if self.n == 0 {
             self.dims = row.len();
+            self.diffs.resize(self.dims, Vec::new());
             self.memo_scaled = vec![Vec::new(); self.dims];
         }
         debug_assert_eq!(row.len(), self.dims);
-        // New packed row: pairs (n, 0), …, (n, n). The diagonal difference
-        // is exactly 0.0 in every dimension.
-        for j in 0..self.n {
-            for (d, v) in row.iter().enumerate() {
-                self.diffs.push(v - self.points[j * self.dims + d]);
+        // New packed entries per column: pairs (n, 0), …, (n, n−1) followed
+        // by the diagonal (n, n), whose difference is exactly 0.0.
+        for (d, (col, &v)) in self.diffs.iter_mut().zip(row).enumerate() {
+            col.reserve(self.n + 1);
+            for j in 0..self.n {
+                col.push(v - self.points[j * self.dims + d]);
             }
+            col.push(0.0);
         }
-        self.diffs.extend(std::iter::repeat_n(0.0, self.dims));
         self.points.extend_from_slice(row);
         self.n += 1;
         self.memo_ls.clear();
@@ -147,9 +167,9 @@ impl GramCache {
                 continue;
             }
             changed = true;
-            let scaled = &mut self.memo_scaled[d];
-            for (p, out_p) in scaled.iter_mut().enumerate() {
-                let t = self.diffs[p * self.dims + d] / l;
+            // Contiguous column sweep: no strides, no bounds checks.
+            for (out_p, &dv) in self.memo_scaled[d].iter_mut().zip(&self.diffs[d]) {
+                let t = dv / l;
                 *out_p = t * t;
             }
         }
@@ -185,27 +205,50 @@ impl GramCache {
 
     /// Memo-free assembly (same bits as [`GramCache::assemble_into`]):
     /// shared-reference, so candidate parameter sets can be scored from
-    /// worker threads against one cache.
+    /// worker threads against one cache. The pair range is processed in
+    /// `TILE`-sized (512-pair) blocks — per block, each dimension's column slice is
+    /// streamed once into an L1-resident accumulator tile, then a single
+    /// `exp` pass finishes the block before it is scattered into `out`.
     pub fn assemble_fresh_into(&self, params: &GpParams, out: &mut Matrix) {
         let ls: Vec<f64> = params.log_lengthscales.iter().map(|l| l.exp()).collect();
         let sv = params.log_signal_var.exp();
         let noise = params.log_noise_var.exp();
         out.reset(self.n);
-        for i in 0..self.n {
-            for j in 0..=i {
-                let base = pair_index(i, j) * self.dims;
-                let mut s = 0.0;
-                for (d, &l) in ls.iter().enumerate() {
-                    let t = self.diffs[base + d] / l;
-                    s += t * t;
+        let pairs = pair_index(self.n, 0);
+        let mut acc = [0.0f64; TILE];
+        // Pair cursor: (i, j) of the next packed entry to scatter.
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut p0 = 0;
+        while p0 < pairs {
+            let len = TILE.min(pairs - p0);
+            let tile = &mut acc[..len];
+            tile.fill(0.0);
+            // Dimension-ascending accumulation per pair, as the original
+            // kernel loop ordered it.
+            for (col, &l) in self.diffs.iter().zip(&ls) {
+                for (s, &dv) in tile.iter_mut().zip(&col[p0..p0 + len]) {
+                    let t = dv / l;
+                    *s += t * t;
                 }
-                let mut k = sv * (-0.5 * s).exp();
+            }
+            for s in tile.iter_mut() {
+                *s = sv * (-0.5 * *s).exp();
+            }
+            for &base in tile.iter() {
+                let mut k = base;
                 if i == j {
                     k += noise + 1e-10;
                 }
                 out.set(i, j, k);
                 out.set(j, i, k);
+                if j == i {
+                    i += 1;
+                    j = 0;
+                } else {
+                    j += 1;
+                }
             }
+            p0 += len;
         }
     }
 
@@ -214,24 +257,44 @@ impl GramCache {
     /// Gram would place in row `i` of its lower triangle. Feeds
     /// [`crate::linalg::Cholesky::append_row`] on the incremental fit path.
     pub fn kernel_row(&self, i: usize, params: &GpParams) -> (Vec<f64>, f64) {
-        assert!(i < self.n, "kernel_row index out of range");
         let ls: Vec<f64> = params.log_lengthscales.iter().map(|l| l.exp()).collect();
         let sv = params.log_signal_var.exp();
         let noise = params.log_noise_var.exp();
-        let row = (0..i)
-            .map(|j| {
-                let base = pair_index(i, j) * self.dims;
-                let mut s = 0.0;
-                for (d, &l) in ls.iter().enumerate() {
-                    let t = self.diffs[base + d] / l;
-                    s += t * t;
-                }
-                sv * (-0.5 * s).exp()
-            })
-            .collect();
+        let mut row = Vec::new();
+        let diag = self.kernel_row_into(i, &ls, sv, noise, &mut row);
+        (row, diag)
+    }
+
+    /// Allocation-free form of [`GramCache::kernel_row`]: the exponentiated
+    /// hyperparameters are supplied by the caller (hoisted out of
+    /// per-observation append loops) and the row is written into a reused
+    /// buffer. Returns the noise-inflated diagonal.
+    pub fn kernel_row_into(
+        &self,
+        i: usize,
+        ls: &[f64],
+        sv: f64,
+        noise: f64,
+        row: &mut Vec<f64>,
+    ) -> f64 {
+        assert!(i < self.n, "kernel_row index out of range");
+        // Row i's pairs are contiguous in every column: packed offsets
+        // pair_index(i, 0) .. pair_index(i, 0) + i.
+        let base = pair_index(i, 0);
+        row.clear();
+        row.resize(i, 0.0);
+        for (col, &l) in self.diffs.iter().zip(ls) {
+            for (s, &dv) in row.iter_mut().zip(&col[base..base + i]) {
+                let t = dv / l;
+                *s += t * t;
+            }
+        }
+        for s in row.iter_mut() {
+            *s = sv * (-0.5 * *s).exp();
+        }
         // Diagonal: zero squared distance, so the kernel is exactly the
         // signal variance (sv · exp(−0) ≡ sv bitwise).
-        (row, sv + (noise + 1e-10))
+        sv + (noise + 1e-10)
     }
 }
 
@@ -331,6 +394,18 @@ mod tests {
     }
 
     #[test]
+    fn tiled_fresh_assembly_is_bitwise_identical_across_tile_boundaries() {
+        // n = 40 gives 820 packed pairs — more than one TILE block — so the
+        // blocked path exercises a full tile, the boundary, and the tail.
+        let x = dataset(40, 5, 77);
+        let p = params(5, 78);
+        let cache = GramCache::new(&x);
+        let mut fresh = Matrix::zeros(0);
+        cache.assemble_fresh_into(&p, &mut fresh);
+        assert_bitwise_eq(&fresh, &naive_gram(&x, &p));
+    }
+
+    #[test]
     fn append_extends_the_cache_consistently() {
         let x = dataset(10, 3, 5);
         let p = params(3, 9);
@@ -360,6 +435,28 @@ mod tests {
             }
             assert_eq!(diag.to_bits(), gram.get(i, i).to_bits());
         }
+    }
+
+    #[test]
+    fn kernel_row_into_reuses_the_buffer() {
+        let x = dataset(9, 3, 19);
+        let p = params(3, 20);
+        let cache = GramCache::new(&x);
+        let ls: Vec<f64> = p.log_lengthscales.iter().map(|l| l.exp()).collect();
+        let sv = p.log_signal_var.exp();
+        let noise = p.log_noise_var.exp();
+        let mut buf = Vec::with_capacity(x.len());
+        let ptr = buf.as_ptr();
+        for i in [8usize, 5, 8] {
+            let diag = cache.kernel_row_into(i, &ls, sv, noise, &mut buf);
+            let (row, want_diag) = cache.kernel_row(i, &p);
+            assert_eq!(buf.len(), i);
+            for (a, b) in buf.iter().zip(&row) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            assert_eq!(diag.to_bits(), want_diag.to_bits());
+        }
+        assert_eq!(ptr, buf.as_ptr(), "warm buffer must not reallocate");
     }
 
     #[test]

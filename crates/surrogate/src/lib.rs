@@ -8,7 +8,11 @@
 //!   incremental front end: it caches pairwise differences across fits
 //!   ([`gram::GramCache`]), extends the Cholesky factor row-by-row between
 //!   hyperparameter re-tunes, and scores proposals on a bounded thread pool
-//!   — all bit-identical to the serial from-scratch fit.
+//!   — all bit-identical to the serial from-scratch fit. For n in the
+//!   hundreds-to-thousands, an opt-in [`SparsePolicy`] switches the fitter
+//!   to a subset-of-data approximation over a deterministic inducing set
+//!   ([`select_inducing`]), keeping fit+propose latency flat as histories
+//!   grow.
 //! * [`expected_improvement`] — the EI acquisition function (Equation 7),
 //!   plus a maximizer combining random candidates with local hill climbing
 //!   ([`maximize_ei_threaded`] parallelizes it deterministically).
@@ -44,13 +48,15 @@ pub mod gram;
 pub mod lhs;
 pub mod linalg;
 pub mod scoring;
+pub mod sparse;
 
 pub use acquisition::{expected_improvement, maximize_ei, maximize_ei_threaded};
 pub use forest::{Forest, ForestParams};
 pub use gp::{Gp, GpFitStats, GpFitter, GpParams};
 pub use gram::GramCache;
 pub use lhs::latin_hypercube;
-pub use scoring::{par_map, MAX_SCORING_THREADS};
+pub use scoring::{par_map, par_map_chunks, MAX_SCORING_THREADS};
+pub use sparse::{select_inducing, SparsePolicy, DEFAULT_INDUCING, DEFAULT_SPARSE_THRESHOLD};
 
 /// A regression surrogate with predictive uncertainty — the interface both
 /// the Gaussian Process and the Random Forest implement, letting BO/GBO swap

@@ -154,16 +154,16 @@ impl Cholesky {
         let start = self.l.len();
         self.l.reserve(n + 1);
         for (j, &rowj) in row.iter().enumerate() {
-            let mut sum = rowj;
             let rj = row_start(j);
-            for k in 0..j {
-                sum -= self.l[start + k] * self.l[rj + k];
-            }
-            self.l.push(sum / self.l[rj + j]);
+            // Disjoint contiguous views of the new (partial) row and row j:
+            // the inner product runs over two slices with no bounds checks,
+            // subtracting term by term in k order exactly as before.
+            let (head, tail) = self.l.split_at(start);
+            let sum = sub_products(rowj, &tail[..j], &head[rj..rj + j]);
+            self.l.push(sum / head[rj + j]);
         }
         let mut sum = diag + self.jitter;
-        for k in 0..n {
-            let v = self.l[start + k];
+        for &v in &self.l[start..start + n] {
             sum -= v * v;
         }
         if sum <= 0.0 {
@@ -187,13 +187,13 @@ impl Cholesky {
     /// Forward substitution into a caller-owned buffer (`out.len() == n`),
     /// for hot paths that reuse allocations.
     pub fn solve_l_into(&self, b: &[f64], out: &mut [f64]) {
-        for i in 0..self.n {
-            let mut sum = b[i];
+        for (i, &bi) in b[..self.n].iter().enumerate() {
             let ri = row_start(i);
-            for (k, zk) in out.iter().enumerate().take(i) {
-                sum -= self.l[ri + k] * zk;
-            }
-            out[i] = sum / self.l[ri + i];
+            // Solved prefix vs the entry being solved: disjoint slices, so
+            // the row·solution product is a bounds-check-free zip.
+            let (done, rest) = out.split_at_mut(i);
+            let sum = sub_products(bi, &self.l[ri..ri + i], done);
+            rest[0] = sum / self.l[ri + i];
         }
     }
 
@@ -228,30 +228,42 @@ impl Cholesky {
     }
 }
 
+/// `sum − Σ aₖ·bₖ`, subtracting term by term in index order — the exact
+/// update sequence of the textbook loops this module replaced, expressed
+/// over two equal-length slices so the compiler drops the bounds checks
+/// and unrolls/vectorizes the products.
+#[inline]
+fn sub_products(mut sum: f64, a: &[f64], b: &[f64]) -> f64 {
+    for (x, y) in a.iter().zip(b) {
+        sum -= x * y;
+    }
+    sum
+}
+
 /// The packed factorization kernel: factors `a + jitter·I` reading only the
-/// lower triangle of `a`. Inner loops run over two contiguous packed rows.
+/// lower triangle of `a`. Inner loops run over two contiguous packed rows,
+/// split into disjoint slices so the hot products carry no bounds checks.
 fn factor(a: &Matrix, jitter: f64) -> Result<Vec<f64>> {
     let n = a.n();
     let mut l = vec![0.0; row_start(n)];
     for i in 0..n {
         let ri = row_start(i);
-        for j in 0..=i {
-            let mut sum = a.get(i, j) + if i == j { jitter } else { 0.0 };
+        // Rows 0..i are finished; row i is being filled. Splitting at the
+        // row boundary yields one view of the settled rows and one of the
+        // in-progress row — provably disjoint, so both stay slices.
+        let (head, row_i) = l.split_at_mut(ri);
+        for j in 0..i {
             let rj = row_start(j);
-            for k in 0..j {
-                sum -= l[ri + k] * l[rj + k];
-            }
-            if i == j {
-                if sum <= 0.0 {
-                    return Err(Error::Numerical(format!(
-                        "matrix not positive definite at pivot {i} (residual {sum})"
-                    )));
-                }
-                l[ri + j] = sum.sqrt();
-            } else {
-                l[ri + j] = sum / l[rj + j];
-            }
+            let sum = sub_products(a.get(i, j), &row_i[..j], &head[rj..rj + j]);
+            row_i[j] = sum / head[rj + j];
         }
+        let sum = sub_products(a.get(i, i) + jitter, &row_i[..i], &row_i[..i]);
+        if sum <= 0.0 {
+            return Err(Error::Numerical(format!(
+                "matrix not positive definite at pivot {i} (residual {sum})"
+            )));
+        }
+        row_i[i] = sum.sqrt();
     }
     Ok(l)
 }

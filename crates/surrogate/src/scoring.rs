@@ -12,6 +12,22 @@
 /// Upper bound on worker threads, no matter what callers request.
 pub const MAX_SCORING_THREADS: usize = 16;
 
+/// Contiguous chunk boundaries for `len` items over `threads` workers: the
+/// remainder is spread over the leading chunks, so the boundaries are a
+/// pure function of `(len, threads)` — never of scheduling.
+fn chunk_bounds(len: usize, threads: usize) -> Vec<(usize, usize)> {
+    let base = len / threads;
+    let extra = len % threads;
+    let mut bounds = Vec::with_capacity(threads);
+    let mut start = 0;
+    for c in 0..threads {
+        let chunk = base + usize::from(c < extra);
+        bounds.push((start, start + chunk));
+        start += chunk;
+    }
+    bounds
+}
+
 /// Maps `f` over `items`, scoring contiguous chunks on up to `threads`
 /// scoped threads (clamped to `1..=`[`MAX_SCORING_THREADS`]). The returned
 /// vector is in input order and bit-identical to
@@ -27,17 +43,7 @@ where
     if threads <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
-    // Contiguous chunks, remainder spread over the leading chunks, so chunk
-    // boundaries depend only on (len, threads).
-    let base = items.len() / threads;
-    let extra = items.len() % threads;
-    let mut bounds = Vec::with_capacity(threads);
-    let mut start = 0;
-    for c in 0..threads {
-        let len = base + usize::from(c < extra);
-        bounds.push((start, start + len));
-        start += len;
-    }
+    let bounds = chunk_bounds(items.len(), threads);
     std::thread::scope(|scope| {
         let handles: Vec<_> = bounds[1..]
             .iter()
@@ -60,6 +66,46 @@ where
             .collect();
         // Join in spawn order: concatenation is index-ordered by
         // construction, independent of which thread finished first.
+        for h in handles {
+            out.extend(h.join().expect("scoring thread panicked"));
+        }
+        out
+    })
+}
+
+/// Chunked form of [`par_map`]: `f` receives each contiguous chunk whole —
+/// `f(start, chunk)` must return one result per element of `chunk`, for the
+/// absolute item range `start..start + chunk.len()` — and the per-chunk
+/// outputs are concatenated in chunk order. The chunk boundaries are the
+/// exact [`par_map`] boundaries, so as long as `f` is element-wise pure
+/// (each output depends only on its own item), the concatenation is
+/// bit-identical to the serial single-chunk call at every thread count.
+///
+/// This is the batched-scoring hook: a caller holding a batch-capable
+/// scorer (e.g. `Surrogate::predict_batch`, which reuses its solve buffers
+/// across a chunk) amortizes per-call setup over the whole chunk instead of
+/// paying it per item.
+pub fn par_map_chunks<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> Vec<R> + Sync,
+{
+    let threads = threads.clamp(1, MAX_SCORING_THREADS).min(items.len());
+    if threads <= 1 {
+        return f(0, items);
+    }
+    let bounds = chunk_bounds(items.len(), threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds[1..]
+            .iter()
+            .map(|&(lo, hi)| {
+                let f = &f;
+                scope.spawn(move || f(lo, &items[lo..hi]))
+            })
+            .collect();
+        let (lo, hi) = bounds[0];
+        let mut out = f(lo, &items[lo..hi]);
         for h in handles {
             out.extend(h.join().expect("scoring thread panicked"));
         }
@@ -101,5 +147,38 @@ mod tests {
             let indices = par_map(&items, threads, |i, _| i);
             assert_eq!(indices, (0..37).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn chunked_map_matches_par_map_bitwise() {
+        let items: Vec<f64> = (0..103).map(|i| (i as f64) * 0.29 - 3.7).collect();
+        let score = |i: usize, x: &f64| x.cos() * (i as f64 + 0.5);
+        let reference = par_map(&items, 1, score);
+        for threads in [1, 2, 3, 5, 8, 16, 64] {
+            let chunked = par_map_chunks(&items, threads, |start, chunk| {
+                chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(i, x)| score(start + i, x))
+                    .collect()
+            });
+            assert_eq!(chunked.len(), reference.len(), "threads={threads}");
+            for (a, b) in chunked.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_map_handles_degenerate_sizes() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_chunks(&empty, 8, |_, c| c.to_vec()).is_empty());
+        assert_eq!(
+            par_map_chunks(&[7u32], 8, |start, c| c
+                .iter()
+                .map(|v| v + start as u32)
+                .collect()),
+            vec![7]
+        );
     }
 }

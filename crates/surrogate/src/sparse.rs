@@ -1,0 +1,217 @@
+//! Sparse large-n approximation policy: deterministic inducing-set
+//! selection for subset-of-data Gaussian processes.
+//!
+//! Exact GP inference is O(n³) per hyperparameter evaluation, and the
+//! system now manufactures large datasets: warm-start priors inject past
+//! observations and long-running serve sessions accumulate hundreds of
+//! settled evaluations. [`SparsePolicy`] caps the surrogate's working set:
+//! below the threshold the fitter runs the exact path (byte-identical to a
+//! policy-free fitter); above it, the fit restricts itself to an
+//! *inducing subset* of at most [`SparsePolicy::inducing`] observations
+//! chosen by [`select_inducing`] — greedy max-min (farthest-point)
+//! selection in the feature cube. The subset spreads over the design
+//! space, so the subset-of-data GP keeps global coverage while fit cost
+//! drops from O(n³) to O(n·m + m³) with m fixed.
+//!
+//! Everything is deterministic: the selection is a pure function of the
+//! dataset, the subset size, and a seeded start index, with strict-`>`
+//! comparisons so ties break toward the lowest index. Sparse fits are
+//! therefore byte-identical across thread counts and replay runs, exactly
+//! like the exact path.
+
+use serde::{Deserialize, Serialize};
+
+/// When (and how hard) the fitter switches to the sparse approximation.
+///
+/// The default is [`SparsePolicy::exact`] — never approximate — so every
+/// existing trace replays byte-identically unless a caller opts in (e.g.
+/// via `BoConfig::sparse`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SparsePolicy {
+    /// Largest dataset fitted exactly. The sparse path engages strictly
+    /// above this count.
+    pub threshold: usize,
+    /// Inducing-subset size used above the threshold (clamped to the
+    /// dataset size, floored at 1).
+    pub inducing: usize,
+}
+
+/// Default exact/sparse crossover: exact GPs stay comfortably under 10ms
+/// up to about this many observations on commodity cores.
+pub const DEFAULT_SPARSE_THRESHOLD: usize = 128;
+
+/// Default inducing-subset size: large enough that fig20-style proposal
+/// quality stays within a few percent of exact, small enough that a full
+/// hyperparameter search over the subset fits in single-digit
+/// milliseconds.
+pub const DEFAULT_INDUCING: usize = 64;
+
+impl SparsePolicy {
+    /// Never approximate — the byte-identical default.
+    pub fn exact() -> Self {
+        SparsePolicy {
+            threshold: usize::MAX,
+            inducing: 0,
+        }
+    }
+
+    /// The recommended large-n configuration: exact at n ≤
+    /// [`DEFAULT_SPARSE_THRESHOLD`], a [`DEFAULT_INDUCING`]-point subset
+    /// above.
+    pub fn large_n() -> Self {
+        SparsePolicy {
+            threshold: DEFAULT_SPARSE_THRESHOLD,
+            inducing: DEFAULT_INDUCING,
+        }
+    }
+
+    /// True when a dataset of `n` observations should be approximated.
+    pub fn applies(&self, n: usize) -> bool {
+        n > self.threshold
+    }
+
+    /// Subset size for a dataset of `n` observations.
+    pub fn subset_size(&self, n: usize) -> usize {
+        self.inducing.clamp(1, n)
+    }
+}
+
+impl Default for SparsePolicy {
+    fn default() -> Self {
+        SparsePolicy::exact()
+    }
+}
+
+/// Greedy max-min (farthest-point) subset selection.
+///
+/// Starting from `points[start % points.len()]`, repeatedly adds the point
+/// whose squared Euclidean distance to the chosen set is largest, until
+/// `m` points are chosen. Comparisons are strict, so among equally distant
+/// candidates the lowest index wins — the selection is a pure function of
+/// `(points, m, start)` with no RNG and no float-order ambiguity. Returns
+/// the chosen indices in ascending order (dataset order), so downstream
+/// fits see observations in the same relative order the history recorded
+/// them.
+///
+/// `m >= points.len()` selects everything. Cost is O(n·m·dims).
+pub fn select_inducing(points: &[Vec<f64>], m: usize, start: usize) -> Vec<usize> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if m >= n {
+        return (0..n).collect();
+    }
+    let m = m.max(1);
+    let start = start % n;
+    let mut chosen = Vec::with_capacity(m);
+    chosen.push(start);
+    // min_d2[i] = squared distance from points[i] to the chosen set.
+    let mut min_d2: Vec<f64> = points.iter().map(|p| dist2(p, &points[start])).collect();
+    while chosen.len() < m {
+        let mut best = 0usize;
+        let mut best_d2 = f64::NEG_INFINITY;
+        for (i, &d2) in min_d2.iter().enumerate() {
+            if d2 > best_d2 {
+                best_d2 = d2;
+                best = i;
+            }
+        }
+        chosen.push(best);
+        for (d2, p) in min_d2.iter_mut().zip(points) {
+            let cand = dist2(p, &points[best]);
+            if cand < *d2 {
+                *d2 = cand;
+            }
+        }
+    }
+    chosen.sort_unstable();
+    chosen
+}
+
+/// Squared Euclidean distance, accumulated in dimension order.
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        s += d * d;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relm_common::Rng;
+
+    fn cloud(n: usize, dims: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = Rng::new(seed);
+        (0..n)
+            .map(|_| (0..dims).map(|_| rng.uniform()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn selects_everything_when_m_covers_the_set() {
+        let pts = cloud(7, 3, 1);
+        assert_eq!(select_inducing(&pts, 7, 0), (0..7).collect::<Vec<_>>());
+        assert_eq!(select_inducing(&pts, 20, 3), (0..7).collect::<Vec<_>>());
+        assert!(select_inducing(&[], 4, 0).is_empty());
+    }
+
+    #[test]
+    fn selection_is_deterministic_and_sorted() {
+        let pts = cloud(50, 4, 9);
+        let a = select_inducing(&pts, 12, 5);
+        let b = select_inducing(&pts, 12, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 12);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "indices must be sorted");
+        assert!(a.contains(&5), "the seeded start point must be chosen");
+    }
+
+    #[test]
+    fn ties_break_toward_the_lowest_index() {
+        // Four corners of a square plus the center: after the center, the
+        // corners are all equally far — the lowest index must win each
+        // round.
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![0.5, 0.5],
+        ];
+        let idx = select_inducing(&pts, 2, 4);
+        assert_eq!(idx, vec![0, 4]);
+    }
+
+    #[test]
+    fn spreads_over_clusters() {
+        // Two tight clusters far apart: a 2-point subset must take one
+        // point from each, whichever cluster the start lands in.
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(vec![0.01 * i as f64, 0.0]);
+        }
+        for i in 0..10 {
+            pts.push(vec![10.0 + 0.01 * i as f64, 0.0]);
+        }
+        for start in [0, 7, 13, 19] {
+            let idx = select_inducing(&pts, 2, start);
+            let sides: Vec<bool> = idx.iter().map(|&i| pts[i][0] > 5.0).collect();
+            assert_ne!(sides[0], sides[1], "start={start}: subset {idx:?}");
+        }
+    }
+
+    #[test]
+    fn policy_defaults_are_exact() {
+        let p = SparsePolicy::default();
+        assert!(!p.applies(1_000_000));
+        let l = SparsePolicy::large_n();
+        assert!(!l.applies(DEFAULT_SPARSE_THRESHOLD));
+        assert!(l.applies(DEFAULT_SPARSE_THRESHOLD + 1));
+        assert_eq!(l.subset_size(1000), DEFAULT_INDUCING);
+        assert_eq!(l.subset_size(3), 3);
+    }
+}

@@ -1,0 +1,115 @@
+//! Allocation-churn regression test for the incremental fit path.
+//!
+//! `GpFitter::observe` + `GpFitter::refit` form BO's steady-state loop: one
+//! new observation, one cheap refit, once per iteration. The append path
+//! must therefore reuse its scratch — the kernel-row buffer, the
+//! standardized-target buffer, and the stored packed-Cholesky factor (grown
+//! in place, amortized) — instead of reallocating per observation. This
+//! test pins that with a counting global allocator: the measured
+//! observe+refit round is allowed the allocations that are inherent to
+//! returning an owned `Gp` (the training-set clone, one factor copy, the
+//! weight solve) plus a small constant, and nothing proportional to the
+//! number of appended rows.
+//!
+//! This file intentionally holds a single test: the counter is global to
+//! the test binary, and libtest runs tests in this binary's process.
+
+use relm_surrogate::GpFitter;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates directly to the system allocator; the counter is a
+// relaxed atomic with no effect on allocation behavior.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn dataset(n: usize, dims: usize) -> Vec<(Vec<f64>, f64)> {
+    // Deterministic quasi-random points; no RNG dependency needed here.
+    (0..n)
+        .map(|i| {
+            let x: Vec<f64> = (0..dims)
+                .map(|d| {
+                    let v = ((i * 37 + d * 101 + 13) % 97) as f64 / 96.0;
+                    v.clamp(0.01, 0.99)
+                })
+                .collect();
+            let y = x
+                .iter()
+                .enumerate()
+                .map(|(d, v)| (v * (d as f64 + 1.3)).sin())
+                .sum();
+            (x, y)
+        })
+        .collect()
+}
+
+#[test]
+fn observe_and_refit_do_not_reallocate_per_observation() {
+    const DIMS: usize = 4;
+    const N0: usize = 48;
+    const BATCH: usize = 16;
+    let data = dataset(N0 + 2 * BATCH, DIMS);
+
+    let mut fitter = GpFitter::new(1);
+    for (x, y) in &data[..N0] {
+        fitter.observe(x.clone(), *y).unwrap();
+    }
+    fitter.fit_full(7).unwrap();
+
+    // Warm-up round: grows every scratch buffer to its working size.
+    for (x, y) in &data[N0..N0 + BATCH] {
+        fitter.observe(x.clone(), *y).unwrap();
+    }
+    fitter.refit().unwrap();
+
+    // Measured round. Observation vectors are cloned up front so the
+    // counter sees only the fitter's own allocations.
+    let batch: Vec<(Vec<f64>, f64)> = data[N0 + BATCH..].to_vec();
+    let n_final = N0 + 2 * BATCH;
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    for (x, y) in batch {
+        fitter.observe(x, y).unwrap();
+    }
+    let gp = fitter.refit().unwrap();
+    let allocs = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+    assert_eq!(gp.len(), n_final);
+
+    // Inherent cost of the returned Gp: the cloned training set (n row
+    // vectors + the outer vector), one packed-factor copy, the weight
+    // vector, and a handful of small hyperparameter/scratch vectors. The
+    // old path added two heap vectors per appended kernel row and a second
+    // full factor copy — with BATCH = 16 appends that pushed the count
+    // well past this bound.
+    let budget = (n_final + 24) as u64;
+    assert!(
+        allocs <= budget,
+        "observe+refit allocated {allocs} times for {BATCH} appended rows \
+         at n={n_final} (budget {budget}): the append path is reallocating \
+         per observation again"
+    );
+}

@@ -129,6 +129,27 @@ diff "$surrogate_dir/t1.jsonl" "$surrogate_dir/t8.jsonl" \
   || { echo "surrogate smoke test FAILED: convergence depends on threads/workers" >&2; exit 1; }
 echo "surrogate OK: fig20 convergence byte-identical across 1/8 scoring threads and workers"
 
+echo "== sparse surrogate smoke test =="
+# The large-n inducing-subset path holds the same determinism contract:
+# (1) below its threshold the sparse policy is bitwise-invisible (asserted
+# in-process by --sparse-smoke), (2) the n=500 sparse posterior and EI
+# proposal are byte-identical at 1 vs 8 scoring threads, and (3) the
+# sparse fig20 trace is byte-identical across scoring threads AND sharding
+# workers — a different trace than exact, but equally deterministic.
+cargo run --release -q -p relm-bench --bin bench_export -- \
+  --sparse-smoke --smoke-threads 1 --smoke-out "$surrogate_dir/s1.jsonl" >/dev/null
+cargo run --release -q -p relm-bench --bin bench_export -- \
+  --sparse-smoke --smoke-threads 8 --smoke-out "$surrogate_dir/s8.jsonl" >/dev/null
+diff "$surrogate_dir/s1.jsonl" "$surrogate_dir/s8.jsonl" \
+  || { echo "sparse smoke test FAILED: n=500 sparse posterior depends on scoring threads" >&2; exit 1; }
+cargo run --release -q -p relm-experiments --bin fig20_convergence -- \
+  --sparse --scoring-threads 1 --workers 1 --out "$surrogate_dir/sp1.jsonl" >/dev/null
+cargo run --release -q -p relm-experiments --bin fig20_convergence -- \
+  --sparse --scoring-threads 8 --workers 8 --out "$surrogate_dir/sp8.jsonl" >/dev/null
+diff "$surrogate_dir/sp1.jsonl" "$surrogate_dir/sp8.jsonl" \
+  || { echo "sparse smoke test FAILED: sparse convergence depends on threads/workers" >&2; exit 1; }
+echo "sparse OK: n=500 posterior and sparse fig20 trace byte-identical across 1/8 threads and workers"
+
 echo "== warm-start smoke test =="
 # Cross-session memory end to end through the serving layer: a cold
 # session runs and drains (digest ingested into the store), then a
