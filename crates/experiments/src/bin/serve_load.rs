@@ -7,7 +7,32 @@
 //!            [--clients N] [--out PATH] [--checkpoint-dir PATH]
 //!            [--scrape] [--flightrec-dir PATH]
 //!            [--fleet N] [--fleet-kill K]
+//!            [--soak] [--evict-after N] [--evict-dir PATH]
+//!            [--min-workers N] [--max-workers N] [--slo-p99-ms F]
+//!            [--metrics-out PATH]
 //! ```
+//!
+//! `--soak` switches to an overload-and-recover schedule that exercises
+//! the heavy-traffic hardening end to end: clients run three barrier-
+//! separated phases — (A) drive the first half of the sessions to
+//! completion, (B) flood the second half so the evaluation-count epoch
+//! clock advances far enough that every phase-A session is evicted to
+//! its checkpoint (`--evict-after` epochs idle), then (C) collect
+//! `Result` for *every* session, transparently resuming the evicted
+//! ones. Sessions cycle priority classes (normal/high/low by index), so
+//! graduated admission pushes the low class back first while the
+//! deficit-weighted scheduler keeps high-priority work moving. With
+//! `--min-workers`/`--max-workers` the pool autoscales: it grows under
+//! the phase backlogs and retires back to the floor once the queue runs
+//! dry, which the binary waits for before draining. The run then
+//! reconciles exactly: zero lost sessions, `evictions == resumes >=
+//! sessions/2`, drain tallies equal to the `serve.evictions` /
+//! `serve.resumes` / `serve.autoscale.*` counters, per-class rejection
+//! counters summing to `serve.rejected.overloaded`, and (with
+//! `--slo-p99-ms`) the `serve.slo.latency_p99_ms` gauge within bound.
+//! The JSONL stays byte-identical to a plain run of the same
+//! `--sessions`/`--steps`: eviction, resume, and autoscaling never touch
+//! simulated history.
 //!
 //! `--fleet N` switches the service into fleet mode
 //! ([`relm_serve::Execution::External`]): no in-process evaluation pool;
@@ -58,14 +83,14 @@ use relm_faults::{FaultConfig, WorkerFaultConfig, WorkerFaultPlan};
 use relm_fleet::{run_worker, Center, MonitorConfig, WorkerConfig, WorkerExit, WorkerReport};
 use relm_obs::{parse_prometheus, read_dump, MetricsSnapshot, Obs};
 use relm_serve::{
-    Execution, Request, Response, ServeConfig, Service, SessionSpec, TcpClient, TcpServer,
+    Execution, Priority, Request, Response, ServeConfig, Service, SessionSpec, TcpClient, TcpServer,
 };
 use relm_tune::Observation;
 use serde::{Deserialize, Serialize};
 use std::io::Write;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 const WORKLOADS: [&str; 5] = ["WordCount", "SortByKey", "K-means", "SVM", "PageRank"];
@@ -84,8 +109,17 @@ struct SessionRecord {
 }
 
 /// The session spec for fleet index `i` — a pure function of `i`.
+/// Priority cycles through the classes (the faulty `i % 3 == 0` sessions
+/// land in the normal class), so every run exercises the deficit-weighted
+/// scheduler and graduated admission without touching simulated history.
 fn spec_for(i: u64) -> SessionSpec {
-    let mut spec = SessionSpec::named(WORKLOADS[(i % 5) as usize], 9000 + 23 * i);
+    let priority = match i % 3 {
+        0 => Priority::Normal,
+        1 => Priority::High,
+        _ => Priority::Low,
+    };
+    let mut spec =
+        SessionSpec::named(WORKLOADS[(i % 5) as usize], 9000 + 23 * i).with_priority(priority);
     if i.is_multiple_of(3) {
         spec = spec.with_faults(400 + i, FaultConfig::uniform(0.08));
     }
@@ -104,6 +138,13 @@ struct Args {
     flightrec_dir: Option<PathBuf>,
     fleet: usize,
     fleet_kill: usize,
+    soak: bool,
+    evict_after: usize,
+    evict_dir: Option<PathBuf>,
+    min_workers: usize,
+    max_workers: usize,
+    slo_p99_ms: f64,
+    metrics_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -119,6 +160,13 @@ fn parse_args() -> Args {
         flightrec_dir: None,
         fleet: 0,
         fleet_kill: 0,
+        soak: false,
+        evict_after: 0,
+        evict_dir: None,
+        min_workers: 0,
+        max_workers: 0,
+        slo_p99_ms: 0.0,
+        metrics_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -138,6 +186,13 @@ fn parse_args() -> Args {
             "--flightrec-dir" => args.flightrec_dir = Some(PathBuf::from(value())),
             "--fleet" => args.fleet = value().parse().expect("--fleet"),
             "--fleet-kill" => args.fleet_kill = value().parse().expect("--fleet-kill"),
+            "--soak" => args.soak = true,
+            "--evict-after" => args.evict_after = value().parse().expect("--evict-after"),
+            "--evict-dir" => args.evict_dir = Some(PathBuf::from(value())),
+            "--min-workers" => args.min_workers = value().parse().expect("--min-workers"),
+            "--max-workers" => args.max_workers = value().parse().expect("--max-workers"),
+            "--slo-p99-ms" => args.slo_p99_ms = value().parse().expect("--slo-p99-ms"),
+            "--metrics-out" => args.metrics_out = Some(PathBuf::from(value())),
             other => panic!("unknown flag {other}"),
         }
     }
@@ -150,6 +205,34 @@ fn parse_args() -> Args {
         args.fleet_kill == 0 || args.fleet_kill < args.fleet,
         "--fleet-kill needs at least one surviving worker (--fleet > K)"
     );
+    if args.soak {
+        assert!(args.guided == 0, "--soak drives sampled steps only");
+        assert!(args.fleet == 0, "--soak uses the in-process pool");
+        assert!(args.sessions >= 4, "--soak needs at least 4 sessions");
+        assert!(
+            args.evict_after > 0,
+            "--soak needs --evict-after (the idle epoch window)"
+        );
+        assert!(
+            args.evict_dir.is_some() || args.checkpoint_dir.is_some(),
+            "--soak needs --evict-dir (or --checkpoint-dir) for eviction checkpoints"
+        );
+        // Phase B must advance the epoch clock past the idle window for
+        // every phase-A session, or the eviction guarantee goes soft.
+        let phase_b_evals = (args.sessions - args.sessions / 2) as usize * args.steps as usize;
+        assert!(
+            args.evict_after <= phase_b_evals,
+            "--evict-after {} exceeds the phase-B epoch budget {phase_b_evals}",
+            args.evict_after
+        );
+        if args.max_workers > 0 {
+            assert!(
+                args.steps as usize > relm_serve::AUTOSCALE_BACKLOG_FACTOR,
+                "--soak autoscaling needs --steps > {} so one batch triggers growth",
+                relm_serve::AUTOSCALE_BACKLOG_FACTOR
+            );
+        }
+    }
     args
 }
 
@@ -289,9 +372,132 @@ fn drive_client(
     records
 }
 
+/// Creates session `index`, drives its sampled steps through admission
+/// pushback, and joins it idle. Returns the session's wire name.
+fn create_and_settle(conn: &mut TcpClient, index: u64, steps: u32) -> String {
+    let spec = spec_for(index);
+    let name = match conn
+        .request(&Request::CreateSession { spec })
+        .expect("create request")
+    {
+        Response::SessionCreated { session } => session,
+        other => panic!("create rejected: {other:?}"),
+    };
+    // Graduated admission pushes the low class back well before the
+    // global bound; retry until the batch lands whole.
+    loop {
+        match conn
+            .request(&Request::StepAuto {
+                session: name.clone(),
+                evals: steps,
+            })
+            .expect("step request")
+        {
+            Response::Accepted { enqueued, .. } => {
+                assert_eq!(enqueued, steps as usize);
+                break;
+            }
+            Response::Overloaded { .. } => {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            other => panic!("step rejected: {other:?}"),
+        }
+    }
+    match conn
+        .request(&Request::Join {
+            session: name.clone(),
+        })
+        .expect("join request")
+    {
+        Response::Status(status) => assert_eq!(status.completed, steps as usize),
+        other => panic!("join rejected: {other:?}"),
+    }
+    name
+}
+
+/// One soak client: phase A settles the first half of its sessions, phase
+/// B floods the second half (advancing the epoch clock so phase-A
+/// sessions evict), phase C collects every result — transparently
+/// resuming the evicted sessions. The barriers make the phases global, so
+/// the eviction guarantee holds for *all* phase-A sessions, not just this
+/// client's.
+fn drive_soak_client(
+    addr: std::net::SocketAddr,
+    client: usize,
+    clients: usize,
+    sessions: u64,
+    steps: u32,
+    barrier: &Barrier,
+) -> Vec<SessionRecord> {
+    let mut conn = TcpClient::connect(addr).expect("connect soak client");
+    let half = sessions / 2;
+    let own = |lo: u64, hi: u64| (lo..hi).filter(move |i| *i % clients as u64 == client as u64);
+    let mut names: Vec<(u64, String)> = Vec::new();
+    for index in own(0, half) {
+        names.push((index, create_and_settle(&mut conn, index, steps)));
+    }
+    barrier.wait();
+    for index in own(half, sessions) {
+        names.push((index, create_and_settle(&mut conn, index, steps)));
+    }
+    barrier.wait();
+    let mut records = Vec::new();
+    for (index, name) in names {
+        let spec = spec_for(index);
+        match conn
+            .request(&Request::Result {
+                session: name.clone(),
+            })
+            .expect("result request")
+        {
+            Response::ResultReady { history, .. } => {
+                assert_eq!(history.len(), steps as usize, "lost evaluations on {name}");
+                records.push(SessionRecord {
+                    index,
+                    workload: spec.workload.clone(),
+                    faulty: spec.faults.is_some(),
+                    evaluations: history.len(),
+                    censored: history.iter().filter(|o| o.is_censored()).count(),
+                    best_score_mins: history
+                        .iter()
+                        .map(|o| o.score_mins)
+                        .fold(f64::INFINITY, f64::min),
+                    history,
+                });
+            }
+            other => panic!("result rejected: {other:?}"),
+        }
+        // `Result` resumed the session if it was evicted: the status must
+        // show it live again with its full tally intact.
+        match conn
+            .request(&Request::Status {
+                session: name.clone(),
+            })
+            .expect("status request")
+        {
+            Response::Status(status) => {
+                assert!(!status.evicted, "{name} still evicted after Result");
+                assert_eq!(status.completed, steps as usize, "status drift on {name}");
+                assert_eq!(status.evalcache_hits, 0, "no cache configured");
+                assert!(status.queue_wait_ms >= 0.0);
+            }
+            other => panic!("status rejected: {other:?}"),
+        }
+    }
+    records
+}
+
 fn counter_of(snapshot: &MetricsSnapshot, name: &str) -> Option<f64> {
     snapshot
         .counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| *v)
+}
+
+fn gauge_of(snapshot: &MetricsSnapshot, name: &str) -> Option<f64> {
+    snapshot
+        .gauges
         .iter()
         .find(|(n, _)| n == name)
         .map(|(_, v)| *v)
@@ -350,6 +556,8 @@ fn main() {
     let service = Arc::new(Service::start(
         ServeConfig {
             workers: args.workers,
+            min_workers: args.min_workers,
+            max_workers: args.max_workers,
             execution: if args.fleet > 0 {
                 Execution::External
             } else {
@@ -359,6 +567,8 @@ fn main() {
             session_queue_limit: args.steps.max(args.guided) as usize,
             global_queue_limit: (args.steps as usize) * (args.sessions as usize).min(64),
             checkpoint_dir: args.checkpoint_dir.clone(),
+            evict_after_evals: args.evict_after,
+            evict_dir: args.evict_dir.clone(),
             flightrec_dir: args.flightrec_dir.clone(),
             ..ServeConfig::default()
         },
@@ -409,6 +619,7 @@ fn main() {
     });
 
     let started = Instant::now();
+    let phase_barrier = Arc::new(Barrier::new(args.clients));
     let threads: Vec<_> = (0..args.clients)
         .map(|c| {
             let (clients, sessions, steps, guided, fleet) = (
@@ -418,8 +629,14 @@ fn main() {
                 args.guided,
                 args.fleet > 0,
             );
+            let barrier = Arc::clone(&phase_barrier);
+            let soak = args.soak;
             std::thread::spawn(move || {
-                drive_client(addr, c, clients, sessions, steps, guided, fleet)
+                if soak {
+                    drive_soak_client(addr, c, clients, sessions, steps, &barrier)
+                } else {
+                    drive_client(addr, c, clients, sessions, steps, guided, fleet)
+                }
             })
         })
         .collect();
@@ -466,25 +683,62 @@ fn main() {
         .map(|t| t.join().expect("fleet worker thread panicked"))
         .collect();
 
+    // With autoscaling on, the pool must retire itself back to the floor
+    // now that the queue is dry — completion-edge driven, so it needs no
+    // further traffic, only time for the cascade.
+    let autoscale_floor = (args.max_workers > 0).then(|| args.min_workers.max(1));
+    if let Some(floor) = autoscale_floor {
+        let deadline = Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let alive = gauge_of(&obs.metrics_snapshot(), "serve.workers.alive").unwrap_or(0.0);
+            if alive as usize == floor {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "pool never retired to the floor: alive={alive}, floor={floor}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+
     // Graceful shutdown: every session checkpointed, nothing in flight.
     let mut admin = TcpClient::connect(addr).expect("connect admin client");
-    let (drained_sessions, drained_evals, checkpointed, flight_dumped, drained_reassignments) =
-        match admin.request(&Request::Drain).expect("drain request") {
-            Response::Drained {
-                sessions,
-                evaluations,
-                checkpointed,
-                flight_dumped,
-                reassignments,
-            } => (
-                sessions,
-                evaluations,
-                checkpointed,
-                flight_dumped,
-                reassignments,
-            ),
-            other => panic!("drain rejected: {other:?}"),
-        };
+    let drained = match admin.request(&Request::Drain).expect("drain request") {
+        Response::Drained {
+            sessions,
+            evaluations,
+            checkpointed,
+            flight_dumped,
+            reassignments,
+            evictions,
+            resumes,
+            workers_grown,
+            workers_shrunk,
+        } => (
+            sessions,
+            evaluations,
+            checkpointed,
+            flight_dumped,
+            reassignments,
+            evictions,
+            resumes,
+            workers_grown,
+            workers_shrunk,
+        ),
+        other => panic!("drain rejected: {other:?}"),
+    };
+    let (
+        drained_sessions,
+        drained_evals,
+        checkpointed,
+        flight_dumped,
+        drained_reassignments,
+        drained_evictions,
+        drained_resumes,
+        workers_grown,
+        workers_shrunk,
+    ) = drained;
     scrape_stop.store(true, Ordering::Relaxed);
     let scrapes = scraper.map(|t| t.join().expect("scraper panicked"));
 
@@ -504,6 +758,79 @@ fn main() {
     );
     if args.checkpoint_dir.is_some() {
         assert_eq!(checkpointed, args.sessions as usize, "missing checkpoints");
+    }
+
+    // Eviction/autoscale reconciliation: the drain tallies must equal the
+    // observability counters exactly, in every mode (both are zero when
+    // the features are off).
+    assert_eq!(
+        drained_evictions as f64,
+        obs.counter_value("serve.evictions"),
+        "drain tally and eviction counter disagree"
+    );
+    assert_eq!(
+        drained_resumes as f64,
+        obs.counter_value("serve.resumes"),
+        "drain tally and resume counter disagree"
+    );
+    assert_eq!(
+        workers_grown as f64,
+        obs.counter_value("serve.autoscale.grow"),
+        "drain tally and grow counter disagree"
+    );
+    assert_eq!(
+        workers_shrunk as f64,
+        obs.counter_value("serve.autoscale.shrink"),
+        "drain tally and shrink counter disagree"
+    );
+    assert_eq!(obs.counter_value("serve.evict_errors"), 0.0);
+    assert_eq!(obs.counter_value("serve.resume_errors"), 0.0);
+    // Every admission rejection lands in exactly one priority class.
+    let class_rejections: f64 = ["low", "normal", "high"]
+        .iter()
+        .map(|c| obs.counter_value(&format!("serve.rejected.overloaded.class.{c}")))
+        .sum();
+    assert_eq!(
+        class_rejections,
+        obs.counter_value("serve.rejected.overloaded"),
+        "per-class rejection counters don't sum to the global one"
+    );
+    if args.soak {
+        // Every phase-A session went idle long enough to evict, and every
+        // eviction was matched by exactly one transparent resume (phase C
+        // collected all results, so nothing stays checkpointed out).
+        let half = (args.sessions / 2) as usize;
+        assert!(
+            drained_evictions >= half,
+            "only {drained_evictions} evictions; every phase-A session ({half}) must evict"
+        );
+        assert!(
+            drained_evictions <= args.sessions as usize,
+            "more evictions than sessions"
+        );
+        assert_eq!(
+            drained_evictions, drained_resumes,
+            "evictions and resumes must pair up"
+        );
+        if let Some(floor) = autoscale_floor {
+            let ceiling = args.max_workers.max(floor);
+            let initial = args.workers.clamp(floor, ceiling);
+            assert!(workers_grown >= 1, "the pool never grew under backlog");
+            assert!(
+                workers_grown + initial <= ceiling + workers_shrunk,
+                "pool accounting exceeded the ceiling"
+            );
+            // The pre-drain poll saw the pool back at the floor, so the
+            // books must balance exactly: initial + grown - shrunk = floor.
+            assert_eq!(
+                initial + workers_grown - workers_shrunk,
+                floor,
+                "pool did not retire cleanly to the floor"
+            );
+        }
+    } else if args.evict_after == 0 {
+        assert_eq!(drained_evictions, 0, "evictions without an eviction window");
+        assert_eq!(drained_resumes, 0, "resumes without an eviction window");
     }
 
     // Fleet reconciliation: the drain tally, the counter, and the armed
@@ -588,6 +915,28 @@ fn main() {
         );
     }
 
+    // SLO gate: the windowed p99 latency gauge (fed by every completed
+    // evaluation, eviction/resume overhead included) must sit inside the
+    // configured bound now that the run is quiescent.
+    if args.slo_p99_ms > 0.0 {
+        let p99 = gauge_of(&final_snapshot, "serve.slo.latency_p99_ms")
+            .expect("SLO p99 gauge in final scrape");
+        assert!(
+            p99 <= args.slo_p99_ms,
+            "SLO violated: serve.slo.latency_p99_ms {p99:.3} > {:.3}",
+            args.slo_p99_ms
+        );
+    }
+
+    // The final snapshot to JSON, for the metrics-catalog drift test.
+    if let Some(path) = &args.metrics_out {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).expect("create metrics-out dir");
+        }
+        let json = serde_json::to_string_pretty(&final_snapshot).expect("snapshot serializes");
+        std::fs::write(path, json).expect("write metrics-out");
+    }
+
     // Flight recorder: the drain froze one readable, checksummed dump per
     // session, and the dump counter reconciles with the files on disk.
     if let Some(dir) = &args.flightrec_dir {
@@ -658,6 +1007,17 @@ fn main() {
         obs.counter_value("serve.rejected.malformed"),
         obs.counter_value("serve.rejected.oversized"),
     );
+    if args.soak {
+        println!(
+            "soak: evictions={drained_evictions} resumes={drained_resumes} \
+             grown={workers_grown} shrunk={workers_shrunk} \
+             pushback: low={} normal={} high={} slo_p99_ms={:.3}",
+            obs.counter_value("serve.rejected.overloaded.class.low"),
+            obs.counter_value("serve.rejected.overloaded.class.normal"),
+            obs.counter_value("serve.rejected.overloaded.class.high"),
+            gauge_of(&final_snapshot, "serve.slo.latency_p99_ms").unwrap_or(0.0),
+        );
+    }
     if let Some(center) = center {
         println!(
             "fleet: {} workers ({} armed to die), reassignments={}, \

@@ -11,7 +11,7 @@
 
 use std::collections::BTreeMap;
 
-use relm_serve::{EvalLease, FleetTask};
+use relm_serve::{EvalLease, FleetTask, Priority};
 use relm_tune::EvalKey;
 
 /// Where a task sits in its lifecycle.
@@ -35,6 +35,10 @@ struct TaskEntry {
     /// session env will look up on replay.
     key: EvalKey,
     session: String,
+    /// The owning session's scheduling class, snapshotted from the lease
+    /// so priorities survive external execution: assignment order prefers
+    /// higher classes exactly as the in-process pool runs them first.
+    priority: Priority,
     /// 0 on first assignment; +1 per reassignment.
     attempt: u32,
     state: TaskState,
@@ -63,6 +67,7 @@ impl TaskTable {
             TaskEntry {
                 key: lease.key,
                 session: lease.session.clone(),
+                priority: lease.priority,
                 lease: Some(lease),
                 attempt: 0,
                 state: TaskState::Queued,
@@ -71,11 +76,15 @@ impl TaskTable {
         id
     }
 
-    /// The lowest-id queued task, if any.
+    /// The next queued task: highest priority class first, then lowest
+    /// id (admission order) within a class — so priorities assigned by
+    /// the serving layer's deficit-weighted scheduler survive into fleet
+    /// assignment order.
     pub fn pop_queued(&self) -> Option<u64> {
         self.tasks
             .iter()
-            .find(|(_, e)| e.state == TaskState::Queued)
+            .filter(|(_, e)| e.state == TaskState::Queued)
+            .max_by_key(|(id, e)| (e.priority, std::cmp::Reverse(**id)))
             .map(|(id, _)| *id)
     }
 
@@ -217,6 +226,42 @@ mod tests {
         assert_eq!(table.outstanding(), 0);
         // Double-commit is impossible: the entry is gone.
         assert!(table.take_for_commit(id).is_none());
+    }
+
+    #[test]
+    fn queued_tasks_assign_in_priority_order() {
+        let config = ServeConfig {
+            execution: relm_serve::Execution::External,
+            ..ServeConfig::default()
+        };
+        let service = Service::start(config, relm_obs::Obs::disabled());
+        for priority in Priority::ALL {
+            let spec = SessionSpec::named("WordCount", 7).with_priority(priority);
+            let session = match service.handle(&relm_serve::Request::CreateSession { spec }) {
+                relm_serve::Response::SessionCreated { session } => session,
+                other => panic!("create failed: {other:?}"),
+            };
+            service.handle(&relm_serve::Request::StepAuto { session, evals: 1 });
+        }
+        let mut leases = Vec::new();
+        while let Some(lease) = service.lease_next() {
+            leases.push(lease);
+        }
+        assert_eq!(leases.len(), 3);
+        // Admit in worst-case order (low first) — assignment must still
+        // prefer the high-priority task, then normal, then low.
+        leases.sort_by_key(|l| l.priority);
+        let mut table = TaskTable::new();
+        let ids: Vec<u64> = leases.into_iter().map(|l| table.admit(l)).collect();
+        let expected = [ids[2], ids[1], ids[0]];
+        for id in expected {
+            let next = table.pop_queued().expect("queued task");
+            assert_eq!(next, id, "fleet assignment must follow priority");
+            table.assign(next, "w-0");
+            table.ack(next, "w-0");
+            table.take_for_commit(next);
+        }
+        assert_eq!(table.outstanding(), 0);
     }
 
     #[test]

@@ -13,15 +13,27 @@
 //!    [`relm_tune::TuningEnv`]; per-session FIFO ordering with at most one
 //!    in-flight evaluation per session makes every session's history a
 //!    pure function of its spec — byte-identical whether the pool runs 1
-//!    worker or 8, alone or beside 31 other sessions.
-//! 2. **Backpressure, not buffering.** Bounded pending queues per session
-//!    and globally; batches that would overflow are rejected whole with
-//!    [`Response::Overloaded`]. Frames over the configured bound are
-//!    rejected without being read.
-//! 3. **Graceful shutdown.** [`Request::Drain`] stops admission, runs the
-//!    accepted backlog dry, checkpoints every session via
-//!    [`relm_tune::SessionCheckpoint`], and stops the workers — zero lost
-//!    or duplicated evaluations.
+//!    worker or 8, fixed or autoscaled, alone or beside 31 other
+//!    sessions, evicted to checkpoint mid-run or resident throughout.
+//!    Priorities, scheduling weights, and residency decide *when* an
+//!    evaluation runs, never what it computes.
+//! 2. **Graduated backpressure, not buffering.** Sessions carry a
+//!    [`Priority`] class; a deficit-weighted round-robin serves the high
+//!    class ~4x as often as low under contention (never starving
+//!    anyone), and admission bounds each class to a share of the global
+//!    queue, so batches that would overflow are rejected whole with
+//!    [`Response::Overloaded`] — low-priority bulk traffic first. Frames
+//!    over the configured bound are rejected without being read.
+//! 3. **Elastic residency, graceful shutdown.** Idle sessions are
+//!    evicted to checkpoint on an evaluation-count epoch clock
+//!    ([`ServeConfig::evict_after_evals`]) and resumed transparently;
+//!    the worker pool autoscales between [`ServeConfig::min_workers`]
+//!    and [`ServeConfig::max_workers`] on queue depth. [`Request::Drain`]
+//!    stops admission, runs the accepted backlog dry, resumes anything
+//!    evicted, checkpoints every session via
+//!    [`relm_tune::SessionCheckpoint`], and stops the workers — zero
+//!    lost or duplicated evaluations, with the eviction/autoscale
+//!    tallies reconciled exactly in the drain report.
 //!
 //! Everything is instrumented through [`relm_obs`]: per-endpoint latency
 //! histograms (`serve.endpoint.*_ms`), queue-depth gauges
@@ -54,9 +66,12 @@ pub mod service;
 pub mod slo;
 
 pub use protocol::{
-    decode, encode, read_frame, EvalOutcome, FleetTask, FrameError, Request, Response, SessionSpec,
-    SessionStatus, DEFAULT_MAX_FRAME_BYTES,
+    decode, encode, read_frame, EvalOutcome, FleetTask, FrameError, Priority, Request, Response,
+    SessionSpec, SessionStatus, DEFAULT_MAX_FRAME_BYTES,
 };
 pub use server::{TcpClient, TcpServer};
-pub use service::{resolve_workload, EvalLease, Execution, FleetRouter, ServeConfig, Service};
+pub use service::{
+    resolve_workload, EvalLease, Execution, FleetRouter, ServeConfig, Service,
+    AUTOSCALE_BACKLOG_FACTOR,
+};
 pub use slo::SLO_EPOCH_EVALS;

@@ -25,6 +25,76 @@ use std::io::{BufRead, Read};
 /// order of magnitude of headroom over the largest legitimate frame.
 pub const DEFAULT_MAX_FRAME_BYTES: usize = 8 * 1024 * 1024;
 
+/// A session's scheduling class.
+///
+/// Priorities shape *where the queue bends first*, never *what a session
+/// computes*: the worker pool serves ready sessions through a
+/// deficit-weighted round-robin (high-priority sessions get proportionally
+/// more pulls per round, but every non-empty class makes progress each
+/// round), and admission control pushes low-priority work back first as
+/// the global queue fills. A session's history stays a pure function of
+/// its spec regardless of class — priorities only reorder *between*
+/// sessions, and within one session evaluations are always FIFO.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Priority {
+    /// Background work: first to be pushed back, fewest pulls per
+    /// scheduling round.
+    Low,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Latency-sensitive work: may use the full global queue and gets the
+    /// most pulls per scheduling round.
+    High,
+}
+
+impl Priority {
+    /// Every class, lowest to highest — index agrees with
+    /// [`Priority::index`].
+    pub const ALL: [Priority; 3] = [Priority::Low, Priority::Normal, Priority::High];
+
+    /// Dense index (`Low = 0`, `Normal = 1`, `High = 2`), used for
+    /// per-class queues and counters.
+    pub fn index(self) -> usize {
+        match self {
+            Priority::Low => 0,
+            Priority::Normal => 1,
+            Priority::High => 2,
+        }
+    }
+
+    /// Pulls per deficit-round-robin replenish: a round with every class
+    /// backlogged serves 4 high, 2 normal, and 1 low evaluation.
+    pub fn weight(self) -> u64 {
+        match self {
+            Priority::Low => 1,
+            Priority::Normal => 2,
+            Priority::High => 4,
+        }
+    }
+
+    /// The fraction of the global pending queue this class may fill
+    /// before its steps are rejected: low-priority work is pushed back at
+    /// half the queue, normal at three quarters, high may use all of it.
+    pub fn admission_share(self) -> f64 {
+        match self {
+            Priority::Low => 0.5,
+            Priority::Normal => 0.75,
+            Priority::High => 1.0,
+        }
+    }
+
+    /// Stable lowercase label, used in metric names
+    /// (`serve.queue.class.<label>`, …) and overload reasons.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        }
+    }
+}
+
 /// What a session tunes: the application, the seed chain, and the
 /// substrate faults it runs against.
 ///
@@ -62,6 +132,10 @@ pub struct SessionSpec {
     /// observations. A retrieval miss (empty store, unknown workload)
     /// degrades to a cold start; it never fails the request.
     pub warm_start: bool,
+    /// Scheduling class (see [`Priority`]). Affects only *when* the
+    /// session's evaluations run and how early its steps see overload
+    /// pushback — never what they compute.
+    pub priority: Priority,
 }
 
 impl SessionSpec {
@@ -76,6 +150,7 @@ impl SessionSpec {
             retry: None,
             use_cache: false,
             warm_start: false,
+            priority: Priority::Normal,
         }
     }
 
@@ -95,6 +170,12 @@ impl SessionSpec {
     /// Opts into warm-starting from the service's memory store.
     pub fn with_warm_start(mut self) -> Self {
         self.warm_start = true;
+        self
+    }
+
+    /// Sets the scheduling class (default [`Priority::Normal`]).
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
         self
     }
 }
@@ -181,6 +262,13 @@ pub enum Request {
     /// Discards the session's pending evaluations. The in-flight
     /// evaluation (if any) completes; completed history is kept.
     Cancel { session: String },
+    /// Checkpoints the session to the eviction directory and unloads its
+    /// environment — the operator-initiated form of the idle-session
+    /// eviction the service performs on its own epoch policy. Requires an
+    /// idle session; the session transparently resumes from the
+    /// checkpoint on its next evaluation-bearing request. Answered with
+    /// [`Response::Evicted`] (idempotent on an already-evicted session).
+    Evict { session: String },
     /// Graceful shutdown: stop admitting work, run every already-accepted
     /// evaluation to completion, checkpoint every session, dump every
     /// session's flight recorder, stop the workers, and report the tally.
@@ -233,6 +321,7 @@ impl Request {
             Request::Join { .. } => "join",
             Request::Result { .. } => "result",
             Request::Cancel { .. } => "cancel",
+            Request::Evict { .. } => "evict",
             Request::Drain => "drain",
             Request::Metrics => "metrics",
             Request::Trace { .. } => "trace",
@@ -256,6 +345,7 @@ impl Request {
             | Request::Join { session }
             | Request::Result { session }
             | Request::Cancel { session }
+            | Request::Evict { session }
             | Request::Trace { session }
             | Request::Dump { session } => Some(session),
             Request::Ping
@@ -274,6 +364,12 @@ impl Request {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SessionStatus {
     pub session: String,
+    /// The session's scheduling class.
+    pub priority: Priority,
+    /// Whether the session is currently evicted to its checkpoint (its
+    /// environment is unloaded; the next evaluation-bearing request
+    /// resumes it transparently).
+    pub evicted: bool,
     /// Evaluations accepted but not yet started.
     pub pending: usize,
     /// Whether an evaluation is on a worker right now.
@@ -321,6 +417,12 @@ pub enum Response {
         session: String,
         discarded: usize,
     },
+    /// Reply to [`Request::Evict`]: the session's state now lives in the
+    /// checkpoint at `path` and its environment is unloaded.
+    Evicted {
+        session: String,
+        path: String,
+    },
     Drained {
         sessions: usize,
         evaluations: usize,
@@ -333,6 +435,19 @@ pub enum Response {
         /// against `fleet.reassignments` — every reassigned task must
         /// have been run dry, not dropped.
         reassignments: usize,
+        /// Idle-session evictions over the service's lifetime. After a
+        /// drain every evicted session has been resumed (histories are
+        /// final and checkpointed), so `evictions == resumes` here — the
+        /// reconciliation `serve_load --soak` asserts.
+        evictions: usize,
+        /// Evicted-session resumes over the service's lifetime.
+        resumes: usize,
+        /// Worker threads the autoscaler added over the service's
+        /// lifetime (0 with a fixed pool).
+        workers_grown: usize,
+        /// Worker threads the autoscaler retired over the service's
+        /// lifetime (0 with a fixed pool).
+        workers_shrunk: usize,
     },
     /// Reply to [`Request::Metrics`]: the snapshot and its Prometheus
     /// text rendering, produced from the *same* capture so the two can
@@ -407,6 +522,7 @@ impl Response {
             Response::Status(_) => "status",
             Response::ResultReady { .. } => "result_ready",
             Response::Cancelled { .. } => "cancelled",
+            Response::Evicted { .. } => "evicted",
             Response::Drained { .. } => "drained",
             Response::Metrics { .. } => "metrics",
             Response::Trace { .. } => "trace",
@@ -503,6 +619,12 @@ mod tests {
             Request::StepGuided {
                 session: "s-1".into(),
                 evals: 2,
+            },
+            Request::CreateSession {
+                spec: SessionSpec::named("SVM", 3).with_priority(Priority::High),
+            },
+            Request::Evict {
+                session: "s-2".into(),
             },
             Request::Drain,
         ];

@@ -5,12 +5,22 @@
 //!
 //! Each session owns its own [`TuningEnv`] (engine clone, seed chain,
 //! history). Work arrives as per-session FIFO queues of configurations to
-//! evaluate. A *ready queue* of session ids round-robins across sessions:
-//! a worker pops the front session, takes its environment, runs exactly
-//! one evaluation, puts the environment back, and re-enqueues the session
-//! at the back if it still has pending work. At most one evaluation of a
-//! given session is ever in flight, so a session's history is produced by
-//! a serial program — which is the whole determinism argument:
+//! evaluate. Ready sessions wait in one queue per [`Priority`] class, and
+//! workers pull through a *deficit-weighted round-robin*: each replenish
+//! round grants every backlogged class its weight in pulls (4 high, 2
+//! normal, 1 low), higher classes spend their credit first, and a class
+//! that runs dry forfeits the rest of its round. High-priority sessions
+//! therefore see proportionally less queueing under load, while every
+//! backlogged class still progresses every round — weighted fairness, not
+//! strict priority, so a low-priority session can be slowed but never
+//! starved. Within a class, sessions round-robin FIFO exactly as before.
+//!
+//! A worker pops the next scheduled session, takes its environment, runs
+//! exactly one evaluation, puts the environment back, and re-enqueues the
+//! session at the back of its class if it still has pending work. At most
+//! one evaluation of a given session is ever in flight, so a session's
+//! history is produced by a serial program — which is the whole
+//! determinism argument:
 //!
 //! * the seed chain advances inside the session's own `TuningEnv`,
 //! * fault injection is site-addressed (pure function of plan seed +
@@ -18,17 +28,50 @@
 //! * no evaluation reads anything outside its session.
 //!
 //! Therefore a session's observation history is **byte-identical** whether
-//! the pool has 1 worker or 8, and whatever other sessions run next to it.
+//! the pool has 1 worker or 8, whatever other sessions run next to it, and
+//! whatever its priority class — scheduling decides *when* an evaluation
+//! runs, never *what it computes*.
 //!
 //! ## Backpressure
 //!
-//! Admission control is explicit: a bounded pending queue per session and
-//! a global bound across sessions. A step that would overflow either bound
-//! is rejected whole with [`Response::Overloaded`] — the service never
-//! buffers without bound, and the client learns the queue depths that
-//! triggered the rejection.
+//! Admission control is explicit: a bounded pending queue per session,
+//! plus *per-class* shares of the global bound
+//! ([`Priority::admission_share`]): low-priority steps are rejected once
+//! the global queue is half full, normal at three quarters, high may fill
+//! it completely. Under sustained overload the service thus degrades in
+//! priority order — low-priority clients see [`Response::Overloaded`]
+//! first while high-priority traffic still lands — and it never buffers
+//! without bound. A rejected batch is rejected whole, and the client
+//! learns the queue depths that triggered the rejection.
+//!
+//! ## Idle-session eviction
+//!
+//! A session that sits idle while others work is a memory liability, not
+//! a correctness hazard — so when [`ServeConfig::evict_after_evals`] is
+//! set, the service checkpoints idle sessions via the proven
+//! [`SessionCheckpoint`] path and unloads their environments. The idle
+//! clock is *evaluation-count epochs*, never wall time: a session is cold
+//! once `evict_after_evals` service-wide completions have passed since it
+//! last finished one. An evicted session resumes transparently from its
+//! checkpoint on the next request that needs its environment; the guided
+//! proposal state is rebuilt by replaying the exact fit schedule, so
+//! histories and proposals stay byte-identical across any number of
+//! evict/resume cycles (`serve.evictions` / `serve.resumes` count them).
+//!
+//! ## Autoscaling
+//!
+//! With [`ServeConfig::min_workers`]/[`ServeConfig::max_workers`] set,
+//! the in-process pool resizes itself from the same queue-depth signal
+//! the gauges export: admission grows the pool while the backlog exceeds
+//! [`AUTOSCALE_BACKLOG_FACTOR`] pending evaluations per live worker, and
+//! an idle worker retires itself once the queue is empty, down to
+//! `min_workers`. Scaling is event-driven (admission and completion
+//! edges), so the deterministic path stays wall-clock free — worker count
+//! never affects histories, only wall-clock latency.
 
-use crate::protocol::{Request, Response, SessionSpec, SessionStatus, DEFAULT_MAX_FRAME_BYTES};
+use crate::protocol::{
+    Priority, Request, Response, SessionSpec, SessionStatus, DEFAULT_MAX_FRAME_BYTES,
+};
 use crate::slo::SloTracker;
 use relm_app::{AppSpec, Engine, EngineCostModel};
 use relm_cluster::ClusterSpec;
@@ -39,11 +82,12 @@ use relm_obs::{trace, FlightEvent, FlightRecorder, Obs, DEFAULT_FLIGHT_CAPACITY}
 use relm_surrogate::{maximize_ei_threaded, GpFitter, SparsePolicy};
 use relm_tune::space::DIMS;
 use relm_tune::{
-    recommendation, session_export, CachedEval, ConfigSpace, EvalKey, RetryPolicy,
+    recommendation, session_export, CachedEval, ConfigSpace, EvalKey, Observation, RetryPolicy,
     SessionCheckpoint, TuningEnv,
 };
 use std::collections::{BTreeMap, VecDeque};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -67,8 +111,24 @@ pub enum Execution {
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Worker threads evaluating configurations. At least 1 (ignored in
-    /// [`Execution::External`] mode, which spawns none).
+    /// [`Execution::External`] mode, which spawns none). With autoscaling
+    /// enabled this is the *initial* pool size, clamped into
+    /// [`min_workers`, `max_workers`].
+    ///
+    /// [`min_workers`]: ServeConfig::min_workers
+    /// [`max_workers`]: ServeConfig::max_workers
     pub workers: usize,
+    /// Autoscale floor: idle workers retire themselves down to this many
+    /// once the queue drains (effective floor is at least 1). Only
+    /// meaningful when [`max_workers`](ServeConfig::max_workers) enables
+    /// autoscaling.
+    pub min_workers: usize,
+    /// Autoscale ceiling: `0` (the default) disables autoscaling and
+    /// keeps the fixed pool of [`workers`](ServeConfig::workers). When
+    /// set, admission grows the pool toward this bound while the backlog
+    /// exceeds [`AUTOSCALE_BACKLOG_FACTOR`] pending evaluations per live
+    /// worker. Ignored in [`Execution::External`] mode.
+    pub max_workers: usize,
     /// Maximum registered sessions.
     pub max_sessions: usize,
     /// Pending-evaluation bound per session.
@@ -80,6 +140,19 @@ pub struct ServeConfig {
     /// Where `Drain` writes one `SessionCheckpoint` per session; `None`
     /// skips checkpointing.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Idle-session eviction threshold, in service-wide completed
+    /// evaluations (an evaluation-count epoch clock — never wall time, so
+    /// the deterministic path stays deterministic): a session that
+    /// completed work but has seen `evict_after_evals` other completions
+    /// since its own last one is checkpointed to disk and its environment
+    /// unloaded. `0` (the default) disables eviction sweeps; explicit
+    /// [`Request::Evict`] still works whenever an eviction directory is
+    /// configured.
+    pub evict_after_evals: usize,
+    /// Where eviction checkpoints (`<session>.evict.json`) land. `None`
+    /// falls back to [`checkpoint_dir`](ServeConfig::checkpoint_dir);
+    /// with neither set, eviction is disabled.
+    pub evict_dir: Option<PathBuf>,
     /// Where flight-recorder dumps land (`results/flightrec/` by
     /// convention): one per faulted evaluation, one per session on
     /// `Drain`, one per explicit `Dump` request. `None` disables dumping
@@ -109,17 +182,40 @@ impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             workers: 4,
+            min_workers: 0,
+            max_workers: 0,
             max_sessions: 64,
             session_queue_limit: 32,
             global_queue_limit: 256,
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             checkpoint_dir: None,
+            evict_after_evals: 0,
+            evict_dir: None,
             flightrec_dir: None,
             memory_store: None,
             execution: Execution::InProcess,
             conn_idle_timeout: Some(Duration::from_secs(600)),
             max_prior_obs: relm_memory::DEFAULT_PRIOR_BUDGET,
         }
+    }
+}
+
+impl ServeConfig {
+    /// The effective autoscale range `(floor, ceiling)`, or `None` when
+    /// autoscaling is off (`max_workers == 0`, or fleet mode — an
+    /// external fleet scales by registering workers, not threads).
+    pub fn autoscale(&self) -> Option<(usize, usize)> {
+        if self.max_workers == 0 || self.execution == Execution::External {
+            return None;
+        }
+        let floor = self.min_workers.max(1);
+        Some((floor, self.max_workers.max(floor)))
+    }
+
+    /// Where eviction checkpoints live: `evict_dir`, falling back to
+    /// `checkpoint_dir`. `None` disables eviction entirely.
+    fn evict_dir(&self) -> Option<&PathBuf> {
+        self.evict_dir.as_ref().or(self.checkpoint_dir.as_ref())
     }
 }
 
@@ -173,6 +269,12 @@ pub struct EvalLease {
     pub retry: RetryPolicy,
     /// The session's seeded fault plan, if any.
     pub faults: Option<FaultPlan>,
+    /// The session's scheduling class. The fleet center's task table
+    /// orders queued tasks by it, so priorities survive
+    /// [`Execution::External`] leasing — a remote fleet assigns
+    /// high-priority work first exactly as the in-process pool runs it
+    /// first.
+    pub priority: Priority,
     /// Trace context of the admitting request, restored at commit.
     trace: u64,
     /// Telemetry-clock enqueue timestamp, for the queue-wait span.
@@ -194,6 +296,10 @@ const GUIDED_SCORING_THREADS: usize = 2;
 /// Nearest past sessions a warm-started session retrieves from the
 /// memory store.
 const MEMORY_RETRIEVE_K: usize = 3;
+/// Autoscale growth trigger: admission spawns another worker while the
+/// global backlog exceeds this many pending evaluations per live worker
+/// (and the pool is below [`ServeConfig::max_workers`]).
+pub const AUTOSCALE_BACKLOG_FACTOR: usize = 2;
 
 /// Deterministic GP proposal state behind `StepGuided`.
 ///
@@ -213,6 +319,24 @@ struct GuidedState {
     /// holds prior observations that are not part of this session's
     /// history.
     fed: usize,
+    /// The fit schedule: `feeds[i]` is how much history the fitter had
+    /// ingested when fit `i` ran. An evicted session's fitter is rebuilt
+    /// by replaying exactly this schedule ([`rebuild_guided`]), which
+    /// reproduces the full-vs-incremental refit sequence — and therefore
+    /// the proposal stream — bit for bit.
+    feeds: Vec<usize>,
+}
+
+/// What survives of a [`GuidedState`] across eviction: the fitter (the
+/// memory-heavy part — Gram matrices and Cholesky factors) is dropped and
+/// rebuilt at resume by replaying the recorded fit schedule against the
+/// resumed history; the RNG and schedule carry over verbatim, so the
+/// proposal stream continues bit-identically.
+#[derive(Clone)]
+struct FrozenGuided {
+    rng: Rng,
+    fits: usize,
+    feeds: Vec<usize>,
 }
 
 /// One admitted evaluation waiting in a session's FIFO, carrying the
@@ -233,9 +357,29 @@ struct QueuedEval {
 /// One registered tuning session.
 struct Session {
     name: String,
-    /// The environment, absent exactly while one of its evaluations is on
-    /// a worker.
+    /// The creating spec, retained so an evicted session's engine can be
+    /// rebuilt at resume exactly as `create_session` built it.
+    spec: SessionSpec,
+    /// Scheduling class: decides *when* this session's evaluations run
+    /// and how soon it sees `Overloaded` pushback — never what its
+    /// evaluations compute.
+    priority: Priority,
+    /// The environment, absent while one of its evaluations is on a
+    /// worker — or while the session is evicted to disk.
     env: Option<TuningEnv>,
+    /// Whether the environment currently lives on disk as an eviction
+    /// checkpoint (`<name>.evict.json`) instead of in memory.
+    evicted: bool,
+    /// Eviction clock: the service-wide evaluation count when this
+    /// session last completed an evaluation.
+    last_active: usize,
+    /// Guided-proposal bookkeeping of an evicted session, enough to
+    /// rebuild the fitter bit-identically at resume.
+    frozen_guided: Option<FrozenGuided>,
+    /// Evaluation-cache hits accrued before the last eviction
+    /// ([`TuningEnv::restore`] resets the live counter), keeping the
+    /// status mirror monotone across evict/resume cycles.
+    evalcache_hits_base: u64,
     /// Deterministic sampler behind `StepAuto` — a pure function of the
     /// session spec, never of request timing.
     sampler: Rng,
@@ -285,6 +429,8 @@ impl Session {
     fn status(&self) -> SessionStatus {
         SessionStatus {
             session: self.name.clone(),
+            priority: self.priority,
+            evicted: self.evicted,
             pending: self.pending.len(),
             running: self.running,
             completed: self.completed,
@@ -302,14 +448,31 @@ impl Session {
 /// Mutable service state behind the lock.
 struct State {
     sessions: BTreeMap<String, Session>,
-    /// Round-robin queue of sessions with pending work and an idle
-    /// environment.
-    ready: VecDeque<String>,
+    /// Ready sessions (pending work, idle environment), one FIFO queue
+    /// per priority class, indexed by [`Priority::index`]. Workers pull
+    /// through the deficit-weighted round-robin in [`State::pop_ready`].
+    ready: [VecDeque<String>; 3],
+    /// Remaining scheduling credit per class in the current DWRR round.
+    credit: [u64; 3],
     global_pending: usize,
+    /// Pending evaluations per priority class, indexed by
+    /// [`Priority::index`] — the `serve.queue.class.*` gauges.
+    pending_by_class: [usize; 3],
     /// Evaluations currently on workers.
     running: usize,
-    /// Total evaluations completed across all sessions (lifetime).
+    /// Live in-process worker threads (`serve.workers.alive`). Moves only
+    /// under autoscaling; otherwise fixed at the configured pool size.
+    alive_workers: usize,
+    /// Total evaluations completed across all sessions (lifetime) — also
+    /// the eviction epoch clock.
     evaluations: usize,
+    /// Lifetime eviction/resume/autoscale tallies, mirrored by the
+    /// `serve.evictions` / `serve.resumes` / `serve.autoscale.*` counters
+    /// and reported by `Drain` so scrapes reconcile exactly.
+    evictions: usize,
+    resumes: usize,
+    grown: usize,
+    shrunk: usize,
     draining: bool,
     stopped: bool,
     /// Test hook: workers leave the ready queue untouched while paused,
@@ -319,6 +482,44 @@ struct State {
     /// Sequence for requests that address no session (ping, drain,
     /// metrics, create); their trace ids derive from `"service"` + this.
     next_trace: u64,
+}
+
+impl State {
+    /// Picks the next session to run by deficit-weighted round-robin.
+    ///
+    /// Each round grants every backlogged class its
+    /// [`Priority::weight`] in pulls; higher classes spend their credit
+    /// first, a class that runs dry forfeits the rest of its round, and
+    /// the round replenishes once no backlogged class has credit left.
+    /// Within a class, sessions rotate FIFO — with a single class in
+    /// play this degenerates to exactly the old fair round-robin.
+    fn pop_ready(&mut self) -> Option<String> {
+        if self.ready.iter().all(|q| q.is_empty()) {
+            return None;
+        }
+        loop {
+            for cls in (0..self.ready.len()).rev() {
+                if self.credit[cls] == 0 {
+                    continue;
+                }
+                if let Some(name) = self.ready[cls].pop_front() {
+                    self.credit[cls] -= 1;
+                    return Some(name);
+                }
+                // Ran dry mid-round: forfeit, don't bank credit.
+                self.credit[cls] = 0;
+            }
+            // No creditable class has work: start a new round.
+            for p in Priority::ALL {
+                let cls = p.index();
+                self.credit[cls] = if self.ready[cls].is_empty() {
+                    0
+                } else {
+                    p.weight()
+                };
+            }
+        }
+    }
 }
 
 struct Shared {
@@ -343,6 +544,14 @@ struct Shared {
     /// held together with the state lock — retrieval happens before
     /// session registration, ingest after the drain tally settles.
     memory: Mutex<Option<MemoryStore>>,
+    /// Join handles of every worker thread ever spawned (autoscaling
+    /// spawns more after startup), drained on shutdown. Lock-ordering
+    /// rule: only ever acquired while holding — or after releasing — the
+    /// state lock, never the other way around.
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Monotone worker-name sequence, so autoscaled threads get distinct
+    /// `relm-serve-worker-<n>` names.
+    next_worker: AtomicUsize,
 }
 
 impl Shared {
@@ -352,6 +561,14 @@ impl Shared {
         self.obs
             .gauge("serve.sessions.active", state.sessions.len() as f64);
         self.obs.gauge("serve.workers.busy", state.running as f64);
+        self.obs
+            .gauge("serve.workers.alive", state.alive_workers as f64);
+        for p in Priority::ALL {
+            self.obs.gauge(
+                &format!("serve.queue.class.{}", p.as_str()),
+                state.pending_by_class[p.index()] as f64,
+            );
+        }
     }
 }
 
@@ -359,7 +576,6 @@ impl Shared {
 /// dropping the last handle stops and joins the worker pool.
 pub struct Service {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
 }
 
 impl Service {
@@ -387,10 +603,17 @@ impl Service {
             cache,
             state: Mutex::new(State {
                 sessions: BTreeMap::new(),
-                ready: VecDeque::new(),
+                ready: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+                credit: [0; 3],
                 global_pending: 0,
+                pending_by_class: [0; 3],
                 running: 0,
+                alive_workers: 0,
                 evaluations: 0,
+                evictions: 0,
+                resumes: 0,
+                grown: 0,
+                shrunk: 0,
                 draining: false,
                 stopped: false,
                 paused: false,
@@ -402,22 +625,27 @@ impl Service {
             done: Condvar::new(),
             router: Mutex::new(None),
             memory: Mutex::new(memory),
+            handles: Mutex::new(Vec::new()),
+            next_worker: AtomicUsize::new(0),
         });
-        let workers = match shared.config.execution {
+        let initial = match shared.config.execution {
             // Fleet mode: evaluations leave through `lease_next`, not an
             // in-process pool.
-            Execution::External => Vec::new(),
-            Execution::InProcess => (0..shared.config.workers)
-                .map(|i| {
-                    let shared = Arc::clone(&shared);
-                    std::thread::Builder::new()
-                        .name(format!("relm-serve-worker-{i}"))
-                        .spawn(move || worker_loop(&shared))
-                        .expect("spawn worker thread")
-                })
-                .collect(),
+            Execution::External => 0,
+            Execution::InProcess => match shared.config.autoscale() {
+                Some((floor, ceiling)) => shared.config.workers.clamp(floor, ceiling),
+                None => shared.config.workers,
+            },
         };
-        Service { shared, workers }
+        {
+            let mut state = shared.state.lock().expect("service state poisoned");
+            state.alive_workers = initial;
+            shared.refresh_gauges(&state);
+        }
+        for _ in 0..initial {
+            spawn_worker(&shared);
+        }
+        Service { shared }
     }
 
     /// Attaches the fleet center. Fleet-protocol requests route to it;
@@ -548,6 +776,7 @@ impl Service {
             Request::Join { session } => self.join(session),
             Request::Result { session } => self.result(session),
             Request::Cancel { session } => self.cancel(session),
+            Request::Evict { session } => self.evict(session),
             Request::Drain => self.drain(),
             Request::Metrics => self.metrics(),
             Request::Trace { session } => self.trace_ring(session),
@@ -620,33 +849,8 @@ impl Service {
         }
     }
 
-    /// Builds the per-session engine + environment from a spec.
-    fn build_env(&self, spec: &SessionSpec) -> Result<TuningEnv, String> {
-        let app = match &spec.app {
-            Some(app) => app.clone(),
-            None => resolve_workload(&spec.workload)
-                .ok_or_else(|| format!("unknown workload `{}`", spec.workload))?,
-        };
-        let mut engine = Engine::new(ClusterSpec::cluster_a()).with_obs(self.shared.obs.clone());
-        if let (Some(seed), Some(faults)) = (spec.fault_seed, spec.faults) {
-            engine = engine.with_faults(FaultPlan::new(seed, faults));
-        }
-        let mut env = TuningEnv::new(engine, app, spec.base_seed);
-        if let Some(retry) = spec.retry {
-            env = env.with_retry_policy(retry);
-        }
-        if spec.use_cache || self.shared.config.execution == Execution::External {
-            // Fleet mode rides on the cache unconditionally: remote
-            // outcomes land in the shared cache and commit by *replaying*
-            // through the session's environment — the same path a warm
-            // local run takes, proven byte-identical to a live one.
-            env = env.with_cache(self.shared.cache.clone());
-        }
-        Ok(env)
-    }
-
     fn create_session(&self, spec: &SessionSpec) -> Response {
-        let env = match self.build_env(spec) {
+        let env = match build_env(&self.shared, spec) {
             Ok(env) => env,
             Err(message) => return Response::Error { message },
         };
@@ -723,7 +927,13 @@ impl Service {
             name.clone(),
             Session {
                 name: name.clone(),
+                spec: spec.clone(),
+                priority: spec.priority,
                 env: Some(env),
+                evicted: false,
+                last_active: 0,
+                frozen_guided: None,
+                evalcache_hits_base: 0,
                 sampler,
                 space,
                 guided: None,
@@ -769,7 +979,7 @@ impl Service {
     /// under one lock acquisition so the history it fitted on cannot move).
     /// The caller notifies `work` after releasing the lock on acceptance.
     fn admit_locked(
-        shared: &Shared,
+        shared: &Arc<Shared>,
         state: &mut State,
         session: &str,
         configs: Vec<MemoryConfig>,
@@ -799,9 +1009,24 @@ impl Service {
                 global_pending,
             };
         }
-        if global_pending + configs.len() > global_limit {
+        // Graduated global gate: each class may fill only its share of
+        // the global bound, so under sustained overload low-priority
+        // traffic sees pushback first and high-priority steps still land
+        // until the queue is truly full.
+        let priority = sess.priority;
+        let class_limit = ((global_limit as f64) * priority.admission_share()).floor() as usize;
+        let class_limit = class_limit.max(1);
+        if global_pending + configs.len() > class_limit {
+            shared.obs.inc(&format!(
+                "serve.rejected.overloaded.class.{}",
+                priority.as_str()
+            ));
             return Response::Overloaded {
-                reason: format!("global queue limit ({global_limit}) exceeded"),
+                reason: format!(
+                    "global queue limit for {}-priority steps \
+                     ({class_limit} of {global_limit}) exceeded",
+                    priority.as_str()
+                ),
                 session_pending: sess.pending.len(),
                 global_pending,
             };
@@ -824,11 +1049,26 @@ impl Service {
         if became_ready {
             sess.queued = true;
         }
+        let name = sess.name.clone();
+        let cls = priority.index();
         if became_ready {
-            let name = sess.name.clone();
-            state.ready.push_back(name);
+            state.ready[cls].push_back(name);
         }
         state.global_pending += enqueued;
+        state.pending_by_class[cls] += enqueued;
+        // Autoscale growth rides on admission (the only edge where the
+        // backlog rises): spawn while the queue holds more than
+        // AUTOSCALE_BACKLOG_FACTOR pending evaluations per live worker.
+        if let Some((_floor, ceiling)) = shared.config.autoscale() {
+            while state.alive_workers < ceiling
+                && state.global_pending > state.alive_workers * AUTOSCALE_BACKLOG_FACTOR
+            {
+                spawn_worker(shared);
+                state.alive_workers += 1;
+                state.grown += 1;
+                shared.obs.inc("serve.autoscale.grow");
+            }
+        }
         shared.obs.add("serve.enqueued", enqueued as f64);
         shared.refresh_gauges(state);
         Response::Accepted {
@@ -917,6 +1157,14 @@ impl Service {
                 message: "service is draining".into(),
             };
         }
+        // An evicted session must come home before the fitter can see its
+        // history. Cheap no-op for live sessions; the idle/cancelled
+        // checks below still run against the resumed state.
+        if state.sessions.get(session).is_some_and(|s| s.evicted) {
+            if let Err(message) = resume_session(shared, &mut state, session) {
+                return Response::Error { message };
+            }
+        }
         let (mut guided, space, tau, guided_seed, incumbent) = {
             let Some(sess) = state.sessions.get_mut(session) else {
                 return Response::Error {
@@ -973,6 +1221,7 @@ impl Service {
                         rng: Rng::new(sess.guided_seed),
                         fits: 0,
                         fed: 0,
+                        feeds: Vec::new(),
                     }
                 }
             };
@@ -1024,6 +1273,7 @@ impl Service {
             }
         };
         guided.fits += 1;
+        guided.feeds.push(guided.fed);
         shared.obs.record(
             "surrogate.fit_ms",
             fit_started.elapsed().as_secs_f64() * 1e3,
@@ -1125,8 +1375,21 @@ impl Service {
                 }
             }
         }
+        // An evicted session's history lives on disk: bring it home
+        // before exporting. A live session passes straight through.
+        if state.sessions.get(session).is_some_and(|s| s.evicted) {
+            if let Err(message) = resume_session(&self.shared, &mut state, session) {
+                return Response::Error { message };
+            }
+        }
         let sess = state.sessions.get(session).expect("checked above");
-        let env = sess.env.as_ref().expect("idle session owns its env");
+        let Some(env) = sess.env.as_ref() else {
+            // Only a session whose eviction resume failed permanently
+            // (and was failed like a cancel) lacks its environment here.
+            return Response::Error {
+                message: format!("session `{session}` lost its environment"),
+            };
+        };
         let Some(best) = env.best() else {
             return Response::Error {
                 message: format!("session `{session}` has no completed evaluations"),
@@ -1153,8 +1416,10 @@ impl Service {
         sess.cancelled = true;
         sess.queued = false;
         let name = sess.name.clone();
-        state.ready.retain(|s| *s != name);
+        let cls = sess.priority.index();
+        state.ready[cls].retain(|s| *s != name);
         state.global_pending -= discarded;
+        state.pending_by_class[cls] -= discarded;
         shared.obs.inc("serve.sessions.cancelled");
         shared.obs.add("serve.discarded", discarded as f64);
         shared.refresh_gauges(&state);
@@ -1163,6 +1428,26 @@ impl Service {
         Response::Cancelled {
             session: session.to_string(),
             discarded,
+        }
+    }
+
+    /// Explicit operator eviction ([`Request::Evict`]): checkpoint an
+    /// idle session to disk and unload its environment. The automatic
+    /// sweep ([`ServeConfig::evict_after_evals`]) takes the same path.
+    fn evict(&self, session: &str) -> Response {
+        let shared = &self.shared;
+        let mut state = shared.state.lock().expect("service state poisoned");
+        if state.draining || state.stopped {
+            return Response::Error {
+                message: "service is draining".into(),
+            };
+        }
+        match evict_one_locked(shared, &mut state, session) {
+            Ok(path) => Response::Evicted {
+                session: session.to_string(),
+                path,
+            },
+            Err(message) => Response::Error { message },
         }
     }
 
@@ -1191,12 +1476,28 @@ impl Service {
         while state.global_pending > 0 || state.running > 0 {
             state = shared.done.wait(state).expect("service state poisoned");
         }
-        // Quiescent: every environment is home, histories are final.
+        // Quiescent: every environment is home or evicted to disk. Bring
+        // the evicted ones home so the final checkpoint/digest pass sees
+        // live environments — the drain report's `resumes` includes
+        // these, so `evictions == resumes` holds after a clean drain.
+        let evicted: Vec<String> = state
+            .sessions
+            .values()
+            .filter(|s| s.evicted)
+            .map(|s| s.name.clone())
+            .collect();
+        for name in &evicted {
+            // A failed resume leaves the session without an environment;
+            // the loops below skip it (counted as `serve.resume_errors`).
+            let _ = resume_session(shared, &mut state, name);
+        }
         let mut checkpointed = 0usize;
         if let Some(dir) = &shared.config.checkpoint_dir {
             if std::fs::create_dir_all(dir).is_ok() {
                 for (name, sess) in &state.sessions {
-                    let env = sess.env.as_ref().expect("quiescent session owns its env");
+                    let Some(env) = sess.env.as_ref() else {
+                        continue;
+                    };
                     let ckpt = SessionCheckpoint::capture(env);
                     let path = dir.join(format!("{name}.ckpt.json"));
                     match ckpt.save_tagged(&path, name) {
@@ -1214,7 +1515,9 @@ impl Service {
         // live session) and merged into the memory store below.
         let mut digests: Vec<SessionDigest> = Vec::new();
         for (name, sess) in &state.sessions {
-            let env = sess.env.as_ref().expect("quiescent session owns its env");
+            let Some(env) = sess.env.as_ref() else {
+                continue;
+            };
             if env.evaluations() == 0 {
                 continue;
             }
@@ -1244,6 +1547,10 @@ impl Service {
         }
         let sessions = state.sessions.len();
         let evaluations = state.evaluations;
+        let evictions = state.evictions;
+        let resumes = state.resumes;
+        let workers_grown = state.grown;
+        let workers_shrunk = state.shrunk;
         let already_stopped = state.stopped;
         state.stopped = true;
         shared.refresh_gauges(&state);
@@ -1273,6 +1580,10 @@ impl Service {
             checkpointed,
             flight_dumped,
             reassignments,
+            evictions,
+            resumes,
+            workers_grown,
+            workers_shrunk,
         }
     }
 
@@ -1289,36 +1600,48 @@ impl Service {
         if state.stopped {
             return None;
         }
-        let name = state.ready.pop_front()?;
-        let sess = state
-            .sessions
-            .get_mut(&name)
-            .expect("ready session is registered");
-        sess.queued = false;
-        let item = sess
-            .pending
-            .pop_front()
-            .expect("ready session has pending work");
-        let env = sess.env.as_mut().expect("idle session owns its env");
-        let lease = EvalLease {
-            session: name.clone(),
-            config: item.config,
-            seed: env.next_seed(),
-            key: env.eval_key(&item.config),
-            app: env.app().clone(),
-            cluster: env.engine().cluster().clone(),
-            cost: *env.engine().cost_model(),
-            retry: *env.retry_policy(),
-            faults: env.engine().faults().cloned(),
-            trace: item.trace,
-            enqueued_us: item.enqueued_us,
-            enqueued_at: item.enqueued_at,
-        };
-        sess.running = true;
-        state.global_pending -= 1;
-        state.running += 1;
-        shared.refresh_gauges(&state);
-        Some(lease)
+        loop {
+            let name = state.pop_ready()?;
+            // Leasing snapshots the environment's seed chain, so an
+            // evicted session must come home first.
+            if let Err(_message) = resume_session(shared, &mut state, &name) {
+                fail_session_locked(shared, &mut state, &name);
+                shared.done.notify_all();
+                continue;
+            }
+            let sess = state
+                .sessions
+                .get_mut(&name)
+                .expect("ready session is registered");
+            sess.queued = false;
+            let item = sess
+                .pending
+                .pop_front()
+                .expect("ready session has pending work");
+            let priority = sess.priority;
+            let env = sess.env.as_mut().expect("idle session owns its env");
+            let lease = EvalLease {
+                session: name.clone(),
+                config: item.config,
+                seed: env.next_seed(),
+                key: env.eval_key(&item.config),
+                app: env.app().clone(),
+                cluster: env.engine().cluster().clone(),
+                cost: *env.engine().cost_model(),
+                retry: *env.retry_policy(),
+                faults: env.engine().faults().cloned(),
+                priority,
+                trace: item.trace,
+                enqueued_us: item.enqueued_us,
+                enqueued_at: item.enqueued_at,
+            };
+            sess.running = true;
+            state.global_pending -= 1;
+            state.pending_by_class[priority.index()] -= 1;
+            state.running += 1;
+            shared.refresh_gauges(&state);
+            return Some(lease);
+        }
     }
 
     /// Commits a lease: lands the evaluation in the session's history and
@@ -1403,10 +1726,36 @@ impl Service {
         }
         self.shared.work.notify_all();
         self.shared.done.notify_all();
-        for worker in self.workers.drain(..) {
+        // Admission spawns workers only under the state lock with
+        // `stopped` false, so after the store above the handle vector is
+        // final (retired autoscale workers join instantly).
+        let handles: Vec<JoinHandle<()>> = self
+            .shared
+            .handles
+            .lock()
+            .expect("worker handles poisoned")
+            .drain(..)
+            .collect();
+        for worker in handles {
             let _ = worker.join();
         }
     }
+}
+
+/// Spawns one worker thread and registers its join handle. The caller
+/// accounts for it in `State::alive_workers`.
+fn spawn_worker(shared: &Arc<Shared>) {
+    let idx = shared.next_worker.fetch_add(1, Ordering::Relaxed);
+    let cloned = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name(format!("relm-serve-worker-{idx}"))
+        .spawn(move || worker_loop(&cloned))
+        .expect("spawn worker thread");
+    shared
+        .handles
+        .lock()
+        .expect("worker handles poisoned")
+        .push(handle);
 }
 
 impl Drop for Service {
@@ -1415,8 +1764,9 @@ impl Drop for Service {
     }
 }
 
-/// The worker loop: pull the front ready session, run exactly one of its
-/// pending evaluations, hand the session back to the scheduler.
+/// The worker loop: pull the next scheduled session (deficit-weighted
+/// round-robin across priority classes), run exactly one of its pending
+/// evaluations, hand the session back to the scheduler.
 ///
 /// The worker re-enters the trace scope carried with the queued item, so
 /// the queue-wait and evaluate spans it opens join the spans the handler
@@ -1434,7 +1784,36 @@ fn worker_loop(shared: &Shared) {
                     state = shared.work.wait(state).expect("service state poisoned");
                     continue;
                 }
-                if let Some(name) = state.ready.pop_front() {
+                // Autoscale shrink: an idle worker above the floor
+                // retires itself once the whole queue has drained —
+                // completion edges, not timers, scale the pool back down.
+                if let Some((floor, _ceiling)) = shared.config.autoscale() {
+                    if state.alive_workers > floor
+                        && state.global_pending == 0
+                        && state.running == 0
+                    {
+                        state.alive_workers -= 1;
+                        state.shrunk += 1;
+                        shared.obs.inc("serve.autoscale.shrink");
+                        shared.refresh_gauges(&state);
+                        drop(state);
+                        // Wake the other idle workers so retirement
+                        // cascades down to the floor without waiting for
+                        // the next admission.
+                        shared.work.notify_all();
+                        return;
+                    }
+                }
+                if let Some(name) = state.pop_ready() {
+                    // An evicted session readied by a post-eviction step:
+                    // bring its environment home before running. A failed
+                    // resume fails the session like a cancel so joiners
+                    // wake instead of hanging on lost work.
+                    if resume_session(shared, &mut state, &name).is_err() {
+                        fail_session_locked(shared, &mut state, &name);
+                        shared.done.notify_all();
+                        continue;
+                    }
                     let sess = state
                         .sessions
                         .get_mut(&name)
@@ -1446,8 +1825,10 @@ fn worker_loop(shared: &Shared) {
                         .expect("ready session has pending work");
                     let env = sess.env.take().expect("idle session owns its env");
                     let flight = Arc::clone(&sess.flight);
+                    let cls = sess.priority.index();
                     sess.running = true;
                     state.global_pending -= 1;
+                    state.pending_by_class[cls] -= 1;
                     state.running += 1;
                     shared.refresh_gauges(&state);
                     break (name, env, item, flight);
@@ -1547,6 +1928,7 @@ fn run_session_eval(
     let mut state = shared.state.lock().expect("service state poisoned");
     state.running -= 1;
     state.evaluations += 1;
+    let epoch = state.evaluations;
     let sess = state
         .sessions
         .get_mut(name)
@@ -1561,19 +1943,275 @@ fn run_session_eval(
     });
     sess.stress_time_ms = stress_time_ms;
     sess.retries = retries;
-    sess.evalcache_hits = evalcache_hits;
+    // The environment's live counter resets on an evict/resume cycle;
+    // the base keeps the mirror monotone across any number of them.
+    sess.evalcache_hits = sess.evalcache_hits_base + evalcache_hits;
     sess.queue_wait_ms += wait_ms;
+    sess.last_active = epoch;
     sess.env = Some(env);
     sess.running = false;
     if !sess.pending.is_empty() && !sess.cancelled && !sess.queued {
         sess.queued = true;
         let name = sess.name.clone();
-        state.ready.push_back(name);
+        let cls = sess.priority.index();
+        state.ready[cls].push_back(name);
         shared.work.notify_all();
     }
+    // Completions advance the eviction epoch clock: sweep for sessions
+    // gone cold while this one worked.
+    maybe_evict_locked(shared, &mut state);
     shared.refresh_gauges(&state);
     drop(state);
     shared.done.notify_all();
+}
+
+/// Builds the per-session engine from a spec — the same construction for
+/// a fresh session and for a resume from an eviction checkpoint, so a
+/// resumed environment evaluates exactly as the original would have.
+fn build_engine(shared: &Shared, spec: &SessionSpec) -> Engine {
+    let mut engine = Engine::new(ClusterSpec::cluster_a()).with_obs(shared.obs.clone());
+    if let (Some(seed), Some(faults)) = (spec.fault_seed, spec.faults) {
+        engine = engine.with_faults(FaultPlan::new(seed, faults));
+    }
+    engine
+}
+
+/// Builds the per-session engine + environment from a spec.
+fn build_env(shared: &Shared, spec: &SessionSpec) -> Result<TuningEnv, String> {
+    let app = match &spec.app {
+        Some(app) => app.clone(),
+        None => resolve_workload(&spec.workload)
+            .ok_or_else(|| format!("unknown workload `{}`", spec.workload))?,
+    };
+    let engine = build_engine(shared, spec);
+    let mut env = TuningEnv::new(engine, app, spec.base_seed);
+    if let Some(retry) = spec.retry {
+        env = env.with_retry_policy(retry);
+    }
+    if spec.use_cache || shared.config.execution == Execution::External {
+        // Fleet mode rides on the cache unconditionally: remote
+        // outcomes land in the shared cache and commit by *replaying*
+        // through the session's environment — the same path a warm
+        // local run takes, proven byte-identical to a live one.
+        env = env.with_cache(shared.cache.clone());
+    }
+    Ok(env)
+}
+
+/// Checkpoints one idle session to `<dir>/<name>.evict.json` and unloads
+/// its environment (and the memory-heavy part of its guided state). On
+/// any failure the session is left exactly as it was, environment home.
+fn evict_one_locked(shared: &Shared, state: &mut State, name: &str) -> Result<String, String> {
+    let Some(dir) = shared.config.evict_dir() else {
+        return Err("no eviction directory configured (set evict_dir or checkpoint_dir)".into());
+    };
+    let dir = dir.clone();
+    let Some(sess) = state.sessions.get_mut(name) else {
+        return Err(format!("unknown session `{name}`"));
+    };
+    if sess.evicted {
+        return Err(format!("session `{name}` is already evicted"));
+    }
+    if sess.running || !sess.pending.is_empty() {
+        return Err(format!(
+            "session `{name}` must be idle to evict (join first)"
+        ));
+    }
+    let Some(env) = sess.env.take() else {
+        return Err(format!("session `{name}` owns no environment"));
+    };
+    if std::fs::create_dir_all(&dir).is_err() {
+        sess.env = Some(env);
+        shared.obs.inc("serve.evict_errors");
+        return Err(format!(
+            "cannot create eviction directory `{}`",
+            dir.display()
+        ));
+    }
+    let path = dir.join(format!("{name}.evict.json"));
+    let ckpt = SessionCheckpoint::capture(&env);
+    match ckpt.save_tagged(&path, name) {
+        Ok(()) => {
+            // The restored environment's cache-hit counter restarts at
+            // zero; bank what's accrued so the mirror stays monotone.
+            sess.evalcache_hits_base = sess.evalcache_hits;
+            sess.frozen_guided = sess.guided.take().map(|g| FrozenGuided {
+                rng: g.rng,
+                fits: g.fits,
+                feeds: g.feeds,
+            });
+            sess.evicted = true;
+            state.evictions += 1;
+            shared.obs.inc("serve.evictions");
+            Ok(path.display().to_string())
+        }
+        Err(e) => {
+            sess.env = Some(env);
+            shared.obs.inc("serve.evict_errors");
+            Err(format!("eviction checkpoint failed: {e}"))
+        }
+    }
+}
+
+/// The automatic eviction sweep, run on every completion when
+/// [`ServeConfig::evict_after_evals`] is set: any session that completed
+/// work but has been idle for a full epoch window is checkpointed out.
+/// Purely an epoch-clock policy — no wall time touches the decision.
+fn maybe_evict_locked(shared: &Shared, state: &mut State) {
+    let window = shared.config.evict_after_evals;
+    if window == 0 || shared.config.evict_dir().is_none() {
+        return;
+    }
+    let epoch = state.evaluations;
+    let victims: Vec<String> = state
+        .sessions
+        .values()
+        .filter(|s| {
+            !s.evicted
+                && s.env.is_some()
+                && !s.running
+                && s.pending.is_empty()
+                && s.completed > 0
+                && epoch.saturating_sub(s.last_active) >= window
+        })
+        .map(|s| s.name.clone())
+        .collect();
+    for name in victims {
+        // Failures (checkpoint unwritable) leave the session live and
+        // are counted under `serve.evict_errors`.
+        let _ = evict_one_locked(shared, state, &name);
+    }
+}
+
+/// Rebuilds an evicted session's guided-proposal state by replaying its
+/// recorded fit schedule against the resumed history: same prior, same
+/// observation order, same full-vs-incremental refit sequence, same
+/// seeds — so the fitter (and with the carried-over RNG, the proposal
+/// stream) comes back bit-identical.
+fn rebuild_guided(
+    frozen: &FrozenGuided,
+    prior: &PriorBundle,
+    space: &ConfigSpace,
+    guided_seed: u64,
+    history: &[Observation],
+) -> Result<GuidedState, String> {
+    let mut fitter = GpFitter::new(GUIDED_SCORING_THREADS).with_policy(SparsePolicy::large_n());
+    for (x, y) in &prior.gp_obs {
+        fitter
+            .observe(x.clone(), *y)
+            .map_err(|e| format!("guided rebuild failed: {e}"))?;
+    }
+    let mut fed = 0usize;
+    for (i, &upto) in frozen.feeds.iter().enumerate() {
+        for obs in &history[fed..upto] {
+            fitter
+                .observe(space.encode(&obs.config).to_vec(), obs.score_mins)
+                .map_err(|e| format!("guided rebuild failed: {e}"))?;
+        }
+        fed = upto;
+        let full = !fitter.has_fit() || i.is_multiple_of(GUIDED_REFIT_PERIOD);
+        let fitted = if full {
+            fitter.fit_full(guided_seed ^ ((i as u64) << 8))
+        } else {
+            fitter.refit()
+        };
+        if let Err(e) = fitted {
+            return Err(format!("guided rebuild failed: {e}"));
+        }
+    }
+    Ok(GuidedState {
+        fitter,
+        rng: frozen.rng.clone(),
+        fits: frozen.fits,
+        fed,
+        feeds: frozen.feeds.clone(),
+    })
+}
+
+/// Brings an evicted session home: loads its eviction checkpoint,
+/// rebuilds the engine from the retained spec, restores the environment
+/// (byte-identical history and seed chain — the [`SessionCheckpoint`]
+/// resume guarantee), re-applies the spec's retry policy and cache
+/// attachment (which `restore` resets), replays the guided fit schedule,
+/// and deletes the checkpoint file. No-op for live sessions. On error
+/// the session stays evicted and `serve.resume_errors` counts it; the
+/// caller decides whether to fail the session.
+fn resume_session(shared: &Shared, state: &mut State, name: &str) -> Result<(), String> {
+    let Some(sess) = state.sessions.get_mut(name) else {
+        return Err(format!("unknown session `{name}`"));
+    };
+    if !sess.evicted {
+        return Ok(());
+    }
+    let result = (|| -> Result<(TuningEnv, Option<GuidedState>), String> {
+        let dir = shared
+            .config
+            .evict_dir()
+            .ok_or_else(|| "no eviction directory configured".to_string())?;
+        let path = dir.join(format!("{name}.evict.json"));
+        let ckpt = SessionCheckpoint::load(&path)
+            .map_err(|e| format!("cannot load eviction checkpoint: {e}"))?;
+        let engine = build_engine(shared, &sess.spec);
+        let mut env = ckpt.resume(engine);
+        // `restore` resets the retry policy and detaches the cache;
+        // re-apply both from the retained spec, in creation order.
+        if let Some(retry) = sess.spec.retry {
+            env = env.with_retry_policy(retry);
+        }
+        if sess.spec.use_cache || shared.config.execution == Execution::External {
+            env = env.with_cache(shared.cache.clone());
+        }
+        let guided = match &sess.frozen_guided {
+            Some(frozen) => Some(rebuild_guided(
+                frozen,
+                &sess.prior,
+                &sess.space,
+                sess.guided_seed,
+                env.history(),
+            )?),
+            None => None,
+        };
+        Ok((env, guided))
+    })();
+    match result {
+        Ok((env, guided)) => {
+            if guided.is_some() {
+                sess.guided = guided;
+            }
+            sess.frozen_guided = None;
+            sess.env = Some(env);
+            sess.evicted = false;
+            if let Some(dir) = shared.config.evict_dir() {
+                let _ = std::fs::remove_file(dir.join(format!("{name}.evict.json")));
+            }
+            state.resumes += 1;
+            shared.obs.inc("serve.resumes");
+            Ok(())
+        }
+        Err(message) => {
+            shared.obs.inc("serve.resume_errors");
+            Err(message)
+        }
+    }
+}
+
+/// Fails a session whose eviction resume is permanently broken, exactly
+/// like a cancel: pending work is discarded (so the global queue and
+/// joiners move on) and new steps are refused.
+fn fail_session_locked(shared: &Shared, state: &mut State, name: &str) {
+    let Some(sess) = state.sessions.get_mut(name) else {
+        return;
+    };
+    let discarded = sess.pending.len();
+    sess.pending.clear();
+    sess.cancelled = true;
+    sess.queued = false;
+    let cls = sess.priority.index();
+    state.global_pending -= discarded;
+    state.pending_by_class[cls] -= discarded;
+    shared.obs.inc("serve.sessions.cancelled");
+    shared.obs.add("serve.discarded", discarded as f64);
+    shared.refresh_gauges(state);
 }
 
 /// Resolves a workload name against the benchmark suite
@@ -1737,8 +2375,17 @@ mod tests {
             let mut state = service.shared.state.lock().unwrap();
             state.paused = true;
         }
-        let a = create(&service, SessionSpec::named("WordCount", 1));
-        let b = create(&service, SessionSpec::named("WordCount", 2));
+        // High-priority sessions may fill the whole global budget
+        // (admission share 1.0); lower classes would hit their share
+        // first, which `low_priority_sees_pushback_first` covers.
+        let a = create(
+            &service,
+            SessionSpec::named("WordCount", 1).with_priority(Priority::High),
+        );
+        let b = create(
+            &service,
+            SessionSpec::named("WordCount", 2).with_priority(Priority::High),
+        );
         // Fill the whole global budget through session a...
         match service.handle(&Request::StepAuto {
             session: a.clone(),
@@ -1832,6 +2479,10 @@ mod tests {
                 checkpointed,
                 flight_dumped,
                 reassignments,
+                evictions,
+                resumes,
+                workers_grown,
+                workers_shrunk,
             } => {
                 assert_eq!(n, 3);
                 assert_eq!(evaluations, 6, "drain must run the whole backlog");
@@ -1840,6 +2491,11 @@ mod tests {
                 assert_eq!(flight_dumped, 0);
                 // No fleet attached: nothing to reassign.
                 assert_eq!(reassignments, 0);
+                // Eviction and autoscaling are off by default.
+                assert_eq!(evictions, 0);
+                assert_eq!(resumes, 0);
+                assert_eq!(workers_grown, 0);
+                assert_eq!(workers_shrunk, 0);
             }
             other => panic!("drain failed: {other:?}"),
         }
@@ -1905,6 +2561,251 @@ mod tests {
             .map(|s| (*s).clone())
             .collect();
         assert_eq!(order, expected, "unfair schedule");
+    }
+
+    /// The graduated admission gate: with a global budget of 4, a
+    /// low-priority session may hold at most 2 pending (share 0.5) while
+    /// a high-priority session may still fill the remaining budget.
+    #[test]
+    fn low_priority_sees_pushback_first() {
+        let service = Service::start(
+            ServeConfig {
+                workers: 1,
+                session_queue_limit: 8,
+                global_queue_limit: 4,
+                ..ServeConfig::default()
+            },
+            Obs::enabled(),
+        );
+        {
+            let mut state = service.shared.state.lock().unwrap();
+            state.paused = true;
+        }
+        let low = create(
+            &service,
+            SessionSpec::named("WordCount", 1).with_priority(Priority::Low),
+        );
+        let high = create(
+            &service,
+            SessionSpec::named("WordCount", 2).with_priority(Priority::High),
+        );
+        // Low may fill only half the global budget: 3 > 2 rejects whole.
+        match service.handle(&Request::StepAuto {
+            session: low.clone(),
+            evals: 3,
+        }) {
+            Response::Overloaded { reason, .. } => {
+                assert!(reason.contains("global queue"), "{reason}");
+                assert!(reason.contains("low"), "{reason}");
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(
+            service
+                .obs()
+                .counter_value("serve.rejected.overloaded.class.low"),
+            1.0
+        );
+        match service.handle(&Request::StepAuto {
+            session: low.clone(),
+            evals: 2,
+        }) {
+            Response::Accepted { .. } => {}
+            other => panic!("low step rejected: {other:?}"),
+        }
+        // High still lands the rest of the budget on a queue that would
+        // already push low away.
+        match service.handle(&Request::StepAuto {
+            session: high.clone(),
+            evals: 2,
+        }) {
+            Response::Accepted { .. } => {}
+            other => panic!("high step rejected: {other:?}"),
+        }
+        {
+            let mut state = service.shared.state.lock().unwrap();
+            state.paused = false;
+        }
+        service.shared.work.notify_all();
+        for s in [&low, &high] {
+            service.handle(&Request::Join { session: s.clone() });
+        }
+    }
+
+    /// The deficit-weighted scheduler runs a staged high-priority backlog
+    /// ahead of a low-priority one: with weights 4:1, all four high
+    /// evaluations clear before the first low one.
+    #[test]
+    fn high_priority_schedules_ahead_of_low() {
+        let service = svc(1);
+        {
+            let mut state = service.shared.state.lock().unwrap();
+            state.paused = true;
+        }
+        let low = create(
+            &service,
+            SessionSpec::named("WordCount", 1).with_priority(Priority::Low),
+        );
+        let high = create(
+            &service,
+            SessionSpec::named("WordCount", 2).with_priority(Priority::High),
+        );
+        for (s, evals) in [(&low, 4u32), (&high, 4u32)] {
+            match service.handle(&Request::StepAuto {
+                session: s.clone(),
+                evals,
+            }) {
+                Response::Accepted { .. } => {}
+                other => panic!("step rejected: {other:?}"),
+            }
+        }
+        {
+            let mut state = service.shared.state.lock().unwrap();
+            state.paused = false;
+        }
+        service.shared.work.notify_all();
+        for s in [&low, &high] {
+            service.handle(&Request::Join { session: s.clone() });
+        }
+        let snapshot = service.obs().snapshot();
+        let order: Vec<String> = snapshot
+            .spans
+            .iter()
+            .filter(|sp| sp.name == "serve.evaluate")
+            .filter_map(|sp| {
+                sp.fields.iter().find_map(|(k, v)| match (k.as_str(), v) {
+                    ("session", relm_obs::FieldValue::Str(s)) => Some(s.clone()),
+                    _ => None,
+                })
+            })
+            .collect();
+        let expected: Vec<String> = [&high, &high, &high, &high, &low, &low, &low, &low]
+            .iter()
+            .map(|s| (*s).clone())
+            .collect();
+        assert_eq!(order, expected, "high-priority work must clear first");
+    }
+
+    /// Explicit evict unloads an idle session to disk; the next step
+    /// resumes it transparently and the history continues as if nothing
+    /// happened. Counters and the checkpoint file reconcile.
+    #[test]
+    fn explicit_evict_and_transparent_resume() {
+        let dir = std::env::temp_dir().join(format!("relm_serve_evict_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let service = Service::start(
+            ServeConfig {
+                workers: 1,
+                evict_dir: Some(dir.clone()),
+                ..ServeConfig::default()
+            },
+            Obs::enabled(),
+        );
+        let session = create(&service, SessionSpec::named("WordCount", 21));
+        // Evicting a running/pending session is refused.
+        service.handle(&Request::StepAuto {
+            session: session.clone(),
+            evals: 3,
+        });
+        service.handle(&Request::Join {
+            session: session.clone(),
+        });
+        let path = match service.handle(&Request::Evict {
+            session: session.clone(),
+        }) {
+            Response::Evicted { path, .. } => PathBuf::from(path),
+            other => panic!("evict failed: {other:?}"),
+        };
+        assert!(path.exists(), "eviction checkpoint on disk");
+        match service.handle(&Request::Status {
+            session: session.clone(),
+        }) {
+            Response::Status(st) => {
+                assert!(st.evicted);
+                assert_eq!(st.completed, 3);
+            }
+            other => panic!("status failed: {other:?}"),
+        }
+        // Double eviction is refused.
+        assert!(matches!(
+            service.handle(&Request::Evict {
+                session: session.clone(),
+            }),
+            Response::Error { .. }
+        ));
+        // The next step resumes transparently; the history continues.
+        service.handle(&Request::StepAuto {
+            session: session.clone(),
+            evals: 2,
+        });
+        match service.handle(&Request::Join {
+            session: session.clone(),
+        }) {
+            Response::Status(st) => {
+                assert!(!st.evicted);
+                assert_eq!(st.completed, 5);
+            }
+            other => panic!("join failed: {other:?}"),
+        }
+        assert!(!path.exists(), "resume consumes the eviction checkpoint");
+        assert_eq!(service.obs().counter_value("serve.evictions"), 1.0);
+        assert_eq!(service.obs().counter_value("serve.resumes"), 1.0);
+        match service.handle(&Request::Result { session }) {
+            Response::ResultReady { history, .. } => assert_eq!(history.len(), 5),
+            other => panic!("result failed: {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// With autoscaling on, admission grows the pool under backlog and
+    /// idle workers retire back to the floor once the queue drains.
+    #[test]
+    fn autoscaling_grows_under_backlog_and_shrinks_when_idle() {
+        let service = Service::start(
+            ServeConfig {
+                workers: 1,
+                min_workers: 1,
+                max_workers: 4,
+                ..ServeConfig::default()
+            },
+            Obs::enabled(),
+        );
+        let session = create(&service, SessionSpec::named("WordCount", 8));
+        service.handle(&Request::StepAuto {
+            session: session.clone(),
+            evals: 12,
+        });
+        {
+            let state = service.shared.state.lock().unwrap();
+            assert!(
+                state.grown >= 1,
+                "a 12-deep backlog on one worker must grow the pool"
+            );
+            assert!(state.alive_workers <= 4, "ceiling respected");
+        }
+        service.handle(&Request::Join {
+            session: session.clone(),
+        });
+        // Workers retire on completion edges; the last completion sees
+        // the empty queue, so by the time Join returns and we re-lock,
+        // retirement has either happened or needs one more wakeup.
+        service.shared.work.notify_all();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            {
+                let state = service.shared.state.lock().unwrap();
+                if state.alive_workers == 1 {
+                    assert_eq!(state.grown, state.shrunk, "scale-ups all retired");
+                    break;
+                }
+            }
+            assert!(Instant::now() < deadline, "pool failed to shrink to floor");
+            std::thread::yield_now();
+        }
+        match service.handle(&Request::Result { session }) {
+            Response::ResultReady { history, .. } => assert_eq!(history.len(), 12),
+            other => panic!("result failed: {other:?}"),
+        }
     }
 
     #[test]

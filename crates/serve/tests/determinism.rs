@@ -30,7 +30,9 @@ fn run_fleet(workers: usize, sessions: u64, evals: u32) -> BTreeMap<String, Stri
             workers,
             max_sessions: sessions as usize,
             session_queue_limit: evals as usize,
-            global_queue_limit: (sessions as usize) * (evals as usize),
+            // Double the staged backlog: normal-priority sessions may
+            // only fill their admission share (0.75) of the global bound.
+            global_queue_limit: (sessions as usize) * (evals as usize) * 2,
             ..ServeConfig::default()
         },
         Obs::enabled(),
@@ -326,6 +328,9 @@ fn drain_checkpoints_match_live_histories() {
             checkpointed,
             flight_dumped,
             reassignments,
+            evictions,
+            resumes,
+            ..
         } => {
             assert_eq!(sessions, 6);
             assert_eq!(evaluations, 18);
@@ -334,6 +339,9 @@ fn drain_checkpoints_match_live_histories() {
             assert_eq!(flight_dumped, 0);
             // No fleet attached: nothing was ever reassigned.
             assert_eq!(reassignments, 0);
+            // Eviction is off by default.
+            assert_eq!(evictions, 0);
+            assert_eq!(resumes, 0);
         }
         other => panic!("drain failed: {other:?}"),
     }

@@ -8,8 +8,8 @@ use relm_common::{Mem, MemoryConfig};
 use relm_faults::{FaultConfig, FaultPlan};
 use relm_obs::{FieldValue, FlightEvent, MetricsSnapshot, SpanRecord};
 use relm_serve::{
-    decode, encode, read_frame, EvalOutcome, FleetTask, FrameError, Request, Response, SessionSpec,
-    SessionStatus, DEFAULT_MAX_FRAME_BYTES,
+    decode, encode, read_frame, EvalOutcome, FleetTask, FrameError, Priority, Request, Response,
+    SessionSpec, SessionStatus, DEFAULT_MAX_FRAME_BYTES,
 };
 use relm_tune::{recommendation, session_export, EvalStore, RetryPolicy, TuningEnv};
 use std::io::BufReader;
@@ -112,6 +112,7 @@ proptest! {
         let session = format!("s-{sid:04}");
         let spec_plain = SessionSpec::named("WordCount", seed);
         let mut spec_full = SessionSpec::named("K-means", seed)
+            .with_priority(Priority::ALL[(seed % 3) as usize])
             .with_faults(fault_seed, FaultConfig::uniform(rate));
         spec_full.retry = Some(RetryPolicy::standard());
         let worker = format!("w-{}", sid % 8);
@@ -137,6 +138,7 @@ proptest! {
             Request::Join { session: session.clone() },
             Request::Result { session: session.clone() },
             Request::Cancel { session: session.clone() },
+            Request::Evict { session: session.clone() },
             Request::Metrics,
             Request::Trace { session: session.clone() },
             Request::Dump { session: session.clone() },
@@ -166,6 +168,8 @@ proptest! {
         let session = format!("s-{sid:04}");
         let status = SessionStatus {
             session: session.clone(),
+            priority: Priority::ALL[sid as usize % 3],
+            evicted: sid.is_multiple_of(2),
             pending,
             running: pending.is_multiple_of(2),
             completed,
@@ -232,6 +236,14 @@ proptest! {
                 checkpointed: sessions,
                 flight_dumped: sessions,
                 reassignments: discarded,
+                evictions: censored,
+                resumes: censored,
+                workers_grown: pending % 4,
+                workers_shrunk: pending % 4,
+            },
+            Response::Evicted {
+                session: session.clone(),
+                path: format!("results/ckpt/{session}.evict.json"),
             },
             Response::Metrics { snapshot, expo },
             Response::Trace {

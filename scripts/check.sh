@@ -110,6 +110,30 @@ diff "$serve_dir/serial.jsonl" "$serve_dir/fleet.jsonl" \
   || { echo "fleet smoke test FAILED: histories depend on fleet/worker death" >&2; exit 1; }
 echo "fleet OK: 12 sessions byte-identical under a 3-worker fleet with a mid-run kill, reassignment books reconciled"
 
+echo "== soak smoke test =="
+# Heavy-traffic rehearsal: a phase-barriered overload-and-recover run
+# with priority classes, forced idle-session eviction, and worker
+# autoscaling between a floor of 1 and a ceiling of 4. serve_load --soak
+# asserts internally that every settled session evicts and resumes, the
+# pool grows under the flood and retires back to the floor, p99 stays
+# inside the SLO bound, and the drain report's eviction/autoscale/
+# pushback tallies reconcile exactly against the obs counters. Here we
+# additionally pin the headline invariant: the histories are
+# byte-identical to a fixed-pool, never-evicting run of the same specs —
+# eviction and autoscaling are residency/capacity policies, invisible in
+# the results.
+cargo run --release -q -p relm-experiments --bin serve_load -- \
+  --workers 2 --clients 2 --sessions 8 --steps 4 \
+  --out "$serve_dir/soak_base.jsonl"
+cargo run --release -q -p relm-experiments --bin serve_load -- \
+  --soak --workers 1 --clients 4 --sessions 8 --steps 4 \
+  --min-workers 1 --max-workers 4 --evict-after 6 \
+  --evict-dir "$serve_dir/evict" --slo-p99-ms 60000 \
+  --out "$serve_dir/soak.jsonl"
+diff "$serve_dir/soak_base.jsonl" "$serve_dir/soak.jsonl" \
+  || { echo "soak smoke test FAILED: histories depend on eviction/autoscaling" >&2; exit 1; }
+echo "soak OK: 8 sessions byte-identical under forced eviction + autoscaling, SLO and drain books reconciled"
+
 echo "== surrogate perf smoke test =="
 # The fast surrogate kernels must be invisible in the traces: the
 # equivalence suite proves incremental refits and threaded scoring are
